@@ -1,0 +1,226 @@
+//! The Back-propagation Update Merger (BUM) — §4.5, Fig. 13.
+//!
+//! During back-propagation, multiple vertices share the same stored
+//! embedding (hash collisions) and nearby samples update the same cube, so
+//! the update stream revisits addresses within short windows (Fig. 10).
+//! The BUM is a 16-entry buffer in front of the SRAM write port:
+//!
+//! * **Match** — an incoming update whose address is already buffered is
+//!   merged (values accumulated), costing no SRAM write.
+//! * **Miss** — the update claims an empty entry; if the buffer is full,
+//!   the entry that has gone longest without a merge is evicted and its
+//!   accumulated value becomes one SRAM write.
+//! * **Timeout** — entries idle for `N` cycles are flushed to SRAM.
+//!
+//! Without the BUM every update is a read-modify-write on the table.
+
+/// BUM configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BumConfig {
+    /// Buffer entries (the paper uses 16).
+    pub entries: usize,
+    /// Idle-eviction threshold in cycles (`N` of Fig. 13).
+    pub timeout: u64,
+}
+
+impl Default for BumConfig {
+    fn default() -> Self {
+        BumConfig {
+            entries: 16,
+            timeout: 64,
+        }
+    }
+}
+
+/// Result of replaying an update stream through the BUM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BumResult {
+    /// Updates presented to the unit.
+    pub updates: u64,
+    /// Updates merged into an existing entry (saved writes).
+    pub merged: u64,
+    /// SRAM writes actually performed (evictions + final flush).
+    pub sram_writes: u64,
+    /// Cycles consumed (one per update, plus drain).
+    pub cycles: u64,
+}
+
+impl BumResult {
+    /// Fraction of updates that were absorbed without an SRAM write.
+    pub fn merge_ratio(&self) -> f64 {
+        if self.updates == 0 {
+            return 0.0;
+        }
+        self.merged as f64 / self.updates as f64
+    }
+
+    /// SRAM writes per incoming update (lower is better; 1.0 = no merging).
+    pub fn write_ratio(&self) -> f64 {
+        if self.updates == 0 {
+            return 0.0;
+        }
+        self.sram_writes as f64 / self.updates as f64
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    addr: u64,
+    last_touch: u64,
+}
+
+/// Replays an update-address stream through a BUM. One update arrives per
+/// cycle (the unit is pipelined); timeouts are checked as time advances.
+///
+/// # Panics
+///
+/// Panics if `cfg.entries` is zero.
+pub fn simulate_bum(addrs: &[u64], cfg: BumConfig) -> BumResult {
+    assert!(cfg.entries > 0, "BUM needs at least one entry");
+    let mut buffer: Vec<Entry> = Vec::with_capacity(cfg.entries);
+    let mut merged = 0u64;
+    let mut writes = 0u64;
+    let mut cycle = 0u64;
+
+    for &addr in addrs {
+        cycle += 1;
+        // Timeout flush: entries idle longer than N cycles.
+        let before = buffer.len();
+        buffer.retain(|e| cycle - e.last_touch <= cfg.timeout);
+        writes += (before - buffer.len()) as u64;
+
+        // One-to-all match (Fig. 13(b)).
+        if let Some(e) = buffer.iter_mut().find(|e| e.addr == addr) {
+            e.last_touch = cycle;
+            merged += 1;
+            continue;
+        }
+        // Miss: insert, evicting the stalest entry when full.
+        if buffer.len() == cfg.entries {
+            let stalest = buffer
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_touch)
+                .map(|(i, _)| i)
+                .expect("buffer is non-empty");
+            buffer.swap_remove(stalest);
+            writes += 1;
+        }
+        buffer.push(Entry {
+            addr,
+            last_touch: cycle,
+        });
+    }
+    // Drain: every resident entry becomes one write.
+    writes += buffer.len() as u64;
+    cycle += buffer.len() as u64;
+
+    BumResult {
+        updates: addrs.len() as u64,
+        merged,
+        sram_writes: writes,
+        cycles: cycle,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeated_address_merges_to_one_write() {
+        let addrs = vec![42u64; 100];
+        let r = simulate_bum(&addrs, BumConfig::default());
+        assert_eq!(r.updates, 100);
+        assert_eq!(r.merged, 99);
+        assert_eq!(r.sram_writes, 1);
+        assert!((r.merge_ratio() - 0.99).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_unique_addresses_all_write() {
+        let addrs: Vec<u64> = (0..100).collect();
+        let r = simulate_bum(&addrs, BumConfig::default());
+        assert_eq!(r.merged, 0);
+        assert_eq!(r.sram_writes, 100);
+        assert_eq!(r.write_ratio(), 1.0);
+    }
+
+    #[test]
+    fn paper_pattern_five_reuses_merge() {
+        // §4.2: "shared embeddings among more than five accesses" — a
+        // stream where each address repeats 5× within the window.
+        let mut addrs = Vec::new();
+        for group in 0..50u64 {
+            for _ in 0..5 {
+                addrs.push(group);
+            }
+        }
+        let r = simulate_bum(&addrs, BumConfig::default());
+        assert_eq!(r.sram_writes, 50, "one write per distinct address");
+        assert!((r.write_ratio() - 0.2).abs() < 1e-9, "5× traffic reduction");
+    }
+
+    #[test]
+    fn interleaved_reuse_within_capacity_merges() {
+        // 8 addresses round-robin, well within 16 entries.
+        let addrs: Vec<u64> = (0..400).map(|i| (i % 8) as u64).collect();
+        let r = simulate_bum(&addrs, BumConfig { entries: 16, timeout: 1000 });
+        assert_eq!(r.sram_writes, 8);
+    }
+
+    #[test]
+    fn capacity_pressure_causes_evictions() {
+        // 32 round-robin addresses overflow a 16-entry buffer: every access
+        // misses (its entry was evicted 16 slots ago).
+        let addrs: Vec<u64> = (0..320).map(|i| (i % 32) as u64).collect();
+        let r = simulate_bum(&addrs, BumConfig { entries: 16, timeout: 10_000 });
+        assert_eq!(r.merged, 0, "thrashing buffer should never merge");
+        assert_eq!(r.sram_writes, 320);
+    }
+
+    #[test]
+    fn timeout_flushes_idle_entries() {
+        // Two bursts of the same address separated by a gap of traffic
+        // that fits alongside it in the buffer (8 distinct addresses
+        // looping): with a small timeout the idle entry flushes between
+        // bursts; with a large one it survives and the second burst merges.
+        let mut addrs = vec![7u64; 4];
+        for i in 0..96 {
+            addrs.push(1000 + (i % 8) as u64);
+        }
+        addrs.extend(vec![7u64; 4]);
+        let small = simulate_bum(&addrs, BumConfig { entries: 16, timeout: 8 });
+        let large = simulate_bum(&addrs, BumConfig { entries: 16, timeout: 100_000 });
+        assert!(
+            small.sram_writes > large.sram_writes,
+            "small-timeout writes {} should exceed large-timeout writes {}",
+            small.sram_writes,
+            large.sram_writes
+        );
+    }
+
+    #[test]
+    fn empty_stream() {
+        let r = simulate_bum(&[], BumConfig::default());
+        assert_eq!(r.updates, 0);
+        assert_eq!(r.sram_writes, 0);
+        assert_eq!(r.merge_ratio(), 0.0);
+    }
+
+    #[test]
+    fn conservation_updates_equal_merges_plus_writes() {
+        // Every update either merges or eventually produces exactly one
+        // write of its (possibly accumulated) entry... conservation holds
+        // as: writes = distinct "entry lifetimes" = updates − merged.
+        let addrs: Vec<u64> = (0..500).map(|i| (i % 13) as u64).collect();
+        let r = simulate_bum(&addrs, BumConfig::default());
+        assert_eq!(r.sram_writes + r.merged, r.updates);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_entries_panics() {
+        let _ = simulate_bum(&[1], BumConfig { entries: 0, timeout: 4 });
+    }
+}

@@ -1,0 +1,142 @@
+//! Accelerator configuration: the Tab. 3 / §5.1 design parameters.
+
+/// Design parameters of the Instant-3D accelerator.
+///
+/// Defaults reproduce the paper's implementation: 28 nm, 800 MHz, four grid
+/// cores × 8 banks, 16-deep FRM/BUM reordering, 1.5 MB total SRAM,
+/// LPDDR4-1866 DRAM (59.7 GB/s), fp16 features.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccelConfig {
+    /// Core clock (Hz).
+    pub clock_hz: f64,
+    /// Number of grid cores.
+    pub grid_cores: u32,
+    /// SRAM banks per grid core.
+    pub banks_per_core: u32,
+    /// Bytes of hash-table SRAM per bank (8 banks × 32 KB = 256 KB/core).
+    pub bytes_per_bank: usize,
+    /// FRM/BUM reordering pipeline depth ("set to 16" — §5.1).
+    pub reorder_depth: usize,
+    /// BUM buffer entries.
+    pub bum_entries: usize,
+    /// BUM idle-eviction threshold in cycles (the `N` of Fig. 13).
+    pub bum_timeout: u64,
+    /// DRAM bandwidth in bytes/s (LPDDR4-1866: 59.7 GB/s).
+    pub dram_bandwidth: f64,
+    /// DRAM transaction granularity in bytes (a 32 B burst).
+    pub dram_burst_bytes: usize,
+    /// Bytes per hash-table access (2 features × fp16).
+    pub bytes_per_access: usize,
+    /// Systolic-array dimensions for the large-output MLP unit.
+    pub systolic_rows: usize,
+    /// Systolic-array columns.
+    pub systolic_cols: usize,
+    /// Multiplier-adder-tree width for the small-output MLP unit.
+    pub tree_width: usize,
+}
+
+impl Default for AccelConfig {
+    fn default() -> Self {
+        AccelConfig {
+            clock_hz: 800e6,
+            grid_cores: 4,
+            banks_per_core: 8,
+            bytes_per_bank: 32 * 1024,
+            reorder_depth: 16,
+            bum_entries: 16,
+            bum_timeout: 64,
+            dram_bandwidth: 59.7e9,
+            dram_burst_bytes: 32,
+            bytes_per_access: 4,
+            // A 64×32 fp16 array ≈ 1.3 mm² at 28 nm — the Fig. 15 MLP-unit
+            // area budget (≈ 20 % of the 6.8 mm² die).
+            systolic_rows: 64,
+            systolic_cols: 32,
+            tree_width: 32,
+        }
+    }
+}
+
+impl AccelConfig {
+    /// Total SRAM banks across all grid cores.
+    pub fn total_banks(&self) -> u32 {
+        self.grid_cores * self.banks_per_core
+    }
+
+    /// Hash-table SRAM bytes per grid core.
+    pub fn bytes_per_core(&self) -> usize {
+        self.banks_per_core as usize * self.bytes_per_bank
+    }
+
+    /// Hash-table SRAM bytes across all cores (1 MB of the 1.5 MB total;
+    /// the rest is coordinate/MLP buffering).
+    pub fn total_hash_sram_bytes(&self) -> usize {
+        self.grid_cores as usize * self.bytes_per_core()
+    }
+
+    /// Seconds per clock cycle.
+    pub fn cycle_time(&self) -> f64 {
+        1.0 / self.clock_hz
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.clock_hz <= 0.0 {
+            return Err("clock must be positive".into());
+        }
+        if self.grid_cores == 0 || self.banks_per_core == 0 {
+            return Err("need at least one core and bank".into());
+        }
+        if !self.banks_per_core.is_power_of_two() {
+            return Err("banks per core must be a power of two".into());
+        }
+        if self.reorder_depth == 0 || self.bum_entries == 0 {
+            return Err("reorder/BUM depths must be positive".into());
+        }
+        if self.dram_bandwidth <= 0.0 {
+            return Err("DRAM bandwidth must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_design() {
+        let c = AccelConfig::default();
+        assert_eq!(c.validate(), Ok(()));
+        assert_eq!(c.clock_hz, 800e6);
+        assert_eq!(c.grid_cores, 4);
+        assert_eq!(c.total_banks(), 32);
+        assert_eq!(c.bytes_per_core(), 256 * 1024);
+        assert_eq!(c.total_hash_sram_bytes(), 1 << 20);
+        assert_eq!(c.reorder_depth, 16);
+        assert_eq!(c.bum_entries, 16);
+    }
+
+    #[test]
+    fn cycle_time_is_reciprocal_clock() {
+        let c = AccelConfig::default();
+        assert!((c.cycle_time() - 1.25e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn validation_catches_errors() {
+        let mut c = AccelConfig::default();
+        c.banks_per_core = 6;
+        assert!(c.validate().is_err());
+        let mut c = AccelConfig::default();
+        c.grid_cores = 0;
+        assert!(c.validate().is_err());
+        let mut c = AccelConfig::default();
+        c.reorder_depth = 0;
+        assert!(c.validate().is_err());
+    }
+}

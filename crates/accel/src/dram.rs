@@ -1,0 +1,114 @@
+//! Bandwidth-limited DRAM model (LPDDR4-1866 by default).
+//!
+//! Hash tables that exceed the fused SRAM capacity spill to DRAM: a
+//! fraction of accesses miss on-chip and fetch a full DRAM burst. The
+//! model is bandwidth-limited (random 4-byte accesses cannot exploit
+//! row-buffer locality in a hashed table, so each miss moves a whole
+//! burst).
+
+/// DRAM timing/energy model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DramModel {
+    /// Peak bandwidth in bytes/s.
+    pub bandwidth: f64,
+    /// Burst (minimum transaction) size in bytes.
+    pub burst_bytes: usize,
+    /// Achievable fraction of peak bandwidth for random access (row misses,
+    /// bank turnaround); 0.6 is typical for LPDDR4 with small transactions.
+    pub random_efficiency: f64,
+}
+
+impl Default for DramModel {
+    fn default() -> Self {
+        DramModel {
+            bandwidth: 59.7e9,
+            burst_bytes: 32,
+            random_efficiency: 0.6,
+        }
+    }
+}
+
+impl DramModel {
+    /// The fraction of table accesses that miss SRAM when only
+    /// `sram_bytes` of a `table_bytes` table are resident (uniform-random
+    /// hashed access ⇒ miss probability = non-resident fraction).
+    pub fn miss_fraction(table_bytes: usize, sram_bytes: usize) -> f64 {
+        if table_bytes == 0 || table_bytes <= sram_bytes {
+            0.0
+        } else {
+            1.0 - sram_bytes as f64 / table_bytes as f64
+        }
+    }
+
+    /// Bytes moved for `misses` spilled accesses (one burst each).
+    pub fn spill_bytes(&self, misses: f64) -> f64 {
+        misses * self.burst_bytes as f64
+    }
+
+    /// Seconds to move `bytes` at random-access efficiency.
+    pub fn transfer_time(&self, bytes: f64) -> f64 {
+        if bytes <= 0.0 {
+            return 0.0;
+        }
+        bytes / (self.bandwidth * self.random_efficiency)
+    }
+
+    /// Cycles (at `clock_hz`) to move `bytes`.
+    pub fn transfer_cycles(&self, bytes: f64, clock_hz: f64) -> f64 {
+        self.transfer_time(bytes) * clock_hz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resident_table_never_misses() {
+        assert_eq!(DramModel::miss_fraction(1 << 20, 1 << 20), 0.0);
+        assert_eq!(DramModel::miss_fraction(100, 1 << 20), 0.0);
+        assert_eq!(DramModel::miss_fraction(0, 0), 0.0);
+    }
+
+    #[test]
+    fn half_resident_misses_half() {
+        let f = DramModel::miss_fraction(2 << 20, 1 << 20);
+        assert!((f - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quarter_resident_misses_three_quarters() {
+        let f = DramModel::miss_fraction(1 << 20, 256 << 10);
+        assert!((f - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transfer_time_scales_linearly() {
+        let d = DramModel::default();
+        let t1 = d.transfer_time(1e9);
+        let t2 = d.transfer_time(2e9);
+        assert!((t2 / t1 - 2.0).abs() < 1e-9);
+        // 59.7 GB/s × 0.6 ≈ 35.8 GB/s effective → 1 GB ≈ 27.9 ms.
+        assert!((t1 - 1e9 / (59.7e9 * 0.6)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spill_bytes_use_burst_granularity() {
+        let d = DramModel::default();
+        assert_eq!(d.spill_bytes(10.0), 320.0);
+    }
+
+    #[test]
+    fn cycles_match_time_times_clock() {
+        let d = DramModel::default();
+        let c = d.transfer_cycles(1e6, 800e6);
+        assert!((c - d.transfer_time(1e6) * 800e6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_bytes_is_free() {
+        let d = DramModel::default();
+        assert_eq!(d.transfer_time(0.0), 0.0);
+        assert_eq!(d.transfer_cycles(-5.0, 800e6), 0.0);
+    }
+}

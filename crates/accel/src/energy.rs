@@ -1,0 +1,240 @@
+//! 28 nm energy and area models (Fig. 15 of the paper).
+//!
+//! Per-operation energies are fitted constants: they are chosen so the
+//! full Instant-3D configuration lands at the paper's reported operating
+//! point (6.8 mm², ~1.9 W at 800 MHz with grid cores dominating both area
+//! and energy). Each constant is in the range published for 28 nm SRAM /
+//! fp16 arithmetic; the calibration anchors are documented per field.
+
+/// Per-operation energy constants (picojoules) and static power.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// One 4-byte hash-table SRAM read, including bank crossbar and FRM
+    /// traversal. Anchor: grid cores ≈ 80 % of total energy (Fig. 15).
+    pub sram_read_pj: f64,
+    /// One 4-byte hash-table SRAM write (incl. BUM buffer logic).
+    pub sram_write_pj: f64,
+    /// One Eq.-3 hash evaluation (two 32-bit multiplies + xors + mod).
+    pub hash_pj: f64,
+    /// One fp16 multiply-accumulate in the MLP units.
+    pub mac_pj: f64,
+    /// One byte moved to/from LPDDR4 DRAM.
+    pub dram_pj_per_byte: f64,
+    /// Static/leakage power in watts (clock tree, idle SRAM, I/O).
+    pub static_w: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel {
+            sram_read_pj: 40.0,
+            sram_write_pj: 80.0,
+            hash_pj: 2.0,
+            mac_pj: 0.18,
+            dram_pj_per_byte: 40.0,
+            static_w: 1.0,
+        }
+    }
+}
+
+/// Event counts for one simulated interval.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EnergyEvents {
+    /// Hash-table SRAM reads.
+    pub sram_reads: f64,
+    /// Hash-table SRAM writes (after BUM merging).
+    pub sram_writes: f64,
+    /// Hash-function evaluations.
+    pub hash_ops: f64,
+    /// fp16 MACs in the MLP units.
+    pub macs: f64,
+    /// DRAM bytes moved.
+    pub dram_bytes: f64,
+}
+
+/// Energy of an interval, split by component (joules).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Grid-core energy: SRAM traffic + hash units + interpolation.
+    pub grid_cores_j: f64,
+    /// MLP-unit energy.
+    pub mlp_j: f64,
+    /// DRAM interface energy.
+    pub dram_j: f64,
+    /// Static/leakage over the interval.
+    pub static_j: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total joules.
+    pub fn total(&self) -> f64 {
+        self.grid_cores_j + self.mlp_j + self.dram_j + self.static_j
+    }
+
+    /// Grid-core fraction of dynamic energy (the Fig. 15 "81 %" number).
+    pub fn grid_fraction_dynamic(&self) -> f64 {
+        let dynamic = self.grid_cores_j + self.mlp_j;
+        if dynamic <= 0.0 {
+            return 0.0;
+        }
+        self.grid_cores_j / dynamic
+    }
+}
+
+impl EnergyModel {
+    /// Energy of `events` over `seconds` of wall-clock time.
+    pub fn energy(&self, events: &EnergyEvents, seconds: f64) -> EnergyBreakdown {
+        let pj = 1e-12;
+        EnergyBreakdown {
+            grid_cores_j: (events.sram_reads * self.sram_read_pj
+                + events.sram_writes * self.sram_write_pj
+                + events.hash_ops * self.hash_pj)
+                * pj,
+            mlp_j: events.macs * self.mac_pj * pj,
+            dram_j: events.dram_bytes * self.dram_pj_per_byte * pj,
+            static_j: self.static_w * seconds,
+        }
+    }
+}
+
+/// Component areas of the accelerator in mm² (28 nm), matching the Fig. 15
+/// floorplan: four grid cores (hash-table SRAM banks, FRM units, BUM
+/// units, hash/interpolation logic) plus the MLP units and reconfiguration
+/// fabric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaModel {
+    /// Hash-table SRAM banks (1 MB across the four cores) + coordinate
+    /// buffers (0.5 MB) — dominated by the 1.5 MB of total SRAM.
+    pub sram_mm2: f64,
+    /// Seven FRM units (4× B8, 2× B16, 1× B32).
+    pub frm_mm2: f64,
+    /// Four BUM units (16-entry CAM-style buffers each).
+    pub bum_mm2: f64,
+    /// Hash-function + interpolation/gradient compute units.
+    pub grid_logic_mm2: f64,
+    /// Systolic array + multiplier-adder-tree MLP units and their buffers.
+    pub mlp_mm2: f64,
+    /// Multi-core-fusion reconfiguration fabric and I/O.
+    pub reconfig_mm2: f64,
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        AreaModel {
+            sram_mm2: 2.45,
+            frm_mm2: 1.22, // ≈ 18 % of total, per Fig. 15
+            bum_mm2: 0.48,
+            grid_logic_mm2: 1.15,
+            mlp_mm2: 1.30, // ≈ 19-22 % of total
+            reconfig_mm2: 0.20,
+        }
+    }
+}
+
+impl AreaModel {
+    /// Total die area (paper: 6.8 mm²).
+    pub fn total(&self) -> f64 {
+        self.sram_mm2
+            + self.frm_mm2
+            + self.bum_mm2
+            + self.grid_logic_mm2
+            + self.mlp_mm2
+            + self.reconfig_mm2
+    }
+
+    /// Grid-core area (everything except MLP and reconfig fabric).
+    pub fn grid_cores(&self) -> f64 {
+        self.sram_mm2 + self.frm_mm2 + self.bum_mm2 + self.grid_logic_mm2
+    }
+
+    /// Grid-core fraction of total area (Fig. 15: 78 %).
+    pub fn grid_fraction(&self) -> f64 {
+        self.grid_cores() / self.total()
+    }
+
+    /// Labelled component list for table output.
+    pub fn components(&self) -> Vec<(&'static str, f64)> {
+        vec![
+            ("hash-table + coord SRAM", self.sram_mm2),
+            ("FRM units (4xB8 + 2xB16 + 1xB32)", self.frm_mm2),
+            ("BUM units (4x 16-entry)", self.bum_mm2),
+            ("hash + interpolation logic", self.grid_logic_mm2),
+            ("MLP units (systolic + tree)", self.mlp_mm2),
+            ("reconfiguration fabric", self.reconfig_mm2),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_total_matches_paper() {
+        let a = AreaModel::default();
+        assert!(
+            (a.total() - 6.8).abs() < 0.05,
+            "total area {} should be ≈ 6.8 mm²",
+            a.total()
+        );
+    }
+
+    #[test]
+    fn grid_cores_dominate_area() {
+        let a = AreaModel::default();
+        let f = a.grid_fraction();
+        assert!(
+            (0.70..=0.85).contains(&f),
+            "grid-core area fraction {f} should be ≈ 0.78"
+        );
+    }
+
+    #[test]
+    fn component_list_sums_to_total() {
+        let a = AreaModel::default();
+        let sum: f64 = a.components().iter().map(|(_, v)| v).sum();
+        assert!((sum - a.total()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_accumulates_by_component() {
+        let m = EnergyModel::default();
+        let ev = EnergyEvents {
+            sram_reads: 1e6,
+            sram_writes: 1e5,
+            hash_ops: 1e6,
+            macs: 1e7,
+            dram_bytes: 1e6,
+            ..Default::default()
+        };
+        let e = m.energy(&ev, 0.001);
+        assert!(e.grid_cores_j > 0.0);
+        assert!(e.mlp_j > 0.0);
+        assert!(e.dram_j > 0.0);
+        assert!((e.static_j - 1.0e-3).abs() < 1e-9);
+        assert!((e.total()
+            - (e.grid_cores_j + e.mlp_j + e.dram_j + e.static_j))
+            .abs()
+            < 1e-15);
+    }
+
+    #[test]
+    fn zero_events_only_leak() {
+        let m = EnergyModel::default();
+        let e = m.energy(&EnergyEvents::default(), 1.0);
+        assert_eq!(e.grid_cores_j, 0.0);
+        assert_eq!(e.mlp_j, 0.0);
+        assert!((e.total() - m.static_w).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grid_fraction_dynamic() {
+        let b = EnergyBreakdown {
+            grid_cores_j: 8.0,
+            mlp_j: 2.0,
+            dram_j: 5.0,
+            static_j: 5.0,
+        };
+        assert!((b.grid_fraction_dynamic() - 0.8).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,159 @@
+//! The multi-core-fusion reconfigurable scheme — §4.6, Figs. 11 & 14.
+//!
+//! Each grid core owns 8 SRAM banks (256 KB). Hash tables larger than one
+//! core's slice are spread across fused cores:
+//!
+//! * **Level 0 (standalone)** — ≤ 256 KB: four independent cores, each with
+//!   its own B8 FRM; four point-streams in parallel.
+//! * **Level 1 fusion** — ≤ 512 KB: two pairs of fused cores, each pair
+//!   sharing a B16 FRM; two point-streams in parallel.
+//! * **Level 2 fusion** — ≤ 1 MB: all four cores fused behind one B32 FRM;
+//!   one point-stream.
+//!
+//! Tables beyond 1 MB cannot be SRAM-resident and spill to DRAM — which is
+//! exactly what makes the un-decomposed Instant-NGP table (≈ 2 MB) slow on
+//! this accelerator and motivates the algorithm/hardware co-design.
+
+use crate::config::AccelConfig;
+
+/// A fusion operating mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FusionMode {
+    /// Level 0: standalone cores (B8 FRM each).
+    Level0,
+    /// Level 1: pairs of cores fused (B16 FRM per pair).
+    Level1,
+    /// Level 2: all cores fused (one B32 FRM).
+    Level2,
+}
+
+impl FusionMode {
+    /// Selects the smallest mode whose fused SRAM holds `table_bytes`,
+    /// or `None` when the table exceeds even Level-2 capacity (DRAM spill).
+    pub fn for_table_bytes(table_bytes: usize, cfg: &AccelConfig) -> Option<FusionMode> {
+        let per_core = cfg.bytes_per_core();
+        if table_bytes <= per_core {
+            Some(FusionMode::Level0)
+        } else if table_bytes <= 2 * per_core {
+            Some(FusionMode::Level1)
+        } else if table_bytes <= 4 * per_core {
+            Some(FusionMode::Level2)
+        } else {
+            None
+        }
+    }
+
+    /// Cores fused into one group.
+    pub fn cores_per_group(self) -> u32 {
+        match self {
+            FusionMode::Level0 => 1,
+            FusionMode::Level1 => 2,
+            FusionMode::Level2 => 4,
+        }
+    }
+
+    /// SRAM banks visible to the group's FRM (B8 / B16 / B32).
+    pub fn banks(self, cfg: &AccelConfig) -> u32 {
+        self.cores_per_group() * cfg.banks_per_core
+    }
+
+    /// Independent groups operating in parallel.
+    pub fn parallel_groups(self, cfg: &AccelConfig) -> u32 {
+        cfg.grid_cores / self.cores_per_group()
+    }
+
+    /// Fused SRAM capacity of one group in bytes.
+    pub fn group_capacity(self, cfg: &AccelConfig) -> usize {
+        self.cores_per_group() as usize * cfg.bytes_per_core()
+    }
+
+    /// Human-readable label (matches the paper's Fig. 11 color coding).
+    pub fn label(self) -> &'static str {
+        match self {
+            FusionMode::Level0 => "Level 0 standalone (B8, 256 KB)",
+            FusionMode::Level1 => "Level 1 fusion (B16, 512 KB)",
+            FusionMode::Level2 => "Level 2 fusion (B32, 1 MB)",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> AccelConfig {
+        AccelConfig::default()
+    }
+
+    #[test]
+    fn mode_selection_matches_paper_table_sizes() {
+        let c = cfg();
+        assert_eq!(
+            FusionMode::for_table_bytes(256 * 1024, &c),
+            Some(FusionMode::Level0)
+        );
+        assert_eq!(
+            FusionMode::for_table_bytes(512 * 1024, &c),
+            Some(FusionMode::Level1)
+        );
+        assert_eq!(
+            FusionMode::for_table_bytes(1 << 20, &c),
+            Some(FusionMode::Level2)
+        );
+        // The 2 MB Instant-NGP table does not fit — DRAM spill.
+        assert_eq!(FusionMode::for_table_bytes(2 << 20, &c), None);
+    }
+
+    #[test]
+    fn instant3d_branches_map_to_expected_modes() {
+        let c = cfg();
+        // Density grid: 1 MB → Level 2; color grid: 256 KB → Level 0.
+        assert_eq!(
+            FusionMode::for_table_bytes(1 << 20, &c),
+            Some(FusionMode::Level2)
+        );
+        assert_eq!(
+            FusionMode::for_table_bytes(256 << 10, &c),
+            Some(FusionMode::Level0)
+        );
+    }
+
+    #[test]
+    fn bank_counts_are_b8_b16_b32() {
+        let c = cfg();
+        assert_eq!(FusionMode::Level0.banks(&c), 8);
+        assert_eq!(FusionMode::Level1.banks(&c), 16);
+        assert_eq!(FusionMode::Level2.banks(&c), 32);
+    }
+
+    #[test]
+    fn groups_times_cores_is_constant() {
+        let c = cfg();
+        for m in [FusionMode::Level0, FusionMode::Level1, FusionMode::Level2] {
+            assert_eq!(m.parallel_groups(&c) * m.cores_per_group(), c.grid_cores);
+            assert_eq!(
+                m.group_capacity(&c),
+                m.cores_per_group() as usize * 256 * 1024
+            );
+        }
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels = [
+            FusionMode::Level0.label(),
+            FusionMode::Level1.label(),
+            FusionMode::Level2.label(),
+        ];
+        assert_eq!(
+            labels.iter().collect::<std::collections::HashSet<_>>().len(),
+            3
+        );
+    }
+
+    #[test]
+    fn tiny_tables_stay_standalone() {
+        let c = cfg();
+        assert_eq!(FusionMode::for_table_bytes(1, &c), Some(FusionMode::Level0));
+    }
+}

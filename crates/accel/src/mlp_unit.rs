@@ -1,0 +1,178 @@
+//! MLP compute units: a systolic array for wide layers and a
+//! multiplier-adder tree for narrow-output layers (§4.3).
+//!
+//! The paper adopts two unit types because "the multiplier-adder-tree can
+//! achieve a higher hardware utilization than the systolic array under the
+//! cases with relatively small output channels (e.g., ≤ 3)" — which is
+//! exactly the RGB output layer.
+
+/// Output-channel threshold below which the tree unit is preferred.
+pub const TREE_THRESHOLD: usize = 3;
+
+/// Cycle model of a weight-stationary systolic array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SystolicArray {
+    /// PE rows (output-channel dimension).
+    pub rows: usize,
+    /// PE columns (input-channel dimension).
+    pub cols: usize,
+}
+
+impl SystolicArray {
+    /// Cycles for a `batch × in_dim → out_dim` dense layer: the weight
+    /// matrix is tiled `⌈out/rows⌉ × ⌈in/cols⌉`; each tile streams the
+    /// batch plus a pipeline fill of `rows + cols`.
+    pub fn cycles(&self, batch: usize, in_dim: usize, out_dim: usize) -> u64 {
+        if batch == 0 || in_dim == 0 || out_dim == 0 {
+            return 0;
+        }
+        let tiles_r = out_dim.div_ceil(self.rows) as u64;
+        let tiles_c = in_dim.div_ceil(self.cols) as u64;
+        tiles_r * tiles_c * (batch as u64 + (self.rows + self.cols) as u64)
+    }
+
+    /// Peak MACs per cycle.
+    pub fn macs_per_cycle(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Achieved utilisation for a layer shape (MACs / (cycles × peak)).
+    pub fn utilization(&self, batch: usize, in_dim: usize, out_dim: usize) -> f64 {
+        let cycles = self.cycles(batch, in_dim, out_dim);
+        if cycles == 0 {
+            return 0.0;
+        }
+        let macs = (batch * in_dim * out_dim) as f64;
+        macs / (cycles as f64 * self.macs_per_cycle() as f64)
+    }
+}
+
+/// Cycle model of a multiplier-adder tree: `width` multipliers feeding a
+/// reduction tree, producing one output-channel partial per
+/// `⌈in/width⌉` cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MulAddTree {
+    /// Parallel multipliers.
+    pub width: usize,
+}
+
+impl MulAddTree {
+    /// Cycles for a dense layer.
+    pub fn cycles(&self, batch: usize, in_dim: usize, out_dim: usize) -> u64 {
+        if batch == 0 || in_dim == 0 || out_dim == 0 {
+            return 0;
+        }
+        (batch as u64) * (out_dim as u64) * in_dim.div_ceil(self.width) as u64
+    }
+
+    /// Peak MACs per cycle.
+    pub fn macs_per_cycle(&self) -> usize {
+        self.width
+    }
+
+    /// Achieved utilisation for a layer shape.
+    pub fn utilization(&self, batch: usize, in_dim: usize, out_dim: usize) -> f64 {
+        let cycles = self.cycles(batch, in_dim, out_dim);
+        if cycles == 0 {
+            return 0.0;
+        }
+        (batch * in_dim * out_dim) as f64 / (cycles as f64 * self.width as f64)
+    }
+}
+
+/// A dense-layer shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayerShape {
+    /// Input channels.
+    pub in_dim: usize,
+    /// Output channels.
+    pub out_dim: usize,
+}
+
+/// Dispatches each layer to the better unit (tree for `out_dim ≤ 3`,
+/// systolic otherwise) and sums cycles for one batch, forward direction.
+pub fn mlp_cycles(
+    layers: &[LayerShape],
+    batch: usize,
+    systolic: SystolicArray,
+    tree: MulAddTree,
+) -> u64 {
+    layers
+        .iter()
+        .map(|l| {
+            if l.out_dim <= TREE_THRESHOLD {
+                tree.cycles(batch, l.in_dim, l.out_dim)
+            } else {
+                systolic.cycles(batch, l.in_dim, l.out_dim)
+            }
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SA: SystolicArray = SystolicArray { rows: 16, cols: 16 };
+    const TREE: MulAddTree = MulAddTree { width: 32 };
+
+    #[test]
+    fn systolic_cycles_scale_with_tiles() {
+        // 16×16 array, 32×32 layer → 2×2 tiles.
+        let one_tile = SA.cycles(100, 16, 16);
+        let four_tiles = SA.cycles(100, 32, 32);
+        assert_eq!(four_tiles, 4 * one_tile);
+    }
+
+    #[test]
+    fn systolic_utilization_improves_with_batch() {
+        let small = SA.utilization(8, 64, 64);
+        let large = SA.utilization(4096, 64, 64);
+        assert!(large > small);
+        assert!(large > 0.9, "large-batch utilization {large}");
+    }
+
+    #[test]
+    fn tree_beats_systolic_on_rgb_output_layer() {
+        // The paper's observation: out_dim = 3 wastes a 16-row array.
+        let batch = 1024;
+        let (in_dim, out_dim) = (64, 3);
+        let tree_util = TREE.utilization(batch, in_dim, out_dim);
+        let sys_util = SA.utilization(batch, in_dim, out_dim);
+        assert!(
+            tree_util > sys_util,
+            "tree {tree_util} should beat systolic {sys_util} for 3 outputs"
+        );
+    }
+
+    #[test]
+    fn systolic_beats_tree_on_wide_layers() {
+        let batch = 1024;
+        let (in_dim, out_dim) = (64, 64);
+        assert!(SA.cycles(batch, in_dim, out_dim) < TREE.cycles(batch, in_dim, out_dim));
+    }
+
+    #[test]
+    fn dispatch_picks_the_right_unit() {
+        let layers = [
+            LayerShape { in_dim: 32, out_dim: 64 }, // systolic
+            LayerShape { in_dim: 64, out_dim: 3 },  // tree
+        ];
+        let total = mlp_cycles(&layers, 256, SA, TREE);
+        let expect = SA.cycles(256, 32, 64) + TREE.cycles(256, 64, 3);
+        assert_eq!(total, expect);
+    }
+
+    #[test]
+    fn zero_work_is_free() {
+        assert_eq!(SA.cycles(0, 64, 64), 0);
+        assert_eq!(TREE.cycles(10, 0, 3), 0);
+        assert_eq!(mlp_cycles(&[], 100, SA, TREE), 0);
+    }
+
+    #[test]
+    fn peak_rates() {
+        assert_eq!(SA.macs_per_cycle(), 256);
+        assert_eq!(TREE.macs_per_cycle(), 32);
+    }
+}

@@ -1,0 +1,174 @@
+//! Multi-bank SRAM with bank-conflict semantics.
+//!
+//! The hash table is interleaved across banks by `addr % n_banks`; each
+//! bank services one access per cycle. A group of simultaneous requests
+//! therefore takes as many cycles as the most-loaded bank.
+
+/// A banked SRAM array with access accounting.
+#[derive(Debug, Clone)]
+pub struct BankedSram {
+    n_banks: u32,
+    reads: u64,
+    writes: u64,
+    cycles: u64,
+    conflict_cycles: u64,
+    bank_scratch: Vec<u32>,
+}
+
+impl BankedSram {
+    /// Creates an array of `n_banks` single-ported banks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_banks` is zero.
+    pub fn new(n_banks: u32) -> Self {
+        assert!(n_banks > 0, "need at least one bank");
+        BankedSram {
+            n_banks,
+            reads: 0,
+            writes: 0,
+            cycles: 0,
+            conflict_cycles: 0,
+            bank_scratch: vec![0; n_banks as usize],
+        }
+    }
+
+    /// Number of banks.
+    pub fn n_banks(&self) -> u32 {
+        self.n_banks
+    }
+
+    /// The bank an address maps to.
+    #[inline]
+    pub fn bank_of(&self, addr: u32) -> u32 {
+        addr % self.n_banks
+    }
+
+    /// Issues a group of simultaneous reads; returns the cycles consumed
+    /// (the max per-bank load; minimum 1 for a non-empty group).
+    pub fn issue_reads(&mut self, addrs: &[u32]) -> u64 {
+        let c = self.issue(addrs);
+        self.reads += addrs.len() as u64;
+        c
+    }
+
+    /// Issues a group of simultaneous writes; returns cycles consumed.
+    pub fn issue_writes(&mut self, addrs: &[u32]) -> u64 {
+        let c = self.issue(addrs);
+        self.writes += addrs.len() as u64;
+        c
+    }
+
+    fn issue(&mut self, addrs: &[u32]) -> u64 {
+        if addrs.is_empty() {
+            return 0;
+        }
+        self.bank_scratch.fill(0);
+        for &a in addrs {
+            self.bank_scratch[(a % self.n_banks) as usize] += 1;
+        }
+        let max = *self.bank_scratch.iter().max().unwrap() as u64;
+        self.cycles += max;
+        self.conflict_cycles += max - 1;
+        max
+    }
+
+    /// Total accesses serviced.
+    pub fn accesses(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Reads serviced.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Writes serviced.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Cycles consumed by all issued groups.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Extra cycles lost to bank conflicts (cycles beyond 1 per group).
+    pub fn conflict_cycles(&self) -> u64 {
+        self.conflict_cycles
+    }
+
+    /// Achieved bandwidth utilisation: accesses / (cycles × banks).
+    pub fn utilization(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.accesses() as f64 / (self.cycles as f64 * self.n_banks as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conflict_free_group_takes_one_cycle() {
+        let mut s = BankedSram::new(8);
+        let c = s.issue_reads(&[0, 1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(c, 1);
+        assert_eq!(s.reads(), 8);
+        assert_eq!(s.conflict_cycles(), 0);
+        assert_eq!(s.utilization(), 1.0);
+    }
+
+    #[test]
+    fn full_conflict_serialises() {
+        let mut s = BankedSram::new(8);
+        // All map to bank 0.
+        let c = s.issue_reads(&[0, 8, 16, 24]);
+        assert_eq!(c, 4);
+        assert_eq!(s.conflict_cycles(), 3);
+        assert!(s.utilization() < 0.2);
+    }
+
+    #[test]
+    fn mixed_group_takes_max_bank_load() {
+        let mut s = BankedSram::new(4);
+        // bank0: {0,4}, bank1: {1}, bank2: {2} → max load 2.
+        let c = s.issue_reads(&[0, 4, 1, 2]);
+        assert_eq!(c, 2);
+    }
+
+    #[test]
+    fn empty_group_is_free() {
+        let mut s = BankedSram::new(8);
+        assert_eq!(s.issue_reads(&[]), 0);
+        assert_eq!(s.cycles(), 0);
+        assert_eq!(s.utilization(), 0.0);
+    }
+
+    #[test]
+    fn write_accounting_is_separate() {
+        let mut s = BankedSram::new(8);
+        s.issue_reads(&[0, 1]);
+        s.issue_writes(&[2, 3, 4]);
+        assert_eq!(s.reads(), 2);
+        assert_eq!(s.writes(), 3);
+        assert_eq!(s.accesses(), 5);
+        assert_eq!(s.cycles(), 2);
+    }
+
+    #[test]
+    fn bank_of_is_modular() {
+        let s = BankedSram::new(8);
+        assert_eq!(s.bank_of(0), 0);
+        assert_eq!(s.bank_of(9), 1);
+        assert_eq!(s.bank_of(31), 7);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_banks_panics() {
+        let _ = BankedSram::new(0);
+    }
+}

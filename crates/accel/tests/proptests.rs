@@ -1,0 +1,108 @@
+//! Property-based tests of the accelerator simulator's invariants.
+
+use instant3d_accel::{
+    simulate_baseline_reads, simulate_bum, simulate_frm, BumConfig,
+};
+use instant3d_accel::sram::BankedSram;
+use proptest::prelude::*;
+
+fn addr_stream() -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::vec(0u32..(1 << 16), 0..600)
+}
+
+fn update_stream() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..512, 0..800)
+}
+
+proptest! {
+    // ---------- FRM ----------
+
+    #[test]
+    fn frm_services_every_request(addrs in addr_stream()) {
+        let r = simulate_frm(&addrs, 8, 16);
+        prop_assert_eq!(r.reads, addrs.len() as u64);
+    }
+
+    #[test]
+    fn frm_cycles_bounded(addrs in addr_stream()) {
+        let n = addrs.len() as u64;
+        let r = simulate_frm(&addrs, 8, 16);
+        // Lower bound: bandwidth limit. Upper bound: one per cycle.
+        prop_assert!(r.cycles >= n.div_ceil(8));
+        prop_assert!(r.cycles <= n.max(1) || n == 0);
+        prop_assert!(r.utilization <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn frm_never_loses_to_baseline(addrs in addr_stream()) {
+        let frm = simulate_frm(&addrs, 8, 16);
+        let base = simulate_baseline_reads(&addrs, 8, 8);
+        prop_assert!(frm.cycles <= base.cycles,
+            "FRM {} cycles vs baseline {}", frm.cycles, base.cycles);
+    }
+
+    #[test]
+    fn frm_window_one_equals_in_order_issue(addrs in addr_stream()) {
+        // A 1-deep window degenerates to strict in-order single issue.
+        let r = simulate_frm(&addrs, 8, 1);
+        prop_assert_eq!(r.cycles, addrs.len() as u64);
+    }
+
+    // ---------- BUM ----------
+
+    #[test]
+    fn bum_conservation(updates in update_stream()) {
+        let r = simulate_bum(&updates, BumConfig::default());
+        // Every update either merges or becomes exactly one write.
+        prop_assert_eq!(r.merged + r.sram_writes, r.updates);
+        prop_assert!(r.sram_writes <= r.updates);
+    }
+
+    #[test]
+    fn bum_writes_at_least_distinct_count(updates in update_stream()) {
+        let distinct = updates.iter().collect::<std::collections::HashSet<_>>().len() as u64;
+        let r = simulate_bum(&updates, BumConfig { entries: 16, timeout: 1 << 30 });
+        prop_assert!(r.sram_writes >= distinct,
+            "writes {} < distinct {}", r.sram_writes, distinct);
+    }
+
+    #[test]
+    fn bum_bigger_buffer_never_hurts(updates in update_stream()) {
+        let small = simulate_bum(&updates, BumConfig { entries: 4, timeout: 1 << 30 });
+        let large = simulate_bum(&updates, BumConfig { entries: 64, timeout: 1 << 30 });
+        prop_assert!(large.sram_writes <= small.sram_writes);
+    }
+
+    #[test]
+    fn bum_longer_timeout_never_hurts(updates in update_stream()) {
+        let short = simulate_bum(&updates, BumConfig { entries: 16, timeout: 4 });
+        let long = simulate_bum(&updates, BumConfig { entries: 16, timeout: 1 << 30 });
+        prop_assert!(long.sram_writes <= short.sram_writes);
+    }
+
+    // ---------- banked SRAM ----------
+
+    #[test]
+    fn sram_group_cycles_equal_max_bank_load(addrs in prop::collection::vec(0u32..64, 1..40)) {
+        let mut s = BankedSram::new(8);
+        let cycles = s.issue_reads(&addrs);
+        let mut loads = [0u64; 8];
+        for &a in &addrs {
+            loads[(a % 8) as usize] += 1;
+        }
+        prop_assert_eq!(cycles, *loads.iter().max().unwrap());
+    }
+
+    #[test]
+    fn sram_utilization_bounded(groups in prop::collection::vec(
+        prop::collection::vec(0u32..256, 1..16), 1..20))
+    {
+        let mut s = BankedSram::new(8);
+        for g in &groups {
+            s.issue_reads(g);
+        }
+        prop_assert!(s.utilization() > 0.0 && s.utilization() <= 1.0);
+        let total: usize = groups.iter().map(Vec::len).sum();
+        prop_assert_eq!(s.accesses(), total as u64);
+    }
+}

@@ -1,0 +1,44 @@
+//! Microbenchmarks of the accelerator's trace-driven units: the FRM
+//! reorder window and the BUM merge buffer.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use instant3d_accel::{simulate_baseline_reads, simulate_bum, simulate_frm, BumConfig};
+use instant3d_nerf::hash::{spatial_hash, CORNER_OFFSETS};
+
+/// A realistic corner-burst read stream (the §4.2 access pattern).
+fn corner_stream(points: usize) -> Vec<u32> {
+    let t = 1 << 16;
+    let mut out = Vec::with_capacity(points * 8);
+    for p in 0..points as u32 {
+        let (x, y, z) = (p % 97, (p * 7) % 89, (p * 13) % 83);
+        for &(dx, dy, dz) in &CORNER_OFFSETS {
+            out.push(spatial_hash(x + dx, y + dy, z + dz, t));
+        }
+    }
+    out
+}
+
+/// A BP update stream with the paper's ~5× address reuse.
+fn update_stream(n: usize) -> Vec<u64> {
+    (0..n).map(|i| ((i / 5) % 4096) as u64).collect()
+}
+
+fn bench_frm(c: &mut Criterion) {
+    let stream = corner_stream(2_000);
+    c.bench_function("frm/map_16k_reads_b8_w16", |b| {
+        b.iter(|| black_box(simulate_frm(&stream, 8, 16)))
+    });
+    c.bench_function("frm/baseline_16k_reads_b8", |b| {
+        b.iter(|| black_box(simulate_baseline_reads(&stream, 8, 8)))
+    });
+}
+
+fn bench_bum(c: &mut Criterion) {
+    let stream = update_stream(16_000);
+    c.bench_function("bum/merge_16k_updates", |b| {
+        b.iter(|| black_box(simulate_bum(&stream, BumConfig::default())))
+    });
+}
+
+criterion_group!(benches, bench_frm, bench_bum);
+criterion_main!(benches);

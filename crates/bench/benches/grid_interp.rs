@@ -1,0 +1,58 @@
+//! Microbenchmarks of the Step ③-① kernels: hash-grid encoding (trilinear
+//! interpolation over the multi-level table) and its gradient scatter —
+//! the operations the paper identifies as 80 % of NeRF training.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use instant3d_nerf::grid::{HashGrid, HashGridConfig, NullObserver};
+use instant3d_nerf::hash::spatial_hash;
+use instant3d_nerf::math::Vec3;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_spatial_hash(c: &mut Criterion) {
+    c.bench_function("hash/eq3_spatial_hash", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(spatial_hash(i, i.wrapping_mul(3), i.wrapping_mul(7), 1 << 19))
+        })
+    });
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let grid = HashGrid::new_random(HashGridConfig::default(), &mut rng);
+    let points: Vec<Vec3> = (0..1024)
+        .map(|_| Vec3::new(rng.gen(), rng.gen(), rng.gen()))
+        .collect();
+    let mut out = vec![0.0f32; grid.output_dim()];
+    let mut k = 0usize;
+    c.bench_function("grid/encode_point_8level", |b| {
+        b.iter(|| {
+            k = (k + 1) % points.len();
+            grid.encode_into(black_box(points[k]), &mut out, &mut NullObserver);
+            black_box(out[0])
+        })
+    });
+}
+
+fn bench_backward(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let grid = HashGrid::new_random(HashGridConfig::default(), &mut rng);
+    let points: Vec<Vec3> = (0..1024)
+        .map(|_| Vec3::new(rng.gen(), rng.gen(), rng.gen()))
+        .collect();
+    let d_out = vec![0.5f32; grid.output_dim()];
+    let mut grads = grid.zero_grads();
+    let mut k = 0usize;
+    c.bench_function("grid/backward_scatter_8level", |b| {
+        b.iter(|| {
+            k = (k + 1) % points.len();
+            grid.backward_into(black_box(points[k]), &d_out, &mut grads, &mut NullObserver);
+            black_box(grads.count)
+        })
+    });
+}
+
+criterion_group!(benches, bench_spatial_hash, bench_encode, bench_backward);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Microbenchmarks of the volume-rendering compositor (Step ④/⑥) and the
+//! small MLP heads (Step ③-②).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use instant3d_nerf::activation::Activation;
+use instant3d_nerf::math::Vec3;
+use instant3d_nerf::mlp::{Mlp, MlpConfig};
+use instant3d_nerf::render::{composite, composite_backward, RaySample, RenderCache};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn samples(n: usize) -> Vec<RaySample> {
+    let dt = 1.0 / n as f32;
+    (0..n)
+        .map(|i| RaySample {
+            t: (i as f32 + 0.5) * dt,
+            dt,
+            sigma: 0.5 + (i % 7) as f32,
+            rgb: Vec3::new(0.3, 0.5, 0.7),
+        })
+        .collect()
+}
+
+fn bench_composite(c: &mut Criterion) {
+    let s = samples(64);
+    c.bench_function("render/composite_64_samples", |b| {
+        b.iter(|| black_box(composite(&s, Vec3::ONE, None)))
+    });
+    let mut cache = RenderCache::default();
+    let out = composite(&s, Vec3::ONE, Some(&mut cache));
+    c.bench_function("render/backward_64_samples", |b| {
+        b.iter(|| black_box(composite_backward(&s, Vec3::ONE, &cache, &out, Vec3::ONE)))
+    });
+}
+
+fn bench_mlp(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(9);
+    // The paper's color head: 32 inputs -> 64 hidden -> 3 RGB.
+    let mlp = Mlp::new(
+        MlpConfig::new(32, &[64], 3, Activation::Relu, Activation::Sigmoid),
+        &mut rng,
+    );
+    let x: Vec<f32> = (0..32).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let mut ws = mlp.workspace();
+    c.bench_function("mlp/color_head_forward", |b| {
+        b.iter(|| black_box(mlp.forward(&x, &mut ws)[0]))
+    });
+    let mut grads = mlp.zero_grads();
+    let mut d_in = vec![0.0f32; 32];
+    c.bench_function("mlp/color_head_backward", |b| {
+        b.iter(|| {
+            mlp.forward(&x, &mut ws);
+            mlp.backward(&[1.0, -0.5, 0.25], &mut ws, &mut grads, &mut d_in);
+            black_box(d_in[0])
+        })
+    });
+}
+
+criterion_group!(benches, bench_composite, bench_mlp);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! End-to-end training-iteration benchmark: one full six-step pipeline
+//! iteration (sample → rays → grid+MLP → render → loss → backward) for the
+//! coupled (Instant-NGP) and decoupled (Instant-3D) topologies.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use instant3d_core::{TrainConfig, Trainer};
+use instant3d_scenes::SceneLibrary;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_step(c: &mut Criterion, name: &str, cfg: TrainConfig) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let ds = SceneLibrary::synthetic_scene(0, 24, 6, &mut rng);
+    let mut trainer = Trainer::new(cfg, &ds, &mut rng);
+    let mut step_rng = StdRng::seed_from_u64(7);
+    c.bench_function(name, |b| {
+        b.iter(|| black_box(trainer.step(&mut step_rng)))
+    });
+}
+
+fn bench_train_iters(c: &mut Criterion) {
+    let mut small = TrainConfig::fast_preview();
+    small.rays_per_batch = 64;
+    bench_step(c, "train/step_instant3d_preview", small.clone());
+    let mut ngp = small;
+    ngp.topology = instant3d_core::GridTopology::Coupled;
+    bench_step(c, "train/step_instant_ngp_preview", ngp);
+}
+
+criterion_group!(benches, bench_train_iters);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Regenerates the §5.1 FRM/BUM depth ablation. Pass `--quick` for a smoke run.
+fn main() {
+    instant3d_bench::experiments::ablation_depth::run(instant3d_bench::quick_requested());
+}

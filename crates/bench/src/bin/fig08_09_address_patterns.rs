@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig. 08_09fig08_09 experiment. Pass `--quick` for a smoke run.
+fn main() {
+    instant3d_bench::experiments::fig08_09::run(instant3d_bench::quick_requested());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig. 10fig10 experiment. Pass `--quick` for a smoke run.
+fn main() {
+    instant3d_bench::experiments::fig10::run(instant3d_bench::quick_requested());
+}

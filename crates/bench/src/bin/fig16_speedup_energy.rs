@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig. 16fig16 experiment. Pass `--quick` for a smoke run.
+fn main() {
+    instant3d_bench::experiments::fig16::run(instant3d_bench::quick_requested());
+}

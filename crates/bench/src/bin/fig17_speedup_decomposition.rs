@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig. 17fig17 experiment. Pass `--quick` for a smoke run.
+fn main() {
+    instant3d_bench::experiments::fig17::run(instant3d_bench::quick_requested());
+}

@@ -1,0 +1,30 @@
+//! Runs every table/figure experiment in paper order.
+//! Pass `--quick` (or set `INSTANT3D_QUICK=1`) for reduced budgets.
+use instant3d_bench::experiments as ex;
+
+fn main() {
+    let quick = instant3d_bench::quick_requested();
+    println!(
+        "Instant-3D reproduction — full experiment suite ({} mode)",
+        if quick { "quick" } else { "full" }
+    );
+    ex::fig04::run(quick);
+    ex::fig05::run(quick);
+    ex::tab01::run(quick);
+    ex::tab02::run(quick);
+    ex::fig07::run(quick);
+    ex::fig08_09::run(quick);
+    ex::fig10::run(quick);
+    ex::tab03::run(quick);
+    ex::fig15::run(quick);
+    ex::fig16::run(quick);
+    ex::fig17::run(quick);
+    ex::fig18::run(quick);
+    ex::ablation_depth::run(quick);
+    ex::sec21_vanilla::run(quick);
+    ex::sec51_grid_search::run(quick);
+    ex::sec6_related::run(quick);
+    ex::tab04::run(quick);
+    ex::tab05::run(quick);
+    println!("\nAll experiments complete. See EXPERIMENTS.md for paper-vs-measured notes.");
+}

@@ -1,0 +1,4 @@
+//! Regenerates the §2.1 vanilla-NeRF cost analysis. Pass `--quick` for a smoke run.
+fn main() {
+    instant3d_bench::experiments::sec21_vanilla::run(instant3d_bench::quick_requested());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the §5.1 operating-point grid search. Pass `--quick` for a smoke run.
+fn main() {
+    instant3d_bench::experiments::sec51_grid_search::run(instant3d_bench::quick_requested());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the §6 related-work comparison.
+fn main() {
+    instant3d_bench::experiments::sec6_related::run(instant3d_bench::quick_requested());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's tab04Tab. 04 experiment. Pass `--quick` for a smoke run.
+fn main() {
+    instant3d_bench::experiments::tab04::run(instant3d_bench::quick_requested());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's tab05Tab. 05 experiment. Pass `--quick` for a smoke run.
+fn main() {
+    instant3d_bench::experiments::tab05::run(instant3d_bench::quick_requested());
+}

@@ -1,0 +1,84 @@
+//! Fig. 5 — color and density evolve at different paces during training.
+//!
+//! The paper renders RGB and depth images along the training trajectory
+//! and shows color PSNR leading density (depth) PSNR. We reproduce the
+//! trajectory on the synthetic scenes and report both absolute PSNRs and
+//! each signal's *convergence fraction* (PSNR as a fraction of its final
+//! value), which isolates the pace difference from the two metrics'
+//! different scales.
+
+use super::common::{run_on_dataset, synthetic_dataset};
+use crate::table::Table;
+use instant3d_core::TrainConfig;
+
+/// Trains on the synthetic scenes and prints the RGB/depth PSNR
+/// trajectories averaged across scenes.
+pub fn run(quick: bool) {
+    crate::banner(
+        "Fig. 5",
+        "Color (RGB PSNR) vs density (depth PSNR) learning pace during training",
+    );
+    let cfg = crate::workloads::bench_config(TrainConfig::instant_ngp(), quick);
+    let iters = crate::workloads::train_iters(quick);
+    let eval_every = if quick { 15 } else { 25 };
+    let scenes = crate::workloads::scene_indices(quick);
+
+    let runs: Vec<_> = scenes
+        .iter()
+        .map(|&i| {
+            let ds = synthetic_dataset(i, quick, 100 + i as u64);
+            run_on_dataset(&cfg, &ds, iters, eval_every, 200 + i as u64)
+        })
+        .collect();
+
+    // Average trajectories across scenes (they share the eval cadence).
+    let n_points = runs.iter().map(|r| r.history.len()).min().unwrap_or(0);
+    let mut t = Table::new(&[
+        "iteration",
+        "avg RGB PSNR (dB)",
+        "avg depth PSNR (dB)",
+        "RGB conv. frac",
+        "depth conv. frac",
+    ]);
+    let final_rgb: Vec<f32> = runs.iter().map(|r| r.history.last().map(|h| h.1).unwrap_or(1.0)).collect();
+    let final_depth: Vec<f32> = runs.iter().map(|r| r.history.last().map(|h| h.2).unwrap_or(1.0)).collect();
+    let mut rgb_lead_count = 0usize;
+    for k in 0..n_points {
+        let iter = runs[0].history[k].0;
+        let rgb: f32 = runs.iter().map(|r| r.history[k].1).sum::<f32>() / runs.len() as f32;
+        let depth: f32 = runs.iter().map(|r| r.history[k].2).sum::<f32>() / runs.len() as f32;
+        let rgb_frac: f32 = runs
+            .iter()
+            .zip(&final_rgb)
+            .map(|(r, f)| r.history[k].1 / f.max(1e-3))
+            .sum::<f32>()
+            / runs.len() as f32;
+        let depth_frac: f32 = runs
+            .iter()
+            .zip(&final_depth)
+            .map(|(r, f)| r.history[k].2 / f.max(1e-3))
+            .sum::<f32>()
+            / runs.len() as f32;
+        if rgb_frac >= depth_frac {
+            rgb_lead_count += 1;
+        }
+        t.row_owned(vec![
+            iter.to_string(),
+            format!("{rgb:.2}"),
+            format!("{depth:.2}"),
+            format!("{rgb_frac:.3}"),
+            format!("{depth_frac:.3}"),
+        ]);
+    }
+    t.print();
+
+    println!(
+        "\nColor led density in {rgb_lead_count}/{n_points} evaluation points \
+         (convergence-fraction comparison)."
+    );
+    println!(
+        "Paper: color reaches a given quality in fewer iterations than density\n\
+         (e.g. 160 vs 200 iterations to 24 dB on NeRF-Synthetic) because the\n\
+         loss (Eq. 2) supervises color directly."
+    );
+}

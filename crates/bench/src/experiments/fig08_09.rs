@@ -1,0 +1,81 @@
+//! Figs. 8 & 9 — the memory-access patterns behind the FRM unit.
+//!
+//! Fig. 8: the 8 corner addresses of each interpolation cube cluster into
+//! 4 groups; inter-group distances are huge. Fig. 9: > 90 % of intra-group
+//! distances fall within [-5, 5], stably across training iterations.
+
+use super::common::{capture_traces_per_iter, synthetic_dataset};
+use crate::table::Table;
+use instant3d_core::TrainConfig;
+use instant3d_nerf::grid::{AccessPhase, GridBranch};
+use instant3d_nerf::hash::AddressMode;
+use instant3d_trace::cluster::{all_intra_distances, bursts, summarize};
+use instant3d_trace::stats::Histogram;
+
+/// Captures real training traces at several iterations and prints the
+/// clustering statistics and the Fig. 9 histogram.
+pub fn run(quick: bool) {
+    crate::banner(
+        "Figs. 8 & 9",
+        "Corner-group clustering: intra-group locality vs inter-group remoteness",
+    );
+    let cfg = crate::workloads::bench_config(TrainConfig::instant3d(), quick);
+    let (capture_iters, budget): (Vec<u64>, u64) = if quick {
+        (vec![0, 30], 31)
+    } else {
+        // The paper's Fig. 9 legend: iterations 1, 62, 125, 187, 250.
+        (vec![0, 61, 124, 186, 249], 250)
+    };
+    let ds = synthetic_dataset(4, quick, 1100);
+    let (traces, trainer) =
+        capture_traces_per_iter(&cfg, &ds, &capture_iters, budget, 3_000_000, 1200);
+
+    // Only hashed levels exhibit the Eq.-3 locality/remoteness pattern.
+    let min_hashed_level = trainer
+        .model()
+        .density_grid()
+        .levels()
+        .iter()
+        .position(|l| l.mode == AddressMode::Hashed)
+        .unwrap_or(0) as u32;
+
+    let mut t = Table::new(&[
+        "iteration",
+        "bursts",
+        "mean |intra| dist",
+        "% intra within [-5,5]",
+        "mean inter dist",
+    ]);
+    let mut all_dists: Vec<i64> = Vec::new();
+    for (it, trace) in &traces {
+        let bs = bursts(trace, AccessPhase::FeedForward, GridBranch::Density, min_hashed_level);
+        let s = summarize(&bs);
+        all_dists.extend(all_intra_distances(&bs));
+        t.row_owned(vec![
+            format!("{}", it + 1),
+            s.bursts.to_string(),
+            format!("{:.2}", s.mean_intra_abs),
+            format!("{:.1}%", s.frac_intra_within_5 * 100.0),
+            format!("{:.0}", s.mean_inter),
+        ]);
+    }
+    t.print();
+
+    println!("\nFig. 9 histogram of intra-group (x-adjacent) address distances:");
+    let mut h = Histogram::new(-8, 8, 17);
+    h.extend(&all_dists);
+    print!("{}", h.to_ascii(46));
+    println!(
+        "out of range: {} below, {} above ({:.1}% of all distances within the plot)",
+        h.underflow(),
+        h.overflow(),
+        h.in_range_fraction() * 100.0
+    );
+    println!(
+        "\nPaper: >90% of intra-group distances lie in [-5,5] (x is multiplied by\n\
+         pi_1 = 1 in Eq. 3) while inter-group distances average ~60,000 at\n\
+         paper-scale tables (y/z amplified by pi_2/pi_3); both stable over training.\n\
+         Our laptop-scale tables (2^14 entries/level) put the mean inter-group\n\
+         distance near T/3 ≈ 5,500 — the same uniform-remoteness shape."
+    );
+}

@@ -1,0 +1,97 @@
+//! Fig. 10 — unique addresses per 1000-access sliding window: the
+//! feed-forward stream is (nearly) all unique, the back-propagation
+//! update stream revisits shared embeddings — the BUM unit's opportunity.
+//!
+//! Ordering matters: our trainer walks rays sequentially, but a GPU (and
+//! the accelerator's point streams) interleave points from many rays, so
+//! consecutive FF accesses come from *different* rays' points. We report
+//! both the raw ray-sequential capture and the batch-interleaved view
+//! (a deterministic stride permutation standing in for warp interleaving).
+
+use super::common::{capture_trace, synthetic_dataset};
+use crate::table::Table;
+use instant3d_core::TrainConfig;
+use instant3d_trace::window::{summarize, unique_per_window, PAPER_WINDOW};
+
+/// Reorders a stream with a prime-stride permutation, emulating the
+/// batch-parallel interleaving a GPU's warps impose on per-point work.
+fn batch_interleave(stream: &[u64]) -> Vec<u64> {
+    let n = stream.len();
+    if n < 2 {
+        return stream.to_vec();
+    }
+    // A fixed prime stride co-prime with most lengths; fall back to +1.
+    let mut stride = 977usize;
+    while n % stride == 0 || gcd(n, stride) != 1 {
+        stride += 1;
+    }
+    (0..n).map(|i| stream[(i * stride) % n]).collect()
+}
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// Captures a training trace and prints the windowed-uniqueness series for
+/// the FF and BP streams.
+pub fn run(quick: bool) {
+    crate::banner(
+        "Fig. 10",
+        "Unique accessed addresses within a 1000-access sliding window (FF vs BP)",
+    );
+    let cfg = crate::workloads::bench_config(TrainConfig::instant3d(), quick);
+    let budget = if quick { 12 } else { 40 };
+    let capture: Vec<u64> = vec![budget - 2, budget - 1];
+    let ds = synthetic_dataset(2, quick, 1300);
+    let (trace, _trainer) = capture_trace(&cfg, &ds, &capture, budget, 3_000_000, 1400);
+
+    let ff_raw = trace.ff_stream();
+    let ff_gpu = batch_interleave(&ff_raw);
+    let bp = trace.bp_stream_level_major();
+    let w = PAPER_WINDOW.min(ff_raw.len().max(1));
+
+    let mut t = Table::new(&[
+        "stream",
+        "accesses",
+        "windows",
+        "mean unique / window",
+        "min",
+        "max",
+        "unique fraction",
+    ]);
+    for (name, stream) in [
+        ("FF (ray-sequential capture)", &ff_raw),
+        ("FF (batch-interleaved, GPU view)", &ff_gpu),
+        ("BP (level-major scatter)", &bp),
+    ] {
+        let s = summarize(stream, w, w);
+        t.row_owned(vec![
+            name.to_string(),
+            stream.len().to_string(),
+            s.windows.to_string(),
+            format!("{:.0}", s.mean_unique),
+            s.min_unique.to_string(),
+            s.max_unique.to_string(),
+            format!("{:.2}", s.mean_unique_fraction()),
+        ]);
+    }
+    t.print();
+
+    // A short sample of the BP series (the paper plots it over time).
+    let series = unique_per_window(&bp, w, w);
+    let preview: Vec<String> = series.iter().take(12).map(|c| c.to_string()).collect();
+    println!("\nBP unique-counts over successive windows: [{}]", preview.join(", "));
+    let ff_frac = summarize(&ff_gpu, w, w).mean_unique_fraction();
+    let bp_frac = summarize(&bp, w, w).mean_unique_fraction();
+    println!(
+        "\nMeasured contrast: FF (GPU view) {:.0}% unique vs BP {:.0}% unique per\n\
+         window. Paper: FF all-unique vs BP ~20% (~200/1000) — the headroom the\n\
+         BUM converts into merged SRAM writes.",
+        ff_frac * 100.0,
+        bp_frac * 100.0
+    );
+}

@@ -1,0 +1,81 @@
+//! Fig. 15 — accelerator layout/specs and the area & energy breakdowns
+//! (grid cores ≈ 78 % of area and ≈ 81 % of energy).
+
+use crate::table::{pct, Table};
+use instant3d_accel::energy::AreaModel;
+use instant3d_accel::{Accelerator, FeatureSet};
+use instant3d_core::PipelineWorkload;
+use instant3d_devices::perf::ITERS_TO_PSNR25;
+
+/// Prints the accelerator spec block and the area/energy breakdowns.
+pub fn run(_quick: bool) {
+    crate::banner("Fig. 15", "Accelerator specifications, area and energy breakdown");
+    let area = AreaModel::default();
+    let accel = Accelerator::default();
+    let w = PipelineWorkload::paper_scale_instant3d(ITERS_TO_PSNR25);
+    let r = accel.simulate(&w, FeatureSet::full());
+
+    println!("Accelerator specs:");
+    println!("  technology : 28 nm");
+    println!("  area       : {:.1} mm^2 (paper: 6.8 mm^2)", area.total());
+    println!("  voltage    : 1 V");
+    println!("  frequency  : {:.0} MHz", accel.cfg.clock_hz / 1e6);
+    println!(
+        "  SRAM       : 1.5 MB total ({} KB hash-table banks)",
+        accel.cfg.total_hash_sram_bytes() / 1024
+    );
+    println!(
+        "  power      : {:.2} W average (paper: 1.9 W)\n",
+        r.avg_power_w
+    );
+
+    let mut at = Table::new(&["component", "area (mm^2)", "share"]);
+    for (name, mm2) in area.components() {
+        at.row_owned(vec![
+            name.to_string(),
+            format!("{mm2:.2}"),
+            pct(mm2 / area.total()),
+        ]);
+    }
+    at.row_owned(vec![
+        "TOTAL".into(),
+        format!("{:.2}", area.total()),
+        "100.0%".into(),
+    ]);
+    println!("Area breakdown:");
+    at.print();
+    println!(
+        "grid cores (SRAM+FRM+BUM+logic): {} of area (paper: 78%)\n",
+        pct(area.grid_fraction())
+    );
+
+    let e = r.energy_breakdown;
+    let dynamic = e.grid_cores_j + e.mlp_j;
+    let mut et = Table::new(&["component", "energy (mJ)", "share of dynamic"]);
+    et.row_owned(vec![
+        "grid cores".into(),
+        format!("{:.2}", e.grid_cores_j * 1e3),
+        pct(e.grid_cores_j / dynamic),
+    ]);
+    et.row_owned(vec![
+        "MLP units".into(),
+        format!("{:.2}", e.mlp_j * 1e3),
+        pct(e.mlp_j / dynamic),
+    ]);
+    et.row_owned(vec![
+        "DRAM".into(),
+        format!("{:.2}", e.dram_j * 1e3),
+        "-".into(),
+    ]);
+    et.row_owned(vec![
+        "static/leakage".into(),
+        format!("{:.2}", e.static_j * 1e3),
+        "-".into(),
+    ]);
+    println!("Energy breakdown (one PSNR-25 training run):");
+    et.print();
+    println!(
+        "grid-core share of dynamic energy: {} (paper: 81%)",
+        pct(e.grid_fraction_dynamic())
+    );
+}

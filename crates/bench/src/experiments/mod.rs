@@ -1,0 +1,24 @@
+//! One module per paper table/figure. Every module exposes
+//! `run(quick: bool)`, printing the regenerated rows/series.
+
+pub mod common;
+
+pub mod ablation_depth;
+
+pub mod fig04;
+pub mod fig05;
+pub mod fig07;
+pub mod fig08_09;
+pub mod fig10;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+pub mod fig18;
+pub mod sec21_vanilla;
+pub mod sec51_grid_search;
+pub mod sec6_related;
+pub mod tab01;
+pub mod tab02;
+pub mod tab03;
+pub mod tab04;
+pub mod tab05;

@@ -1,0 +1,49 @@
+//! Tab. 3 — device specification summary.
+
+use crate::table::Table;
+use instant3d_accel::AccelConfig;
+use instant3d_devices::spec::all_specs;
+
+/// Prints the Tab. 3 specification table.
+pub fn run(_quick: bool) {
+    crate::banner("Tab. 3", "Summary of the considered devices' specifications");
+    let mut t = Table::new(&[
+        "Device",
+        "Technology",
+        "SRAM",
+        "Area",
+        "Frequency",
+        "DRAM",
+        "Bandwidth",
+        "Typical Power",
+    ]);
+    for s in all_specs() {
+        t.row_owned(vec![
+            s.name.to_string(),
+            format!("{} nm", s.technology_nm),
+            format!("{:.1} MB", s.sram_bytes as f64 / (1024.0 * 1024.0)),
+            s.area_mm2
+                .map(|a| format!("{a:.1} mm^2"))
+                .unwrap_or_else(|| "N/A".to_string()),
+            format!("{:.1} GHz", s.frequency_ghz),
+            s.dram.to_string(),
+            format!("{:.1} GB/s", s.dram_bandwidth / 1e9),
+            format!("{:.1} W", s.typical_power_w),
+        ]);
+    }
+    t.print();
+
+    let c = AccelConfig::default();
+    println!(
+        "\nInstant-3D microarchitecture: {} grid cores x {} banks ({} KB/core), \
+         reorder depth {}, BUM entries {}, {}x{} systolic + {}-wide tree.",
+        c.grid_cores,
+        c.banks_per_core,
+        c.bytes_per_core() / 1024,
+        c.reorder_depth,
+        c.bum_entries,
+        c.systolic_rows,
+        c.systolic_cols,
+        c.tree_width,
+    );
+}

@@ -1,0 +1,133 @@
+//! Plain-text table rendering for experiment output.
+
+/// A simple left-padded text table.
+///
+/// # Example
+///
+/// ```
+/// use instant3d_bench::table::Table;
+/// let mut t = Table::new(&["scene", "psnr"]);
+/// t.row(&["lego", "26.0"]);
+/// let s = t.render();
+/// assert!(s.contains("lego"));
+/// assert!(s.contains("psnr"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; missing cells render empty, extras are dropped.
+    pub fn row(&mut self, cells: &[&str]) -> &mut Self {
+        self.rows
+            .push(cells.iter().map(|s| s.to_string()).collect());
+        self
+    }
+
+    /// Appends a row of owned strings.
+    pub fn row_owned(&mut self, cells: Vec<String>) -> &mut Self {
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with aligned columns and a separator under the header.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for r in &self.rows {
+            for c in 0..cols {
+                let w = r.get(c).map(String::len).unwrap_or(0);
+                widths[c] = widths[c].max(w);
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for c in 0..cols {
+                let cell = cells.get(c).map(String::as_str).unwrap_or("");
+                line.push_str(&format!("{:<width$}  ", cell, width = widths[c]));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * cols;
+        out.push_str(&"-".repeat(total.min(100)));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&fmt_row(r, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the rendered table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats a float with `digits` decimal places.
+pub fn f(v: f64, digits: usize) -> String {
+    format!("{v:.digits$}")
+}
+
+/// Formats a percentage with one decimal.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(&["a", "bbbb"]);
+        t.row(&["xxxxxx", "1"]);
+        t.row(&["y", "22"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // The header row pads "a" to the width of "xxxxxx".
+        assert!(lines[0].starts_with("a       "));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn handles_ragged_rows() {
+        let mut t = Table::new(&["a", "b", "c"]);
+        t.row(&["1"]);
+        t.row(&["1", "2", "3", "4"]);
+        let s = t.render();
+        assert!(s.contains('1'));
+        assert!(!s.contains('4'), "extra cells are dropped");
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f(1.234_5, 2), "1.23");
+        assert_eq!(pct(0.805), "80.5%");
+    }
+}

@@ -1,0 +1,325 @@
+//! Model checkpointing: serialize a trained [`NerfModel`]'s parameters to
+//! a compact binary blob and restore them later.
+//!
+//! The paper's AR/VR story depends on shipping reconstructed scenes as
+//! small models instead of image sets ("a 20 MB reconstructed model may be
+//! used instead of 120 MB jpeg images", §1) — so a real deployment needs
+//! (de)serialization. The format is a minimal versioned container: magic,
+//! version, per-tensor lengths, then raw little-endian `f32`s. Grid
+//! features are stored as fp16 when the grid's config requests it, which
+//! roughly halves checkpoint size.
+
+use crate::model::NerfModel;
+use instant3d_nerf::fp16::F16;
+
+/// Magic bytes identifying an Instant-3D checkpoint.
+pub const MAGIC: &[u8; 4] = b"I3DC";
+/// Current format version.
+pub const VERSION: u16 = 1;
+
+/// Errors from checkpoint encode/decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The blob does not start with [`MAGIC`].
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u16),
+    /// The blob ended before all tensors were read.
+    Truncated,
+    /// A tensor's length does not match the receiving model.
+    ShapeMismatch {
+        /// Which tensor disagreed (in serialization order).
+        tensor: usize,
+        /// Length stored in the blob.
+        stored: usize,
+        /// Length the model expects.
+        expected: usize,
+    },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::BadMagic => write!(f, "not an Instant-3D checkpoint"),
+            CheckpointError::BadVersion(v) => write!(f, "unsupported checkpoint version {v}"),
+            CheckpointError::Truncated => write!(f, "checkpoint data ended unexpectedly"),
+            CheckpointError::ShapeMismatch {
+                tensor,
+                stored,
+                expected,
+            } => write!(
+                f,
+                "tensor {tensor} has {stored} values but the model expects {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f32_slice_fp16(&mut self, values: &[f32]) {
+        self.u32(values.len() as u32);
+        self.buf.push(1); // fp16-coded
+        for &v in values {
+            self.buf.extend_from_slice(&F16::from_f32(v).0.to_le_bytes());
+        }
+    }
+    fn f32_slice(&mut self, values: &[f32]) {
+        self.u32(values.len() as u32);
+        self.buf.push(0); // f32-coded
+        for &v in values {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+}
+
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
+        if self.pos + n > self.data.len() {
+            return Err(CheckpointError::Truncated);
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u16(&mut self) -> Result<u16, CheckpointError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Result<u32, CheckpointError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn f32_slice(&mut self, tensor: usize, out: &mut [f32]) -> Result<(), CheckpointError> {
+        let n = self.u32()? as usize;
+        if n != out.len() {
+            return Err(CheckpointError::ShapeMismatch {
+                tensor,
+                stored: n,
+                expected: out.len(),
+            });
+        }
+        let coded_fp16 = self.take(1)?[0] == 1;
+        if coded_fp16 {
+            let bytes = self.take(n * 2)?;
+            for (i, v) in out.iter_mut().enumerate() {
+                let bits = u16::from_le_bytes([bytes[2 * i], bytes[2 * i + 1]]);
+                *v = F16(bits).to_f32();
+            }
+        } else {
+            let bytes = self.take(n * 4)?;
+            for (i, v) in out.iter_mut().enumerate() {
+                *v = f32::from_le_bytes(bytes[4 * i..4 * i + 4].try_into().unwrap());
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Serializes a model's parameters (grids fp16, MLPs f32).
+pub fn save(model: &NerfModel) -> Vec<u8> {
+    let mut w = Writer { buf: Vec::new() };
+    w.buf.extend_from_slice(MAGIC);
+    w.u16(VERSION);
+    // Tensor 0: density grid. Tensor 1: color grid (possibly empty).
+    w.f32_slice_fp16(model.density_grid().params());
+    match model.color_grid() {
+        Some(g) => w.f32_slice_fp16(g.params()),
+        None => w.f32_slice_fp16(&[]),
+    }
+    // MLP tensors in visitor order, f32.
+    let mut mlp_params: Vec<Vec<f32>> = Vec::new();
+    collect_mlp(model.sigma_mlp(), &mut mlp_params);
+    collect_mlp(model.color_mlp(), &mut mlp_params);
+    w.u32(mlp_params.len() as u32);
+    for t in &mlp_params {
+        w.f32_slice(t);
+    }
+    w.buf
+}
+
+fn collect_mlp(mlp: &instant3d_nerf::mlp::Mlp, out: &mut Vec<Vec<f32>>) {
+    // The visitor needs &mut; clone a scratch copy to read tensors.
+    let mut scratch = mlp.clone();
+    let grads = mlp.zero_grads();
+    scratch.for_each_param_mut(&grads, |params, _| out.push(params.to_vec()));
+}
+
+/// Restores parameters into a shape-compatible model (same config).
+///
+/// # Errors
+///
+/// Returns [`CheckpointError`] when the blob is malformed or its tensor
+/// shapes do not match `model`.
+pub fn load(model: &mut NerfModel, data: &[u8]) -> Result<(), CheckpointError> {
+    let mut r = Reader { data, pos: 0 };
+    if r.take(4)? != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let version = r.u16()?;
+    if version != VERSION {
+        return Err(CheckpointError::BadVersion(version));
+    }
+    r.f32_slice(0, model.density_grid_mut().params_mut())?;
+    {
+        // Color grid: read into the grid or expect an empty tensor.
+        match model.color_grid_mut() {
+            Some(g) => r.f32_slice(1, g.params_mut())?,
+            None => r.f32_slice(1, &mut [])?,
+        }
+    }
+    let n_mlp = r.u32()? as usize;
+    let mut tensors: Vec<Vec<f32>> = Vec::with_capacity(n_mlp);
+    for t in 0..n_mlp {
+        // Read length first by peeking: decode into a temporary of the
+        // stored size, then shape-check against the model below.
+        let len_pos = r.pos;
+        let n = r.u32()? as usize;
+        r.pos = len_pos;
+        let mut buf = vec![0.0f32; n];
+        r.f32_slice(2 + t, &mut buf)?;
+        tensors.push(buf);
+    }
+    // Distribute into the two heads in visitor order.
+    let mut idx = 0usize;
+    let mut apply = |mlp: &mut instant3d_nerf::mlp::Mlp| -> Result<(), CheckpointError> {
+        let grads = mlp.zero_grads();
+        let mut err = None;
+        mlp.for_each_param_mut(&grads, |params, _| {
+            if err.is_some() {
+                return;
+            }
+            match tensors.get(idx) {
+                Some(t) if t.len() == params.len() => params.copy_from_slice(t),
+                Some(t) => {
+                    err = Some(CheckpointError::ShapeMismatch {
+                        tensor: 2 + idx,
+                        stored: t.len(),
+                        expected: params.len(),
+                    })
+                }
+                None => err = Some(CheckpointError::Truncated),
+            }
+            idx += 1;
+        });
+        match err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    };
+    apply(model.sigma_mlp_mut())?;
+    apply(model.color_mlp_mut())?;
+    if idx != tensors.len() {
+        return Err(CheckpointError::ShapeMismatch {
+            tensor: 2 + idx,
+            stored: tensors.len(),
+            expected: idx,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{GridTopology, TrainConfig};
+    use instant3d_nerf::field::RadianceField;
+    use instant3d_nerf::math::{Aabb, Vec3};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model(seed: u64, topo: GridTopology) -> NerfModel {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut cfg = TrainConfig::fast_preview();
+        cfg.topology = topo;
+        NerfModel::new(&cfg, Aabb::UNIT, &mut rng)
+    }
+
+    #[test]
+    fn roundtrip_restores_exact_outputs() {
+        for topo in [GridTopology::Coupled, GridTopology::Decoupled] {
+            let original = model(1, topo);
+            let blob = save(&original);
+            let mut restored = model(2, topo); // different random init
+            let p = Vec3::new(0.3, 0.6, 0.2);
+            let d = Vec3::new(0.6, 0.0, 0.8);
+            assert_ne!(original.query(p, d), restored.query(p, d));
+            load(&mut restored, &blob).expect("load should succeed");
+            // Grid features pass through fp16 (lossless: they were already
+            // fp16-quantized by storage); MLP weights are exact f32.
+            let (s1, c1) = original.query(p, d);
+            let (s2, c2) = restored.query(p, d);
+            assert!((s1 - s2).abs() < 1e-5, "{topo:?} sigma {s1} vs {s2}");
+            assert!((c1 - c2).norm() < 1e-5, "{topo:?} rgb {c1} vs {c2}");
+        }
+    }
+
+    #[test]
+    fn checkpoint_is_compact() {
+        let m = model(3, GridTopology::Decoupled);
+        let blob = save(&m);
+        // Grids dominate and are 2 bytes/param; MLPs 4 bytes/param.
+        let upper = m.num_params() * 4 + 64;
+        assert!(blob.len() < upper, "blob {} vs bound {upper}", blob.len());
+        let grid_params =
+            m.density_grid().num_params() + m.color_grid().map_or(0, |g| g.num_params());
+        assert!(blob.len() >= grid_params * 2, "fp16 floor");
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut m = model(4, GridTopology::Decoupled);
+        assert_eq!(load(&mut m, b"NOPE....."), Err(CheckpointError::BadMagic));
+    }
+
+    #[test]
+    fn bad_version_is_rejected() {
+        let m = model(5, GridTopology::Coupled);
+        let mut blob = save(&m);
+        blob[4] = 99; // corrupt version
+        let mut m2 = model(5, GridTopology::Coupled);
+        assert_eq!(load(&mut m2, &blob), Err(CheckpointError::BadVersion(99)));
+    }
+
+    #[test]
+    fn truncated_blob_is_rejected() {
+        let m = model(6, GridTopology::Decoupled);
+        let blob = save(&m);
+        let mut m2 = model(6, GridTopology::Decoupled);
+        let err = load(&mut m2, &blob[..blob.len() / 2]).unwrap_err();
+        assert!(matches!(err, CheckpointError::Truncated));
+    }
+
+    #[test]
+    fn topology_mismatch_is_rejected() {
+        let coupled = model(7, GridTopology::Coupled);
+        let blob = save(&coupled);
+        let mut decoupled = model(7, GridTopology::Decoupled);
+        assert!(load(&mut decoupled, &blob).is_err());
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = CheckpointError::ShapeMismatch {
+            tensor: 3,
+            stored: 10,
+            expected: 20,
+        };
+        let s = e.to_string();
+        assert!(s.contains('3') && s.contains("10") && s.contains("20"));
+    }
+}

@@ -1,0 +1,45 @@
+//! The Instant-3D algorithm (ISCA 2023, §3) and the Instant-NGP baseline it
+//! accelerates.
+//!
+//! The paper's algorithmic contribution is to *decompose* Instant-NGP's
+//! single multiresolution hash grid into a **density grid** and a **color
+//! grid**, then exploit the empirically different sensitivities of the two
+//! feature families:
+//!
+//! * **Different grid sizes** (§3.2) — the color grid can be 4× smaller
+//!   (`S_D : S_C = 1 : 0.25`) with no PSNR loss.
+//! * **Different update frequencies** (§3.3) — the color grid can be
+//!   updated every other iteration (`F_D : F_C = 1 : 0.5`).
+//!
+//! Both knobs live in [`TrainConfig`]; [`GridTopology::Coupled`] reproduces
+//! the Instant-NGP baseline with a single shared grid.
+//!
+//! Modules:
+//!
+//! * [`config`] — training configuration and the paper's preset operating
+//!   points.
+//! * [`schedule`] — update-frequency schedules for the two branches.
+//! * [`model`] — the NeRF model: hash grid(s) + density/color MLP heads,
+//!   with full hand-derived backpropagation.
+//! * [`trainer`] — the six-step training pipeline (Fig. 2) with workload
+//!   accounting and optional memory-access tracing.
+//! * [`eval`] — test-view rendering and RGB/depth PSNR evaluation.
+//! * [`profile`] — per-pipeline-step operation counts, both measured and
+//!   paper-scale, consumed by the device and accelerator models.
+
+pub mod checkpoint;
+pub mod config;
+pub mod eval;
+pub mod model;
+pub mod profile;
+pub mod schedule;
+pub mod timing;
+pub mod trainer;
+pub mod vanilla;
+
+pub use config::{GridTopology, TrainConfig};
+pub use eval::EvalResult;
+pub use model::NerfModel;
+pub use profile::{PipelineStep, PipelineWorkload, WorkloadStats};
+pub use schedule::UpdateSchedule;
+pub use trainer::{StepStats, TrainReport, Trainer};

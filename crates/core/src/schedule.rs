@@ -1,0 +1,98 @@
+//! Update-frequency schedules for the decomposed branches (§3.3).
+//!
+//! The accelerator is "naturally scalable to different update frequencies
+//! by skipping one back-propagation process every 1/(1−F) iterations"; on
+//! the algorithm side this module decides, per iteration, whether each
+//! branch's grid receives its gradient scatter and optimizer step.
+
+/// Periodic update schedule: fire on iterations where `iter % every == 0`.
+///
+/// # Example
+///
+/// ```
+/// use instant3d_core::UpdateSchedule;
+/// let color = UpdateSchedule::every(2); // F_C = 0.5
+/// assert!(color.should_update(0));
+/// assert!(!color.should_update(1));
+/// assert!(color.should_update(2));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UpdateSchedule {
+    every: u32,
+}
+
+impl UpdateSchedule {
+    /// Updates every `every` iterations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is zero.
+    pub fn every(every: u32) -> Self {
+        assert!(every > 0, "update period must be >= 1");
+        UpdateSchedule { every }
+    }
+
+    /// The period in iterations.
+    pub fn period(&self) -> u32 {
+        self.every
+    }
+
+    /// The update frequency `F` as a fraction of iterations (1/period).
+    pub fn frequency(&self) -> f64 {
+        1.0 / self.every as f64
+    }
+
+    /// Whether the branch updates at `iter` (0-based).
+    #[inline]
+    pub fn should_update(&self, iter: u64) -> bool {
+        iter % self.every as u64 == 0
+    }
+
+    /// Number of updates that fire over `iters` iterations starting at 0.
+    pub fn updates_in(&self, iters: u64) -> u64 {
+        iters.div_ceil(self.every as u64)
+    }
+}
+
+impl Default for UpdateSchedule {
+    /// Every iteration (`F = 1`), the Instant-NGP behaviour.
+    fn default() -> Self {
+        UpdateSchedule::every(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_iteration_always_fires() {
+        let s = UpdateSchedule::default();
+        for i in 0..10 {
+            assert!(s.should_update(i));
+        }
+        assert_eq!(s.updates_in(10), 10);
+        assert_eq!(s.frequency(), 1.0);
+    }
+
+    #[test]
+    fn half_frequency_fires_alternate_iterations() {
+        let s = UpdateSchedule::every(2);
+        let fired: Vec<bool> = (0..6).map(|i| s.should_update(i)).collect();
+        assert_eq!(fired, [true, false, true, false, true, false]);
+        assert_eq!(s.updates_in(6), 3);
+        assert_eq!(s.updates_in(5), 3);
+        assert_eq!(s.frequency(), 0.5);
+    }
+
+    #[test]
+    fn period_accessor() {
+        assert_eq!(UpdateSchedule::every(4).period(), 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_period_panics() {
+        let _ = UpdateSchedule::every(0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based tests of the algorithm layer's invariants.
+
+use instant3d_core::{GridTopology, PipelineWorkload, TrainConfig, UpdateSchedule, WorkloadStats};
+use proptest::prelude::*;
+
+proptest! {
+    // ---------- schedules ----------
+
+    #[test]
+    fn schedule_fires_expected_count(every in 1u32..16, horizon in 1u64..500) {
+        let s = UpdateSchedule::every(every);
+        let fired = (0..horizon).filter(|&i| s.should_update(i)).count() as u64;
+        prop_assert_eq!(fired, s.updates_in(horizon));
+        // Frequency × horizon approximates the fired count.
+        let expect = (s.frequency() * horizon as f64).ceil() as u64;
+        prop_assert!(fired.abs_diff(expect) <= 1);
+    }
+
+    #[test]
+    fn schedule_period_one_is_always(iter in 0u64..10_000) {
+        prop_assert!(UpdateSchedule::every(1).should_update(iter));
+    }
+
+    // ---------- config ----------
+
+    #[test]
+    fn decoupled_configs_validate_for_power_of_two_factors(
+        d_exp in -3i32..1, c_exp in -3i32..1,
+        d_every in 1u32..4, c_every in 1u32..4)
+    {
+        let cfg = TrainConfig::decoupled(
+            (2.0f64).powi(d_exp),
+            (2.0f64).powi(c_exp),
+            d_every,
+            c_every,
+        );
+        prop_assert!(cfg.validate().is_ok());
+        // Size factors shift the table log2 as expected.
+        let base = cfg.grid.log2_table_size as i64;
+        prop_assert_eq!(
+            cfg.density_grid_config().log2_table_size as i64,
+            base + d_exp as i64
+        );
+        prop_assert_eq!(
+            cfg.color_grid_config().log2_table_size as i64,
+            base + c_exp as i64
+        );
+    }
+
+    // ---------- workload accounting ----------
+
+    #[test]
+    fn workload_stats_merge_is_commutative_monoid(
+        a_iters in 1u64..10, a_pts in 0u64..10_000,
+        b_iters in 1u64..10, b_pts in 0u64..10_000)
+    {
+        let mk = |iters, pts| WorkloadStats {
+            iterations: iters,
+            rays: pts / 8,
+            points: pts,
+            density_reads_ff: pts * 64,
+            color_reads_ff: pts * 64,
+            density_writes_bp: pts * 64,
+            color_writes_bp: pts * 32,
+            mlp_flops_ff: pts * 1000,
+            mlp_flops_bp: pts * 2000,
+            render_samples: pts,
+        };
+        let mut ab = mk(a_iters, a_pts);
+        ab.merge(&mk(b_iters, b_pts));
+        let mut ba = mk(b_iters, b_pts);
+        ba.merge(&mk(a_iters, a_pts));
+        prop_assert_eq!(ab, ba);
+        prop_assert_eq!(ab.points, a_pts + b_pts);
+        // Identity: merging a zeroed stats (0 iterations) changes nothing
+        // but the iteration count stays the sum.
+        let mut with_zero = ab;
+        with_zero.merge(&WorkloadStats::default());
+        prop_assert_eq!(with_zero, ab);
+    }
+
+    #[test]
+    fn workload_from_stats_is_scale_invariant(reps in 1u64..20) {
+        // N copies of the same per-iteration work give the same
+        // per-iteration workload.
+        let one = WorkloadStats {
+            iterations: 1,
+            rays: 100,
+            points: 2_000,
+            density_reads_ff: 128_000,
+            color_reads_ff: 64_000,
+            density_writes_bp: 128_000,
+            color_writes_bp: 32_000,
+            mlp_flops_ff: 1_000_000,
+            mlp_flops_bp: 2_000_000,
+            render_samples: 2_000,
+        };
+        let mut many = WorkloadStats::default();
+        for _ in 0..reps {
+            many.merge(&one);
+        }
+        let w1 = PipelineWorkload::from_stats(&one, 8, 1 << 20, 1 << 18, 4);
+        let wn = PipelineWorkload::from_stats(&many, 8, 1 << 20, 1 << 18, 4);
+        prop_assert!((w1.points_per_iter - wn.points_per_iter).abs() < 1e-6);
+        prop_assert!((w1.grid_reads_ff_per_iter - wn.grid_reads_ff_per_iter).abs() < 1e-6);
+        prop_assert!((w1.mlp_flops_per_iter - wn.mlp_flops_per_iter).abs() < 1e-6);
+        prop_assert_eq!(wn.iterations as u64, reps);
+    }
+
+    #[test]
+    fn grid_bytes_scale_linearly_with_access_size(bytes in 1usize..16) {
+        let mut w = PipelineWorkload::paper_scale_instant3d(100.0);
+        let base = w.grid_bytes_per_iter() / w.bytes_per_access as f64;
+        w.bytes_per_access = bytes;
+        prop_assert!((w.grid_bytes_per_iter() - base * bytes as f64).abs() < 1.0);
+    }
+
+    // ---------- topology invariants ----------
+
+    #[test]
+    fn coupled_and_decoupled_models_share_head_shapes(seed in 0u64..50) {
+        use instant3d_core::NerfModel;
+        use instant3d_nerf::math::Aabb;
+        use rand::SeedableRng;
+        let mut cfg = TrainConfig::fast_preview();
+        cfg.topology = GridTopology::Coupled;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let coupled = NerfModel::new(&cfg, Aabb::UNIT, &mut rng);
+        cfg.topology = GridTopology::Decoupled;
+        cfg.color_size_factor = 1.0;
+        let decoupled = NerfModel::new(&cfg, Aabb::UNIT, &mut rng);
+        // Same-size branches ⇒ identical head dimensions.
+        prop_assert_eq!(coupled.sigma_mlp().in_dim(), decoupled.sigma_mlp().in_dim());
+        prop_assert_eq!(coupled.color_mlp().in_dim(), decoupled.color_mlp().in_dim());
+        // Decoupled adds exactly one grid's parameters.
+        let extra = decoupled.num_params() - coupled.num_params();
+        prop_assert_eq!(extra, decoupled.color_grid().unwrap().num_params());
+    }
+}

@@ -1,0 +1,103 @@
+//! Per-step runtime breakdowns — the Fig. 4 / Fig. 7 bar charts.
+
+use crate::perf::DeviceModel;
+use instant3d_core::{PipelineStep, PipelineWorkload};
+
+/// A device's per-step runtime share for one workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepBreakdown {
+    /// Device name.
+    pub device: String,
+    /// `(step, seconds-per-iteration, fraction-of-total)` rows in
+    /// pipeline order.
+    pub steps: Vec<(PipelineStep, f64, f64)>,
+    /// Seconds per iteration, all steps.
+    pub total_per_iter: f64,
+}
+
+impl StepBreakdown {
+    /// Computes the breakdown of `w` on `device`.
+    pub fn compute(device: &DeviceModel, w: &PipelineWorkload) -> StepBreakdown {
+        let times = device.step_times(w);
+        let total: f64 = times.iter().map(|(_, t)| t).sum();
+        StepBreakdown {
+            device: device.spec().name.to_string(),
+            steps: times
+                .into_iter()
+                .map(|(s, t)| (s, t, if total > 0.0 { t / total } else { 0.0 }))
+                .collect(),
+            total_per_iter: total,
+        }
+    }
+
+    /// The combined share of Step ③-① (grid interpolation, fwd + bwd) —
+    /// the paper's headline "~80 %" number.
+    pub fn grid_interpolation_fraction(&self) -> f64 {
+        self.steps
+            .iter()
+            .filter(|(s, _, _)| s.is_grid_interpolation())
+            .map(|(_, _, f)| f)
+            .sum()
+    }
+
+    /// Renders an ASCII stacked-bar row (for the fig04/fig07 binaries).
+    pub fn to_ascii(&self, width: usize) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "{} — {:.1} ms/iter (grid interpolation {:.1} %)",
+            self.device,
+            self.total_per_iter * 1e3,
+            self.grid_interpolation_fraction() * 100.0
+        );
+        for (step, t, f) in &self.steps {
+            let bar = "#".repeat((f * width as f64).round() as usize);
+            let _ = writeln!(
+                s,
+                "  {:<22} {:>8.3} ms {:>6.2} % |{bar}",
+                step.label(),
+                t * 1e3,
+                f * 100.0
+            );
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perf::ITERS_TO_PSNR26;
+
+    fn bd() -> StepBreakdown {
+        StepBreakdown::compute(
+            &DeviceModel::xavier_nx(),
+            &PipelineWorkload::paper_scale_instant_ngp(ITERS_TO_PSNR26),
+        )
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let b = bd();
+        let sum: f64 = b.steps.iter().map(|(_, _, f)| f).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert_eq!(b.steps.len(), PipelineStep::ALL.len());
+    }
+
+    #[test]
+    fn grid_share_matches_fig4() {
+        let b = bd();
+        let g = b.grid_interpolation_fraction();
+        assert!((0.7..=0.9).contains(&g), "grid share {g}");
+    }
+
+    #[test]
+    fn ascii_contains_all_steps() {
+        let art = bd().to_ascii(40);
+        for s in PipelineStep::ALL {
+            assert!(art.contains(s.label()), "missing {}", s.label());
+        }
+        assert!(art.contains("Xavier NX"));
+    }
+}

@@ -1,0 +1,301 @@
+//! Roofline-style per-step runtime model for the edge-GPU baselines.
+//!
+//! Each device is characterised by per-primitive throughputs plus a cache
+//! model for the hash-table gathers. For the Xavier NX they are calibrated
+//! against the paper's measurements; Nano and TX2 are scaled versions
+//! (see [`DeviceModel::jetson_nano`] / [`DeviceModel::jetson_tx2`]).
+//!
+//! Calibration anchors (all from the paper):
+//!
+//! * Tab. 4 — Instant-NGP on Xavier NX: **72 s** per NeRF-Synthetic scene.
+//! * Fig. 4 — Step ③-① (grid interpolation, fwd + bwd) ≈ **80 %** of the
+//!   runtime on every device.
+//! * Tab. 1 — shrinking a grid speeds training even though a decomposed
+//!   model performs *more* reads ⇒ gather cost must depend on table
+//!   residency in the GPU cache (the `cache_bytes`/`miss_penalty` model).
+//! * Fig. 16 — Instant-3D accelerator speedups of 224× / 132× / 45× over
+//!   Nano / TX2 / Xavier NX ⇒ Nano ≈ 0.20× and TX2 ≈ 0.34× of Xavier NX
+//!   throughput.
+//! * Reference iteration count: [`ITERS_TO_PSNR26`] = 400 (see
+//!   EXPERIMENTS.md).
+
+use crate::spec::{self, DeviceSpec};
+use instant3d_core::{PipelineStep, PipelineWorkload};
+
+/// Iterations of the paper-scale workload to reach ≈ 26 dB PSNR (Tab. 4's
+/// quality level).
+pub const ITERS_TO_PSNR26: f64 = 400.0;
+
+/// Iterations to reach ≈ 25 dB PSNR (the §1 "1.6 s / PSNR 25" headline).
+pub const ITERS_TO_PSNR25: f64 = 256.0;
+
+/// Random-access read-modify-write amplification for gradient scatters on
+/// a GPU memory system (atomicAdd = read + write).
+const BP_RMW_FACTOR: f64 = 2.0;
+
+/// A calibrated device performance model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceModel {
+    spec: DeviceSpec,
+    /// Cache-resident random 4-byte hash-table accesses per second (the
+    /// Step ③-① bottleneck resource).
+    pub random_access_rate: f64,
+    /// Effective cache bytes available to hold hash tables during gathers.
+    pub cache_bytes: f64,
+    /// Cost multiplier for a cache-missing access relative to a hit.
+    pub miss_penalty: f64,
+    /// Sustained MLP FLOPS (fp16, including kernel overheads).
+    pub flops_rate: f64,
+    /// Compositing samples per second (Step ④).
+    pub render_rate: f64,
+    /// Host-side pixels/rays per second (Steps ①, ②, ⑤).
+    pub host_rate: f64,
+}
+
+impl DeviceModel {
+    /// Xavier NX, the calibration reference.
+    ///
+    /// `random_access_rate` = 1.33 G hit-accesses/s solves the Tab. 4
+    /// anchor: with a 1 MB effective cache and 4× miss penalty, the 2 MB
+    /// Instant-NGP table averages 2.5 hit-equivalents per access, and
+    /// 400 iterations × (25.6 M FF + 51.2 M BP-RMW) × 2.5 must take ≈ 80 %
+    /// of 72 s. The remaining rates split the other 20 % as Fig. 4 shows
+    /// (MLP ≈ 12 %, render ≈ 4 %, host ≈ 4 %).
+    pub fn xavier_nx() -> Self {
+        DeviceModel {
+            spec: spec::xavier_nx(),
+            random_access_rate: 1.33e9,
+            cache_bytes: 1.0e6,
+            miss_penalty: 4.0,
+            flops_rate: 333e9,
+            render_rate: 27.8e6,
+            host_rate: 1.14e6,
+        }
+    }
+
+    /// Jetson TX2 ≈ 0.34× Xavier NX throughput (Fig. 16: 132× vs 45×
+    /// accelerator speedup).
+    pub fn jetson_tx2() -> Self {
+        Self::scaled(spec::jetson_tx2(), 45.0 / 132.0)
+    }
+
+    /// Jetson Nano ≈ 0.20× Xavier NX throughput (Fig. 16: 224× vs 45×).
+    pub fn jetson_nano() -> Self {
+        Self::scaled(spec::jetson_nano(), 45.0 / 224.0)
+    }
+
+    fn scaled(spec: DeviceSpec, factor: f64) -> Self {
+        let nx = Self::xavier_nx();
+        DeviceModel {
+            spec,
+            random_access_rate: nx.random_access_rate * factor,
+            cache_bytes: nx.cache_bytes,
+            miss_penalty: nx.miss_penalty,
+            flops_rate: nx.flops_rate * factor,
+            render_rate: nx.render_rate * factor,
+            host_rate: nx.host_rate * factor,
+        }
+    }
+
+    /// All three baselines, slowest first.
+    pub fn all_baselines() -> Vec<DeviceModel> {
+        vec![Self::jetson_nano(), Self::jetson_tx2(), Self::xavier_nx()]
+    }
+
+    /// The device's spec sheet.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// Average hit-equivalents per access for a table of `table_bytes`
+    /// (1.0 when resident; `miss_penalty` when fully thrashing).
+    pub fn access_cost_factor(&self, table_bytes: usize) -> f64 {
+        if table_bytes == 0 {
+            return 1.0;
+        }
+        let h = (self.cache_bytes / table_bytes as f64).min(1.0);
+        h + (1.0 - h) * self.miss_penalty
+    }
+
+    /// Grid-access hit-equivalents per iteration (both branches, FF + BP).
+    fn grid_equiv_accesses(&self, w: &PipelineWorkload) -> (f64, f64) {
+        // Split aggregate counts into branches as in the workload builder.
+        let per_grid_reads = w.points_per_iter * w.levels as f64 * 8.0;
+        let (branches, _) = if w.color_table_bytes == 0 {
+            (
+                vec![(
+                    w.density_table_bytes,
+                    w.grid_reads_ff_per_iter,
+                    w.grid_writes_bp_per_iter,
+                )],
+                (),
+            )
+        } else {
+            let d_writes = per_grid_reads.min(w.grid_writes_bp_per_iter);
+            (
+                vec![
+                    (w.density_table_bytes, per_grid_reads, d_writes),
+                    (
+                        w.color_table_bytes,
+                        (w.grid_reads_ff_per_iter - per_grid_reads).max(0.0),
+                        (w.grid_writes_bp_per_iter - d_writes).max(0.0),
+                    ),
+                ],
+                (),
+            )
+        };
+        let mut ff = 0.0;
+        let mut bp = 0.0;
+        for (bytes, reads, writes) in branches {
+            let f = self.access_cost_factor(bytes);
+            ff += reads * f;
+            bp += writes * BP_RMW_FACTOR * f;
+        }
+        (ff, bp)
+    }
+
+    /// Seconds per iteration spent in each pipeline step.
+    pub fn step_times(&self, w: &PipelineWorkload) -> Vec<(PipelineStep, f64)> {
+        let mlp_total = w.mlp_flops_per_iter / self.flops_rate;
+        let (ff_equiv, bp_equiv) = self.grid_equiv_accesses(w);
+        vec![
+            (PipelineStep::SamplePixels, w.rays_per_iter / self.host_rate),
+            (PipelineStep::MapRays, w.rays_per_iter / self.host_rate),
+            (
+                PipelineStep::GridForward,
+                ff_equiv / self.random_access_rate,
+            ),
+            (PipelineStep::MlpForward, mlp_total / 3.0),
+            (
+                PipelineStep::VolumeRender,
+                w.points_per_iter / self.render_rate,
+            ),
+            (PipelineStep::ComputeLoss, w.rays_per_iter / self.host_rate),
+            (
+                PipelineStep::GridBackward,
+                bp_equiv / self.random_access_rate,
+            ),
+            (PipelineStep::MlpBackward, mlp_total * 2.0 / 3.0),
+        ]
+    }
+
+    /// Seconds per iteration (sum over steps — a GPU runs them serially).
+    pub fn seconds_per_iter(&self, w: &PipelineWorkload) -> f64 {
+        self.step_times(w).iter().map(|(_, t)| t).sum()
+    }
+
+    /// Total training runtime for the workload's iteration count.
+    pub fn runtime(&self, w: &PipelineWorkload) -> f64 {
+        self.seconds_per_iter(w) * w.iterations
+    }
+
+    /// Energy for the whole run at the device's typical power.
+    pub fn energy(&self, w: &PipelineWorkload) -> f64 {
+        self.runtime(w) * self.spec.typical_power_w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ngp400() -> PipelineWorkload {
+        PipelineWorkload::paper_scale_instant_ngp(ITERS_TO_PSNR26)
+    }
+
+    #[test]
+    fn xavier_reproduces_tab4_anchor() {
+        // Instant-NGP on Xavier NX: 72 s (Tab. 4). Calibration must land
+        // within a few percent.
+        let t = DeviceModel::xavier_nx().runtime(&ngp400());
+        assert!(
+            (t - 72.0).abs() < 8.0,
+            "Xavier NX Instant-NGP runtime {t} s should be ≈ 72 s"
+        );
+    }
+
+    #[test]
+    fn grid_interpolation_dominates_like_fig4() {
+        let m = DeviceModel::xavier_nx();
+        let w = ngp400();
+        let steps = m.step_times(&w);
+        let total: f64 = steps.iter().map(|(_, t)| t).sum();
+        let grid: f64 = steps
+            .iter()
+            .filter(|(s, _)| s.is_grid_interpolation())
+            .map(|(_, t)| t)
+            .sum();
+        let frac = grid / total;
+        assert!(
+            (0.7..=0.9).contains(&frac),
+            "grid fraction {frac} should be ≈ 0.8 (Fig. 4)"
+        );
+    }
+
+    #[test]
+    fn device_ordering_matches_power_classes() {
+        let w = ngp400();
+        let nano = DeviceModel::jetson_nano().runtime(&w);
+        let tx2 = DeviceModel::jetson_tx2().runtime(&w);
+        let nx = DeviceModel::xavier_nx().runtime(&w);
+        assert!(nano > tx2, "Nano {nano} should be slower than TX2 {tx2}");
+        assert!(tx2 > nx, "TX2 {tx2} should be slower than Xavier {nx}");
+        // Fig. 16 ratios: Nano ≈ 5× and TX2 ≈ 2.9× Xavier's runtime.
+        assert!((nano / nx - 224.0 / 45.0).abs() < 0.5);
+        assert!((tx2 / nx - 132.0 / 45.0).abs() < 0.3);
+    }
+
+    #[test]
+    fn instant3d_algorithm_is_faster_on_gpu_tab4() {
+        // Tab. 4: 72 s → 60 s on Xavier NX (≈ 1.2×). Decomposition reads
+        // two grids but both become cache-resident and the color BP
+        // traffic halves — the net must be a speedup.
+        let m = DeviceModel::xavier_nx();
+        let ngp = m.runtime(&PipelineWorkload::paper_scale_instant_ngp(400.0));
+        let i3d = m.runtime(&PipelineWorkload::paper_scale_instant3d(400.0));
+        assert!(
+            i3d < ngp,
+            "Instant-3D algorithm {i3d} s should beat Instant-NGP {ngp} s on the same GPU"
+        );
+        let speedup = ngp / i3d;
+        assert!(
+            (1.05..=1.6).contains(&speedup),
+            "algorithm speedup {speedup} should be modest on a GPU (paper: 1.2×)"
+        );
+    }
+
+    #[test]
+    fn cache_model_penalises_large_tables() {
+        let m = DeviceModel::xavier_nx();
+        assert_eq!(m.access_cost_factor(0), 1.0);
+        assert_eq!(m.access_cost_factor(500_000), 1.0, "resident table");
+        let f2mb = m.access_cost_factor(2 << 20);
+        assert!(f2mb > 2.0 && f2mb < 4.0, "2 MB table factor {f2mb}");
+        assert!(m.access_cost_factor(100 << 20) > 3.9, "thrashing table");
+    }
+
+    #[test]
+    fn energy_is_power_times_time() {
+        let m = DeviceModel::jetson_tx2();
+        let w = ngp400();
+        assert!((m.energy(&w) - m.runtime(&w) * 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn step_times_cover_all_steps() {
+        let m = DeviceModel::xavier_nx();
+        let steps = m.step_times(&ngp400());
+        assert_eq!(steps.len(), PipelineStep::ALL.len());
+        for (_, t) in &steps {
+            assert!(*t > 0.0);
+        }
+    }
+
+    #[test]
+    fn all_baselines_ordering() {
+        let b = DeviceModel::all_baselines();
+        assert_eq!(b.len(), 3);
+        assert_eq!(b[0].spec().name, "Jetson Nano");
+        assert_eq!(b[2].spec().name, "Xavier NX");
+    }
+}

@@ -1,0 +1,132 @@
+//! Device specification sheets — the rows of the paper's Tab. 3.
+
+/// Static specification of a device (Tab. 3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceSpec {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Process node in nm.
+    pub technology_nm: u32,
+    /// On-chip SRAM in bytes.
+    pub sram_bytes: usize,
+    /// Die area in mm² (`None` where the paper lists N/A).
+    pub area_mm2: Option<f64>,
+    /// Core clock in GHz.
+    pub frequency_ghz: f64,
+    /// DRAM type string.
+    pub dram: &'static str,
+    /// DRAM bandwidth in bytes/s.
+    pub dram_bandwidth: f64,
+    /// Typical power in watts.
+    pub typical_power_w: f64,
+}
+
+/// Jetson Nano: 20 nm, 2.5 MB SRAM, 118 mm², 0.9 GHz, LPDDR4-1600
+/// (25.6 GB/s), 10 W.
+pub fn jetson_nano() -> DeviceSpec {
+    DeviceSpec {
+        name: "Jetson Nano",
+        technology_nm: 20,
+        sram_bytes: (2.5 * 1024.0 * 1024.0) as usize,
+        area_mm2: Some(118.0),
+        frequency_ghz: 0.9,
+        dram: "LPDDR4-1600",
+        dram_bandwidth: 25.6e9,
+        typical_power_w: 10.0,
+    }
+}
+
+/// Jetson TX2: 16 nm, 5 MB SRAM, 1.4 GHz, LPDDR4-1866 (59.7 GB/s), 15 W.
+pub fn jetson_tx2() -> DeviceSpec {
+    DeviceSpec {
+        name: "Jetson TX2",
+        technology_nm: 16,
+        sram_bytes: 5 * 1024 * 1024,
+        area_mm2: None,
+        frequency_ghz: 1.4,
+        dram: "LPDDR4-1866",
+        dram_bandwidth: 59.7e9,
+        typical_power_w: 15.0,
+    }
+}
+
+/// Xavier NX: 12 nm, 11 MB SRAM, 350 mm², 1.1 GHz, LPDDR4-1866
+/// (59.7 GB/s), 20 W.
+pub fn xavier_nx() -> DeviceSpec {
+    DeviceSpec {
+        name: "Xavier NX",
+        technology_nm: 12,
+        sram_bytes: 11 * 1024 * 1024,
+        area_mm2: Some(350.0),
+        frequency_ghz: 1.1,
+        dram: "LPDDR4-1866",
+        dram_bandwidth: 59.7e9,
+        typical_power_w: 20.0,
+    }
+}
+
+/// The Instant-3D accelerator's Tab. 3 row: 28 nm, 1.5 MB SRAM, 6.8 mm²,
+/// 0.8 GHz, LPDDR4-1866, 1.9 W.
+pub fn instant3d_accelerator() -> DeviceSpec {
+    DeviceSpec {
+        name: "Instant-3D",
+        technology_nm: 28,
+        sram_bytes: (1.5 * 1024.0 * 1024.0) as usize,
+        area_mm2: Some(6.8),
+        frequency_ghz: 0.8,
+        dram: "LPDDR4-1866",
+        dram_bandwidth: 59.7e9,
+        typical_power_w: 1.9,
+    }
+}
+
+/// All Tab. 3 rows in paper order.
+pub fn all_specs() -> Vec<DeviceSpec> {
+    vec![jetson_nano(), jetson_tx2(), xavier_nx(), instant3d_accelerator()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tab3_values_match_paper() {
+        let nano = jetson_nano();
+        assert_eq!(nano.technology_nm, 20);
+        assert_eq!(nano.typical_power_w, 10.0);
+        assert_eq!(nano.dram_bandwidth, 25.6e9);
+
+        let tx2 = jetson_tx2();
+        assert_eq!(tx2.technology_nm, 16);
+        assert_eq!(tx2.typical_power_w, 15.0);
+        assert_eq!(tx2.area_mm2, None);
+
+        let nx = xavier_nx();
+        assert_eq!(nx.technology_nm, 12);
+        assert_eq!(nx.typical_power_w, 20.0);
+        assert_eq!(nx.sram_bytes, 11 * 1024 * 1024);
+
+        let acc = instant3d_accelerator();
+        assert_eq!(acc.technology_nm, 28);
+        assert_eq!(acc.area_mm2, Some(6.8));
+        assert_eq!(acc.typical_power_w, 1.9);
+        assert_eq!(acc.frequency_ghz, 0.8);
+    }
+
+    #[test]
+    fn accelerator_is_tiny_and_frugal() {
+        // The co-design story: 6.8 mm² vs 350 mm², 1.9 W vs 20 W.
+        let nx = xavier_nx();
+        let acc = instant3d_accelerator();
+        assert!(acc.area_mm2.unwrap() < nx.area_mm2.unwrap() / 50.0);
+        assert!(acc.typical_power_w < nx.typical_power_w / 10.0);
+    }
+
+    #[test]
+    fn all_specs_lists_four_devices() {
+        let s = all_specs();
+        assert_eq!(s.len(), 4);
+        let names: Vec<&str> = s.iter().map(|d| d.name).collect();
+        assert_eq!(names, ["Jetson Nano", "Jetson TX2", "Xavier NX", "Instant-3D"]);
+    }
+}

@@ -1,0 +1,86 @@
+//! Property-based tests of the device performance models.
+
+use instant3d_core::PipelineWorkload;
+use instant3d_devices::{breakdown::StepBreakdown, DeviceModel};
+use proptest::prelude::*;
+
+fn workload(points: f64, iters: f64, table_mb: usize) -> PipelineWorkload {
+    let reads = points * 16.0 * 8.0;
+    PipelineWorkload {
+        iterations: iters,
+        rays_per_iter: 4096.0,
+        points_per_iter: points,
+        levels: 16,
+        grid_reads_ff_per_iter: reads,
+        grid_writes_bp_per_iter: reads,
+        mlp_flops_per_iter: points * 36_000.0,
+        density_table_bytes: table_mb << 20,
+        color_table_bytes: 0,
+        bytes_per_access: 4,
+    }
+}
+
+proptest! {
+    #[test]
+    fn runtime_is_monotone_in_points(p1 in 1_000.0f64..500_000.0, scale in 1.01f64..4.0) {
+        let m = DeviceModel::xavier_nx();
+        let small = m.runtime(&workload(p1, 100.0, 2));
+        let large = m.runtime(&workload(p1 * scale, 100.0, 2));
+        prop_assert!(large > small);
+    }
+
+    #[test]
+    fn runtime_scales_linearly_with_iterations(iters in 1.0f64..1000.0, k in 2.0f64..5.0) {
+        let m = DeviceModel::jetson_tx2();
+        let w1 = workload(100_000.0, iters, 2);
+        let wk = workload(100_000.0, iters * k, 2);
+        let r = m.runtime(&wk) / m.runtime(&w1);
+        prop_assert!((r - k).abs() < 1e-6, "ratio {r} vs {k}");
+    }
+
+    #[test]
+    fn bigger_tables_never_run_faster(mb1 in 1usize..8, extra in 1usize..8) {
+        let m = DeviceModel::xavier_nx();
+        let t_small = m.runtime(&workload(200_000.0, 100.0, mb1));
+        let t_big = m.runtime(&workload(200_000.0, 100.0, mb1 + extra));
+        prop_assert!(t_big >= t_small);
+    }
+
+    #[test]
+    fn devices_preserve_power_class_ordering(points in 10_000.0f64..400_000.0) {
+        let w = workload(points, 100.0, 2);
+        let nano = DeviceModel::jetson_nano().runtime(&w);
+        let tx2 = DeviceModel::jetson_tx2().runtime(&w);
+        let nx = DeviceModel::xavier_nx().runtime(&w);
+        prop_assert!(nano > tx2 && tx2 > nx);
+    }
+
+    #[test]
+    fn energy_equals_power_times_runtime(points in 10_000.0f64..400_000.0) {
+        let w = workload(points, 50.0, 2);
+        for m in DeviceModel::all_baselines() {
+            let e = m.energy(&w);
+            let expect = m.runtime(&w) * m.spec().typical_power_w;
+            prop_assert!((e - expect).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn breakdown_fractions_sum_to_one(points in 10_000.0f64..400_000.0, mb in 1usize..8) {
+        let b = StepBreakdown::compute(&DeviceModel::xavier_nx(), &workload(points, 10.0, mb));
+        let sum: f64 = b.steps.iter().map(|(_, _, f)| f).sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        let grid = b.grid_interpolation_fraction();
+        prop_assert!((0.0..=1.0).contains(&grid));
+    }
+
+    #[test]
+    fn access_cost_factor_is_monotone_and_bounded(b1 in 1usize..64, b2 in 1usize..64) {
+        let m = DeviceModel::xavier_nx();
+        let (small, large) = if b1 <= b2 { (b1, b2) } else { (b2, b1) };
+        let f_small = m.access_cost_factor(small << 20);
+        let f_large = m.access_cost_factor(large << 20);
+        prop_assert!(f_small <= f_large + 1e-12);
+        prop_assert!(f_small >= 1.0 && f_large <= m.miss_penalty);
+    }
+}

@@ -1,0 +1,243 @@
+//! The Adam optimizer, as used by Instant-NGP for both the hash grids and
+//! the MLP heads.
+//!
+//! Instant-NGP uses β₁ = 0.9, β₂ = 0.99 and a very small ε (1e-15) so tiny
+//! grid gradients still move; those are the defaults here.
+
+/// Adam hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdamConfig {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Denominator stabiliser.
+    pub eps: f32,
+    /// L2 weight decay (0 to disable).
+    pub weight_decay: f32,
+}
+
+impl Default for AdamConfig {
+    fn default() -> Self {
+        AdamConfig {
+            lr: 1e-2,
+            beta1: 0.9,
+            beta2: 0.99,
+            eps: 1e-15,
+            weight_decay: 0.0,
+        }
+    }
+}
+
+impl AdamConfig {
+    /// Instant-NGP's grid optimizer settings (higher lr for the hash table).
+    pub fn for_grid() -> Self {
+        AdamConfig {
+            lr: 1e-1,
+            ..AdamConfig::default()
+        }
+    }
+
+    /// Instant-NGP's MLP optimizer settings.
+    pub fn for_mlp() -> Self {
+        AdamConfig {
+            lr: 1e-2,
+            weight_decay: 1e-6,
+            ..AdamConfig::default()
+        }
+    }
+}
+
+/// Adam state (first/second moments) for one flat parameter vector.
+///
+/// # Example
+///
+/// ```
+/// use instant3d_nerf::adam::{Adam, AdamConfig};
+/// let mut opt = Adam::new(AdamConfig::default(), 2);
+/// let mut params = vec![1.0_f32, -1.0];
+/// // Gradient of L = 0.5‖p‖² is p itself: descending shrinks the params.
+/// for _ in 0..100 {
+///     let grads = params.clone();
+///     opt.step(&mut params, &grads);
+/// }
+/// assert!(params.iter().all(|p| p.abs() < 1.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Adam {
+    cfg: AdamConfig,
+    m: Vec<f32>,
+    v: Vec<f32>,
+    t: u64,
+}
+
+impl Adam {
+    /// Creates optimizer state for `num_params` scalars.
+    pub fn new(cfg: AdamConfig, num_params: usize) -> Self {
+        Adam {
+            cfg,
+            m: vec![0.0; num_params],
+            v: vec![0.0; num_params],
+            t: 0,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> AdamConfig {
+        self.cfg
+    }
+
+    /// Steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Updates the learning rate (for schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.cfg.lr = lr;
+    }
+
+    /// Applies one Adam update.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` and `grads` don't match the state size.
+    pub fn step(&mut self, params: &mut [f32], grads: &[f32]) {
+        assert_eq!(params.len(), self.m.len(), "param count mismatch");
+        assert_eq!(grads.len(), self.m.len(), "grad count mismatch");
+        self.t += 1;
+        let b1 = self.cfg.beta1;
+        let b2 = self.cfg.beta2;
+        let bias1 = 1.0 - b1.powi(self.t as i32);
+        let bias2 = 1.0 - b2.powi(self.t as i32);
+        for i in 0..params.len() {
+            let mut g = grads[i];
+            if self.cfg.weight_decay != 0.0 {
+                g += self.cfg.weight_decay * params[i];
+            }
+            self.m[i] = b1 * self.m[i] + (1.0 - b1) * g;
+            self.v[i] = b2 * self.v[i] + (1.0 - b2) * g * g;
+            let m_hat = self.m[i] / bias1;
+            let v_hat = self.v[i] / bias2;
+            params[i] -= self.cfg.lr * m_hat / (v_hat.sqrt() + self.cfg.eps);
+        }
+    }
+
+    /// Sparse variant: only updates the listed indices. Used for hash-grid
+    /// steps where most table entries received no gradient this iteration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn step_sparse(&mut self, params: &mut [f32], grads: &[f32], touched: &[usize]) {
+        assert_eq!(params.len(), self.m.len(), "param count mismatch");
+        self.t += 1;
+        let b1 = self.cfg.beta1;
+        let b2 = self.cfg.beta2;
+        let bias1 = 1.0 - b1.powi(self.t as i32);
+        let bias2 = 1.0 - b2.powi(self.t as i32);
+        for &i in touched {
+            let g = grads[i];
+            self.m[i] = b1 * self.m[i] + (1.0 - b1) * g;
+            self.v[i] = b2 * self.v[i] + (1.0 - b2) * g * g;
+            let m_hat = self.m[i] / bias1;
+            let v_hat = self.v[i] / bias2;
+            params[i] -= self.cfg.lr * m_hat / (v_hat.sqrt() + self.cfg.eps);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converges_on_quadratic() {
+        // Minimise (p - 3)²; gradient 2(p - 3).
+        let mut opt = Adam::new(
+            AdamConfig {
+                lr: 0.1,
+                ..AdamConfig::default()
+            },
+            1,
+        );
+        let mut p = vec![0.0f32];
+        for _ in 0..500 {
+            let g = vec![2.0 * (p[0] - 3.0)];
+            opt.step(&mut p, &g);
+        }
+        assert!((p[0] - 3.0).abs() < 1e-2, "converged to {}", p[0]);
+    }
+
+    #[test]
+    fn first_step_moves_by_about_lr() {
+        // Adam's bias correction makes the first step ≈ lr × sign(g).
+        let mut opt = Adam::new(
+            AdamConfig {
+                lr: 0.5,
+                eps: 1e-15,
+                ..AdamConfig::default()
+            },
+            1,
+        );
+        let mut p = vec![0.0f32];
+        opt.step(&mut p, &[1e-3]);
+        assert!((p[0] + 0.5).abs() < 1e-3, "step was {}", p[0]);
+    }
+
+    #[test]
+    fn zero_gradient_is_a_fixed_point() {
+        let mut opt = Adam::new(AdamConfig::default(), 3);
+        let mut p = vec![1.0, 2.0, 3.0];
+        let before = p.clone();
+        opt.step(&mut p, &[0.0, 0.0, 0.0]);
+        assert_eq!(p, before);
+    }
+
+    #[test]
+    fn sparse_step_only_touches_listed_indices() {
+        let mut opt = Adam::new(AdamConfig::default(), 4);
+        let mut p = vec![1.0f32; 4];
+        let g = vec![1.0f32; 4];
+        opt.step_sparse(&mut p, &g, &[1, 3]);
+        assert_eq!(p[0], 1.0);
+        assert_eq!(p[2], 1.0);
+        assert!(p[1] < 1.0);
+        assert!(p[3] < 1.0);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_params_without_gradient() {
+        let mut opt = Adam::new(
+            AdamConfig {
+                lr: 0.01,
+                weight_decay: 0.1,
+                ..AdamConfig::default()
+            },
+            1,
+        );
+        let mut p = vec![5.0f32];
+        for _ in 0..50 {
+            opt.step(&mut p, &[0.0]);
+        }
+        assert!(p[0] < 5.0);
+    }
+
+    #[test]
+    fn step_counter_advances() {
+        let mut opt = Adam::new(AdamConfig::default(), 1);
+        assert_eq!(opt.steps(), 0);
+        opt.step(&mut [0.0], &[1.0]);
+        opt.step_sparse(&mut [0.0], &[1.0], &[0]);
+        assert_eq!(opt.steps(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn size_mismatch_panics() {
+        let mut opt = Adam::new(AdamConfig::default(), 2);
+        opt.step(&mut [0.0], &[1.0]);
+    }
+}

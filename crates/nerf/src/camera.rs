@@ -1,0 +1,226 @@
+//! Pinhole cameras and per-pixel ray generation (Step ② of the pipeline).
+
+use crate::math::{Ray, Vec3};
+
+/// A world-space camera pose: position plus an orthonormal basis.
+///
+/// `right`/`up`/`forward` follow a right-handed convention with the camera
+/// looking along `forward`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pose {
+    /// Camera center (ray origin `o`).
+    pub position: Vec3,
+    /// Image-plane +x direction.
+    pub right: Vec3,
+    /// Image-plane +y direction (towards the top of the image).
+    pub up: Vec3,
+    /// Viewing direction.
+    pub forward: Vec3,
+}
+
+impl Pose {
+    /// Builds a pose at `eye` looking towards `target` with approximate
+    /// world-up `up_hint`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `eye == target` or `up_hint` is parallel
+    /// to the viewing direction.
+    pub fn look_at(eye: Vec3, target: Vec3, up_hint: Vec3) -> Pose {
+        let forward = (target - eye).normalized();
+        let right = forward.cross(up_hint).normalized();
+        let up = right.cross(forward);
+        Pose {
+            position: eye,
+            right,
+            up,
+            forward,
+        }
+    }
+}
+
+/// A pinhole camera: pose + intrinsics + image size.
+///
+/// # Example
+///
+/// ```
+/// use instant3d_nerf::camera::Camera;
+/// use instant3d_nerf::math::Vec3;
+///
+/// let cam = Camera::look_at(
+///     Vec3::new(0.0, 0.0, 2.0),
+///     Vec3::ZERO,
+///     Vec3::Y,
+///     60.0_f32.to_radians(),
+///     64,
+///     64,
+/// );
+/// let center = cam.pixel_ray(32.0, 32.0);
+/// assert!((center.dir.norm() - 1.0).abs() < 1e-5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Camera {
+    /// World pose.
+    pub pose: Pose,
+    /// Vertical field of view in radians.
+    pub fov_y: f32,
+    /// Image width in pixels.
+    pub width: u32,
+    /// Image height in pixels.
+    pub height: u32,
+}
+
+impl Camera {
+    /// Creates a camera from a look-at pose and intrinsics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width`/`height` are zero or `fov_y` is not in (0, π).
+    pub fn look_at(eye: Vec3, target: Vec3, up: Vec3, fov_y: f32, width: u32, height: u32) -> Camera {
+        assert!(width > 0 && height > 0, "image must be non-empty");
+        assert!(fov_y > 0.0 && fov_y < std::f32::consts::PI, "fov out of range");
+        Camera {
+            pose: Pose::look_at(eye, target, up),
+            fov_y,
+            width,
+            height,
+        }
+    }
+
+    /// Total pixel count.
+    pub fn num_pixels(&self) -> usize {
+        self.width as usize * self.height as usize
+    }
+
+    /// The ray through continuous pixel coordinates `(px, py)` where
+    /// `(0.5, 0.5)` is the center of the top-left pixel.
+    ///
+    /// The returned direction is unit length.
+    pub fn pixel_ray(&self, px: f32, py: f32) -> Ray {
+        let aspect = self.width as f32 / self.height as f32;
+        let tan_half = (self.fov_y * 0.5).tan();
+        // NDC in [-1, 1] with +y up.
+        let ndc_x = (px / self.width as f32) * 2.0 - 1.0;
+        let ndc_y = 1.0 - (py / self.height as f32) * 2.0;
+        let dir = self.pose.forward
+            + self.pose.right * (ndc_x * tan_half * aspect)
+            + self.pose.up * (ndc_y * tan_half);
+        Ray::new(self.pose.position, dir.normalized())
+    }
+
+    /// The ray through the center of integer pixel `(ix, iy)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when the pixel is out of bounds.
+    pub fn pixel_center_ray(&self, ix: u32, iy: u32) -> Ray {
+        debug_assert!(ix < self.width && iy < self.height);
+        self.pixel_ray(ix as f32 + 0.5, iy as f32 + 0.5)
+    }
+
+    /// Iterates all pixel-center rays in row-major order.
+    pub fn rays(&self) -> impl Iterator<Item = Ray> + '_ {
+        (0..self.height).flat_map(move |y| (0..self.width).map(move |x| self.pixel_center_ray(x, y)))
+    }
+}
+
+/// A ring of `count` cameras on a sphere of radius `radius` around `target`,
+/// at elevation angle `elevation` radians — the capture rig used for the
+/// NeRF-Synthetic-like object scenes.
+pub fn orbit_rig(
+    target: Vec3,
+    radius: f32,
+    elevation: f32,
+    count: usize,
+    fov_y: f32,
+    width: u32,
+    height: u32,
+) -> Vec<Camera> {
+    (0..count)
+        .map(|i| {
+            let azim = i as f32 / count as f32 * std::f32::consts::TAU;
+            let eye = target
+                + Vec3::new(
+                    radius * elevation.cos() * azim.cos(),
+                    radius * elevation.sin(),
+                    radius * elevation.cos() * azim.sin(),
+                );
+            Camera::look_at(eye, target, Vec3::Y, fov_y, width, height)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_cam() -> Camera {
+        Camera::look_at(
+            Vec3::new(0.0, 0.0, 3.0),
+            Vec3::ZERO,
+            Vec3::Y,
+            60f32.to_radians(),
+            32,
+            32,
+        )
+    }
+
+    #[test]
+    fn look_at_basis_is_orthonormal() {
+        let p = Pose::look_at(Vec3::new(1.0, 2.0, 3.0), Vec3::ZERO, Vec3::Y);
+        assert!((p.right.norm() - 1.0).abs() < 1e-5);
+        assert!((p.up.norm() - 1.0).abs() < 1e-5);
+        assert!((p.forward.norm() - 1.0).abs() < 1e-5);
+        assert!(p.right.dot(p.up).abs() < 1e-5);
+        assert!(p.right.dot(p.forward).abs() < 1e-5);
+        assert!(p.up.dot(p.forward).abs() < 1e-5);
+    }
+
+    #[test]
+    fn center_ray_points_forward() {
+        let cam = test_cam();
+        let r = cam.pixel_ray(16.0, 16.0);
+        assert!(r.dir.dot(cam.pose.forward) > 0.999);
+        assert_eq!(r.origin, cam.pose.position);
+    }
+
+    #[test]
+    fn corner_rays_diverge_symmetrically() {
+        let cam = test_cam();
+        let tl = cam.pixel_ray(0.0, 0.0);
+        let br = cam.pixel_ray(32.0, 32.0);
+        // Symmetric about the optical axis.
+        assert!((tl.dir.dot(cam.pose.forward) - br.dir.dot(cam.pose.forward)).abs() < 1e-5);
+        // Top-left ray points up-left.
+        assert!(tl.dir.dot(cam.pose.up) > 0.0);
+        assert!(tl.dir.dot(cam.pose.right) < 0.0);
+    }
+
+    #[test]
+    fn rays_iterator_covers_all_pixels() {
+        let cam = Camera::look_at(Vec3::new(0.0, 0.0, 2.0), Vec3::ZERO, Vec3::Y, 1.0, 4, 3);
+        assert_eq!(cam.rays().count(), 12);
+        assert_eq!(cam.num_pixels(), 12);
+    }
+
+    #[test]
+    fn orbit_rig_cameras_look_at_target() {
+        let rig = orbit_rig(Vec3::ZERO, 2.0, 0.5, 8, 1.0, 16, 16);
+        assert_eq!(rig.len(), 8);
+        for cam in &rig {
+            assert!((cam.pose.position.norm() - 2.0).abs() < 1e-5);
+            // Forward points from eye to origin.
+            let expect = (-cam.pose.position).normalized();
+            assert!(cam.pose.forward.dot(expect) > 0.999);
+        }
+    }
+
+    #[test]
+    fn fov_controls_ray_spread() {
+        let narrow = Camera::look_at(Vec3::new(0.0, 0.0, 2.0), Vec3::ZERO, Vec3::Y, 0.3, 16, 16);
+        let wide = Camera::look_at(Vec3::new(0.0, 0.0, 2.0), Vec3::ZERO, Vec3::Y, 1.5, 16, 16);
+        let n = narrow.pixel_ray(0.0, 8.0).dir.dot(narrow.pose.forward);
+        let w = wide.pixel_ray(0.0, 8.0).dir.dot(wide.pose.forward);
+        assert!(n > w, "narrow fov should keep rays closer to the axis");
+    }
+}

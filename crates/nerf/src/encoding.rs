@@ -1,0 +1,119 @@
+//! Frequency (positional) encoding — vanilla NeRF's input featurisation.
+//!
+//! Vanilla NeRF (§2.1 of the paper) feeds `γ(p) = [sin(2^k π p),
+//! cos(2^k π p)]_{k<L}` per coordinate to a large MLP instead of looking
+//! features up in a grid. Instant-NGP replaced this with the hash grid;
+//! this module exists so the repository can train the vanilla baseline the
+//! paper compares against.
+
+use crate::math::Vec3;
+
+/// Output width of [`freq_encode_into`] for a 3-vector: `3 × 2L` (+3 when
+/// `include_input`).
+pub const fn freq_encoding_dim(levels: usize, include_input: bool) -> usize {
+    3 * 2 * levels + if include_input { 3 } else { 0 }
+}
+
+/// Encodes `v` with `levels` octaves of sin/cos features, optionally
+/// prepending the raw input (as vanilla NeRF does).
+///
+/// Layout: `[v?, sin(2⁰πv), cos(2⁰πv), sin(2¹πv), cos(2¹πv), ...]`, each
+/// block covering x, y, z.
+///
+/// # Panics
+///
+/// Panics if `out.len() != freq_encoding_dim(levels, include_input)`.
+pub fn freq_encode_into(v: Vec3, levels: usize, include_input: bool, out: &mut [f32]) {
+    assert_eq!(
+        out.len(),
+        freq_encoding_dim(levels, include_input),
+        "output buffer size mismatch"
+    );
+    let mut k = 0;
+    if include_input {
+        out[0] = v.x;
+        out[1] = v.y;
+        out[2] = v.z;
+        k = 3;
+    }
+    let mut freq = std::f32::consts::PI;
+    for _ in 0..levels {
+        for c in [v.x, v.y, v.z] {
+            out[k] = (freq * c).sin();
+            k += 1;
+        }
+        for c in [v.x, v.y, v.z] {
+            out[k] = (freq * c).cos();
+            k += 1;
+        }
+        freq *= 2.0;
+    }
+}
+
+/// Allocating convenience wrapper around [`freq_encode_into`].
+pub fn freq_encode(v: Vec3, levels: usize, include_input: bool) -> Vec<f32> {
+    let mut out = vec![0.0; freq_encoding_dim(levels, include_input)];
+    freq_encode_into(v, levels, include_input, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dims_match_vanilla_nerf() {
+        // Vanilla NeRF: L=10 for positions (60 dims), L=4 for directions (24).
+        assert_eq!(freq_encoding_dim(10, false), 60);
+        assert_eq!(freq_encoding_dim(4, false), 24);
+        assert_eq!(freq_encoding_dim(10, true), 63);
+    }
+
+    #[test]
+    fn zero_input_gives_zero_sines_unit_cosines() {
+        let e = freq_encode(Vec3::ZERO, 3, false);
+        for block in 0..3 {
+            for i in 0..3 {
+                assert_eq!(e[block * 6 + i], 0.0, "sin block");
+                assert_eq!(e[block * 6 + 3 + i], 1.0, "cos block");
+            }
+        }
+    }
+
+    #[test]
+    fn include_input_prepends_raw_coordinates() {
+        let v = Vec3::new(0.1, -0.2, 0.3);
+        let e = freq_encode(v, 2, true);
+        assert_eq!(&e[..3], &[0.1, -0.2, 0.3]);
+        let no_input = freq_encode(v, 2, false);
+        assert_eq!(&e[3..], &no_input[..]);
+    }
+
+    #[test]
+    fn features_are_bounded_by_one() {
+        for &v in &[
+            Vec3::new(0.5, 0.25, 0.75),
+            Vec3::new(-3.2, 7.9, 0.01),
+            Vec3::splat(123.456),
+        ] {
+            for f in freq_encode(v, 8, false) {
+                assert!(f.abs() <= 1.0 + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn octaves_double_in_frequency() {
+        // sin(2^k π x) at x = 0.5: k=0 → sin(π/2)=1, k=1 → sin(π)=0.
+        let e = freq_encode(Vec3::new(0.5, 0.0, 0.0), 2, false);
+        assert!((e[0] - 1.0).abs() < 1e-6, "octave 0 sin(π/2)");
+        assert!(e[6].abs() < 1e-5, "octave 1 sin(π)");
+    }
+
+    #[test]
+    fn distinct_points_get_distinct_codes() {
+        let a = freq_encode(Vec3::new(0.1, 0.2, 0.3), 6, false);
+        let b = freq_encode(Vec3::new(0.11, 0.2, 0.3), 6, false);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,249 @@
+//! Software half-precision (IEEE 754 binary16) storage.
+//!
+//! The Instant-3D accelerator uses "16-bit half-precision floating-point
+//! arithmetic for all algorithm-related computations" (§5.1). The hash-grid
+//! feature tables in this reproduction are therefore *stored* as fp16 and
+//! widened to `f32` for arithmetic, mirroring fp16 multiply / f32 accumulate
+//! hardware. Conversion uses round-to-nearest-even, the IEEE default.
+
+/// A 16-bit IEEE 754 binary16 value stored as its raw bit pattern.
+///
+/// # Example
+///
+/// ```
+/// use instant3d_nerf::fp16::F16;
+/// let h = F16::from_f32(1.0);
+/// assert_eq!(h.to_f32(), 1.0);
+/// // fp16 has ~3 decimal digits: 0.1 is not exactly representable.
+/// let tenth = F16::from_f32(0.1).to_f32();
+/// assert!((tenth - 0.1).abs() < 1e-4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct F16(pub u16);
+
+impl F16 {
+    /// Positive zero.
+    pub const ZERO: F16 = F16(0);
+    /// One.
+    pub const ONE: F16 = F16(0x3C00);
+    /// Largest finite fp16 value (65504).
+    pub const MAX: F16 = F16(0x7BFF);
+    /// Smallest positive normal fp16 value (2^-14).
+    pub const MIN_POSITIVE: F16 = F16(0x0400);
+    /// Positive infinity.
+    pub const INFINITY: F16 = F16(0x7C00);
+
+    /// Converts from `f32` with round-to-nearest-even.
+    ///
+    /// Values above the fp16 range become ±infinity; subnormals are
+    /// produced for tiny magnitudes, matching IEEE semantics.
+    pub fn from_f32(value: f32) -> F16 {
+        let bits = value.to_bits();
+        let sign = ((bits >> 16) & 0x8000) as u16;
+        let exp = ((bits >> 23) & 0xFF) as i32;
+        let mant = bits & 0x007F_FFFF;
+
+        if exp == 0xFF {
+            // Inf / NaN. Preserve NaN-ness with a quiet-NaN payload bit.
+            let nan = if mant != 0 { 0x0200 } else { 0 };
+            return F16(sign | 0x7C00 | nan);
+        }
+
+        // Re-bias exponent: f32 bias 127, f16 bias 15.
+        let unbiased = exp - 127;
+        if unbiased > 15 {
+            // Overflow to infinity.
+            return F16(sign | 0x7C00);
+        }
+        if unbiased >= -14 {
+            // Normal range. Keep 10 mantissa bits, round-to-nearest-even.
+            let half_exp = ((unbiased + 15) as u16) << 10;
+            let half_mant = (mant >> 13) as u16;
+            let round_bit = (mant >> 12) & 1;
+            let sticky = mant & 0x0FFF;
+            let mut out = sign | half_exp | half_mant;
+            if round_bit == 1 && (sticky != 0 || (half_mant & 1) == 1) {
+                out = out.wrapping_add(1); // may carry into exponent: still correct
+            }
+            return F16(out);
+        }
+        if unbiased >= -24 {
+            // Subnormal half. Shift the implicit leading 1 into the mantissa.
+            let full_mant = mant | 0x0080_0000;
+            let shift = (-unbiased - 14 + 13) as u32; // 13 base + extra
+            let half_mant = (full_mant >> shift) as u16;
+            let round_bit = (full_mant >> (shift - 1)) & 1;
+            let sticky = full_mant & ((1u32 << (shift - 1)) - 1);
+            let mut out = sign | half_mant;
+            if round_bit == 1 && (sticky != 0 || (half_mant & 1) == 1) {
+                out = out.wrapping_add(1);
+            }
+            return F16(out);
+        }
+        // Underflow to signed zero.
+        F16(sign)
+    }
+
+    /// Widens to `f32` exactly (every fp16 value is representable in f32).
+    pub fn to_f32(self) -> f32 {
+        let sign = ((self.0 & 0x8000) as u32) << 16;
+        let exp = ((self.0 >> 10) & 0x1F) as u32;
+        let mant = (self.0 & 0x03FF) as u32;
+
+        let bits = if exp == 0 {
+            if mant == 0 {
+                sign // signed zero
+            } else {
+                // Subnormal: normalise.
+                let mut e = 0i32;
+                let mut m = mant;
+                while m & 0x0400 == 0 {
+                    m <<= 1;
+                    e -= 1;
+                }
+                m &= 0x03FF;
+                sign | (((e + 127 - 14) as u32) << 23) | (m << 13)
+            }
+        } else if exp == 0x1F {
+            sign | 0x7F80_0000 | (mant << 13) // inf / NaN
+        } else {
+            sign | ((exp + 127 - 15) << 23) | (mant << 13)
+        };
+        f32::from_bits(bits)
+    }
+
+    /// True for NaN payloads.
+    pub fn is_nan(self) -> bool {
+        (self.0 & 0x7C00) == 0x7C00 && (self.0 & 0x03FF) != 0
+    }
+}
+
+impl From<f32> for F16 {
+    fn from(v: f32) -> F16 {
+        F16::from_f32(v)
+    }
+}
+
+impl From<F16> for f32 {
+    fn from(v: F16) -> f32 {
+        v.to_f32()
+    }
+}
+
+impl std::fmt::Display for F16 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+/// Rounds an `f32` through fp16 and back: the quantisation the accelerator's
+/// storage applies to every grid feature.
+#[inline]
+pub fn quantize(v: f32) -> f32 {
+    F16::from_f32(v).to_f32()
+}
+
+/// Quantises a whole slice in place (used when flushing grid updates).
+pub fn quantize_slice(values: &mut [f32]) {
+    for v in values {
+        *v = quantize(*v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_small_integers_roundtrip() {
+        for i in -2048..=2048 {
+            let f = i as f32;
+            assert_eq!(F16::from_f32(f).to_f32(), f, "integer {i} must be exact");
+        }
+    }
+
+    #[test]
+    fn powers_of_two_roundtrip() {
+        for e in -14..=15 {
+            let f = (2.0f32).powi(e);
+            assert_eq!(F16::from_f32(f).to_f32(), f);
+        }
+    }
+
+    #[test]
+    fn constants_are_consistent() {
+        assert_eq!(F16::ZERO.to_f32(), 0.0);
+        assert_eq!(F16::ONE.to_f32(), 1.0);
+        assert_eq!(F16::MAX.to_f32(), 65504.0);
+        assert_eq!(F16::MIN_POSITIVE.to_f32(), (2.0f32).powi(-14));
+        assert!(F16::INFINITY.to_f32().is_infinite());
+    }
+
+    #[test]
+    fn overflow_saturates_to_infinity() {
+        assert!(F16::from_f32(1e6).to_f32().is_infinite());
+        assert!(F16::from_f32(-1e6).to_f32().is_infinite());
+        assert!(F16::from_f32(-1e6).to_f32() < 0.0);
+    }
+
+    #[test]
+    fn underflow_to_zero_preserves_sign() {
+        let z = F16::from_f32(1e-10);
+        assert_eq!(z.to_f32(), 0.0);
+        let nz = F16::from_f32(-1e-10);
+        assert_eq!(nz.to_f32(), 0.0);
+        assert!(nz.to_f32().is_sign_negative());
+    }
+
+    #[test]
+    fn subnormals_are_representable() {
+        let tiny = (2.0f32).powi(-20); // subnormal in fp16
+        let q = F16::from_f32(tiny).to_f32();
+        assert_eq!(q, tiny, "power-of-two subnormal should be exact");
+    }
+
+    #[test]
+    fn nan_propagates() {
+        let h = F16::from_f32(f32::NAN);
+        assert!(h.is_nan());
+        assert!(h.to_f32().is_nan());
+    }
+
+    #[test]
+    fn rounding_is_nearest_even() {
+        // 1 + 2^-11 is exactly halfway between 1.0 and the next fp16 value
+        // (1 + 2^-10); round-to-even picks 1.0 (even mantissa).
+        let halfway = 1.0 + (2.0f32).powi(-11);
+        assert_eq!(F16::from_f32(halfway).to_f32(), 1.0);
+        // Just above the halfway point must round up.
+        let above = 1.0 + (2.0f32).powi(-11) + (2.0f32).powi(-20);
+        assert_eq!(F16::from_f32(above).to_f32(), 1.0 + (2.0f32).powi(-10));
+    }
+
+    #[test]
+    fn quantize_error_is_bounded() {
+        // Relative error of fp16 rounding is at most 2^-11 in the normal range.
+        let mut v = 0.001f32;
+        while v < 1000.0 {
+            let q = quantize(v);
+            assert!((q - v).abs() <= v * (2.0f32).powi(-11) * 1.0001, "v={v} q={q}");
+            v *= 1.37;
+        }
+    }
+
+    #[test]
+    fn quantize_slice_matches_scalar() {
+        let mut xs = vec![0.1, 0.2, 0.3, 1234.5678];
+        let expect: Vec<f32> = xs.iter().map(|&x| quantize(x)).collect();
+        quantize_slice(&mut xs);
+        assert_eq!(xs, expect);
+    }
+
+    #[test]
+    fn roundtrip_is_idempotent() {
+        for &v in &[0.1f32, 3.207_18, -2.936_12, 1e-3, 6e4] {
+            let once = quantize(v);
+            assert_eq!(quantize(once), once);
+        }
+    }
+}

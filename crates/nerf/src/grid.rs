@@ -1,0 +1,701 @@
+//! The multiresolution hash-grid embedding of Instant-NGP (Step ③-①).
+//!
+//! A [`HashGrid`] is a stack of `L` levels; level `l` overlays the unit cube
+//! with a virtual grid of resolution `N_l` and stores per-vertex feature
+//! vectors (`F` floats each) in a 1D table. Coarse levels whose full vertex
+//! set fits the table are stored densely (collision-free); fine levels use
+//! the spatial hash of Eq. 3 ([`crate::hash::spatial_hash`]).
+//!
+//! Querying a 3D point trilinearly interpolates the 8 surrounding vertex
+//! features at every level and concatenates the per-level results — this is
+//! the operation the paper identifies as >80 % of NeRF training time, and
+//! the access stream the Instant-3D accelerator (FRM/BUM units) optimises.
+//!
+//! The backward pass scatters the upstream embedding gradient back onto the
+//! same 8 vertices per level with the same trilinear weights.
+//!
+//! An optional [`GridAccessObserver`] receives every table read and gradient
+//! write, which is how the `instant3d-trace` crate captures the address
+//! streams behind Figs. 8, 9 and 10.
+
+use crate::fp16;
+use crate::hash::{vertex_address, AddressMode, CORNER_OFFSETS};
+use crate::math::Vec3;
+use rand::Rng;
+
+/// Memory-access phase, used by observers and the accelerator simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessPhase {
+    /// Feed-forward embedding read (Step ③-① forward).
+    FeedForward,
+    /// Back-propagation gradient update (Step ③-① backward).
+    BackProp,
+}
+
+/// Receives every hash-table access the grid performs.
+///
+/// Implementations must be cheap: the grid calls the observer once per
+/// corner per level per queried point.
+pub trait GridAccessObserver {
+    /// A table access at `level`, in-level entry index `addr`, during `phase`.
+    /// `corner` is the 0..8 corner id within the interpolation cube.
+    fn on_access(&mut self, phase: AccessPhase, level: u32, corner: u8, addr: u32);
+}
+
+/// A no-op observer (useful default for tests).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullObserver;
+
+impl GridAccessObserver for NullObserver {
+    #[inline]
+    fn on_access(&mut self, _: AccessPhase, _: u32, _: u8, _: u32) {}
+}
+
+/// Identifies which grid of a decomposed model an access refers to.
+///
+/// Instant-3D (§3) splits the embedding grid into a density grid and a
+/// color grid; the accelerator stores them in separate SRAM regions, so
+/// trace capture and simulation need the tag. Coupled (Instant-NGP) models
+/// only ever report [`GridBranch::Density`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GridBranch {
+    /// The density grid (or the single shared grid when coupled).
+    Density,
+    /// The color grid (decoupled topology only).
+    Color,
+}
+
+/// An access observer that also learns which branch is being accessed.
+pub trait BranchObserver {
+    /// Called once per table access, tagged with the branch.
+    fn on_branch_access(
+        &mut self,
+        branch: GridBranch,
+        phase: AccessPhase,
+        level: u32,
+        corner: u8,
+        addr: u32,
+    );
+}
+
+/// No-op branch observer.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullBranchObserver;
+
+impl BranchObserver for NullBranchObserver {
+    #[inline]
+    fn on_branch_access(&mut self, _: GridBranch, _: AccessPhase, _: u32, _: u8, _: u32) {}
+}
+
+/// Configuration of a multiresolution hash grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HashGridConfig {
+    /// Number of resolution levels `L`.
+    pub levels: usize,
+    /// Features per table entry `F` (the paper and Instant-NGP use 2).
+    pub features_per_entry: usize,
+    /// log2 of the per-level hash-table size `T`.
+    pub log2_table_size: u32,
+    /// Coarsest virtual grid resolution `N_min`.
+    pub base_resolution: u32,
+    /// Finest virtual grid resolution `N_max`.
+    pub max_resolution: u32,
+    /// Store features quantised to fp16 (the accelerator's storage format).
+    pub store_fp16: bool,
+    /// Uniform init scale: features start in `[-init_scale, init_scale]`.
+    pub init_scale: f32,
+}
+
+impl Default for HashGridConfig {
+    /// A laptop-scale default (the paper-scale tables are selected by the
+    /// experiment configs): 8 levels, 2 features, 2^14-entry tables,
+    /// resolutions 16 → 256.
+    fn default() -> Self {
+        HashGridConfig {
+            levels: 8,
+            features_per_entry: 2,
+            log2_table_size: 14,
+            base_resolution: 16,
+            max_resolution: 256,
+            store_fp16: true,
+            init_scale: 1e-4,
+        }
+    }
+}
+
+impl HashGridConfig {
+    /// The Instant-NGP paper-scale configuration: 16 levels, `T = 2^19`.
+    pub fn instant_ngp() -> Self {
+        HashGridConfig {
+            levels: 16,
+            features_per_entry: 2,
+            log2_table_size: 19,
+            base_resolution: 16,
+            max_resolution: 512,
+            store_fp16: true,
+            init_scale: 1e-4,
+        }
+    }
+
+    /// Returns a copy whose per-level table size is scaled by `factor`
+    /// (e.g. 0.25 for the Instant-3D color grid at `S_D : S_C = 1 : 0.25`).
+    ///
+    /// The scale is applied in log2 space, so `factor` must be a power of
+    /// two; other values are rounded to the nearest power of two.
+    pub fn with_size_factor(mut self, factor: f64) -> Self {
+        assert!(factor > 0.0, "size factor must be positive");
+        let delta = factor.log2().round() as i64;
+        let new = self.log2_table_size as i64 + delta;
+        self.log2_table_size = new.clamp(4, 30) as u32;
+        self
+    }
+
+    /// Per-level virtual grid resolutions `N_l = ⌊N_min · b^l⌋` with
+    /// `b = exp((ln N_max − ln N_min)/(L−1))` (Instant-NGP Eq. 2-3).
+    pub fn level_resolutions(&self) -> Vec<u32> {
+        assert!(self.levels >= 1);
+        if self.levels == 1 {
+            return vec![self.base_resolution];
+        }
+        let b = ((self.max_resolution as f64).ln() - (self.base_resolution as f64).ln())
+            / (self.levels as f64 - 1.0);
+        (0..self.levels)
+            .map(|l| ((self.base_resolution as f64) * (b * l as f64).exp() + 1e-6).floor() as u32)
+            .collect()
+    }
+
+    /// Hash-table entries per level (`T`).
+    pub fn table_size(&self) -> u32 {
+        1u32 << self.log2_table_size
+    }
+
+    /// Total number of stored feature scalars across all levels.
+    pub fn num_params(&self) -> usize {
+        let res = self.level_resolutions();
+        res.iter()
+            .map(|&r| {
+                let dense = ((r + 1) as u64).pow(3);
+                let t = dense.min(self.table_size() as u64) as usize;
+                t * self.features_per_entry
+            })
+            .sum()
+    }
+
+    /// Total table bytes if stored as fp16 (what the accelerator's SRAM holds).
+    pub fn table_bytes_fp16(&self) -> usize {
+        self.num_params() * 2
+    }
+}
+
+/// One resolution level of the grid.
+#[derive(Debug, Clone)]
+pub struct GridLevel {
+    /// Virtual grid resolution `N_l` (cells per axis).
+    pub resolution: u32,
+    /// Entries in this level's table.
+    pub table_size: u32,
+    /// Dense or hashed addressing.
+    pub mode: AddressMode,
+    /// Offset (in entries) of this level within the concatenated table.
+    pub entry_offset: u32,
+}
+
+/// The multiresolution hash grid: feature storage plus interpolation.
+///
+/// # Example
+///
+/// ```
+/// use instant3d_nerf::grid::{HashGrid, HashGridConfig};
+/// use instant3d_nerf::math::Vec3;
+///
+/// let cfg = HashGridConfig { levels: 4, ..HashGridConfig::default() };
+/// let grid = HashGrid::new(cfg);
+/// assert_eq!(grid.output_dim(), 4 * 2);
+/// let emb = grid.encode(Vec3::splat(0.5));
+/// assert!(emb.iter().all(|v| v.is_finite()));
+/// ```
+#[derive(Debug, Clone)]
+pub struct HashGrid {
+    cfg: HashGridConfig,
+    levels: Vec<GridLevel>,
+    /// All feature scalars, level-major: level l occupies
+    /// `params[offset_l .. offset_l + table_size_l * F]`.
+    params: Vec<f32>,
+    param_offsets: Vec<usize>,
+}
+
+impl HashGrid {
+    /// Creates a grid with all features initialised to zero.
+    ///
+    /// Use [`HashGrid::init_random`] (or [`HashGrid::new_random`]) before
+    /// training: Instant-NGP initialises features uniformly in `±1e-4`.
+    pub fn new(cfg: HashGridConfig) -> Self {
+        assert!(cfg.levels >= 1, "need at least one level");
+        assert!(cfg.features_per_entry >= 1, "need at least one feature");
+        assert!(
+            cfg.base_resolution >= 1 && cfg.max_resolution >= cfg.base_resolution,
+            "resolutions must satisfy 1 <= base <= max"
+        );
+        let resolutions = cfg.level_resolutions();
+        let mut levels = Vec::with_capacity(cfg.levels);
+        let mut param_offsets = Vec::with_capacity(cfg.levels + 1);
+        let mut entry_cursor = 0u32;
+        let mut param_cursor = 0usize;
+        for &r in &resolutions {
+            let dense = ((r + 1) as u64).pow(3);
+            let (mode, table_size) = if dense <= cfg.table_size() as u64 {
+                (AddressMode::Dense, dense as u32)
+            } else {
+                (AddressMode::Hashed, cfg.table_size())
+            };
+            levels.push(GridLevel {
+                resolution: r,
+                table_size,
+                mode,
+                entry_offset: entry_cursor,
+            });
+            param_offsets.push(param_cursor);
+            entry_cursor += table_size;
+            param_cursor += table_size as usize * cfg.features_per_entry;
+        }
+        param_offsets.push(param_cursor);
+        HashGrid {
+            cfg,
+            levels,
+            params: vec![0.0; param_cursor],
+            param_offsets,
+        }
+    }
+
+    /// Creates a grid with features drawn uniformly from `±init_scale`.
+    pub fn new_random<R: Rng + ?Sized>(cfg: HashGridConfig, rng: &mut R) -> Self {
+        let mut g = HashGrid::new(cfg);
+        g.init_random(rng);
+        g
+    }
+
+    /// Re-initialises all features uniformly in `±init_scale`, quantising to
+    /// fp16 when the config requests fp16 storage.
+    pub fn init_random<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        let s = self.cfg.init_scale;
+        for p in &mut self.params {
+            *p = rng.gen_range(-s..=s);
+        }
+        if self.cfg.store_fp16 {
+            fp16::quantize_slice(&mut self.params);
+        }
+    }
+
+    /// The grid configuration.
+    pub fn config(&self) -> &HashGridConfig {
+        &self.cfg
+    }
+
+    /// Per-level metadata.
+    pub fn levels(&self) -> &[GridLevel] {
+        &self.levels
+    }
+
+    /// Embedding width produced by [`HashGrid::encode`]: `L × F`.
+    pub fn output_dim(&self) -> usize {
+        self.cfg.levels * self.cfg.features_per_entry
+    }
+
+    /// Total trainable scalars.
+    pub fn num_params(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Read-only view of all parameters (level-major).
+    pub fn params(&self) -> &[f32] {
+        &self.params
+    }
+
+    /// Mutable view of all parameters (for the optimizer).
+    pub fn params_mut(&mut self) -> &mut [f32] {
+        &mut self.params
+    }
+
+    /// Quantises all parameters to fp16 storage (call after optimizer steps
+    /// when `store_fp16` is set).
+    pub fn quantize_storage(&mut self) {
+        if self.cfg.store_fp16 {
+            fp16::quantize_slice(&mut self.params);
+        }
+    }
+
+    /// Offset (in entries, across the concatenated table) of `level`.
+    pub fn entry_offset(&self, level: usize) -> u32 {
+        self.levels[level].entry_offset
+    }
+
+    /// Interpolation data for one point at one level: the 8 corner
+    /// addresses and trilinear weights.
+    #[inline]
+    fn corners(&self, level: &GridLevel, unit_pos: Vec3) -> ([u32; 8], [f32; 8]) {
+        let n = level.resolution as f32;
+        // Clamp strictly inside so `floor` stays below `resolution`.
+        let eps = 1e-6;
+        let sx = (unit_pos.x.clamp(0.0, 1.0 - eps)) * n;
+        let sy = (unit_pos.y.clamp(0.0, 1.0 - eps)) * n;
+        let sz = (unit_pos.z.clamp(0.0, 1.0 - eps)) * n;
+        let (cx, cy, cz) = (sx.floor(), sy.floor(), sz.floor());
+        let (fx, fy, fz) = (sx - cx, sy - cy, sz - cz);
+        let (ix, iy, iz) = (cx as u32, cy as u32, cz as u32);
+
+        let mut addrs = [0u32; 8];
+        let mut weights = [0f32; 8];
+        for (c, &(dx, dy, dz)) in CORNER_OFFSETS.iter().enumerate() {
+            let wx = if dx == 1 { fx } else { 1.0 - fx };
+            let wy = if dy == 1 { fy } else { 1.0 - fy };
+            let wz = if dz == 1 { fz } else { 1.0 - fz };
+            weights[c] = wx * wy * wz;
+            addrs[c] = vertex_address(
+                level.mode,
+                ix + dx,
+                iy + dy,
+                iz + dz,
+                level.resolution,
+                level.table_size,
+            );
+        }
+        (addrs, weights)
+    }
+
+    /// Encodes a point in the unit cube into its `L × F` embedding.
+    ///
+    /// Positions outside `[0,1]^3` are clamped (the trainer maps world
+    /// coordinates through the scene AABB first).
+    pub fn encode(&self, unit_pos: Vec3) -> Vec<f32> {
+        let mut out = vec![0.0; self.output_dim()];
+        self.encode_into(unit_pos, &mut out, &mut NullObserver);
+        out
+    }
+
+    /// Encodes into a caller-provided buffer, reporting table reads to `obs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.output_dim()`.
+    pub fn encode_into<O: GridAccessObserver + ?Sized>(
+        &self,
+        unit_pos: Vec3,
+        out: &mut [f32],
+        obs: &mut O,
+    ) {
+        assert_eq!(out.len(), self.output_dim(), "output buffer size mismatch");
+        let f = self.cfg.features_per_entry;
+        for (l, level) in self.levels.iter().enumerate() {
+            let (addrs, weights) = self.corners(level, unit_pos);
+            let base = self.param_offsets[l];
+            let dst = &mut out[l * f..(l + 1) * f];
+            dst.fill(0.0);
+            for c in 0..8 {
+                obs.on_access(AccessPhase::FeedForward, l as u32, c as u8, addrs[c]);
+                let w = weights[c];
+                let src = base + addrs[c] as usize * f;
+                for k in 0..f {
+                    dst[k] += w * self.params[src + k];
+                }
+            }
+        }
+    }
+
+    /// Backward pass: scatters `d_out` (gradient of the loss w.r.t. the
+    /// embedding of `unit_pos`) into `grads`, reporting writes to `obs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d_out.len() != self.output_dim()` or
+    /// `grads.values.len() != self.num_params()`.
+    pub fn backward_into<O: GridAccessObserver + ?Sized>(
+        &self,
+        unit_pos: Vec3,
+        d_out: &[f32],
+        grads: &mut GridGradients,
+        obs: &mut O,
+    ) {
+        assert_eq!(d_out.len(), self.output_dim(), "gradient width mismatch");
+        assert_eq!(grads.values.len(), self.params.len(), "gradient buffer mismatch");
+        let f = self.cfg.features_per_entry;
+        for (l, level) in self.levels.iter().enumerate() {
+            let (addrs, weights) = self.corners(level, unit_pos);
+            let base = self.param_offsets[l];
+            let src = &d_out[l * f..(l + 1) * f];
+            for c in 0..8 {
+                obs.on_access(AccessPhase::BackProp, l as u32, c as u8, addrs[c]);
+                let w = weights[c];
+                let dst = base + addrs[c] as usize * f;
+                for k in 0..f {
+                    grads.values[dst + k] += w * src[k];
+                }
+            }
+        }
+        grads.count += 1;
+    }
+
+    /// Allocates a zeroed gradient buffer shaped like this grid.
+    pub fn zero_grads(&self) -> GridGradients {
+        GridGradients {
+            values: vec![0.0; self.params.len()],
+            count: 0,
+        }
+    }
+
+    /// Table reads performed per encoded point (8 corners × L levels).
+    pub fn reads_per_point(&self) -> usize {
+        8 * self.cfg.levels
+    }
+}
+
+/// Accumulated gradients for a [`HashGrid`] (shape-matched flat buffer).
+#[derive(Debug, Clone)]
+pub struct GridGradients {
+    /// Gradient value per parameter scalar.
+    pub values: Vec<f32>,
+    /// Number of points accumulated since the last reset.
+    pub count: usize,
+}
+
+impl GridGradients {
+    /// Resets all gradients to zero.
+    pub fn zero(&mut self) {
+        self.values.fill(0.0);
+        self.count = 0;
+    }
+
+    /// Scales all gradients by `s` (e.g. 1/batch for mean reduction).
+    pub fn scale(&mut self, s: f32) {
+        for v in &mut self.values {
+            *v *= s;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_grid() -> HashGrid {
+        let cfg = HashGridConfig {
+            levels: 3,
+            features_per_entry: 2,
+            log2_table_size: 10,
+            base_resolution: 4,
+            max_resolution: 32,
+            store_fp16: false,
+            init_scale: 0.1,
+        };
+        let mut rng = StdRng::seed_from_u64(7);
+        HashGrid::new_random(cfg, &mut rng)
+    }
+
+    #[test]
+    fn level_resolutions_are_geometric() {
+        let cfg = HashGridConfig {
+            levels: 4,
+            base_resolution: 16,
+            max_resolution: 128,
+            ..HashGridConfig::default()
+        };
+        let res = cfg.level_resolutions();
+        assert_eq!(res.first(), Some(&16));
+        assert_eq!(res.last(), Some(&128));
+        for w in res.windows(2) {
+            assert!(w[1] > w[0], "resolutions must increase");
+        }
+    }
+
+    #[test]
+    fn coarse_levels_are_dense_fine_levels_hashed() {
+        let g = small_grid();
+        // level 0: res 4 → 125 vertices < 1024 → dense
+        assert_eq!(g.levels()[0].mode, AddressMode::Dense);
+        // level 2: res 32 → 35937 vertices > 1024 → hashed
+        assert_eq!(g.levels()[2].mode, AddressMode::Hashed);
+        assert_eq!(g.levels()[2].table_size, 1024);
+    }
+
+    #[test]
+    fn encode_output_width() {
+        let g = small_grid();
+        assert_eq!(g.encode(Vec3::splat(0.5)).len(), 6);
+    }
+
+    #[test]
+    fn encode_at_vertex_returns_vertex_feature() {
+        // At an exact dense-grid vertex the interpolation weight collapses
+        // onto one corner, so the embedding equals that vertex's feature.
+        let g = small_grid();
+        let level = &g.levels()[0];
+        assert_eq!(level.mode, AddressMode::Dense);
+        let res = level.resolution; // 4
+        let p = Vec3::new(1.0 / res as f32, 2.0 / res as f32, 3.0 / res as f32);
+        let emb = g.encode(p);
+        let addr = crate::hash::dense_index(1, 2, 3, res) as usize;
+        let f = g.config().features_per_entry;
+        let base = addr * f; // level 0 param offset is 0
+        for k in 0..f {
+            assert!(
+                (emb[k] - g.params()[base + k]).abs() < 1e-5,
+                "feature {k}: {} vs {}",
+                emb[k],
+                g.params()[base + k]
+            );
+        }
+    }
+
+    #[test]
+    fn encode_is_continuous_across_cell_boundary() {
+        let g = small_grid();
+        let eps = 1e-5f32;
+        let boundary = 0.25; // a vertex plane of the res-4 level
+        let a = g.encode(Vec3::new(boundary - eps, 0.4, 0.6));
+        let b = g.encode(Vec3::new(boundary + eps, 0.4, 0.6));
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-3, "discontinuity: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn encode_clamps_out_of_range_positions() {
+        let g = small_grid();
+        let inside = g.encode(Vec3::new(0.999_999, 0.0, 0.5));
+        let outside = g.encode(Vec3::new(5.0, -3.0, 0.5));
+        let clamped = g.encode(Vec3::new(1.0, 0.0, 0.5));
+        assert_eq!(outside, clamped);
+        // and clamped values are close to the inside-the-box sample
+        for (x, y) in inside.iter().zip(&clamped) {
+            assert!((x - y).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn trilinear_weights_sum_to_one() {
+        let g = small_grid();
+        for level in g.levels() {
+            let (_, w) = g.corners(level, Vec3::new(0.31, 0.77, 0.13));
+            let sum: f32 = w.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+            assert!(w.iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn backward_matches_finite_difference() {
+        let mut g = small_grid();
+        let p = Vec3::new(0.37, 0.52, 0.81);
+        let d_out: Vec<f32> = (0..g.output_dim()).map(|i| 0.1 * (i as f32 + 1.0)).collect();
+
+        let mut grads = g.zero_grads();
+        g.backward_into(p, &d_out, &mut grads, &mut NullObserver);
+
+        // L(params) = dot(encode(p), d_out); check dL/dparam via FD on a few
+        // touched parameters.
+        let loss = |g: &HashGrid| -> f32 {
+            g.encode(p).iter().zip(&d_out).map(|(a, b)| a * b).sum()
+        };
+        let eps = 1e-3;
+        let touched: Vec<usize> = grads
+            .values
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v.abs() > 1e-8)
+            .map(|(i, _)| i)
+            .take(12)
+            .collect();
+        assert!(!touched.is_empty());
+        for i in touched {
+            let orig = g.params()[i];
+            g.params_mut()[i] = orig + eps;
+            let lp = loss(&g);
+            g.params_mut()[i] = orig - eps;
+            let lm = loss(&g);
+            g.params_mut()[i] = orig;
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - grads.values[i]).abs() < 1e-2,
+                "param {i}: fd {fd} vs analytic {}",
+                grads.values[i]
+            );
+        }
+    }
+
+    #[test]
+    fn observer_sees_8_reads_per_level() {
+        struct Counter(usize, usize);
+        impl GridAccessObserver for Counter {
+            fn on_access(&mut self, phase: AccessPhase, _: u32, _: u8, _: u32) {
+                match phase {
+                    AccessPhase::FeedForward => self.0 += 1,
+                    AccessPhase::BackProp => self.1 += 1,
+                }
+            }
+        }
+        let g = small_grid();
+        let mut obs = Counter(0, 0);
+        let mut out = vec![0.0; g.output_dim()];
+        g.encode_into(Vec3::splat(0.4), &mut out, &mut obs);
+        assert_eq!(obs.0, 8 * g.config().levels);
+        assert_eq!(obs.1, 0);
+
+        let mut grads = g.zero_grads();
+        let d = vec![1.0; g.output_dim()];
+        g.backward_into(Vec3::splat(0.4), &d, &mut grads, &mut obs);
+        assert_eq!(obs.1, 8 * g.config().levels);
+        assert_eq!(g.reads_per_point(), 8 * g.config().levels);
+    }
+
+    #[test]
+    fn size_factor_scales_table() {
+        let cfg = HashGridConfig::default();
+        let quarter = cfg.clone().with_size_factor(0.25);
+        assert_eq!(quarter.log2_table_size, cfg.log2_table_size - 2);
+        let same = cfg.clone().with_size_factor(1.0);
+        assert_eq!(same.log2_table_size, cfg.log2_table_size);
+    }
+
+    #[test]
+    fn fp16_storage_quantises() {
+        let cfg = HashGridConfig {
+            store_fp16: true,
+            ..HashGridConfig::default()
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut g = HashGrid::new_random(cfg, &mut rng);
+        g.params_mut()[0] = 0.1; // not fp16-representable
+        g.quantize_storage();
+        assert_eq!(g.params()[0], fp16::quantize(0.1));
+    }
+
+    #[test]
+    fn grad_buffer_ops() {
+        let g = small_grid();
+        let mut grads = g.zero_grads();
+        grads.values[3] = 2.0;
+        grads.count = 4;
+        grads.scale(0.5);
+        assert_eq!(grads.values[3], 1.0);
+        grads.zero();
+        assert_eq!(grads.values[3], 0.0);
+        assert_eq!(grads.count, 0);
+    }
+
+    #[test]
+    fn paper_scale_config_sizes() {
+        // The Instant-3D density grid: 2^18 entries × 2 features × 2 B = 1 MB.
+        let density = HashGridConfig {
+            levels: 1,
+            log2_table_size: 18,
+            base_resolution: 512,
+            max_resolution: 512,
+            ..HashGridConfig::default()
+        };
+        assert_eq!(density.table_bytes_fp16(), 1 << 20);
+        // Color grid 2^16 entries → 256 KB.
+        let color = density.clone().with_size_factor(0.25);
+        assert_eq!(color.table_bytes_fp16(), 256 * 1024);
+    }
+}

@@ -1,0 +1,216 @@
+//! The spatial hash of the paper's Eq. 3.
+//!
+//! `h(x, y, z) = (π₁·x ⊕ π₂·y ⊕ π₃·z) mod T` with
+//! `π₁ = 1`, `π₂ = 2 654 435 761`, `π₃ = 805 459 861`
+//! (Teschner et al. optimized spatial hashing, as used by Instant-NGP).
+//!
+//! The identity multiplier on the x axis is what produces the *locality*
+//! the Instant-3D accelerator exploits: two vertices that differ only in x
+//! map to nearby table addresses (Fig. 9), while differences in y or z are
+//! amplified into distant addresses (Fig. 8).
+
+/// Multiplier for the x coordinate (identity — preserves x locality).
+pub const PI_1: u32 = 1;
+/// Multiplier for the y coordinate.
+pub const PI_2: u32 = 2_654_435_761;
+/// Multiplier for the z coordinate.
+pub const PI_3: u32 = 805_459_861;
+
+/// Computes the hash-table index of grid vertex `(x, y, z)` in a table of
+/// `table_size` entries (Eq. 3 of the paper).
+///
+/// # Panics
+///
+/// Panics if `table_size` is zero.
+///
+/// # Example
+///
+/// ```
+/// use instant3d_nerf::hash::spatial_hash;
+/// let h = spatial_hash(3, 5, 7, 1 << 14);
+/// assert!(h < (1 << 14));
+/// // π₁ = 1 keeps x-adjacent vertices close in the table:
+/// let h1 = spatial_hash(4, 5, 7, 1 << 14);
+/// assert!((h as i64 - h1 as i64).abs() <= 7);
+/// ```
+#[inline]
+pub fn spatial_hash(x: u32, y: u32, z: u32, table_size: u32) -> u32 {
+    assert!(table_size > 0, "hash table size must be non-zero");
+    (x.wrapping_mul(PI_1) ^ y.wrapping_mul(PI_2) ^ z.wrapping_mul(PI_3)) % table_size
+}
+
+/// Dense (collision-free) index for levels whose full grid fits the table:
+/// plain row-major `x + y·n + z·n²`, as Instant-NGP uses for coarse levels.
+#[inline]
+pub fn dense_index(x: u32, y: u32, z: u32, resolution: u32) -> u32 {
+    let n = resolution + 1; // vertices per axis = resolution + 1
+    x + y * n + z * n * n
+}
+
+/// How a level maps vertex coordinates to table entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AddressMode {
+    /// Collision-free row-major addressing (coarse levels).
+    Dense,
+    /// The Eq. 3 spatial hash (fine levels).
+    Hashed,
+}
+
+/// Computes a vertex address under the given mode.
+#[inline]
+pub fn vertex_address(mode: AddressMode, x: u32, y: u32, z: u32, resolution: u32, table_size: u32) -> u32 {
+    match mode {
+        AddressMode::Dense => dense_index(x, y, z, resolution),
+        AddressMode::Hashed => spatial_hash(x, y, z, table_size),
+    }
+}
+
+/// The eight corner offsets of a grid cell, ordered `000, 001, ..., 111`
+/// where the bits are `(dx, dy, dz)` — the order the paper uses when it
+/// clusters corners into four groups of two x-adjacent vertices.
+pub const CORNER_OFFSETS: [(u32, u32, u32); 8] = [
+    (0, 0, 0),
+    (1, 0, 0),
+    (0, 1, 0),
+    (1, 1, 0),
+    (0, 0, 1),
+    (1, 0, 1),
+    (0, 1, 1),
+    (1, 1, 1),
+];
+
+/// Index of the corner-*group* (shared y and z, differing x) a corner
+/// belongs to. Fig. 8 clusters the 8 corners into these 4 groups.
+#[inline]
+pub fn corner_group(corner: usize) -> usize {
+    debug_assert!(corner < 8);
+    corner >> 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_in_range() {
+        for t in [1u32, 2, 16, 1 << 10, 1 << 19] {
+            for s in 0..200u32 {
+                let h = spatial_hash(s, s.wrapping_mul(7), s.wrapping_mul(13), t);
+                assert!(h < t);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_table_size_panics() {
+        let _ = spatial_hash(1, 2, 3, 0);
+    }
+
+    #[test]
+    fn hash_matches_eq3_definition() {
+        let (x, y, z, t) = (12u32, 34u32, 56u32, 1 << 16);
+        let expect = (x ^ y.wrapping_mul(PI_2) ^ z.wrapping_mul(PI_3)) % t;
+        assert_eq!(spatial_hash(x, y, z, t), expect);
+    }
+
+    #[test]
+    fn x_locality_small_distance() {
+        // Case 2 of §4.2: differences on the x axis are not amplified.
+        // For even x the XOR flip is exactly the low bit → distance 1.
+        let t = 1 << 18;
+        for y in 0..32 {
+            for z in 0..32 {
+                let a = spatial_hash(10, y, z, t) as i64;
+                let b = spatial_hash(11, y, z, t) as i64;
+                assert_eq!((a - b).abs(), 1, "even-x neighbours must differ by 1");
+            }
+        }
+    }
+
+    #[test]
+    fn x_locality_statistics() {
+        // >85% of x-adjacent pairs across all parities land within [-5, 5]
+        // (paper Fig. 9 reports >90% including its sampling distribution).
+        let t = 1 << 18;
+        let mut within = 0u32;
+        let mut total = 0u32;
+        for x in 0..64u32 {
+            for y in 0..16 {
+                for z in 0..16 {
+                    let a = spatial_hash(x, y, z, t) as i64;
+                    let b = spatial_hash(x + 1, y, z, t) as i64;
+                    if (a - b).abs() <= 5 {
+                        within += 1;
+                    }
+                    total += 1;
+                }
+            }
+        }
+        let frac = within as f64 / total as f64;
+        assert!(frac > 0.85, "x-locality fraction {frac} too low");
+    }
+
+    #[test]
+    fn yz_remoteness_large_distance() {
+        // Case 1 of §4.2: y/z differences are amplified by π₂/π₃.
+        let t = 1 << 18;
+        let mut sum = 0f64;
+        let mut n = 0u32;
+        for x in 0..16u32 {
+            for y in 0..16 {
+                for z in 0..16 {
+                    let a = spatial_hash(x, y, z, t) as i64;
+                    let b = spatial_hash(x, y + 1, z, t) as i64;
+                    sum += (a - b).abs() as f64;
+                    n += 1;
+                }
+            }
+        }
+        let avg = sum / n as f64;
+        assert!(avg > 10_000.0, "inter-group avg distance {avg} should be large");
+    }
+
+    #[test]
+    fn dense_index_is_bijective_on_small_grid() {
+        let res = 7u32;
+        let n = res + 1;
+        let mut seen = vec![false; (n * n * n) as usize];
+        for z in 0..n {
+            for y in 0..n {
+                for x in 0..n {
+                    let i = dense_index(x, y, z, res) as usize;
+                    assert!(!seen[i], "dense index collision at ({x},{y},{z})");
+                    seen[i] = true;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn corner_groups_pair_x_neighbours() {
+        for c in 0..8 {
+            let (dx0, dy0, dz0) = CORNER_OFFSETS[c];
+            let g = corner_group(c);
+            // The two corners in a group share (dy, dz).
+            let partner = c ^ 1;
+            let (dx1, dy1, dz1) = CORNER_OFFSETS[partner];
+            assert_eq!(corner_group(partner), g);
+            assert_eq!((dy0, dz0), (dy1, dz1));
+            assert_ne!(dx0, dx1);
+        }
+    }
+
+    #[test]
+    fn vertex_address_dispatch() {
+        assert_eq!(
+            vertex_address(AddressMode::Dense, 1, 2, 3, 4, 999),
+            dense_index(1, 2, 3, 4)
+        );
+        assert_eq!(
+            vertex_address(AddressMode::Hashed, 1, 2, 3, 4, 999),
+            spatial_hash(1, 2, 3, 999)
+        );
+    }
+}

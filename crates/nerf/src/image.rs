@@ -1,0 +1,295 @@
+//! Minimal RGB / depth image containers plus PPM/PGM export for inspection.
+
+use crate::math::Vec3;
+use std::fmt::Write as _;
+
+/// A floating-point RGB image with row-major pixel storage.
+///
+/// # Example
+///
+/// ```
+/// use instant3d_nerf::image::RgbImage;
+/// use instant3d_nerf::math::Vec3;
+/// let mut img = RgbImage::new(4, 2);
+/// img.set(3, 1, Vec3::ONE);
+/// assert_eq!(img.get(3, 1), Vec3::ONE);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RgbImage {
+    width: u32,
+    height: u32,
+    pixels: Vec<Vec3>,
+}
+
+impl RgbImage {
+    /// Creates a black image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: u32, height: u32) -> Self {
+        assert!(width > 0 && height > 0, "image must be non-empty");
+        RgbImage {
+            width,
+            height,
+            pixels: vec![Vec3::ZERO; (width * height) as usize],
+        }
+    }
+
+    /// Builds an image from a closure evaluated at every pixel.
+    pub fn from_fn<F: FnMut(u32, u32) -> Vec3>(width: u32, height: u32, mut f: F) -> Self {
+        let mut img = RgbImage::new(width, height);
+        for y in 0..height {
+            for x in 0..width {
+                img.set(x, y, f(x, y));
+            }
+        }
+        img
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Total pixels.
+    pub fn num_pixels(&self) -> usize {
+        self.pixels.len()
+    }
+
+    #[inline]
+    fn idx(&self, x: u32, y: u32) -> usize {
+        debug_assert!(x < self.width && y < self.height, "pixel out of bounds");
+        (y * self.width + x) as usize
+    }
+
+    /// Reads pixel `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when out of bounds.
+    #[inline]
+    pub fn get(&self, x: u32, y: u32) -> Vec3 {
+        self.pixels[self.idx(x, y)]
+    }
+
+    /// Writes pixel `(x, y)`.
+    #[inline]
+    pub fn set(&mut self, x: u32, y: u32, c: Vec3) {
+        let i = self.idx(x, y);
+        self.pixels[i] = c;
+    }
+
+    /// All pixels, row-major.
+    pub fn pixels(&self) -> &[Vec3] {
+        &self.pixels
+    }
+
+    /// Mutable pixel access, row-major.
+    pub fn pixels_mut(&mut self) -> &mut [Vec3] {
+        &mut self.pixels
+    }
+
+    /// Mean per-channel squared error against another image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn mse(&self, other: &RgbImage) -> f32 {
+        assert_eq!(self.width, other.width, "width mismatch");
+        assert_eq!(self.height, other.height, "height mismatch");
+        let mut acc = 0.0f64;
+        for (a, b) in self.pixels.iter().zip(&other.pixels) {
+            let d = *a - *b;
+            acc += d.norm_squared() as f64;
+        }
+        (acc / (self.pixels.len() as f64 * 3.0)) as f32
+    }
+
+    /// Serialises as ASCII PPM (P3), clamping to [0, 1].
+    pub fn to_ppm(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "P3\n{} {}\n255", self.width, self.height);
+        for p in &self.pixels {
+            let c = p.clamp(0.0, 1.0) * 255.0;
+            let _ = writeln!(s, "{} {} {}", c.x as u8, c.y as u8, c.z as u8);
+        }
+        s
+    }
+}
+
+/// A single-channel depth image (distance along the ray, row-major).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DepthImage {
+    width: u32,
+    height: u32,
+    depths: Vec<f32>,
+}
+
+impl DepthImage {
+    /// Creates a zero-depth image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: u32, height: u32) -> Self {
+        assert!(width > 0 && height > 0, "image must be non-empty");
+        DepthImage {
+            width,
+            height,
+            depths: vec![0.0; (width * height) as usize],
+        }
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Reads depth at `(x, y)`.
+    #[inline]
+    pub fn get(&self, x: u32, y: u32) -> f32 {
+        debug_assert!(x < self.width && y < self.height);
+        self.depths[(y * self.width + x) as usize]
+    }
+
+    /// Writes depth at `(x, y)`.
+    #[inline]
+    pub fn set(&mut self, x: u32, y: u32, d: f32) {
+        debug_assert!(x < self.width && y < self.height);
+        self.depths[(y * self.width + x) as usize] = d;
+    }
+
+    /// All depths, row-major.
+    pub fn depths(&self) -> &[f32] {
+        &self.depths
+    }
+
+    /// The largest finite depth (used to normalise for PSNR).
+    pub fn max_depth(&self) -> f32 {
+        self.depths.iter().copied().filter(|d| d.is_finite()).fold(0.0, f32::max)
+    }
+
+    /// Mean squared error against another depth image, with both images
+    /// normalised by `scale` (pass the shared max depth so PSNR is on a
+    /// [0, 1]-like range, mirroring how the paper scores depth maps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ or `scale <= 0`.
+    pub fn mse_normalized(&self, other: &DepthImage, scale: f32) -> f32 {
+        assert_eq!(self.width, other.width, "width mismatch");
+        assert_eq!(self.height, other.height, "height mismatch");
+        assert!(scale > 0.0, "scale must be positive");
+        let inv = 1.0 / scale;
+        let mut acc = 0.0f64;
+        for (a, b) in self.depths.iter().zip(&other.depths) {
+            let d = (a - b) * inv;
+            acc += (d * d) as f64;
+        }
+        (acc / self.depths.len() as f64) as f32
+    }
+
+    /// Serialises as ASCII PGM (P2), normalised to the max depth.
+    pub fn to_pgm(&self) -> String {
+        let max = self.max_depth().max(1e-6);
+        let mut s = String::new();
+        let _ = writeln!(s, "P2\n{} {}\n255", self.width, self.height);
+        for d in &self.depths {
+            let v = (d / max).clamp(0.0, 1.0) * 255.0;
+            let _ = writeln!(s, "{}", v as u8);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rgb_roundtrip_set_get() {
+        let mut img = RgbImage::new(3, 2);
+        img.set(2, 1, Vec3::new(0.1, 0.2, 0.3));
+        assert_eq!(img.get(2, 1), Vec3::new(0.1, 0.2, 0.3));
+        assert_eq!(img.get(0, 0), Vec3::ZERO);
+        assert_eq!(img.num_pixels(), 6);
+    }
+
+    #[test]
+    fn from_fn_row_major_layout() {
+        let img = RgbImage::from_fn(2, 2, |x, y| Vec3::new(x as f32, y as f32, 0.0));
+        assert_eq!(img.pixels()[1], Vec3::new(1.0, 0.0, 0.0)); // (1, 0)
+        assert_eq!(img.pixels()[2], Vec3::new(0.0, 1.0, 0.0)); // (0, 1)
+    }
+
+    #[test]
+    fn mse_of_identical_images_is_zero() {
+        let img = RgbImage::from_fn(4, 4, |x, y| Vec3::splat((x + y) as f32 / 8.0));
+        assert_eq!(img.mse(&img), 0.0);
+    }
+
+    #[test]
+    fn mse_known_value() {
+        let a = RgbImage::new(2, 1);
+        let mut b = RgbImage::new(2, 1);
+        b.set(0, 0, Vec3::splat(1.0));
+        // one pixel differs by 1 in each of 3 channels over 2 pixels:
+        // mse = 3 / (2*3) = 0.5
+        assert!((a.mse(&b) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mse_dimension_mismatch_panics() {
+        let a = RgbImage::new(2, 2);
+        let b = RgbImage::new(3, 2);
+        let _ = a.mse(&b);
+    }
+
+    #[test]
+    fn ppm_header_and_length() {
+        let img = RgbImage::new(2, 2);
+        let ppm = img.to_ppm();
+        assert!(ppm.starts_with("P3\n2 2\n255\n"));
+        assert_eq!(ppm.lines().count(), 3 + 4);
+    }
+
+    #[test]
+    fn depth_roundtrip_and_max() {
+        let mut d = DepthImage::new(2, 2);
+        d.set(1, 1, 4.0);
+        d.set(0, 1, 2.0);
+        assert_eq!(d.get(1, 1), 4.0);
+        assert_eq!(d.max_depth(), 4.0);
+    }
+
+    #[test]
+    fn depth_mse_normalised() {
+        let mut a = DepthImage::new(1, 1);
+        let mut b = DepthImage::new(1, 1);
+        a.set(0, 0, 2.0);
+        b.set(0, 0, 4.0);
+        // diff 2 normalised by 4 → 0.5² = 0.25
+        assert!((a.mse_normalized(&b, 4.0) - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pgm_serialises() {
+        let mut d = DepthImage::new(2, 1);
+        d.set(0, 0, 1.0);
+        d.set(1, 0, 0.5);
+        let pgm = d.to_pgm();
+        assert!(pgm.starts_with("P2\n2 1\n255\n"));
+    }
+}

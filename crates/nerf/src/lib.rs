@@ -1,0 +1,61 @@
+//! NeRF training substrate for the Instant-3D (ISCA 2023) reproduction.
+//!
+//! This crate implements, from scratch, every numerical building block the
+//! paper's training pipeline needs:
+//!
+//! * [`math`] — 3-vectors, axis-aligned boxes, small numeric helpers.
+//! * [`fp16`] — software half-precision storage (the accelerator computes in
+//!   16-bit floats; grid features are stored rounded to fp16).
+//! * [`camera`] — pinhole cameras, look-at poses and per-pixel ray generation
+//!   (Step ② of the paper's six-step pipeline).
+//! * [`hash`] — the spatial hash of Eq. 3 (`h = (π₁x ⊕ π₂y ⊕ π₃z) mod T`).
+//! * [`grid`] — the multiresolution hash-grid encoding of Instant-NGP
+//!   (Step ③-①): trilinear interpolation forward and gradient scatter
+//!   backward, with optional access observers for trace capture.
+//! * [`sh`] — spherical-harmonics direction encoding for the color head.
+//! * [`mlp`] — small fully-connected networks with hand-derived backprop
+//!   (Step ③-②).
+//! * [`adam`] — the Adam optimizer used for both grids and MLPs.
+//! * [`render`] — classical volume rendering (Eq. 1), forward and backward
+//!   (Steps ④–⑥).
+//! * [`metrics`] — PSNR/MSE image metrics used throughout the evaluation.
+//! * [`field`] — the `RadianceField` abstraction shared by analytic
+//!   ground-truth scenes and learned models.
+//! * [`sampler`] — pixel-batch and along-ray point samplers (Steps ①/③).
+//! * [`occupancy`] — the density occupancy grid used to skip empty space.
+//! * [`image`] — minimal RGB/depth image containers.
+//!
+//! # Example
+//!
+//! ```
+//! use instant3d_nerf::grid::{HashGrid, HashGridConfig};
+//! use instant3d_nerf::math::Vec3;
+//!
+//! let grid = HashGrid::new(HashGridConfig::default());
+//! let emb = grid.encode(Vec3::new(0.3, 0.4, 0.5));
+//! assert_eq!(emb.len(), grid.output_dim());
+//! ```
+
+pub mod activation;
+pub mod adam;
+pub mod camera;
+pub mod encoding;
+pub mod field;
+pub mod fp16;
+pub mod grid;
+pub mod hash;
+pub mod image;
+pub mod math;
+pub mod metrics;
+pub mod mlp;
+pub mod occupancy;
+pub mod render;
+pub mod sampler;
+pub mod sh;
+pub mod ssim;
+
+pub use camera::Camera;
+pub use field::RadianceField;
+pub use grid::{HashGrid, HashGridConfig};
+pub use image::{DepthImage, RgbImage};
+pub use math::{Aabb, Ray, Vec3};

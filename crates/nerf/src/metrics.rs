@@ -1,0 +1,144 @@
+//! Image quality metrics: PSNR (the paper's reconstruction-quality measure)
+//! and helpers for color and depth comparisons.
+
+use crate::image::{DepthImage, RgbImage};
+
+/// Peak signal-to-noise ratio in dB for a given MSE and peak value.
+///
+/// Returns `f32::INFINITY` for zero MSE (identical images).
+///
+/// # Panics
+///
+/// Panics if `mse < 0` or `peak <= 0`.
+///
+/// # Example
+///
+/// ```
+/// use instant3d_nerf::metrics::psnr;
+/// assert_eq!(psnr(0.01, 1.0), 20.0);
+/// ```
+pub fn psnr(mse: f32, peak: f32) -> f32 {
+    assert!(mse >= 0.0, "mse must be non-negative");
+    assert!(peak > 0.0, "peak must be positive");
+    if mse == 0.0 {
+        return f32::INFINITY;
+    }
+    10.0 * ((peak * peak / mse) as f64).log10() as f32
+}
+
+/// PSNR between two RGB images on a [0, 1] scale.
+///
+/// # Panics
+///
+/// Panics if dimensions differ.
+pub fn psnr_rgb(a: &RgbImage, b: &RgbImage) -> f32 {
+    psnr(a.mse(b), 1.0)
+}
+
+/// PSNR between two depth images, normalised by their shared max depth —
+/// how the paper scores the "depth image" quality of the density branch
+/// (Fig. 5).
+///
+/// # Panics
+///
+/// Panics if dimensions differ.
+pub fn psnr_depth(a: &DepthImage, b: &DepthImage) -> f32 {
+    let scale = a.max_depth().max(b.max_depth()).max(1e-6);
+    psnr(a.mse_normalized(b, scale), 1.0)
+}
+
+/// Mean of a slice (convenience for averaging per-scene PSNRs).
+///
+/// Returns `None` for an empty slice.
+pub fn mean(values: &[f32]) -> Option<f32> {
+    if values.is_empty() {
+        return None;
+    }
+    Some(values.iter().sum::<f32>() / values.len() as f32)
+}
+
+/// Sample standard deviation; `None` for fewer than two values.
+pub fn std_dev(values: &[f32]) -> Option<f32> {
+    if values.len() < 2 {
+        return None;
+    }
+    let m = mean(values)?;
+    let var = values.iter().map(|v| (v - m) * (v - m)).sum::<f32>() / (values.len() - 1) as f32;
+    Some(var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::math::Vec3;
+
+    #[test]
+    fn psnr_reference_points() {
+        assert_eq!(psnr(1.0, 1.0), 0.0);
+        assert_eq!(psnr(0.01, 1.0), 20.0);
+        assert!((psnr(0.001, 1.0) - 30.0).abs() < 1e-4);
+        assert_eq!(psnr(0.0, 1.0), f32::INFINITY);
+    }
+
+    #[test]
+    fn psnr_scales_with_peak() {
+        // Doubling the peak adds ~6.02 dB.
+        let d = psnr(0.01, 2.0) - psnr(0.01, 1.0);
+        assert!((d - 6.0206).abs() < 1e-3);
+    }
+
+    #[test]
+    fn identical_rgb_images_have_infinite_psnr() {
+        let img = RgbImage::from_fn(8, 8, |x, y| Vec3::splat((x * y) as f32 / 64.0));
+        assert_eq!(psnr_rgb(&img, &img), f32::INFINITY);
+    }
+
+    #[test]
+    fn noisier_image_has_lower_psnr() {
+        let truth = RgbImage::from_fn(16, 16, |x, _| Vec3::splat(x as f32 / 16.0));
+        let mut small_noise = truth.clone();
+        let mut big_noise = truth.clone();
+        for (i, p) in small_noise.pixels_mut().iter_mut().enumerate() {
+            *p += Vec3::splat(if i % 2 == 0 { 0.01 } else { -0.01 });
+        }
+        for (i, p) in big_noise.pixels_mut().iter_mut().enumerate() {
+            *p += Vec3::splat(if i % 2 == 0 { 0.1 } else { -0.1 });
+        }
+        assert!(psnr_rgb(&truth, &small_noise) > psnr_rgb(&truth, &big_noise));
+    }
+
+    #[test]
+    fn depth_psnr_is_scale_invariant() {
+        let mut a1 = DepthImage::new(4, 4);
+        let mut b1 = DepthImage::new(4, 4);
+        let mut a2 = DepthImage::new(4, 4);
+        let mut b2 = DepthImage::new(4, 4);
+        for y in 0..4 {
+            for x in 0..4 {
+                let d = (x + y) as f32;
+                a1.set(x, y, d);
+                b1.set(x, y, d + 0.5);
+                a2.set(x, y, d * 10.0);
+                b2.set(x, y, (d + 0.5) * 10.0);
+            }
+        }
+        let p1 = psnr_depth(&a1, &b1);
+        let p2 = psnr_depth(&a2, &b2);
+        assert!((p1 - p2).abs() < 1e-4, "{p1} vs {p2}");
+    }
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(mean(&[2.0, 4.0]), Some(3.0));
+        assert_eq!(std_dev(&[1.0]), None);
+        let s = std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert!((s - 2.138).abs() < 1e-2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_mse_panics() {
+        let _ = psnr(-1.0, 1.0);
+    }
+}

@@ -1,0 +1,510 @@
+//! Small fully-connected networks with hand-derived backpropagation
+//! (Step ③-② of the pipeline).
+//!
+//! Instant-NGP replaces the vanilla-NeRF 10×256 MLP with tiny heads: a
+//! density MLP (embedding → 64 → 16, first output = raw density) and a color
+//! MLP (geometry features + SH(dir) → 64 → 64 → 3). These networks are small
+//! enough that a straightforward cache-friendly implementation is fast; the
+//! accelerator models them on a systolic array / multiplier-adder tree
+//! (`instant3d-accel::mlp_unit`).
+
+use crate::activation::Activation;
+use rand::Rng;
+
+/// Shape and activation of one dense layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayerSpec {
+    /// Input width.
+    pub in_dim: usize,
+    /// Output width.
+    pub out_dim: usize,
+    /// Activation applied to the layer output.
+    pub activation: Activation,
+}
+
+/// One dense layer: `y = act(W·x + b)` with `W` stored row-major
+/// (`out_dim` rows × `in_dim` columns).
+#[derive(Debug, Clone)]
+pub struct Linear {
+    spec: LayerSpec,
+    w: Vec<f32>,
+    b: Vec<f32>,
+}
+
+impl Linear {
+    /// Creates a layer with He-uniform initialised weights and zero biases.
+    pub fn new<R: Rng + ?Sized>(spec: LayerSpec, rng: &mut R) -> Self {
+        let bound = (6.0 / spec.in_dim as f32).sqrt();
+        let w = (0..spec.in_dim * spec.out_dim)
+            .map(|_| rng.gen_range(-bound..=bound))
+            .collect();
+        Linear {
+            spec,
+            w,
+            b: vec![0.0; spec.out_dim],
+        }
+    }
+
+    /// Layer shape/activation.
+    pub fn spec(&self) -> LayerSpec {
+        self.spec
+    }
+
+    /// Number of trainable scalars (weights + biases).
+    pub fn num_params(&self) -> usize {
+        self.w.len() + self.b.len()
+    }
+
+    /// Multiply-accumulate count of one forward evaluation.
+    pub fn flops(&self) -> usize {
+        2 * self.spec.in_dim * self.spec.out_dim
+    }
+
+    #[inline]
+    fn forward_into(&self, x: &[f32], pre: &mut [f32], out: &mut [f32]) {
+        debug_assert_eq!(x.len(), self.spec.in_dim);
+        debug_assert_eq!(out.len(), self.spec.out_dim);
+        for o in 0..self.spec.out_dim {
+            let row = &self.w[o * self.spec.in_dim..(o + 1) * self.spec.in_dim];
+            let mut acc = self.b[o];
+            for (wi, xi) in row.iter().zip(x) {
+                acc += wi * xi;
+            }
+            pre[o] = acc;
+            out[o] = self.spec.activation.apply(acc);
+        }
+    }
+}
+
+/// A multilayer perceptron assembled from [`Linear`] layers.
+///
+/// # Example
+///
+/// ```
+/// use instant3d_nerf::mlp::{Mlp, MlpConfig};
+/// use instant3d_nerf::activation::Activation;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mlp = Mlp::new(
+///     MlpConfig::new(8, &[16], 4, Activation::Relu, Activation::None),
+///     &mut rng,
+/// );
+/// let mut ws = mlp.workspace();
+/// let y = mlp.forward(&[0.1; 8], &mut ws).to_vec();
+/// assert_eq!(y.len(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+}
+
+/// Describes an MLP: input width, hidden widths, output width, activations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MlpConfig {
+    /// Input width.
+    pub in_dim: usize,
+    /// Hidden layer widths, in order.
+    pub hidden: Vec<usize>,
+    /// Output width.
+    pub out_dim: usize,
+    /// Activation for hidden layers.
+    pub hidden_activation: Activation,
+    /// Activation for the output layer.
+    pub output_activation: Activation,
+}
+
+impl MlpConfig {
+    /// Convenience constructor.
+    pub fn new(
+        in_dim: usize,
+        hidden: &[usize],
+        out_dim: usize,
+        hidden_activation: Activation,
+        output_activation: Activation,
+    ) -> Self {
+        MlpConfig {
+            in_dim,
+            hidden: hidden.to_vec(),
+            out_dim,
+            hidden_activation,
+            output_activation,
+        }
+    }
+
+    /// The layer specs this config expands to.
+    pub fn layer_specs(&self) -> Vec<LayerSpec> {
+        let mut dims = Vec::with_capacity(self.hidden.len() + 2);
+        dims.push(self.in_dim);
+        dims.extend_from_slice(&self.hidden);
+        dims.push(self.out_dim);
+        (0..dims.len() - 1)
+            .map(|i| LayerSpec {
+                in_dim: dims[i],
+                out_dim: dims[i + 1],
+                activation: if i == dims.len() - 2 {
+                    self.output_activation
+                } else {
+                    self.hidden_activation
+                },
+            })
+            .collect()
+    }
+}
+
+/// Reusable forward-pass scratch (per-layer activations), so per-point
+/// inference performs no allocation.
+#[derive(Debug, Clone)]
+pub struct MlpWorkspace {
+    /// acts[0] is the input copy; acts[i+1] is layer i's activated output.
+    acts: Vec<Vec<f32>>,
+    /// pre[i] is layer i's pre-activation.
+    pre: Vec<Vec<f32>>,
+    /// Backward scratch: gradient flowing between layers.
+    d_cur: Vec<f32>,
+    d_next: Vec<f32>,
+}
+
+/// Per-layer gradient buffers, shape-matched to an [`Mlp`].
+#[derive(Debug, Clone)]
+pub struct MlpGradients {
+    /// (d_weights, d_bias) per layer.
+    pub layers: Vec<(Vec<f32>, Vec<f32>)>,
+    /// Number of accumulated samples since last reset.
+    pub count: usize,
+}
+
+impl MlpGradients {
+    /// Resets all gradients to zero.
+    pub fn zero(&mut self) {
+        for (w, b) in &mut self.layers {
+            w.fill(0.0);
+            b.fill(0.0);
+        }
+        self.count = 0;
+    }
+
+    /// Scales every gradient by `s`.
+    pub fn scale(&mut self, s: f32) {
+        for (w, b) in &mut self.layers {
+            for v in w.iter_mut().chain(b.iter_mut()) {
+                *v *= s;
+            }
+        }
+    }
+}
+
+impl Mlp {
+    /// Builds an MLP from a config with He-uniform initialisation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any layer dimension is zero.
+    pub fn new<R: Rng + ?Sized>(cfg: MlpConfig, rng: &mut R) -> Self {
+        let specs = cfg.layer_specs();
+        assert!(!specs.is_empty());
+        for s in &specs {
+            assert!(s.in_dim > 0 && s.out_dim > 0, "zero-width layer");
+        }
+        Mlp {
+            layers: specs.into_iter().map(|s| Linear::new(s, rng)).collect(),
+        }
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.layers[0].spec.in_dim
+    }
+
+    /// Output width.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().unwrap().spec.out_dim
+    }
+
+    /// The layers, in forward order.
+    pub fn layers(&self) -> &[Linear] {
+        &self.layers
+    }
+
+    /// Total trainable scalars.
+    pub fn num_params(&self) -> usize {
+        self.layers.iter().map(Linear::num_params).sum()
+    }
+
+    /// Multiply-accumulate count of one forward pass (one input point).
+    pub fn flops(&self) -> usize {
+        self.layers.iter().map(Linear::flops).sum()
+    }
+
+    /// Allocates a workspace sized for this network.
+    pub fn workspace(&self) -> MlpWorkspace {
+        let mut acts = Vec::with_capacity(self.layers.len() + 1);
+        acts.push(vec![0.0; self.in_dim()]);
+        let mut pre = Vec::with_capacity(self.layers.len());
+        let mut widest = self.in_dim();
+        for l in &self.layers {
+            acts.push(vec![0.0; l.spec.out_dim]);
+            pre.push(vec![0.0; l.spec.out_dim]);
+            widest = widest.max(l.spec.out_dim).max(l.spec.in_dim);
+        }
+        MlpWorkspace {
+            acts,
+            pre,
+            d_cur: vec![0.0; widest],
+            d_next: vec![0.0; widest],
+        }
+    }
+
+    /// Allocates zeroed gradient buffers shaped like this network.
+    pub fn zero_grads(&self) -> MlpGradients {
+        MlpGradients {
+            layers: self
+                .layers
+                .iter()
+                .map(|l| (vec![0.0; l.w.len()], vec![0.0; l.b.len()]))
+                .collect(),
+            count: 0,
+        }
+    }
+
+    /// Forward pass; returns the output slice living inside `ws`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != self.in_dim()`.
+    pub fn forward<'w>(&self, input: &[f32], ws: &'w mut MlpWorkspace) -> &'w [f32] {
+        assert_eq!(input.len(), self.in_dim(), "input width mismatch");
+        ws.acts[0].copy_from_slice(input);
+        for (i, layer) in self.layers.iter().enumerate() {
+            let (head, tail) = ws.acts.split_at_mut(i + 1);
+            layer.forward_into(&head[i], &mut ws.pre[i], &mut tail[0]);
+        }
+        ws.acts.last().unwrap()
+    }
+
+    /// Backward pass for the most recent [`Mlp::forward`] call on `ws`.
+    ///
+    /// Accumulates parameter gradients into `grads` and writes the gradient
+    /// w.r.t. the network input into `d_input` (pass an empty slice to skip).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d_output.len() != self.out_dim()` or a non-empty `d_input`
+    /// has the wrong width.
+    pub fn backward(
+        &self,
+        d_output: &[f32],
+        ws: &mut MlpWorkspace,
+        grads: &mut MlpGradients,
+        d_input: &mut [f32],
+    ) {
+        assert_eq!(d_output.len(), self.out_dim(), "output gradient width mismatch");
+        if !d_input.is_empty() {
+            assert_eq!(d_input.len(), self.in_dim(), "input gradient width mismatch");
+        }
+        ws.d_cur[..d_output.len()].copy_from_slice(d_output);
+        for (i, layer) in self.layers.iter().enumerate().rev() {
+            let spec = layer.spec;
+            let x = &ws.acts[i]; // layer input
+            let y = &ws.acts[i + 1]; // activated output
+            let pre = &ws.pre[i];
+            let (gw, gb) = &mut grads.layers[i];
+            // Backprop through activation: dz = dy * act'(pre)
+            for o in 0..spec.out_dim {
+                ws.d_cur[o] *= spec.activation.derivative(pre[o], y[o]);
+            }
+            // Parameter gradients and input gradient.
+            ws.d_next[..spec.in_dim].fill(0.0);
+            for o in 0..spec.out_dim {
+                let dz = ws.d_cur[o];
+                gb[o] += dz;
+                let row = &layer.w[o * spec.in_dim..(o + 1) * spec.in_dim];
+                let grow = &mut gw[o * spec.in_dim..(o + 1) * spec.in_dim];
+                for i_in in 0..spec.in_dim {
+                    grow[i_in] += dz * x[i_in];
+                    ws.d_next[i_in] += dz * row[i_in];
+                }
+            }
+            std::mem::swap(&mut ws.d_cur, &mut ws.d_next);
+        }
+        if !d_input.is_empty() {
+            d_input.copy_from_slice(&ws.d_cur[..self.in_dim()]);
+        }
+        grads.count += 1;
+    }
+
+    /// Visits all parameters as `(params, grads)` slice pairs, in a fixed
+    /// order — the optimizer contract.
+    pub fn for_each_param_mut<F: FnMut(&mut [f32], &[f32])>(
+        &mut self,
+        grads: &MlpGradients,
+        mut f: F,
+    ) {
+        for (layer, (gw, gb)) in self.layers.iter_mut().zip(&grads.layers) {
+            f(&mut layer.w, gw);
+            f(&mut layer.b, gb);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_mlp(out_act: Activation) -> Mlp {
+        let mut rng = StdRng::seed_from_u64(42);
+        Mlp::new(
+            MlpConfig::new(4, &[8, 8], 3, Activation::Relu, out_act),
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn shapes_and_param_counts() {
+        let m = tiny_mlp(Activation::None);
+        assert_eq!(m.in_dim(), 4);
+        assert_eq!(m.out_dim(), 3);
+        // (4*8+8) + (8*8+8) + (8*3+3) = 40 + 72 + 27
+        assert_eq!(m.num_params(), 139);
+        assert_eq!(m.flops(), 2 * (4 * 8 + 8 * 8 + 8 * 3));
+    }
+
+    #[test]
+    fn forward_is_deterministic() {
+        let m = tiny_mlp(Activation::Sigmoid);
+        let mut ws = m.workspace();
+        let x = [0.1, -0.2, 0.3, 0.4];
+        let y1 = m.forward(&x, &mut ws).to_vec();
+        let y2 = m.forward(&x, &mut ws).to_vec();
+        assert_eq!(y1, y2);
+        assert!(y1.iter().all(|v| (0.0..=1.0).contains(v)), "sigmoid range");
+    }
+
+    #[test]
+    fn parameter_gradients_match_finite_difference() {
+        let mut m = tiny_mlp(Activation::None);
+        let x = [0.3, -0.1, 0.7, 0.2];
+        let d_out = [1.0, -0.5, 0.25];
+        let mut ws = m.workspace();
+        let mut grads = m.zero_grads();
+        m.forward(&x, &mut ws);
+        m.backward(&d_out, &mut ws, &mut grads, &mut []);
+
+        // Scalar loss L = dot(output, d_out).
+        let loss = |m: &Mlp, ws: &mut MlpWorkspace| -> f32 {
+            m.forward(&x, ws)
+                .iter()
+                .zip(&d_out)
+                .map(|(a, b)| a * b)
+                .sum()
+        };
+        let eps = 1e-3;
+        // Check a sample of weights in each layer.
+        for li in 0..m.layers.len() {
+            for wi in [0usize, 3, 7] {
+                if wi >= m.layers[li].w.len() {
+                    continue;
+                }
+                let orig = m.layers[li].w[wi];
+                m.layers[li].w[wi] = orig + eps;
+                let lp = loss(&m, &mut ws);
+                m.layers[li].w[wi] = orig - eps;
+                let lm = loss(&m, &mut ws);
+                m.layers[li].w[wi] = orig;
+                let fd = (lp - lm) / (2.0 * eps);
+                let an = grads.layers[li].0[wi];
+                assert!(
+                    (fd - an).abs() < 1e-2 * (1.0 + an.abs()),
+                    "layer {li} w[{wi}]: fd {fd} vs {an}"
+                );
+            }
+            // And one bias each.
+            let orig = m.layers[li].b[0];
+            m.layers[li].b[0] = orig + eps;
+            let lp = loss(&m, &mut ws);
+            m.layers[li].b[0] = orig - eps;
+            let lm = loss(&m, &mut ws);
+            m.layers[li].b[0] = orig;
+            let fd = (lp - lm) / (2.0 * eps);
+            let an = grads.layers[li].1[0];
+            assert!((fd - an).abs() < 1e-2 * (1.0 + an.abs()), "layer {li} bias");
+        }
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_difference() {
+        let m = tiny_mlp(Activation::Sigmoid);
+        let x = [0.3, -0.1, 0.7, 0.2];
+        let d_out = [0.5, 1.0, -1.0];
+        let mut ws = m.workspace();
+        let mut grads = m.zero_grads();
+        let mut d_in = vec![0.0; 4];
+        m.forward(&x, &mut ws);
+        m.backward(&d_out, &mut ws, &mut grads, &mut d_in);
+
+        let eps = 1e-3;
+        for i in 0..4 {
+            let mut xp = x;
+            xp[i] += eps;
+            let lp: f32 = m.forward(&xp, &mut ws).iter().zip(&d_out).map(|(a, b)| a * b).sum();
+            let mut xm = x;
+            xm[i] -= eps;
+            let lm: f32 = m.forward(&xm, &mut ws).iter().zip(&d_out).map(|(a, b)| a * b).sum();
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - d_in[i]).abs() < 1e-2 * (1.0 + d_in[i].abs()),
+                "input {i}: fd {fd} vs {}",
+                d_in[i]
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_accumulation_sums_over_calls() {
+        let m = tiny_mlp(Activation::None);
+        let mut ws = m.workspace();
+        let mut g1 = m.zero_grads();
+        let x = [0.5, 0.5, -0.5, 0.1];
+        let d = [1.0, 1.0, 1.0];
+        m.forward(&x, &mut ws);
+        m.backward(&d, &mut ws, &mut g1, &mut []);
+        let single = g1.layers[0].0[0];
+        m.forward(&x, &mut ws);
+        m.backward(&d, &mut ws, &mut g1, &mut []);
+        assert!((g1.layers[0].0[0] - 2.0 * single).abs() < 1e-6);
+        assert_eq!(g1.count, 2);
+        g1.scale(0.5);
+        assert!((g1.layers[0].0[0] - single).abs() < 1e-6);
+        g1.zero();
+        assert_eq!(g1.layers[0].0[0], 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_input_width_panics() {
+        let m = tiny_mlp(Activation::None);
+        let mut ws = m.workspace();
+        let _ = m.forward(&[0.0; 3], &mut ws);
+    }
+
+    #[test]
+    fn single_layer_identity_activation_is_affine() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = Mlp::new(
+            MlpConfig::new(2, &[], 2, Activation::Relu, Activation::None),
+            &mut rng,
+        );
+        let mut ws = m.workspace();
+        // Affinity: f(a) + f(b) - f(0) == f(a + b).
+        let f = |m: &Mlp, ws: &mut MlpWorkspace, x: [f32; 2]| m.forward(&x, ws).to_vec();
+        let fa = f(&m, &mut ws, [1.0, 0.0]);
+        let fb = f(&m, &mut ws, [0.0, 1.0]);
+        let f0 = f(&m, &mut ws, [0.0, 0.0]);
+        let fab = f(&m, &mut ws, [1.0, 1.0]);
+        for k in 0..2 {
+            assert!((fa[k] + fb[k] - f0[k] - fab[k]).abs() < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! The density occupancy grid Instant-NGP uses to skip empty space.
+//!
+//! A coarse boolean voxelisation of the scene AABB, refreshed periodically
+//! from the model's current density field. Rays skip samples that land in
+//! unoccupied voxels, which is what brings the per-iteration point count
+//! from `rays × samples` down to the ~200 k the paper reports.
+
+use crate::math::{Aabb, Vec3};
+
+/// A coarse boolean occupancy voxelisation of an AABB.
+///
+/// # Example
+///
+/// ```
+/// use instant3d_nerf::occupancy::OccupancyGrid;
+/// use instant3d_nerf::math::{Aabb, Vec3};
+///
+/// let mut occ = OccupancyGrid::new(Aabb::UNIT, 16);
+/// occ.update_from_fn(|p| if p.x > 0.5 { 10.0 } else { 0.0 }, 1.0);
+/// assert!(occ.occupied_at(Vec3::new(0.9, 0.5, 0.5)));
+/// assert!(!occ.occupied_at(Vec3::new(0.1, 0.5, 0.5)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct OccupancyGrid {
+    aabb: Aabb,
+    resolution: u32,
+    bits: Vec<bool>,
+}
+
+impl OccupancyGrid {
+    /// Creates a fully-occupied grid (conservative start: nothing skipped
+    /// until the first density update).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resolution` is zero.
+    pub fn new(aabb: Aabb, resolution: u32) -> Self {
+        assert!(resolution > 0, "resolution must be non-zero");
+        OccupancyGrid {
+            aabb,
+            resolution,
+            bits: vec![true; (resolution as usize).pow(3)],
+        }
+    }
+
+    /// The grid's bounding volume.
+    pub fn aabb(&self) -> Aabb {
+        self.aabb
+    }
+
+    /// Cells per axis.
+    pub fn resolution(&self) -> u32 {
+        self.resolution
+    }
+
+    /// Total number of cells.
+    pub fn num_cells(&self) -> usize {
+        self.bits.len()
+    }
+
+    #[inline]
+    fn cell_index(&self, p: Vec3) -> Option<usize> {
+        let u = self.aabb.to_unit(p);
+        if !(0.0..=1.0).contains(&u.x) || !(0.0..=1.0).contains(&u.y) || !(0.0..=1.0).contains(&u.z)
+        {
+            return None;
+        }
+        let r = self.resolution;
+        let cx = ((u.x * r as f32) as u32).min(r - 1);
+        let cy = ((u.y * r as f32) as u32).min(r - 1);
+        let cz = ((u.z * r as f32) as u32).min(r - 1);
+        Some((cx + cy * r + cz * r * r) as usize)
+    }
+
+    /// True when `p` lies in an occupied cell. Points outside the AABB are
+    /// unoccupied by definition.
+    #[inline]
+    pub fn occupied_at(&self, p: Vec3) -> bool {
+        match self.cell_index(p) {
+            Some(i) => self.bits[i],
+            None => false,
+        }
+    }
+
+    /// Refreshes occupancy by evaluating `density` at every cell center and
+    /// marking cells whose density exceeds `threshold`.
+    pub fn update_from_fn<F: FnMut(Vec3) -> f32>(&mut self, mut density: F, threshold: f32) {
+        let r = self.resolution;
+        for cz in 0..r {
+            for cy in 0..r {
+                for cx in 0..r {
+                    let center = self.aabb.from_unit(Vec3::new(
+                        (cx as f32 + 0.5) / r as f32,
+                        (cy as f32 + 0.5) / r as f32,
+                        (cz as f32 + 0.5) / r as f32,
+                    ));
+                    let i = (cx + cy * r + cz * r * r) as usize;
+                    self.bits[i] = density(center) > threshold;
+                }
+            }
+        }
+    }
+
+    /// Like [`OccupancyGrid::update_from_fn`] but keeps a cell occupied if
+    /// *either* the old or new state says so, decayed every `decay` calls —
+    /// the exponential-moving-max style update Instant-NGP uses to avoid
+    /// prematurely culling space early in training.
+    pub fn update_ema<F: FnMut(Vec3) -> f32>(&mut self, mut density: F, threshold: f32) {
+        let r = self.resolution;
+        for cz in 0..r {
+            for cy in 0..r {
+                for cx in 0..r {
+                    let center = self.aabb.from_unit(Vec3::new(
+                        (cx as f32 + 0.5) / r as f32,
+                        (cy as f32 + 0.5) / r as f32,
+                        (cz as f32 + 0.5) / r as f32,
+                    ));
+                    let i = (cx + cy * r + cz * r * r) as usize;
+                    self.bits[i] = self.bits[i] || density(center) > threshold;
+                }
+            }
+        }
+    }
+
+    /// The world-space centers of all cells, in storage (x-fastest) order.
+    pub fn cell_centers(&self) -> Vec<Vec3> {
+        let r = self.resolution;
+        let mut out = Vec::with_capacity(self.bits.len());
+        for cz in 0..r {
+            for cy in 0..r {
+                for cx in 0..r {
+                    out.push(self.aabb.from_unit(Vec3::new(
+                        (cx as f32 + 0.5) / r as f32,
+                        (cy as f32 + 0.5) / r as f32,
+                        (cz as f32 + 0.5) / r as f32,
+                    )));
+                }
+            }
+        }
+        out
+    }
+
+    /// Sets occupancy from a per-cell value buffer in [`cell_centers`] order
+    /// (the trainer maintains a density EMA per cell and thresholds it here,
+    /// following Instant-NGP's decayed occupancy update).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != self.num_cells()`.
+    ///
+    /// [`cell_centers`]: OccupancyGrid::cell_centers
+    pub fn set_from_values(&mut self, values: &[f32], threshold: f32) {
+        assert_eq!(values.len(), self.bits.len(), "cell value count mismatch");
+        for (bit, &v) in self.bits.iter_mut().zip(values) {
+            *bit = v > threshold;
+        }
+    }
+
+    /// Fraction of cells currently occupied.
+    pub fn occupancy_fraction(&self) -> f32 {
+        self.bits.iter().filter(|&&b| b).count() as f32 / self.bits.len() as f32
+    }
+
+    /// Marks every cell occupied (used when resetting between scenes).
+    pub fn fill(&mut self) {
+        self.bits.fill(true);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_fully_occupied() {
+        let occ = OccupancyGrid::new(Aabb::UNIT, 4);
+        assert_eq!(occ.occupancy_fraction(), 1.0);
+        assert!(occ.occupied_at(Vec3::splat(0.5)));
+        assert_eq!(occ.num_cells(), 64);
+    }
+
+    #[test]
+    fn outside_aabb_is_unoccupied() {
+        let occ = OccupancyGrid::new(Aabb::UNIT, 4);
+        assert!(!occ.occupied_at(Vec3::splat(2.0)));
+        assert!(!occ.occupied_at(Vec3::new(-0.1, 0.5, 0.5)));
+    }
+
+    #[test]
+    fn update_culls_empty_half() {
+        let mut occ = OccupancyGrid::new(Aabb::UNIT, 8);
+        occ.update_from_fn(|p| if p.y > 0.5 { 5.0 } else { 0.0 }, 1.0);
+        assert!(occ.occupied_at(Vec3::new(0.5, 0.9, 0.5)));
+        assert!(!occ.occupied_at(Vec3::new(0.5, 0.1, 0.5)));
+        assert!((occ.occupancy_fraction() - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ema_update_never_culls_previously_occupied() {
+        let mut occ = OccupancyGrid::new(Aabb::UNIT, 4);
+        occ.update_from_fn(|p| if p.x > 0.5 { 5.0 } else { 0.0 }, 1.0);
+        let before = occ.occupancy_fraction();
+        // A new field that's empty everywhere must not shrink occupancy.
+        occ.update_ema(|_| 0.0, 1.0);
+        assert_eq!(occ.occupancy_fraction(), before);
+        // But it can grow.
+        occ.update_ema(|_| 5.0, 1.0);
+        assert_eq!(occ.occupancy_fraction(), 1.0);
+    }
+
+    #[test]
+    fn fill_resets_everything() {
+        let mut occ = OccupancyGrid::new(Aabb::UNIT, 4);
+        occ.update_from_fn(|_| 0.0, 1.0);
+        assert_eq!(occ.occupancy_fraction(), 0.0);
+        occ.fill();
+        assert_eq!(occ.occupancy_fraction(), 1.0);
+    }
+
+    #[test]
+    fn non_unit_aabb_mapping() {
+        let aabb = Aabb::new(Vec3::new(-2.0, -2.0, -2.0), Vec3::new(2.0, 2.0, 2.0));
+        let mut occ = OccupancyGrid::new(aabb, 4);
+        occ.update_from_fn(|p| if p.norm() < 1.0 { 5.0 } else { 0.0 }, 1.0);
+        assert!(occ.occupied_at(Vec3::ZERO));
+        assert!(!occ.occupied_at(Vec3::new(1.9, 1.9, 1.9)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_resolution_panics() {
+        let _ = OccupancyGrid::new(Aabb::UNIT, 0);
+    }
+}

@@ -1,0 +1,326 @@
+//! Classical volume rendering (the paper's Eq. 1) — forward and backward.
+//!
+//! For samples `k = 1..N` along a ray with densities `σ_k`, colors `c_k`
+//! and segment lengths `δ_k = t_{k+1} − t_k`:
+//!
+//! ```text
+//! α_k = 1 − exp(−σ_k δ_k)
+//! T_k = Π_{j<k} (1 − α_j)          (accumulated transmittance)
+//! w_k = T_k α_k                     (compositing weight)
+//! Ĉ   = Σ_k w_k c_k + T_end · bg    (Step ④, with background)
+//! ```
+//!
+//! The backward pass implements the analytic gradients used by Step ⑥:
+//!
+//! ```text
+//! ∂Ĉ/∂c_k = w_k
+//! ∂Ĉ/∂σ_k = δ_k · ( T_k (1−α_k) c_k − S_k )
+//! S_k     = Σ_{j>k} w_j c_j + T_end · bg    (suffix color)
+//! ```
+
+use crate::math::Vec3;
+
+/// One integration sample along a ray: position parameters and the queried
+/// features (density σ and color c) from Step ③.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RaySample {
+    /// Distance from the ray origin.
+    pub t: f32,
+    /// Segment length δ to the next sample.
+    pub dt: f32,
+    /// Volume density σ ≥ 0.
+    pub sigma: f32,
+    /// Emitted RGB color.
+    pub rgb: Vec3,
+}
+
+/// Output of compositing one ray.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RenderOutput {
+    /// Predicted pixel color Ĉ (Eq. 1, plus background).
+    pub color: Vec3,
+    /// Expected termination depth Σ w_k t_k (used for the Fig. 5 depth maps).
+    pub depth: f32,
+    /// Total opacity Σ w_k = 1 − T_end.
+    pub opacity: f32,
+    /// Transmittance remaining after the last sample.
+    pub transmittance: f32,
+}
+
+/// Per-sample state retained for the backward pass.
+#[derive(Debug, Clone, Default)]
+pub struct RenderCache {
+    /// Compositing weight w_k per sample.
+    pub weights: Vec<f32>,
+    /// Transmittance T_k entering each sample.
+    pub trans: Vec<f32>,
+    /// 1 − α_k per sample.
+    pub one_minus_alpha: Vec<f32>,
+}
+
+/// Transmittance below which integration stops early (matches Instant-NGP's
+/// 1e-4 early-ray-termination threshold).
+pub const EARLY_STOP_TRANSMITTANCE: f32 = 1e-4;
+
+/// Composites samples front-to-back (Eq. 1). The cache enables
+/// [`composite_backward`]; pass `None` when only rendering.
+pub fn composite(
+    samples: &[RaySample],
+    background: Vec3,
+    mut cache: Option<&mut RenderCache>,
+) -> RenderOutput {
+    if let Some(c) = cache.as_deref_mut() {
+        c.weights.clear();
+        c.trans.clear();
+        c.one_minus_alpha.clear();
+    }
+    let mut color = Vec3::ZERO;
+    let mut depth = 0.0f32;
+    let mut opacity = 0.0f32;
+    let mut trans = 1.0f32;
+    for s in samples {
+        debug_assert!(s.sigma >= 0.0, "density must be non-negative");
+        let one_minus_alpha = (-s.sigma * s.dt).exp();
+        let alpha = 1.0 - one_minus_alpha;
+        let w = trans * alpha;
+        if let Some(c) = cache.as_deref_mut() {
+            c.weights.push(w);
+            c.trans.push(trans);
+            c.one_minus_alpha.push(one_minus_alpha);
+        }
+        color += s.rgb * w;
+        depth += s.t * w;
+        opacity += w;
+        trans *= one_minus_alpha;
+        if trans < EARLY_STOP_TRANSMITTANCE {
+            // Early termination: remaining samples contribute ~nothing.
+            // The cache stays truncated; backward treats them as zero-weight.
+            break;
+        }
+    }
+    color += background * trans;
+    RenderOutput {
+        color,
+        depth,
+        opacity,
+        transmittance: trans,
+    }
+}
+
+/// Gradients of a scalar loss w.r.t. each sample's density and color.
+#[derive(Debug, Clone, Default)]
+pub struct SampleGradients {
+    /// dL/dσ_k per sample (zero for early-terminated samples).
+    pub d_sigma: Vec<f32>,
+    /// dL/dc_k per sample.
+    pub d_rgb: Vec<Vec3>,
+}
+
+/// Backward pass of [`composite`] for the color output.
+///
+/// `d_color` is dL/dĈ; returns dL/dσ_k and dL/dc_k for every sample
+/// (samples past the early-termination point receive zero gradient, exactly
+/// as in Instant-NGP's CUDA kernels).
+///
+/// # Panics
+///
+/// Panics if the cache does not correspond to `samples` (it must come from
+/// a [`composite`] call on the same sample list).
+pub fn composite_backward(
+    samples: &[RaySample],
+    background: Vec3,
+    cache: &RenderCache,
+    out: &RenderOutput,
+    d_color: Vec3,
+) -> SampleGradients {
+    let n_active = cache.weights.len();
+    assert!(
+        n_active <= samples.len(),
+        "cache has more samples than the ray"
+    );
+    let mut grads = SampleGradients {
+        d_sigma: vec![0.0; samples.len()],
+        d_rgb: vec![Vec3::ZERO; samples.len()],
+    };
+    // Suffix color S_k = Σ_{j>k} w_j c_j + T_end·bg, built in reverse.
+    let mut suffix = background * out.transmittance;
+    for k in (0..n_active).rev() {
+        let s = &samples[k];
+        let w = cache.weights[k];
+        grads.d_rgb[k] = d_color * w;
+        // ∂Ĉ/∂σ_k = δ_k (T_k (1−α_k) c_k − S_k); chain with dL/dĈ.
+        let dc_dsigma = (s.rgb * (cache.trans[k] * cache.one_minus_alpha[k]) - suffix) * s.dt;
+        grads.d_sigma[k] = d_color.dot(dc_dsigma);
+        suffix += s.rgb * w;
+    }
+    grads
+}
+
+/// Squared-error loss between a predicted and ground-truth pixel (Eq. 2
+/// contribution of one ray) and its gradient dL/dĈ.
+#[inline]
+pub fn pixel_loss(pred: Vec3, truth: Vec3) -> (f32, Vec3) {
+    let diff = pred - truth;
+    (diff.norm_squared(), diff * 2.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_samples(n: usize, sigma: f32, rgb: Vec3) -> Vec<RaySample> {
+        let dt = 1.0 / n as f32;
+        (0..n)
+            .map(|i| RaySample {
+                t: (i as f32 + 0.5) * dt,
+                dt,
+                sigma,
+                rgb,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_ray_returns_background() {
+        let bg = Vec3::new(0.2, 0.4, 0.6);
+        let out = composite(&[], bg, None);
+        assert_eq!(out.color, bg);
+        assert_eq!(out.opacity, 0.0);
+        assert_eq!(out.transmittance, 1.0);
+    }
+
+    #[test]
+    fn zero_density_is_transparent() {
+        let bg = Vec3::new(1.0, 0.0, 0.0);
+        let samples = uniform_samples(16, 0.0, Vec3::ONE);
+        let out = composite(&samples, bg, None);
+        assert_eq!(out.color, bg);
+        assert_eq!(out.opacity, 0.0);
+    }
+
+    #[test]
+    fn opaque_wall_returns_surface_color() {
+        let bg = Vec3::ZERO;
+        let c = Vec3::new(0.3, 0.6, 0.9);
+        let samples = uniform_samples(64, 1e4, c);
+        let out = composite(&samples, bg, None);
+        assert!((out.color - c).norm() < 1e-3);
+        assert!(out.opacity > 0.999);
+        // Depth concentrates at the first sample for an opaque medium.
+        assert!(out.depth < samples[1].t);
+    }
+
+    #[test]
+    fn analytic_homogeneous_medium() {
+        // For constant σ over [0,1]: opacity = 1 − e^{−σ}.
+        let sigma = 2.0f32;
+        let samples = uniform_samples(1000, sigma, Vec3::ONE);
+        let out = composite(&samples, Vec3::ZERO, None);
+        let expect = 1.0 - (-sigma).exp();
+        assert!(
+            (out.opacity - expect).abs() < 1e-3,
+            "opacity {} vs analytic {expect}",
+            out.opacity
+        );
+    }
+
+    #[test]
+    fn weights_sum_to_opacity_and_match_transmittance() {
+        let samples = uniform_samples(32, 3.0, Vec3::ONE);
+        let mut cache = RenderCache::default();
+        let out = composite(&samples, Vec3::ZERO, Some(&mut cache));
+        let wsum: f32 = cache.weights.iter().sum();
+        assert!((wsum - out.opacity).abs() < 1e-5);
+        assert!((out.opacity + out.transmittance - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn early_termination_truncates_cache() {
+        let samples = uniform_samples(1000, 1e4, Vec3::ONE);
+        let mut cache = RenderCache::default();
+        let _ = composite(&samples, Vec3::ZERO, Some(&mut cache));
+        assert!(
+            cache.weights.len() < 20,
+            "opaque ray should terminate quickly, used {} samples",
+            cache.weights.len()
+        );
+    }
+
+    #[test]
+    fn backward_color_gradient_is_weight() {
+        let samples = uniform_samples(8, 1.5, Vec3::splat(0.5));
+        let mut cache = RenderCache::default();
+        let out = composite(&samples, Vec3::ZERO, Some(&mut cache));
+        let d_color = Vec3::new(1.0, 0.0, 0.0);
+        let grads = composite_backward(&samples, Vec3::ZERO, &cache, &out, d_color);
+        for k in 0..cache.weights.len() {
+            assert!((grads.d_rgb[k].x - cache.weights[k]).abs() < 1e-6);
+            assert_eq!(grads.d_rgb[k].y, 0.0);
+        }
+    }
+
+    #[test]
+    fn backward_sigma_matches_finite_difference() {
+        let mut samples = uniform_samples(12, 2.0, Vec3::ZERO);
+        // Give each sample a distinct color so the gradient is nontrivial.
+        for (i, s) in samples.iter_mut().enumerate() {
+            s.rgb = Vec3::new(i as f32 / 12.0, 0.5, 1.0 - i as f32 / 12.0);
+            s.sigma = 0.5 + 0.2 * i as f32;
+        }
+        let bg = Vec3::new(0.1, 0.2, 0.3);
+        let d_color = Vec3::new(0.7, -0.4, 0.2);
+        let mut cache = RenderCache::default();
+        let out = composite(&samples, bg, Some(&mut cache));
+        let grads = composite_backward(&samples, bg, &cache, &out, d_color);
+
+        let loss = |ss: &[RaySample]| -> f32 {
+            let o = composite(ss, bg, None);
+            d_color.dot(o.color)
+        };
+        let eps = 1e-3;
+        for k in 0..samples.len() {
+            let mut sp = samples.clone();
+            sp[k].sigma += eps;
+            let lp = loss(&sp);
+            let mut sm = samples.clone();
+            sm[k].sigma -= eps;
+            let lm = loss(&sm);
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - grads.d_sigma[k]).abs() < 1e-3,
+                "sample {k}: fd {fd} vs analytic {}",
+                grads.d_sigma[k]
+            );
+        }
+    }
+
+    #[test]
+    fn backward_includes_background_through_sigma() {
+        // A single translucent sample in front of a bright background: more
+        // density blocks background light, so dĈ/dσ must be negative when
+        // the sample is darker than the background.
+        let samples = vec![RaySample {
+            t: 0.5,
+            dt: 0.5,
+            sigma: 1.0,
+            rgb: Vec3::ZERO,
+        }];
+        let bg = Vec3::ONE;
+        let mut cache = RenderCache::default();
+        let out = composite(&samples, bg, Some(&mut cache));
+        let grads = composite_backward(&samples, bg, &cache, &out, Vec3::ONE);
+        assert!(grads.d_sigma[0] < 0.0);
+    }
+
+    #[test]
+    fn pixel_loss_gradient() {
+        let pred = Vec3::new(0.5, 0.5, 0.5);
+        let truth = Vec3::new(0.25, 0.75, 0.5);
+        let (l, g) = pixel_loss(pred, truth);
+        assert!((l - (0.0625 + 0.0625)).abs() < 1e-6);
+        assert_eq!(g, Vec3::new(0.5, -0.5, 0.0));
+        let (l0, g0) = pixel_loss(truth, truth);
+        assert_eq!(l0, 0.0);
+        assert_eq!(g0, Vec3::ZERO);
+    }
+}

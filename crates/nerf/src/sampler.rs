@@ -1,0 +1,199 @@
+//! Samplers for Steps ① and ③: random pixel batches across training views
+//! and stratified point sampling along rays.
+
+use crate::camera::Camera;
+use crate::image::RgbImage;
+use crate::math::{Aabb, Ray, Vec3};
+use crate::occupancy::OccupancyGrid;
+use rand::Rng;
+
+/// A `(t, δt)` segment along a ray where a sample should be taken.
+pub type Segment = (f32, f32);
+
+/// Stratified sampling of `n` segments across the ray's intersection with
+/// `aabb`. With `jitter`, each sample is placed uniformly within its
+/// stratum; without, at the stratum center (deterministic).
+///
+/// Returns an empty vector when the ray misses the box.
+pub fn sample_segments<R: Rng + ?Sized>(
+    ray: &Ray,
+    aabb: &Aabb,
+    n: usize,
+    mut jitter: Option<&mut R>,
+) -> Vec<Segment> {
+    let Some((t0, t1)) = aabb.intersect(ray) else {
+        return Vec::new();
+    };
+    if t1 <= t0 || n == 0 {
+        return Vec::new();
+    }
+    let dt = (t1 - t0) / n as f32;
+    (0..n)
+        .map(|k| {
+            let u = match jitter.as_deref_mut() {
+                Some(rng) => rng.gen_range(0.0..1.0),
+                None => 0.5,
+            };
+            (t0 + (k as f32 + u) * dt, dt)
+        })
+        .collect()
+}
+
+/// Like [`sample_segments`], but drops segments whose sample point falls in
+/// unoccupied space according to `occ` — Instant-NGP's empty-space skipping.
+pub fn sample_segments_occupancy<R: Rng + ?Sized>(
+    ray: &Ray,
+    aabb: &Aabb,
+    n: usize,
+    occ: &OccupancyGrid,
+    jitter: Option<&mut R>,
+) -> Vec<Segment> {
+    sample_segments(ray, aabb, n, jitter)
+        .into_iter()
+        .filter(|&(t, _)| occ.occupied_at(ray.at(t)))
+        .collect()
+}
+
+/// One supervised ray: the pixel's camera ray plus its ground-truth color.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainRay {
+    /// The camera ray through the sampled pixel.
+    pub ray: Ray,
+    /// Ground-truth RGB of that pixel.
+    pub target: Vec3,
+    /// Index of the view the pixel came from.
+    pub view: usize,
+}
+
+/// Step ① — samples a batch of random pixels (with their rays and ground
+/// truth colors) from a set of posed training images.
+///
+/// # Panics
+///
+/// Panics if `views` is empty, images don't match their cameras, or the
+/// camera/image counts differ.
+pub fn sample_pixel_batch<R: Rng + ?Sized>(
+    cameras: &[Camera],
+    images: &[RgbImage],
+    batch: usize,
+    rng: &mut R,
+) -> Vec<TrainRay> {
+    assert!(!cameras.is_empty(), "need at least one training view");
+    assert_eq!(cameras.len(), images.len(), "camera/image count mismatch");
+    for (c, i) in cameras.iter().zip(images) {
+        assert_eq!((c.width, c.height), (i.width(), i.height()), "image/camera size mismatch");
+    }
+    (0..batch)
+        .map(|_| {
+            let view = rng.gen_range(0..cameras.len());
+            let cam = &cameras[view];
+            let x = rng.gen_range(0..cam.width);
+            let y = rng.gen_range(0..cam.height);
+            TrainRay {
+                ray: cam.pixel_center_ray(x, y),
+                target: images[view].get(x, y),
+                view,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deterministic_segments_are_stratum_centers() {
+        let ray = Ray::new(Vec3::new(-1.0, 0.5, 0.5), Vec3::X);
+        let segs = sample_segments::<StdRng>(&ray, &Aabb::UNIT, 4, None);
+        assert_eq!(segs.len(), 4);
+        // Box spans t ∈ [1, 2]; strata centers at 1.125, 1.375, ...
+        assert!((segs[0].0 - 1.125).abs() < 1e-5);
+        assert!((segs[3].0 - 1.875).abs() < 1e-5);
+        for &(_, dt) in &segs {
+            assert!((dt - 0.25).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn jittered_segments_stay_in_strata() {
+        let ray = Ray::new(Vec3::new(-1.0, 0.5, 0.5), Vec3::X);
+        let mut rng = StdRng::seed_from_u64(11);
+        let segs = sample_segments(&ray, &Aabb::UNIT, 8, Some(&mut rng));
+        for (k, &(t, dt)) in segs.iter().enumerate() {
+            let lo = 1.0 + k as f32 * dt;
+            assert!(t >= lo && t <= lo + dt, "sample {k} at {t} outside [{lo}, {}]", lo + dt);
+        }
+    }
+
+    #[test]
+    fn miss_returns_empty() {
+        let ray = Ray::new(Vec3::new(-1.0, 5.0, 0.5), Vec3::X);
+        assert!(sample_segments::<StdRng>(&ray, &Aabb::UNIT, 8, None).is_empty());
+    }
+
+    #[test]
+    fn occupancy_filter_drops_empty_space() {
+        // Occupied only in the x < 0.5 half of the unit cube.
+        let mut occ = OccupancyGrid::new(Aabb::UNIT, 8);
+        occ.update_from_fn(|p| if p.x < 0.5 { 1.0 } else { 0.0 }, 0.5);
+        let ray = Ray::new(Vec3::new(-1.0, 0.5, 0.5), Vec3::X);
+        let segs = sample_segments_occupancy::<StdRng>(&ray, &Aabb::UNIT, 64, &occ, None);
+        assert!(!segs.is_empty());
+        // All surviving samples lie in the occupied half: t in [1.0, 1.5).
+        for &(t, _) in &segs {
+            assert!(t < 1.5 + 1e-4, "sample at t={t} should have been culled");
+        }
+        // Roughly half the samples survive.
+        assert!(segs.len() >= 24 && segs.len() <= 40, "{} survived", segs.len());
+    }
+
+    #[test]
+    fn pixel_batch_returns_requested_size_and_valid_targets() {
+        let cam = Camera::look_at(Vec3::new(0.0, 0.0, 2.0), Vec3::ZERO, Vec3::Y, 1.0, 8, 8);
+        let img = RgbImage::from_fn(8, 8, |x, y| Vec3::new(x as f32 / 8.0, y as f32 / 8.0, 0.0));
+        let mut rng = StdRng::seed_from_u64(5);
+        let batch = sample_pixel_batch(&[cam], &[img.clone()], 32, &mut rng);
+        assert_eq!(batch.len(), 32);
+        for tr in &batch {
+            assert_eq!(tr.view, 0);
+            assert!(tr.target.x < 1.0 && tr.target.y < 1.0);
+            assert!((tr.ray.dir.norm() - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn pixel_batch_covers_multiple_views() {
+        let cams: Vec<Camera> = (0..4)
+            .map(|i| {
+                Camera::look_at(
+                    Vec3::new(i as f32, 0.0, 2.0),
+                    Vec3::ZERO,
+                    Vec3::Y,
+                    1.0,
+                    4,
+                    4,
+                )
+            })
+            .collect();
+        let imgs: Vec<RgbImage> = (0..4).map(|_| RgbImage::new(4, 4)).collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        let batch = sample_pixel_batch(&cams, &imgs, 256, &mut rng);
+        let mut seen = [false; 4];
+        for tr in &batch {
+            seen[tr.view] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all views should be sampled");
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_camera_image_sizes_panic() {
+        let cam = Camera::look_at(Vec3::new(0.0, 0.0, 2.0), Vec3::ZERO, Vec3::Y, 1.0, 8, 8);
+        let img = RgbImage::new(4, 4);
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = sample_pixel_batch(&[cam], &[img], 1, &mut rng);
+    }
+}

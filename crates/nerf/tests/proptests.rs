@@ -1,0 +1,254 @@
+//! Property-based tests of the NeRF substrate's core invariants.
+
+use instant3d_nerf::activation::Activation;
+use instant3d_nerf::fp16::{quantize, F16};
+use instant3d_nerf::grid::{HashGrid, HashGridConfig, NullObserver};
+use instant3d_nerf::hash::{corner_group, dense_index, spatial_hash};
+use instant3d_nerf::math::{Aabb, Ray, Vec3};
+use instant3d_nerf::metrics::psnr;
+use instant3d_nerf::render::{composite, composite_backward, RaySample, RenderCache};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn finite_f32(range: std::ops::RangeInclusive<f32>) -> impl Strategy<Value = f32> {
+    range.prop_filter("finite", |v| v.is_finite())
+}
+
+fn vec3() -> impl Strategy<Value = Vec3> {
+    (
+        finite_f32(-10.0..=10.0),
+        finite_f32(-10.0..=10.0),
+        finite_f32(-10.0..=10.0),
+    )
+        .prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+proptest! {
+    // ---------- fp16 ----------
+
+    #[test]
+    fn fp16_roundtrip_is_idempotent(v in finite_f32(-1e4..=1e4)) {
+        let once = quantize(v);
+        prop_assert_eq!(quantize(once), once);
+    }
+
+    #[test]
+    fn fp16_relative_error_bounded(v in finite_f32(0.001..=1e4)) {
+        let q = F16::from_f32(v).to_f32();
+        // Normal-range fp16 rounding error is at most 2^-11 relative.
+        prop_assert!((q - v).abs() <= v * 4.9e-4, "v={v} q={q}");
+    }
+
+    #[test]
+    fn fp16_preserves_ordering(a in finite_f32(-6e4..=6e4), b in finite_f32(-6e4..=6e4)) {
+        // Rounding is monotone: a <= b implies q(a) <= q(b).
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(quantize(lo) <= quantize(hi));
+    }
+
+    // ---------- spatial hash ----------
+
+    #[test]
+    fn hash_stays_in_table(x in 0u32..10_000, y in 0u32..10_000, z in 0u32..10_000,
+                           log2 in 4u32..20) {
+        let t = 1u32 << log2;
+        prop_assert!(spatial_hash(x, y, z, t) < t);
+    }
+
+    #[test]
+    fn hash_is_deterministic(x in any::<u32>(), y in any::<u32>(), z in any::<u32>()) {
+        let t = 1 << 16;
+        prop_assert_eq!(spatial_hash(x, y, z, t), spatial_hash(x, y, z, t));
+    }
+
+    #[test]
+    fn even_x_neighbours_are_adjacent(x in (0u32..1000).prop_map(|v| v * 2),
+                                      y in 0u32..1000, z in 0u32..1000) {
+        // π₁ = 1 ⇒ even-x neighbours differ by exactly 1 (Fig. 9's peak).
+        let t = 1 << 18;
+        let a = spatial_hash(x, y, z, t) as i64;
+        let b = spatial_hash(x + 1, y, z, t) as i64;
+        prop_assert_eq!((a - b).abs(), 1);
+    }
+
+    #[test]
+    fn dense_index_bounds(res in 1u32..32, x in 0u32..33, y in 0u32..33, z in 0u32..33) {
+        let n = res + 1;
+        prop_assume!(x < n && y < n && z < n);
+        let i = dense_index(x, y, z, res);
+        prop_assert!(i < n * n * n);
+    }
+
+    #[test]
+    fn corner_groups_partition(c in 0usize..8) {
+        let g = corner_group(c);
+        prop_assert!(g < 4);
+        prop_assert_eq!(corner_group(c ^ 1), g, "x-partner shares the group");
+    }
+
+    // ---------- geometry ----------
+
+    #[test]
+    fn aabb_unit_mapping_roundtrips(p in vec3()) {
+        let b = Aabb::new(Vec3::splat(-12.0), Vec3::splat(12.0));
+        let u = b.to_unit(p);
+        let back = b.from_unit(u);
+        prop_assert!((back - p).norm() < 1e-3, "p={p} back={back}");
+    }
+
+    #[test]
+    fn ray_box_intersection_points_are_on_box(ox in finite_f32(-5.0..=5.0),
+                                              oy in finite_f32(-5.0..=5.0)) {
+        let ray = Ray::new(Vec3::new(ox, oy, -3.0), Vec3::Z);
+        if let Some((t0, t1)) = Aabb::UNIT.intersect(&ray) {
+            prop_assert!(t0 <= t1);
+            let eps = 1e-3;
+            for t in [t0, t1] {
+                let p = ray.at(t);
+                prop_assert!(p.x >= -eps && p.x <= 1.0 + eps);
+                prop_assert!(p.y >= -eps && p.y <= 1.0 + eps);
+                prop_assert!(p.z >= -eps && p.z <= 1.0 + eps);
+            }
+        }
+    }
+
+    #[test]
+    fn vec3_triangle_inequality(a in vec3(), b in vec3()) {
+        prop_assert!((a + b).norm() <= a.norm() + b.norm() + 1e-4);
+    }
+
+    // ---------- volume rendering ----------
+
+    #[test]
+    fn compositing_conserves_probability(sigmas in prop::collection::vec(0.0f32..50.0, 1..64)) {
+        let n = sigmas.len();
+        let dt = 1.0 / n as f32;
+        let samples: Vec<RaySample> = sigmas
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| RaySample { t: (i as f32 + 0.5) * dt, dt, sigma: s, rgb: Vec3::ONE })
+            .collect();
+        let out = composite(&samples, Vec3::ZERO, None);
+        prop_assert!(out.opacity >= -1e-5 && out.opacity <= 1.0 + 1e-5);
+        prop_assert!(out.transmittance >= 0.0 && out.transmittance <= 1.0);
+        prop_assert!((out.opacity + out.transmittance - 1.0).abs() < 1e-4);
+        // White emitters on black background: color = opacity per channel.
+        prop_assert!((out.color.x - out.opacity).abs() < 1e-4);
+    }
+
+    #[test]
+    fn compositing_color_in_convex_hull(
+        sigmas in prop::collection::vec(0.0f32..20.0, 1..32),
+        r in 0.0f32..1.0, g in 0.0f32..1.0)
+    {
+        // All samples share one color; the background is another color:
+        // the output must lie between them channel-wise.
+        let n = sigmas.len();
+        let dt = 1.0 / n as f32;
+        let emit = Vec3::new(r, g, 0.25);
+        let bg = Vec3::new(1.0 - r, 1.0 - g, 0.75);
+        let samples: Vec<RaySample> = sigmas
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| RaySample { t: (i as f32 + 0.5) * dt, dt, sigma: s, rgb: emit })
+            .collect();
+        let out = composite(&samples, bg, None);
+        for k in 0..3 {
+            let lo = emit[k].min(bg[k]) - 1e-4;
+            let hi = emit[k].max(bg[k]) + 1e-4;
+            prop_assert!(out.color[k] >= lo && out.color[k] <= hi);
+        }
+    }
+
+    #[test]
+    fn composite_backward_rgb_grads_are_weights(
+        sigmas in prop::collection::vec(0.1f32..10.0, 1..16))
+    {
+        let n = sigmas.len();
+        let dt = 1.0 / n as f32;
+        let samples: Vec<RaySample> = sigmas
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| RaySample { t: (i as f32 + 0.5) * dt, dt, sigma: s, rgb: Vec3::splat(0.5) })
+            .collect();
+        let mut cache = RenderCache::default();
+        let out = composite(&samples, Vec3::ZERO, Some(&mut cache));
+        let grads = composite_backward(&samples, Vec3::ZERO, &cache, &out, Vec3::new(1.0, 0.0, 0.0));
+        for (k, w) in cache.weights.iter().enumerate() {
+            prop_assert!((grads.d_rgb[k].x - w).abs() < 1e-5);
+            prop_assert_eq!(grads.d_rgb[k].y, 0.0);
+        }
+    }
+
+    // ---------- activations ----------
+
+    #[test]
+    fn activations_are_finite_and_ranged(x in finite_f32(-50.0..=50.0)) {
+        for act in [Activation::Relu, Activation::Sigmoid, Activation::TruncExp, Activation::Softplus] {
+            let y = act.apply(x);
+            prop_assert!(y.is_finite(), "{act:?}({x}) = {y}");
+            if act == Activation::Sigmoid {
+                prop_assert!((0.0..=1.0).contains(&y));
+            }
+            if matches!(act, Activation::Relu | Activation::TruncExp | Activation::Softplus) {
+                prop_assert!(y >= 0.0);
+            }
+        }
+    }
+
+    // ---------- hash grid ----------
+
+    #[test]
+    fn grid_encoding_is_bounded_by_feature_magnitude(px in 0.0f32..1.0, py in 0.0f32..1.0, pz in 0.0f32..1.0) {
+        let cfg = HashGridConfig {
+            levels: 3,
+            log2_table_size: 10,
+            base_resolution: 4,
+            max_resolution: 16,
+            init_scale: 0.5,
+            store_fp16: false,
+            ..HashGridConfig::default()
+        };
+        let mut rng = StdRng::seed_from_u64(99);
+        let grid = HashGrid::new_random(cfg, &mut rng);
+        let emb = grid.encode(Vec3::new(px, py, pz));
+        // A convex combination of features bounded by ±0.5 stays bounded.
+        for v in emb {
+            prop_assert!(v.abs() <= 0.5 + 1e-5);
+        }
+    }
+
+    #[test]
+    fn grid_backward_distributes_exactly_one_weight_unit(
+        px in 0.0f32..1.0, py in 0.0f32..1.0, pz in 0.0f32..1.0)
+    {
+        // Scattering a unit gradient puts trilinear weights summing to 1
+        // per level per feature — unless hash collisions merge corners, in
+        // which case weights still sum to 1 (they accumulate).
+        let cfg = HashGridConfig {
+            levels: 2,
+            log2_table_size: 12,
+            base_resolution: 4,
+            max_resolution: 8,
+            store_fp16: false,
+            ..HashGridConfig::default()
+        };
+        let grid = HashGrid::new(cfg.clone());
+        let mut grads = grid.zero_grads();
+        let d = vec![1.0f32; grid.output_dim()];
+        grid.backward_into(Vec3::new(px, py, pz), &d, &mut grads, &mut NullObserver);
+        let f = cfg.features_per_entry;
+        // Feature slot 0 of each entry accumulates level-0's weights.
+        let total: f32 = grads.values.iter().step_by(f).sum();
+        prop_assert!((total - cfg.levels as f32).abs() < 1e-4, "total {total}");
+    }
+
+    // ---------- metrics ----------
+
+    #[test]
+    fn psnr_is_monotone_in_mse(a in 1e-6f32..1.0, b in 1e-6f32..1.0) {
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        prop_assert!(psnr(lo, 1.0) >= psnr(hi, 1.0));
+    }
+}

@@ -1,0 +1,178 @@
+//! A furnished-room scene with a walking camera trajectory, standing in for
+//! ScanNet.
+//!
+//! ScanNet scenes are real RGB-D captures: forward-facing trajectories
+//! through cluttered rooms, with sensor noise. This substitute builds a
+//! room with furniture primitives, generates a walking trajectory of
+//! inward-facing cameras, and (optionally) injects Gaussian pixel noise to
+//! mimic real-capture supervision.
+
+use crate::primitives::{Primitive, Shape};
+use crate::scene::AnalyticScene;
+use instant3d_nerf::camera::Camera;
+use instant3d_nerf::math::{Aabb, Vec3};
+
+/// Builds the ScanNet-like furnished room.
+pub fn build_room() -> AnalyticScene {
+    let half = 1.6f32;
+    let wall = Vec3::new(0.8, 0.78, 0.72);
+    let mut prims = vec![
+        // Floor and three walls (one side open for the camera path).
+        Primitive::matte(
+            Shape::Box {
+                center: Vec3::new(0.0, -0.85, 0.0),
+                half: Vec3::new(half, 0.08, half),
+            },
+            60.0,
+            Vec3::new(0.45, 0.38, 0.3),
+        ),
+        Primitive::matte(
+            Shape::Box {
+                center: Vec3::new(0.0, 0.2, -half),
+                half: Vec3::new(half, 1.0, 0.08),
+            },
+            60.0,
+            wall,
+        ),
+        Primitive::matte(
+            Shape::Box {
+                center: Vec3::new(-half, 0.2, 0.0),
+                half: Vec3::new(0.08, 1.0, half),
+            },
+            60.0,
+            wall * 0.95,
+        ),
+        Primitive::matte(
+            Shape::Box {
+                center: Vec3::new(half, 0.2, 0.0),
+                half: Vec3::new(0.08, 1.0, half),
+            },
+            60.0,
+            wall * 0.9,
+        ),
+        // Table.
+        Primitive::matte(
+            Shape::Box {
+                center: Vec3::new(0.3, -0.35, -0.5),
+                half: Vec3::new(0.4, 0.03, 0.25),
+            },
+            50.0,
+            Vec3::new(0.5, 0.33, 0.2),
+        ),
+        // Sofa: seat + backrest.
+        Primitive::matte(
+            Shape::Box {
+                center: Vec3::new(-0.8, -0.55, 0.4),
+                half: Vec3::new(0.3, 0.18, 0.55),
+            },
+            50.0,
+            Vec3::new(0.25, 0.35, 0.55),
+        ),
+        Primitive::matte(
+            Shape::Box {
+                center: Vec3::new(-1.05, -0.2, 0.4),
+                half: Vec3::new(0.08, 0.3, 0.55),
+            },
+            50.0,
+            Vec3::new(0.22, 0.3, 0.5),
+        ),
+        // Lamp.
+        Primitive::matte(
+            Shape::Cylinder {
+                center: Vec3::new(1.1, -0.3, 0.9),
+                radius: 0.04,
+                half_height: 0.5,
+            },
+            50.0,
+            Vec3::new(0.3, 0.3, 0.3),
+        ),
+        Primitive::glossy(
+            Shape::Sphere {
+                center: Vec3::new(1.1, 0.3, 0.9),
+                radius: 0.15,
+            },
+            35.0,
+            Vec3::new(0.95, 0.9, 0.6),
+            0.3,
+        ),
+        // A plant in the corner (fine geometry).
+        Primitive::matte(
+            Shape::Blob {
+                center: Vec3::new(-1.2, -0.3, -1.2),
+                sigma: 0.22,
+            },
+            25.0,
+            Vec3::new(0.15, 0.45, 0.15),
+        ),
+    ];
+    // Table legs.
+    for (sx, sz) in [(-1.0, -1.0), (-1.0, 1.0), (1.0, -1.0), (1.0, 1.0)] {
+        prims.push(Primitive::matte(
+            Shape::Cylinder {
+                center: Vec3::new(0.3 + 0.35 * sx, -0.6, -0.5 + 0.2 * sz),
+                radius: 0.03,
+                half_height: 0.22,
+            },
+            50.0,
+            Vec3::new(0.35, 0.22, 0.12),
+        ));
+    }
+    let aabb = Aabb::new(
+        Vec3::new(-(half + 0.2), -1.0, -(half + 0.2)),
+        Vec3::new(half + 0.2, 1.3, half + 0.2),
+    );
+    AnalyticScene::with_aabb("scannet-room", prims, aabb)
+}
+
+/// A walking camera trajectory through the room's open side: `count` poses
+/// advancing along +z at eye height, each looking at the room center with a
+/// gentle sweep — the forward-facing capture pattern of handheld RGB-D.
+pub fn walking_trajectory(count: usize, fov_y: f32, width: u32, height: u32) -> Vec<Camera> {
+    (0..count)
+        .map(|i| {
+            let s = i as f32 / count.max(1) as f32;
+            let eye = Vec3::new(
+                -0.9 + 1.8 * s,          // strafe across the open side
+                0.1 + 0.1 * (s * 6.0).sin(), // handheld bob
+                1.35,
+            );
+            let look = Vec3::new(0.4 - 0.8 * s, -0.2, -0.4);
+            Camera::look_at(eye, look, Vec3::Y, fov_y, width, height)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use instant3d_nerf::field::RadianceField;
+
+    #[test]
+    fn room_has_floor_walls_and_furniture() {
+        let s = build_room();
+        assert!(s.density(Vec3::new(0.0, -0.85, 0.0)) > 0.0, "floor");
+        assert!(s.density(Vec3::new(0.0, 0.2, -1.6)) > 0.0, "back wall");
+        assert!(s.density(Vec3::new(0.3, -0.35, -0.5)) > 0.0, "table");
+        assert_eq!(s.density(Vec3::new(0.0, 0.5, 0.5)), 0.0, "open air");
+    }
+
+    #[test]
+    fn trajectory_cameras_stay_inside_aabb_and_look_inward() {
+        let s = build_room();
+        let traj = walking_trajectory(12, 1.0, 32, 32);
+        assert_eq!(traj.len(), 12);
+        for cam in &traj {
+            assert!(s.aabb().contains(cam.pose.position), "camera left the room");
+            // Forward component towards -z (into the room).
+            assert!(cam.pose.forward.z < 0.0);
+        }
+    }
+
+    #[test]
+    fn trajectory_poses_differ() {
+        let traj = walking_trajectory(5, 1.0, 16, 16);
+        for w in traj.windows(2) {
+            assert_ne!(w[0].pose.position, w[1].pose.position);
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Composite analytic radiance fields: the ground-truth "scenes".
+
+use crate::primitives::Primitive;
+use instant3d_nerf::field::RadianceField;
+use instant3d_nerf::math::{Aabb, Vec3};
+
+/// An analytic radiance field composed of soft primitives.
+///
+/// Density is the sum of the primitives' contributions; color is the
+/// density-weighted average of the contributing primitives' colors — the
+/// usual way participating-media compositions mix emitters.
+///
+/// # Example
+///
+/// ```
+/// use instant3d_scenes::{AnalyticScene, Primitive, Shape};
+/// use instant3d_nerf::field::RadianceField;
+/// use instant3d_nerf::math::Vec3;
+///
+/// let scene = AnalyticScene::new(
+///     "demo",
+///     vec![Primitive::matte(
+///         Shape::Sphere { center: Vec3::ZERO, radius: 0.4 },
+///         20.0,
+///         Vec3::new(1.0, 0.0, 0.0),
+///     )],
+/// );
+/// let (sigma, _) = scene.query(Vec3::ZERO, Vec3::X);
+/// assert_eq!(sigma, 20.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AnalyticScene {
+    name: String,
+    primitives: Vec<Primitive>,
+    aabb: Aabb,
+}
+
+impl AnalyticScene {
+    /// Builds a scene; the AABB is the padded union of the primitive bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `primitives` is empty.
+    pub fn new(name: impl Into<String>, primitives: Vec<Primitive>) -> Self {
+        assert!(!primitives.is_empty(), "a scene needs at least one primitive");
+        let mut aabb = primitives[0].bounds();
+        for p in &primitives[1..] {
+            aabb = aabb.union(&p.bounds());
+        }
+        // Pad a little so cameras see the whole silhouette.
+        let pad = aabb.extent().max_component() * 0.05;
+        let aabb = Aabb::new(aabb.min - Vec3::splat(pad), aabb.max + Vec3::splat(pad));
+        AnalyticScene {
+            name: name.into(),
+            primitives,
+            aabb,
+        }
+    }
+
+    /// Like [`AnalyticScene::new`] but with an explicit bounding box (used
+    /// by room scenes whose primitives line the walls).
+    pub fn with_aabb(name: impl Into<String>, primitives: Vec<Primitive>, aabb: Aabb) -> Self {
+        assert!(!primitives.is_empty(), "a scene needs at least one primitive");
+        AnalyticScene {
+            name: name.into(),
+            primitives,
+            aabb,
+        }
+    }
+
+    /// Scene name (used in experiment tables).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The primitives composing the scene.
+    pub fn primitives(&self) -> &[Primitive] {
+        &self.primitives
+    }
+}
+
+impl RadianceField for AnalyticScene {
+    fn aabb(&self) -> Aabb {
+        self.aabb
+    }
+
+    fn query(&self, pos: Vec3, dir: Vec3) -> (f32, Vec3) {
+        let mut sigma = 0.0f32;
+        let mut color = Vec3::ZERO;
+        for p in &self.primitives {
+            let d = p.density_at(pos);
+            if d > 0.0 {
+                sigma += d;
+                color += p.color_at(pos, dir) * d;
+            }
+        }
+        if sigma > 0.0 {
+            (sigma, color / sigma)
+        } else {
+            (0.0, Vec3::ZERO)
+        }
+    }
+
+    fn density(&self, pos: Vec3) -> f32 {
+        self.primitives.iter().map(|p| p.density_at(pos)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::primitives::Shape;
+
+    fn two_ball_scene() -> AnalyticScene {
+        AnalyticScene::new(
+            "two-balls",
+            vec![
+                Primitive::matte(
+                    Shape::Sphere {
+                        center: Vec3::new(-0.5, 0.0, 0.0),
+                        radius: 0.3,
+                    },
+                    10.0,
+                    Vec3::new(1.0, 0.0, 0.0),
+                ),
+                Primitive::matte(
+                    Shape::Sphere {
+                        center: Vec3::new(0.5, 0.0, 0.0),
+                        radius: 0.3,
+                    },
+                    10.0,
+                    Vec3::new(0.0, 0.0, 1.0),
+                ),
+            ],
+        )
+    }
+
+    #[test]
+    fn aabb_covers_all_primitives() {
+        let s = two_ball_scene();
+        assert!(s.aabb().contains(Vec3::new(-0.5, 0.0, 0.0)));
+        assert!(s.aabb().contains(Vec3::new(0.5, 0.0, 0.0)));
+        assert!(s.aabb().contains(Vec3::new(0.8, 0.0, 0.0)));
+    }
+
+    #[test]
+    fn density_sums_color_averages() {
+        let s = two_ball_scene();
+        // Inside the left ball only.
+        let (sig, col) = s.query(Vec3::new(-0.5, 0.0, 0.0), Vec3::X);
+        assert_eq!(sig, 10.0);
+        assert!(col.x > col.z, "left ball is red-ish: {col}");
+        // Empty middle.
+        let (sig0, col0) = s.query(Vec3::ZERO, Vec3::X);
+        assert_eq!(sig0, 0.0);
+        assert_eq!(col0, Vec3::ZERO);
+    }
+
+    #[test]
+    fn density_shortcut_matches_query() {
+        let s = two_ball_scene();
+        for p in [
+            Vec3::new(-0.5, 0.0, 0.0),
+            Vec3::new(0.45, 0.05, 0.0),
+            Vec3::splat(0.2),
+        ] {
+            assert!((s.density(p) - s.query(p, Vec3::X).0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn name_is_preserved() {
+        assert_eq!(two_ball_scene().name(), "two-balls");
+        assert_eq!(two_ball_scene().primitives().len(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_scene_panics() {
+        let _ = AnalyticScene::new("empty", vec![]);
+    }
+
+    #[test]
+    fn with_aabb_overrides_bounds() {
+        let prim = Primitive::matte(
+            Shape::Sphere {
+                center: Vec3::ZERO,
+                radius: 0.1,
+            },
+            1.0,
+            Vec3::ONE,
+        );
+        let big = Aabb::cube(Vec3::ZERO, 10.0);
+        let s = AnalyticScene::with_aabb("custom", vec![prim], big);
+        assert_eq!(s.aabb(), big);
+    }
+}

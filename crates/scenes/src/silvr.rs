@@ -1,0 +1,138 @@
+//! A large-volume indoor scene standing in for SILVR.
+//!
+//! SILVR (Courteaux et al. 2022) is a synthetic *large-volume* plenoptic
+//! dataset: cameras move through sizeable interior spaces rather than
+//! orbiting a single object. This substitute builds a hall an order of
+//! magnitude larger than the object scenes — mostly empty space, which
+//! exercises the occupancy-grid skipping and the larger-AABB code paths.
+
+use crate::primitives::{Primitive, Shape};
+use crate::scene::AnalyticScene;
+use instant3d_nerf::math::{Aabb, Vec3};
+
+/// Half extent of the hall in x/z (world units). The object scenes span
+/// roughly ±0.7, so the hall's ±4 makes the volume ~150× larger.
+pub const HALL_HALF_EXTENT: f32 = 4.0;
+
+/// Builds the SILVR-like hall scene.
+pub fn build_hall() -> AnalyticScene {
+    let h = HALL_HALF_EXTENT;
+    let wall_color = Vec3::new(0.75, 0.73, 0.7);
+    let mut prims = vec![
+        // Floor.
+        Primitive::matte(
+            Shape::Box {
+                center: Vec3::new(0.0, -1.1, 0.0),
+                half: Vec3::new(h, 0.1, h),
+            },
+            60.0,
+            Vec3::new(0.5, 0.45, 0.4),
+        ),
+        // Ceiling.
+        Primitive::matte(
+            Shape::Box {
+                center: Vec3::new(0.0, 2.1, 0.0),
+                half: Vec3::new(h, 0.1, h),
+            },
+            60.0,
+            wall_color,
+        ),
+        // Two side walls (leave the other two open for cameras).
+        Primitive::matte(
+            Shape::Box {
+                center: Vec3::new(-h, 0.5, 0.0),
+                half: Vec3::new(0.1, 1.7, h),
+            },
+            60.0,
+            wall_color * 0.95,
+        ),
+        Primitive::matte(
+            Shape::Box {
+                center: Vec3::new(h, 0.5, 0.0),
+                half: Vec3::new(0.1, 1.7, h),
+            },
+            60.0,
+            wall_color * 0.9,
+        ),
+    ];
+    // Columns along the hall.
+    for i in 0..4 {
+        let z = -3.0 + 2.0 * i as f32;
+        for sx in [-1.0f32, 1.0] {
+            prims.push(Primitive::matte(
+                Shape::Cylinder {
+                    center: Vec3::new(2.2 * sx, 0.5, z),
+                    radius: 0.25,
+                    half_height: 1.5,
+                },
+                55.0,
+                Vec3::new(0.65, 0.6, 0.55),
+            ));
+        }
+    }
+    // A few exhibits down the middle.
+    let exhibits = [
+        (Vec3::new(0.0, -0.4, -2.0), Vec3::new(0.9, 0.3, 0.2)),
+        (Vec3::new(0.5, -0.5, 0.0), Vec3::new(0.2, 0.6, 0.3)),
+        (Vec3::new(-0.5, -0.35, 2.0), Vec3::new(0.25, 0.35, 0.8)),
+    ];
+    for &(c, col) in &exhibits {
+        prims.push(Primitive::glossy(
+            Shape::Sphere { center: c, radius: 0.45 },
+            40.0,
+            col,
+            0.35,
+        ));
+    }
+    let aabb = Aabb::new(
+        Vec3::new(-(h + 0.3), -1.3, -(h + 0.3)),
+        Vec3::new(h + 0.3, 2.3, h + 0.3),
+    );
+    AnalyticScene::with_aabb("silvr-hall", prims, aabb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use instant3d_nerf::field::RadianceField;
+
+    #[test]
+    fn hall_is_large_volume() {
+        let s = build_hall();
+        assert!(s.aabb().extent().max_component() > 6.0);
+    }
+
+    #[test]
+    fn hall_is_mostly_empty_space() {
+        // The defining property of a large-volume scene: low fill factor.
+        let s = build_hall();
+        let aabb = s.aabb();
+        let n = 16;
+        let mut dense = 0u32;
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    let u = Vec3::new(
+                        (i as f32 + 0.5) / n as f32,
+                        (j as f32 + 0.5) / n as f32,
+                        (k as f32 + 0.5) / n as f32,
+                    );
+                    if s.density(aabb.from_unit(u)) > 0.5 {
+                        dense += 1;
+                    }
+                }
+            }
+        }
+        let fill = dense as f32 / (n * n * n) as f32;
+        assert!(fill < 0.35, "hall fill factor {fill} should be low");
+        assert!(fill > 0.0, "hall should not be completely empty");
+    }
+
+    #[test]
+    fn floor_and_exhibits_are_present() {
+        let s = build_hall();
+        assert!(s.density(Vec3::new(0.0, -1.1, 0.0)) > 0.0, "floor");
+        assert!(s.density(Vec3::new(0.0, -0.4, -2.0)) > 0.0, "exhibit");
+        assert_eq!(s.density(Vec3::new(0.0, 1.0, 0.0)), 0.0, "open air");
+    }
+}

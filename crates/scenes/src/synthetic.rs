@@ -1,0 +1,444 @@
+//! Eight procedural object scenes standing in for NeRF-Synthetic.
+//!
+//! Scene names mirror the Blender originals (chair, drums, ficus, hotdog,
+//! lego, materials, mic, ship); each is an object-centric composition of
+//! soft primitives in a roughly unit-scale volume, captured by an orbiting
+//! camera rig like the Blender dataset's.
+
+use crate::primitives::{Primitive, Shape};
+use crate::scene::AnalyticScene;
+use instant3d_nerf::math::Vec3;
+
+/// Names of the eight scenes, in index order.
+pub const SCENE_NAMES: [&str; 8] = [
+    "chair", "drums", "ficus", "hotdog", "lego", "materials", "mic", "ship",
+];
+
+/// Number of synthetic scenes.
+pub const NUM_SCENES: usize = SCENE_NAMES.len();
+
+/// Builds synthetic scene `index` (0..8).
+///
+/// # Panics
+///
+/// Panics if `index >= 8`.
+pub fn build_scene(index: usize) -> AnalyticScene {
+    assert!(index < NUM_SCENES, "scene index out of range: {index}");
+    match index {
+        0 => chair(),
+        1 => drums(),
+        2 => ficus(),
+        3 => hotdog(),
+        4 => lego(),
+        5 => materials(),
+        6 => mic(),
+        _ => ship(),
+    }
+}
+
+/// All eight scenes.
+pub fn all_scenes() -> Vec<AnalyticScene> {
+    (0..NUM_SCENES).map(build_scene).collect()
+}
+
+fn chair() -> AnalyticScene {
+    let wood = Vec3::new(0.55, 0.35, 0.2);
+    let mut prims = vec![
+        // Seat.
+        Primitive::matte(
+            Shape::Box {
+                center: Vec3::new(0.0, -0.1, 0.0),
+                half: Vec3::new(0.35, 0.05, 0.35),
+            },
+            40.0,
+            wood,
+        ),
+        // Backrest.
+        Primitive::matte(
+            Shape::Box {
+                center: Vec3::new(0.0, 0.3, -0.3),
+                half: Vec3::new(0.35, 0.35, 0.05),
+            },
+            40.0,
+            wood * 1.1,
+        ),
+    ];
+    // Four legs.
+    for (sx, sz) in [(-1.0, -1.0), (-1.0, 1.0), (1.0, -1.0), (1.0, 1.0)] {
+        prims.push(Primitive::matte(
+            Shape::Cylinder {
+                center: Vec3::new(0.28 * sx, -0.4, 0.28 * sz),
+                radius: 0.05,
+                half_height: 0.25,
+            },
+            40.0,
+            Vec3::new(0.35, 0.22, 0.12),
+        ));
+    }
+    AnalyticScene::new("chair", prims)
+}
+
+fn drums() -> AnalyticScene {
+    let mut prims = Vec::new();
+    // Three drum shells of different sizes.
+    let shells = [
+        (Vec3::new(-0.35, -0.15, 0.1), 0.22, 0.18),
+        (Vec3::new(0.3, -0.2, 0.15), 0.18, 0.14),
+        (Vec3::new(0.0, -0.25, -0.3), 0.26, 0.2),
+    ];
+    for (i, &(c, r, h)) in shells.iter().enumerate() {
+        prims.push(Primitive::glossy(
+            Shape::Cylinder {
+                center: c,
+                radius: r,
+                half_height: h,
+            },
+            45.0,
+            Vec3::new(0.7, 0.1 + 0.2 * i as f32, 0.15),
+            0.4,
+        ));
+    }
+    // Cymbals: thin glossy boxes.
+    for &(x, y) in &[(-0.45f32, 0.3f32), (0.45, 0.35)] {
+        prims.push(Primitive::glossy(
+            Shape::Box {
+                center: Vec3::new(x, y, 0.0),
+                half: Vec3::new(0.2, 0.015, 0.2),
+            },
+            60.0,
+            Vec3::new(0.85, 0.75, 0.3),
+            0.8,
+        ));
+    }
+    AnalyticScene::new("drums", prims)
+}
+
+fn ficus() -> AnalyticScene {
+    let mut prims = vec![
+        // Pot.
+        Primitive::matte(
+            Shape::Cylinder {
+                center: Vec3::new(0.0, -0.45, 0.0),
+                radius: 0.2,
+                half_height: 0.15,
+            },
+            50.0,
+            Vec3::new(0.6, 0.3, 0.2),
+        ),
+        // Trunk.
+        Primitive::matte(
+            Shape::Cylinder {
+                center: Vec3::new(0.0, -0.05, 0.0),
+                radius: 0.04,
+                half_height: 0.3,
+            },
+            50.0,
+            Vec3::new(0.4, 0.25, 0.12),
+        ),
+    ];
+    // Foliage: a cloud of Gaussian blobs (the fine geometry the paper's
+    // Fig. 5 shows densities struggling to learn).
+    let golden = std::f32::consts::PI * (3.0 - 5f32.sqrt());
+    for i in 0..14 {
+        let a = golden * i as f32;
+        let r = 0.1 + 0.25 * (i as f32 / 14.0);
+        let y = 0.25 + 0.35 * (i as f32 % 5.0) / 5.0;
+        prims.push(Primitive::matte(
+            Shape::Blob {
+                center: Vec3::new(r * a.cos(), y, r * a.sin()),
+                sigma: 0.09,
+            },
+            30.0,
+            Vec3::new(0.1, 0.45 + 0.02 * (i % 4) as f32, 0.12),
+        ));
+    }
+    AnalyticScene::new("ficus", prims)
+}
+
+fn hotdog() -> AnalyticScene {
+    AnalyticScene::new(
+        "hotdog",
+        vec![
+            // Plate.
+            Primitive::glossy(
+                Shape::Cylinder {
+                    center: Vec3::new(0.0, -0.3, 0.0),
+                    radius: 0.5,
+                    half_height: 0.03,
+                },
+                55.0,
+                Vec3::new(0.9, 0.9, 0.92),
+                0.3,
+            ),
+            // Buns: two elongated "blob bars" approximated by cylinders laid
+            // flat (rotated shapes approximated with boxes).
+            Primitive::matte(
+                Shape::Box {
+                    center: Vec3::new(0.0, -0.18, -0.09),
+                    half: Vec3::new(0.32, 0.07, 0.08),
+                },
+                45.0,
+                Vec3::new(0.8, 0.6, 0.3),
+            ),
+            Primitive::matte(
+                Shape::Box {
+                    center: Vec3::new(0.0, -0.18, 0.09),
+                    half: Vec3::new(0.32, 0.07, 0.08),
+                },
+                45.0,
+                Vec3::new(0.8, 0.6, 0.3),
+            ),
+            // Sausage.
+            Primitive::glossy(
+                Shape::Box {
+                    center: Vec3::new(0.0, -0.1, 0.0),
+                    half: Vec3::new(0.3, 0.05, 0.05),
+                },
+                50.0,
+                Vec3::new(0.7, 0.2, 0.1),
+                0.5,
+            ),
+        ],
+    )
+}
+
+fn lego() -> AnalyticScene {
+    let mut prims = Vec::new();
+    let yellow = Vec3::new(0.85, 0.7, 0.1);
+    // Bulldozer-ish stack of bricks.
+    let bricks = [
+        (Vec3::new(0.0, -0.35, 0.0), Vec3::new(0.45, 0.08, 0.3)),
+        (Vec3::new(0.0, -0.18, 0.0), Vec3::new(0.35, 0.08, 0.25)),
+        (Vec3::new(-0.1, 0.0, 0.0), Vec3::new(0.22, 0.1, 0.2)),
+        (Vec3::new(0.05, 0.2, 0.0), Vec3::new(0.15, 0.1, 0.15)),
+    ];
+    for (i, &(c, h)) in bricks.iter().enumerate() {
+        prims.push(Primitive::matte(
+            c_shape(c, h),
+            50.0,
+            if i % 2 == 0 { yellow } else { Vec3::new(0.4, 0.4, 0.42) },
+        ));
+    }
+    // Blade.
+    prims.push(Primitive::glossy(
+        Shape::Box {
+            center: Vec3::new(0.45, -0.25, 0.0),
+            half: Vec3::new(0.04, 0.15, 0.32),
+        },
+        55.0,
+        Vec3::new(0.75, 0.75, 0.78),
+        0.6,
+    ));
+    // Wheels.
+    for sz in [-1.0f32, 1.0] {
+        for x in [-0.25f32, 0.2] {
+            prims.push(Primitive::matte(
+                Shape::Torus {
+                    center: Vec3::new(x, -0.42, 0.32 * sz),
+                    major: 0.09,
+                    minor: 0.04,
+                },
+                60.0,
+                Vec3::new(0.12, 0.12, 0.12),
+            ));
+        }
+    }
+    AnalyticScene::new("lego", prims)
+}
+
+fn c_shape(center: Vec3, half: Vec3) -> Shape {
+    Shape::Box { center, half }
+}
+
+fn materials() -> AnalyticScene {
+    // A grid of spheres with varying gloss — the view-dependence stress test.
+    let mut prims = Vec::new();
+    for i in 0..3 {
+        for j in 0..3 {
+            let x = -0.4 + 0.4 * i as f32;
+            let z = -0.4 + 0.4 * j as f32;
+            let gloss = (i * 3 + j) as f32 / 8.0;
+            prims.push(Primitive::glossy(
+                Shape::Sphere {
+                    center: Vec3::new(x, -0.2, z),
+                    radius: 0.14,
+                },
+                50.0,
+                Vec3::new(0.2 + 0.3 * i as f32 / 2.0, 0.3, 0.8 - 0.3 * j as f32 / 2.0),
+                gloss,
+            ));
+        }
+    }
+    AnalyticScene::new("materials", prims)
+}
+
+fn mic() -> AnalyticScene {
+    AnalyticScene::new(
+        "mic",
+        vec![
+            // Head.
+            Primitive::glossy(
+                Shape::Sphere {
+                    center: Vec3::new(0.0, 0.3, 0.0),
+                    radius: 0.18,
+                },
+                45.0,
+                Vec3::new(0.6, 0.6, 0.65),
+                0.7,
+            ),
+            // Handle.
+            Primitive::matte(
+                Shape::Cylinder {
+                    center: Vec3::new(0.0, -0.05, 0.0),
+                    radius: 0.06,
+                    half_height: 0.22,
+                },
+                50.0,
+                Vec3::new(0.15, 0.15, 0.18),
+            ),
+            // Stand arm + base.
+            Primitive::matte(
+                Shape::Cylinder {
+                    center: Vec3::new(0.0, -0.35, 0.0),
+                    radius: 0.035,
+                    half_height: 0.12,
+                },
+                50.0,
+                Vec3::new(0.25, 0.25, 0.28),
+            ),
+            Primitive::matte(
+                Shape::Cylinder {
+                    center: Vec3::new(0.0, -0.48, 0.0),
+                    radius: 0.25,
+                    half_height: 0.03,
+                },
+                55.0,
+                Vec3::new(0.2, 0.2, 0.22),
+            ),
+        ],
+    )
+}
+
+fn ship() -> AnalyticScene {
+    AnalyticScene::new(
+        "ship",
+        vec![
+            // Water: a broad translucent slab.
+            Primitive::glossy(
+                Shape::Box {
+                    center: Vec3::new(0.0, -0.45, 0.0),
+                    half: Vec3::new(0.6, 0.05, 0.6),
+                },
+                12.0,
+                Vec3::new(0.1, 0.3, 0.5),
+                0.6,
+            ),
+            // Hull.
+            Primitive::matte(
+                Shape::Box {
+                    center: Vec3::new(0.0, -0.3, 0.0),
+                    half: Vec3::new(0.4, 0.1, 0.15),
+                },
+                45.0,
+                Vec3::new(0.45, 0.28, 0.15),
+            ),
+            // Cabin.
+            Primitive::matte(
+                Shape::Box {
+                    center: Vec3::new(-0.1, -0.12, 0.0),
+                    half: Vec3::new(0.15, 0.08, 0.1),
+                },
+                45.0,
+                Vec3::new(0.6, 0.5, 0.4),
+            ),
+            // Mast.
+            Primitive::matte(
+                Shape::Cylinder {
+                    center: Vec3::new(0.1, 0.15, 0.0),
+                    radius: 0.025,
+                    half_height: 0.35,
+                },
+                50.0,
+                Vec3::new(0.35, 0.25, 0.15),
+            ),
+            // Sail.
+            Primitive::matte(
+                Shape::Box {
+                    center: Vec3::new(0.22, 0.2, 0.0),
+                    half: Vec3::new(0.1, 0.22, 0.01),
+                },
+                35.0,
+                Vec3::new(0.9, 0.88, 0.8),
+            ),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use instant3d_nerf::field::RadianceField;
+
+    #[test]
+    fn all_eight_scenes_build() {
+        let scenes = all_scenes();
+        assert_eq!(scenes.len(), 8);
+        for (i, s) in scenes.iter().enumerate() {
+            assert_eq!(s.name(), SCENE_NAMES[i]);
+            assert!(!s.primitives().is_empty());
+        }
+    }
+
+    #[test]
+    fn scenes_have_nonzero_density_somewhere() {
+        for s in all_scenes() {
+            let aabb = s.aabb();
+            // Scan a coarse lattice for density.
+            let mut found = false;
+            let n = 12;
+            'outer: for i in 0..n {
+                for j in 0..n {
+                    for k in 0..n {
+                        let u = instant3d_nerf::math::Vec3::new(
+                            (i as f32 + 0.5) / n as f32,
+                            (j as f32 + 0.5) / n as f32,
+                            (k as f32 + 0.5) / n as f32,
+                        );
+                        if s.density(aabb.from_unit(u)) > 0.0 {
+                            found = true;
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+            assert!(found, "scene {} appears empty", s.name());
+        }
+    }
+
+    #[test]
+    fn scene_extents_are_object_scale() {
+        for s in all_scenes() {
+            let d = s.aabb().diagonal();
+            assert!(d > 0.5 && d < 4.0, "scene {} diagonal {d}", s.name());
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_index_panics() {
+        let _ = build_scene(8);
+    }
+
+    #[test]
+    fn materials_scene_is_view_dependent() {
+        let s = build_scene(5);
+        // Find a dense point on a glossy sphere.
+        let p = instant3d_nerf::math::Vec3::new(0.4, -0.1, 0.4);
+        let d1 = instant3d_nerf::math::Vec3::new(0.0, -1.0, 0.0);
+        let d2 = instant3d_nerf::math::Vec3::new(1.0, 0.0, 0.0);
+        let (sig, c1) = s.query(p, d1);
+        let (_, c2) = s.query(p, d2);
+        assert!(sig > 0.0);
+        assert_ne!(c1, c2, "glossy scene should be view dependent");
+    }
+}

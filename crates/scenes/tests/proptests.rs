@@ -1,0 +1,143 @@
+//! Property-based tests of the procedural scene substrate.
+
+use instant3d_nerf::field::RadianceField;
+use instant3d_nerf::math::Vec3;
+use instant3d_scenes::{primitives::Shape, AnalyticScene, Primitive};
+use proptest::prelude::*;
+
+fn unit_pos() -> impl Strategy<Value = Vec3> {
+    (0.0f32..1.0, 0.0f32..1.0, 0.0f32..1.0).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+fn any_shape() -> impl Strategy<Value = Shape> {
+    prop_oneof![
+        ((-1.0f32..1.0, -1.0f32..1.0, -1.0f32..1.0), 0.05f32..0.8).prop_map(|((x, y, z), r)| {
+            Shape::Sphere {
+                center: Vec3::new(x, y, z),
+                radius: r,
+            }
+        }),
+        ((-1.0f32..1.0, -1.0f32..1.0, -1.0f32..1.0), (0.05f32..0.6, 0.05f32..0.6, 0.05f32..0.6))
+            .prop_map(|((x, y, z), (a, b, c))| Shape::Box {
+                center: Vec3::new(x, y, z),
+                half: Vec3::new(a, b, c),
+            }),
+        ((-1.0f32..1.0, -1.0f32..1.0, -1.0f32..1.0), 0.2f32..0.6, 0.05f32..0.15).prop_map(
+            |((x, y, z), major, minor)| Shape::Torus {
+                center: Vec3::new(x, y, z),
+                major,
+                minor,
+            }
+        ),
+        ((-1.0f32..1.0, -1.0f32..1.0, -1.0f32..1.0), 0.05f32..0.5, 0.1f32..0.6).prop_map(
+            |((x, y, z), r, h)| Shape::Cylinder {
+                center: Vec3::new(x, y, z),
+                radius: r,
+                half_height: h,
+            }
+        ),
+        ((-1.0f32..1.0, -1.0f32..1.0, -1.0f32..1.0), 0.05f32..0.3).prop_map(|((x, y, z), s)| {
+            Shape::Blob {
+                center: Vec3::new(x, y, z),
+                sigma: s,
+            }
+        }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn density_is_nonnegative_and_bounded_by_peak(shape in any_shape(), p in unit_pos(),
+                                                  peak in 1.0f32..100.0) {
+        let prim = Primitive::matte(shape, peak, Vec3::ONE);
+        let d = prim.density_at(p);
+        prop_assert!(d >= 0.0);
+        prop_assert!(d <= peak * 1.0001, "density {d} exceeds peak {peak}");
+    }
+
+    #[test]
+    fn dense_points_lie_inside_bounds(shape in any_shape(), p in unit_pos()) {
+        let prim = Primitive::matte(shape, 10.0, Vec3::ONE);
+        if prim.density_at(p) > 0.0 {
+            prop_assert!(prim.bounds().contains(p),
+                "dense point {p} escapes bounds {}", prim.bounds());
+        }
+    }
+
+    #[test]
+    fn colors_stay_in_unit_range(shape in any_shape(), p in unit_pos(),
+                                 gloss in 0.0f32..1.0,
+                                 (dx, dy) in (-1.0f32..1.0, -1.0f32..1.0)) {
+        let prim = Primitive::glossy(shape, 10.0, Vec3::new(0.9, 0.4, 0.2), gloss);
+        let dir = Vec3::new(dx, dy, 0.5).normalized();
+        let c = prim.color_at(p, dir);
+        for k in 0..3 {
+            prop_assert!((0.0..=1.0).contains(&c[k]), "channel {k} = {}", c[k]);
+        }
+    }
+
+    #[test]
+    fn signed_distance_sign_matches_density_support(shape in any_shape(), p in unit_pos()) {
+        // Strictly inside (sd < 0) ⇒ full density; far outside
+        // (sd > shell) ⇒ zero density (blobs use their own support rule).
+        let prim = Primitive::matte(shape, 5.0, Vec3::ONE);
+        if !matches!(shape, Shape::Blob { .. }) {
+            let sd = shape.signed_distance(p);
+            if sd < -1e-4 {
+                prop_assert!((prim.density_at(p) - 5.0).abs() < 1e-4);
+            }
+            if sd > prim.shell + 1e-4 {
+                prop_assert_eq!(prim.density_at(p), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn scene_query_color_is_convex_mix(p in unit_pos(), (dx, dz) in (-1.0f32..1.0, -1.0f32..1.0)) {
+        // Composite color is a density-weighted average ⇒ bounded by the
+        // per-primitive colors, which are bounded by [0,1].
+        let scene = AnalyticScene::new(
+            "prop",
+            vec![
+                Primitive::matte(
+                    Shape::Sphere { center: Vec3::splat(0.3), radius: 0.25 },
+                    8.0,
+                    Vec3::new(1.0, 0.0, 0.0),
+                ),
+                Primitive::matte(
+                    Shape::Sphere { center: Vec3::splat(0.6), radius: 0.25 },
+                    8.0,
+                    Vec3::new(0.0, 0.0, 1.0),
+                ),
+            ],
+        );
+        let dir = Vec3::new(dx, 0.3, dz).normalized();
+        let (sigma, color) = scene.query(p, dir);
+        prop_assert!(sigma >= 0.0);
+        for k in 0..3 {
+            prop_assert!((0.0..=1.0).contains(&color[k]));
+        }
+        if sigma == 0.0 {
+            prop_assert_eq!(color, Vec3::ZERO);
+        }
+    }
+
+    #[test]
+    fn scene_density_is_sum_of_primitives(p in unit_pos()) {
+        let prims = vec![
+            Primitive::matte(
+                Shape::Sphere { center: Vec3::splat(0.4), radius: 0.3 },
+                3.0,
+                Vec3::ONE,
+            ),
+            Primitive::matte(
+                Shape::Box { center: Vec3::splat(0.5), half: Vec3::splat(0.2) },
+                4.0,
+                Vec3::ONE,
+            ),
+        ];
+        let by_hand: f32 = prims.iter().map(|q| q.density_at(p)).sum();
+        let scene = AnalyticScene::new("sum", prims);
+        prop_assert!((scene.density(p) - by_hand).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,280 @@
+//! Corner-group clustering analysis (Figs. 8 and 9 of the paper).
+//!
+//! Each interpolation cube reads 8 corner addresses. Clustering them by
+//! shared (y, z) gives 4 groups of 2 x-adjacent vertices. Because the
+//! spatial hash multiplies x by π₁ = 1 but y/z by large primes, intra-group
+//! address distances are tiny (locality) and inter-group distances huge
+//! (remoteness) — the property the FRM unit's banking exploits.
+
+use crate::record::{AccessRecord, Trace};
+use instant3d_nerf::grid::{AccessPhase, GridBranch};
+
+/// One reconstructed interpolation burst: the 8 corner addresses of a
+/// single (point, level) query, indexed by corner id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CornerBurst {
+    /// Training iteration of the burst.
+    pub iter: u32,
+    /// Grid level.
+    pub level: u32,
+    /// Corner addresses, index = corner id (bit0 = dx, bit1 = dy, bit2 = dz).
+    pub addrs: [u32; 8],
+}
+
+impl CornerBurst {
+    /// The 4 corner groups: pairs of x-adjacent corners sharing (y, z).
+    /// Group g contains corners 2g and 2g+1.
+    pub fn groups(&self) -> [[u32; 2]; 4] {
+        [
+            [self.addrs[0], self.addrs[1]],
+            [self.addrs[2], self.addrs[3]],
+            [self.addrs[4], self.addrs[5]],
+            [self.addrs[6], self.addrs[7]],
+        ]
+    }
+
+    /// Signed intra-group distances (4 per burst): `addr(x+1) − addr(x)`.
+    pub fn intra_group_distances(&self) -> [i64; 4] {
+        let g = self.groups();
+        [
+            g[0][1] as i64 - g[0][0] as i64,
+            g[1][1] as i64 - g[1][0] as i64,
+            g[2][1] as i64 - g[2][0] as i64,
+            g[3][1] as i64 - g[3][0] as i64,
+        ]
+    }
+
+    /// Absolute pairwise distances between the 4 group anchors (6 pairs).
+    pub fn inter_group_distances(&self) -> [u64; 6] {
+        let a = [self.addrs[0], self.addrs[2], self.addrs[4], self.addrs[6]];
+        let d = |x: u32, y: u32| (x as i64 - y as i64).unsigned_abs();
+        [
+            d(a[0], a[1]),
+            d(a[0], a[2]),
+            d(a[0], a[3]),
+            d(a[1], a[2]),
+            d(a[1], a[3]),
+            d(a[2], a[3]),
+        ]
+    }
+}
+
+/// Reconstructs interpolation bursts from a trace: consecutive runs of 8
+/// same-phase, same-branch, same-level records with corners 0..7 in order.
+///
+/// Hashed levels only (`min_level` filters out dense levels, whose
+/// addressing is trivially local and not what Fig. 8/9 measure — pass 0 to
+/// keep everything).
+pub fn bursts(
+    trace: &Trace,
+    phase: AccessPhase,
+    branch: GridBranch,
+    min_level: u32,
+) -> Vec<CornerBurst> {
+    let recs: Vec<&AccessRecord> = trace
+        .records
+        .iter()
+        .filter(|r| r.phase == phase && r.branch == branch && r.level >= min_level)
+        .collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 8 <= recs.len() {
+        let window = &recs[i..i + 8];
+        let aligned = window.iter().enumerate().all(|(k, r)| {
+            r.corner as usize == k && r.level == window[0].level && r.iter == window[0].iter
+        });
+        if aligned {
+            let mut addrs = [0u32; 8];
+            for (k, r) in window.iter().enumerate() {
+                addrs[k] = r.addr;
+            }
+            out.push(CornerBurst {
+                iter: window[0].iter,
+                level: window[0].level,
+                addrs,
+            });
+            i += 8;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Summary of the Fig. 8 / Fig. 9 measurements over a set of bursts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterSummary {
+    /// Bursts analysed.
+    pub bursts: usize,
+    /// Mean |intra-group| distance (paper: ~1-5).
+    pub mean_intra_abs: f64,
+    /// Fraction of intra-group distances within [-5, 5] (paper: > 90 %).
+    pub frac_intra_within_5: f64,
+    /// Mean inter-group distance (paper: ~60 000 at paper-scale tables).
+    pub mean_inter: f64,
+}
+
+/// Computes the Fig. 8/9 summary over bursts.
+pub fn summarize(bursts: &[CornerBurst]) -> ClusterSummary {
+    if bursts.is_empty() {
+        return ClusterSummary {
+            bursts: 0,
+            mean_intra_abs: 0.0,
+            frac_intra_within_5: 0.0,
+            mean_inter: 0.0,
+        };
+    }
+    let mut intra_abs_sum = 0.0f64;
+    let mut intra_within = 0u64;
+    let mut intra_n = 0u64;
+    let mut inter_sum = 0.0f64;
+    let mut inter_n = 0u64;
+    for b in bursts {
+        for d in b.intra_group_distances() {
+            intra_abs_sum += d.unsigned_abs() as f64;
+            if d.abs() <= 5 {
+                intra_within += 1;
+            }
+            intra_n += 1;
+        }
+        for d in b.inter_group_distances() {
+            inter_sum += d as f64;
+            inter_n += 1;
+        }
+    }
+    ClusterSummary {
+        bursts: bursts.len(),
+        mean_intra_abs: intra_abs_sum / intra_n as f64,
+        frac_intra_within_5: intra_within as f64 / intra_n as f64,
+        mean_inter: inter_sum / inter_n as f64,
+    }
+}
+
+/// All signed intra-group distances from a burst set (Fig. 9's histogram
+/// raw data).
+pub fn all_intra_distances(bursts: &[CornerBurst]) -> Vec<i64> {
+    bursts
+        .iter()
+        .flat_map(|b| b.intra_group_distances())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use instant3d_nerf::hash::{spatial_hash, CORNER_OFFSETS};
+
+    fn synthetic_burst(ix: u32, iy: u32, iz: u32, t: u32) -> CornerBurst {
+        let mut addrs = [0u32; 8];
+        for (c, &(dx, dy, dz)) in CORNER_OFFSETS.iter().enumerate() {
+            addrs[c] = spatial_hash(ix + dx, iy + dy, iz + dz, t);
+        }
+        CornerBurst {
+            iter: 0,
+            level: 5,
+            addrs,
+        }
+    }
+
+    fn burst_records(ix: u32, iy: u32, iz: u32, t: u32, seq0: u64) -> Vec<AccessRecord> {
+        CORNER_OFFSETS
+            .iter()
+            .enumerate()
+            .map(|(c, &(dx, dy, dz))| AccessRecord {
+                seq: seq0 + c as u64,
+                iter: 0,
+                branch: GridBranch::Density,
+                phase: AccessPhase::FeedForward,
+                level: 5,
+                corner: c as u8,
+                addr: spatial_hash(ix + dx, iy + dy, iz + dz, t),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn burst_reconstruction_roundtrip() {
+        let t = 1 << 16;
+        let mut records = burst_records(10, 20, 30, t, 0);
+        records.extend(burst_records(11, 21, 31, t, 8));
+        let trace = Trace { records };
+        let bs = bursts(&trace, AccessPhase::FeedForward, GridBranch::Density, 0);
+        assert_eq!(bs.len(), 2);
+        assert_eq!(bs[0], synthetic_burst(10, 20, 30, t));
+        assert_eq!(bs[1], synthetic_burst(11, 21, 31, t));
+    }
+
+    #[test]
+    fn misaligned_records_are_skipped() {
+        let t = 1 << 16;
+        let mut records = burst_records(10, 20, 30, t, 0);
+        records.remove(0); // drop corner 0 → no aligned burst until realigned
+        let trace = Trace { records };
+        let bs = bursts(&trace, AccessPhase::FeedForward, GridBranch::Density, 0);
+        assert!(bs.is_empty());
+    }
+
+    #[test]
+    fn intra_distances_are_small_for_even_x() {
+        // Even x: the x+1 neighbour flips only bit 0 → distance ±1.
+        let b = synthetic_burst(10, 20, 30, 1 << 18);
+        for d in b.intra_group_distances() {
+            assert_eq!(d.abs(), 1);
+        }
+    }
+
+    #[test]
+    fn inter_distances_dwarf_intra_distances() {
+        // Aggregate over many bursts: remoteness vs locality (Fig. 8).
+        let t = 1 << 18;
+        let bs: Vec<CornerBurst> = (0..200)
+            .map(|i| synthetic_burst(2 * i, 3 * i + 1, 5 * i + 2, t))
+            .collect();
+        let s = summarize(&bs);
+        assert_eq!(s.bursts, 200);
+        assert!(
+            s.mean_inter > 1000.0 * s.mean_intra_abs.max(1.0),
+            "inter {} should dwarf intra {}",
+            s.mean_inter,
+            s.mean_intra_abs
+        );
+    }
+
+    #[test]
+    fn fig9_property_over_90_percent_within_5() {
+        let t = 1 << 18;
+        let bs: Vec<CornerBurst> = (0..500)
+            .map(|i| synthetic_burst(i % 61, (i * 7) % 53, (i * 13) % 47, t))
+            .collect();
+        let s = summarize(&bs);
+        assert!(
+            s.frac_intra_within_5 > 0.85,
+            "fraction within [-5,5] was {}",
+            s.frac_intra_within_5
+        );
+    }
+
+    #[test]
+    fn groups_pair_x_neighbours() {
+        let b = synthetic_burst(4, 6, 8, 1 << 16);
+        let g = b.groups();
+        // Group 0 holds corners 0 (000) and 1 (100): same y/z, differing x.
+        assert_eq!(g[0][0], b.addrs[0]);
+        assert_eq!(g[0][1], b.addrs[1]);
+    }
+
+    #[test]
+    fn empty_input_summary_is_zeroed() {
+        let s = summarize(&[]);
+        assert_eq!(s.bursts, 0);
+        assert_eq!(s.mean_inter, 0.0);
+    }
+
+    #[test]
+    fn all_intra_distances_count() {
+        let bs: Vec<CornerBurst> = (0..10)
+            .map(|i| synthetic_burst(i, i, i, 1 << 16))
+            .collect();
+        assert_eq!(all_intra_distances(&bs).len(), 40);
+    }
+}

@@ -1,0 +1,28 @@
+//! Memory-access trace capture and analysis for the Instant-3D accelerator
+//! study (§4.2 of the paper).
+//!
+//! The paper's hardware design is motivated by three measured properties of
+//! the embedding-grid access stream:
+//!
+//! * **Fig. 8** — the 8 corner addresses of each interpolation cube cluster
+//!   into 4 groups of 2 (same y/z, differing x); inter-group distances are
+//!   huge (amplified by π₂/π₃), intra-group distances tiny (π₁ = 1).
+//! * **Fig. 9** — > 90 % of intra-group address distances fall in [-5, 5],
+//!   consistently across training iterations.
+//! * **Fig. 10** — within a 1000-access sliding window, feed-forward reads
+//!   are (nearly) all unique while back-propagation updates revisit shared
+//!   addresses (~200 unique per 1000), enabling the BUM unit's merging.
+//!
+//! [`capture::TraceCollector`] plugs into the trainer's observer hook and
+//! records the *actual* training access stream; [`cluster`] and [`window`]
+//! implement the paper's analyses; [`stats`] provides the histogram /
+//! percentile plumbing.
+
+pub mod capture;
+pub mod cluster;
+pub mod record;
+pub mod stats;
+pub mod window;
+
+pub use capture::TraceCollector;
+pub use record::{AccessRecord, Trace};

@@ -1,0 +1,197 @@
+//! Histogram and percentile plumbing for the trace analyses.
+
+/// A fixed-bin histogram over `i64` values with under/overflow buckets.
+///
+/// # Example
+///
+/// ```
+/// use instant3d_trace::stats::Histogram;
+/// let mut h = Histogram::new(-5, 5, 11);
+/// for v in [-6, -5, 0, 0, 5, 6] {
+///     h.add(v);
+/// }
+/// assert_eq!(h.underflow(), 1);
+/// assert_eq!(h.overflow(), 1);
+/// assert_eq!(h.total(), 6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    lo: i64,
+    hi: i64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// A histogram of `bins` equal-width buckets covering `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or `bins == 0`.
+    pub fn new(lo: i64, hi: i64, bins: usize) -> Self {
+        assert!(lo < hi, "lo must be below hi");
+        assert!(bins > 0, "need at least one bin");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn add(&mut self, v: i64) {
+        if v < self.lo {
+            self.underflow += 1;
+        } else if v > self.hi {
+            self.overflow += 1;
+        } else {
+            let span = (self.hi - self.lo + 1) as u128;
+            let idx = ((v - self.lo) as u128 * self.bins.len() as u128 / span) as usize;
+            let last = self.bins.len() - 1;
+            self.bins[idx.min(last)] += 1;
+        }
+    }
+
+    /// Adds every value in the slice.
+    pub fn extend(&mut self, values: &[i64]) {
+        for &v in values {
+            self.add(v);
+        }
+    }
+
+    /// Per-bin counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// The inclusive value range `(lo, hi)` of bin `i`.
+    pub fn bin_range(&self, i: usize) -> (i64, i64) {
+        let span = (self.hi - self.lo + 1) as i128;
+        let n = self.bins.len() as i128;
+        let lo = self.lo as i128 + span * i as i128 / n;
+        let hi = self.lo as i128 + span * (i as i128 + 1) / n - 1;
+        (lo as i64, hi as i64)
+    }
+
+    /// Observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations above the range.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations (including out-of-range).
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Fraction of observations inside `[lo, hi]`.
+    pub fn in_range_fraction(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        self.bins.iter().sum::<u64>() as f64 / total as f64
+    }
+
+    /// Renders a compact ASCII bar chart (one line per bin), for the
+    /// experiment binaries' figure output.
+    pub fn to_ascii(&self, width: usize) -> String {
+        use std::fmt::Write as _;
+        let max = self.bins.iter().copied().max().unwrap_or(0).max(1);
+        let mut s = String::new();
+        for (i, &c) in self.bins.iter().enumerate() {
+            let (lo, hi) = self.bin_range(i);
+            let bar = "#".repeat((c as usize * width) / max as usize);
+            let label = if lo == hi {
+                format!("{lo}")
+            } else {
+                format!("{lo}..{hi}")
+            };
+            let _ = writeln!(s, "{label:>12} | {bar} {c}");
+        }
+        s
+    }
+}
+
+/// The `q`-quantile (0..=1) of an unsorted slice, by sorting a copy.
+/// Returns `None` for an empty slice.
+pub fn percentile(values: &[f64], q: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut v: Vec<f64> = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let idx = ((v.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+    Some(v[idx])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_cover_range_evenly() {
+        let mut h = Histogram::new(-5, 5, 11);
+        for v in -5..=5 {
+            h.add(v);
+        }
+        assert!(h.bins().iter().all(|&c| c == 1), "{:?}", h.bins());
+        assert_eq!(h.total(), 11);
+        assert_eq!(h.in_range_fraction(), 1.0);
+    }
+
+    #[test]
+    fn bin_ranges_tile_the_domain() {
+        let h = Histogram::new(-5, 5, 11);
+        let mut expected_lo = -5i64;
+        for i in 0..11 {
+            let (lo, hi) = h.bin_range(i);
+            assert_eq!(lo, expected_lo);
+            assert!(hi >= lo);
+            expected_lo = hi + 1;
+        }
+        assert_eq!(expected_lo, 6);
+    }
+
+    #[test]
+    fn out_of_range_counted_separately() {
+        let mut h = Histogram::new(0, 9, 10);
+        h.extend(&[-1, -100, 10, 500, 5]);
+        assert_eq!(h.underflow(), 2);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total(), 5);
+        assert!((h.in_range_fraction() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ascii_render_is_nonempty() {
+        let mut h = Histogram::new(0, 3, 4);
+        h.extend(&[0, 1, 1, 2, 3, 3, 3]);
+        let art = h.to_ascii(20);
+        assert_eq!(art.lines().count(), 4);
+        assert!(art.contains('#'));
+    }
+
+    #[test]
+    fn percentile_basics() {
+        let v: Vec<f64> = (1..=100).map(|x| x as f64).collect();
+        assert_eq!(percentile(&v, 0.0), Some(1.0));
+        assert_eq!(percentile(&v, 1.0), Some(100.0));
+        let med = percentile(&v, 0.5).unwrap();
+        assert!((49.0..=52.0).contains(&med));
+        assert_eq!(percentile(&[], 0.5), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_range_panics() {
+        let _ = Histogram::new(5, 5, 3);
+    }
+}

@@ -1,0 +1,177 @@
+//! Sliding-window unique-address analysis (Fig. 10 of the paper).
+//!
+//! The paper slides a 1000-access window over the feed-forward and
+//! back-propagation streams and counts unique addresses: FF windows are
+//! (almost) all unique, BP windows revisit shared embeddings (~200 unique
+//! per 1000) — the headroom the BUM unit converts into merged writes.
+
+use std::collections::HashMap;
+
+/// Default window length used by the paper.
+pub const PAPER_WINDOW: usize = 1000;
+
+/// Counts unique keys within each sliding window of length `window`,
+/// advancing by `stride`. Returns one count per window position.
+///
+/// # Panics
+///
+/// Panics if `window` or `stride` is zero.
+pub fn unique_per_window(stream: &[u64], window: usize, stride: usize) -> Vec<usize> {
+    assert!(window > 0, "window must be positive");
+    assert!(stride > 0, "stride must be positive");
+    if stream.len() < window {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity((stream.len() - window) / stride + 1);
+    // Incremental multiset for stride < window; rebuild when stride >= window.
+    if stride >= window {
+        let mut start = 0;
+        while start + window <= stream.len() {
+            let mut set: std::collections::HashSet<u64> =
+                std::collections::HashSet::with_capacity(window);
+            set.extend(&stream[start..start + window]);
+            out.push(set.len());
+            start += stride;
+        }
+        return out;
+    }
+    let mut counts: HashMap<u64, u32> = HashMap::with_capacity(window * 2);
+    for &k in &stream[..window] {
+        *counts.entry(k).or_insert(0) += 1;
+    }
+    out.push(counts.len());
+    let mut start = stride;
+    while start + window <= stream.len() {
+        for &k in &stream[start - stride..start] {
+            if let Some(c) = counts.get_mut(&k) {
+                *c -= 1;
+                if *c == 0 {
+                    counts.remove(&k);
+                }
+            }
+        }
+        for &k in &stream[start + window - stride..start + window] {
+            *counts.entry(k).or_insert(0) += 1;
+        }
+        out.push(counts.len());
+        start += stride;
+    }
+    out
+}
+
+/// Summary of a stream's windowed uniqueness.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowSummary {
+    /// Windows analysed.
+    pub windows: usize,
+    /// Mean unique addresses per window.
+    pub mean_unique: f64,
+    /// Minimum across windows.
+    pub min_unique: usize,
+    /// Maximum across windows.
+    pub max_unique: usize,
+    /// Window length used.
+    pub window: usize,
+}
+
+impl WindowSummary {
+    /// Mean uniqueness as a fraction of the window length.
+    pub fn mean_unique_fraction(&self) -> f64 {
+        self.mean_unique / self.window as f64
+    }
+}
+
+/// Computes the windowed-uniqueness summary of a stream.
+pub fn summarize(stream: &[u64], window: usize, stride: usize) -> WindowSummary {
+    let counts = unique_per_window(stream, window, stride);
+    if counts.is_empty() {
+        return WindowSummary {
+            windows: 0,
+            mean_unique: 0.0,
+            min_unique: 0,
+            max_unique: 0,
+            window,
+        };
+    }
+    WindowSummary {
+        windows: counts.len(),
+        mean_unique: counts.iter().sum::<usize>() as f64 / counts.len() as f64,
+        min_unique: counts.iter().copied().min().unwrap_or(0),
+        max_unique: counts.iter().copied().max().unwrap_or(0),
+        window,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_unique_stream() {
+        let stream: Vec<u64> = (0..100).collect();
+        let counts = unique_per_window(&stream, 10, 5);
+        assert!(counts.iter().all(|&c| c == 10));
+        assert_eq!(counts.len(), 19);
+    }
+
+    #[test]
+    fn constant_stream_has_one_unique() {
+        let stream = vec![7u64; 50];
+        let counts = unique_per_window(&stream, 10, 10);
+        assert!(counts.iter().all(|&c| c == 1));
+        assert_eq!(counts.len(), 5);
+    }
+
+    #[test]
+    fn repeating_pattern_counts_period() {
+        let stream: Vec<u64> = (0..1000).map(|i| (i % 200) as u64).collect();
+        let s = summarize(&stream, PAPER_WINDOW, PAPER_WINDOW);
+        assert_eq!(s.windows, 1);
+        assert_eq!(s.mean_unique, 200.0);
+        assert!((s.mean_unique_fraction() - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn incremental_matches_rebuild() {
+        // Same stream through the incremental (stride < window) and rebuild
+        // (stride >= window) paths at window boundaries.
+        let stream: Vec<u64> = (0..500).map(|i| (i * 37 % 91) as u64).collect();
+        let inc = unique_per_window(&stream, 50, 25);
+        // Cross-check every other incremental window against a rebuild.
+        for (w_idx, &c) in inc.iter().enumerate() {
+            let start = w_idx * 25;
+            let mut set: std::collections::HashSet<u64> = std::collections::HashSet::new();
+            set.extend(&stream[start..start + 50]);
+            assert_eq!(c, set.len(), "window {w_idx}");
+        }
+    }
+
+    #[test]
+    fn short_stream_yields_no_windows() {
+        assert!(unique_per_window(&[1, 2, 3], 10, 1).is_empty());
+        let s = summarize(&[1, 2, 3], 10, 1);
+        assert_eq!(s.windows, 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_window_panics() {
+        let _ = unique_per_window(&[1], 0, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_stride_panics() {
+        let _ = unique_per_window(&[1], 1, 0);
+    }
+
+    #[test]
+    fn min_max_tracking() {
+        // First window all unique, later windows constant.
+        let mut stream: Vec<u64> = (0..10).collect();
+        stream.extend(vec![99u64; 20]);
+        let s = summarize(&stream, 10, 10);
+        assert_eq!(s.min_unique, 1);
+        assert_eq!(s.max_unique, 10);
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based tests of the trace-analysis invariants.
+
+use instant3d_nerf::grid::{AccessPhase, GridBranch};
+use instant3d_trace::record::{AccessRecord, Trace};
+use instant3d_trace::stats::{percentile, Histogram};
+use instant3d_trace::window::{summarize, unique_per_window};
+use proptest::prelude::*;
+
+fn stream() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..256, 0..600)
+}
+
+proptest! {
+    #[test]
+    fn unique_counts_bounded_by_window(s in stream(), w in 1usize..64, stride in 1usize..64) {
+        for c in unique_per_window(&s, w, stride) {
+            prop_assert!(c >= 1 && c <= w);
+        }
+    }
+
+    #[test]
+    fn summary_mean_between_min_and_max(s in stream()) {
+        let sum = summarize(&s, 32, 16);
+        if sum.windows > 0 {
+            prop_assert!(sum.mean_unique >= sum.min_unique as f64 - 1e-9);
+            prop_assert!(sum.mean_unique <= sum.max_unique as f64 + 1e-9);
+            prop_assert!(sum.mean_unique_fraction() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn stride_equal_window_counts_each_element_once(s in stream()) {
+        // Non-overlapping windows partition the prefix: total unique counts
+        // can never exceed the stream length.
+        let counts = unique_per_window(&s, 16, 16);
+        let total: usize = counts.iter().sum();
+        prop_assert!(total <= s.len());
+    }
+
+    #[test]
+    fn histogram_total_equals_observations(values in prop::collection::vec(-100i64..100, 0..500)) {
+        let mut h = Histogram::new(-20, 20, 41);
+        h.extend(&values);
+        prop_assert_eq!(h.total(), values.len() as u64);
+        let binned: u64 = h.bins().iter().sum();
+        prop_assert_eq!(binned + h.underflow() + h.overflow(), values.len() as u64);
+    }
+
+    #[test]
+    fn histogram_in_range_fraction_bounded(values in prop::collection::vec(-100i64..100, 1..500)) {
+        let mut h = Histogram::new(-20, 20, 41);
+        h.extend(&values);
+        let f = h.in_range_fraction();
+        prop_assert!((0.0..=1.0).contains(&f));
+    }
+
+    #[test]
+    fn percentile_respects_order(values in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let p10 = percentile(&values, 0.1).unwrap();
+        let p90 = percentile(&values, 0.9).unwrap();
+        prop_assert!(p10 <= p90);
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(p10 >= min && p90 <= max);
+    }
+
+    #[test]
+    fn bp_level_major_is_a_permutation(addrs in prop::collection::vec((0u32..4, 0u32..1000), 0..200)) {
+        let records: Vec<AccessRecord> = addrs
+            .iter()
+            .enumerate()
+            .map(|(i, &(level, addr))| AccessRecord {
+                seq: i as u64,
+                iter: (i / 50) as u32,
+                branch: GridBranch::Density,
+                phase: AccessPhase::BackProp,
+                level,
+                corner: (i % 8) as u8,
+                addr,
+            })
+            .collect();
+        let t = Trace { records };
+        let mut sorted_keys = t.bp_stream_level_major();
+        let mut original: Vec<u64> = t.records.iter().map(|r| r.global_key()).collect();
+        sorted_keys.sort_unstable();
+        original.sort_unstable();
+        prop_assert_eq!(sorted_keys, original, "reordering must not drop records");
+    }
+}

@@ -1,0 +1,92 @@
+//! Algorithm/hardware co-design walkthrough: capture a real training
+//! trace, replay it through the FRM and BUM units cycle by cycle, and see
+//! how the measured microarchitectural factors feed the full-accelerator
+//! estimate.
+//!
+//! ```text
+//! cargo run --release --example accelerator_codesign
+//! ```
+
+use instant3d::accel::{
+    simulate_baseline_reads, simulate_bum, simulate_frm, Accelerator, BumConfig, FeatureSet,
+};
+use instant3d::core::{PipelineWorkload, TrainConfig, Trainer};
+use instant3d::nerf::grid::{AccessPhase, GridBranch};
+use instant3d::scenes::SceneLibrary;
+use instant3d::trace::TraceCollector;
+use rand::SeedableRng;
+
+fn main() {
+    // 1. Train briefly and capture the grid-access trace of two iterations.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let dataset = SceneLibrary::synthetic_scene(0, 32, 10, &mut rng);
+    let mut trainer = Trainer::new(TrainConfig::instant3d(), &dataset, &mut rng);
+    for _ in 0..20 {
+        trainer.step(&mut rng);
+    }
+    let mut collector = TraceCollector::new(2_000_000);
+    for it in 20..22 {
+        collector.begin_iteration(it);
+        trainer.step_observed(&mut rng, &mut collector);
+    }
+    let trace = collector.into_trace();
+    println!("captured {} grid accesses over 2 training iterations", trace.len());
+
+    // 2. Feed-forward reads through the FRM (8 banks, 16-deep window).
+    let offsets: Vec<u32> = trainer
+        .model()
+        .density_grid()
+        .levels()
+        .iter()
+        .map(|l| l.entry_offset)
+        .collect();
+    let ff: Vec<u32> = trace
+        .records
+        .iter()
+        .filter(|r| r.phase == AccessPhase::FeedForward && r.branch == GridBranch::Density)
+        .map(|r| offsets[r.level as usize] + r.addr)
+        .collect();
+    let baseline = simulate_baseline_reads(&ff, 8, 8);
+    let frm = simulate_frm(&ff, 8, 16);
+    println!(
+        "\nFRM on {} density reads:\n  baseline: {} cycles ({:.0}% bank utilisation)\n  \
+         with FRM: {} cycles ({:.0}% utilisation) -> {:.2}x fewer read cycles",
+        ff.len(),
+        baseline.cycles,
+        baseline.utilization * 100.0,
+        frm.cycles,
+        frm.utilization * 100.0,
+        baseline.cycles as f64 / frm.cycles as f64
+    );
+
+    // 3. Back-propagation updates through the BUM (16 entries).
+    let bp = trace.bp_stream_level_major();
+    let bum = simulate_bum(&bp, BumConfig::default());
+    println!(
+        "\nBUM on {} gradient updates:\n  merged {:.0}% of updates; SRAM writes cut to {:.0}%",
+        bum.updates,
+        bum.merge_ratio() * 100.0,
+        bum.write_ratio() * 100.0
+    );
+
+    // 4. Full-accelerator estimate with the measured factors.
+    let accel = Accelerator {
+        frm_utilization: frm.utilization,
+        baseline_utilization: baseline.utilization,
+        bum_write_ratio: bum.write_ratio(),
+        ..Accelerator::default()
+    };
+    let w = PipelineWorkload::paper_scale_instant3d(256.0);
+    let full = accel.simulate(&w, FeatureSet::full());
+    let naive = accel.simulate(&w, FeatureSet::none());
+    println!(
+        "\npaper-scale estimate (256 iterations to PSNR 25):\n  \
+         naive accelerator : {:.2} s\n  \
+         full Instant-3D   : {:.2} s at {:.2} W ({:.0}x faster, bottleneck: {})",
+        naive.seconds_total,
+        full.seconds_total,
+        full.avg_power_w,
+        naive.seconds_total / full.seconds_total,
+        full.bottleneck()
+    );
+}

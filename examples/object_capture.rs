@@ -1,0 +1,52 @@
+//! VR object capture: reconstruct an object from an orbit capture, compare
+//! the Instant-NGP baseline against the Instant-3D algorithm, and write
+//! the reconstructed views to PPM files for inspection.
+//!
+//! This is the paper's core motivating workload — "metaverse 3D asset
+//! creation" from a handful of phone-style captures.
+//!
+//! ```text
+//! cargo run --release --example object_capture
+//! ```
+
+use instant3d::core::eval::render_model_view;
+use instant3d::core::{TrainConfig, Trainer};
+use instant3d::scenes::SceneLibrary;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let dataset = SceneLibrary::synthetic_scene(6, 48, 20, &mut rng); // "mic"
+    println!("scene '{}' captured with {} views", dataset.name, dataset.train_views.len());
+
+    let configs = [
+        ("instant-ngp", TrainConfig::instant_ngp()),
+        ("instant-3d", TrainConfig::instant3d()),
+    ];
+    for (name, cfg) in configs {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let mut trainer = Trainer::new(cfg, &dataset, &mut rng);
+        let t0 = std::time::Instant::now();
+        let report = trainer.train_with_eval(250, 0, Some(&dataset), &mut rng);
+        println!(
+            "{name:>12}: {:.2} dB RGB / {:.2} dB depth after {} iters \
+             ({:.1} s wall, {:.0} points/iter)",
+            report.final_psnr,
+            report.final_depth_psnr,
+            report.iterations,
+            t0.elapsed().as_secs_f32(),
+            report.stats.points_per_iter(),
+        );
+
+        // Render a novel view (not in the training set) and save it.
+        let cam = dataset.test_views[0].camera;
+        let (rgb, depth) = render_model_view(trainer.model(), &cam, 64, dataset.background);
+        let rgb_path = format!("/tmp/instant3d_{name}_novel_view.ppm");
+        let depth_path = format!("/tmp/instant3d_{name}_novel_depth.pgm");
+        std::fs::write(&rgb_path, rgb.to_ppm()).expect("write ppm");
+        std::fs::write(&depth_path, depth.to_pgm()).expect("write pgm");
+        println!("{:>12}  novel view -> {rgb_path}, depth -> {depth_path}", "");
+    }
+    println!("\nBoth reconstructions should reach similar PSNR — the Instant-3D");
+    println!("algorithm's savings show up as reduced grid traffic, not quality.");
+}

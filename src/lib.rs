@@ -1,0 +1,41 @@
+//! # Instant-3D
+//!
+//! A full-system Rust reproduction of **"Instant-3D: Instant Neural Radiance
+//! Field Training Towards On-Device AR/VR 3D Reconstruction"** (ISCA 2023).
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`nerf`] — the NeRF training substrate (hash grids, MLPs, volume
+//!   rendering, optimizers).
+//! * [`scenes`] — procedural dataset substrates standing in for
+//!   NeRF-Synthetic, SILVR and ScanNet.
+//! * [`core`] — the Instant-3D algorithm: decoupled color/density grids with
+//!   asymmetric sizes (`S_D : S_C`) and update frequencies (`F_D : F_C`),
+//!   plus the Instant-NGP baseline trainer.
+//! * [`trace`] — memory-access trace capture and the paper's Fig. 8/9/10
+//!   analyses.
+//! * [`accel`] — the cycle-level accelerator simulator (FRM, BUM, multi-bank
+//!   SRAM, core fusion, area/energy models).
+//! * [`devices`] — Jetson Nano / TX2 / Xavier NX baseline device models.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use instant3d::core::{TrainConfig, Trainer};
+//! use instant3d::scenes::SceneLibrary;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let dataset = SceneLibrary::synthetic_scene(0, 16, 4, &mut rng);
+//! let cfg = TrainConfig::fast_preview();
+//! let mut trainer = Trainer::new(cfg, &dataset, &mut rng);
+//! let report = trainer.train_with_eval(5, 0, Some(&dataset), &mut rng);
+//! assert!(report.final_psnr.is_finite());
+//! ```
+
+pub use instant3d_accel as accel;
+pub use instant3d_core as core;
+pub use instant3d_devices as devices;
+pub use instant3d_nerf as nerf;
+pub use instant3d_scenes as scenes;
+pub use instant3d_trace as trace;
