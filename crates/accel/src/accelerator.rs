@@ -447,7 +447,11 @@ mod tests {
         let naive = a.simulate(&ngp(1.0), FeatureSet::none());
         assert_eq!(naive.bottleneck(), "dram", "spilling config is DRAM-bound");
         let full = a.simulate(&i3d(1.0), FeatureSet::full());
-        assert_ne!(full.bottleneck(), "dram", "resident config is not DRAM-bound");
+        assert_ne!(
+            full.bottleneck(),
+            "dram",
+            "resident config is not DRAM-bound"
+        );
     }
 
     #[test]

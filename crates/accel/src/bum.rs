@@ -165,7 +165,13 @@ mod tests {
     fn interleaved_reuse_within_capacity_merges() {
         // 8 addresses round-robin, well within 16 entries.
         let addrs: Vec<u64> = (0..400).map(|i| (i % 8) as u64).collect();
-        let r = simulate_bum(&addrs, BumConfig { entries: 16, timeout: 1000 });
+        let r = simulate_bum(
+            &addrs,
+            BumConfig {
+                entries: 16,
+                timeout: 1000,
+            },
+        );
         assert_eq!(r.sram_writes, 8);
     }
 
@@ -174,7 +180,13 @@ mod tests {
         // 32 round-robin addresses overflow a 16-entry buffer: every access
         // misses (its entry was evicted 16 slots ago).
         let addrs: Vec<u64> = (0..320).map(|i| (i % 32) as u64).collect();
-        let r = simulate_bum(&addrs, BumConfig { entries: 16, timeout: 10_000 });
+        let r = simulate_bum(
+            &addrs,
+            BumConfig {
+                entries: 16,
+                timeout: 10_000,
+            },
+        );
         assert_eq!(r.merged, 0, "thrashing buffer should never merge");
         assert_eq!(r.sram_writes, 320);
     }
@@ -190,8 +202,20 @@ mod tests {
             addrs.push(1000 + (i % 8) as u64);
         }
         addrs.extend(vec![7u64; 4]);
-        let small = simulate_bum(&addrs, BumConfig { entries: 16, timeout: 8 });
-        let large = simulate_bum(&addrs, BumConfig { entries: 16, timeout: 100_000 });
+        let small = simulate_bum(
+            &addrs,
+            BumConfig {
+                entries: 16,
+                timeout: 8,
+            },
+        );
+        let large = simulate_bum(
+            &addrs,
+            BumConfig {
+                entries: 16,
+                timeout: 100_000,
+            },
+        );
         assert!(
             small.sram_writes > large.sram_writes,
             "small-timeout writes {} should exceed large-timeout writes {}",
@@ -221,6 +245,12 @@ mod tests {
     #[test]
     #[should_panic]
     fn zero_entries_panics() {
-        let _ = simulate_bum(&[1], BumConfig { entries: 0, timeout: 4 });
+        let _ = simulate_bum(
+            &[1],
+            BumConfig {
+                entries: 0,
+                timeout: 4,
+            },
+        );
     }
 }

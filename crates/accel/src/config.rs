@@ -129,14 +129,20 @@ mod tests {
 
     #[test]
     fn validation_catches_errors() {
-        let mut c = AccelConfig::default();
-        c.banks_per_core = 6;
+        let c = AccelConfig {
+            banks_per_core: 6,
+            ..AccelConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = AccelConfig::default();
-        c.grid_cores = 0;
+        let c = AccelConfig {
+            grid_cores: 0,
+            ..AccelConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = AccelConfig::default();
-        c.reorder_depth = 0;
+        let c = AccelConfig {
+            reorder_depth: 0,
+            ..AccelConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 }

@@ -205,17 +205,13 @@ mod tests {
             hash_ops: 1e6,
             macs: 1e7,
             dram_bytes: 1e6,
-            ..Default::default()
         };
         let e = m.energy(&ev, 0.001);
         assert!(e.grid_cores_j > 0.0);
         assert!(e.mlp_j > 0.0);
         assert!(e.dram_j > 0.0);
         assert!((e.static_j - 1.0e-3).abs() < 1e-9);
-        assert!((e.total()
-            - (e.grid_cores_j + e.mlp_j + e.dram_j + e.static_j))
-            .abs()
-            < 1e-15);
+        assert!((e.total() - (e.grid_cores_j + e.mlp_j + e.dram_j + e.static_j)).abs() < 1e-15);
     }
 
     #[test]

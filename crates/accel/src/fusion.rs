@@ -146,7 +146,10 @@ mod tests {
             FusionMode::Level2.label(),
         ];
         assert_eq!(
-            labels.iter().collect::<std::collections::HashSet<_>>().len(),
+            labels
+                .iter()
+                .collect::<std::collections::HashSet<_>>()
+                .len(),
             3
         );
     }

@@ -71,7 +71,7 @@ pub fn replay_feed_forward(
     frm_enabled: bool,
 ) -> GridCoreReport {
     assert!(
-        ff_addrs.len() % 8 == 0,
+        ff_addrs.len().is_multiple_of(8),
         "feed-forward stream must be whole 8-corner bursts"
     );
     let points = (ff_addrs.len() / 8) as u64;
@@ -125,9 +125,10 @@ pub fn replay_back_prop(
     // streams) — model as bandwidth-limited.
     let write_cycles = write_stream.div_ceil(banks as u64);
     let bum_intake_cycles = updates; // one update enters the BUM per cycle
-    let steady = frontend_cycles
-        .max(write_cycles)
-        .max(if bum_enabled { bum_intake_cycles } else { 0 });
+    let steady =
+        frontend_cycles
+            .max(write_cycles)
+            .max(if bum_enabled { bum_intake_cycles } else { 0 });
     GridCoreReport {
         points,
         frontend_cycles,
@@ -151,7 +152,12 @@ mod tests {
         let t = 1u32 << 16;
         let mut out = Vec::with_capacity(points * 8);
         for p in 0..points as u32 {
-            let bases = [p * 3 % t, (40_000 + p * 5) % t, (90_000 + p * 7) % t, (130_000 + p * 2) % t];
+            let bases = [
+                p * 3 % t,
+                (40_000 + p * 5) % t,
+                (90_000 + p * 7) % t,
+                (130_000 + p * 2) % t,
+            ];
             for b in bases {
                 out.push(b);
                 out.push((b + 1) % t);

@@ -37,8 +37,8 @@ pub mod energy;
 pub mod frm;
 pub mod fusion;
 pub mod grid_core;
-pub mod related;
 pub mod mlp_unit;
+pub mod related;
 pub mod sram;
 
 pub use accelerator::{Accelerator, FeatureSet, SimReport};

@@ -155,8 +155,14 @@ mod tests {
     #[test]
     fn dispatch_picks_the_right_unit() {
         let layers = [
-            LayerShape { in_dim: 32, out_dim: 64 }, // systolic
-            LayerShape { in_dim: 64, out_dim: 3 },  // tree
+            LayerShape {
+                in_dim: 32,
+                out_dim: 64,
+            }, // systolic
+            LayerShape {
+                in_dim: 64,
+                out_dim: 3,
+            }, // tree
         ];
         let total = mlp_cycles(&layers, 256, SA, TREE);
         let expect = SA.cycles(256, 32, 64) + TREE.cycles(256, 64, 3);

@@ -93,7 +93,9 @@ mod tests {
         // 36 % of RT-NeRF's area.
         assert!((i3d.area_mm2 / rt.area_mm2 - 0.36).abs() < 0.01);
         // 19.5 % of RT-NeRF's energy per frame.
-        assert!((i3d.relative_energy_per_frame / rt.relative_energy_per_frame - 0.195).abs() < 1e-9);
+        assert!(
+            (i3d.relative_energy_per_frame / rt.relative_energy_per_frame - 0.195).abs() < 1e-9
+        );
         // 1,800× over ICARUS's rendering speed.
         assert!((i3d.relative_render_speed / ic.relative_render_speed - 1800.0).abs() < 1e-6);
     }

@@ -1,9 +1,7 @@
 //! Property-based tests of the accelerator simulator's invariants.
 
-use instant3d_accel::{
-    simulate_baseline_reads, simulate_bum, simulate_frm, BumConfig,
-};
 use instant3d_accel::sram::BankedSram;
+use instant3d_accel::{simulate_baseline_reads, simulate_bum, simulate_frm, BumConfig};
 use proptest::prelude::*;
 
 fn addr_stream() -> impl Strategy<Value = Vec<u32>> {

@@ -14,7 +14,12 @@ fn bench_spatial_hash(c: &mut Criterion) {
         let mut i = 0u32;
         b.iter(|| {
             i = i.wrapping_add(1);
-            black_box(spatial_hash(i, i.wrapping_mul(3), i.wrapping_mul(7), 1 << 19))
+            black_box(spatial_hash(
+                i,
+                i.wrapping_mul(3),
+                i.wrapping_mul(7),
+                1 << 19,
+            ))
         })
     });
 }
@@ -54,5 +59,61 @@ fn bench_backward(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_spatial_hash, bench_encode, bench_backward);
+fn bench_encode_batch(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let grid = HashGrid::new_random(HashGridConfig::default(), &mut rng);
+    let points: Vec<Vec3> = (0..1024)
+        .map(|_| Vec3::new(rng.gen(), rng.gen(), rng.gen()))
+        .collect();
+    let mut out = vec![0.0f32; points.len() * grid.output_dim()];
+    c.bench_function("grid/encode_batch1024_point_major", |b| {
+        b.iter(|| {
+            grid.encode_batch_into(black_box(&points), &mut out, &mut NullObserver);
+            black_box(out[0])
+        })
+    });
+    c.bench_function("grid/encode_batch1024_level_major", |b| {
+        b.iter(|| {
+            grid.encode_batch_level_major(black_box(&points), &mut out);
+            black_box(out[0])
+        })
+    });
+    c.bench_function("grid/encode_batch1024_parallel", |b| {
+        b.iter(|| {
+            grid.par_encode_batch(black_box(&points), &mut out);
+            black_box(out[0])
+        })
+    });
+}
+
+fn bench_backward_batch(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let grid = HashGrid::new_random(HashGridConfig::default(), &mut rng);
+    let points: Vec<Vec3> = (0..1024)
+        .map(|_| Vec3::new(rng.gen(), rng.gen(), rng.gen()))
+        .collect();
+    let d_out = vec![0.5f32; points.len() * grid.output_dim()];
+    let mut grads = grid.zero_grads();
+    c.bench_function("grid/backward_batch1024_point_major", |b| {
+        b.iter(|| {
+            grid.backward_batch_into(black_box(&points), &d_out, &mut grads, &mut NullObserver);
+            black_box(grads.count)
+        })
+    });
+    c.bench_function("grid/backward_batch1024_level_parallel", |b| {
+        b.iter(|| {
+            grid.par_backward_batch(black_box(&points), &d_out, &mut grads);
+            black_box(grads.count)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_spatial_hash,
+    bench_encode,
+    bench_backward,
+    bench_encode_batch,
+    bench_backward_batch
+);
 criterion_main!(benches);

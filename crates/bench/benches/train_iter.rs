@@ -1,6 +1,9 @@
 //! End-to-end training-iteration benchmark: one full six-step pipeline
 //! iteration (sample → rays → grid+MLP → render → loss → backward) for the
-//! coupled (Instant-NGP) and decoupled (Instant-3D) topologies.
+//! coupled (Instant-NGP) and decoupled (Instant-3D) topologies, comparing
+//! the scalar point-at-a-time reference path against the batched SoA
+//! engine — single-threaded (SoA batching alone) and on the full rayon
+//! pool (thread scaling), at batch sizes 256 / 1024 / 4096 rays.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use instant3d_core::{TrainConfig, Trainer};
@@ -8,23 +11,68 @@ use instant3d_scenes::SceneLibrary;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn bench_step(c: &mut Criterion, name: &str, cfg: TrainConfig) {
+#[derive(Clone, Copy)]
+enum Path {
+    Scalar,
+    Batched,
+}
+
+fn bench_step(c: &mut Criterion, name: &str, cfg: TrainConfig, path: Path) {
     let mut rng = StdRng::seed_from_u64(5);
     let ds = SceneLibrary::synthetic_scene(0, 24, 6, &mut rng);
     let mut trainer = Trainer::new(cfg, &ds, &mut rng);
     let mut step_rng = StdRng::seed_from_u64(7);
     c.bench_function(name, |b| {
-        b.iter(|| black_box(trainer.step(&mut step_rng)))
+        b.iter(|| match path {
+            Path::Scalar => black_box(trainer.step_scalar(&mut step_rng)),
+            Path::Batched => black_box(trainer.step(&mut step_rng)),
+        })
     });
 }
 
+/// Scalar vs batched (1 thread, then full pool) at one batch size.
+fn bench_batch_size(c: &mut Criterion, rays: usize) {
+    let mut cfg = TrainConfig::fast_preview();
+    cfg.rays_per_batch = rays;
+    bench_step(
+        c,
+        &format!("train/scalar_rays{rays}"),
+        cfg.clone(),
+        Path::Scalar,
+    );
+    let single = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .unwrap();
+    single.install(|| {
+        bench_step(
+            c,
+            &format!("train/batched_1thread_rays{rays}"),
+            cfg.clone(),
+            Path::Batched,
+        );
+    });
+    bench_step(c, &format!("train/batched_rays{rays}"), cfg, Path::Batched);
+}
+
 fn bench_train_iters(c: &mut Criterion) {
+    // Topology comparison on the default (batched) path.
     let mut small = TrainConfig::fast_preview();
     small.rays_per_batch = 64;
-    bench_step(c, "train/step_instant3d_preview", small.clone());
+    bench_step(
+        c,
+        "train/step_instant3d_preview",
+        small.clone(),
+        Path::Batched,
+    );
     let mut ngp = small;
     ngp.topology = instant3d_core::GridTopology::Coupled;
-    bench_step(c, "train/step_instant_ngp_preview", ngp);
+    bench_step(c, "train/step_instant_ngp_preview", ngp, Path::Batched);
+
+    // Scalar vs batched scaling sweep.
+    for rays in [256, 1024, 4096] {
+        bench_batch_size(c, rays);
+    }
 }
 
 criterion_group!(benches, bench_train_iters);

@@ -24,8 +24,16 @@ pub fn run(quick: bool) {
     let ds = synthetic_dataset(4, quick, 3100);
     let (trace, trainer) = capture_trace(&cfg, &ds, &capture, budget, 2_000_000, 3200);
 
-    let ff = flat_stream(&trace, &trainer, AccessPhase::FeedForward, GridBranch::Density);
-    println!("FRM window-depth sweep ({} captured reads, 8 banks):", ff.len());
+    let ff = flat_stream(
+        &trace,
+        &trainer,
+        AccessPhase::FeedForward,
+        GridBranch::Density,
+    );
+    println!(
+        "FRM window-depth sweep ({} captured reads, 8 banks):",
+        ff.len()
+    );
     let mut t = Table::new(&["window depth", "cycles", "bank utilisation", "vs depth 16"]);
     let ref_cycles = simulate_frm(&ff, 8, 16).cycles.max(1);
     for depth in [1usize, 2, 4, 8, 16, 32, 64] {

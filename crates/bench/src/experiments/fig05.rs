@@ -40,8 +40,14 @@ pub fn run(quick: bool) {
         "RGB conv. frac",
         "depth conv. frac",
     ]);
-    let final_rgb: Vec<f32> = runs.iter().map(|r| r.history.last().map(|h| h.1).unwrap_or(1.0)).collect();
-    let final_depth: Vec<f32> = runs.iter().map(|r| r.history.last().map(|h| h.2).unwrap_or(1.0)).collect();
+    let final_rgb: Vec<f32> = runs
+        .iter()
+        .map(|r| r.history.last().map(|h| h.1).unwrap_or(1.0))
+        .collect();
+    let final_depth: Vec<f32> = runs
+        .iter()
+        .map(|r| r.history.last().map(|h| h.2).unwrap_or(1.0))
+        .collect();
     let mut rgb_lead_count = 0usize;
     for k in 0..n_points {
         let iter = runs[0].history[k].0;

@@ -48,7 +48,12 @@ pub fn run(quick: bool) {
     ]);
     let mut all_dists: Vec<i64> = Vec::new();
     for (it, trace) in &traces {
-        let bs = bursts(trace, AccessPhase::FeedForward, GridBranch::Density, min_hashed_level);
+        let bs = bursts(
+            trace,
+            AccessPhase::FeedForward,
+            GridBranch::Density,
+            min_hashed_level,
+        );
         let s = summarize(&bs);
         all_dists.extend(all_intra_distances(&bs));
         t.row_owned(vec![

@@ -22,7 +22,7 @@ fn batch_interleave(stream: &[u64]) -> Vec<u64> {
     }
     // A fixed prime stride co-prime with most lengths; fall back to +1.
     let mut stride = 977usize;
-    while n % stride == 0 || gcd(n, stride) != 1 {
+    while n.is_multiple_of(stride) || gcd(n, stride) != 1 {
         stride += 1;
     }
     (0..n).map(|i| stream[(i * stride) % n]).collect()
@@ -84,7 +84,10 @@ pub fn run(quick: bool) {
     // A short sample of the BP series (the paper plots it over time).
     let series = unique_per_window(&bp, w, w);
     let preview: Vec<String> = series.iter().take(12).map(|c| c.to_string()).collect();
-    println!("\nBP unique-counts over successive windows: [{}]", preview.join(", "));
+    println!(
+        "\nBP unique-counts over successive windows: [{}]",
+        preview.join(", ")
+    );
     let ff_frac = summarize(&ff_gpu, w, w).mean_unique_fraction();
     let bp_frac = summarize(&bp, w, w).mean_unique_fraction();
     println!(

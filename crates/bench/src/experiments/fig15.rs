@@ -9,7 +9,10 @@ use instant3d_devices::perf::ITERS_TO_PSNR25;
 
 /// Prints the accelerator spec block and the area/energy breakdowns.
 pub fn run(_quick: bool) {
-    crate::banner("Fig. 15", "Accelerator specifications, area and energy breakdown");
+    crate::banner(
+        "Fig. 15",
+        "Accelerator specifications, area and energy breakdown",
+    );
     let area = AreaModel::default();
     let accel = Accelerator::default();
     let w = PipelineWorkload::paper_scale_instant3d(ITERS_TO_PSNR25);

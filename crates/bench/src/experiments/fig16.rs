@@ -62,7 +62,10 @@ pub fn run(quick: bool) {
     for run in &runs {
         let scene_iters = run.iters_to_25db.unwrap_or(run.iterations) as f64;
         let load = (run.points_per_iter / mean_points.max(1.0)).clamp(0.25, 4.0);
-        let w_ngp = scale_points(paper_workload(&TrainConfig::instant_ngp(), scene_iters), load);
+        let w_ngp = scale_points(
+            paper_workload(&TrainConfig::instant_ngp(), scene_iters),
+            load,
+        );
         let w_i3d = scale_points(paper_workload(&TrainConfig::instant3d(), scene_iters), load);
         let acc = accel.simulate(&w_i3d, FeatureSet::full());
         let mut cells = vec![

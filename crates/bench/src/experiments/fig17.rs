@@ -15,8 +15,10 @@ pub fn run(_quick: bool) {
     );
     let accel = Accelerator::default();
     let stages = accel.speedup_waterfall(ITERS_TO_PSNR26);
-    let xavier = DeviceModel::xavier_nx()
-        .runtime(&crate::workloads::paper_workload(&TrainConfig::instant_ngp(), ITERS_TO_PSNR26));
+    let xavier = DeviceModel::xavier_nx().runtime(&crate::workloads::paper_workload(
+        &TrainConfig::instant_ngp(),
+        ITERS_TO_PSNR26,
+    ));
 
     let mut t = Table::new(&[
         "stage",

@@ -8,10 +8,12 @@
 use super::common::{capture_trace, flat_stream, synthetic_dataset};
 use crate::table::Table;
 use crate::workloads::paper_workload;
-use instant3d_accel::{simulate_baseline_reads, simulate_bum, simulate_frm, Accelerator, BumConfig, FeatureSet};
+use instant3d_accel::{
+    simulate_baseline_reads, simulate_bum, simulate_frm, Accelerator, BumConfig, FeatureSet,
+};
 use instant3d_core::TrainConfig;
-use instant3d_nerf::grid::{AccessPhase, GridBranch};
 use instant3d_devices::perf::ITERS_TO_PSNR25;
+use instant3d_nerf::grid::{AccessPhase, GridBranch};
 
 /// Runs the FRM/BUM ablation per scene.
 pub fn run(quick: bool) {
@@ -20,7 +22,11 @@ pub fn run(quick: bool) {
         "Ablation: accelerator runtime without the FRM unit / without the BUM unit",
     );
     let cfg = crate::workloads::bench_config(TrainConfig::instant3d(), quick);
-    let scenes = if quick { vec![0usize, 4] } else { (0..8).collect() };
+    let scenes = if quick {
+        vec![0usize, 4]
+    } else {
+        (0..8).collect()
+    };
     let budget = if quick { 10 } else { 24 };
     let capture: Vec<u64> = vec![budget - 2, budget - 1];
 
@@ -37,10 +43,16 @@ pub fn run(quick: bool) {
     let mut both_save_sum = 0.0f64;
     for &i in &scenes {
         let ds = synthetic_dataset(i, quick, 1500 + i as u64);
-        let (trace, trainer) = capture_trace(&cfg, &ds, &capture, budget, 2_000_000, 1600 + i as u64);
+        let (trace, trainer) =
+            capture_trace(&cfg, &ds, &capture, budget, 2_000_000, 1600 + i as u64);
 
         // Trace-driven microarchitecture measurements (one core, B8 view).
-        let ff = flat_stream(&trace, &trainer, AccessPhase::FeedForward, GridBranch::Density);
+        let ff = flat_stream(
+            &trace,
+            &trainer,
+            AccessPhase::FeedForward,
+            GridBranch::Density,
+        );
         let frm = simulate_frm(&ff, 8, 16);
         let base = simulate_baseline_reads(&ff, 8, 8);
         let bp: Vec<u64> = trace.bp_stream_level_major();
@@ -55,10 +67,24 @@ pub fn run(quick: bool) {
         };
         let w = paper_workload(&cfg, ITERS_TO_PSNR25);
         let none = accel
-            .simulate(&w, FeatureSet { frm: false, bum: false, fusion: true })
+            .simulate(
+                &w,
+                FeatureSet {
+                    frm: false,
+                    bum: false,
+                    fusion: true,
+                },
+            )
             .seconds_total;
         let frm_only = accel
-            .simulate(&w, FeatureSet { frm: true, bum: false, fusion: true })
+            .simulate(
+                &w,
+                FeatureSet {
+                    frm: true,
+                    bum: false,
+                    fusion: true,
+                },
+            )
             .seconds_total;
         let both = accel.simulate(&w, FeatureSet::full()).seconds_total;
         frm_save_sum += 1.0 - frm_only / none;

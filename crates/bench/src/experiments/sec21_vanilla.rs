@@ -1,7 +1,7 @@
 //! §2.1 — vanilla NeRF's training cost: the motivation for Instant-NGP
-//! (and in turn Instant-3D). Reproduces the "353,895 trillion FLOPs,
-//! > 1 day on a V100" accounting and demonstrates the convergence gap on
-//! a laptop-scale head-to-head.
+//! (and in turn Instant-3D). Reproduces the "353,895 trillion FLOPs, > 1
+//! day on a V100" accounting and demonstrates the convergence gap on a
+//! laptop-scale head-to-head.
 
 use super::common::synthetic_dataset;
 use crate::table::Table;
@@ -18,7 +18,10 @@ pub fn run(quick: bool) {
     );
     let cost = VanillaCostModel::default();
     println!("Paper-scale vanilla NeRF training cost (per scene):");
-    println!("  iterations        : {:>12.0}   (paper: ~150,000)", cost.iterations);
+    println!(
+        "  iterations        : {:>12.0}   (paper: ~150,000)",
+        cost.iterations
+    );
     println!(
         "  points/iteration  : {:>12.0}   (192 points/pixel x 4,096 pixels)",
         cost.points_per_iter

@@ -37,7 +37,12 @@ pub fn run(quick: bool) {
     };
 
     println!("Color-grid size sweep (density fixed at 1.0):");
-    let mut t = Table::new(&["S_D : S_C", "modelled runtime (s)", "measured PSNR (dB)", "note"]);
+    let mut t = Table::new(&[
+        "S_D : S_C",
+        "modelled runtime (s)",
+        "measured PSNR (dB)",
+        "note",
+    ]);
     for (label, factor) in [
         ("1 : 0.125", 0.125),
         ("1 : 0.25", 0.25),
@@ -61,7 +66,12 @@ pub fn run(quick: bool) {
     t.print();
 
     println!("\nColor update-frequency sweep (density updated every iteration):");
-    let mut t = Table::new(&["F_D : F_C", "modelled runtime (s)", "measured PSNR (dB)", "note"]);
+    let mut t = Table::new(&[
+        "F_D : F_C",
+        "modelled runtime (s)",
+        "measured PSNR (dB)",
+        "note",
+    ]);
     for (label, every) in [("1 : 1", 1u32), ("1 : 0.5", 2), ("1 : 0.25", 4)] {
         let cfg = TrainConfig::decoupled(1.0, 0.25, 1, every);
         let (psnr, rt) = measure(&cfg, 2700);

@@ -48,7 +48,9 @@ pub fn run(quick: bool) {
             })
             .collect();
         let psnr = mean_of(&runs, |r| r.psnr);
-        let mid = mean_of(&runs, |r| r.history.first().map(|h| h.1).unwrap_or(f32::NAN));
+        let mid = mean_of(&runs, |r| {
+            r.history.first().map(|h| h.1).unwrap_or(f32::NAN)
+        });
         let runtime = xavier.runtime(&paper_workload(&cfg, iters as f64));
         t.row_owned(vec![
             label.to_string(),

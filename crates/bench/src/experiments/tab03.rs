@@ -6,7 +6,10 @@ use instant3d_devices::spec::all_specs;
 
 /// Prints the Tab. 3 specification table.
 pub fn run(_quick: bool) {
-    crate::banner("Tab. 3", "Summary of the considered devices' specifications");
+    crate::banner(
+        "Tab. 3",
+        "Summary of the considered devices' specifications",
+    );
     let mut t = Table::new(&[
         "Device",
         "Technology",

@@ -19,12 +19,12 @@ pub fn run(_quick: bool) {
     // The three datasets differ by their per-iteration point scale
     // (measured in Tab. 4: SILVR ≈ 1.9×, ScanNet ≈ 1.2× the synthetic
     // point count — the paper's 135/84 vs 72 s ratios).
-    let datasets = [("NeRF-Synthetic*", 1.0), ("SILVR*", 1.875), ("ScanNet*", 1.17)];
-    let paper = [
-        [100.0, 100.0, 100.0],
-        [83.3, 82.2, 85.7],
-        [2.3, 3.4, 3.2],
+    let datasets = [
+        ("NeRF-Synthetic*", 1.0),
+        ("SILVR*", 1.875),
+        ("ScanNet*", 1.17),
     ];
+    let paper = [[100.0, 100.0, 100.0], [83.3, 82.2, 85.7], [2.3, 3.4, 3.2]];
 
     let mut t = Table::new(&[
         "NeRF training solution (algo @ hw)",
@@ -64,7 +64,11 @@ pub fn run(_quick: bool) {
     rows.push(
         datasets
             .iter()
-            .map(|(_, f)| accel.simulate(&scale(&i3d, *f), FeatureSet::full()).seconds_total)
+            .map(|(_, f)| {
+                accel
+                    .simulate(&scale(&i3d, *f), FeatureSet::full())
+                    .seconds_total
+            })
             .collect(),
     );
 
@@ -75,7 +79,7 @@ pub fn run(_quick: bool) {
     ];
     for (ri, label) in labels.iter().enumerate() {
         let mut cells = vec![label.to_string()];
-        for di in 0..datasets.len() {
+        for (di, _) in datasets.iter().enumerate() {
             let norm = rows[ri][di] / rows[0][di] * 100.0;
             cells.push(format!("{norm:.1}%"));
         }

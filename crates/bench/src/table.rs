@@ -55,17 +55,17 @@ impl Table {
         let cols = self.headers.len();
         let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
         for r in &self.rows {
-            for c in 0..cols {
+            for (c, width) in widths.iter_mut().enumerate() {
                 let w = r.get(c).map(String::len).unwrap_or(0);
-                widths[c] = widths[c].max(w);
+                *width = (*width).max(w);
             }
         }
         let mut out = String::new();
         let fmt_row = |cells: &[String], widths: &[usize]| -> String {
             let mut line = String::new();
-            for c in 0..cols {
+            for (c, col_width) in widths.iter().enumerate() {
                 let cell = cells.get(c).map(String::as_str).unwrap_or("");
-                line.push_str(&format!("{:<width$}  ", cell, width = widths[c]));
+                line.push_str(&format!("{cell:<col_width$}  "));
             }
             line.trim_end().to_string()
         };

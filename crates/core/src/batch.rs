@@ -1,0 +1,500 @@
+//! The batched SoA execution engine (the training hot path).
+//!
+//! Where the scalar reference path walks one point at a time through
+//! encode → heads → composite → backward, this module runs each pipeline
+//! stage once over the *whole ray batch*, on structure-of-arrays buffers
+//! owned by a [`BatchWorkspace`] that is allocated once and reused every
+//! iteration — zero steady-state allocation.
+//!
+//! Stage parallelism (via `rayon`) is organised so every concurrent write
+//! targets a disjoint region and every per-parameter accumulation runs in
+//! point order:
+//!
+//! * grid encode — point chunks, each writing its own embedding rows;
+//! * MLP forward/backward — item chunks (activations) and output-row
+//!   chunks (parameter gradients) inside `instant3d-nerf`;
+//! * grid scatter — one task per grid level, each owning that level's
+//!   slice of the gradient buffer.
+//!
+//! Consequences, both load-bearing for the test suite:
+//!
+//! 1. **Scalar equivalence** — batched results are bit-identical to the
+//!    scalar reference path (same per-point arithmetic, same accumulation
+//!    order per parameter).
+//! 2. **Thread-count determinism** — results are bit-identical for any
+//!    worker count, because no reduction order depends on scheduling.
+//!
+//! When an access observer is attached (trace capture), the grid stages
+//! run sequentially point-major, which reproduces the scalar path's
+//! capture stream exactly; all other stages stay batched.
+
+use crate::config::GridTopology;
+use crate::model::{BranchObserver, ModelGradients, NerfModel, Tagged};
+use instant3d_nerf::grid::GridBranch;
+use instant3d_nerf::math::Vec3;
+use instant3d_nerf::mlp::MlpBatchWorkspace;
+use instant3d_nerf::render::{
+    composite_backward_slices, composite_slices, RayBatch, RayBatchCache, RenderOutput,
+};
+
+/// Preallocated SoA buffers for one training/eval iteration of the batched
+/// engine. Create once per trainer (or per eval worker) with
+/// [`BatchWorkspace::new`]; every buffer grows to its high-water mark and
+/// is then reused.
+#[derive(Debug)]
+pub struct BatchWorkspace {
+    /// Per-ray sample SoA (`t`, `dt`, `σ`, `rgb` + ray offsets).
+    pub rays: RayBatch,
+    /// World-space position per sample.
+    pub positions: Vec<Vec3>,
+    /// Owning ray index per sample.
+    pub point_ray: Vec<u32>,
+    /// SH direction encoding per *ray* (`rays × sh_dim`).
+    pub sh: Vec<f32>,
+    /// Compositing state + per-ray outputs, retained for backward.
+    pub cache: RayBatchCache,
+    /// dL/dĈ per ray (filled by the loss stage).
+    pub d_color: Vec<Vec3>,
+
+    pub(crate) unit_positions: Vec<Vec3>,
+    pub(crate) emb_d: Vec<f32>,
+    pub(crate) emb_c: Vec<f32>,
+    pub(crate) color_in: Vec<f32>,
+    pub(crate) ws_sigma: MlpBatchWorkspace,
+    pub(crate) ws_color: MlpBatchWorkspace,
+    pub(crate) d_sigma: Vec<f32>,
+    pub(crate) d_rgb: Vec<Vec3>,
+    pub(crate) d_rgb_flat: Vec<f32>,
+    pub(crate) d_emb_d: Vec<f32>,
+    pub(crate) d_emb_c: Vec<f32>,
+    pub(crate) d_color_in: Vec<f32>,
+
+    sh_dim: usize,
+    emb_d_dim: usize,
+    emb_c_dim: usize,
+    color_in_dim: usize,
+}
+
+impl BatchWorkspace {
+    /// Allocates a workspace shaped for `model`.
+    pub fn new(model: &NerfModel) -> Self {
+        let emb_c_dim = model.color_mlp().in_dim() - model.sh_dim();
+        BatchWorkspace {
+            rays: RayBatch::new(),
+            positions: Vec::new(),
+            point_ray: Vec::new(),
+            sh: Vec::new(),
+            cache: RayBatchCache::default(),
+            d_color: Vec::new(),
+            unit_positions: Vec::new(),
+            emb_d: Vec::new(),
+            emb_c: Vec::new(),
+            color_in: Vec::new(),
+            ws_sigma: model.sigma_mlp().batch_workspace(0),
+            ws_color: model.color_mlp().batch_workspace(0),
+            d_sigma: Vec::new(),
+            d_rgb: Vec::new(),
+            d_rgb_flat: Vec::new(),
+            d_emb_d: Vec::new(),
+            d_emb_c: Vec::new(),
+            d_color_in: Vec::new(),
+            sh_dim: model.sh_dim(),
+            emb_d_dim: model.density_grid().output_dim(),
+            emb_c_dim,
+            color_in_dim: model.color_mlp().in_dim(),
+        }
+    }
+
+    /// Samples currently in the batch.
+    pub fn num_points(&self) -> usize {
+        self.rays.num_samples()
+    }
+
+    /// Completed rays currently in the batch.
+    pub fn num_rays(&self) -> usize {
+        self.rays.num_rays()
+    }
+
+    /// Resets all per-iteration state (buffer capacity is kept).
+    pub fn clear(&mut self) {
+        self.rays.clear();
+        self.positions.clear();
+        self.point_ray.clear();
+        self.sh.clear();
+    }
+
+    /// Reserves the per-ray SH rows for `rays` rays and returns the flat
+    /// buffer (callers fill row `r` via [`NerfModel::encode_dir`]).
+    pub fn reserve_rays(&mut self, rays: usize) {
+        self.sh.resize(rays * self.sh_dim, 0.0);
+        self.d_color.resize(rays, Vec3::ZERO);
+    }
+
+    /// The SH row of ray `r`.
+    #[inline]
+    pub fn sh_row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.sh[r * self.sh_dim..(r + 1) * self.sh_dim]
+    }
+
+    /// Stage ③-① forward, batched: maps every sampled position into the
+    /// unit cube and encodes the grid embeddings. With a consuming
+    /// observer the kernels run sequentially point-major (capture order
+    /// identical to the scalar path); otherwise they run on the rayon
+    /// pool. Results are bit-identical either way.
+    pub fn encode<O: BranchObserver + ?Sized>(&mut self, model: &NerfModel, obs: &mut O) {
+        let n = self.positions.len();
+        let aabb = model.aabb();
+        self.unit_positions.clear();
+        self.unit_positions
+            .extend(self.positions.iter().map(|p| aabb.to_unit(*p)));
+        self.emb_d.resize(n * self.emb_d_dim, 0.0);
+        self.emb_c.resize(n * self.emb_c_dim, 0.0);
+        let decoupled = model.topology() == GridTopology::Decoupled && model.color_grid().is_some();
+        if obs.wants_accesses() {
+            // Point-major, density and color interleaved per point — the
+            // exact access order of the scalar `encode_point` loop.
+            for (i, unit) in self.unit_positions.iter().enumerate() {
+                let row_d = &mut self.emb_d[i * self.emb_d_dim..(i + 1) * self.emb_d_dim];
+                model.density_grid().encode_into(
+                    *unit,
+                    row_d,
+                    &mut Tagged {
+                        branch: GridBranch::Density,
+                        inner: obs,
+                    },
+                );
+                let row_c = &mut self.emb_c[i * self.emb_c_dim..(i + 1) * self.emb_c_dim];
+                if decoupled {
+                    model.color_grid().unwrap().encode_into(
+                        *unit,
+                        row_c,
+                        &mut Tagged {
+                            branch: GridBranch::Color,
+                            inner: obs,
+                        },
+                    );
+                } else {
+                    row_c
+                        .copy_from_slice(&self.emb_d[i * self.emb_d_dim..(i + 1) * self.emb_d_dim]);
+                }
+            }
+        } else {
+            model
+                .density_grid()
+                .par_encode_batch(&self.unit_positions, &mut self.emb_d);
+            if decoupled {
+                model
+                    .color_grid()
+                    .unwrap()
+                    .par_encode_batch(&self.unit_positions, &mut self.emb_c);
+            } else {
+                self.emb_c.copy_from_slice(&self.emb_d);
+            }
+        }
+    }
+
+    /// Stage ③-② forward, batched: evaluates both MLP heads over every
+    /// sample and writes `σ` / `rgb` into [`BatchWorkspace::rays`].
+    /// Activations stay in the MLP batch workspaces for the backward pass.
+    pub fn heads_forward(&mut self, model: &NerfModel) {
+        let n = self.positions.len();
+        debug_assert_eq!(self.point_ray.len(), n);
+        // Assemble the color-head input rows: [emb_c ‖ sh(ray)].
+        let (ec, cw, sd) = (self.emb_c_dim, self.color_in_dim, self.sh_dim);
+        self.color_in.resize(n * cw, 0.0);
+        for i in 0..n {
+            let row = &mut self.color_in[i * cw..(i + 1) * cw];
+            row[..ec].copy_from_slice(&self.emb_c[i * ec..(i + 1) * ec]);
+            let r = self.point_ray[i] as usize;
+            row[ec..].copy_from_slice(&self.sh[r * sd..(r + 1) * sd]);
+        }
+        let sigma_out = model
+            .sigma_mlp()
+            .forward_batch(&self.emb_d, &mut self.ws_sigma);
+        self.rays.sigma[..n].copy_from_slice(sigma_out);
+        let rgb_out = model
+            .color_mlp()
+            .forward_batch(&self.color_in, &mut self.ws_color);
+        for (i, chunk) in rgb_out.chunks_exact(3).enumerate() {
+            self.rays.rgb[i] = Vec3::new(chunk[0], chunk[1], chunk[2]);
+        }
+    }
+
+    /// Stage ④, batched: composites every ray front-to-back into
+    /// [`BatchWorkspace::cache`].
+    pub fn composite_all(&mut self, background: Vec3) {
+        self.cache.reserve_for(&self.rays);
+        for r in 0..self.rays.num_rays() {
+            let range = self.rays.ray_range(r);
+            let (out, active) = composite_slices(
+                &self.rays.t[range.clone()],
+                &self.rays.dt[range.clone()],
+                &self.rays.sigma[range.clone()],
+                &self.rays.rgb[range.clone()],
+                background,
+                Some((
+                    &mut self.cache.weights[range.clone()],
+                    &mut self.cache.trans[range.clone()],
+                    &mut self.cache.one_minus_alpha[range],
+                )),
+            );
+            self.cache.outputs[r] = out;
+            self.cache.active[r] = active;
+        }
+    }
+
+    /// The forward render output of ray `r` (valid after
+    /// [`BatchWorkspace::composite_all`]).
+    #[inline]
+    pub fn output(&self, r: usize) -> &RenderOutput {
+        &self.cache.outputs[r]
+    }
+
+    /// Stage ⑥ through the renderer, batched: converts the per-ray color
+    /// gradients in [`BatchWorkspace::d_color`] into per-sample `dσ` /
+    /// `drgb` SoA buffers.
+    pub fn render_backward(&mut self, background: Vec3) {
+        let n = self.rays.num_samples();
+        self.d_sigma.resize(n, 0.0);
+        self.d_rgb.resize(n, Vec3::ZERO);
+        for r in 0..self.rays.num_rays() {
+            let range = self.rays.ray_range(r);
+            composite_backward_slices(
+                &self.rays.dt[range.clone()],
+                &self.rays.rgb[range.clone()],
+                background,
+                &self.cache.weights[range.clone()],
+                &self.cache.trans[range.clone()],
+                &self.cache.one_minus_alpha[range.clone()],
+                self.cache.active[r],
+                &self.cache.outputs[r],
+                self.d_color[r],
+                &mut self.d_sigma[range.clone()],
+                &mut self.d_rgb[range],
+            );
+        }
+    }
+
+    /// Stage ③-② backward, batched: backpropagates the per-sample
+    /// gradients through both heads (reusing the retained forward
+    /// activations — no re-forward), leaving the embedding gradients in
+    /// the workspace for [`BatchWorkspace::scatter`].
+    pub fn heads_backward(&mut self, model: &NerfModel, grads: &mut ModelGradients) {
+        let n = self.rays.num_samples();
+        // Color head backward → gradient w.r.t. [emb_c ‖ sh].
+        self.d_rgb_flat.resize(n * 3, 0.0);
+        for (i, g) in self.d_rgb[..n].iter().enumerate() {
+            self.d_rgb_flat[i * 3] = g.x;
+            self.d_rgb_flat[i * 3 + 1] = g.y;
+            self.d_rgb_flat[i * 3 + 2] = g.z;
+        }
+        self.d_color_in.resize(n * self.color_in_dim, 0.0);
+        model.color_mlp().backward_batch(
+            &self.d_rgb_flat,
+            &mut self.ws_color,
+            &mut grads.color_mlp,
+            &mut self.d_color_in,
+        );
+        // Density head backward → gradient w.r.t. emb_d.
+        self.d_emb_d.resize(n * self.emb_d_dim, 0.0);
+        model.sigma_mlp().backward_batch(
+            &self.d_sigma[..n],
+            &mut self.ws_sigma,
+            &mut grads.sigma_mlp,
+            &mut self.d_emb_d,
+        );
+        // Pack the emb_c part of the color-input gradient rows.
+        let (ec, cw) = (self.emb_c_dim, self.color_in_dim);
+        self.d_emb_c.resize(n * ec, 0.0);
+        for i in 0..n {
+            self.d_emb_c[i * ec..(i + 1) * ec]
+                .copy_from_slice(&self.d_color_in[i * cw..i * cw + ec]);
+        }
+    }
+
+    /// Stage ③-① backward, batched: scatters the embedding gradients into
+    /// the grid gradient buffers. With a consuming observer the scatter is
+    /// sequential point-major (capture order identical to the scalar
+    /// path); otherwise it runs level-parallel over disjoint gradient
+    /// slices. Per-parameter accumulation is point-ordered either way.
+    pub fn scatter<O: BranchObserver + ?Sized>(
+        &mut self,
+        model: &NerfModel,
+        grads: &mut ModelGradients,
+        obs: &mut O,
+        update_color: bool,
+    ) {
+        let n = self.rays.num_samples();
+        let (ed, ec) = (self.emb_d_dim, self.emb_c_dim);
+        let coupled = model.topology() == GridTopology::Coupled;
+        if coupled {
+            // Shared grid: both heads' embedding gradients sum.
+            debug_assert_eq!(ed, ec);
+            for (d, c) in self.d_emb_d[..n * ed]
+                .iter_mut()
+                .zip(&self.d_emb_c[..n * ec])
+            {
+                *d += *c;
+            }
+        }
+        let scatter_color = !coupled && update_color;
+        if obs.wants_accesses() {
+            for i in 0..n {
+                let unit = self.unit_positions[i];
+                model.density_grid().backward_into(
+                    unit,
+                    &self.d_emb_d[i * ed..(i + 1) * ed],
+                    &mut grads.density_grid,
+                    &mut Tagged {
+                        branch: GridBranch::Density,
+                        inner: obs,
+                    },
+                );
+                if scatter_color {
+                    if let (Some(cg), Some(cgrads)) =
+                        (model.color_grid(), grads.color_grid.as_mut())
+                    {
+                        cg.backward_into(
+                            unit,
+                            &self.d_emb_c[i * ec..(i + 1) * ec],
+                            cgrads,
+                            &mut Tagged {
+                                branch: GridBranch::Color,
+                                inner: obs,
+                            },
+                        );
+                    }
+                }
+            }
+        } else {
+            model.density_grid().par_backward_batch(
+                &self.unit_positions,
+                &self.d_emb_d[..n * ed],
+                &mut grads.density_grid,
+            );
+            if scatter_color {
+                if let (Some(cg), Some(cgrads)) = (model.color_grid(), grads.color_grid.as_mut()) {
+                    cg.par_backward_batch(&self.unit_positions, &self.d_emb_c[..n * ec], cgrads);
+                }
+            }
+        }
+    }
+
+    /// Batched density probe (occupancy refresh): returns `σ` for every
+    /// position, reusing this workspace's buffers. Values are identical to
+    /// per-point [`NerfModel::density_at`] calls.
+    pub fn density_batch(&mut self, model: &NerfModel, positions: &[Vec3]) -> &[f32] {
+        let aabb = model.aabb();
+        self.unit_positions.clear();
+        self.unit_positions
+            .extend(positions.iter().map(|p| aabb.to_unit(*p)));
+        self.emb_d.resize(positions.len() * self.emb_d_dim, 0.0);
+        model
+            .density_grid()
+            .par_encode_batch(&self.unit_positions, &mut self.emb_d);
+        model
+            .sigma_mlp()
+            .forward_batch(&self.emb_d, &mut self.ws_sigma)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TrainConfig;
+    use crate::model::NullBranchObserver;
+    use instant3d_nerf::math::Aabb;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model(topology: GridTopology) -> NerfModel {
+        let mut cfg = TrainConfig::fast_preview();
+        cfg.topology = topology;
+        let mut rng = StdRng::seed_from_u64(11);
+        NerfModel::new(&cfg, Aabb::UNIT, &mut rng)
+    }
+
+    /// Fills a tiny 2-ray batch with fixed geometry.
+    fn fill_batch(ws: &mut BatchWorkspace, model: &NerfModel) {
+        ws.clear();
+        ws.reserve_rays(2);
+        for r in 0..2usize {
+            let dir = if r == 0 { Vec3::Z } else { Vec3::X };
+            model.encode_dir(dir, ws.sh_row_mut(r));
+            for k in 0..4 {
+                let t = 0.1 + 0.2 * k as f32;
+                ws.rays.push_sample(t, 0.2);
+                ws.positions
+                    .push(Vec3::splat(0.2 + 0.15 * k as f32 + 0.05 * r as f32));
+                ws.point_ray.push(r as u32);
+            }
+            ws.rays.end_ray();
+        }
+    }
+
+    #[test]
+    fn batched_forward_matches_scalar_model_queries() {
+        for topo in [GridTopology::Coupled, GridTopology::Decoupled] {
+            let m = model(topo);
+            let mut ws = BatchWorkspace::new(&m);
+            fill_batch(&mut ws, &m);
+            ws.encode(&m, &mut NullBranchObserver);
+            ws.heads_forward(&m);
+
+            let mut sws = m.workspace();
+            let mut sh = vec![0.0; m.sh_dim()];
+            for i in 0..ws.num_points() {
+                let r = ws.point_ray[i] as usize;
+                let dir = if r == 0 { Vec3::Z } else { Vec3::X };
+                m.encode_dir(dir, &mut sh);
+                let (sigma, rgb) =
+                    m.query_train(ws.positions[i], &sh, &mut sws, &mut NullBranchObserver);
+                assert_eq!(ws.rays.sigma[i], sigma, "{topo:?} sigma {i}");
+                assert_eq!(ws.rays.rgb[i], rgb, "{topo:?} rgb {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn observed_and_unobserved_encode_agree_bitwise() {
+        let m = model(GridTopology::Decoupled);
+        let mut a = BatchWorkspace::new(&m);
+        let mut b = BatchWorkspace::new(&m);
+        fill_batch(&mut a, &m);
+        fill_batch(&mut b, &m);
+        // A counting observer forces the sequential point-major kernels.
+        struct Counting(usize);
+        impl BranchObserver for Counting {
+            fn on_branch_access(
+                &mut self,
+                _: GridBranch,
+                _: instant3d_nerf::grid::AccessPhase,
+                _: u32,
+                _: u8,
+                _: u32,
+            ) {
+                self.0 += 1;
+            }
+        }
+        let mut obs = Counting(0);
+        a.encode(&m, &mut obs);
+        b.encode(&m, &mut NullBranchObserver);
+        assert!(obs.0 > 0);
+        assert_eq!(a.emb_d, b.emb_d);
+        assert_eq!(a.emb_c, b.emb_c);
+    }
+
+    #[test]
+    fn density_batch_matches_density_at() {
+        let m = model(GridTopology::Decoupled);
+        let mut ws = BatchWorkspace::new(&m);
+        let mut sws = m.workspace();
+        let positions: Vec<Vec3> = (0..17)
+            .map(|i| Vec3::splat(0.05 + 0.05 * i as f32))
+            .collect();
+        let batched = ws.density_batch(&m, &positions).to_vec();
+        for (p, b) in positions.iter().zip(batched) {
+            assert_eq!(m.density_at(*p, &mut sws), b);
+        }
+    }
+}

@@ -72,7 +72,8 @@ impl Writer {
         self.u32(values.len() as u32);
         self.buf.push(1); // fp16-coded
         for &v in values {
-            self.buf.extend_from_slice(&F16::from_f32(v).0.to_le_bytes());
+            self.buf
+                .extend_from_slice(&F16::from_f32(v).0.to_le_bytes());
         }
     }
     fn f32_slice(&mut self, values: &[f32]) {

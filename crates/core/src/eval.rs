@@ -5,13 +5,14 @@
 //! test the learned density quality" (§3.1) — they quantify how fast the
 //! density branch is learning relative to color (Fig. 5).
 
+use crate::batch::BatchWorkspace;
 use crate::model::{NerfModel, NullBranchObserver};
 use instant3d_nerf::camera::Camera;
 use instant3d_nerf::image::{DepthImage, RgbImage};
 use instant3d_nerf::math::Vec3;
 use instant3d_nerf::metrics::{mean, psnr_depth, psnr_rgb};
-use instant3d_nerf::render::{composite, RaySample};
 use instant3d_scenes::Dataset;
+use rayon::prelude::*;
 
 /// RGB and depth reconstruction quality of a model on a test set.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -24,8 +25,11 @@ pub struct EvalResult {
     pub rgb_ssim: f32,
 }
 
-/// Renders one view of the model (RGB + expected-depth), row-parallel with
-/// per-thread workspaces.
+/// Renders one view of the model (RGB + expected-depth) on the batched SoA
+/// engine: rows are processed as ray batches — one grid encode, one MLP
+/// sweep and one composite per row — with row chunks running in parallel
+/// on per-chunk workspaces. Pixel values are identical to per-point scalar
+/// queries.
 pub fn render_model_view(
     model: &NerfModel,
     camera: &Camera,
@@ -35,58 +39,56 @@ pub fn render_model_view(
     let w = camera.width;
     let h = camera.height;
     let aabb = model.aabb();
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(h as usize)
-        .max(1);
+    let threads = rayon::current_num_threads().min(h as usize).max(1);
+    let chunk = (h as usize).div_ceil(threads);
 
     let mut rows: Vec<(Vec<Vec3>, Vec<f32>)> = Vec::with_capacity(h as usize);
     rows.resize_with(h as usize, || (Vec::new(), Vec::new()));
-    let rows_ref = &mut rows[..];
 
-    std::thread::scope(|scope| {
-        let chunk = (h as usize).div_ceil(threads);
-        for (tid, rows_chunk) in rows_ref.chunks_mut(chunk).enumerate() {
+    rows.par_chunks_mut(chunk)
+        .enumerate()
+        .for_each(|(tid, rows_chunk)| {
             let y0 = (tid * chunk) as u32;
-            scope.spawn(move || {
-                let mut ws = model.workspace();
-                let mut sh = vec![0.0; model.sh_dim()];
-                let mut ray_samples: Vec<RaySample> = Vec::with_capacity(samples_per_ray);
-                for (dy, row) in rows_chunk.iter_mut().enumerate() {
-                    let y = y0 + dy as u32;
-                    let mut colors = Vec::with_capacity(w as usize);
-                    let mut depths = Vec::with_capacity(w as usize);
-                    for x in 0..w {
-                        let ray = camera.pixel_center_ray(x, y);
-                        let Some((t0, t1)) = aabb.intersect(&ray) else {
-                            colors.push(background);
-                            depths.push(0.0);
-                            continue;
-                        };
-                        model.encode_dir(ray.dir, &mut sh);
-                        let n = samples_per_ray.max(1);
+            let mut bws = BatchWorkspace::new(model);
+            let n = samples_per_ray.max(1);
+            for (dy, row) in rows_chunk.iter_mut().enumerate() {
+                let y = y0 + dy as u32;
+                // Build the row's ray batch: one ray per pixel (missing
+                // rays get zero samples and composite to the background).
+                bws.clear();
+                bws.reserve_rays(w as usize);
+                for x in 0..w {
+                    let ray = camera.pixel_center_ray(x, y);
+                    if let Some((t0, t1)) = aabb.intersect(&ray) {
+                        model.encode_dir(ray.dir, bws.sh_row_mut(x as usize));
                         let dt = (t1 - t0) / n as f32;
-                        ray_samples.clear();
                         for k in 0..n {
                             let t = t0 + (k as f32 + 0.5) * dt;
-                            let (sigma, rgb) = model.query_train(
-                                ray.at(t),
-                                &sh,
-                                &mut ws,
-                                &mut NullBranchObserver,
-                            );
-                            ray_samples.push(RaySample { t, dt, sigma, rgb });
+                            bws.rays.push_sample(t, dt);
+                            bws.positions.push(ray.at(t));
+                            bws.point_ray.push(x);
                         }
-                        let out = composite(&ray_samples, background, None);
+                    }
+                    bws.rays.end_ray();
+                }
+                bws.encode(model, &mut NullBranchObserver);
+                bws.heads_forward(model);
+                bws.composite_all(background);
+                let mut colors = Vec::with_capacity(w as usize);
+                let mut depths = Vec::with_capacity(w as usize);
+                for x in 0..w as usize {
+                    let out = bws.output(x);
+                    if bws.rays.ray_range(x).is_empty() {
+                        colors.push(background);
+                        depths.push(0.0);
+                    } else {
                         colors.push(out.color);
                         depths.push(out.depth);
                     }
-                    *row = (colors, depths);
                 }
-            });
-        }
-    });
+                *row = (colors, depths);
+            }
+        });
 
     let mut rgb = RgbImage::new(w, h);
     let mut depth = DepthImage::new(w, h);
@@ -104,11 +106,7 @@ pub fn render_model_view(
 /// # Panics
 ///
 /// Panics if the dataset has no test views.
-pub fn evaluate(
-    model: &NerfModel,
-    dataset: &Dataset,
-    samples_per_ray: usize,
-) -> EvalResult {
+pub fn evaluate(model: &NerfModel, dataset: &Dataset, samples_per_ray: usize) -> EvalResult {
     assert!(!dataset.test_views.is_empty(), "dataset has no test views");
     let mut rgb_psnrs = Vec::with_capacity(dataset.test_views.len());
     let mut depth_psnrs = Vec::with_capacity(dataset.test_views.len());

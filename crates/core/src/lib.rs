@@ -14,6 +14,15 @@
 //! Both knobs live in [`TrainConfig`]; [`GridTopology::Coupled`] reproduces
 //! the Instant-NGP baseline with a single shared grid.
 //!
+//! The training hot path is the **batched SoA execution engine**
+//! ([`batch`]): rays are gathered into structure-of-arrays buffers and
+//! each pipeline stage runs once over the whole batch, parallelised via
+//! rayon with disjoint-write scheduling — results are bit-identical to
+//! the scalar reference path and to any worker count. The scalar
+//! point-at-a-time path survives as the executable specification
+//! ([`Trainer::step_scalar`](trainer::Trainer::step_scalar)), gated by
+//! golden equivalence tests.
+//!
 //! Modules:
 //!
 //! * [`config`] — training configuration and the paper's preset operating
@@ -21,12 +30,16 @@
 //! * [`schedule`] — update-frequency schedules for the two branches.
 //! * [`model`] — the NeRF model: hash grid(s) + density/color MLP heads,
 //!   with full hand-derived backpropagation.
+//! * [`batch`] — the batched SoA execution engine and its reusable
+//!   [`BatchWorkspace`] (zero steady-state allocation).
 //! * [`trainer`] — the six-step training pipeline (Fig. 2) with workload
-//!   accounting and optional memory-access tracing.
-//! * [`eval`] — test-view rendering and RGB/depth PSNR evaluation.
+//!   accounting and optional memory-access tracing, batched by default.
+//! * [`eval`] — test-view rendering (row batches on the SoA engine) and
+//!   RGB/depth PSNR evaluation.
 //! * [`profile`] — per-pipeline-step operation counts, both measured and
 //!   paper-scale, consumed by the device and accelerator models.
 
+pub mod batch;
 pub mod checkpoint;
 pub mod config;
 pub mod eval;
@@ -37,6 +50,7 @@ pub mod timing;
 pub mod trainer;
 pub mod vanilla;
 
+pub use batch::BatchWorkspace;
 pub use config::{GridTopology, TrainConfig};
 pub use eval::EvalResult;
 pub use model::NerfModel;

@@ -18,7 +18,9 @@
 use crate::config::{GridTopology, TrainConfig};
 use instant3d_nerf::activation::Activation;
 use instant3d_nerf::field::RadianceField;
-use instant3d_nerf::grid::{AccessPhase, GridAccessObserver, GridGradients, HashGrid, NullObserver};
+use instant3d_nerf::grid::{
+    AccessPhase, GridAccessObserver, GridGradients, HashGrid, NullObserver,
+};
 use instant3d_nerf::math::{Aabb, Vec3};
 use instant3d_nerf::mlp::{Mlp, MlpConfig, MlpGradients, MlpWorkspace};
 use instant3d_nerf::sh::{sh_basis_size, sh_encode_into};
@@ -27,15 +29,16 @@ use rand::Rng;
 pub use instant3d_nerf::grid::{BranchObserver, GridBranch, NullBranchObserver};
 
 /// Adapter: forwards grid accesses to a [`BranchObserver`] with a fixed tag.
-struct Tagged<'a, O: BranchObserver + ?Sized> {
-    branch: GridBranch,
-    inner: &'a mut O,
+pub(crate) struct Tagged<'a, O: BranchObserver + ?Sized> {
+    pub(crate) branch: GridBranch,
+    pub(crate) inner: &'a mut O,
 }
 
 impl<O: BranchObserver + ?Sized> GridAccessObserver for Tagged<'_, O> {
     #[inline]
     fn on_access(&mut self, phase: AccessPhase, level: u32, corner: u8, addr: u32) {
-        self.inner.on_branch_access(self.branch, phase, level, corner, addr);
+        self.inner
+            .on_branch_access(self.branch, phase, level, corner, addr);
     }
 }
 
@@ -513,12 +516,8 @@ mod tests {
             let mut ws = m.workspace();
             let mut sh = vec![0.0; m.sh_dim()];
             m.encode_dir(Vec3::new(0.0, 0.0, 1.0), &mut sh);
-            let (sigma, rgb) = m.query_train(
-                Vec3::splat(0.4),
-                &sh,
-                &mut ws,
-                &mut NullBranchObserver,
-            );
+            let (sigma, rgb) =
+                m.query_train(Vec3::splat(0.4), &sh, &mut ws, &mut NullBranchObserver);
             assert!(sigma >= 0.0, "TruncExp density must be non-negative");
             assert!(sigma.is_finite());
             for k in 0..3 {
@@ -640,7 +639,10 @@ mod tests {
             false, // skipped color iteration
         );
         let cg = grads.color_grid.as_ref().unwrap();
-        assert!(cg.values.iter().all(|&v| v == 0.0), "color grid must be untouched");
+        assert!(
+            cg.values.iter().all(|&v| v == 0.0),
+            "color grid must be untouched"
+        );
         // But the color MLP still learned.
         let any_mlp_grad = grads
             .color_mlp
@@ -691,7 +693,16 @@ mod tests {
         let emb_c = ws.emb_c.clone();
         let mut grads = m.zero_grads();
         m.backward_point(
-            pos, &emb_d, &emb_c, &sh, 1.0, Vec3::ONE, &mut ws, &mut grads, &mut obs, true,
+            pos,
+            &emb_d,
+            &emb_c,
+            &sh,
+            1.0,
+            Vec3::ONE,
+            &mut ws,
+            &mut grads,
+            &mut obs,
+            true,
         );
         assert_eq!(obs.bp_d, rd, "BP writes mirror the corner count");
         assert_eq!(obs.bp_c, rc);

@@ -227,16 +227,15 @@ impl PipelineWorkload {
             // Density scattered every iteration; color every 2nd.
             grid_writes_bp_per_iter: reads_per_grid * (1.0 + 0.5),
             mlp_flops_per_iter: points * 12_000.0 * 3.0,
-            density_table_bytes: 1 << 20,  // 1 MB
-            color_table_bytes: 256 << 10,  // 256 KB
+            density_table_bytes: 1 << 20, // 1 MB
+            color_table_bytes: 256 << 10, // 256 KB
             bytes_per_access: 4,
         }
     }
 
     /// Total grid bytes moved per iteration (reads + writes).
     pub fn grid_bytes_per_iter(&self) -> f64 {
-        (self.grid_reads_ff_per_iter + self.grid_writes_bp_per_iter)
-            * self.bytes_per_access as f64
+        (self.grid_reads_ff_per_iter + self.grid_writes_bp_per_iter) * self.bytes_per_access as f64
     }
 
     /// Total table bytes across branches.

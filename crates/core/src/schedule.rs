@@ -45,7 +45,7 @@ impl UpdateSchedule {
     /// Whether the branch updates at `iter` (0-based).
     #[inline]
     pub fn should_update(&self, iter: u64) -> bool {
-        iter % self.every as u64 == 0
+        iter.is_multiple_of(self.every as u64)
     }
 
     /// Number of updates that fire over `iters` iterations starting at 0.

@@ -12,6 +12,7 @@
 //! 6. **Back-propagate** — analytic gradients through ④→③, with the grid
 //!    scatter gated by each branch's update schedule (§3.3), then Adam.
 
+use crate::batch::BatchWorkspace;
 use crate::config::{GridTopology, TrainConfig};
 use crate::eval::{evaluate, EvalResult};
 use crate::model::{BranchObserver, ModelGradients, ModelWorkspace, NerfModel, NullBranchObserver};
@@ -23,7 +24,10 @@ use instant3d_nerf::image::RgbImage;
 use instant3d_nerf::math::Vec3;
 use instant3d_nerf::occupancy::OccupancyGrid;
 use instant3d_nerf::render::{composite, composite_backward, pixel_loss, RaySample, RenderCache};
-use instant3d_nerf::sampler::{sample_pixel_batch, sample_segments};
+use instant3d_nerf::sampler::{
+    sample_pixel_batch, sample_pixel_batch_into, sample_segments, sample_segments_into, Segment,
+    TrainRay,
+};
 use instant3d_scenes::Dataset;
 use rand::Rng;
 
@@ -105,6 +109,10 @@ pub struct Trainer {
     ws: ModelWorkspace,
     grads: ModelGradients,
     touched_scratch: Vec<usize>,
+    /// Batched-engine state, reused across iterations.
+    bws: BatchWorkspace,
+    ray_scratch: Vec<TrainRay>,
+    seg_scratch: Vec<Segment>,
 }
 
 impl Trainer {
@@ -169,6 +177,7 @@ impl Trainer {
             .unwrap_or_default();
         let ws = model.workspace();
         let grads = model.zero_grads();
+        let bws = BatchWorkspace::new(&model);
         Trainer {
             cfg,
             model,
@@ -188,6 +197,9 @@ impl Trainer {
             ws,
             grads,
             touched_scratch: Vec::new(),
+            bws,
+            ray_scratch: Vec::new(),
+            seg_scratch: Vec::new(),
         }
     }
 
@@ -218,12 +230,16 @@ impl Trainer {
             .map_or(1.0, OccupancyGrid::occupancy_fraction)
     }
 
-    /// Runs one training iteration without tracing.
+    /// Runs one training iteration on the batched SoA engine — the default
+    /// hot path. Rays are sampled into structure-of-arrays buffers, every
+    /// pipeline stage runs once over the whole batch, and the grid/MLP
+    /// stages execute on the rayon pool. Results are bit-identical to
+    /// [`Trainer::step_scalar`] and independent of the worker count.
     pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) -> StepStats {
-        self.step_observed(rng, &mut NullBranchObserver)
+        self.step_batched_impl(rng, &mut NullBranchObserver, None)
     }
 
-    /// Runs one training iteration with wall-clock per-step timing charged
+    /// Runs one batched training iteration with wall-clock timing charged
     /// to `timer` — the native Fig.-4-style profile of this trainer.
     ///
     /// Step mapping: batch sampling → Step ①; per-ray segment sampling and
@@ -236,19 +252,156 @@ impl Trainer {
         rng: &mut R,
         timer: &mut crate::timing::StepTimer,
     ) -> StepStats {
-        let stats = self.step_impl(rng, &mut NullBranchObserver, Some(timer));
+        let stats = self.step_batched_impl(rng, &mut NullBranchObserver, Some(timer));
         timer.end_iteration();
         stats
     }
 
-    /// Runs one training iteration, reporting every grid access to `obs`
-    /// (the hook `instant3d-trace` uses to capture Figs. 8–10 streams).
+    /// Runs one batched training iteration, reporting every grid access to
+    /// `obs` (the hook `instant3d-trace` uses to capture Figs. 8–10
+    /// streams). The grid stages run sequentially point-major here, so
+    /// *within each phase* the capture order is identical to the scalar
+    /// reference path's; the phases themselves are regrouped (all
+    /// feed-forward reads, then all scatter writes, instead of per-ray
+    /// interleaving) — i.e. the stream is order-normalized equivalent.
+    /// Consumers that depend on FF/BP interleaving should capture via
+    /// [`Trainer::step_scalar_observed`].
     pub fn step_observed<R: Rng + ?Sized, O: BranchObserver + ?Sized>(
         &mut self,
         rng: &mut R,
         obs: &mut O,
     ) -> StepStats {
+        self.step_batched_impl(rng, obs, None)
+    }
+
+    /// Runs one training iteration on the scalar point-at-a-time
+    /// reference implementation. The batched engine is gated against this
+    /// path by golden tests (identical losses, parameters, workload
+    /// counters and trace streams).
+    pub fn step_scalar<R: Rng + ?Sized>(&mut self, rng: &mut R) -> StepStats {
+        self.step_impl(rng, &mut NullBranchObserver, None)
+    }
+
+    /// Scalar reference iteration with access tracing (see
+    /// [`Trainer::step_scalar`]).
+    pub fn step_scalar_observed<R: Rng + ?Sized, O: BranchObserver + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        obs: &mut O,
+    ) -> StepStats {
         self.step_impl(rng, obs, None)
+    }
+
+    /// The batched SoA training iteration (see [`crate::batch`]).
+    #[allow(unused_assignments)] // the lap! clock's final store is unread
+    fn step_batched_impl<R: Rng + ?Sized, O: BranchObserver + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        obs: &mut O,
+        mut timer: Option<&mut crate::timing::StepTimer>,
+    ) -> StepStats {
+        use crate::profile::PipelineStep as Ps;
+        use std::time::Instant;
+        let mut last = Instant::now();
+        macro_rules! lap {
+            ($step:expr) => {
+                if let Some(t) = timer.as_deref_mut() {
+                    let now = Instant::now();
+                    t.add($step, now - last);
+                    last = now;
+                }
+            };
+        }
+        let update_density = self.density_schedule.should_update(self.iter);
+        let update_color = match self.model.topology() {
+            GridTopology::Coupled => update_density,
+            GridTopology::Decoupled => self.color_schedule.should_update(self.iter),
+        };
+
+        // Step ①: pixel batch (same RNG stream as the scalar path).
+        sample_pixel_batch_into(
+            &self.cameras,
+            &self.images,
+            self.cfg.rays_per_batch,
+            rng,
+            &mut self.ray_scratch,
+        );
+        self.grads.zero();
+        lap!(Ps::SamplePixels);
+
+        // Step ② + ③ sampling: stratified segments and occupancy culling,
+        // filling the SoA buffers ray by ray (RNG order matches scalar).
+        let aabb = self.model.aabb();
+        self.bws.clear();
+        self.bws.reserve_rays(self.ray_scratch.len());
+        for (r, tr) in self.ray_scratch.iter().enumerate() {
+            sample_segments_into(
+                &tr.ray,
+                &aabb,
+                self.cfg.samples_per_ray,
+                Some(rng),
+                &mut self.seg_scratch,
+            );
+            self.model.encode_dir(tr.ray.dir, self.bws.sh_row_mut(r));
+            for &(t, dt) in &self.seg_scratch {
+                let p = tr.ray.at(t);
+                if let Some(occ) = &self.occupancy {
+                    if !occ.occupied_at(p) {
+                        continue;
+                    }
+                }
+                self.bws.rays.push_sample(t, dt);
+                self.bws.positions.push(p);
+                self.bws.point_ray.push(r as u32);
+            }
+            self.bws.rays.end_ray();
+        }
+        let total_points = self.bws.num_points();
+        lap!(Ps::MapRays);
+
+        // Step ③ forward, batched.
+        self.bws.encode(&self.model, obs);
+        lap!(Ps::GridForward);
+        self.bws.heads_forward(&self.model);
+        lap!(Ps::MlpForward);
+
+        // Step ④: composite; Step ⑤: loss.
+        self.bws.composite_all(self.background);
+        lap!(Ps::VolumeRender);
+        let inv_batch = 1.0 / self.ray_scratch.len().max(1) as f32;
+        let mut total_loss = 0.0f32;
+        for (r, tr) in self.ray_scratch.iter().enumerate() {
+            let (loss, d_raw) = pixel_loss(self.bws.output(r).color, tr.target);
+            total_loss += loss;
+            self.bws.d_color[r] = d_raw * inv_batch;
+        }
+        lap!(Ps::ComputeLoss);
+
+        // Step ⑥: backward through rendering, heads and grids.
+        self.bws.render_backward(self.background);
+        lap!(Ps::VolumeRender);
+        self.bws.heads_backward(&self.model, &mut self.grads);
+        lap!(Ps::MlpBackward);
+        self.bws
+            .scatter(&self.model, &mut self.grads, obs, update_color);
+        lap!(Ps::GridBackward);
+
+        let rays = self.ray_scratch.len();
+        self.post_step(
+            update_density,
+            update_color,
+            rays,
+            total_points,
+            timer,
+            last,
+        );
+        StepStats {
+            loss: total_loss * inv_batch,
+            rays,
+            points: total_points,
+            density_updated: update_density,
+            color_updated: update_color,
+        }
     }
 
     #[allow(unused_assignments)] // the lap! clock's final store is unread
@@ -297,7 +450,12 @@ impl Trainer {
 
         for tr in &batch {
             // Step ③ sampling: stratified + occupancy culling.
-            let segs = sample_segments(&tr.ray, &self.model.aabb(), self.cfg.samples_per_ray, Some(rng));
+            let segs = sample_segments(
+                &tr.ray,
+                &self.model.aabb(),
+                self.cfg.samples_per_ray,
+                Some(rng),
+            );
             samples.clear();
             positions.clear();
             emb_d_cache.clear();
@@ -353,8 +511,51 @@ impl Trainer {
             }
         }
 
-        // Optimizer steps, gated by the update schedules. Grid-Adam time
-        // is charged to Step ③-① backward, MLP-Adam to ③-② backward.
+        self.post_step(
+            update_density,
+            update_color,
+            batch.len(),
+            total_points,
+            timer,
+            last,
+        );
+        StepStats {
+            loss: total_loss * inv_batch,
+            rays: batch.len(),
+            points: total_points,
+            density_updated: update_density,
+            color_updated: update_color,
+        }
+    }
+
+    /// The shared iteration tail: optimizer steps (gated by the update
+    /// schedules), occupancy refresh, learning-rate decay, workload
+    /// accounting and the iteration counter. Both the batched and the
+    /// scalar path end here, so their side effects are identical.
+    ///
+    /// Grid-Adam and occupancy time is charged to Step ③-① backward,
+    /// MLP-Adam to ③-② backward.
+    #[allow(unused_assignments)] // the lap! clock's final store is unread
+    fn post_step(
+        &mut self,
+        update_density: bool,
+        update_color: bool,
+        rays: usize,
+        total_points: usize,
+        mut timer: Option<&mut crate::timing::StepTimer>,
+        mut last: std::time::Instant,
+    ) {
+        use crate::profile::PipelineStep as Ps;
+        use std::time::Instant;
+        macro_rules! lap {
+            ($step:expr) => {
+                if let Some(t) = timer.as_deref_mut() {
+                    let now = Instant::now();
+                    t.add($step, now - last);
+                    last = now;
+                }
+            };
+        }
         if update_density {
             Self::apply_grid_step(
                 self.model.density_grid_mut(),
@@ -376,33 +577,36 @@ impl Trainer {
         {
             let mut idx = 0;
             let opts = &mut self.sigma_mlp_opts;
-            self.model
-                .sigma_mlp_mut()
-                .for_each_param_mut(&self.grads.sigma_mlp, |params, grads| {
+            self.model.sigma_mlp_mut().for_each_param_mut(
+                &self.grads.sigma_mlp,
+                |params, grads| {
                     opts[idx].step(params, grads);
                     idx += 1;
-                });
+                },
+            );
         }
         {
             let mut idx = 0;
             let opts = &mut self.color_mlp_opts;
-            self.model
-                .color_mlp_mut()
-                .for_each_param_mut(&self.grads.color_mlp, |params, grads| {
+            self.model.color_mlp_mut().for_each_param_mut(
+                &self.grads.color_mlp,
+                |params, grads| {
                     opts[idx].step(params, grads);
                     idx += 1;
-                });
+                },
+            );
         }
         lap!(Ps::MlpBackward);
 
-        // Occupancy refresh (decayed density EMA, thresholded).
+        // Occupancy refresh (decayed density EMA, thresholded), evaluated
+        // through the batched density probe.
         if let Some(occ) = &mut self.occupancy {
             if self.iter % self.cfg.occupancy_update_every as u64
                 == (self.cfg.occupancy_update_every as u64 - 1)
             {
                 let centers = occ.cell_centers();
-                for (i, c) in centers.iter().enumerate() {
-                    let d = self.model.density_at(*c, &mut self.ws);
+                let densities = self.bws.density_batch(&self.model, &centers);
+                for (i, &d) in densities.iter().enumerate() {
                     let prev = if self.occ_ema[i].is_finite() {
                         self.occ_ema[i] * 0.95
                     } else {
@@ -417,7 +621,7 @@ impl Trainer {
 
         // Learning-rate schedule: exponential decay every N iterations.
         if self.cfg.lr_decay_factor < 1.0
-            && (self.iter + 1) % self.cfg.lr_decay_every as u64 == 0
+            && (self.iter + 1).is_multiple_of(self.cfg.lr_decay_every as u64)
         {
             let f = self.cfg.lr_decay_factor;
             let lr = self.grid_d_opt.config().lr * f;
@@ -446,12 +650,11 @@ impl Trainer {
         let mlp_ff = self.model.mlp_flops_per_point() as u64 * pts;
         self.stats.merge(&WorkloadStats {
             iterations: 1,
-            rays: batch.len() as u64,
+            rays: rays as u64,
             points: pts,
             density_reads_ff: rd * pts,
             color_reads_ff: rc * pts,
-            density_writes_bp: if update_density || self.model.topology() == GridTopology::Coupled
-            {
+            density_writes_bp: if update_density || self.model.topology() == GridTopology::Coupled {
                 rd * pts
             } else {
                 0
@@ -463,13 +666,6 @@ impl Trainer {
         });
 
         self.iter += 1;
-        StepStats {
-            loss: total_loss * inv_batch,
-            rays: batch.len(),
-            points: total_points,
-            density_updated: update_density,
-            color_updated: update_color,
-        }
     }
 
     fn apply_grid_step(

@@ -15,9 +15,15 @@ use instant3d_nerf::adam::{Adam, AdamConfig};
 use instant3d_nerf::encoding::{freq_encode_into, freq_encoding_dim};
 use instant3d_nerf::field::RadianceField;
 use instant3d_nerf::math::{Aabb, Vec3};
-use instant3d_nerf::mlp::{Mlp, MlpConfig, MlpGradients, MlpWorkspace};
-use instant3d_nerf::render::{composite, composite_backward, pixel_loss, RaySample, RenderCache};
-use instant3d_nerf::sampler::{sample_pixel_batch, sample_segments};
+use instant3d_nerf::mlp::{Mlp, MlpBatchWorkspace, MlpConfig, MlpGradients, MlpWorkspace};
+use instant3d_nerf::render::{
+    composite, composite_backward, composite_backward_slices, pixel_loss, RayBatch, RayBatchCache,
+    RaySample, RenderCache,
+};
+use instant3d_nerf::sampler::{
+    sample_pixel_batch, sample_pixel_batch_into, sample_segments, sample_segments_into, Segment,
+    TrainRay,
+};
 use instant3d_scenes::Dataset;
 use rand::Rng;
 
@@ -76,7 +82,8 @@ pub struct VanillaWorkspace {
 impl VanillaNerf {
     /// Builds the model for a scene volume.
     pub fn new<R: Rng + ?Sized>(cfg: VanillaConfig, aabb: Aabb, rng: &mut R) -> Self {
-        let in_dim = freq_encoding_dim(cfg.pos_levels, true) + freq_encoding_dim(cfg.dir_levels, false);
+        let in_dim =
+            freq_encoding_dim(cfg.pos_levels, true) + freq_encoding_dim(cfg.dir_levels, false);
         let hidden: Vec<usize> = vec![cfg.hidden_dim; cfg.hidden_layers];
         // 4 outputs: raw density + rgb. Density uses TruncExp downstream;
         // keep the MLP output linear and activate per-channel ourselves.
@@ -162,14 +169,48 @@ impl RadianceField for VanillaNerf {
     }
 }
 
+/// Preallocated SoA buffers for the batched vanilla training step — the
+/// vanilla-NeRF counterpart of [`crate::batch::BatchWorkspace`].
+#[derive(Debug)]
+pub struct VanillaBatchWorkspace {
+    rays: RayBatch,
+    cache: RayBatchCache,
+    /// Frequency-encoded MLP input rows (`n × in_dim`).
+    inputs: Vec<f32>,
+    ws: MlpBatchWorkspace,
+    d_sigma: Vec<f32>,
+    d_rgb: Vec<Vec3>,
+    /// Chained output-activation gradient rows (`n × 4`).
+    d_out: Vec<f32>,
+}
+
+impl VanillaBatchWorkspace {
+    fn new(model: &VanillaNerf) -> Self {
+        VanillaBatchWorkspace {
+            rays: RayBatch::new(),
+            cache: RayBatchCache::default(),
+            inputs: Vec::new(),
+            ws: model.mlp.batch_workspace(0),
+            d_sigma: Vec::new(),
+            d_rgb: Vec::new(),
+            d_out: Vec::new(),
+        }
+    }
+}
+
 /// A minimal trainer for the vanilla baseline (no occupancy grid, no
-/// decomposition — faithful to §2.1's pipeline).
+/// decomposition — faithful to §2.1's pipeline). The default
+/// [`VanillaTrainer::step`] runs on batched SoA buffers;
+/// [`VanillaTrainer::step_scalar`] keeps the point-at-a-time reference.
 #[derive(Debug)]
 pub struct VanillaTrainer {
     model: VanillaNerf,
     opts: Vec<Adam>,
     grads: MlpGradients,
     ws: VanillaWorkspace,
+    bws: VanillaBatchWorkspace,
+    ray_scratch: Vec<TrainRay>,
+    seg_scratch: Vec<Segment>,
     cameras: Vec<instant3d_nerf::camera::Camera>,
     images: Vec<instant3d_nerf::image::RgbImage>,
     background: Vec3,
@@ -183,7 +224,10 @@ impl VanillaTrainer {
     ///
     /// Panics if the dataset has no training views.
     pub fn new<R: Rng + ?Sized>(cfg: VanillaConfig, dataset: &Dataset, rng: &mut R) -> Self {
-        assert!(!dataset.train_views.is_empty(), "dataset has no training views");
+        assert!(
+            !dataset.train_views.is_empty(),
+            "dataset has no training views"
+        );
         let model = VanillaNerf::new(cfg.clone(), dataset.aabb, rng);
         let adam = AdamConfig {
             lr: cfg.lr,
@@ -201,11 +245,15 @@ impl VanillaTrainer {
             .collect();
         let grads = model.mlp.zero_grads();
         let ws = model.workspace();
+        let bws = VanillaBatchWorkspace::new(&model);
         VanillaTrainer {
             model,
             opts,
             grads,
             ws,
+            bws,
+            ray_scratch: Vec::new(),
+            seg_scratch: Vec::new(),
             cameras: dataset.train_cameras(),
             images: dataset.train_images(),
             background: dataset.background,
@@ -223,8 +271,146 @@ impl VanillaTrainer {
         self.iter
     }
 
-    /// One training iteration; returns the batch loss.
+    /// One batched training iteration; returns the batch loss.
+    ///
+    /// Gathers all ray samples into SoA buffers, frequency-encodes them in
+    /// one sweep, runs a single batched MLP forward/backward (no per-point
+    /// re-forward), and composites per ray. RNG consumption and per-point
+    /// arithmetic match [`VanillaTrainer::step_scalar`], so the two paths
+    /// produce identical losses and parameters.
     pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f32 {
+        let cfg = self.model.cfg.clone();
+        sample_pixel_batch_into(
+            &self.cameras,
+            &self.images,
+            cfg.rays_per_batch,
+            rng,
+            &mut self.ray_scratch,
+        );
+        self.grads.zero();
+        let aabb = self.model.aabb;
+        let bws = &mut self.bws;
+        bws.rays.clear();
+        // Sampling (identical RNG order to the scalar path).
+        for tr in &self.ray_scratch {
+            sample_segments_into(
+                &tr.ray,
+                &aabb,
+                cfg.samples_per_ray,
+                Some(rng),
+                &mut self.seg_scratch,
+            );
+            for &(t, dt) in &self.seg_scratch {
+                bws.rays.push_sample(t, dt);
+            }
+            bws.rays.end_ray();
+        }
+        let n = bws.rays.num_samples();
+        let in_dim = self.model.mlp.in_dim();
+
+        // Frequency-encode every sample into the flat input rows.
+        bws.inputs.resize(n * in_dim, 0.0);
+        {
+            let mut k = 0usize;
+            for (r, tr) in self.ray_scratch.iter().enumerate() {
+                for s in bws.rays.ray_range(r) {
+                    let pos = tr.ray.at(bws.rays.t[s]);
+                    self.model.encode_input(
+                        pos,
+                        tr.ray.dir,
+                        &mut bws.inputs[k * in_dim..(k + 1) * in_dim],
+                    );
+                    k += 1;
+                }
+            }
+            debug_assert_eq!(k, n);
+        }
+
+        // One batched MLP forward, then per-channel output activations
+        // written straight into the ray batch.
+        let out = self.model.mlp.forward_batch(&bws.inputs, &mut bws.ws);
+        for i in 0..n {
+            let row = &out[i * 4..(i + 1) * 4];
+            bws.rays.sigma[i] = Activation::TruncExp.apply(row[0]);
+            bws.rays.rgb[i] = Vec3::new(
+                Activation::Sigmoid.apply(row[1]),
+                Activation::Sigmoid.apply(row[2]),
+                Activation::Sigmoid.apply(row[3]),
+            );
+        }
+
+        // Composite + loss + render backward, per ray over SoA slices.
+        // (Only the per-sample cache arrays are needed — per-ray outputs
+        // are consumed immediately in the loss loop below.)
+        bws.cache.weights.resize(n, 0.0);
+        bws.cache.trans.resize(n, 0.0);
+        bws.cache.one_minus_alpha.resize(n, 0.0);
+        bws.d_sigma.resize(n, 0.0);
+        bws.d_rgb.resize(n, Vec3::ZERO);
+        let inv = 1.0 / self.ray_scratch.len().max(1) as f32;
+        let mut total_loss = 0.0;
+        for (r, tr) in self.ray_scratch.iter().enumerate() {
+            let range = bws.rays.ray_range(r);
+            let (out, active) = instant3d_nerf::render::composite_slices(
+                &bws.rays.t[range.clone()],
+                &bws.rays.dt[range.clone()],
+                &bws.rays.sigma[range.clone()],
+                &bws.rays.rgb[range.clone()],
+                self.background,
+                Some((
+                    &mut bws.cache.weights[range.clone()],
+                    &mut bws.cache.trans[range.clone()],
+                    &mut bws.cache.one_minus_alpha[range.clone()],
+                )),
+            );
+            let (loss, d_color) = pixel_loss(out.color, tr.target);
+            total_loss += loss;
+            composite_backward_slices(
+                &bws.rays.dt[range.clone()],
+                &bws.rays.rgb[range.clone()],
+                self.background,
+                &bws.cache.weights[range.clone()],
+                &bws.cache.trans[range.clone()],
+                &bws.cache.one_minus_alpha[range.clone()],
+                active,
+                &out,
+                d_color * inv,
+                &mut bws.d_sigma[range.clone()],
+                &mut bws.d_rgb[range],
+            );
+        }
+
+        // Chain through the per-channel output activations, then one
+        // batched MLP backward over the retained activations.
+        bws.d_out.resize(n * 4, 0.0);
+        for i in 0..n {
+            let row = &mut bws.d_out[i * 4..(i + 1) * 4];
+            let (s, c) = (bws.rays.sigma[i], bws.rays.rgb[i]);
+            row[0] = bws.d_sigma[i] * s; // d/dx TruncExp = exp (unclamped range)
+            row[1] = bws.d_rgb[i].x * c.x * (1.0 - c.x);
+            row[2] = bws.d_rgb[i].y * c.y * (1.0 - c.y);
+            row[3] = bws.d_rgb[i].z * c.z * (1.0 - c.z);
+        }
+        self.model
+            .mlp
+            .backward_batch(&bws.d_out, &mut bws.ws, &mut self.grads, &mut []);
+
+        let mut idx = 0;
+        let opts = &mut self.opts;
+        self.model
+            .mlp
+            .for_each_param_mut(&self.grads, |params, grads| {
+                opts[idx].step(params, grads);
+                idx += 1;
+            });
+        self.iter += 1;
+        total_loss * inv
+    }
+
+    /// One scalar (point-at-a-time) training iteration — the reference
+    /// implementation the batched [`VanillaTrainer::step`] is gated
+    /// against; returns the batch loss.
+    pub fn step_scalar<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f32 {
         let cfg = self.model.cfg.clone();
         let batch = sample_pixel_batch(&self.cameras, &self.images, cfg.rays_per_batch, rng);
         self.grads.zero();
@@ -250,8 +436,14 @@ impl VanillaTrainer {
                 // Re-forward to restore MLP state, then backward.
                 let (sigma, rgb) = self.model.query_ws(tr.ray.at(t), tr.ray.dir, &mut self.ws);
                 debug_assert_eq!(outs[k].0, sigma);
-                self.model
-                    .backward_ws(sigma, rgb, sg.d_sigma[k], sg.d_rgb[k], &mut self.ws, &mut self.grads);
+                self.model.backward_ws(
+                    sigma,
+                    rgb,
+                    sg.d_sigma[k],
+                    sg.d_rgb[k],
+                    &mut self.ws,
+                    &mut self.grads,
+                );
             }
         }
         let mut idx = 0;
@@ -408,5 +600,26 @@ mod tests {
         let last: f32 = (0..3).map(|_| t.step(&mut rng)).sum::<f32>() / 3.0;
         assert!(last < first, "loss should decrease: {first} -> {last}");
         assert_eq!(t.iteration(), 46);
+    }
+
+    #[test]
+    fn batched_step_matches_scalar_reference() {
+        // Same RNG consumption and per-point arithmetic → identical
+        // losses and identical parameters, step for step.
+        let ds = SceneLibrary::synthetic_scene(0, 12, 3, &mut StdRng::seed_from_u64(1));
+        let mut batched = VanillaTrainer::new(small_cfg(), &ds, &mut StdRng::seed_from_u64(2));
+        let mut scalar = VanillaTrainer::new(small_cfg(), &ds, &mut StdRng::seed_from_u64(2));
+        let mut rng_a = StdRng::seed_from_u64(8);
+        let mut rng_b = StdRng::seed_from_u64(8);
+        for i in 0..4 {
+            let lb = batched.step(&mut rng_a);
+            let ls = scalar.step_scalar(&mut rng_b);
+            assert_eq!(lb, ls, "step {i}: batched vs scalar loss");
+        }
+        let probe = Vec3::new(0.4, 0.3, 0.6);
+        let (sb, cb) = batched.model().query(probe, Vec3::Z);
+        let (ss, cs) = scalar.model().query(probe, Vec3::Z);
+        assert_eq!(sb, ss);
+        assert_eq!(cb, cs);
     }
 }

@@ -1,0 +1,161 @@
+//! Golden tests gating the batched SoA engine against the scalar
+//! point-at-a-time reference implementation.
+//!
+//! The batched engine is constructed so that per-point arithmetic and
+//! per-parameter accumulation order match the scalar path exactly; these
+//! tests pin that contract (and the acceptance tolerance of 1e-5 per
+//! pixel) across topologies, workload counters, rendering, and rayon
+//! worker counts.
+
+use instant3d_core::eval::render_model_view;
+use instant3d_core::{GridTopology, TrainConfig, Trainer};
+use instant3d_scenes::{Dataset, SceneLibrary};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn dataset(seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    SceneLibrary::synthetic_scene(0, 16, 4, &mut rng)
+}
+
+fn config(topology: GridTopology) -> TrainConfig {
+    let mut cfg = TrainConfig::fast_preview();
+    cfg.topology = topology;
+    cfg
+}
+
+/// Runs `steps` iterations on two same-seeded trainers — one batched, one
+/// scalar — and asserts losses, workload counters and rendered pixels
+/// agree.
+fn check_equivalence(topology: GridTopology, steps: usize) {
+    let ds = dataset(42);
+    let mut rng_a = StdRng::seed_from_u64(7);
+    let mut rng_b = StdRng::seed_from_u64(7);
+    let mut seed_rng_a = StdRng::seed_from_u64(3);
+    let mut seed_rng_b = StdRng::seed_from_u64(3);
+    let mut batched = Trainer::new(config(topology), &ds, &mut seed_rng_a);
+    let mut scalar = Trainer::new(config(topology), &ds, &mut seed_rng_b);
+
+    for i in 0..steps {
+        let sb = batched.step(&mut rng_a);
+        let ss = scalar.step_scalar(&mut rng_b);
+        assert_eq!(sb.rays, ss.rays, "{topology:?} step {i}: ray count");
+        assert_eq!(sb.points, ss.points, "{topology:?} step {i}: point count");
+        assert_eq!(
+            sb.density_updated, ss.density_updated,
+            "{topology:?} step {i}: density schedule"
+        );
+        assert_eq!(
+            sb.color_updated, ss.color_updated,
+            "{topology:?} step {i}: color schedule"
+        );
+        assert!(
+            (sb.loss - ss.loss).abs() <= 1e-5 * (1.0 + ss.loss.abs()),
+            "{topology:?} step {i}: loss {} vs {}",
+            sb.loss,
+            ss.loss
+        );
+    }
+
+    // Identical WorkloadStats counters — the accounting the accelerator
+    // simulator consumes must not depend on the execution engine.
+    assert_eq!(
+        batched.stats(),
+        scalar.stats(),
+        "{topology:?}: WorkloadStats"
+    );
+
+    // Per-pixel agreement of the trained models within 1e-5.
+    let view = &ds.test_views[0].camera;
+    let (rgb_b, depth_b) = render_model_view(batched.model(), view, 24, ds.background);
+    let (rgb_s, depth_s) = render_model_view(scalar.model(), view, 24, ds.background);
+    for (pb, ps) in rgb_b.pixels().iter().zip(rgb_s.pixels()) {
+        for k in 0..3 {
+            assert!(
+                (pb[k] - ps[k]).abs() <= 1e-5,
+                "{topology:?}: pixel {pb:?} vs {ps:?}"
+            );
+        }
+    }
+    for (db, ds_) in depth_b.depths().iter().zip(depth_s.depths()) {
+        assert!(
+            (db - ds_).abs() <= 1e-4,
+            "{topology:?}: depth {db} vs {ds_}"
+        );
+    }
+}
+
+#[test]
+fn batched_matches_scalar_decoupled() {
+    check_equivalence(GridTopology::Decoupled, 4);
+}
+
+#[test]
+fn batched_matches_scalar_coupled() {
+    check_equivalence(GridTopology::Coupled, 4);
+}
+
+#[test]
+fn batched_matches_scalar_through_occupancy_refresh() {
+    // Long enough to cross an occupancy-grid refresh (every 16 iters in
+    // fast_preview) and a skipped color iteration.
+    let ds = dataset(11);
+    let mut rng_a = StdRng::seed_from_u64(5);
+    let mut rng_b = StdRng::seed_from_u64(5);
+    let mut seed_a = StdRng::seed_from_u64(9);
+    let mut seed_b = StdRng::seed_from_u64(9);
+    let mut batched = Trainer::new(TrainConfig::fast_preview(), &ds, &mut seed_a);
+    let mut scalar = Trainer::new(TrainConfig::fast_preview(), &ds, &mut seed_b);
+    for i in 0..20 {
+        let sb = batched.step(&mut rng_a);
+        let ss = scalar.step_scalar(&mut rng_b);
+        assert_eq!(sb.points, ss.points, "step {i}: occupancy culling diverged");
+        assert!(
+            (sb.loss - ss.loss).abs() <= 1e-5 * (1.0 + ss.loss.abs()),
+            "step {i}: loss {} vs {}",
+            sb.loss,
+            ss.loss
+        );
+    }
+    assert_eq!(batched.occupancy_fraction(), scalar.occupancy_fraction());
+    assert_eq!(batched.stats(), scalar.stats());
+}
+
+#[test]
+fn train_report_is_thread_count_invariant() {
+    // Same seed → same TrainReport, regardless of rayon worker count: all
+    // parallel writes are disjoint and all reductions run in fixed order.
+    let ds = dataset(23);
+    let run = |threads: usize| {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        pool.install(|| {
+            let mut seed = StdRng::seed_from_u64(1);
+            let mut trainer = Trainer::new(TrainConfig::fast_preview(), &ds, &mut seed);
+            let mut rng = StdRng::seed_from_u64(2);
+            trainer.train_with_eval(8, 4, Some(&ds), &mut rng)
+        })
+    };
+    let single = run(1);
+    let multi = run(8);
+    assert_eq!(
+        single, multi,
+        "TrainReport must be bit-identical across thread counts"
+    );
+}
+
+#[test]
+fn batched_is_deterministic_across_runs() {
+    let ds = dataset(31);
+    let run = || {
+        let mut seed = StdRng::seed_from_u64(4);
+        let mut trainer = Trainer::new(TrainConfig::fast_preview(), &ds, &mut seed);
+        let mut rng = StdRng::seed_from_u64(6);
+        (0..6)
+            .map(|_| trainer.step(&mut rng).loss)
+            .collect::<Vec<f32>>()
+    };
+    assert_eq!(run(), run());
+}

@@ -82,7 +82,12 @@ pub fn instant3d_accelerator() -> DeviceSpec {
 
 /// All Tab. 3 rows in paper order.
 pub fn all_specs() -> Vec<DeviceSpec> {
-    vec![jetson_nano(), jetson_tx2(), xavier_nx(), instant3d_accelerator()]
+    vec![
+        jetson_nano(),
+        jetson_tx2(),
+        xavier_nx(),
+        instant3d_accelerator(),
+    ]
 }
 
 #[cfg(test)]
@@ -127,6 +132,9 @@ mod tests {
         let s = all_specs();
         assert_eq!(s.len(), 4);
         let names: Vec<&str> = s.iter().map(|d| d.name).collect();
-        assert_eq!(names, ["Jetson Nano", "Jetson TX2", "Xavier NX", "Instant-3D"]);
+        assert_eq!(
+            names,
+            ["Jetson Nano", "Jetson TX2", "Xavier NX", "Instant-3D"]
+        );
     }
 }

@@ -76,9 +76,19 @@ impl Camera {
     /// # Panics
     ///
     /// Panics if `width`/`height` are zero or `fov_y` is not in (0, π).
-    pub fn look_at(eye: Vec3, target: Vec3, up: Vec3, fov_y: f32, width: u32, height: u32) -> Camera {
+    pub fn look_at(
+        eye: Vec3,
+        target: Vec3,
+        up: Vec3,
+        fov_y: f32,
+        width: u32,
+        height: u32,
+    ) -> Camera {
         assert!(width > 0 && height > 0, "image must be non-empty");
-        assert!(fov_y > 0.0 && fov_y < std::f32::consts::PI, "fov out of range");
+        assert!(
+            fov_y > 0.0 && fov_y < std::f32::consts::PI,
+            "fov out of range"
+        );
         Camera {
             pose: Pose::look_at(eye, target, up),
             fov_y,
@@ -120,7 +130,8 @@ impl Camera {
 
     /// Iterates all pixel-center rays in row-major order.
     pub fn rays(&self) -> impl Iterator<Item = Ray> + '_ {
-        (0..self.height).flat_map(move |y| (0..self.width).map(move |x| self.pixel_center_ray(x, y)))
+        (0..self.height)
+            .flat_map(move |y| (0..self.width).map(move |x| self.pixel_center_ray(x, y)))
     }
 }
 

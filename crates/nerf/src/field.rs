@@ -223,6 +223,6 @@ mod tests {
             f.density(Vec3::ZERO)
         }
         let b = ball();
-        assert_eq!(takes_field(&b), 50.0);
+        assert_eq!(takes_field(b), 50.0);
     }
 }

@@ -226,7 +226,10 @@ mod tests {
         let mut v = 0.001f32;
         while v < 1000.0 {
             let q = quantize(v);
-            assert!((q - v).abs() <= v * (2.0f32).powi(-11) * 1.0001, "v={v} q={q}");
+            assert!(
+                (q - v).abs() <= v * (2.0f32).powi(-11) * 1.0001,
+                "v={v} q={q}"
+            );
             v *= 1.37;
         }
     }

@@ -76,6 +76,15 @@ pub trait BranchObserver {
         corner: u8,
         addr: u32,
     );
+
+    /// Whether this observer actually consumes accesses. The batched
+    /// training engine checks this to pick between the sequential observed
+    /// grid kernels (identical capture order to the scalar path) and the
+    /// parallel unobserved ones; numeric results are identical either way.
+    #[inline]
+    fn wants_accesses(&self) -> bool {
+        true
+    }
 }
 
 /// No-op branch observer.
@@ -85,6 +94,11 @@ pub struct NullBranchObserver;
 impl BranchObserver for NullBranchObserver {
     #[inline]
     fn on_branch_access(&mut self, _: GridBranch, _: AccessPhase, _: u32, _: u8, _: u32) {}
+
+    #[inline]
+    fn wants_accesses(&self) -> bool {
+        false
+    }
 }
 
 /// Configuration of a multiresolution hash grid.
@@ -394,8 +408,8 @@ impl HashGrid {
                 obs.on_access(AccessPhase::FeedForward, l as u32, c as u8, addrs[c]);
                 let w = weights[c];
                 let src = base + addrs[c] as usize * f;
-                for k in 0..f {
-                    dst[k] += w * self.params[src + k];
+                for (d, p) in dst.iter_mut().zip(&self.params[src..src + f]) {
+                    *d += w * p;
                 }
             }
         }
@@ -416,7 +430,11 @@ impl HashGrid {
         obs: &mut O,
     ) {
         assert_eq!(d_out.len(), self.output_dim(), "gradient width mismatch");
-        assert_eq!(grads.values.len(), self.params.len(), "gradient buffer mismatch");
+        assert_eq!(
+            grads.values.len(),
+            self.params.len(),
+            "gradient buffer mismatch"
+        );
         let f = self.cfg.features_per_entry;
         for (l, level) in self.levels.iter().enumerate() {
             let (addrs, weights) = self.corners(level, unit_pos);
@@ -426,12 +444,208 @@ impl HashGrid {
                 obs.on_access(AccessPhase::BackProp, l as u32, c as u8, addrs[c]);
                 let w = weights[c];
                 let dst = base + addrs[c] as usize * f;
-                for k in 0..f {
-                    grads.values[dst + k] += w * src[k];
+                for (g, s) in grads.values[dst..dst + f].iter_mut().zip(src) {
+                    *g += w * s;
                 }
             }
         }
         grads.count += 1;
+    }
+
+    // ------------------------------------------------------------------
+    // Batched (SoA) kernels
+    // ------------------------------------------------------------------
+
+    /// Batched [`HashGrid::encode_into`]: encodes `unit_positions` into the
+    /// row-major SoA buffer `out` (`n × output_dim`), reporting reads to
+    /// `obs` in the same point-major order as the scalar kernel — per-point
+    /// results and observer streams are identical to `n` scalar calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != unit_positions.len() * self.output_dim()`.
+    pub fn encode_batch_into<O: GridAccessObserver + ?Sized>(
+        &self,
+        unit_positions: &[Vec3],
+        out: &mut [f32],
+        obs: &mut O,
+    ) {
+        let w = self.output_dim();
+        assert_eq!(
+            out.len(),
+            unit_positions.len() * w,
+            "SoA output buffer size mismatch"
+        );
+        for (p, row) in unit_positions.iter().zip(out.chunks_mut(w)) {
+            self.encode_into(*p, row, obs);
+        }
+    }
+
+    /// Unobserved batched encode, restructured level-major for SoA cache
+    /// locality: each level's table is streamed over all points before the
+    /// next level is touched. Per-point arithmetic (and therefore every
+    /// output bit) matches [`HashGrid::encode_batch_into`] exactly; only
+    /// the memory-access order differs, which is why this variant takes no
+    /// observer.
+    pub fn encode_batch_level_major(&self, unit_positions: &[Vec3], out: &mut [f32]) {
+        let w = self.output_dim();
+        assert_eq!(
+            out.len(),
+            unit_positions.len() * w,
+            "SoA output buffer size mismatch"
+        );
+        let f = self.cfg.features_per_entry;
+        for (l, level) in self.levels.iter().enumerate() {
+            let base = self.param_offsets[l];
+            let col = l * f;
+            if f == 2 {
+                // Specialised F = 2 hot loop (the paper's configuration).
+                for (i, p) in unit_positions.iter().enumerate() {
+                    let (addrs, weights) = self.corners(level, *p);
+                    let mut acc0 = 0.0f32;
+                    let mut acc1 = 0.0f32;
+                    for c in 0..8 {
+                        let src = base + addrs[c] as usize * 2;
+                        let wgt = weights[c];
+                        acc0 += wgt * self.params[src];
+                        acc1 += wgt * self.params[src + 1];
+                    }
+                    let dst = i * w + col;
+                    out[dst] = acc0;
+                    out[dst + 1] = acc1;
+                }
+            } else {
+                for (i, p) in unit_positions.iter().enumerate() {
+                    let (addrs, weights) = self.corners(level, *p);
+                    let dst = &mut out[i * w + col..i * w + col + f];
+                    dst.fill(0.0);
+                    for c in 0..8 {
+                        let wgt = weights[c];
+                        let src = base + addrs[c] as usize * f;
+                        for (d, p) in dst.iter_mut().zip(&self.params[src..src + f]) {
+                            *d += wgt * p;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Parallel unobserved batched encode: points are split into fixed-size
+    /// chunks processed on the rayon pool, each chunk running the
+    /// level-major SoA kernel. All writes are disjoint output rows, so the
+    /// result is bit-identical for any worker count.
+    pub fn par_encode_batch(&self, unit_positions: &[Vec3], out: &mut [f32]) {
+        use rayon::prelude::*;
+        let w = self.output_dim();
+        assert_eq!(
+            out.len(),
+            unit_positions.len() * w,
+            "SoA output buffer size mismatch"
+        );
+        let n = unit_positions.len();
+        const CHUNK: usize = 256;
+        if n <= CHUNK || rayon::current_num_threads() <= 1 {
+            self.encode_batch_level_major(unit_positions, out);
+            return;
+        }
+        out.par_chunks_mut(CHUNK * w)
+            .zip(unit_positions.par_chunks(CHUNK))
+            .for_each(|(out_chunk, pos_chunk)| {
+                self.encode_batch_level_major(pos_chunk, out_chunk);
+            });
+    }
+
+    /// Batched [`HashGrid::backward_into`]: scatters the row-major gradient
+    /// buffer `d_out` (`n × output_dim`) for `unit_positions` into `grads`,
+    /// point-major — results and observer stream are identical to `n`
+    /// scalar calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if buffer sizes mismatch the batch or the grid.
+    pub fn backward_batch_into<O: GridAccessObserver + ?Sized>(
+        &self,
+        unit_positions: &[Vec3],
+        d_out: &[f32],
+        grads: &mut GridGradients,
+        obs: &mut O,
+    ) {
+        let w = self.output_dim();
+        assert_eq!(
+            d_out.len(),
+            unit_positions.len() * w,
+            "SoA gradient buffer size mismatch"
+        );
+        for (p, row) in unit_positions.iter().zip(d_out.chunks(w)) {
+            self.backward_into(*p, row, grads, obs);
+        }
+    }
+
+    /// Parallel unobserved batched scatter: one task per grid level, each
+    /// owning that level's disjoint slice of the gradient buffer and
+    /// walking all points in order. Per-parameter accumulation order is
+    /// point order — exactly the scalar kernel's — so results are
+    /// bit-identical to [`HashGrid::backward_batch_into`] for any worker
+    /// count.
+    pub fn par_backward_batch(
+        &self,
+        unit_positions: &[Vec3],
+        d_out: &[f32],
+        grads: &mut GridGradients,
+    ) {
+        use rayon::prelude::*;
+        let w = self.output_dim();
+        assert_eq!(
+            d_out.len(),
+            unit_positions.len() * w,
+            "SoA gradient buffer size mismatch"
+        );
+        assert_eq!(
+            grads.values.len(),
+            self.params.len(),
+            "gradient buffer mismatch"
+        );
+        let f = self.cfg.features_per_entry;
+        // Slice the flat gradient buffer into per-level disjoint regions.
+        let mut level_slices: Vec<(usize, &mut [f32])> = Vec::with_capacity(self.levels.len());
+        let mut rest: &mut [f32] = &mut grads.values;
+        for l in 0..self.levels.len() {
+            let len = self.param_offsets[l + 1] - self.param_offsets[l];
+            let (head, tail) = rest.split_at_mut(len);
+            level_slices.push((l, head));
+            rest = tail;
+        }
+        level_slices.into_par_iter().for_each(|(l, level_grads)| {
+            let level = &self.levels[l];
+            let col = l * f;
+            if f == 2 {
+                for (i, p) in unit_positions.iter().enumerate() {
+                    let (addrs, weights) = self.corners(level, *p);
+                    let g0 = d_out[i * w + col];
+                    let g1 = d_out[i * w + col + 1];
+                    for c in 0..8 {
+                        let wgt = weights[c];
+                        let dst = addrs[c] as usize * 2;
+                        level_grads[dst] += wgt * g0;
+                        level_grads[dst + 1] += wgt * g1;
+                    }
+                }
+            } else {
+                for (i, p) in unit_positions.iter().enumerate() {
+                    let (addrs, weights) = self.corners(level, *p);
+                    let src = &d_out[i * w + col..i * w + col + f];
+                    for c in 0..8 {
+                        let wgt = weights[c];
+                        let dst = addrs[c] as usize * f;
+                        for (g, s) in level_grads[dst..dst + f].iter_mut().zip(src) {
+                            *g += wgt * s;
+                        }
+                    }
+                }
+            }
+        });
+        grads.count += unit_positions.len();
     }
 
     /// Allocates a zeroed gradient buffer shaped like this grid.
@@ -537,13 +751,8 @@ mod tests {
         let addr = crate::hash::dense_index(1, 2, 3, res) as usize;
         let f = g.config().features_per_entry;
         let base = addr * f; // level 0 param offset is 0
-        for k in 0..f {
-            assert!(
-                (emb[k] - g.params()[base + k]).abs() < 1e-5,
-                "feature {k}: {} vs {}",
-                emb[k],
-                g.params()[base + k]
-            );
+        for (k, (e, p)) in emb[..f].iter().zip(&g.params()[base..base + f]).enumerate() {
+            assert!((e - p).abs() < 1e-5, "feature {k}: {e} vs {p}");
         }
     }
 
@@ -587,16 +796,17 @@ mod tests {
     fn backward_matches_finite_difference() {
         let mut g = small_grid();
         let p = Vec3::new(0.37, 0.52, 0.81);
-        let d_out: Vec<f32> = (0..g.output_dim()).map(|i| 0.1 * (i as f32 + 1.0)).collect();
+        let d_out: Vec<f32> = (0..g.output_dim())
+            .map(|i| 0.1 * (i as f32 + 1.0))
+            .collect();
 
         let mut grads = g.zero_grads();
         g.backward_into(p, &d_out, &mut grads, &mut NullObserver);
 
         // L(params) = dot(encode(p), d_out); check dL/dparam via FD on a few
         // touched parameters.
-        let loss = |g: &HashGrid| -> f32 {
-            g.encode(p).iter().zip(&d_out).map(|(a, b)| a * b).sum()
-        };
+        let loss =
+            |g: &HashGrid| -> f32 { g.encode(p).iter().zip(&d_out).map(|(a, b)| a * b).sum() };
         let eps = 1e-3;
         let touched: Vec<usize> = grads
             .values

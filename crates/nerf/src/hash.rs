@@ -58,7 +58,14 @@ pub enum AddressMode {
 
 /// Computes a vertex address under the given mode.
 #[inline]
-pub fn vertex_address(mode: AddressMode, x: u32, y: u32, z: u32, resolution: u32, table_size: u32) -> u32 {
+pub fn vertex_address(
+    mode: AddressMode,
+    x: u32,
+    y: u32,
+    z: u32,
+    resolution: u32,
+    table_size: u32,
+) -> u32 {
     match mode {
         AddressMode::Dense => dense_index(x, y, z, resolution),
         AddressMode::Hashed => spatial_hash(x, y, z, table_size),
@@ -168,7 +175,10 @@ mod tests {
             }
         }
         let avg = sum / n as f64;
-        assert!(avg > 10_000.0, "inter-group avg distance {avg} should be large");
+        assert!(
+            avg > 10_000.0,
+            "inter-group avg distance {avg} should be large"
+        );
     }
 
     #[test]
@@ -190,8 +200,7 @@ mod tests {
 
     #[test]
     fn corner_groups_pair_x_neighbours() {
-        for c in 0..8 {
-            let (dx0, dy0, dz0) = CORNER_OFFSETS[c];
+        for (c, &(dx0, dy0, dz0)) in CORNER_OFFSETS.iter().enumerate() {
             let g = corner_group(c);
             // The two corners in a group share (dy, dz).
             let partner = c ^ 1;

@@ -177,7 +177,11 @@ impl DepthImage {
 
     /// The largest finite depth (used to normalise for PSNR).
     pub fn max_depth(&self) -> f32 {
-        self.depths.iter().copied().filter(|d| d.is_finite()).fold(0.0, f32::max)
+        self.depths
+            .iter()
+            .copied()
+            .filter(|d| d.is_finite())
+            .fold(0.0, f32::max)
     }
 
     /// Mean squared error against another depth image, with both images

@@ -11,10 +11,15 @@
 //! * [`hash`] — the spatial hash of Eq. 3 (`h = (π₁x ⊕ π₂y ⊕ π₃z) mod T`).
 //! * [`grid`] — the multiresolution hash-grid encoding of Instant-NGP
 //!   (Step ③-①): trilinear interpolation forward and gradient scatter
-//!   backward, with optional access observers for trace capture.
+//!   backward, with optional access observers for trace capture. Batched
+//!   SoA kernels (`encode_batch_into`, `par_encode_batch`,
+//!   `backward_batch_into`, `par_backward_batch`) process whole point
+//!   batches — level-major for cache locality, level-parallel for the
+//!   scatter — with bit-identical results to the scalar kernels.
 //! * [`sh`] — spherical-harmonics direction encoding for the color head.
 //! * [`mlp`] — small fully-connected networks with hand-derived backprop
-//!   (Step ③-②).
+//!   (Step ③-②); `forward_batch` / `backward_batch` run whole batches
+//!   over retained row-major activations (no re-forward in backward).
 //! * [`adam`] — the Adam optimizer used for both grids and MLPs.
 //! * [`render`] — classical volume rendering (Eq. 1), forward and backward
 //!   (Steps ④–⑥).

@@ -10,6 +10,7 @@
 
 use crate::activation::Activation;
 use rand::Rng;
+use rayon::prelude::*;
 
 /// Shape and activation of one dense layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -165,6 +166,39 @@ pub struct MlpWorkspace {
     d_next: Vec<f32>,
 }
 
+/// Reusable SoA scratch for batched forward/backward passes: row-major
+/// activations for every item of a batch, retained between the forward and
+/// backward pass so the backward never re-runs the forward (the scalar
+/// training path re-forwards per point to rebuild activations).
+///
+/// All buffers grow once to the high-water batch size and are reused —
+/// zero steady-state allocation.
+#[derive(Debug, Clone)]
+pub struct MlpBatchWorkspace {
+    /// Items currently stored (set by the last `forward_batch`).
+    n: usize,
+    /// acts[0] is the input copy (`n × in_dim`); acts[i+1] is layer i's
+    /// activated output (`n × out_dim_i`), row-major.
+    acts: Vec<Vec<f32>>,
+    /// pre[i] is layer i's pre-activation (`n × out_dim_i`), row-major.
+    pre: Vec<Vec<f32>>,
+    /// Backward scratch (`n × width` of the layer being processed).
+    d_cur: Vec<f32>,
+    d_next: Vec<f32>,
+}
+
+impl MlpBatchWorkspace {
+    /// Items stored by the most recent `forward_batch`.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True before any batch has been run.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+}
+
 /// Per-layer gradient buffers, shape-matched to an [`Mlp`].
 #[derive(Debug, Clone)]
 pub struct MlpGradients {
@@ -298,9 +332,17 @@ impl Mlp {
         grads: &mut MlpGradients,
         d_input: &mut [f32],
     ) {
-        assert_eq!(d_output.len(), self.out_dim(), "output gradient width mismatch");
+        assert_eq!(
+            d_output.len(),
+            self.out_dim(),
+            "output gradient width mismatch"
+        );
         if !d_input.is_empty() {
-            assert_eq!(d_input.len(), self.in_dim(), "input gradient width mismatch");
+            assert_eq!(
+                d_input.len(),
+                self.in_dim(),
+                "input gradient width mismatch"
+            );
         }
         ws.d_cur[..d_output.len()].copy_from_slice(d_output);
         for (i, layer) in self.layers.iter().enumerate().rev() {
@@ -331,6 +373,258 @@ impl Mlp {
             d_input.copy_from_slice(&ws.d_cur[..self.in_dim()]);
         }
         grads.count += 1;
+    }
+
+    // ------------------------------------------------------------------
+    // Batched (SoA) passes
+    // ------------------------------------------------------------------
+
+    /// Allocates a batch workspace; buffers grow lazily to the high-water
+    /// batch size, so `capacity` is only a pre-sizing hint.
+    pub fn batch_workspace(&self, capacity: usize) -> MlpBatchWorkspace {
+        let mut ws = MlpBatchWorkspace {
+            n: 0,
+            acts: vec![Vec::new(); self.layers.len() + 1],
+            pre: vec![Vec::new(); self.layers.len()],
+            d_cur: Vec::new(),
+            d_next: Vec::new(),
+        };
+        self.reserve_batch(&mut ws, capacity);
+        ws
+    }
+
+    fn widest(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| l.spec.in_dim.max(l.spec.out_dim))
+            .max()
+            .unwrap()
+    }
+
+    fn reserve_batch(&self, ws: &mut MlpBatchWorkspace, n: usize) {
+        ws.acts[0].resize(n * self.in_dim(), 0.0);
+        for (i, l) in self.layers.iter().enumerate() {
+            ws.acts[i + 1].resize(n * l.spec.out_dim, 0.0);
+            ws.pre[i].resize(n * l.spec.out_dim, 0.0);
+        }
+        let widest = self.widest();
+        ws.d_cur.resize(n * widest, 0.0);
+        ws.d_next.resize(n * widest, 0.0);
+    }
+
+    /// Items per parallel chunk, or `None` when the batch is too small for
+    /// parallelism to pay off.
+    fn par_item_chunk(n: usize, work_per_item: usize) -> Option<usize> {
+        let threads = rayon::current_num_threads();
+        if threads <= 1 || n.saturating_mul(work_per_item) < (1 << 15) || n < 64 {
+            return None;
+        }
+        Some(n.div_ceil(threads * 4).max(16))
+    }
+
+    /// Batched forward pass over `n = inputs.len() / in_dim` row-major
+    /// items; returns the `n × out_dim` output slice living inside `ws`.
+    ///
+    /// Per-item arithmetic is identical to [`Mlp::forward`], and all
+    /// parallel writes are disjoint rows, so results are bit-identical to
+    /// the scalar path for any worker count. Activations stay in `ws` for
+    /// [`Mlp::backward_batch`] — no re-forward needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` is not a multiple of `self.in_dim()`.
+    pub fn forward_batch<'w>(&self, inputs: &[f32], ws: &'w mut MlpBatchWorkspace) -> &'w [f32] {
+        let iw = self.in_dim();
+        assert_eq!(inputs.len() % iw, 0, "input batch width mismatch");
+        let n = inputs.len() / iw;
+        ws.n = n;
+        self.reserve_batch(ws, n);
+        ws.acts[0][..n * iw].copy_from_slice(inputs);
+        for (i, layer) in self.layers.iter().enumerate() {
+            let spec = layer.spec;
+            let (head, tail) = ws.acts.split_at_mut(i + 1);
+            let x = &head[i][..n * spec.in_dim];
+            let y = &mut tail[0][..n * spec.out_dim];
+            let pre = &mut ws.pre[i][..n * spec.out_dim];
+            match Self::par_item_chunk(n, layer.flops()) {
+                Some(chunk) => {
+                    y.par_chunks_mut(chunk * spec.out_dim)
+                        .zip(pre.par_chunks_mut(chunk * spec.out_dim))
+                        .zip(x.par_chunks(chunk * spec.in_dim))
+                        .for_each(|((yc, prec), xc)| {
+                            let rows = yc.len() / spec.out_dim;
+                            for r in 0..rows {
+                                layer.forward_into(
+                                    &xc[r * spec.in_dim..(r + 1) * spec.in_dim],
+                                    &mut prec[r * spec.out_dim..(r + 1) * spec.out_dim],
+                                    &mut yc[r * spec.out_dim..(r + 1) * spec.out_dim],
+                                );
+                            }
+                        });
+                }
+                None => {
+                    for r in 0..n {
+                        layer.forward_into(
+                            &x[r * spec.in_dim..(r + 1) * spec.in_dim],
+                            &mut pre[r * spec.out_dim..(r + 1) * spec.out_dim],
+                            &mut y[r * spec.out_dim..(r + 1) * spec.out_dim],
+                        );
+                    }
+                }
+            }
+        }
+        &ws.acts.last().unwrap()[..n * self.out_dim()]
+    }
+
+    /// Batched backward pass for the most recent [`Mlp::forward_batch`] on
+    /// `ws` (`d_output` is `n × out_dim`, row-major).
+    ///
+    /// Accumulates parameter gradients into `grads` (per-parameter
+    /// accumulation runs in item order, matching `n` scalar
+    /// [`Mlp::backward`] calls bit-for-bit) and writes the input gradients
+    /// into `d_input` (`n × in_dim`; pass an empty slice to skip).
+    /// Parallelism: items for the activation/input-gradient sweeps, output
+    /// *rows* for the parameter-gradient sweep — every write is disjoint,
+    /// so results do not depend on the worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if buffer widths mismatch the workspace batch.
+    pub fn backward_batch(
+        &self,
+        d_output: &[f32],
+        ws: &mut MlpBatchWorkspace,
+        grads: &mut MlpGradients,
+        d_input: &mut [f32],
+    ) {
+        let n = ws.n;
+        let ow_last = self.out_dim();
+        assert_eq!(
+            d_output.len(),
+            n * ow_last,
+            "output gradient batch mismatch"
+        );
+        if !d_input.is_empty() {
+            assert_eq!(
+                d_input.len(),
+                n * self.in_dim(),
+                "input gradient batch mismatch"
+            );
+        }
+        let MlpBatchWorkspace {
+            acts,
+            pre,
+            d_cur,
+            d_next,
+            ..
+        } = ws;
+        d_cur[..n * ow_last].copy_from_slice(d_output);
+        for (i, layer) in self.layers.iter().enumerate().rev() {
+            let spec = layer.spec;
+            let (ow, iw) = (spec.out_dim, spec.in_dim);
+            let x = &acts[i][..n * iw];
+            let y = &acts[i + 1][..n * ow];
+            let pre_l = &pre[i][..n * ow];
+            // dz = dy ⊙ act'(pre), in place over the n×ow prefix.
+            match Self::par_item_chunk(n, ow) {
+                Some(chunk) => {
+                    d_cur[..n * ow]
+                        .par_chunks_mut(chunk * ow)
+                        .zip(pre_l.par_chunks(chunk * ow))
+                        .zip(y.par_chunks(chunk * ow))
+                        .for_each(|((dc, prec), yc)| {
+                            for ((d, p), a) in dc.iter_mut().zip(prec).zip(yc) {
+                                *d *= spec.activation.derivative(*p, *a);
+                            }
+                        });
+                }
+                None => {
+                    for ((d, p), a) in d_cur[..n * ow].iter_mut().zip(pre_l).zip(y) {
+                        *d *= spec.activation.derivative(*p, *a);
+                    }
+                }
+            }
+            let dz = &d_cur[..n * ow];
+            // Parameter gradients, parallel over disjoint output rows.
+            // Item-outer iteration keeps each input row hot across every
+            // output row; per-parameter accumulation stays in item order,
+            // so results match the scalar path bit-for-bit.
+            let (gw, gb) = &mut grads.layers[i];
+            let accumulate_rows = |o0: usize, gw_rows: &mut [f32], gb_rows: &mut [f32]| {
+                let rows = gb_rows.len();
+                for item in 0..n {
+                    let xr = &x[item * iw..(item + 1) * iw];
+                    let dzr = &dz[item * ow..(item + 1) * ow];
+                    for j in 0..rows {
+                        let d = dzr[o0 + j];
+                        gb_rows[j] += d;
+                        let grow = &mut gw_rows[j * iw..(j + 1) * iw];
+                        for (g, xv) in grow.iter_mut().zip(xr) {
+                            *g += d * xv;
+                        }
+                    }
+                }
+            };
+            let row_chunk = if Self::par_item_chunk(n, iw * ow).is_some() {
+                ow.div_ceil(rayon::current_num_threads().max(1) * 2).max(1)
+            } else {
+                ow
+            };
+            if row_chunk >= ow {
+                accumulate_rows(0, gw, gb);
+            } else {
+                gw.par_chunks_mut(row_chunk * iw)
+                    .zip(gb.par_chunks_mut(row_chunk))
+                    .enumerate()
+                    .for_each(|(t, (gwc, gbc))| accumulate_rows(t * row_chunk, gwc, gbc));
+            }
+            // Input gradient d_next = Wᵀ dz, parallel over items. The
+            // first layer's input gradient is dead when the caller passes
+            // an empty `d_input` — skip it entirely.
+            if i == 0 && d_input.is_empty() {
+                break;
+            }
+            let w_flat = &layer.w;
+            match Self::par_item_chunk(n, iw * ow) {
+                Some(chunk) => {
+                    d_next[..n * iw]
+                        .par_chunks_mut(chunk * iw)
+                        .zip(dz.par_chunks(chunk * ow))
+                        .for_each(|(dnc, dzc)| {
+                            let rows = dnc.len() / iw;
+                            for r in 0..rows {
+                                let dn = &mut dnc[r * iw..(r + 1) * iw];
+                                dn.fill(0.0);
+                                for o in 0..ow {
+                                    let d = dzc[r * ow + o];
+                                    let wr = &w_flat[o * iw..(o + 1) * iw];
+                                    for (acc, wv) in dn.iter_mut().zip(wr) {
+                                        *acc += d * wv;
+                                    }
+                                }
+                            }
+                        });
+                }
+                None => {
+                    for r in 0..n {
+                        let dn = &mut d_next[r * iw..(r + 1) * iw];
+                        dn.fill(0.0);
+                        for o in 0..ow {
+                            let d = dz[r * ow + o];
+                            let wr = &w_flat[o * iw..(o + 1) * iw];
+                            for (acc, wv) in dn.iter_mut().zip(wr) {
+                                *acc += d * wv;
+                            }
+                        }
+                    }
+                }
+            }
+            std::mem::swap(d_cur, d_next);
+        }
+        if !d_input.is_empty() {
+            d_input.copy_from_slice(&d_cur[..n * self.in_dim()]);
+        }
+        grads.count += n;
     }
 
     /// Visits all parameters as `(params, grads)` slice pairs, in a fixed
@@ -448,10 +742,20 @@ mod tests {
         for i in 0..4 {
             let mut xp = x;
             xp[i] += eps;
-            let lp: f32 = m.forward(&xp, &mut ws).iter().zip(&d_out).map(|(a, b)| a * b).sum();
+            let lp: f32 = m
+                .forward(&xp, &mut ws)
+                .iter()
+                .zip(&d_out)
+                .map(|(a, b)| a * b)
+                .sum();
             let mut xm = x;
             xm[i] -= eps;
-            let lm: f32 = m.forward(&xm, &mut ws).iter().zip(&d_out).map(|(a, b)| a * b).sum();
+            let lm: f32 = m
+                .forward(&xm, &mut ws)
+                .iter()
+                .zip(&d_out)
+                .map(|(a, b)| a * b)
+                .sum();
             let fd = (lp - lm) / (2.0 * eps);
             assert!(
                 (fd - d_in[i]).abs() < 1e-2 * (1.0 + d_in[i].abs()),

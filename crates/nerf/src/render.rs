@@ -156,6 +156,209 @@ pub fn composite_backward(
     grads
 }
 
+// ---------------------------------------------------------------------------
+// Batched (SoA) compositing
+// ---------------------------------------------------------------------------
+
+/// A batch of rays in structure-of-arrays form: per-sample attributes live
+/// in flat arrays, with `offsets` marking each ray's sample range. This is
+/// the zero-allocation replacement for per-ray `Vec<RaySample>` lists in
+/// the batched training engine — buffers are cleared and refilled each
+/// iteration, growing once to the high-water mark.
+#[derive(Debug, Clone, Default)]
+pub struct RayBatch {
+    /// Ray `r` owns samples `offsets[r]..offsets[r+1]`. Always non-empty;
+    /// starts as `[0]`.
+    offsets: Vec<usize>,
+    /// Distance from the ray origin, per sample.
+    pub t: Vec<f32>,
+    /// Segment length δ, per sample.
+    pub dt: Vec<f32>,
+    /// Volume density σ, per sample (filled by the model's batched heads).
+    pub sigma: Vec<f32>,
+    /// Emitted RGB, per sample (filled by the model's batched heads).
+    pub rgb: Vec<Vec3>,
+}
+
+impl RayBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        RayBatch {
+            offsets: vec![0],
+            ..RayBatch::default()
+        }
+    }
+
+    /// Clears all rays and samples, keeping buffer capacity.
+    pub fn clear(&mut self) {
+        self.offsets.clear();
+        self.offsets.push(0);
+        self.t.clear();
+        self.dt.clear();
+        self.sigma.clear();
+        self.rgb.clear();
+    }
+
+    /// Appends a sample to the ray currently being built.
+    #[inline]
+    pub fn push_sample(&mut self, t: f32, dt: f32) {
+        self.t.push(t);
+        self.dt.push(dt);
+        self.sigma.push(0.0);
+        self.rgb.push(Vec3::ZERO);
+    }
+
+    /// Finishes the ray currently being built (possibly with no samples).
+    #[inline]
+    pub fn end_ray(&mut self) {
+        self.offsets.push(self.t.len());
+    }
+
+    /// Number of completed rays.
+    pub fn num_rays(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total samples across all completed rays.
+    pub fn num_samples(&self) -> usize {
+        self.t.len()
+    }
+
+    /// The flat sample range of ray `r`.
+    #[inline]
+    pub fn ray_range(&self, r: usize) -> std::ops::Range<usize> {
+        self.offsets[r]..self.offsets[r + 1]
+    }
+}
+
+/// Flat per-sample compositing state for a whole [`RayBatch`], retained for
+/// the backward pass (the SoA counterpart of [`RenderCache`]).
+#[derive(Debug, Clone, Default)]
+pub struct RayBatchCache {
+    /// Compositing weight w_k, per sample (valid up to each ray's `active`).
+    pub weights: Vec<f32>,
+    /// Transmittance entering each sample.
+    pub trans: Vec<f32>,
+    /// `1 − α_k` per sample.
+    pub one_minus_alpha: Vec<f32>,
+    /// Samples actually integrated per ray (early termination truncates).
+    pub active: Vec<usize>,
+    /// Forward output per ray.
+    pub outputs: Vec<RenderOutput>,
+}
+
+impl RayBatchCache {
+    /// Resizes every buffer for `batch`, keeping capacity across calls.
+    pub fn reserve_for(&mut self, batch: &RayBatch) {
+        let n = batch.num_samples();
+        self.weights.resize(n, 0.0);
+        self.trans.resize(n, 0.0);
+        self.one_minus_alpha.resize(n, 0.0);
+        self.active.resize(batch.num_rays(), 0);
+        self.outputs
+            .resize(batch.num_rays(), RenderOutput::default());
+    }
+}
+
+/// Composites one ray given as SoA slices; cache slices (same length as the
+/// sample slices) receive per-sample state and the integrated sample count.
+/// Arithmetic is identical to [`composite`] — outputs agree bit-for-bit.
+pub fn composite_slices(
+    t: &[f32],
+    dt: &[f32],
+    sigma: &[f32],
+    rgb: &[Vec3],
+    background: Vec3,
+    mut cache: Option<(&mut [f32], &mut [f32], &mut [f32])>,
+) -> (RenderOutput, usize) {
+    let mut color = Vec3::ZERO;
+    let mut depth = 0.0f32;
+    let mut opacity = 0.0f32;
+    let mut trans = 1.0f32;
+    let mut active = 0usize;
+    for k in 0..t.len() {
+        debug_assert!(sigma[k] >= 0.0, "density must be non-negative");
+        let one_minus_alpha = (-sigma[k] * dt[k]).exp();
+        let alpha = 1.0 - one_minus_alpha;
+        let w = trans * alpha;
+        if let Some((cw, ct, co)) = cache.as_mut() {
+            cw[k] = w;
+            ct[k] = trans;
+            co[k] = one_minus_alpha;
+        }
+        color += rgb[k] * w;
+        depth += t[k] * w;
+        opacity += w;
+        trans *= one_minus_alpha;
+        active = k + 1;
+        if trans < EARLY_STOP_TRANSMITTANCE {
+            break;
+        }
+    }
+    color += background * trans;
+    (
+        RenderOutput {
+            color,
+            depth,
+            opacity,
+            transmittance: trans,
+        },
+        active,
+    )
+}
+
+/// Backward pass of [`composite_slices`]: writes dL/dσ and dL/dc for every
+/// sample into the SoA gradient slices (zeros past `active`, exactly like
+/// [`composite_backward`]).
+#[allow(clippy::too_many_arguments)]
+pub fn composite_backward_slices(
+    dt: &[f32],
+    rgb: &[Vec3],
+    background: Vec3,
+    weights: &[f32],
+    trans: &[f32],
+    one_minus_alpha: &[f32],
+    active: usize,
+    out: &RenderOutput,
+    d_color: Vec3,
+    d_sigma: &mut [f32],
+    d_rgb: &mut [Vec3],
+) {
+    debug_assert!(active <= dt.len());
+    d_sigma.fill(0.0);
+    d_rgb.fill(Vec3::ZERO);
+    let mut suffix = background * out.transmittance;
+    for k in (0..active).rev() {
+        let w = weights[k];
+        d_rgb[k] = d_color * w;
+        let dc_dsigma = (rgb[k] * (trans[k] * one_minus_alpha[k]) - suffix) * dt[k];
+        d_sigma[k] = d_color.dot(dc_dsigma);
+        suffix += rgb[k] * w;
+    }
+}
+
+/// Composites every ray of `batch` front-to-back, filling `cache`.
+pub fn composite_batch(batch: &RayBatch, background: Vec3, cache: &mut RayBatchCache) {
+    cache.reserve_for(batch);
+    for r in 0..batch.num_rays() {
+        let range = batch.ray_range(r);
+        let (out, active) = composite_slices(
+            &batch.t[range.clone()],
+            &batch.dt[range.clone()],
+            &batch.sigma[range.clone()],
+            &batch.rgb[range.clone()],
+            background,
+            Some((
+                &mut cache.weights[range.clone()],
+                &mut cache.trans[range.clone()],
+                &mut cache.one_minus_alpha[range],
+            )),
+        );
+        cache.outputs[r] = out;
+        cache.active[r] = active;
+    }
+}
+
 /// Squared-error loss between a predicted and ground-truth pixel (Eq. 2
 /// contribution of one ray) and its gradient dL/dĈ.
 #[inline]

@@ -19,24 +19,38 @@ pub fn sample_segments<R: Rng + ?Sized>(
     ray: &Ray,
     aabb: &Aabb,
     n: usize,
-    mut jitter: Option<&mut R>,
+    jitter: Option<&mut R>,
 ) -> Vec<Segment> {
+    let mut out = Vec::new();
+    sample_segments_into(ray, aabb, n, jitter, &mut out);
+    out
+}
+
+/// Allocation-free [`sample_segments`]: clears `out` and refills it. The
+/// RNG consumption is identical, so both variants produce the same stream.
+pub fn sample_segments_into<R: Rng + ?Sized>(
+    ray: &Ray,
+    aabb: &Aabb,
+    n: usize,
+    mut jitter: Option<&mut R>,
+    out: &mut Vec<Segment>,
+) {
+    out.clear();
     let Some((t0, t1)) = aabb.intersect(ray) else {
-        return Vec::new();
+        return;
     };
     if t1 <= t0 || n == 0 {
-        return Vec::new();
+        return;
     }
     let dt = (t1 - t0) / n as f32;
-    (0..n)
-        .map(|k| {
-            let u = match jitter.as_deref_mut() {
-                Some(rng) => rng.gen_range(0.0..1.0),
-                None => 0.5,
-            };
-            (t0 + (k as f32 + u) * dt, dt)
-        })
-        .collect()
+    out.reserve(n);
+    for k in 0..n {
+        let u = match jitter.as_deref_mut() {
+            Some(rng) => rng.gen_range(0.0..1.0),
+            None => 0.5,
+        };
+        out.push((t0 + (k as f32 + u) * dt, dt));
+    }
 }
 
 /// Like [`sample_segments`], but drops segments whose sample point falls in
@@ -78,24 +92,47 @@ pub fn sample_pixel_batch<R: Rng + ?Sized>(
     batch: usize,
     rng: &mut R,
 ) -> Vec<TrainRay> {
+    let mut out = Vec::new();
+    sample_pixel_batch_into(cameras, images, batch, rng, &mut out);
+    out
+}
+
+/// Allocation-free [`sample_pixel_batch`]: clears `out` and refills it.
+/// The RNG consumption is identical, so both variants produce the same
+/// batch for the same generator state.
+///
+/// # Panics
+///
+/// Same contract as [`sample_pixel_batch`].
+pub fn sample_pixel_batch_into<R: Rng + ?Sized>(
+    cameras: &[Camera],
+    images: &[RgbImage],
+    batch: usize,
+    rng: &mut R,
+    out: &mut Vec<TrainRay>,
+) {
     assert!(!cameras.is_empty(), "need at least one training view");
     assert_eq!(cameras.len(), images.len(), "camera/image count mismatch");
     for (c, i) in cameras.iter().zip(images) {
-        assert_eq!((c.width, c.height), (i.width(), i.height()), "image/camera size mismatch");
+        assert_eq!(
+            (c.width, c.height),
+            (i.width(), i.height()),
+            "image/camera size mismatch"
+        );
     }
-    (0..batch)
-        .map(|_| {
-            let view = rng.gen_range(0..cameras.len());
-            let cam = &cameras[view];
-            let x = rng.gen_range(0..cam.width);
-            let y = rng.gen_range(0..cam.height);
-            TrainRay {
-                ray: cam.pixel_center_ray(x, y),
-                target: images[view].get(x, y),
-                view,
-            }
-        })
-        .collect()
+    out.clear();
+    out.reserve(batch);
+    for _ in 0..batch {
+        let view = rng.gen_range(0..cameras.len());
+        let cam = &cameras[view];
+        let x = rng.gen_range(0..cam.width);
+        let y = rng.gen_range(0..cam.height);
+        out.push(TrainRay {
+            ray: cam.pixel_center_ray(x, y),
+            target: images[view].get(x, y),
+            view,
+        });
+    }
 }
 
 #[cfg(test)]
@@ -124,7 +161,11 @@ mod tests {
         let segs = sample_segments(&ray, &Aabb::UNIT, 8, Some(&mut rng));
         for (k, &(t, dt)) in segs.iter().enumerate() {
             let lo = 1.0 + k as f32 * dt;
-            assert!(t >= lo && t <= lo + dt, "sample {k} at {t} outside [{lo}, {}]", lo + dt);
+            assert!(
+                t >= lo && t <= lo + dt,
+                "sample {k} at {t} outside [{lo}, {}]",
+                lo + dt
+            );
         }
     }
 
@@ -147,7 +188,11 @@ mod tests {
             assert!(t < 1.5 + 1e-4, "sample at t={t} should have been culled");
         }
         // Roughly half the samples survive.
-        assert!(segs.len() >= 24 && segs.len() <= 40, "{} survived", segs.len());
+        assert!(
+            segs.len() >= 24 && segs.len() <= 40,
+            "{} survived",
+            segs.len()
+        );
     }
 
     #[test]
@@ -155,7 +200,7 @@ mod tests {
         let cam = Camera::look_at(Vec3::new(0.0, 0.0, 2.0), Vec3::ZERO, Vec3::Y, 1.0, 8, 8);
         let img = RgbImage::from_fn(8, 8, |x, y| Vec3::new(x as f32 / 8.0, y as f32 / 8.0, 0.0));
         let mut rng = StdRng::seed_from_u64(5);
-        let batch = sample_pixel_batch(&[cam], &[img.clone()], 32, &mut rng);
+        let batch = sample_pixel_batch(&[cam], std::slice::from_ref(&img), 32, &mut rng);
         assert_eq!(batch.len(), 32);
         for tr in &batch {
             assert_eq!(tr.view, 0);

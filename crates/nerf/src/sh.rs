@@ -23,7 +23,11 @@ pub const fn sh_basis_size(degree: usize) -> usize {
 /// `out.len() != degree * degree`.
 pub fn sh_encode_into(d: Vec3, degree: usize, out: &mut [f32]) {
     assert!((1..=4).contains(&degree), "supported SH degrees: 1..=4");
-    assert_eq!(out.len(), sh_basis_size(degree), "output buffer size mismatch");
+    assert_eq!(
+        out.len(),
+        sh_basis_size(degree),
+        "output buffer size mismatch"
+    );
     let (x, y, z) = (d.x, d.y, d.z);
 
     out[0] = 0.282_094_79; // l=0
@@ -105,6 +109,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // symmetric Gram-matrix indexing
     fn basis_is_orthonormal_under_sphere_integration() {
         // Monte-Carlo check: ∫ Y_i Y_j dΩ ≈ δ_ij. With a Fibonacci sphere
         // the quadrature weight is 4π/n per sample.
@@ -122,7 +127,11 @@ mod tests {
         for i in 0..16 {
             assert!((gram[i][i] - 1.0).abs() < 0.05, "diag {i}: {}", gram[i][i]);
             for j in (i + 1)..16 {
-                assert!(gram[i][j].abs() < 0.05, "off-diag ({i},{j}): {}", gram[i][j]);
+                assert!(
+                    gram[i][j].abs() < 0.05,
+                    "off-diag ({i},{j}): {}",
+                    gram[i][j]
+                );
             }
         }
     }

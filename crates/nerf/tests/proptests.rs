@@ -251,4 +251,193 @@ proptest! {
         let (lo, hi) = if a < b { (a, b) } else { (b, a) };
         prop_assert!(psnr(lo, 1.0) >= psnr(hi, 1.0));
     }
+
+    // ---------- batched SoA kernels vs scalar reference ----------
+
+    #[test]
+    fn grid_encode_batch_matches_scalar(
+        pts in prop::collection::vec((0.0f32..1.0, 0.0f32..1.0, 0.0f32..1.0), 1..64),
+        seed in 0u64..32)
+    {
+        let cfg = HashGridConfig {
+            levels: 3,
+            log2_table_size: 10,
+            base_resolution: 4,
+            max_resolution: 32,
+            store_fp16: false,
+            ..HashGridConfig::default()
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let grid = HashGrid::new_random(cfg, &mut rng);
+        let positions: Vec<Vec3> = pts.iter().map(|&(x, y, z)| Vec3::new(x, y, z)).collect();
+        let w = grid.output_dim();
+
+        let mut batched = vec![0.0f32; positions.len() * w];
+        grid.encode_batch_into(&positions, &mut batched, &mut NullObserver);
+        let mut level_major = vec![0.0f32; positions.len() * w];
+        grid.encode_batch_level_major(&positions, &mut level_major);
+        let mut parallel = vec![0.0f32; positions.len() * w];
+        grid.par_encode_batch(&positions, &mut parallel);
+
+        for (i, p) in positions.iter().enumerate() {
+            let scalar = grid.encode(*p);
+            prop_assert_eq!(&batched[i * w..(i + 1) * w], &scalar[..], "point-major row {}", i);
+            prop_assert_eq!(&level_major[i * w..(i + 1) * w], &scalar[..], "level-major row {}", i);
+            prop_assert_eq!(&parallel[i * w..(i + 1) * w], &scalar[..], "parallel row {}", i);
+        }
+    }
+
+    #[test]
+    fn grid_backward_batch_matches_scalar(
+        pts in prop::collection::vec((0.0f32..1.0, 0.0f32..1.0, 0.0f32..1.0), 1..48),
+        scale in 0.1f32..2.0)
+    {
+        let cfg = HashGridConfig {
+            levels: 3,
+            log2_table_size: 8,
+            base_resolution: 4,
+            max_resolution: 16,
+            store_fp16: false,
+            ..HashGridConfig::default()
+        };
+        let grid = HashGrid::new(cfg);
+        let positions: Vec<Vec3> = pts.iter().map(|&(x, y, z)| Vec3::new(x, y, z)).collect();
+        let w = grid.output_dim();
+        let d_out: Vec<f32> = (0..positions.len() * w)
+            .map(|i| scale * ((i % 7) as f32 - 3.0))
+            .collect();
+
+        // Scalar reference: one backward_into per point, in order.
+        let mut scalar = grid.zero_grads();
+        for (i, p) in positions.iter().enumerate() {
+            grid.backward_into(*p, &d_out[i * w..(i + 1) * w], &mut scalar, &mut NullObserver);
+        }
+        // Batched point-major and parallel level-major scatters.
+        let mut batched = grid.zero_grads();
+        grid.backward_batch_into(&positions, &d_out, &mut batched, &mut NullObserver);
+        let mut parallel = grid.zero_grads();
+        grid.par_backward_batch(&positions, &d_out, &mut parallel);
+
+        prop_assert_eq!(&batched.values, &scalar.values);
+        prop_assert_eq!(batched.count, scalar.count);
+        prop_assert_eq!(&parallel.values, &scalar.values);
+        prop_assert_eq!(parallel.count, scalar.count);
+    }
+
+    #[test]
+    fn mlp_forward_batch_matches_scalar(
+        rows in prop::collection::vec((0.0f32..1.0, -1.0f32..1.0, 0.0f32..1.0, -1.0f32..1.0), 1..48),
+        seed in 0u64..32)
+    {
+        use instant3d_nerf::mlp::{Mlp, MlpConfig};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mlp = Mlp::new(
+            MlpConfig::new(4, &[8, 8], 3, Activation::Relu, Activation::Sigmoid),
+            &mut rng,
+        );
+        let inputs: Vec<f32> = rows.iter().flat_map(|&(a, b, c, d)| [a, b, c, d]).collect();
+        let mut bws = mlp.batch_workspace(rows.len());
+        let out = mlp.forward_batch(&inputs, &mut bws).to_vec();
+        let mut ws = mlp.workspace();
+        for (i, row) in inputs.chunks(4).enumerate() {
+            let scalar = mlp.forward(row, &mut ws);
+            prop_assert_eq!(&out[i * 3..(i + 1) * 3], scalar, "row {}", i);
+        }
+    }
+
+    #[test]
+    fn mlp_backward_batch_matches_scalar(
+        rows in prop::collection::vec((0.0f32..1.0, -1.0f32..1.0, 0.0f32..1.0), 1..32),
+        seed in 0u64..32)
+    {
+        use instant3d_nerf::mlp::{Mlp, MlpConfig};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mlp = Mlp::new(
+            MlpConfig::new(3, &[8], 2, Activation::Relu, Activation::None),
+            &mut rng,
+        );
+        let inputs: Vec<f32> = rows.iter().flat_map(|&(a, b, c)| [a, b, c]).collect();
+        let n = rows.len();
+        let d_out: Vec<f32> = (0..n * 2).map(|i| 0.25 * ((i % 5) as f32 - 2.0)).collect();
+
+        // Scalar reference: forward + backward per item, accumulating.
+        let mut ws = mlp.workspace();
+        let mut scalar_grads = mlp.zero_grads();
+        let mut scalar_d_in = vec![0.0f32; n * 3];
+        for i in 0..n {
+            mlp.forward(&inputs[i * 3..(i + 1) * 3], &mut ws);
+            mlp.backward(
+                &d_out[i * 2..(i + 1) * 2],
+                &mut ws,
+                &mut scalar_grads,
+                &mut scalar_d_in[i * 3..(i + 1) * 3],
+            );
+        }
+        // Batched: one forward, one backward, retained activations.
+        let mut bws = mlp.batch_workspace(n);
+        mlp.forward_batch(&inputs, &mut bws);
+        let mut grads = mlp.zero_grads();
+        let mut d_in = vec![0.0f32; n * 3];
+        mlp.backward_batch(&d_out, &mut bws, &mut grads, &mut d_in);
+
+        prop_assert_eq!(grads.count, scalar_grads.count);
+        for (li, ((gw, gb), (sw, sb))) in grads.layers.iter().zip(&scalar_grads.layers).enumerate() {
+            prop_assert_eq!(gw, sw, "layer {} weights", li);
+            prop_assert_eq!(gb, sb, "layer {} biases", li);
+        }
+        prop_assert_eq!(d_in, scalar_d_in);
+    }
+
+    #[test]
+    fn composite_slices_matches_aos_composite(
+        sigmas in prop::collection::vec(0.0f32..40.0, 1..48),
+        bg in (0.0f32..1.0, 0.0f32..1.0, 0.0f32..1.0))
+    {
+        use instant3d_nerf::render::{composite_backward_slices, composite_slices};
+        let n = sigmas.len();
+        let dt = 1.0 / n as f32;
+        let samples: Vec<RaySample> = sigmas
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| RaySample {
+                t: (i as f32 + 0.5) * dt,
+                dt,
+                sigma: s,
+                rgb: Vec3::new(i as f32 / n as f32, 0.5, 1.0 - i as f32 / n as f32),
+            })
+            .collect();
+        let background = Vec3::new(bg.0, bg.1, bg.2);
+
+        let mut aos_cache = RenderCache::default();
+        let aos = composite(&samples, background, Some(&mut aos_cache));
+
+        let t: Vec<f32> = samples.iter().map(|s| s.t).collect();
+        let dts: Vec<f32> = samples.iter().map(|s| s.dt).collect();
+        let sg: Vec<f32> = samples.iter().map(|s| s.sigma).collect();
+        let rgb: Vec<Vec3> = samples.iter().map(|s| s.rgb).collect();
+        let mut weights = vec![0.0f32; n];
+        let mut trans = vec![0.0f32; n];
+        let mut oma = vec![0.0f32; n];
+        let (soa, active) = composite_slices(
+            &t, &dts, &sg, &rgb, background,
+            Some((&mut weights, &mut trans, &mut oma)),
+        );
+        prop_assert_eq!(soa, aos);
+        prop_assert_eq!(active, aos_cache.weights.len());
+        prop_assert_eq!(&weights[..active], &aos_cache.weights[..]);
+
+        // Backward agreement on the same ray.
+        let d_color = Vec3::new(0.7, -0.4, 0.2);
+        let aos_grads = instant3d_nerf::render::composite_backward(
+            &samples, background, &aos_cache, &aos, d_color,
+        );
+        let mut d_sigma = vec![0.0f32; n];
+        let mut d_rgb = vec![Vec3::ZERO; n];
+        composite_backward_slices(
+            &dts, &rgb, background, &weights, &trans, &oma, active, &soa, d_color,
+            &mut d_sigma, &mut d_rgb,
+        );
+        prop_assert_eq!(d_sigma, aos_grads.d_sigma);
+        prop_assert_eq!(d_rgb, aos_grads.d_rgb);
+    }
 }

@@ -135,7 +135,15 @@ impl SceneLibrary {
         let target = scene.aabb().center();
         let radius = scene.aabb().diagonal() * 0.9;
         let fov = 50f32.to_radians();
-        let train = orbit_rig(target, radius, 0.5, train_views, fov, resolution, resolution);
+        let train = orbit_rig(
+            target,
+            radius,
+            0.5,
+            train_views,
+            fov,
+            resolution,
+            resolution,
+        );
         let test = orbit_rig(
             target,
             radius,
@@ -170,7 +178,15 @@ impl SceneLibrary {
         let target = Vec3::new(0.0, -0.2, 0.0);
         let fov = 65f32.to_radians();
         let train = orbit_rig(target, 3.0, 0.25, train_views, fov, resolution, resolution);
-        let test = orbit_rig(target, 2.6, 0.4, (train_views / 3).max(2), fov, resolution, resolution);
+        let test = orbit_rig(
+            target,
+            2.6,
+            0.4,
+            (train_views / 3).max(2),
+            fov,
+            resolution,
+            resolution,
+        );
         Dataset::from_scene(&scene, train, test, 128, Vec3::new(0.05, 0.05, 0.08))
     }
 

@@ -63,7 +63,11 @@ impl Shape {
                 let inside = q.max_component().min(0.0);
                 outside + inside
             }
-            Shape::Torus { center, major, minor } => {
+            Shape::Torus {
+                center,
+                major,
+                minor,
+            } => {
                 let d = p - center;
                 let ring = ((d.x * d.x + d.z * d.z).sqrt() - major).hypot(d.y);
                 ring - minor
@@ -89,11 +93,16 @@ impl Shape {
     pub fn bounds(&self, shell: f32) -> Aabb {
         let pad = Vec3::splat(shell);
         match *self {
-            Shape::Sphere { center, radius } => {
-                Aabb::new(center - Vec3::splat(radius) - pad, center + Vec3::splat(radius) + pad)
-            }
+            Shape::Sphere { center, radius } => Aabb::new(
+                center - Vec3::splat(radius) - pad,
+                center + Vec3::splat(radius) + pad,
+            ),
             Shape::Box { center, half } => Aabb::new(center - half - pad, center + half + pad),
-            Shape::Torus { center, major, minor } => {
+            Shape::Torus {
+                center,
+                major,
+                minor,
+            } => {
                 let r = major + minor;
                 Aabb::new(
                     center - Vec3::new(r, minor, r) - pad,

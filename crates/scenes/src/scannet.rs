@@ -132,7 +132,7 @@ pub fn walking_trajectory(count: usize, fov_y: f32, width: u32, height: u32) -> 
         .map(|i| {
             let s = i as f32 / count.max(1) as f32;
             let eye = Vec3::new(
-                -0.9 + 1.8 * s,          // strafe across the open side
+                -0.9 + 1.8 * s,              // strafe across the open side
                 0.1 + 0.1 * (s * 6.0).sin(), // handheld bob
                 1.35,
             );

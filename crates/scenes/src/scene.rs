@@ -42,7 +42,10 @@ impl AnalyticScene {
     ///
     /// Panics if `primitives` is empty.
     pub fn new(name: impl Into<String>, primitives: Vec<Primitive>) -> Self {
-        assert!(!primitives.is_empty(), "a scene needs at least one primitive");
+        assert!(
+            !primitives.is_empty(),
+            "a scene needs at least one primitive"
+        );
         let mut aabb = primitives[0].bounds();
         for p in &primitives[1..] {
             aabb = aabb.union(&p.bounds());
@@ -60,7 +63,10 @@ impl AnalyticScene {
     /// Like [`AnalyticScene::new`] but with an explicit bounding box (used
     /// by room scenes whose primitives line the walls).
     pub fn with_aabb(name: impl Into<String>, primitives: Vec<Primitive>, aabb: Aabb) -> Self {
-        assert!(!primitives.is_empty(), "a scene needs at least one primitive");
+        assert!(
+            !primitives.is_empty(),
+            "a scene needs at least one primitive"
+        );
         AnalyticScene {
             name: name.into(),
             primitives,

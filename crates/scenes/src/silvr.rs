@@ -78,7 +78,10 @@ pub fn build_hall() -> AnalyticScene {
     ];
     for &(c, col) in &exhibits {
         prims.push(Primitive::glossy(
-            Shape::Sphere { center: c, radius: 0.45 },
+            Shape::Sphere {
+                center: c,
+                radius: 0.45,
+            },
             40.0,
             col,
             0.35,

@@ -11,7 +11,14 @@ use instant3d_nerf::math::Vec3;
 
 /// Names of the eight scenes, in index order.
 pub const SCENE_NAMES: [&str; 8] = [
-    "chair", "drums", "ficus", "hotdog", "lego", "materials", "mic", "ship",
+    "chair",
+    "drums",
+    "ficus",
+    "hotdog",
+    "lego",
+    "materials",
+    "mic",
+    "ship",
 ];
 
 /// Number of synthetic scenes.
@@ -216,7 +223,11 @@ fn lego() -> AnalyticScene {
         prims.push(Primitive::matte(
             c_shape(c, h),
             50.0,
-            if i % 2 == 0 { yellow } else { Vec3::new(0.4, 0.4, 0.42) },
+            if i % 2 == 0 {
+                yellow
+            } else {
+                Vec3::new(0.4, 0.4, 0.42)
+            },
         ));
     }
     // Blade.

@@ -17,25 +17,34 @@ fn any_shape() -> impl Strategy<Value = Shape> {
                 radius: r,
             }
         }),
-        ((-1.0f32..1.0, -1.0f32..1.0, -1.0f32..1.0), (0.05f32..0.6, 0.05f32..0.6, 0.05f32..0.6))
+        (
+            (-1.0f32..1.0, -1.0f32..1.0, -1.0f32..1.0),
+            (0.05f32..0.6, 0.05f32..0.6, 0.05f32..0.6)
+        )
             .prop_map(|((x, y, z), (a, b, c))| Shape::Box {
                 center: Vec3::new(x, y, z),
                 half: Vec3::new(a, b, c),
             }),
-        ((-1.0f32..1.0, -1.0f32..1.0, -1.0f32..1.0), 0.2f32..0.6, 0.05f32..0.15).prop_map(
-            |((x, y, z), major, minor)| Shape::Torus {
+        (
+            (-1.0f32..1.0, -1.0f32..1.0, -1.0f32..1.0),
+            0.2f32..0.6,
+            0.05f32..0.15
+        )
+            .prop_map(|((x, y, z), major, minor)| Shape::Torus {
                 center: Vec3::new(x, y, z),
                 major,
                 minor,
-            }
-        ),
-        ((-1.0f32..1.0, -1.0f32..1.0, -1.0f32..1.0), 0.05f32..0.5, 0.1f32..0.6).prop_map(
-            |((x, y, z), r, h)| Shape::Cylinder {
+            }),
+        (
+            (-1.0f32..1.0, -1.0f32..1.0, -1.0f32..1.0),
+            0.05f32..0.5,
+            0.1f32..0.6
+        )
+            .prop_map(|((x, y, z), r, h)| Shape::Cylinder {
                 center: Vec3::new(x, y, z),
                 radius: r,
                 half_height: h,
-            }
-        ),
+            }),
         ((-1.0f32..1.0, -1.0f32..1.0, -1.0f32..1.0), 0.05f32..0.3).prop_map(|((x, y, z), s)| {
             Shape::Blob {
                 center: Vec3::new(x, y, z),

@@ -141,7 +141,10 @@ mod tests {
         assert_eq!(tc.len(), 3);
         assert_eq!(tc.dropped(), 7);
         let t = tc.into_trace();
-        assert_eq!(t.records.iter().map(|r| r.addr).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(
+            t.records.iter().map(|r| r.addr).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
     }
 
     #[test]

@@ -272,9 +272,7 @@ mod tests {
 
     #[test]
     fn all_intra_distances_count() {
-        let bs: Vec<CornerBurst> = (0..10)
-            .map(|i| synthetic_burst(i, i, i, 1 << 16))
-            .collect();
+        let bs: Vec<CornerBurst> = (0..10).map(|i| synthetic_burst(i, i, i, 1 << 16)).collect();
         assert_eq!(all_intra_distances(&bs).len(), 40);
     }
 }

@@ -30,7 +30,10 @@ fn main() {
         trainer.step_observed(&mut rng, &mut collector);
     }
     let trace = collector.into_trace();
-    println!("captured {} grid accesses over 2 training iterations", trace.len());
+    println!(
+        "captured {} grid accesses over 2 training iterations",
+        trace.len()
+    );
 
     // 2. Feed-forward reads through the FRM (8 banks, 16-deep window).
     let offsets: Vec<u32> = trainer

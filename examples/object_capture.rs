@@ -17,7 +17,11 @@ use rand::SeedableRng;
 fn main() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(7);
     let dataset = SceneLibrary::synthetic_scene(6, 48, 20, &mut rng); // "mic"
-    println!("scene '{}' captured with {} views", dataset.name, dataset.train_views.len());
+    println!(
+        "scene '{}' captured with {} views",
+        dataset.name,
+        dataset.train_views.len()
+    );
 
     let configs = [
         ("instant-ngp", TrainConfig::instant_ngp()),
@@ -45,7 +49,10 @@ fn main() {
         let depth_path = format!("/tmp/instant3d_{name}_novel_depth.pgm");
         std::fs::write(&rgb_path, rgb.to_ppm()).expect("write ppm");
         std::fs::write(&depth_path, depth.to_pgm()).expect("write pgm");
-        println!("{:>12}  novel view -> {rgb_path}, depth -> {depth_path}", "");
+        println!(
+            "{:>12}  novel view -> {rgb_path}, depth -> {depth_path}",
+            ""
+        );
     }
     println!("\nBoth reconstructions should reach similar PSNR — the Instant-3D");
     println!("algorithm's savings show up as reduced grid traffic, not quality.");

@@ -47,6 +47,10 @@ fn main() {
          {:.2} s at {:.2} W — {} the paper's 2 s telepresence latency budget",
         sim.seconds_total,
         sim.avg_power_w,
-        if sim.seconds_total < 2.0 { "within" } else { "over" }
+        if sim.seconds_total < 2.0 {
+            "within"
+        } else {
+            "over"
+        }
     );
 }

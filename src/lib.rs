@@ -20,6 +20,15 @@
 //!
 //! # Quickstart
 //!
+//! [`Trainer::step`](core::Trainer::step) runs the **batched SoA
+//! execution engine**: every pipeline stage (grid interpolation, MLP
+//! heads, volume rendering, backward) processes the whole ray batch over
+//! structure-of-arrays buffers, with the grid and MLP stages parallelised
+//! across the rayon pool. Results are bit-identical to the scalar
+//! point-at-a-time reference path
+//! ([`Trainer::step_scalar`](core::Trainer::step_scalar)) and independent
+//! of the worker count.
+//!
 //! ```
 //! use instant3d::core::{TrainConfig, Trainer};
 //! use instant3d::scenes::SceneLibrary;
@@ -29,9 +38,24 @@
 //! let dataset = SceneLibrary::synthetic_scene(0, 16, 4, &mut rng);
 //! let cfg = TrainConfig::fast_preview();
 //! let mut trainer = Trainer::new(cfg, &dataset, &mut rng);
+//! // Batched engine — the default hot path.
 //! let report = trainer.train_with_eval(5, 0, Some(&dataset), &mut rng);
 //! assert!(report.final_psnr.is_finite());
 //! ```
+//!
+//! The batched buffers themselves are exposed through
+//! [`core::BatchWorkspace`] for callers that drive the engine stages
+//! directly (custom sampling, offline rendering); the scalar path stays
+//! available as the executable specification the batched engine is gated
+//! against (golden tests assert identical losses, parameters, workload
+//! counters and trace streams).
+//!
+//! # Benchmarks
+//!
+//! `cargo bench --bench train_iter` compares the scalar reference against
+//! the batched engine (single-threaded and on the full pool) at 256 /
+//! 1024 / 4096 rays per batch; `cargo bench --bench grid_interp` includes
+//! the batched point-major, level-major and parallel grid kernels.
 
 pub use instant3d_accel as accel;
 pub use instant3d_core as core;

@@ -117,8 +117,16 @@ fn trace_read_counts_match_workload_accounting() {
     let stats = trainer.stats();
     let ff_records = trace.phase(AccessPhase::FeedForward).count() as u64;
     let bp_records = trace.phase(AccessPhase::BackProp).count() as u64;
-    assert_eq!(ff_records, stats.grid_reads_ff(), "FF accounting must agree");
-    assert_eq!(bp_records, stats.grid_writes_bp(), "BP accounting must agree");
+    assert_eq!(
+        ff_records,
+        stats.grid_reads_ff(),
+        "FF accounting must agree"
+    );
+    assert_eq!(
+        bp_records,
+        stats.grid_writes_bp(),
+        "BP accounting must agree"
+    );
 }
 
 #[test]

@@ -112,7 +112,11 @@ fn tab5_claim_codesign_reaches_a_few_percent() {
 #[test]
 fn fig15_claim_grid_cores_dominate_area_and_energy() {
     let area = AreaModel::default();
-    assert!((area.total() - 6.8).abs() < 0.1, "total {} mm²", area.total());
+    assert!(
+        (area.total() - 6.8).abs() < 0.1,
+        "total {} mm²",
+        area.total()
+    );
     assert!((0.72..=0.84).contains(&area.grid_fraction()));
 
     let r = Accelerator::default().simulate(&i3d(), FeatureSet::full());
@@ -128,8 +132,14 @@ fn fig17_claim_waterfall_multiplies_to_total() {
         .map(|w| w[0].1.seconds_total / w[1].1.seconds_total)
         .product();
     let direct = stages[0].1.seconds_total / stages[3].1.seconds_total;
-    assert!((product - direct).abs() / direct < 1e-9, "stages must compose");
-    assert!(direct > 30.0, "staged total {direct:.0}x should be tens of ×");
+    assert!(
+        (product - direct).abs() / direct < 1e-9,
+        "stages must compose"
+    );
+    assert!(
+        direct > 30.0,
+        "staged total {direct:.0}x should be tens of ×"
+    );
 }
 
 #[test]
@@ -140,9 +150,17 @@ fn fig16_claim_energy_efficiency_order_of_magnitude() {
         .iter()
         .map(|d| d.energy(&ngp()) / acc.energy_total_j)
         .collect();
-    assert!((900.0..=1500.0).contains(&effs[0]), "vs Nano {:.0}", effs[0]);
+    assert!(
+        (900.0..=1500.0).contains(&effs[0]),
+        "vs Nano {:.0}",
+        effs[0]
+    );
     assert!((800.0..=1400.0).contains(&effs[1]), "vs TX2 {:.0}", effs[1]);
-    assert!((350.0..=650.0).contains(&effs[2]), "vs Xavier {:.0}", effs[2]);
+    assert!(
+        (350.0..=650.0).contains(&effs[2]),
+        "vs Xavier {:.0}",
+        effs[2]
+    );
 }
 
 #[test]

@@ -1,0 +1,201 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this workspace vendors
+//! the benchmarking surface it uses: [`Criterion::bench_function`],
+//! [`Bencher::iter`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Measurement model: each benchmark auto-calibrates an inner iteration
+//! count to ≈10 ms, then takes `CRITERION_SAMPLES` samples (default 12)
+//! of that size and reports the minimum, median and mean time per
+//! iteration. `CRITERION_QUICK=1` (or a `--quick` CLI flag) shrinks the
+//! run for CI smoke tests. No plots, no statistics beyond the above.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value sink preventing the optimizer from deleting benchmarked work.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+        || std::env::var("CRITERION_QUICK")
+            .map(|v| v == "1")
+            .unwrap_or(false)
+}
+
+fn sample_count() -> usize {
+    std::env::var("CRITERION_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(if quick_mode() { 2 } else { 12 })
+}
+
+fn target_sample_time() -> Duration {
+    if quick_mode() {
+        Duration::from_millis(2)
+    } else {
+        Duration::from_millis(10)
+    }
+}
+
+/// A name filter passed on the command line (`cargo bench -- <filter>`).
+fn cli_filter() -> Option<String> {
+    std::env::args().skip(1).find(|a| !a.starts_with('-'))
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            filter: cli_filter(),
+        }
+    }
+}
+
+/// Runs the closure under timing; handed to `bench_function` callbacks.
+pub struct Bencher {
+    /// Measured per-iteration times, one entry per sample.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `f`, auto-calibrating the per-sample iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: grow the inner count until one sample is long enough.
+        let target = target_sample_time();
+        let mut n: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..n {
+                black_box(f());
+            }
+            let dt = t0.elapsed();
+            if dt >= target || n >= 1 << 24 {
+                self.samples.push(dt.as_secs_f64() / n as f64);
+                break;
+            }
+            n = if dt.is_zero() {
+                n * 16
+            } else {
+                ((target.as_secs_f64() / dt.as_secs_f64()).ceil() as u64)
+                    .clamp(2, 64)
+                    .saturating_mul(n)
+            };
+        }
+        for _ in 1..sample_count() {
+            let t0 = Instant::now();
+            for _ in 0..n {
+                black_box(f());
+            }
+            self.samples.push(t0.elapsed().as_secs_f64() / n as f64);
+        }
+    }
+}
+
+fn format_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:9.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:9.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:9.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:9.2} s ")
+    }
+}
+
+impl Criterion {
+    /// Benchmarks `f` under `name`, printing min/median/mean per iteration.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher {
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        if b.samples.is_empty() {
+            println!("{name:<44} (no samples)");
+            return self;
+        }
+        let mut sorted = b.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let min = sorted[0];
+        let median = sorted[sorted.len() / 2];
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        println!(
+            "{name:<44} min {} | median {} | mean {}",
+            format_time(min),
+            format_time(median),
+            format_time(mean)
+        );
+        self
+    }
+}
+
+/// Declares a group function running each target benchmark in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        std::env::set_var("CRITERION_QUICK", "1");
+        let mut b = Bencher {
+            samples: Vec::new(),
+        };
+        b.iter(|| black_box(3u64.wrapping_mul(7)));
+        assert!(!b.samples.is_empty());
+        assert!(b.samples.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn bench_function_runs() {
+        std::env::set_var("CRITERION_QUICK", "1");
+        let mut c = Criterion { filter: None };
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            ran = true;
+            b.iter(|| black_box(1 + 1));
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn format_covers_scales() {
+        assert!(format_time(5e-9).contains("ns"));
+        assert!(format_time(5e-6).contains("µs"));
+        assert!(format_time(5e-3).contains("ms"));
+        assert!(format_time(5.0).contains("s"));
+    }
+}

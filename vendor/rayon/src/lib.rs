@@ -1,0 +1,524 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no crates.io access, so this workspace vendors
+//! the narrow rayon surface its batched execution engine uses:
+//!
+//! * [`prelude`] — `par_chunks` / `par_chunks_mut` on slices, plus eager
+//!   `zip` / `enumerate` / `for_each` / `map().collect()` combinators;
+//! * [`ThreadPoolBuilder`] / [`ThreadPool::install`] — enough to pin the
+//!   worker count (the determinism tests compare 1-thread vs N-thread runs);
+//! * [`current_num_threads`], [`join`], [`scope`].
+//!
+//! Execution model: a single lazily-started persistent pool of
+//! `available_parallelism` workers (overridable with `RAYON_NUM_THREADS`).
+//! Work submitted from inside a pool worker runs inline — the engine's
+//! nested parallel regions (e.g. an MLP batch forward inside a parallel
+//! eval row chunk) degrade gracefully instead of deadlocking. Iterators
+//! here are *eager* (items are materialised before dispatch), which is fine
+//! at the coarse chunk granularity the engine uses.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+// ---------------------------------------------------------------------------
+// Persistent pool
+// ---------------------------------------------------------------------------
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Pool {
+    queue: Mutex<VecDeque<Job>>,
+    ready: Condvar,
+}
+
+static POOL: OnceLock<Arc<Pool>> = OnceLock::new();
+
+thread_local! {
+    /// Set inside pool workers so nested parallel regions run inline.
+    static IN_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+    /// `ThreadPool::install` override for the apparent thread count.
+    static THREADS_OVERRIDE: std::cell::Cell<Option<usize>> =
+        const { std::cell::Cell::new(None) };
+}
+
+fn default_threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(4)
+            })
+            .min(64)
+    })
+}
+
+/// The number of threads parallel work may use right now.
+pub fn current_num_threads() -> usize {
+    THREADS_OVERRIDE
+        .with(|o| o.get())
+        .unwrap_or_else(default_threads)
+}
+
+fn pool() -> &'static Arc<Pool> {
+    POOL.get_or_init(|| {
+        let workers = default_threads().saturating_sub(1).max(1);
+        let pool = Arc::new(Pool {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+        });
+        for _ in 0..workers {
+            let p = Arc::clone(&pool);
+            std::thread::Builder::new()
+                .name("i3d-pool".into())
+                .spawn(move || {
+                    IN_WORKER.with(|f| f.set(true));
+                    loop {
+                        let job = {
+                            let mut q = p.queue.lock().unwrap();
+                            loop {
+                                if let Some(j) = q.pop_front() {
+                                    break j;
+                                }
+                                q = p.ready.wait(q).unwrap();
+                            }
+                        };
+                        job();
+                    }
+                })
+                .expect("spawn pool worker");
+        }
+        pool
+    })
+}
+
+/// Runs `tasks` to completion, using pool workers when it is worthwhile.
+///
+/// Each task runs exactly once; the call returns after every task has
+/// finished. Side effects must go through the disjoint `&mut` state each
+/// task owns, which also makes results independent of the worker count.
+fn run_tasks(tasks: Vec<Job>) {
+    let inline = current_num_threads() <= 1 || tasks.len() <= 1 || IN_WORKER.with(|f| f.get());
+    if inline {
+        for t in tasks {
+            t();
+        }
+        return;
+    }
+    let p = pool();
+    let total = tasks.len();
+    let done = Arc::new((Mutex::new(0usize), Condvar::new()));
+    let panicked = Arc::new(AtomicBool::new(false));
+    // Keep one task for the calling thread; offload the rest.
+    let mut tasks = tasks.into_iter();
+    let first = tasks.next().unwrap();
+    {
+        let mut q = p.queue.lock().unwrap();
+        for t in tasks {
+            let done = Arc::clone(&done);
+            let panicked = Arc::clone(&panicked);
+            q.push_back(Box::new(move || {
+                if std::panic::catch_unwind(std::panic::AssertUnwindSafe(t)).is_err() {
+                    panicked.store(true, Ordering::SeqCst);
+                }
+                let (lock, cv) = &*done;
+                *lock.lock().unwrap() += 1;
+                cv.notify_all();
+            }));
+        }
+        p.ready.notify_all();
+    }
+    // Run the caller's task, but *always* wait for the offloaded tasks
+    // before unwinding — scoped borrows must outlive every task.
+    let first_result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(first));
+    {
+        let (lock, cv) = &*done;
+        let mut n = lock.lock().unwrap();
+        while *n < total - 1 {
+            n = cv.wait(n).unwrap();
+        }
+    }
+    if let Err(payload) = first_result {
+        std::panic::resume_unwind(payload);
+    }
+    if panicked.load(Ordering::SeqCst) {
+        panic!("a rayon task panicked");
+    }
+}
+
+/// Runs scoped tasks: the borrows inside `tasks` only need to outlive this
+/// call, which blocks until every task has completed.
+fn run_scoped<'env>(tasks: Vec<Box<dyn FnOnce() + Send + 'env>>) {
+    // SAFETY: `run_tasks` joins all tasks before returning, so the
+    // 'env borrows the jobs capture strictly outlive their execution.
+    let tasks: Vec<Job> = tasks
+        .into_iter()
+        .map(|t| unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Job>(t) })
+        .collect();
+    run_tasks(tasks);
+}
+
+// ---------------------------------------------------------------------------
+// Public pool API
+// ---------------------------------------------------------------------------
+
+/// Builder for a [`ThreadPool`] handle (thread-count override only).
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Error type kept for API compatibility; building never fails here.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// A fresh builder using the default thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests `n` apparent threads (0 = default).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the handle.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: if self.num_threads == 0 {
+                default_threads()
+            } else {
+                self.num_threads
+            },
+        })
+    }
+}
+
+/// A handle that pins the apparent thread count while a closure runs.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `f` with [`current_num_threads`] pinned to this pool's size.
+    /// The previous value is restored even if `f` unwinds.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                THREADS_OVERRIDE.with(|o| o.set(self.0));
+            }
+        }
+        let _restore = Restore(THREADS_OVERRIDE.with(|o| o.replace(Some(self.num_threads))));
+        f()
+    }
+
+    /// The pinned thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Runs both closures (possibly in parallel) and returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let mut ra: Option<RA> = None;
+    let mut rb: Option<RB> = None;
+    {
+        let ra = &mut ra;
+        let rb = &mut rb;
+        run_scoped(vec![
+            Box::new(move || *ra = Some(a())),
+            Box::new(move || *rb = Some(b())),
+        ]);
+    }
+    (ra.unwrap(), rb.unwrap())
+}
+
+/// Minimal scope: spawned closures all complete before `scope` returns.
+pub struct Scope<'env> {
+    tasks: std::cell::RefCell<Vec<Box<dyn FnOnce() + Send + 'env>>>,
+}
+
+impl<'env> Scope<'env> {
+    /// Queues `f` to run within the scope.
+    pub fn spawn<F: FnOnce() + Send + 'env>(&self, f: F) {
+        self.tasks.borrow_mut().push(Box::new(f));
+    }
+}
+
+/// Collects spawns from `f`, then runs them all to completion.
+pub fn scope<'env, F: FnOnce(&Scope<'env>)>(f: F) {
+    let s = Scope {
+        tasks: std::cell::RefCell::new(Vec::new()),
+    };
+    f(&s);
+    run_scoped(s.tasks.into_inner());
+}
+
+// ---------------------------------------------------------------------------
+// Eager parallel iterators
+// ---------------------------------------------------------------------------
+
+/// An eager "parallel iterator": a materialised list of work items.
+pub struct ParIter<I> {
+    items: Vec<I>,
+}
+
+impl<I: Send> ParIter<I> {
+    /// Pairs items with another iterator's, truncating to the shorter.
+    pub fn zip<J: Send>(self, other: ParIter<J>) -> ParIter<(I, J)> {
+        ParIter {
+            items: self.items.into_iter().zip(other.items).collect(),
+        }
+    }
+
+    /// Attaches each item's index.
+    pub fn enumerate(self) -> ParIter<(usize, I)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Compatibility no-op (chunking is already explicit here).
+    pub fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+
+    /// Runs `f` once per item, in parallel, returning when all are done.
+    pub fn for_each<F: Fn(I) + Sync>(self, f: F) {
+        let f = &f;
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = self
+            .items
+            .into_iter()
+            .map(|item| Box::new(move || f(item)) as Box<dyn FnOnce() + Send + '_>)
+            .collect();
+        run_scoped(tasks);
+    }
+
+    /// Maps items in parallel; collect with [`ParMap::collect`].
+    pub fn map<R: Send, F: Fn(I) -> R + Sync>(self, f: F) -> ParMap<I, F> {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// The number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// Pending parallel map, produced by [`ParIter::map`].
+pub struct ParMap<I, F> {
+    items: Vec<I>,
+    f: F,
+}
+
+impl<I: Send, F> ParMap<I, F> {
+    /// Runs the map and collects results in item order.
+    pub fn collect<C, R>(self) -> C
+    where
+        F: Fn(I) -> R + Sync,
+        R: Send,
+        C: FromIterator<R>,
+    {
+        let n = self.items.len();
+        let f = &self.f;
+        let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+        out.resize_with(n, || None);
+        {
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = self
+                .items
+                .into_iter()
+                .zip(out.iter_mut())
+                .map(|(item, slot)| {
+                    Box::new(move || *slot = Some(f(item))) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            run_scoped(tasks);
+        }
+        out.into_iter().map(|s| s.unwrap()).collect()
+    }
+}
+
+/// `into_par_iter` on owned collections.
+pub trait IntoParallelIterator {
+    /// The item type handed to each task.
+    type Item: Send;
+
+    /// Materialises the parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// `par_chunks` on shared slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Eager chunked view: `size` elements per chunk (last may be short).
+    fn par_chunks(&self, size: usize) -> ParIter<&[T]>;
+}
+
+/// `par_chunks_mut` / `par_iter_mut` on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Eager chunked mutable view (disjoint chunks).
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<&mut [T]>;
+
+    /// One item per element.
+    fn par_iter_mut(&mut self) -> ParIter<&mut T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, size: usize) -> ParIter<&[T]> {
+        assert!(size > 0, "chunk size must be positive");
+        ParIter {
+            items: self.chunks(size).collect(),
+        }
+    }
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<&mut [T]> {
+        assert!(size > 0, "chunk size must be positive");
+        ParIter {
+            items: self.chunks_mut(size).collect(),
+        }
+    }
+
+    fn par_iter_mut(&mut self) -> ParIter<&mut T> {
+        ParIter {
+            items: self.iter_mut().collect(),
+        }
+    }
+}
+
+pub mod iter {
+    //! Iterator traits, re-exported for `use rayon::prelude::*` parity.
+    pub use crate::{ParIter, ParMap};
+}
+
+pub mod slice {
+    //! Slice traits, re-exported for `use rayon::prelude::*` parity.
+    pub use crate::{ParallelSlice, ParallelSliceMut};
+}
+
+pub mod prelude {
+    //! The workspace's `use rayon::prelude::*` surface.
+    pub use crate::{IntoParallelIterator, ParIter, ParMap, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn chunked_mutation_touches_everything() {
+        let mut data = vec![0u64; 1003];
+        data.par_chunks_mut(64).enumerate().for_each(|(i, chunk)| {
+            for v in chunk.iter_mut() {
+                *v = i as u64 + 1;
+            }
+        });
+        assert!(data.iter().all(|&v| v > 0));
+        assert_eq!(data[0], 1);
+        assert_eq!(data[1002], 16);
+    }
+
+    #[test]
+    fn zip_runs_disjoint_pairs() {
+        let src = vec![1.0f32; 256];
+        let mut dst = vec![0.0f32; 256];
+        dst.par_chunks_mut(32)
+            .zip(src.par_chunks(32))
+            .for_each(|(d, s)| {
+                for (a, b) in d.iter_mut().zip(s) {
+                    *a = 2.0 * b;
+                }
+            });
+        assert!(dst.iter().all(|&v| v == 2.0));
+    }
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let items = [3usize, 1, 4, 1, 5, 9, 2, 6];
+        let out: Vec<usize> = items.par_chunks(1).map(|c| c[0] * 10).collect();
+        assert_eq!(out, vec![30, 10, 40, 10, 50, 90, 20, 60]);
+    }
+
+    #[test]
+    fn install_pins_apparent_threads() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        assert_eq!(pool.install(current_num_threads), 1);
+        assert!(current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn nested_parallelism_completes() {
+        let mut outer = [0u32; 8];
+        outer.par_chunks_mut(1).for_each(|chunk| {
+            let mut inner = vec![0u32; 64];
+            inner.par_chunks_mut(8).for_each(|c| {
+                for v in c.iter_mut() {
+                    *v = 1;
+                }
+            });
+            chunk[0] = inner.iter().sum();
+        });
+        assert!(outer.iter().all(|&v| v == 64));
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 40, || 2);
+        assert_eq!(a + b, 42);
+    }
+
+    #[test]
+    #[should_panic]
+    fn task_panics_propagate() {
+        let data = [0u8; 4];
+        data.par_chunks(1).for_each(|_| panic!("boom"));
+    }
+}
