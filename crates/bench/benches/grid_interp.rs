@@ -1,13 +1,30 @@
 //! Microbenchmarks of the Step ③-① kernels: hash-grid encoding (trilinear
 //! interpolation over the multi-level table) and its gradient scatter —
 //! the operations the paper identifies as 80 % of NeRF training.
+//!
+//! Batched-kernel bench IDs are stamped with the [`KernelBackend`] and the
+//! rayon worker count (`…/scalar/t1`), so recorded numbers always say
+//! which kernels and how many workers produced them.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use instant3d_nerf::grid::{HashGrid, HashGridConfig, NullObserver};
 use instant3d_nerf::hash::spatial_hash;
 use instant3d_nerf::math::Vec3;
+use instant3d_nerf::simd::KernelBackend;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// `backend/threads` suffix for bench IDs of kernels that run on the
+/// rayon pool.
+fn stamp(backend: KernelBackend) -> String {
+    format!("{backend}/t{}", rayon::current_num_threads())
+}
+
+/// `backend/t1` suffix for direct (single-threaded) kernel benches — the
+/// ambient pool size is irrelevant to them and must not be recorded.
+fn stamp_serial(backend: KernelBackend) -> String {
+    format!("{backend}/t1")
+}
 
 fn bench_spatial_hash(c: &mut Criterion) {
     c.bench_function("hash/eq3_spatial_hash", |b| {
@@ -72,18 +89,34 @@ fn bench_encode_batch(c: &mut Criterion) {
             black_box(out[0])
         })
     });
-    c.bench_function("grid/encode_batch1024_level_major", |b| {
-        b.iter(|| {
-            grid.encode_batch_level_major(black_box(&points), &mut out);
-            black_box(out[0])
-        })
-    });
-    c.bench_function("grid/encode_batch1024_parallel", |b| {
-        b.iter(|| {
-            grid.par_encode_batch(black_box(&points), &mut out);
-            black_box(out[0])
-        })
-    });
+    // The backend axis: the PR 1 level-major kernel (scalar backend) vs
+    // the lane-batched SIMD kernel, plus the parallel dispatcher at the
+    // ambient worker count.
+    for backend in KernelBackend::ALL {
+        c.bench_function(
+            &format!("grid/encode_batch1024/{}", stamp_serial(backend)),
+            |b| {
+                b.iter(|| {
+                    match backend {
+                        KernelBackend::Scalar => {
+                            grid.encode_batch_level_major(black_box(&points), &mut out)
+                        }
+                        KernelBackend::Simd => grid.encode_batch_simd(black_box(&points), &mut out),
+                    }
+                    black_box(out[0])
+                })
+            },
+        );
+        c.bench_function(
+            &format!("grid/encode_batch1024_parallel/{}", stamp(backend)),
+            |b| {
+                b.iter(|| {
+                    grid.par_encode_batch_with(backend, black_box(&points), &mut out);
+                    black_box(out[0])
+                })
+            },
+        );
+    }
 }
 
 fn bench_backward_batch(c: &mut Criterion) {
@@ -100,12 +133,17 @@ fn bench_backward_batch(c: &mut Criterion) {
             black_box(grads.count)
         })
     });
-    c.bench_function("grid/backward_batch1024_level_parallel", |b| {
-        b.iter(|| {
-            grid.par_backward_batch(black_box(&points), &d_out, &mut grads);
-            black_box(grads.count)
-        })
-    });
+    for backend in KernelBackend::ALL {
+        c.bench_function(
+            &format!("grid/backward_batch1024_level/{}", stamp(backend)),
+            |b| {
+                b.iter(|| {
+                    grid.par_backward_batch_with(backend, black_box(&points), &d_out, &mut grads);
+                    black_box(grads.count)
+                })
+            },
+        );
+    }
 }
 
 criterion_group!(

@@ -2,11 +2,16 @@
 //! iteration (sample → rays → grid+MLP → render → loss → backward) for the
 //! coupled (Instant-NGP) and decoupled (Instant-3D) topologies, comparing
 //! the scalar point-at-a-time reference path against the batched SoA
-//! engine — single-threaded (SoA batching alone) and on the full rayon
-//! pool (thread scaling), at batch sizes 256 / 1024 / 4096 rays.
+//! engine — per kernel backend, single-threaded (SoA batching alone) and
+//! on the full rayon pool (thread scaling), at batch sizes 256 / 1024 /
+//! 4096 rays.
+//!
+//! Every bench ID is stamped with the [`KernelBackend`] and the rayon
+//! worker count active while it ran (`…/simd/t4`), so recorded numbers
+//! always say which kernels and how many workers produced them.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use instant3d_core::{TrainConfig, Trainer};
+use instant3d_core::{KernelBackend, TrainConfig, Trainer};
 use instant3d_scenes::SceneLibrary;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -17,12 +22,24 @@ enum Path {
     Batched,
 }
 
+/// `backend/threads` suffix for bench IDs. The scalar reference *path* is
+/// a serial point-at-a-time loop: it always runs scalar kernels on one
+/// thread regardless of the configured backend or ambient pool, and its
+/// stamp records that.
+fn stamp(cfg: &TrainConfig, path: Path) -> String {
+    match path {
+        Path::Scalar => format!("{}/t1", KernelBackend::Scalar),
+        Path::Batched => format!("{}/t{}", cfg.kernel_backend, rayon::current_num_threads()),
+    }
+}
+
 fn bench_step(c: &mut Criterion, name: &str, cfg: TrainConfig, path: Path) {
+    let id = format!("{name}/{}", stamp(&cfg, path));
     let mut rng = StdRng::seed_from_u64(5);
     let ds = SceneLibrary::synthetic_scene(0, 24, 6, &mut rng);
     let mut trainer = Trainer::new(cfg, &ds, &mut rng);
     let mut step_rng = StdRng::seed_from_u64(7);
-    c.bench_function(name, |b| {
+    c.bench_function(&id, |b| {
         b.iter(|| match path {
             Path::Scalar => black_box(trainer.step_scalar(&mut step_rng)),
             Path::Batched => black_box(trainer.step(&mut step_rng)),
@@ -30,29 +47,42 @@ fn bench_step(c: &mut Criterion, name: &str, cfg: TrainConfig, path: Path) {
     });
 }
 
-/// Scalar vs batched (1 thread, then full pool) at one batch size.
+/// Scalar path vs batched engine (each backend; 1 thread, then full pool)
+/// at one batch size.
 fn bench_batch_size(c: &mut Criterion, rays: usize) {
     let mut cfg = TrainConfig::fast_preview();
     cfg.rays_per_batch = rays;
+    cfg.kernel_backend = KernelBackend::Scalar;
     bench_step(
         c,
         &format!("train/scalar_rays{rays}"),
         cfg.clone(),
         Path::Scalar,
     );
-    let single = rayon::ThreadPoolBuilder::new()
-        .num_threads(1)
-        .build()
-        .unwrap();
-    single.install(|| {
-        bench_step(
-            c,
-            &format!("train/batched_1thread_rays{rays}"),
-            cfg.clone(),
-            Path::Batched,
-        );
-    });
-    bench_step(c, &format!("train/batched_rays{rays}"), cfg, Path::Batched);
+    for backend in KernelBackend::ALL {
+        cfg.kernel_backend = backend;
+        let single = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
+        single.install(|| {
+            bench_step(
+                c,
+                &format!("train/batched_rays{rays}"),
+                cfg.clone(),
+                Path::Batched,
+            );
+        });
+        // Full-pool run (skipped when it would duplicate the t1 ID).
+        if rayon::current_num_threads() > 1 {
+            bench_step(
+                c,
+                &format!("train/batched_rays{rays}"),
+                cfg.clone(),
+                Path::Batched,
+            );
+        }
+    }
 }
 
 fn bench_train_iters(c: &mut Criterion) {
@@ -69,7 +99,7 @@ fn bench_train_iters(c: &mut Criterion) {
     ngp.topology = instant3d_core::GridTopology::Coupled;
     bench_step(c, "train/step_instant_ngp_preview", ngp, Path::Batched);
 
-    // Scalar vs batched scaling sweep.
+    // Scalar vs batched scaling sweep, per backend.
     for rays in [256, 1024, 4096] {
         bench_batch_size(c, rays);
     }

@@ -34,8 +34,9 @@ use instant3d_nerf::grid::GridBranch;
 use instant3d_nerf::math::Vec3;
 use instant3d_nerf::mlp::MlpBatchWorkspace;
 use instant3d_nerf::render::{
-    composite_backward_slices, composite_slices, RayBatch, RayBatchCache, RenderOutput,
+    composite_backward_slices, composite_slices_with, RayBatch, RayBatchCache, RenderOutput,
 };
+use instant3d_nerf::simd::KernelBackend;
 
 /// Preallocated SoA buffers for one training/eval iteration of the batched
 /// engine. Create once per trainer (or per eval worker) with
@@ -73,11 +74,19 @@ pub struct BatchWorkspace {
     emb_d_dim: usize,
     emb_c_dim: usize,
     color_in_dim: usize,
+    backend: KernelBackend,
 }
 
 impl BatchWorkspace {
-    /// Allocates a workspace shaped for `model`.
+    /// Allocates a workspace shaped for `model`, running the model's
+    /// kernel backend ([`NerfModel::kernel_backend`]).
     pub fn new(model: &NerfModel) -> Self {
+        Self::with_backend(model, model.kernel_backend())
+    }
+
+    /// Allocates a workspace with an explicit kernel backend (tests and
+    /// benches; trainers use [`BatchWorkspace::new`]).
+    pub fn with_backend(model: &NerfModel, backend: KernelBackend) -> Self {
         let emb_c_dim = model.color_mlp().in_dim() - model.sh_dim();
         BatchWorkspace {
             rays: RayBatch::new(),
@@ -102,7 +111,13 @@ impl BatchWorkspace {
             emb_d_dim: model.density_grid().output_dim(),
             emb_c_dim,
             color_in_dim: model.color_mlp().in_dim(),
+            backend,
         }
+    }
+
+    /// The kernel backend this workspace dispatches to.
+    pub fn backend(&self) -> KernelBackend {
+        self.backend
     }
 
     /// Samples currently in the batch.
@@ -179,14 +194,17 @@ impl BatchWorkspace {
                 }
             }
         } else {
-            model
-                .density_grid()
-                .par_encode_batch(&self.unit_positions, &mut self.emb_d);
+            model.density_grid().par_encode_batch_with(
+                self.backend,
+                &self.unit_positions,
+                &mut self.emb_d,
+            );
             if decoupled {
-                model
-                    .color_grid()
-                    .unwrap()
-                    .par_encode_batch(&self.unit_positions, &mut self.emb_c);
+                model.color_grid().unwrap().par_encode_batch_with(
+                    self.backend,
+                    &self.unit_positions,
+                    &mut self.emb_c,
+                );
             } else {
                 self.emb_c.copy_from_slice(&self.emb_d);
             }
@@ -208,13 +226,15 @@ impl BatchWorkspace {
             let r = self.point_ray[i] as usize;
             row[ec..].copy_from_slice(&self.sh[r * sd..(r + 1) * sd]);
         }
-        let sigma_out = model
-            .sigma_mlp()
-            .forward_batch(&self.emb_d, &mut self.ws_sigma);
+        let sigma_out =
+            model
+                .sigma_mlp()
+                .forward_batch_with(self.backend, &self.emb_d, &mut self.ws_sigma);
         self.rays.sigma[..n].copy_from_slice(sigma_out);
-        let rgb_out = model
-            .color_mlp()
-            .forward_batch(&self.color_in, &mut self.ws_color);
+        let rgb_out =
+            model
+                .color_mlp()
+                .forward_batch_with(self.backend, &self.color_in, &mut self.ws_color);
         for (i, chunk) in rgb_out.chunks_exact(3).enumerate() {
             self.rays.rgb[i] = Vec3::new(chunk[0], chunk[1], chunk[2]);
         }
@@ -226,7 +246,8 @@ impl BatchWorkspace {
         self.cache.reserve_for(&self.rays);
         for r in 0..self.rays.num_rays() {
             let range = self.rays.ray_range(r);
-            let (out, active) = composite_slices(
+            let (out, active) = composite_slices_with(
+                self.backend,
                 &self.rays.t[range.clone()],
                 &self.rays.dt[range.clone()],
                 &self.rays.sigma[range.clone()],
@@ -289,7 +310,8 @@ impl BatchWorkspace {
             self.d_rgb_flat[i * 3 + 2] = g.z;
         }
         self.d_color_in.resize(n * self.color_in_dim, 0.0);
-        model.color_mlp().backward_batch(
+        model.color_mlp().backward_batch_with(
+            self.backend,
             &self.d_rgb_flat,
             &mut self.ws_color,
             &mut grads.color_mlp,
@@ -297,7 +319,8 @@ impl BatchWorkspace {
         );
         // Density head backward → gradient w.r.t. emb_d.
         self.d_emb_d.resize(n * self.emb_d_dim, 0.0);
-        model.sigma_mlp().backward_batch(
+        model.sigma_mlp().backward_batch_with(
+            self.backend,
             &self.d_sigma[..n],
             &mut self.ws_sigma,
             &mut grads.sigma_mlp,
@@ -367,14 +390,20 @@ impl BatchWorkspace {
                 }
             }
         } else {
-            model.density_grid().par_backward_batch(
+            model.density_grid().par_backward_batch_with(
+                self.backend,
                 &self.unit_positions,
                 &self.d_emb_d[..n * ed],
                 &mut grads.density_grid,
             );
             if scatter_color {
                 if let (Some(cg), Some(cgrads)) = (model.color_grid(), grads.color_grid.as_mut()) {
-                    cg.par_backward_batch(&self.unit_positions, &self.d_emb_c[..n * ec], cgrads);
+                    cg.par_backward_batch_with(
+                        self.backend,
+                        &self.unit_positions,
+                        &self.d_emb_c[..n * ec],
+                        cgrads,
+                    );
                 }
             }
         }
@@ -389,12 +418,14 @@ impl BatchWorkspace {
         self.unit_positions
             .extend(positions.iter().map(|p| aabb.to_unit(*p)));
         self.emb_d.resize(positions.len() * self.emb_d_dim, 0.0);
-        model
-            .density_grid()
-            .par_encode_batch(&self.unit_positions, &mut self.emb_d);
+        model.density_grid().par_encode_batch_with(
+            self.backend,
+            &self.unit_positions,
+            &mut self.emb_d,
+        );
         model
             .sigma_mlp()
-            .forward_batch(&self.emb_d, &mut self.ws_sigma)
+            .forward_batch_with(self.backend, &self.emb_d, &mut self.ws_sigma)
     }
 }
 

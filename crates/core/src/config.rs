@@ -1,6 +1,8 @@
-//! Training configuration: the paper's algorithmic knobs.
+//! Training configuration: the paper's algorithmic knobs, plus the
+//! execution-engine knobs (kernel backend).
 
 use instant3d_nerf::grid::HashGridConfig;
+use instant3d_nerf::simd::KernelBackend;
 
 /// Whether the model uses Instant-NGP's single shared grid or Instant-3D's
 /// decomposed color/density grids.
@@ -65,6 +67,12 @@ pub struct TrainConfig {
     pub occupancy_threshold: f32,
     /// Samples per ray when rendering evaluation images.
     pub eval_samples_per_ray: usize,
+    /// Which kernel implementation the batched engine runs (scalar
+    /// reference or lane-batched SIMD — bit-identical by contract, see
+    /// `instant3d_nerf::simd`). Every preset honours the
+    /// `INSTANT3D_KERNEL_BACKEND` env var, which is how the CI matrix
+    /// forces each backend.
+    pub kernel_backend: KernelBackend,
 }
 
 impl Default for TrainConfig {
@@ -92,6 +100,7 @@ impl Default for TrainConfig {
             occupancy_update_every: 16,
             occupancy_threshold: 0.5,
             eval_samples_per_ray: 64,
+            kernel_backend: KernelBackend::from_env_or(KernelBackend::Simd),
         }
     }
 }

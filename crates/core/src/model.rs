@@ -24,6 +24,7 @@ use instant3d_nerf::grid::{
 use instant3d_nerf::math::{Aabb, Vec3};
 use instant3d_nerf::mlp::{Mlp, MlpConfig, MlpGradients, MlpWorkspace};
 use instant3d_nerf::sh::{sh_basis_size, sh_encode_into};
+use instant3d_nerf::simd::KernelBackend;
 use rand::Rng;
 
 pub use instant3d_nerf::grid::{BranchObserver, GridBranch, NullBranchObserver};
@@ -101,6 +102,7 @@ pub struct NerfModel {
     sigma_mlp: Mlp,
     color_mlp: Mlp,
     sh_degree: usize,
+    kernel_backend: KernelBackend,
 }
 
 impl NerfModel {
@@ -152,7 +154,15 @@ impl NerfModel {
             sigma_mlp,
             color_mlp,
             sh_degree: cfg.sh_degree,
+            kernel_backend: cfg.kernel_backend,
         }
+    }
+
+    /// The kernel backend the batched engine runs for this model
+    /// (threaded from [`TrainConfig::kernel_backend`] into every
+    /// [`crate::batch::BatchWorkspace`]).
+    pub fn kernel_backend(&self) -> KernelBackend {
+        self.kernel_backend
     }
 
     /// Coupled or decoupled.

@@ -67,6 +67,11 @@ impl PipelineStep {
 /// Cumulative operation counts over a training run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct WorkloadStats {
+    /// The kernel backend the run was configured with (reported for
+    /// provenance — golden tests compare stats across execution engines,
+    /// and bench records need to say which kernels produced a number).
+    /// [`WorkloadStats::merge`] keeps the receiver's backend.
+    pub backend: instant3d_nerf::simd::KernelBackend,
     /// Training iterations executed.
     pub iterations: u64,
     /// Rays (pixels) processed.
@@ -279,6 +284,7 @@ mod tests {
             mlp_flops_ff: 5000,
             mlp_flops_bp: 10000,
             render_samples: 100,
+            ..WorkloadStats::default()
         };
         let b = a;
         a.merge(&b);
@@ -301,6 +307,7 @@ mod tests {
             mlp_flops_ff: 40_000,
             mlp_flops_bp: 80_000,
             render_samples: 4000,
+            ..WorkloadStats::default()
         };
         let w = PipelineWorkload::from_stats(&stats, 8, 1 << 16, 1 << 14, 4);
         assert_eq!(w.rays_per_iter, 100.0);

@@ -178,6 +178,7 @@ impl Trainer {
         let ws = model.workspace();
         let grads = model.zero_grads();
         let bws = BatchWorkspace::new(&model);
+        let backend = cfg.kernel_backend;
         Trainer {
             cfg,
             model,
@@ -190,7 +191,10 @@ impl Trainer {
             occupancy,
             occ_ema,
             iter: 0,
-            stats: WorkloadStats::default(),
+            stats: WorkloadStats {
+                backend,
+                ..WorkloadStats::default()
+            },
             cameras: dataset.train_cameras(),
             images: dataset.train_images(),
             background: dataset.background,
@@ -649,6 +653,7 @@ impl Trainer {
         let pts = total_points as u64;
         let mlp_ff = self.model.mlp_flops_per_point() as u64 * pts;
         self.stats.merge(&WorkloadStats {
+            backend: self.stats.backend,
             iterations: 1,
             rays: rays as u64,
             points: pts,

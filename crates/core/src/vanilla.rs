@@ -24,6 +24,7 @@ use instant3d_nerf::sampler::{
     sample_pixel_batch, sample_pixel_batch_into, sample_segments, sample_segments_into, Segment,
     TrainRay,
 };
+use instant3d_nerf::simd::KernelBackend;
 use instant3d_scenes::Dataset;
 use rand::Rng;
 
@@ -44,6 +45,11 @@ pub struct VanillaConfig {
     pub samples_per_ray: usize,
     /// Adam learning rate.
     pub lr: f32,
+    /// Kernel backend for the batched step (same dispatch — and the same
+    /// bit-identity contract — as the grid engine's
+    /// `TrainConfig::kernel_backend`; env override
+    /// `INSTANT3D_KERNEL_BACKEND`).
+    pub kernel_backend: KernelBackend,
 }
 
 impl Default for VanillaConfig {
@@ -58,6 +64,7 @@ impl Default for VanillaConfig {
             rays_per_batch: 256,
             samples_per_ray: 48,
             lr: 5e-4,
+            kernel_backend: KernelBackend::from_env_or(KernelBackend::Simd),
         }
     }
 }
@@ -328,7 +335,10 @@ impl VanillaTrainer {
 
         // One batched MLP forward, then per-channel output activations
         // written straight into the ray batch.
-        let out = self.model.mlp.forward_batch(&bws.inputs, &mut bws.ws);
+        let out = self
+            .model
+            .mlp
+            .forward_batch_with(cfg.kernel_backend, &bws.inputs, &mut bws.ws);
         for i in 0..n {
             let row = &out[i * 4..(i + 1) * 4];
             bws.rays.sigma[i] = Activation::TruncExp.apply(row[0]);
@@ -351,7 +361,8 @@ impl VanillaTrainer {
         let mut total_loss = 0.0;
         for (r, tr) in self.ray_scratch.iter().enumerate() {
             let range = bws.rays.ray_range(r);
-            let (out, active) = instant3d_nerf::render::composite_slices(
+            let (out, active) = instant3d_nerf::render::composite_slices_with(
+                cfg.kernel_backend,
                 &bws.rays.t[range.clone()],
                 &bws.rays.dt[range.clone()],
                 &bws.rays.sigma[range.clone()],
@@ -391,9 +402,13 @@ impl VanillaTrainer {
             row[2] = bws.d_rgb[i].y * c.y * (1.0 - c.y);
             row[3] = bws.d_rgb[i].z * c.z * (1.0 - c.z);
         }
-        self.model
-            .mlp
-            .backward_batch(&bws.d_out, &mut bws.ws, &mut self.grads, &mut []);
+        self.model.mlp.backward_batch_with(
+            cfg.kernel_backend,
+            &bws.d_out,
+            &mut bws.ws,
+            &mut self.grads,
+            &mut [],
+        );
 
         let mut idx = 0;
         let opts = &mut self.opts;
@@ -513,6 +528,7 @@ mod tests {
             rays_per_batch: 48,
             samples_per_ray: 24,
             lr: 1e-3,
+            ..VanillaConfig::default()
         }
     }
 

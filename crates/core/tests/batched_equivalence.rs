@@ -5,10 +5,12 @@
 //! per-parameter accumulation order match the scalar path exactly; these
 //! tests pin that contract (and the acceptance tolerance of 1e-5 per
 //! pixel) across topologies, workload counters, rendering, and rayon
-//! worker counts.
+//! worker counts — and they run the whole suite once per
+//! [`KernelBackend`], so the scalar and SIMD kernels are both gated
+//! against the same scalar reference path on every run.
 
 use instant3d_core::eval::render_model_view;
-use instant3d_core::{GridTopology, TrainConfig, Trainer};
+use instant3d_core::{GridTopology, KernelBackend, TrainConfig, Trainer};
 use instant3d_scenes::{Dataset, SceneLibrary};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -18,40 +20,47 @@ fn dataset(seed: u64) -> Dataset {
     SceneLibrary::synthetic_scene(0, 16, 4, &mut rng)
 }
 
-fn config(topology: GridTopology) -> TrainConfig {
+fn config(topology: GridTopology, backend: KernelBackend) -> TrainConfig {
     let mut cfg = TrainConfig::fast_preview();
     cfg.topology = topology;
+    cfg.kernel_backend = backend;
     cfg
 }
 
 /// Runs `steps` iterations on two same-seeded trainers — one batched, one
 /// scalar — and asserts losses, workload counters and rendered pixels
 /// agree.
-fn check_equivalence(topology: GridTopology, steps: usize) {
+fn check_equivalence(topology: GridTopology, backend: KernelBackend, steps: usize) {
     let ds = dataset(42);
     let mut rng_a = StdRng::seed_from_u64(7);
     let mut rng_b = StdRng::seed_from_u64(7);
     let mut seed_rng_a = StdRng::seed_from_u64(3);
     let mut seed_rng_b = StdRng::seed_from_u64(3);
-    let mut batched = Trainer::new(config(topology), &ds, &mut seed_rng_a);
-    let mut scalar = Trainer::new(config(topology), &ds, &mut seed_rng_b);
+    let mut batched = Trainer::new(config(topology, backend), &ds, &mut seed_rng_a);
+    let mut scalar = Trainer::new(config(topology, backend), &ds, &mut seed_rng_b);
 
     for i in 0..steps {
         let sb = batched.step(&mut rng_a);
         let ss = scalar.step_scalar(&mut rng_b);
-        assert_eq!(sb.rays, ss.rays, "{topology:?} step {i}: ray count");
-        assert_eq!(sb.points, ss.points, "{topology:?} step {i}: point count");
+        assert_eq!(
+            sb.rays, ss.rays,
+            "{topology:?}/{backend} step {i}: ray count"
+        );
+        assert_eq!(
+            sb.points, ss.points,
+            "{topology:?}/{backend} step {i}: point count"
+        );
         assert_eq!(
             sb.density_updated, ss.density_updated,
-            "{topology:?} step {i}: density schedule"
+            "{topology:?}/{backend} step {i}: density schedule"
         );
         assert_eq!(
             sb.color_updated, ss.color_updated,
-            "{topology:?} step {i}: color schedule"
+            "{topology:?}/{backend} step {i}: color schedule"
         );
         assert!(
             (sb.loss - ss.loss).abs() <= 1e-5 * (1.0 + ss.loss.abs()),
-            "{topology:?} step {i}: loss {} vs {}",
+            "{topology:?}/{backend} step {i}: loss {} vs {}",
             sb.loss,
             ss.loss
         );
@@ -62,7 +71,12 @@ fn check_equivalence(topology: GridTopology, steps: usize) {
     assert_eq!(
         batched.stats(),
         scalar.stats(),
-        "{topology:?}: WorkloadStats"
+        "{topology:?}/{backend}: WorkloadStats"
+    );
+    assert_eq!(
+        batched.stats().backend,
+        backend,
+        "stats must report the backend"
     );
 
     // Per-pixel agreement of the trained models within 1e-5.
@@ -73,77 +87,123 @@ fn check_equivalence(topology: GridTopology, steps: usize) {
         for k in 0..3 {
             assert!(
                 (pb[k] - ps[k]).abs() <= 1e-5,
-                "{topology:?}: pixel {pb:?} vs {ps:?}"
+                "{topology:?}/{backend}: pixel {pb:?} vs {ps:?}"
             );
         }
     }
     for (db, ds_) in depth_b.depths().iter().zip(depth_s.depths()) {
         assert!(
             (db - ds_).abs() <= 1e-4,
-            "{topology:?}: depth {db} vs {ds_}"
+            "{topology:?}/{backend}: depth {db} vs {ds_}"
         );
     }
 }
 
 #[test]
 fn batched_matches_scalar_decoupled() {
-    check_equivalence(GridTopology::Decoupled, 4);
+    for backend in KernelBackend::ALL {
+        check_equivalence(GridTopology::Decoupled, backend, 4);
+    }
 }
 
 #[test]
 fn batched_matches_scalar_coupled() {
-    check_equivalence(GridTopology::Coupled, 4);
+    for backend in KernelBackend::ALL {
+        check_equivalence(GridTopology::Coupled, backend, 4);
+    }
 }
 
 #[test]
 fn batched_matches_scalar_through_occupancy_refresh() {
     // Long enough to cross an occupancy-grid refresh (every 16 iters in
-    // fast_preview) and a skipped color iteration.
+    // fast_preview) and a skipped color iteration — per kernel backend.
     let ds = dataset(11);
-    let mut rng_a = StdRng::seed_from_u64(5);
-    let mut rng_b = StdRng::seed_from_u64(5);
-    let mut seed_a = StdRng::seed_from_u64(9);
-    let mut seed_b = StdRng::seed_from_u64(9);
-    let mut batched = Trainer::new(TrainConfig::fast_preview(), &ds, &mut seed_a);
-    let mut scalar = Trainer::new(TrainConfig::fast_preview(), &ds, &mut seed_b);
-    for i in 0..20 {
-        let sb = batched.step(&mut rng_a);
-        let ss = scalar.step_scalar(&mut rng_b);
-        assert_eq!(sb.points, ss.points, "step {i}: occupancy culling diverged");
-        assert!(
-            (sb.loss - ss.loss).abs() <= 1e-5 * (1.0 + ss.loss.abs()),
-            "step {i}: loss {} vs {}",
-            sb.loss,
-            ss.loss
-        );
+    for backend in KernelBackend::ALL {
+        let cfg = config(GridTopology::Decoupled, backend);
+        let mut rng_a = StdRng::seed_from_u64(5);
+        let mut rng_b = StdRng::seed_from_u64(5);
+        let mut seed_a = StdRng::seed_from_u64(9);
+        let mut seed_b = StdRng::seed_from_u64(9);
+        let mut batched = Trainer::new(cfg.clone(), &ds, &mut seed_a);
+        let mut scalar = Trainer::new(cfg, &ds, &mut seed_b);
+        for i in 0..20 {
+            let sb = batched.step(&mut rng_a);
+            let ss = scalar.step_scalar(&mut rng_b);
+            assert_eq!(
+                sb.points, ss.points,
+                "{backend} step {i}: occupancy culling diverged"
+            );
+            assert!(
+                (sb.loss - ss.loss).abs() <= 1e-5 * (1.0 + ss.loss.abs()),
+                "{backend} step {i}: loss {} vs {}",
+                sb.loss,
+                ss.loss
+            );
+        }
+        assert_eq!(batched.occupancy_fraction(), scalar.occupancy_fraction());
+        assert_eq!(batched.stats(), scalar.stats());
     }
-    assert_eq!(batched.occupancy_fraction(), scalar.occupancy_fraction());
-    assert_eq!(batched.stats(), scalar.stats());
 }
 
 #[test]
 fn train_report_is_thread_count_invariant() {
     // Same seed → same TrainReport, regardless of rayon worker count: all
-    // parallel writes are disjoint and all reductions run in fixed order.
+    // parallel writes are disjoint and all reductions run in fixed order —
+    // on both kernel backends.
     let ds = dataset(23);
-    let run = |threads: usize| {
+    let run = |threads: usize, backend: KernelBackend| {
         let pool = rayon::ThreadPoolBuilder::new()
             .num_threads(threads)
             .build()
             .unwrap();
         pool.install(|| {
             let mut seed = StdRng::seed_from_u64(1);
-            let mut trainer = Trainer::new(TrainConfig::fast_preview(), &ds, &mut seed);
+            let cfg = config(GridTopology::Decoupled, backend);
+            let mut trainer = Trainer::new(cfg, &ds, &mut seed);
             let mut rng = StdRng::seed_from_u64(2);
             trainer.train_with_eval(8, 4, Some(&ds), &mut rng)
         })
     };
-    let single = run(1);
-    let multi = run(8);
+    for backend in KernelBackend::ALL {
+        let single = run(1, backend);
+        let multi = run(8, backend);
+        assert_eq!(
+            single, multi,
+            "{backend}: TrainReport must be bit-identical across thread counts"
+        );
+    }
+}
+
+#[test]
+fn simd_backend_training_is_bit_identical_to_scalar_backend() {
+    // The strongest cross-backend claim: two *batched* trainers that
+    // differ only in kernel backend produce bit-identical losses and
+    // bit-identical rendered images, step for step.
+    let ds = dataset(23);
+    let run = |backend: KernelBackend| {
+        let mut seed = StdRng::seed_from_u64(1);
+        let cfg = config(GridTopology::Decoupled, backend);
+        let mut trainer = Trainer::new(cfg, &ds, &mut seed);
+        let mut rng = StdRng::seed_from_u64(2);
+        let losses: Vec<f32> = (0..10).map(|_| trainer.step(&mut rng).loss).collect();
+        let view = &ds.test_views[0].camera;
+        let (rgb, depth) = render_model_view(trainer.model(), view, 24, ds.background);
+        let mut stats = *trainer.stats();
+        stats.backend = KernelBackend::Scalar; // normalise the provenance tag
+        (losses, rgb, depth, stats)
+    };
+    let (la, ia, da, sa) = run(KernelBackend::Scalar);
+    let (lb, ib, db, sb) = run(KernelBackend::Simd);
+    let la_bits: Vec<u32> = la.iter().map(|v| v.to_bits()).collect();
+    let lb_bits: Vec<u32> = lb.iter().map(|v| v.to_bits()).collect();
+    assert_eq!(la_bits, lb_bits, "losses must match bitwise");
     assert_eq!(
-        single, multi,
-        "TrainReport must be bit-identical across thread counts"
+        ia.pixels(),
+        ib.pixels(),
+        "rendered pixels must match bitwise"
     );
+    assert_eq!(da.depths(), db.depths(), "depths must match bitwise");
+    assert_eq!(sa, sb, "workload counters must match");
 }
 
 #[test]

@@ -65,6 +65,7 @@ proptest! {
             mlp_flops_ff: pts * 1000,
             mlp_flops_bp: pts * 2000,
             render_samples: pts,
+            ..WorkloadStats::default()
         };
         let mut ab = mk(a_iters, a_pts);
         ab.merge(&mk(b_iters, b_pts));
@@ -94,6 +95,7 @@ proptest! {
             mlp_flops_ff: 1_000_000,
             mlp_flops_bp: 2_000_000,
             render_samples: 2_000,
+            ..WorkloadStats::default()
         };
         let mut many = WorkloadStats::default();
         for _ in 0..reps {

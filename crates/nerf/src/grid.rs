@@ -19,8 +19,9 @@
 //! streams behind Figs. 8, 9 and 10.
 
 use crate::fp16;
-use crate::hash::{vertex_address, AddressMode, CORNER_OFFSETS};
+use crate::hash::{spatial_hash, vertex_address, AddressMode, CORNER_OFFSETS};
 use crate::math::Vec3;
+use crate::simd::{F32x8, KernelBackend};
 use rand::Rng;
 
 /// Memory-access phase, used by observers and the accelerator simulator.
@@ -531,11 +532,205 @@ impl HashGrid {
         }
     }
 
+    /// Interpolation data for a full lane of [`F32x8::LANES`] points at one
+    /// level: per-corner addresses (`addrs[c][k]` = corner `c` of point `k`)
+    /// and lane-batched trilinear weights.
+    ///
+    /// Per-lane arithmetic is the exact IEEE operation sequence of
+    /// [`HashGrid::corners`], so every weight bit-matches the scalar
+    /// kernel's; hashed levels replace the `% table_size` with an equal
+    /// power-of-two mask (the table size is always `1 << log2_table_size`).
+    #[inline]
+    fn corners_lanes(
+        level: &GridLevel,
+        pts: &[Vec3],
+        addrs: &mut [[u32; F32x8::LANES]; 8],
+        weights: &mut [F32x8; 8],
+    ) {
+        const LANES: usize = F32x8::LANES;
+        debug_assert_eq!(pts.len(), LANES);
+        let mut px = [0.0f32; LANES];
+        let mut py = [0.0f32; LANES];
+        let mut pz = [0.0f32; LANES];
+        for (k, p) in pts.iter().enumerate() {
+            px[k] = p.x;
+            py[k] = p.y;
+            pz[k] = p.z;
+        }
+        let n = F32x8::splat(level.resolution as f32);
+        let eps = 1e-6;
+        let sx = F32x8(px).clamp(0.0, 1.0 - eps) * n;
+        let sy = F32x8(py).clamp(0.0, 1.0 - eps) * n;
+        let sz = F32x8(pz).clamp(0.0, 1.0 - eps) * n;
+        let (cx, cy, cz) = (sx.floor(), sy.floor(), sz.floor());
+        let (fx, fy, fz) = (sx - cx, sy - cy, sz - cz);
+        let one = F32x8::splat(1.0);
+        let (gx, gy, gz) = (one - fx, one - fy, one - fz);
+        let mut ix = [0u32; LANES];
+        let mut iy = [0u32; LANES];
+        let mut iz = [0u32; LANES];
+        for k in 0..LANES {
+            ix[k] = cx[k] as u32;
+            iy[k] = cy[k] as u32;
+            iz[k] = cz[k] as u32;
+        }
+        // Hashed levels always use a power-of-two table, so the Eq. 3
+        // modulo reduces to a mask with the identical result.
+        let hash_mask = (level.mode == AddressMode::Hashed && level.table_size.is_power_of_two())
+            .then(|| level.table_size - 1);
+        // The scalar kernel computes (wx*wy)*wz left-associated; the four
+        // distinct wx*wy products are shared across corner pairs here —
+        // same association, same bits, 4 fewer lane multiplies.
+        let wxy = [gx * gy, fx * gy, gx * fy, fx * fy];
+        // Per-axis address terms, computed once per lane instead of once
+        // per corner. Unsigned arithmetic is exact mod 2^32, so combining
+        // precomputed y/z terms yields bit-identical addresses to the
+        // per-corner `spatial_hash` / `dense_index` calls.
+        let mut yt = [[0u32; F32x8::LANES]; 2];
+        let mut zt = [[0u32; F32x8::LANES]; 2];
+        match (level.mode, hash_mask) {
+            (AddressMode::Hashed, Some(_)) => {
+                for k in 0..LANES {
+                    yt[0][k] = iy[k].wrapping_mul(crate::hash::PI_2);
+                    yt[1][k] = (iy[k] + 1).wrapping_mul(crate::hash::PI_2);
+                    zt[0][k] = iz[k].wrapping_mul(crate::hash::PI_3);
+                    zt[1][k] = (iz[k] + 1).wrapping_mul(crate::hash::PI_3);
+                }
+            }
+            (AddressMode::Dense, _) => {
+                let n = level.resolution + 1;
+                for k in 0..LANES {
+                    yt[0][k] = iy[k] * n;
+                    yt[1][k] = (iy[k] + 1) * n;
+                    zt[0][k] = iz[k] * n * n;
+                    zt[1][k] = (iz[k] + 1) * n * n;
+                }
+            }
+            (AddressMode::Hashed, None) => {}
+        }
+        for (c, &(dx, dy, dz)) in CORNER_OFFSETS.iter().enumerate() {
+            let wz = if dz == 1 { fz } else { gz };
+            weights[c] = wxy[(dx + dy * 2) as usize] * wz;
+            let ac = &mut addrs[c];
+            let (yc, zc) = (&yt[dy as usize], &zt[dz as usize]);
+            match (level.mode, hash_mask) {
+                (AddressMode::Hashed, Some(mask)) => {
+                    for k in 0..LANES {
+                        // PI_1 == 1, so the x term is the coordinate itself.
+                        ac[k] = ((ix[k] + dx) ^ yc[k] ^ zc[k]) & mask;
+                    }
+                }
+                (AddressMode::Hashed, None) => {
+                    for k in 0..LANES {
+                        ac[k] = spatial_hash(ix[k] + dx, iy[k] + dy, iz[k] + dz, level.table_size);
+                    }
+                }
+                (AddressMode::Dense, _) => {
+                    for k in 0..LANES {
+                        ac[k] = (ix[k] + dx) + yc[k] + zc[k];
+                    }
+                }
+            }
+        }
+    }
+
+    /// SIMD lane-batched level-major encode: lanes of [`F32x8::LANES`]
+    /// points move through each level together — trilinear weights and the
+    /// 8-corner × F=2 accumulation run lane-parallel, table gathers stay
+    /// per-lane. Per-point operation order is exactly the scalar kernel's
+    /// (see [`crate::simd`] for the contract), so output bits match
+    /// [`HashGrid::encode_batch_level_major`] for every batch size,
+    /// including the scalar remainder tail. Grids with
+    /// `features_per_entry != 2` fall back to the scalar kernel.
+    pub fn encode_batch_simd(&self, unit_positions: &[Vec3], out: &mut [f32]) {
+        const LANES: usize = F32x8::LANES;
+        let w = self.output_dim();
+        assert_eq!(
+            out.len(),
+            unit_positions.len() * w,
+            "SoA output buffer size mismatch"
+        );
+        let f = self.cfg.features_per_entry;
+        if f != 2 {
+            return self.encode_batch_level_major(unit_positions, out);
+        }
+        let n = unit_positions.len();
+        let full = n - n % LANES;
+        let mut addrs = [[0u32; LANES]; 8];
+        let mut weights = [F32x8::ZERO; 8];
+        for (l, level) in self.levels.iter().enumerate() {
+            let base = self.param_offsets[l];
+            let col = l * 2;
+            for i in (0..full).step_by(LANES) {
+                Self::corners_lanes(
+                    level,
+                    &unit_positions[i..i + LANES],
+                    &mut addrs,
+                    &mut weights,
+                );
+                let mut acc0 = F32x8::ZERO;
+                let mut acc1 = F32x8::ZERO;
+                for c in 0..8 {
+                    let mut f0 = [0.0f32; LANES];
+                    let mut f1 = [0.0f32; LANES];
+                    for k in 0..LANES {
+                        let src = base + addrs[c][k] as usize * 2;
+                        f0[k] = self.params[src];
+                        f1[k] = self.params[src + 1];
+                    }
+                    acc0 += weights[c] * F32x8(f0);
+                    acc1 += weights[c] * F32x8(f1);
+                }
+                for k in 0..LANES {
+                    let dst = (i + k) * w + col;
+                    out[dst] = acc0[k];
+                    out[dst + 1] = acc1[k];
+                }
+            }
+            // Remainder tail (< LANES points): the scalar F = 2 loop.
+            for (i, p) in unit_positions.iter().enumerate().skip(full) {
+                let (pa, pw) = self.corners(level, *p);
+                let mut acc0 = 0.0f32;
+                let mut acc1 = 0.0f32;
+                for c in 0..8 {
+                    let src = base + pa[c] as usize * 2;
+                    let wgt = pw[c];
+                    acc0 += wgt * self.params[src];
+                    acc1 += wgt * self.params[src + 1];
+                }
+                let dst = i * w + col;
+                out[dst] = acc0;
+                out[dst + 1] = acc1;
+            }
+        }
+    }
+
+    /// Single-chunk backend dispatch for the unobserved batched encode.
+    #[inline]
+    fn encode_chunk(&self, backend: KernelBackend, unit_positions: &[Vec3], out: &mut [f32]) {
+        match backend {
+            KernelBackend::Scalar => self.encode_batch_level_major(unit_positions, out),
+            KernelBackend::Simd => self.encode_batch_simd(unit_positions, out),
+        }
+    }
+
     /// Parallel unobserved batched encode: points are split into fixed-size
     /// chunks processed on the rayon pool, each chunk running the
     /// level-major SoA kernel. All writes are disjoint output rows, so the
     /// result is bit-identical for any worker count.
     pub fn par_encode_batch(&self, unit_positions: &[Vec3], out: &mut [f32]) {
+        self.par_encode_batch_with(KernelBackend::Scalar, unit_positions, out);
+    }
+
+    /// [`HashGrid::par_encode_batch`] with an explicit kernel backend;
+    /// results are bit-identical across backends, chunkings and worker
+    /// counts.
+    pub fn par_encode_batch_with(
+        &self,
+        backend: KernelBackend,
+        unit_positions: &[Vec3],
+        out: &mut [f32],
+    ) {
         use rayon::prelude::*;
         let w = self.output_dim();
         assert_eq!(
@@ -546,13 +741,13 @@ impl HashGrid {
         let n = unit_positions.len();
         const CHUNK: usize = 256;
         if n <= CHUNK || rayon::current_num_threads() <= 1 {
-            self.encode_batch_level_major(unit_positions, out);
+            self.encode_chunk(backend, unit_positions, out);
             return;
         }
         out.par_chunks_mut(CHUNK * w)
             .zip(unit_positions.par_chunks(CHUNK))
             .for_each(|(out_chunk, pos_chunk)| {
-                self.encode_batch_level_major(pos_chunk, out_chunk);
+                self.encode_chunk(backend, pos_chunk, out_chunk);
             });
     }
 
@@ -594,6 +789,108 @@ impl HashGrid {
         d_out: &[f32],
         grads: &mut GridGradients,
     ) {
+        self.par_backward_batch_with(KernelBackend::Scalar, unit_positions, d_out, grads);
+    }
+
+    /// One level's scatter, scalar reference kernel: walks all points in
+    /// order, accumulating into that level's disjoint gradient slice.
+    fn scatter_level_scalar(
+        &self,
+        l: usize,
+        level_grads: &mut [f32],
+        unit_positions: &[Vec3],
+        d_out: &[f32],
+    ) {
+        let f = self.cfg.features_per_entry;
+        let w = self.output_dim();
+        let level = &self.levels[l];
+        let col = l * f;
+        if f == 2 {
+            for (i, p) in unit_positions.iter().enumerate() {
+                let (addrs, weights) = self.corners(level, *p);
+                let g0 = d_out[i * w + col];
+                let g1 = d_out[i * w + col + 1];
+                for c in 0..8 {
+                    let wgt = weights[c];
+                    let dst = addrs[c] as usize * 2;
+                    level_grads[dst] += wgt * g0;
+                    level_grads[dst + 1] += wgt * g1;
+                }
+            }
+        } else {
+            for (i, p) in unit_positions.iter().enumerate() {
+                let (addrs, weights) = self.corners(level, *p);
+                let src = &d_out[i * w + col..i * w + col + f];
+                for c in 0..8 {
+                    let wgt = weights[c];
+                    let dst = addrs[c] as usize * f;
+                    for (g, s) in level_grads[dst..dst + f].iter_mut().zip(src) {
+                        *g += wgt * s;
+                    }
+                }
+            }
+        }
+    }
+
+    /// One level's scatter, SIMD kernel: corner addresses and trilinear
+    /// weights are precomputed lane-batched ([`HashGrid::corners_lanes`]),
+    /// then the 8-corner × F=2 accumulation walks the lane's points *in
+    /// point order* — scatters can collide on a table entry, so the
+    /// accumulation itself must stay sequential per parameter to preserve
+    /// the scalar kernel's addition order. Bit-identical to
+    /// [`HashGrid::scatter_level_scalar`].
+    fn scatter_level_simd(
+        &self,
+        l: usize,
+        level_grads: &mut [f32],
+        unit_positions: &[Vec3],
+        d_out: &[f32],
+    ) {
+        const LANES: usize = F32x8::LANES;
+        let f = self.cfg.features_per_entry;
+        if f != 2 {
+            return self.scatter_level_scalar(l, level_grads, unit_positions, d_out);
+        }
+        let w = self.output_dim();
+        let level = &self.levels[l];
+        let col = l * 2;
+        let n = unit_positions.len();
+        let full = n - n % LANES;
+        let mut addrs = [[0u32; LANES]; 8];
+        let mut weights = [F32x8::ZERO; 8];
+        for i in (0..full).step_by(LANES) {
+            Self::corners_lanes(
+                level,
+                &unit_positions[i..i + LANES],
+                &mut addrs,
+                &mut weights,
+            );
+            for k in 0..LANES {
+                let g0 = d_out[(i + k) * w + col];
+                let g1 = d_out[(i + k) * w + col + 1];
+                for c in 0..8 {
+                    let wgt = weights[c][k];
+                    let dst = addrs[c][k] as usize * 2;
+                    level_grads[dst] += wgt * g0;
+                    level_grads[dst + 1] += wgt * g1;
+                }
+            }
+        }
+        if full < n {
+            self.scatter_level_scalar(l, level_grads, &unit_positions[full..], &d_out[full * w..]);
+        }
+    }
+
+    /// [`HashGrid::par_backward_batch`] with an explicit kernel backend;
+    /// per-parameter accumulation stays in point order on every backend,
+    /// so results are bit-identical across backends and worker counts.
+    pub fn par_backward_batch_with(
+        &self,
+        backend: KernelBackend,
+        unit_positions: &[Vec3],
+        d_out: &[f32],
+        grads: &mut GridGradients,
+    ) {
         use rayon::prelude::*;
         let w = self.output_dim();
         assert_eq!(
@@ -606,7 +903,6 @@ impl HashGrid {
             self.params.len(),
             "gradient buffer mismatch"
         );
-        let f = self.cfg.features_per_entry;
         // Slice the flat gradient buffer into per-level disjoint regions.
         let mut level_slices: Vec<(usize, &mut [f32])> = Vec::with_capacity(self.levels.len());
         let mut rest: &mut [f32] = &mut grads.values;
@@ -616,35 +912,16 @@ impl HashGrid {
             level_slices.push((l, head));
             rest = tail;
         }
-        level_slices.into_par_iter().for_each(|(l, level_grads)| {
-            let level = &self.levels[l];
-            let col = l * f;
-            if f == 2 {
-                for (i, p) in unit_positions.iter().enumerate() {
-                    let (addrs, weights) = self.corners(level, *p);
-                    let g0 = d_out[i * w + col];
-                    let g1 = d_out[i * w + col + 1];
-                    for c in 0..8 {
-                        let wgt = weights[c];
-                        let dst = addrs[c] as usize * 2;
-                        level_grads[dst] += wgt * g0;
-                        level_grads[dst + 1] += wgt * g1;
-                    }
+        level_slices
+            .into_par_iter()
+            .for_each(|(l, level_grads)| match backend {
+                KernelBackend::Scalar => {
+                    self.scatter_level_scalar(l, level_grads, unit_positions, d_out)
                 }
-            } else {
-                for (i, p) in unit_positions.iter().enumerate() {
-                    let (addrs, weights) = self.corners(level, *p);
-                    let src = &d_out[i * w + col..i * w + col + f];
-                    for c in 0..8 {
-                        let wgt = weights[c];
-                        let dst = addrs[c] as usize * f;
-                        for (g, s) in level_grads[dst..dst + f].iter_mut().zip(src) {
-                            *g += wgt * s;
-                        }
-                    }
+                KernelBackend::Simd => {
+                    self.scatter_level_simd(l, level_grads, unit_positions, d_out)
                 }
-            }
-        });
+            });
         grads.count += unit_positions.len();
     }
 

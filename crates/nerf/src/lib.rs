@@ -16,6 +16,10 @@
 //!   `backward_batch_into`, `par_backward_batch`) process whole point
 //!   batches — level-major for cache locality, level-parallel for the
 //!   scatter — with bit-identical results to the scalar kernels.
+//! * [`simd`] — portable fixed-width SIMD lane types and the
+//!   [`KernelBackend`] switch; SIMD kernels are additive-order-preserving
+//!   and FMA-free, so every backend is bit-identical to the scalar
+//!   reference (pinned by `tests/simd_differential.rs`).
 //! * [`sh`] — spherical-harmonics direction encoding for the color head.
 //! * [`mlp`] — small fully-connected networks with hand-derived backprop
 //!   (Step ③-②); `forward_batch` / `backward_batch` run whole batches
@@ -57,6 +61,7 @@ pub mod occupancy;
 pub mod render;
 pub mod sampler;
 pub mod sh;
+pub mod simd;
 pub mod ssim;
 
 pub use camera::Camera;
@@ -64,3 +69,4 @@ pub use field::RadianceField;
 pub use grid::{HashGrid, HashGridConfig};
 pub use image::{DepthImage, RgbImage};
 pub use math::{Aabb, Ray, Vec3};
+pub use simd::KernelBackend;

@@ -9,6 +9,7 @@
 //! (`instant3d-accel::mlp_unit`).
 
 use crate::activation::Activation;
+use crate::simd::{self, F32x8, KernelBackend};
 use rand::Rng;
 use rayon::prelude::*;
 
@@ -73,6 +74,53 @@ impl Linear {
             }
             pre[o] = acc;
             out[o] = self.spec.activation.apply(acc);
+        }
+    }
+
+    /// Writes the column-major transpose of `w` into `wt`
+    /// (`wt[i * out_dim + o] = w[o * in_dim + i]`) — the layout the SIMD
+    /// GEMV reads as contiguous output-neuron tiles.
+    fn fill_transposed(&self, wt: &mut Vec<f32>) {
+        let (iw, ow) = (self.spec.in_dim, self.spec.out_dim);
+        wt.resize(iw * ow, 0.0);
+        for o in 0..ow {
+            for i in 0..iw {
+                wt[i * ow + o] = self.w[o * iw + i];
+            }
+        }
+    }
+
+    /// SIMD row GEMV over the transposed weights `wt`: output neurons are
+    /// processed in lanes of 8, each accumulating `b[o] + Σ_i w[o,i]·x[i]`
+    /// with the same `i`-ascending addition order (and separate mul/add —
+    /// no FMA) as [`Linear::forward_into`], so every output bit matches
+    /// the scalar kernel. Lanes batch *independent* output neurons; no
+    /// cross-lane reduction occurs.
+    #[inline]
+    fn forward_into_simd(&self, wt: &[f32], x: &[f32], pre: &mut [f32], out: &mut [f32]) {
+        const LANES: usize = F32x8::LANES;
+        let (iw, ow) = (self.spec.in_dim, self.spec.out_dim);
+        debug_assert_eq!(x.len(), iw);
+        debug_assert_eq!(wt.len(), iw * ow);
+        let full = ow - ow % LANES;
+        let mut o0 = 0;
+        while o0 < full {
+            let mut acc = F32x8::from_slice(&self.b[o0..]);
+            for (i, &xi) in x.iter().enumerate() {
+                acc += F32x8::from_slice(&wt[i * ow + o0..]) * F32x8::splat(xi);
+            }
+            acc.write_to(&mut pre[o0..]);
+            o0 += LANES;
+        }
+        for o in full..ow {
+            let mut acc = self.b[o];
+            for (i, &xi) in x.iter().enumerate() {
+                acc += wt[i * ow + o] * xi;
+            }
+            pre[o] = acc;
+        }
+        for o in 0..ow {
+            out[o] = self.spec.activation.apply(pre[o]);
         }
     }
 }
@@ -185,6 +233,10 @@ pub struct MlpBatchWorkspace {
     /// Backward scratch (`n × width` of the layer being processed).
     d_cur: Vec<f32>,
     d_next: Vec<f32>,
+    /// Column-major (transposed) weight scratch per layer, rebuilt by each
+    /// SIMD forward pass (weights change between optimizer steps). Lets the
+    /// lane-batched GEMV read contiguous output-neuron tiles.
+    wt: Vec<Vec<f32>>,
 }
 
 impl MlpBatchWorkspace {
@@ -388,6 +440,7 @@ impl Mlp {
             pre: vec![Vec::new(); self.layers.len()],
             d_cur: Vec::new(),
             d_next: Vec::new(),
+            wt: vec![Vec::new(); self.layers.len()],
         };
         self.reserve_batch(&mut ws, capacity);
         ws
@@ -434,6 +487,20 @@ impl Mlp {
     ///
     /// Panics if `inputs.len()` is not a multiple of `self.in_dim()`.
     pub fn forward_batch<'w>(&self, inputs: &[f32], ws: &'w mut MlpBatchWorkspace) -> &'w [f32] {
+        self.forward_batch_with(KernelBackend::Scalar, inputs, ws)
+    }
+
+    /// [`Mlp::forward_batch`] with an explicit kernel backend. The SIMD
+    /// backend runs the lane-batched row GEMV over per-layer transposed
+    /// weights (rebuilt each call — weights change between optimizer
+    /// steps); outputs are bit-identical to the scalar backend for any
+    /// batch size and worker count.
+    pub fn forward_batch_with<'w>(
+        &self,
+        backend: KernelBackend,
+        inputs: &[f32],
+        ws: &'w mut MlpBatchWorkspace,
+    ) -> &'w [f32] {
         let iw = self.in_dim();
         assert_eq!(inputs.len() % iw, 0, "input batch width mismatch");
         let n = inputs.len() / iw;
@@ -442,35 +509,34 @@ impl Mlp {
         ws.acts[0][..n * iw].copy_from_slice(inputs);
         for (i, layer) in self.layers.iter().enumerate() {
             let spec = layer.spec;
+            if backend == KernelBackend::Simd {
+                layer.fill_transposed(&mut ws.wt[i]);
+            }
+            let wt: &[f32] = &ws.wt[i];
             let (head, tail) = ws.acts.split_at_mut(i + 1);
             let x = &head[i][..n * spec.in_dim];
             let y = &mut tail[0][..n * spec.out_dim];
             let pre = &mut ws.pre[i][..n * spec.out_dim];
+            let run_rows = |xc: &[f32], prec: &mut [f32], yc: &mut [f32]| {
+                let rows = yc.len() / spec.out_dim;
+                for r in 0..rows {
+                    let xr = &xc[r * spec.in_dim..(r + 1) * spec.in_dim];
+                    let prer = &mut prec[r * spec.out_dim..(r + 1) * spec.out_dim];
+                    let yr = &mut yc[r * spec.out_dim..(r + 1) * spec.out_dim];
+                    match backend {
+                        KernelBackend::Scalar => layer.forward_into(xr, prer, yr),
+                        KernelBackend::Simd => layer.forward_into_simd(wt, xr, prer, yr),
+                    }
+                }
+            };
             match Self::par_item_chunk(n, layer.flops()) {
                 Some(chunk) => {
                     y.par_chunks_mut(chunk * spec.out_dim)
                         .zip(pre.par_chunks_mut(chunk * spec.out_dim))
                         .zip(x.par_chunks(chunk * spec.in_dim))
-                        .for_each(|((yc, prec), xc)| {
-                            let rows = yc.len() / spec.out_dim;
-                            for r in 0..rows {
-                                layer.forward_into(
-                                    &xc[r * spec.in_dim..(r + 1) * spec.in_dim],
-                                    &mut prec[r * spec.out_dim..(r + 1) * spec.out_dim],
-                                    &mut yc[r * spec.out_dim..(r + 1) * spec.out_dim],
-                                );
-                            }
-                        });
+                        .for_each(|((yc, prec), xc)| run_rows(xc, prec, yc));
                 }
-                None => {
-                    for r in 0..n {
-                        layer.forward_into(
-                            &x[r * spec.in_dim..(r + 1) * spec.in_dim],
-                            &mut pre[r * spec.out_dim..(r + 1) * spec.out_dim],
-                            &mut y[r * spec.out_dim..(r + 1) * spec.out_dim],
-                        );
-                    }
-                }
+                None => run_rows(x, pre, y),
             }
         }
         &ws.acts.last().unwrap()[..n * self.out_dim()]
@@ -492,6 +558,23 @@ impl Mlp {
     /// Panics if buffer widths mismatch the workspace batch.
     pub fn backward_batch(
         &self,
+        d_output: &[f32],
+        ws: &mut MlpBatchWorkspace,
+        grads: &mut MlpGradients,
+        d_input: &mut [f32],
+    ) {
+        self.backward_batch_with(KernelBackend::Scalar, d_output, ws, grads, d_input);
+    }
+
+    /// [`Mlp::backward_batch`] with an explicit kernel backend. The SIMD
+    /// backend vectorizes the parameter-gradient and input-gradient inner
+    /// sweeps ([`simd::axpy`]) across independent parameters; accumulation
+    /// per parameter stays in item order, so gradients are bit-identical
+    /// to the scalar backend (and to `n` scalar [`Mlp::backward`] calls)
+    /// for any worker count.
+    pub fn backward_batch_with(
+        &self,
+        backend: KernelBackend,
         d_output: &[f32],
         ws: &mut MlpBatchWorkspace,
         grads: &mut MlpGradients,
@@ -559,9 +642,7 @@ impl Mlp {
                         let d = dzr[o0 + j];
                         gb_rows[j] += d;
                         let grow = &mut gw_rows[j * iw..(j + 1) * iw];
-                        for (g, xv) in grow.iter_mut().zip(xr) {
-                            *g += d * xv;
-                        }
+                        simd::axpy(backend, grow, d, xr);
                     }
                 }
             };
@@ -598,9 +679,7 @@ impl Mlp {
                                 for o in 0..ow {
                                     let d = dzc[r * ow + o];
                                     let wr = &w_flat[o * iw..(o + 1) * iw];
-                                    for (acc, wv) in dn.iter_mut().zip(wr) {
-                                        *acc += d * wv;
-                                    }
+                                    simd::axpy(backend, dn, d, wr);
                                 }
                             }
                         });
@@ -612,9 +691,7 @@ impl Mlp {
                         for o in 0..ow {
                             let d = dz[r * ow + o];
                             let wr = &w_flat[o * iw..(o + 1) * iw];
-                            for (acc, wv) in dn.iter_mut().zip(wr) {
-                                *acc += d * wv;
-                            }
+                            simd::axpy(backend, dn, d, wr);
                         }
                     }
                 }

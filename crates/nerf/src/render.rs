@@ -19,6 +19,7 @@
 //! ```
 
 use crate::math::Vec3;
+use crate::simd::{F32x8, KernelBackend};
 
 /// One integration sample along a ray: position parameters and the queried
 /// features (density σ and color c) from Step ③.
@@ -260,6 +261,69 @@ impl RayBatchCache {
     }
 }
 
+/// The sequential per-ray compositing recurrence, shared verbatim by both
+/// kernel backends of [`composite_slices_with`] — the backends only differ
+/// in how `one_minus_alpha` values are *produced* (per sample vs a
+/// lane-batched `−σδ` precompute); every consuming operation lives here,
+/// so the loop body cannot drift between backends.
+struct CompositeAccum {
+    color: Vec3,
+    depth: f32,
+    opacity: f32,
+    trans: f32,
+    active: usize,
+}
+
+impl CompositeAccum {
+    fn new() -> Self {
+        CompositeAccum {
+            color: Vec3::ZERO,
+            depth: 0.0,
+            opacity: 0.0,
+            trans: 1.0,
+            active: 0,
+        }
+    }
+
+    /// Integrates sample `k`; returns `true` when the ray early-terminates.
+    #[inline(always)]
+    fn step(
+        &mut self,
+        k: usize,
+        one_minus_alpha: f32,
+        t: &[f32],
+        rgb: &[Vec3],
+        cache: &mut Option<(&mut [f32], &mut [f32], &mut [f32])>,
+    ) -> bool {
+        let alpha = 1.0 - one_minus_alpha;
+        let w = self.trans * alpha;
+        if let Some((cw, ct, co)) = cache.as_mut() {
+            cw[k] = w;
+            ct[k] = self.trans;
+            co[k] = one_minus_alpha;
+        }
+        self.color += rgb[k] * w;
+        self.depth += t[k] * w;
+        self.opacity += w;
+        self.trans *= one_minus_alpha;
+        self.active = k + 1;
+        self.trans < EARLY_STOP_TRANSMITTANCE
+    }
+
+    fn finish(mut self, background: Vec3) -> (RenderOutput, usize) {
+        self.color += background * self.trans;
+        (
+            RenderOutput {
+                color: self.color,
+                depth: self.depth,
+                opacity: self.opacity,
+                transmittance: self.trans,
+            },
+            self.active,
+        )
+    }
+}
+
 /// Composites one ray given as SoA slices; cache slices (same length as the
 /// sample slices) receive per-sample state and the integrated sample count.
 /// Arithmetic is identical to [`composite`] — outputs agree bit-for-bit.
@@ -271,40 +335,65 @@ pub fn composite_slices(
     background: Vec3,
     mut cache: Option<(&mut [f32], &mut [f32], &mut [f32])>,
 ) -> (RenderOutput, usize) {
-    let mut color = Vec3::ZERO;
-    let mut depth = 0.0f32;
-    let mut opacity = 0.0f32;
-    let mut trans = 1.0f32;
-    let mut active = 0usize;
+    let mut acc = CompositeAccum::new();
     for k in 0..t.len() {
         debug_assert!(sigma[k] >= 0.0, "density must be non-negative");
         let one_minus_alpha = (-sigma[k] * dt[k]).exp();
-        let alpha = 1.0 - one_minus_alpha;
-        let w = trans * alpha;
-        if let Some((cw, ct, co)) = cache.as_mut() {
-            cw[k] = w;
-            ct[k] = trans;
-            co[k] = one_minus_alpha;
-        }
-        color += rgb[k] * w;
-        depth += t[k] * w;
-        opacity += w;
-        trans *= one_minus_alpha;
-        active = k + 1;
-        if trans < EARLY_STOP_TRANSMITTANCE {
+        if acc.step(k, one_minus_alpha, t, rgb, &mut cache) {
             break;
         }
     }
-    color += background * trans;
-    (
-        RenderOutput {
-            color,
-            depth,
-            opacity,
-            transmittance: trans,
-        },
-        active,
-    )
+    acc.finish(background)
+}
+
+/// [`composite_slices`] with an explicit kernel backend.
+///
+/// The SIMD backend precomputes the per-sample `(−σ·δ)` products in lanes
+/// of 8 (the `exp` stays scalar per lane — vector exp approximations would
+/// break bit-equality) and keeps the transmittance recurrence, cache
+/// writes and early termination sequential, so outputs, cache contents and
+/// the integrated sample count are bit-identical to the scalar kernel.
+pub fn composite_slices_with(
+    backend: KernelBackend,
+    t: &[f32],
+    dt: &[f32],
+    sigma: &[f32],
+    rgb: &[Vec3],
+    background: Vec3,
+    mut cache: Option<(&mut [f32], &mut [f32], &mut [f32])>,
+) -> (RenderOutput, usize) {
+    const LANES: usize = F32x8::LANES;
+    if backend == KernelBackend::Scalar {
+        return composite_slices(t, dt, sigma, rgb, background, cache);
+    }
+    let n = t.len();
+    let mut acc = CompositeAccum::new();
+    let mut oma = [0.0f32; LANES];
+    'rays: for c0 in (0..n).step_by(LANES) {
+        let m = (n - c0).min(LANES);
+        if m == LANES {
+            let mut negs = [0.0f32; LANES];
+            for (k, s) in sigma[c0..c0 + LANES].iter().enumerate() {
+                negs[k] = -s;
+            }
+            let prod = F32x8(negs) * F32x8::from_slice(&dt[c0..]);
+            for (k, o) in oma.iter_mut().enumerate() {
+                *o = prod[k].exp();
+            }
+        } else {
+            for k in 0..m {
+                oma[k] = (-sigma[c0 + k] * dt[c0 + k]).exp();
+            }
+        }
+        for (k, &one_minus_alpha) in oma.iter().enumerate().take(m) {
+            let kk = c0 + k;
+            debug_assert!(sigma[kk] >= 0.0, "density must be non-negative");
+            if acc.step(kk, one_minus_alpha, t, rgb, &mut cache) {
+                break 'rays;
+            }
+        }
+    }
+    acc.finish(background)
 }
 
 /// Backward pass of [`composite_slices`]: writes dL/dσ and dL/dc for every

@@ -1,0 +1,375 @@
+//! Portable fixed-width SIMD lane types and the kernel-backend switch.
+//!
+//! The hot kernels of this crate — hash-grid encode/scatter
+//! ([`crate::grid`]), the 64-wide MLP GEMV ([`crate::mlp`]) and per-ray
+//! compositing ([`crate::render`]) — exist in two interchangeable
+//! implementations selected by [`KernelBackend`]: the scalar reference
+//! kernels, and lane-batched SIMD kernels built on the [`F32x4`]/[`F32x8`]
+//! types below.
+//!
+//! # The additive-order / no-FMA contract
+//!
+//! **Every backend produces bit-identical results.** The SIMD kernels are
+//! written so that, for each output scalar, the exact sequence of IEEE 754
+//! operations — including the order of every addition — is the same as in
+//! the scalar reference kernel. Concretely:
+//!
+//! * Lanes are only ever used to batch *independent* scalars (different
+//!   points, different output neurons, different parameters). No kernel
+//!   reduces *across* lanes, which would reassociate a sum.
+//! * Every multiply-add is performed as a distinct IEEE multiply followed
+//!   by a distinct IEEE add — **never** a fused multiply-add. An FMA keeps
+//!   the infinitely-precise product and rounds once, so `fma(a, b, c) !=
+//!   a*b + c` in general; using it would silently break the contract. For
+//!   this reason the lane types expose no `mul_add` and the intrinsic
+//!   specializations deliberately avoid FMA instructions.
+//! * Lane arithmetic (`+`, `-`, `*`, `min`, `max`, `floor`) is exact
+//!   per-lane IEEE 754 — identical to the corresponding `f32` operator on
+//!   that lane's value. Approximate vector math (rsqrt, rcp, vector exp)
+//!   is never used; transcendentals stay scalar per lane.
+//!
+//! These properties are pinned by the differential suite
+//! (`crates/nerf/tests/simd_differential.rs`) which asserts bit-equality
+//! of every kernel against its scalar reference over remainder tails,
+//! empty batches and adversarial fp16 table contents.
+//!
+//! # Implementation notes
+//!
+//! The lane types are plain aligned arrays with `#[inline(always)]`
+//! elementwise operators — a form stable rustc reliably autovectorizes to
+//! SSE/NEON without any nightly features. On `x86_64`, where SSE2 is part
+//! of the baseline ISA, the [`F32x4`] arithmetic ops are additionally
+//! specialized to `core::arch` intrinsics (`_mm_add_ps` etc. — exact
+//! per-lane IEEE operations, so the contract above is preserved);
+//! [`F32x8`] is two `F32x4` halves. Every other architecture uses the
+//! autovectorized array fallback, which is always compiled and tested.
+
+/// Which kernel implementation the batched engine runs.
+///
+/// Threaded from `TrainConfig` through the model into every batch
+/// workspace, and reported in `WorkloadStats`. Overridable at process
+/// level with the `INSTANT3D_KERNEL_BACKEND` environment variable
+/// (`scalar` or `simd`), which is how the CI matrix forces both backends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum KernelBackend {
+    /// The scalar reference kernels (the executable specification).
+    Scalar,
+    /// Lane-batched SIMD kernels — bit-identical to [`KernelBackend::Scalar`]
+    /// by the additive-order/no-FMA contract (see module docs).
+    #[default]
+    Simd,
+}
+
+impl KernelBackend {
+    /// All backends, for test/bench matrices.
+    pub const ALL: [KernelBackend; 2] = [KernelBackend::Scalar, KernelBackend::Simd];
+
+    /// Short lowercase name (used in bench IDs and env parsing).
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelBackend::Scalar => "scalar",
+            KernelBackend::Simd => "simd",
+        }
+    }
+
+    /// Parses a backend name (case-insensitive).
+    pub fn parse(s: &str) -> Option<KernelBackend> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "scalar" => Some(KernelBackend::Scalar),
+            "simd" => Some(KernelBackend::Simd),
+            _ => None,
+        }
+    }
+
+    /// The backend requested by `INSTANT3D_KERNEL_BACKEND`, if set and
+    /// valid.
+    pub fn from_env() -> Option<KernelBackend> {
+        std::env::var("INSTANT3D_KERNEL_BACKEND")
+            .ok()
+            .and_then(|v| KernelBackend::parse(&v))
+    }
+
+    /// The env-var backend if set, otherwise `default`.
+    pub fn from_env_or(default: KernelBackend) -> KernelBackend {
+        KernelBackend::from_env().unwrap_or(default)
+    }
+}
+
+impl std::fmt::Display for KernelBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Four `f32` lanes, 16-byte aligned.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[repr(C, align(16))]
+pub struct F32x4(pub [f32; 4]);
+
+/// Eight `f32` lanes, 32-byte aligned.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[repr(C, align(32))]
+pub struct F32x8(pub [f32; 8]);
+
+macro_rules! lane_common {
+    ($ty:ident, $n:expr) => {
+        impl $ty {
+            /// Lane count.
+            pub const LANES: usize = $n;
+            /// All lanes zero.
+            pub const ZERO: $ty = $ty([0.0; $n]);
+
+            /// Broadcasts one value to every lane.
+            #[inline(always)]
+            pub fn splat(v: f32) -> $ty {
+                $ty([v; $n])
+            }
+
+            /// Loads lanes from the first `$n` elements of `s`.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `s` is shorter than the lane count.
+            #[inline(always)]
+            pub fn from_slice(s: &[f32]) -> $ty {
+                let mut v = [0.0f32; $n];
+                v.copy_from_slice(&s[..$n]);
+                $ty(v)
+            }
+
+            /// Stores lanes into the first `$n` elements of `out`.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `out` is shorter than the lane count.
+            #[inline(always)]
+            pub fn write_to(self, out: &mut [f32]) {
+                out[..$n].copy_from_slice(&self.0);
+            }
+
+            /// Per-lane `f32::floor` (exact, same as the scalar kernel).
+            #[inline(always)]
+            pub fn floor(self) -> $ty {
+                let mut v = self.0;
+                for x in &mut v {
+                    *x = x.floor();
+                }
+                $ty(v)
+            }
+
+            /// Per-lane `f32::clamp(lo, hi)` — bitwise identical to the
+            /// scalar kernels' clamp for the finite inputs they handle.
+            #[inline(always)]
+            pub fn clamp(self, lo: f32, hi: f32) -> $ty {
+                let mut v = self.0;
+                for x in &mut v {
+                    *x = x.clamp(lo, hi);
+                }
+                $ty(v)
+            }
+        }
+
+        impl std::ops::Index<usize> for $ty {
+            type Output = f32;
+            #[inline(always)]
+            fn index(&self, i: usize) -> &f32 {
+                &self.0[i]
+            }
+        }
+
+        impl std::ops::AddAssign for $ty {
+            #[inline(always)]
+            fn add_assign(&mut self, rhs: $ty) {
+                *self = *self + rhs;
+            }
+        }
+
+        impl std::ops::MulAssign for $ty {
+            #[inline(always)]
+            fn mul_assign(&mut self, rhs: $ty) {
+                *self = *self * rhs;
+            }
+        }
+    };
+}
+
+lane_common!(F32x4, 4);
+lane_common!(F32x8, 8);
+
+// --- F32x4 arithmetic: SSE2 intrinsics on x86_64 (baseline ISA there),
+// --- autovectorized array loops everywhere else. Both are exact per-lane
+// --- IEEE add/sub/mul — no FMA, no approximation.
+
+macro_rules! f32x4_binop {
+    ($trait:ident, $method:ident, $intrin:ident, $op:tt) => {
+        impl std::ops::$trait for F32x4 {
+            type Output = F32x4;
+            #[inline(always)]
+            fn $method(self, rhs: F32x4) -> F32x4 {
+                #[cfg(target_arch = "x86_64")]
+                // SAFETY: SSE2 is part of the x86_64 baseline ISA, and
+                // F32x4 is 16-byte aligned, so aligned loads are valid.
+                unsafe {
+                    use std::arch::x86_64::*;
+                    let a = _mm_load_ps(self.0.as_ptr());
+                    let b = _mm_load_ps(rhs.0.as_ptr());
+                    let mut out = F32x4::ZERO;
+                    _mm_store_ps(out.0.as_mut_ptr(), $intrin(a, b));
+                    out
+                }
+                #[cfg(not(target_arch = "x86_64"))]
+                {
+                    let mut v = self.0;
+                    for (x, y) in v.iter_mut().zip(&rhs.0) {
+                        *x = *x $op *y;
+                    }
+                    F32x4(v)
+                }
+            }
+        }
+    };
+}
+
+f32x4_binop!(Add, add, _mm_add_ps, +);
+f32x4_binop!(Sub, sub, _mm_sub_ps, -);
+f32x4_binop!(Mul, mul, _mm_mul_ps, *);
+
+macro_rules! f32x8_binop {
+    ($trait:ident, $method:ident, $op:tt) => {
+        impl std::ops::$trait for F32x8 {
+            type Output = F32x8;
+            #[inline(always)]
+            fn $method(self, rhs: F32x8) -> F32x8 {
+                #[cfg(target_arch = "x86_64")]
+                {
+                    // Two SSE2 halves (keeps the intrinsic path without
+                    // requiring AVX, which is not baseline).
+                    let lo = F32x4::from_slice(&self.0[..4]) $op F32x4::from_slice(&rhs.0[..4]);
+                    let hi = F32x4::from_slice(&self.0[4..]) $op F32x4::from_slice(&rhs.0[4..]);
+                    let mut v = [0.0f32; 8];
+                    v[..4].copy_from_slice(&lo.0);
+                    v[4..].copy_from_slice(&hi.0);
+                    F32x8(v)
+                }
+                #[cfg(not(target_arch = "x86_64"))]
+                {
+                    let mut v = self.0;
+                    for (x, y) in v.iter_mut().zip(&rhs.0) {
+                        *x = *x $op *y;
+                    }
+                    F32x8(v)
+                }
+            }
+        }
+    };
+}
+
+f32x8_binop!(Add, add, +);
+f32x8_binop!(Sub, sub, -);
+f32x8_binop!(Mul, mul, *);
+
+/// `y[i] += a * x[i]`, elementwise, on the selected backend.
+///
+/// Each `y[i]` receives exactly one add of one product on either backend,
+/// so results are bit-identical — this is the vectorizable inner loop of
+/// the MLP parameter-gradient and input-gradient sweeps.
+///
+/// # Panics
+///
+/// Panics if `x` is shorter than `y`.
+#[inline]
+pub fn axpy(backend: KernelBackend, y: &mut [f32], a: f32, x: &[f32]) {
+    match backend {
+        KernelBackend::Scalar => {
+            for (yi, xi) in y.iter_mut().zip(x) {
+                *yi += a * xi;
+            }
+        }
+        KernelBackend::Simd => {
+            let n = y.len();
+            let full = n - n % F32x8::LANES;
+            let av = F32x8::splat(a);
+            let mut i = 0;
+            while i < full {
+                let r = F32x8::from_slice(&y[i..]) + av * F32x8::from_slice(&x[i..]);
+                r.write_to(&mut y[i..]);
+                i += F32x8::LANES;
+            }
+            for (yi, xi) in y[full..].iter_mut().zip(&x[full..]) {
+                *yi += a * xi;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_parse_and_display() {
+        assert_eq!(KernelBackend::parse("scalar"), Some(KernelBackend::Scalar));
+        assert_eq!(KernelBackend::parse(" SIMD "), Some(KernelBackend::Simd));
+        assert_eq!(KernelBackend::parse("avx512"), None);
+        assert_eq!(KernelBackend::Simd.to_string(), "simd");
+        assert_eq!(KernelBackend::ALL.len(), 2);
+    }
+
+    #[test]
+    fn lane_ops_match_scalar_ops_bitwise() {
+        let a = [1.5f32, -0.25, 3.207_18e-3, 65504.0, -2.5, 0.1, 7.0, -0.0];
+        let b = [0.3f32, 123.456, -9.87, 2.0e-4, 0.5, -0.1, 3.0, 4.0];
+        let va = F32x8::from_slice(&a);
+        let vb = F32x8::from_slice(&b);
+        for k in 0..8 {
+            assert_eq!((va + vb)[k].to_bits(), (a[k] + b[k]).to_bits());
+            assert_eq!((va - vb)[k].to_bits(), (a[k] - b[k]).to_bits());
+            assert_eq!((va * vb)[k].to_bits(), (a[k] * b[k]).to_bits());
+        }
+        let qa = F32x4::from_slice(&a);
+        let qb = F32x4::from_slice(&b);
+        for k in 0..4 {
+            assert_eq!((qa + qb)[k].to_bits(), (a[k] + b[k]).to_bits());
+            assert_eq!((qa - qb)[k].to_bits(), (a[k] - b[k]).to_bits());
+            assert_eq!((qa * qb)[k].to_bits(), (a[k] * b[k]).to_bits());
+        }
+    }
+
+    #[test]
+    fn floor_and_clamp_match_scalar() {
+        let a = [1.5f32, -0.25, 0.999_999, 4.0, -2.5, 0.0, 17.3, 1e-7];
+        let v = F32x8::from_slice(&a);
+        for k in 0..8 {
+            assert_eq!(v.floor()[k].to_bits(), a[k].floor().to_bits());
+            let c = v.clamp(0.0, 1.0 - 1e-6);
+            assert_eq!(c[k].to_bits(), a[k].clamp(0.0, 1.0 - 1e-6).to_bits());
+        }
+    }
+
+    #[test]
+    fn splat_store_roundtrip() {
+        let mut out = [0.0f32; 8];
+        F32x8::splat(2.5).write_to(&mut out);
+        assert_eq!(out, [2.5; 8]);
+        let mut acc = F32x8::ZERO;
+        acc += F32x8::splat(1.0);
+        acc *= F32x8::splat(3.0);
+        assert_eq!(acc.0, [3.0; 8]);
+    }
+
+    #[test]
+    fn no_fma_in_mul_then_add() {
+        // If a fused multiply-add ever sneaks in, this catches it:
+        // pick a, b, c where fma(a, b, c) != a*b + c under f32 rounding.
+        let a = 1.0 + f32::EPSILON;
+        let b = 1.0 - f32::EPSILON;
+        let c = -1.0f32;
+        let scalar = a * b + c;
+        let lanes = F32x8::splat(a) * F32x8::splat(b) + F32x8::splat(c);
+        let fused = f32::mul_add(a, b, c);
+        assert_ne!(scalar.to_bits(), fused.to_bits(), "test inputs degenerate");
+        for k in 0..8 {
+            assert_eq!(lanes[k].to_bits(), scalar.to_bits());
+        }
+    }
+}

@@ -7,6 +7,7 @@ use instant3d_nerf::hash::{corner_group, dense_index, spatial_hash};
 use instant3d_nerf::math::{Aabb, Ray, Vec3};
 use instant3d_nerf::metrics::psnr;
 use instant3d_nerf::render::{composite, composite_backward, RaySample, RenderCache};
+use instant3d_nerf::simd::KernelBackend;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -278,12 +279,18 @@ proptest! {
         grid.encode_batch_level_major(&positions, &mut level_major);
         let mut parallel = vec![0.0f32; positions.len() * w];
         grid.par_encode_batch(&positions, &mut parallel);
+        let mut lanes = vec![0.0f32; positions.len() * w];
+        grid.encode_batch_simd(&positions, &mut lanes);
+        let mut par_lanes = vec![0.0f32; positions.len() * w];
+        grid.par_encode_batch_with(KernelBackend::Simd, &positions, &mut par_lanes);
 
         for (i, p) in positions.iter().enumerate() {
             let scalar = grid.encode(*p);
             prop_assert_eq!(&batched[i * w..(i + 1) * w], &scalar[..], "point-major row {}", i);
             prop_assert_eq!(&level_major[i * w..(i + 1) * w], &scalar[..], "level-major row {}", i);
             prop_assert_eq!(&parallel[i * w..(i + 1) * w], &scalar[..], "parallel row {}", i);
+            prop_assert_eq!(&lanes[i * w..(i + 1) * w], &scalar[..], "simd row {}", i);
+            prop_assert_eq!(&par_lanes[i * w..(i + 1) * w], &scalar[..], "par simd row {}", i);
         }
     }
 
@@ -312,16 +319,20 @@ proptest! {
         for (i, p) in positions.iter().enumerate() {
             grid.backward_into(*p, &d_out[i * w..(i + 1) * w], &mut scalar, &mut NullObserver);
         }
-        // Batched point-major and parallel level-major scatters.
+        // Batched point-major, parallel level-major and SIMD scatters.
         let mut batched = grid.zero_grads();
         grid.backward_batch_into(&positions, &d_out, &mut batched, &mut NullObserver);
         let mut parallel = grid.zero_grads();
         grid.par_backward_batch(&positions, &d_out, &mut parallel);
+        let mut lanes = grid.zero_grads();
+        grid.par_backward_batch_with(KernelBackend::Simd, &positions, &d_out, &mut lanes);
 
         prop_assert_eq!(&batched.values, &scalar.values);
         prop_assert_eq!(batched.count, scalar.count);
         prop_assert_eq!(&parallel.values, &scalar.values);
         prop_assert_eq!(parallel.count, scalar.count);
+        prop_assert_eq!(&lanes.values, &scalar.values);
+        prop_assert_eq!(lanes.count, scalar.count);
     }
 
     #[test]
@@ -338,10 +349,15 @@ proptest! {
         let inputs: Vec<f32> = rows.iter().flat_map(|&(a, b, c, d)| [a, b, c, d]).collect();
         let mut bws = mlp.batch_workspace(rows.len());
         let out = mlp.forward_batch(&inputs, &mut bws).to_vec();
+        let mut bws_simd = mlp.batch_workspace(rows.len());
+        let out_simd = mlp
+            .forward_batch_with(KernelBackend::Simd, &inputs, &mut bws_simd)
+            .to_vec();
         let mut ws = mlp.workspace();
         for (i, row) in inputs.chunks(4).enumerate() {
             let scalar = mlp.forward(row, &mut ws);
             prop_assert_eq!(&out[i * 3..(i + 1) * 3], scalar, "row {}", i);
+            prop_assert_eq!(&out_simd[i * 3..(i + 1) * 3], scalar, "simd row {}", i);
         }
     }
 
@@ -373,19 +389,24 @@ proptest! {
                 &mut scalar_d_in[i * 3..(i + 1) * 3],
             );
         }
-        // Batched: one forward, one backward, retained activations.
-        let mut bws = mlp.batch_workspace(n);
-        mlp.forward_batch(&inputs, &mut bws);
-        let mut grads = mlp.zero_grads();
-        let mut d_in = vec![0.0f32; n * 3];
-        mlp.backward_batch(&d_out, &mut bws, &mut grads, &mut d_in);
+        // Batched: one forward, one backward, retained activations — on
+        // both kernel backends.
+        for backend in KernelBackend::ALL {
+            let mut bws = mlp.batch_workspace(n);
+            mlp.forward_batch_with(backend, &inputs, &mut bws);
+            let mut grads = mlp.zero_grads();
+            let mut d_in = vec![0.0f32; n * 3];
+            mlp.backward_batch_with(backend, &d_out, &mut bws, &mut grads, &mut d_in);
 
-        prop_assert_eq!(grads.count, scalar_grads.count);
-        for (li, ((gw, gb), (sw, sb))) in grads.layers.iter().zip(&scalar_grads.layers).enumerate() {
-            prop_assert_eq!(gw, sw, "layer {} weights", li);
-            prop_assert_eq!(gb, sb, "layer {} biases", li);
+            prop_assert_eq!(grads.count, scalar_grads.count);
+            for (li, ((gw, gb), (sw, sb))) in
+                grads.layers.iter().zip(&scalar_grads.layers).enumerate()
+            {
+                prop_assert_eq!(gw, sw, "{} layer {} weights", backend, li);
+                prop_assert_eq!(gb, sb, "{} layer {} biases", backend, li);
+            }
+            prop_assert_eq!(d_in, scalar_d_in.clone(), "{} input grads", backend);
         }
-        prop_assert_eq!(d_in, scalar_d_in);
     }
 
     #[test]
@@ -425,6 +446,18 @@ proptest! {
         prop_assert_eq!(soa, aos);
         prop_assert_eq!(active, aos_cache.weights.len());
         prop_assert_eq!(&weights[..active], &aos_cache.weights[..]);
+
+        // The SIMD compositing backend agrees with the AoS reference too.
+        let mut w2 = vec![0.0f32; n];
+        let mut t2 = vec![0.0f32; n];
+        let mut o2 = vec![0.0f32; n];
+        let (soa_simd, active_simd) = instant3d_nerf::render::composite_slices_with(
+            KernelBackend::Simd, &t, &dts, &sg, &rgb, background,
+            Some((&mut w2, &mut t2, &mut o2)),
+        );
+        prop_assert_eq!(soa_simd, aos);
+        prop_assert_eq!(active_simd, active);
+        prop_assert_eq!(&w2[..active], &aos_cache.weights[..]);
 
         // Backward agreement on the same ray.
         let d_color = Vec3::new(0.7, -0.4, 0.2);

@@ -1,0 +1,431 @@
+//! The differential harness pinning the SIMD backend to the scalar
+//! reference kernels, bit for bit.
+//!
+//! Every hot kernel (grid encode, grid backward-scatter, MLP forward /
+//! backward, per-ray compositing, the axpy sweep) is run on both
+//! [`KernelBackend`]s over batch sizes that exercise the remainder tails
+//! (`N % 8 != 0`), the empty batch, single points, lane-exact batches and
+//! multi-chunk batches — plus adversarial table contents: fp16-quantized
+//! features including subnormals and signed zeros, and tiny hash tables
+//! that force lane-internal address collisions. Equality is asserted on
+//! raw bits (`assert_eq!` on `f32` is bitwise up to `0.0 == -0.0`; sign
+//! checks cover the zero cases explicitly where they matter).
+
+use instant3d_nerf::activation::Activation;
+use instant3d_nerf::fp16;
+use instant3d_nerf::grid::{HashGrid, HashGridConfig};
+use instant3d_nerf::math::Vec3;
+use instant3d_nerf::mlp::{Mlp, MlpConfig};
+use instant3d_nerf::render::{composite_slices, composite_slices_with};
+use instant3d_nerf::simd::{self, KernelBackend};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Batch sizes that cover N=0, N=1, sub-lane, lane-exact, lane+tail and
+/// multi-chunk (the parallel dispatch chunks at 256) shapes.
+const BATCH_SIZES: [usize; 10] = [0, 1, 3, 7, 8, 9, 15, 64, 257, 300];
+
+fn grid(cfg: HashGridConfig, seed: u64) -> HashGrid {
+    let mut rng = StdRng::seed_from_u64(seed);
+    HashGrid::new_random(cfg, &mut rng)
+}
+
+fn points(n: usize, seed: u64) -> Vec<Vec3> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Vec3::new(rng.gen(), rng.gen(), rng.gen()))
+        .collect()
+}
+
+fn bits(xs: &[f32]) -> Vec<u32> {
+    xs.iter().map(|v| v.to_bits()).collect()
+}
+
+/// Default-shaped grid (dense + hashed levels, fp16 storage like training).
+fn training_grid(seed: u64) -> HashGrid {
+    grid(
+        HashGridConfig {
+            levels: 4,
+            log2_table_size: 10,
+            base_resolution: 4,
+            max_resolution: 64,
+            store_fp16: true,
+            ..HashGridConfig::default()
+        },
+        seed,
+    )
+}
+
+/// A grid whose hashed levels are tiny, so every 8-point lane aliases
+/// table entries both across corners and across lanes.
+fn colliding_grid(seed: u64) -> HashGrid {
+    grid(
+        HashGridConfig {
+            levels: 3,
+            log2_table_size: 4, // 16 entries vs 35937 fine-level vertices
+            base_resolution: 4,
+            max_resolution: 32,
+            store_fp16: false,
+            init_scale: 0.3,
+            ..HashGridConfig::default()
+        },
+        seed,
+    )
+}
+
+/// Overwrites some grid features with fp16 edge values the lane kernels
+/// must reproduce exactly: subnormals, ±0 and values that round under
+/// fp16 re-quantisation.
+fn poison_with_fp16_edges(g: &mut HashGrid) {
+    let edges = [
+        f32::from_bits(0x0000_0001),  // would underflow fp16 to +0
+        -f32::from_bits(0x0000_0001), // → −0
+        (2.0f32).powi(-24),           // smallest positive fp16 subnormal
+        -(2.0f32).powi(-24),
+        (2.0f32).powi(-14) - (2.0f32).powi(-24), // largest fp16 subnormal
+        0.0,
+        -0.0,
+        0.1, // not fp16-representable → rounds
+        -65504.0,
+    ];
+    let n = g.num_params();
+    for (k, &v) in edges.iter().cycle().take(n.min(4096)).enumerate() {
+        g.params_mut()[k * 97 % n] = v;
+    }
+    g.quantize_storage();
+}
+
+#[test]
+fn grid_encode_simd_bit_equals_scalar_across_batch_shapes() {
+    let g = training_grid(7);
+    let w = g.output_dim();
+    for &n in &BATCH_SIZES {
+        let pts = points(n, 1000 + n as u64);
+        let mut scalar = vec![0.0f32; n * w];
+        let mut lanes = vec![0.0f32; n * w];
+        g.encode_batch_level_major(&pts, &mut scalar);
+        g.encode_batch_simd(&pts, &mut lanes);
+        assert_eq!(bits(&scalar), bits(&lanes), "encode n={n}");
+        // And through the backend dispatcher (chunked parallel path).
+        let mut dispatched = vec![0.0f32; n * w];
+        g.par_encode_batch_with(KernelBackend::Simd, &pts, &mut dispatched);
+        assert_eq!(bits(&scalar), bits(&dispatched), "par encode n={n}");
+    }
+}
+
+#[test]
+fn grid_backward_simd_bit_equals_scalar_across_batch_shapes() {
+    let g = training_grid(11);
+    let w = g.output_dim();
+    for &n in &BATCH_SIZES {
+        let pts = points(n, 2000 + n as u64);
+        let d_out: Vec<f32> = (0..n * w).map(|i| 0.37 * ((i % 11) as f32 - 5.0)).collect();
+        let mut scalar = g.zero_grads();
+        g.par_backward_batch_with(KernelBackend::Scalar, &pts, &d_out, &mut scalar);
+        let mut lanes = g.zero_grads();
+        g.par_backward_batch_with(KernelBackend::Simd, &pts, &d_out, &mut lanes);
+        assert_eq!(bits(&scalar.values), bits(&lanes.values), "scatter n={n}");
+        assert_eq!(scalar.count, lanes.count);
+    }
+}
+
+#[test]
+fn grid_kernels_agree_under_hash_collision_aliasing() {
+    // Tiny hashed tables: lanes repeatedly hit the same entries, so any
+    // reordering of the scatter accumulation (or of gather arithmetic)
+    // would change bits here first.
+    let g = colliding_grid(13);
+    let w = g.output_dim();
+    for &n in &[1usize, 8, 9, 41, 128] {
+        let pts = points(n, 3000 + n as u64);
+        let mut a = vec![0.0f32; n * w];
+        let mut b = vec![0.0f32; n * w];
+        g.encode_batch_level_major(&pts, &mut a);
+        g.encode_batch_simd(&pts, &mut b);
+        assert_eq!(bits(&a), bits(&b), "colliding encode n={n}");
+
+        let d_out: Vec<f32> = (0..n * w).map(|i| ((i % 5) as f32 - 2.0) * 0.51).collect();
+        let mut ga = g.zero_grads();
+        let mut gb = g.zero_grads();
+        g.par_backward_batch_with(KernelBackend::Scalar, &pts, &d_out, &mut ga);
+        g.par_backward_batch_with(KernelBackend::Simd, &pts, &d_out, &mut gb);
+        assert_eq!(
+            bits(&ga.values),
+            bits(&gb.values),
+            "colliding scatter n={n}"
+        );
+    }
+}
+
+#[test]
+fn grid_encode_agrees_on_fp16_edge_features() {
+    for seed in 0..4u64 {
+        let mut g = training_grid(100 + seed);
+        poison_with_fp16_edges(&mut g);
+        let w = g.output_dim();
+        let pts = points(57, 4000 + seed); // 57 = 7×8 + 1 tail
+        let mut a = vec![0.0f32; pts.len() * w];
+        let mut b = vec![0.0f32; pts.len() * w];
+        g.encode_batch_level_major(&pts, &mut a);
+        g.encode_batch_simd(&pts, &mut b);
+        assert_eq!(bits(&a), bits(&b), "fp16-edge encode seed={seed}");
+    }
+}
+
+#[test]
+fn fp16_quantize_edge_cases_roundtrip() {
+    // ±0 keep their sign through storage quantisation.
+    assert_eq!(fp16::quantize(0.0).to_bits(), 0.0f32.to_bits());
+    assert_eq!(fp16::quantize(-0.0).to_bits(), (-0.0f32).to_bits());
+    // Sub-fp16 magnitudes underflow to a signed zero.
+    assert_eq!(fp16::quantize(1e-10).to_bits(), 0.0f32.to_bits());
+    assert_eq!(fp16::quantize(-1e-10).to_bits(), (-0.0f32).to_bits());
+    // fp16 subnormals are exact and idempotent.
+    for e in -24..=-15 {
+        let v = (2.0f32).powi(e);
+        assert_eq!(fp16::quantize(v), v, "2^{e} must be exact");
+        assert_eq!(fp16::quantize(-v), -v);
+        assert_eq!(fp16::quantize(fp16::quantize(v)), fp16::quantize(v));
+    }
+    // Largest subnormal and smallest normal straddle 2^-14.
+    let largest_sub = (2.0f32).powi(-14) - (2.0f32).powi(-24);
+    assert_eq!(fp16::quantize(largest_sub), largest_sub);
+    // quantize_slice matches scalar quantize on edge values, bitwise.
+    let mut xs = vec![0.0, -0.0, 1e-10, -1e-10, (2.0f32).powi(-24), 0.1, -65504.0];
+    let expect: Vec<u32> = xs.iter().map(|&x| fp16::quantize(x).to_bits()).collect();
+    fp16::quantize_slice(&mut xs);
+    assert_eq!(bits(&xs), expect);
+}
+
+#[test]
+fn grid_quantize_storage_with_subnormal_features_is_stable() {
+    let mut g = training_grid(31);
+    poison_with_fp16_edges(&mut g);
+    let before = bits(g.params());
+    g.quantize_storage(); // second quantisation must be a no-op…
+    assert_eq!(bits(g.params()), before);
+    // …and the encode of the quantised table is backend-independent even
+    // where interpolation touches the poisoned (subnormal/±0) entries.
+    let w = g.output_dim();
+    let pts = points(33, 5000);
+    let mut a = vec![0.0f32; pts.len() * w];
+    let mut b = vec![0.0f32; pts.len() * w];
+    g.encode_batch_level_major(&pts, &mut a);
+    g.encode_batch_simd(&pts, &mut b);
+    assert_eq!(bits(&a), bits(&b));
+}
+
+#[test]
+fn mlp_forward_simd_bit_equals_scalar_across_widths_and_batches() {
+    // Output widths exercising every lane-tail shape (ow % 8 ∈ {0,1,3,5}).
+    for (hidden, out_dim) in [
+        (vec![64usize], 64usize),
+        (vec![16], 1),
+        (vec![8, 8], 3),
+        (vec![13], 5),
+    ] {
+        let mut rng = StdRng::seed_from_u64(7 + out_dim as u64);
+        let mlp = Mlp::new(
+            MlpConfig::new(6, &hidden, out_dim, Activation::Relu, Activation::Sigmoid),
+            &mut rng,
+        );
+        for &n in &BATCH_SIZES {
+            let inputs: Vec<f32> = (0..n * 6).map(|i| ((i % 17) as f32 - 8.0) * 0.13).collect();
+            let mut ws_a = mlp.batch_workspace(n);
+            let mut ws_b = mlp.batch_workspace(n);
+            let a = mlp
+                .forward_batch_with(KernelBackend::Scalar, &inputs, &mut ws_a)
+                .to_vec();
+            let b = mlp
+                .forward_batch_with(KernelBackend::Simd, &inputs, &mut ws_b)
+                .to_vec();
+            assert_eq!(bits(&a), bits(&b), "mlp fwd out={out_dim} n={n}");
+        }
+    }
+}
+
+#[test]
+fn mlp_backward_simd_bit_equals_scalar() {
+    let mut rng = StdRng::seed_from_u64(23);
+    let mlp = Mlp::new(
+        MlpConfig::new(10, &[64], 3, Activation::Relu, Activation::None),
+        &mut rng,
+    );
+    for &n in &BATCH_SIZES {
+        let inputs: Vec<f32> = (0..n * 10)
+            .map(|i| ((i % 13) as f32 - 6.0) * 0.21)
+            .collect();
+        let d_out: Vec<f32> = (0..n * 3).map(|i| ((i % 7) as f32 - 3.0) * 0.33).collect();
+        let run = |backend| {
+            let mut ws = mlp.batch_workspace(n);
+            mlp.forward_batch_with(backend, &inputs, &mut ws);
+            let mut grads = mlp.zero_grads();
+            let mut d_in = vec![0.0f32; n * 10];
+            mlp.backward_batch_with(backend, &d_out, &mut ws, &mut grads, &mut d_in);
+            (grads, d_in)
+        };
+        let (ga, da) = run(KernelBackend::Scalar);
+        let (gb, db) = run(KernelBackend::Simd);
+        assert_eq!(ga.count, gb.count);
+        for (li, ((wa, ba), (wb, bb))) in ga.layers.iter().zip(&gb.layers).enumerate() {
+            assert_eq!(bits(wa), bits(wb), "layer {li} weight grads n={n}");
+            assert_eq!(bits(ba), bits(bb), "layer {li} bias grads n={n}");
+        }
+        assert_eq!(bits(&da), bits(&db), "input grads n={n}");
+    }
+}
+
+#[test]
+fn composite_simd_bit_equals_scalar_including_early_termination() {
+    let mut rng = StdRng::seed_from_u64(5);
+    for &n in &BATCH_SIZES {
+        for &dense in &[0.5f32, 50.0, 5000.0] {
+            // High densities terminate early (mid-lane for n >= 8).
+            let t: Vec<f32> = (0..n).map(|k| (k as f32 + 0.5) / n.max(1) as f32).collect();
+            let dt = vec![1.0 / n.max(1) as f32; n];
+            let sigma: Vec<f32> = (0..n).map(|_| rng.gen::<f32>() * dense).collect();
+            let rgb: Vec<Vec3> = (0..n)
+                .map(|_| Vec3::new(rng.gen(), rng.gen(), rng.gen()))
+                .collect();
+            let bg = Vec3::new(0.2, 0.4, 0.8);
+            let mut cw_a = vec![0.0f32; n];
+            let mut ct_a = vec![0.0f32; n];
+            let mut co_a = vec![0.0f32; n];
+            let (out_a, act_a) = composite_slices(
+                &t,
+                &dt,
+                &sigma,
+                &rgb,
+                bg,
+                Some((&mut cw_a, &mut ct_a, &mut co_a)),
+            );
+            let mut cw_b = vec![0.0f32; n];
+            let mut ct_b = vec![0.0f32; n];
+            let mut co_b = vec![0.0f32; n];
+            let (out_b, act_b) = composite_slices_with(
+                KernelBackend::Simd,
+                &t,
+                &dt,
+                &sigma,
+                &rgb,
+                bg,
+                Some((&mut cw_b, &mut ct_b, &mut co_b)),
+            );
+            assert_eq!(out_a, out_b, "render output n={n} dense={dense}");
+            assert_eq!(act_a, act_b, "active count n={n} dense={dense}");
+            assert_eq!(bits(&cw_a), bits(&cw_b), "weights cache n={n}");
+            assert_eq!(bits(&ct_a), bits(&ct_b), "trans cache n={n}");
+            assert_eq!(bits(&co_a), bits(&co_b), "alpha cache n={n}");
+        }
+    }
+}
+
+#[test]
+fn axpy_simd_bit_equals_scalar_on_tails() {
+    for &n in &[0usize, 1, 5, 8, 13, 16, 31] {
+        let x: Vec<f32> = (0..n).map(|i| ((i % 9) as f32 - 4.0) * 0.77).collect();
+        let mut ya: Vec<f32> = (0..n).map(|i| (i as f32) * 0.11 - 1.0).collect();
+        let mut yb = ya.clone();
+        simd::axpy(KernelBackend::Scalar, &mut ya, -0.625, &x);
+        simd::axpy(KernelBackend::Simd, &mut yb, -0.625, &x);
+        assert_eq!(bits(&ya), bits(&yb), "axpy n={n}");
+    }
+}
+
+proptest! {
+    /// Random batch sizes (biased around lane multiples), random points,
+    /// random seeds: encode and scatter agree bitwise on both a
+    /// training-shaped grid and a collision-heavy grid.
+    #[test]
+    fn prop_grid_kernels_backend_invariant(
+        n in 0usize..70,
+        seed in 0u64..24,
+        colliding in any::<bool>())
+    {
+        let g = if colliding { colliding_grid(seed) } else { training_grid(seed) };
+        let w = g.output_dim();
+        let pts = points(n, seed.wrapping_mul(31) + n as u64);
+        let mut a = vec![0.0f32; n * w];
+        let mut b = vec![0.0f32; n * w];
+        g.encode_batch_level_major(&pts, &mut a);
+        g.encode_batch_simd(&pts, &mut b);
+        prop_assert_eq!(bits(&a), bits(&b));
+
+        let d_out: Vec<f32> = (0..n * w).map(|i| ((i % 23) as f32 - 11.0) * 0.17).collect();
+        let mut ga = g.zero_grads();
+        let mut gb = g.zero_grads();
+        g.par_backward_batch_with(KernelBackend::Scalar, &pts, &d_out, &mut ga);
+        g.par_backward_batch_with(KernelBackend::Simd, &pts, &d_out, &mut gb);
+        prop_assert_eq!(bits(&ga.values), bits(&gb.values));
+    }
+
+    /// Random MLP shapes and batch sizes: forward and backward agree
+    /// bitwise across backends.
+    #[test]
+    fn prop_mlp_backend_invariant(
+        n in 0usize..40,
+        hidden in 1usize..70,
+        out_dim in 1usize..12,
+        seed in 0u64..16)
+    {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mlp = Mlp::new(
+            MlpConfig::new(5, &[hidden], out_dim, Activation::Relu, Activation::Sigmoid),
+            &mut rng,
+        );
+        let inputs: Vec<f32> = (0..n * 5).map(|i| ((i % 19) as f32 - 9.0) * 0.09).collect();
+        let d_out: Vec<f32> = (0..n * out_dim).map(|i| ((i % 7) as f32 - 3.0) * 0.41).collect();
+        let run = |backend| {
+            let mut ws = mlp.batch_workspace(n);
+            let out = mlp.forward_batch_with(backend, &inputs, &mut ws).to_vec();
+            let mut grads = mlp.zero_grads();
+            let mut d_in = vec![0.0f32; n * 5];
+            mlp.backward_batch_with(backend, &d_out, &mut ws, &mut grads, &mut d_in);
+            (out, grads, d_in)
+        };
+        let (oa, ga, da) = run(KernelBackend::Scalar);
+        let (ob, gb, db) = run(KernelBackend::Simd);
+        prop_assert_eq!(bits(&oa), bits(&ob));
+        prop_assert_eq!(bits(&da), bits(&db));
+        for ((wa, ba), (wb, bb)) in ga.layers.iter().zip(&gb.layers) {
+            prop_assert_eq!(bits(wa), bits(wb));
+            prop_assert_eq!(bits(ba), bits(bb));
+        }
+    }
+
+    /// Random rays: compositing agrees bitwise across backends, cache
+    /// included, for densities spanning transparent to early-terminating.
+    #[test]
+    fn prop_composite_backend_invariant(
+        sigmas in prop::collection::vec(0.0f32..200.0, 0..40),
+        bg in (0.0f32..1.0, 0.0f32..1.0, 0.0f32..1.0))
+    {
+        let n = sigmas.len();
+        let t: Vec<f32> = (0..n).map(|k| (k as f32 + 0.5) / n.max(1) as f32).collect();
+        let dt = vec![1.0 / n.max(1) as f32; n];
+        let rgb: Vec<Vec3> = (0..n)
+            .map(|k| Vec3::new(k as f32 / n.max(1) as f32, 0.5, 0.9))
+            .collect();
+        let background = Vec3::new(bg.0, bg.1, bg.2);
+        let mut cw_a = vec![0.0f32; n];
+        let mut ct_a = vec![0.0f32; n];
+        let mut co_a = vec![0.0f32; n];
+        let (oa, aa) = composite_slices(
+            &t, &dt, &sigmas, &rgb, background,
+            Some((&mut cw_a, &mut ct_a, &mut co_a)),
+        );
+        let mut cw_b = vec![0.0f32; n];
+        let mut ct_b = vec![0.0f32; n];
+        let mut co_b = vec![0.0f32; n];
+        let (ob, ab) = composite_slices_with(
+            KernelBackend::Simd, &t, &dt, &sigmas, &rgb, background,
+            Some((&mut cw_b, &mut ct_b, &mut co_b)),
+        );
+        prop_assert_eq!(oa, ob);
+        prop_assert_eq!(aa, ab);
+        prop_assert_eq!(bits(&cw_a), bits(&cw_b));
+        prop_assert_eq!(bits(&ct_a), bits(&ct_b));
+        prop_assert_eq!(bits(&co_a), bits(&co_b));
+    }
+}

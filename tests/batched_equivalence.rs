@@ -2,9 +2,11 @@
 //! every `crates/trace` analysis valid — the access *multiset* is
 //! identical to the scalar reference path's, and within each phase the
 //! capture order is identical too (the batched engine only regroups the
-//! phases: all feed-forward reads, then all scatter writes).
+//! phases: all feed-forward reads, then all scatter writes). The whole
+//! suite runs once per [`KernelBackend`], so trace capture is pinned on
+//! the scalar and the SIMD kernels alike.
 
-use instant3d::core::{TrainConfig, Trainer};
+use instant3d::core::{KernelBackend, TrainConfig, Trainer};
 use instant3d::nerf::grid::AccessPhase;
 use instant3d::scenes::SceneLibrary;
 use instant3d::trace::record::AccessRecord;
@@ -14,6 +16,7 @@ use rand::SeedableRng;
 
 fn capture(
     batched: bool,
+    backend: KernelBackend,
 ) -> (
     instant3d::trace::record::Trace,
     instant3d::core::WorkloadStats,
@@ -21,7 +24,9 @@ fn capture(
     let mut rng = StdRng::seed_from_u64(2);
     let ds = SceneLibrary::synthetic_scene(0, 16, 4, &mut rng);
     let mut seed = StdRng::seed_from_u64(3);
-    let mut trainer = Trainer::new(TrainConfig::fast_preview(), &ds, &mut seed);
+    let mut cfg = TrainConfig::fast_preview();
+    cfg.kernel_backend = backend;
+    let mut trainer = Trainer::new(cfg, &ds, &mut seed);
     let mut step_rng = StdRng::seed_from_u64(4);
     let mut tc = TraceCollector::new(4_000_000);
     for i in 0..3 {
@@ -41,36 +46,54 @@ fn phase_key(r: &AccessRecord) -> (u32, instant3d::nerf::grid::GridBranch, u32, 
 
 #[test]
 fn batched_trace_is_order_normalized_identical_to_scalar() {
-    let (batched, stats_b) = capture(true);
-    let (scalar, stats_s) = capture(false);
-    assert_eq!(stats_b, stats_s, "workload accounting must agree");
-    assert_eq!(batched.len(), scalar.len(), "same number of accesses");
-    assert_eq!(
-        batched.order_normalized(),
-        scalar.order_normalized(),
-        "access multisets must be identical"
-    );
+    for backend in KernelBackend::ALL {
+        let (batched, stats_b) = capture(true, backend);
+        let (scalar, stats_s) = capture(false, backend);
+        assert_eq!(
+            stats_b, stats_s,
+            "{backend}: workload accounting must agree"
+        );
+        assert_eq!(
+            batched.len(),
+            scalar.len(),
+            "{backend}: same number of accesses"
+        );
+        assert_eq!(
+            batched.order_normalized(),
+            scalar.order_normalized(),
+            "{backend}: access multisets must be identical"
+        );
+    }
 }
 
 #[test]
 fn batched_trace_preserves_within_phase_capture_order() {
-    let (batched, _) = capture(true);
-    let (scalar, _) = capture(false);
-    for phase in [AccessPhase::FeedForward, AccessPhase::BackProp] {
-        let b: Vec<_> = batched.phase(phase).map(phase_key).collect();
-        let s: Vec<_> = scalar.phase(phase).map(phase_key).collect();
-        assert_eq!(b, s, "{phase:?} stream order must match the scalar path");
+    for backend in KernelBackend::ALL {
+        let (batched, _) = capture(true, backend);
+        let (scalar, _) = capture(false, backend);
+        for phase in [AccessPhase::FeedForward, AccessPhase::BackProp] {
+            let b: Vec<_> = batched.phase(phase).map(phase_key).collect();
+            let s: Vec<_> = scalar.phase(phase).map(phase_key).collect();
+            assert_eq!(
+                b, s,
+                "{backend}/{phase:?} stream order must match the scalar path"
+            );
+        }
     }
 }
 
 #[test]
 fn batched_trace_drives_figure_analyses_identically() {
-    // The Fig. 8/9/10 inputs derived from the trace must be unchanged.
-    let (batched, _) = capture(true);
-    let (scalar, _) = capture(false);
-    assert_eq!(batched.ff_stream(), scalar.ff_stream());
-    assert_eq!(
-        batched.bp_stream_level_major(),
-        scalar.bp_stream_level_major()
-    );
+    // The Fig. 8/9/10 inputs derived from the trace must be unchanged —
+    // and must not depend on the kernel backend either.
+    let (batched_scalar, _) = capture(true, KernelBackend::Scalar);
+    let (batched_simd, _) = capture(true, KernelBackend::Simd);
+    let (scalar, _) = capture(false, KernelBackend::Scalar);
+    for batched in [&batched_scalar, &batched_simd] {
+        assert_eq!(batched.ff_stream(), scalar.ff_stream());
+        assert_eq!(
+            batched.bp_stream_level_major(),
+            scalar.bp_stream_level_major()
+        );
+    }
 }
