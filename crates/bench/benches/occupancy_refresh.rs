@@ -1,0 +1,149 @@
+//! Microbenchmarks of the occupancy-refresh paths: the closure reference
+//! (per-cell `encode_into` + per-point MLP forward — the old hot path)
+//! against the batched subsystem (SoA encode through the kernel seams,
+//! persistent per-level embedding cache, rotating cell subsets).
+//!
+//! Bench IDs are stamped with the [`KernelBackend`] and the rayon worker
+//! count (`…/simd/t1`), matching the `grid_interp` convention, so recorded
+//! numbers always say which kernels and how many workers produced them.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use instant3d_nerf::activation::Activation;
+use instant3d_nerf::grid::{HashGrid, HashGridConfig, NullObserver};
+use instant3d_nerf::math::{Aabb, Vec3};
+use instant3d_nerf::mlp::{Mlp, MlpConfig};
+use instant3d_nerf::occupancy::{OccupancyGrid, OccupancyWorkspace, RefreshMode};
+use instant3d_nerf::simd::KernelBackend;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const RESOLUTION: u32 = 32;
+const THRESHOLD: f32 = 0.5;
+
+/// `backend/threads` suffix for bench IDs of kernels that run on the
+/// rayon pool.
+fn stamp(backend: KernelBackend) -> String {
+    format!("{backend}/t{}", rayon::current_num_threads())
+}
+
+fn fixture() -> (HashGrid, Mlp, OccupancyGrid) {
+    let mut rng = StdRng::seed_from_u64(7);
+    // The default 8-level grid — the trainer's laptop-scale density grid.
+    let grid = HashGrid::new_random(HashGridConfig::default(), &mut rng);
+    let mlp = Mlp::new(
+        MlpConfig::new(
+            grid.output_dim(),
+            &[64],
+            1,
+            Activation::Relu,
+            Activation::TruncExp,
+        ),
+        &mut rng,
+    );
+    let occ = OccupancyGrid::new(Aabb::UNIT, RESOLUTION);
+    (grid, mlp, occ)
+}
+
+/// The closure reference path: what the refresh cost before the batched
+/// subsystem — one `encode_into` + one MLP forward per cell center.
+fn bench_refresh_closure(c: &mut Criterion) {
+    let (grid, mlp, mut occ) = fixture();
+    let mut emb = vec![0.0f32; grid.output_dim()];
+    let mut ws = mlp.workspace();
+    c.bench_function(&format!("occupancy/refresh_closure/r{RESOLUTION}"), |b| {
+        b.iter(|| {
+            occ.update_from_fn(
+                |p: Vec3| {
+                    grid.encode_into(Aabb::UNIT.to_unit(p), &mut emb, &mut NullObserver);
+                    mlp.forward(&emb, &mut ws)[0]
+                },
+                THRESHOLD,
+            );
+            black_box(occ.occupancy_fraction())
+        })
+    });
+}
+
+fn bench_refresh_batched(c: &mut Criterion) {
+    let (grid, mlp, mut occ) = fixture();
+    for backend in KernelBackend::ALL {
+        // Full refresh with a cold embedding cache: every level
+        // re-encodes — the apples-to-apples comparison against the
+        // closure path.
+        let mut ws = OccupancyWorkspace::new();
+        c.bench_function(
+            &format!("occupancy/refresh_full/r{RESOLUTION}/{}", stamp(backend)),
+            |b| {
+                b.iter(|| {
+                    ws.invalidate();
+                    let stats = ws.refresh(
+                        &mut occ,
+                        &grid,
+                        &mlp,
+                        backend,
+                        Aabb::UNIT,
+                        THRESHOLD,
+                        RefreshMode::Threshold,
+                        1,
+                    );
+                    black_box(stats.grid_reads)
+                })
+            },
+        );
+        // Steady-state refresh with a clean cache (no grid updates since
+        // the last refresh): the encode vanishes, only the MLP re-runs.
+        c.bench_function(
+            &format!("occupancy/refresh_cached/r{RESOLUTION}/{}", stamp(backend)),
+            |b| {
+                ws.refresh(
+                    &mut occ,
+                    &grid,
+                    &mlp,
+                    backend,
+                    Aabb::UNIT,
+                    THRESHOLD,
+                    RefreshMode::Threshold,
+                    1,
+                );
+                b.iter(|| {
+                    let stats = ws.refresh(
+                        &mut occ,
+                        &grid,
+                        &mlp,
+                        backend,
+                        Aabb::UNIT,
+                        THRESHOLD,
+                        RefreshMode::Threshold,
+                        1,
+                    );
+                    black_box(stats.cells_probed)
+                })
+            },
+        );
+        // Amortized refresh: dirty grid, but only 1/8 of the cells probed
+        // per call (the instant-ngp-style rotating subset).
+        let mut sub_ws = OccupancyWorkspace::new();
+        c.bench_function(
+            &format!("occupancy/refresh_subset8/r{RESOLUTION}/{}", stamp(backend)),
+            |b| {
+                b.iter(|| {
+                    sub_ws.invalidate();
+                    let stats = sub_ws.refresh(
+                        &mut occ,
+                        &grid,
+                        &mlp,
+                        backend,
+                        Aabb::UNIT,
+                        THRESHOLD,
+                        RefreshMode::Threshold,
+                        8,
+                    );
+                    black_box(stats.cells_probed)
+                })
+            },
+        );
+    }
+}
+
+criterion_group!(benches, bench_refresh_closure, bench_refresh_batched);
+criterion_main!(benches);

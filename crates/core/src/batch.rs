@@ -409,9 +409,15 @@ impl BatchWorkspace {
         }
     }
 
-    /// Batched density probe (occupancy refresh): returns `σ` for every
-    /// position, reusing this workspace's buffers. Values are identical to
-    /// per-point [`NerfModel::density_at`] calls.
+    /// Batched density probe: returns `σ` for every position, reusing this
+    /// workspace's buffers. Values are identical to per-point
+    /// [`NerfModel::density_at`] calls.
+    ///
+    /// The trainer's occupancy refresh no longer routes through here — it
+    /// runs on `instant3d_nerf::occupancy::OccupancyWorkspace`, which adds
+    /// a persistent per-level-versioned cell→embedding cache on top of the
+    /// same kernel seams. This probe remains for ad-hoc density sweeps
+    /// (field visualisation, tests).
     pub fn density_batch(&mut self, model: &NerfModel, positions: &[Vec3]) -> &[f32] {
         let aabb = model.aabb();
         self.unit_positions.clear();

@@ -61,8 +61,20 @@ pub struct TrainConfig {
     pub lr_decay_every: u32,
     /// Occupancy-grid resolution (cells per axis); 0 disables skipping.
     pub occupancy_resolution: u32,
-    /// Refresh the occupancy grid every this many iterations.
+    /// Refresh the occupancy grid every this many iterations. Refreshes
+    /// run batched through the kernel seams with a persistent
+    /// cell→embedding cache (`instant3d_nerf::occupancy`), so levels whose
+    /// grid parameters didn't change since the last refresh are never
+    /// re-encoded; together with [`TrainConfig::occupancy_subset`] these
+    /// are the refresh-amortization knobs.
     pub occupancy_update_every: u32,
+    /// Occupancy refresh subset stride `k`: each refresh re-probes only
+    /// the cells whose linear index ≡ phase (mod `k`), with the phase
+    /// rotating so `k` consecutive refreshes cover every cell once —
+    /// instant-ngp-style amortization. `1` (the default) probes the full
+    /// grid every refresh. A cell's density EMA decays once per *probe*,
+    /// so larger strides also slow the decay to one step per rotation.
+    pub occupancy_subset: u32,
     /// Density threshold above which a cell counts as occupied.
     pub occupancy_threshold: f32,
     /// Samples per ray when rendering evaluation images.
@@ -98,6 +110,7 @@ impl Default for TrainConfig {
             lr_decay_every: 64,
             occupancy_resolution: 24,
             occupancy_update_every: 16,
+            occupancy_subset: 1,
             occupancy_threshold: 0.5,
             eval_samples_per_ray: 64,
             kernel_backend: KernelBackend::from_env_or(KernelBackend::Simd),
@@ -215,6 +228,12 @@ impl TrainConfig {
         if self.lr_decay_every == 0 {
             return Err("lr_decay_every must be >= 1".into());
         }
+        if self.occupancy_resolution > 0 && self.occupancy_update_every == 0 {
+            return Err("occupancy_update_every must be >= 1".into());
+        }
+        if self.occupancy_subset == 0 {
+            return Err("occupancy_subset must be >= 1".into());
+        }
         Ok(())
     }
 }
@@ -276,6 +295,14 @@ mod tests {
 
         let mut cfg = TrainConfig::fast_preview();
         cfg.color_update_every = 0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = TrainConfig::fast_preview();
+        cfg.occupancy_subset = 0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = TrainConfig::fast_preview();
+        cfg.occupancy_update_every = 0;
         assert!(cfg.validate().is_err());
     }
 

@@ -92,6 +92,16 @@ pub struct WorkloadStats {
     pub mlp_flops_bp: u64,
     /// Compositing operations (one per integrated sample).
     pub render_samples: u64,
+    /// Occupancy-grid refreshes executed.
+    pub occupancy_refreshes: u64,
+    /// Occupancy cells whose density was (re)probed across all refreshes
+    /// (`num_cells / occupancy_subset` per refresh).
+    pub occupancy_probes: u64,
+    /// Hash-table reads occupancy refreshes performed. Thanks to the
+    /// per-level embedding cache this counts only levels that actually
+    /// re-encoded — it is *not* included in [`WorkloadStats::density_reads_ff`],
+    /// which tracks the training pipeline's Step ③-① reads.
+    pub occupancy_reads_ff: u64,
 }
 
 impl WorkloadStats {
@@ -107,6 +117,9 @@ impl WorkloadStats {
         self.mlp_flops_ff += other.mlp_flops_ff;
         self.mlp_flops_bp += other.mlp_flops_bp;
         self.render_samples += other.render_samples;
+        self.occupancy_refreshes += other.occupancy_refreshes;
+        self.occupancy_probes += other.occupancy_probes;
+        self.occupancy_reads_ff += other.occupancy_reads_ff;
     }
 
     /// All grid feed-forward reads.
@@ -284,6 +297,9 @@ mod tests {
             mlp_flops_ff: 5000,
             mlp_flops_bp: 10000,
             render_samples: 100,
+            occupancy_refreshes: 1,
+            occupancy_probes: 1728,
+            occupancy_reads_ff: 1728 * 8 * 4,
             ..WorkloadStats::default()
         };
         let b = a;
@@ -292,6 +308,9 @@ mod tests {
         assert_eq!(a.grid_reads_ff(), 2000);
         assert_eq!(a.grid_writes_bp(), 1600);
         assert_eq!(a.points_per_iter(), 100.0);
+        assert_eq!(a.occupancy_refreshes, 2);
+        assert_eq!(a.occupancy_probes, 2 * 1728);
+        assert_eq!(a.occupancy_reads_ff, 2 * 1728 * 8 * 4);
     }
 
     #[test]

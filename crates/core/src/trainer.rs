@@ -22,7 +22,9 @@ use instant3d_nerf::adam::{Adam, AdamConfig};
 use instant3d_nerf::camera::Camera;
 use instant3d_nerf::image::RgbImage;
 use instant3d_nerf::math::Vec3;
-use instant3d_nerf::occupancy::OccupancyGrid;
+use instant3d_nerf::occupancy::{
+    OccupancyGrid, OccupancyRefreshStats, OccupancyWorkspace, RefreshMode,
+};
 use instant3d_nerf::render::{composite, composite_backward, pixel_loss, RaySample, RenderCache};
 use instant3d_nerf::sampler::{
     sample_pixel_batch, sample_pixel_batch_into, sample_segments, sample_segments_into, Segment,
@@ -100,7 +102,9 @@ pub struct Trainer {
     sigma_mlp_opts: Vec<Adam>,
     color_mlp_opts: Vec<Adam>,
     occupancy: Option<OccupancyGrid>,
-    occ_ema: Vec<f32>,
+    /// Batched-refresh state: persistent cell→embedding cache, density
+    /// EMA store and subset rotation (see `instant3d_nerf::occupancy`).
+    occ_ws: OccupancyWorkspace,
     iter: u64,
     stats: WorkloadStats,
     cameras: Vec<Camera>,
@@ -171,10 +175,6 @@ impl Trainer {
             .collect();
         let occupancy = (cfg.occupancy_resolution > 0)
             .then(|| OccupancyGrid::new(dataset.aabb, cfg.occupancy_resolution));
-        let occ_ema = occupancy
-            .as_ref()
-            .map(|o| vec![f32::INFINITY; o.num_cells()])
-            .unwrap_or_default();
         let ws = model.workspace();
         let grads = model.zero_grads();
         let bws = BatchWorkspace::new(&model);
@@ -189,7 +189,7 @@ impl Trainer {
             sigma_mlp_opts,
             color_mlp_opts,
             occupancy,
-            occ_ema,
+            occ_ws: OccupancyWorkspace::new(),
             iter: 0,
             stats: WorkloadStats {
                 backend,
@@ -602,23 +602,26 @@ impl Trainer {
         }
         lap!(Ps::MlpBackward);
 
-        // Occupancy refresh (decayed density EMA, thresholded), evaluated
-        // through the batched density probe.
+        // Occupancy refresh (decayed density EMA, thresholded), through
+        // the batched occupancy subsystem: embeddings come from the
+        // persistent per-level-versioned cache, only this round's cell
+        // subset is re-probed, and the kernels dispatch on the configured
+        // backend — bit-identical bits for every backend and worker count.
+        let mut occ_refresh: Option<OccupancyRefreshStats> = None;
         if let Some(occ) = &mut self.occupancy {
             if self.iter % self.cfg.occupancy_update_every as u64
                 == (self.cfg.occupancy_update_every as u64 - 1)
             {
-                let centers = occ.cell_centers();
-                let densities = self.bws.density_batch(&self.model, &centers);
-                for (i, &d) in densities.iter().enumerate() {
-                    let prev = if self.occ_ema[i].is_finite() {
-                        self.occ_ema[i] * 0.95
-                    } else {
-                        0.0
-                    };
-                    self.occ_ema[i] = prev.max(d);
-                }
-                occ.set_from_values(&self.occ_ema, self.cfg.occupancy_threshold);
+                occ_refresh = Some(self.occ_ws.refresh(
+                    occ,
+                    self.model.density_grid(),
+                    self.model.sigma_mlp(),
+                    self.cfg.kernel_backend,
+                    self.model.aabb(),
+                    self.cfg.occupancy_threshold,
+                    RefreshMode::DecayedEma,
+                    self.cfg.occupancy_subset,
+                ));
             }
         }
         lap!(Ps::GridBackward);
@@ -668,6 +671,9 @@ impl Trainer {
             mlp_flops_ff: mlp_ff,
             mlp_flops_bp: 2 * mlp_ff,
             render_samples: pts,
+            occupancy_refreshes: occ_refresh.is_some() as u64,
+            occupancy_probes: occ_refresh.map_or(0, |r| r.cells_probed as u64),
+            occupancy_reads_ff: occ_refresh.map_or(0, |r| r.grid_reads),
         });
 
         self.iter += 1;
@@ -688,11 +694,10 @@ impl Trainer {
                 .filter(|(_, v)| **v != 0.0)
                 .map(|(i, _)| i),
         );
-        if touched.is_empty() {
-            return;
-        }
-        opt.step_sparse(grid.params_mut(), &grads.values, touched);
-        grid.quantize_storage();
+        // Sparse Adam + fp16 re-quantisation + precise per-level version
+        // bumps: levels no step touched keep their cached occupancy
+        // embeddings valid.
+        grid.apply_sparse_step(opt, &grads.values, touched);
     }
 
     /// Trains for `iterations` steps and evaluates once at the end.
@@ -896,6 +901,38 @@ mod tests {
         assert!(
             t.occupancy_fraction() < 1.0,
             "occupancy should cull something after training"
+        );
+        // Refresh telemetry: 60 iterations at update_every = 8 → 7
+        // refreshes, each probing the full grid (subset stride 1).
+        let cells = 12u64 * 12 * 12; // fast_preview occupancy_resolution = 12
+        assert_eq!(t.stats().occupancy_refreshes, 7);
+        assert_eq!(t.stats().occupancy_probes, 7 * cells);
+        assert!(t.stats().occupancy_reads_ff > 0);
+    }
+
+    #[test]
+    fn occupancy_subset_refresh_still_culls_and_amortizes() {
+        let ds = quick_dataset(13);
+        let mut rng = StdRng::seed_from_u64(14);
+        let mut cfg = TrainConfig::fast_preview();
+        cfg.occupancy_update_every = 4;
+        cfg.occupancy_subset = 4;
+        let mut t = Trainer::new(cfg, &ds, &mut rng);
+        for _ in 0..64 {
+            t.step(&mut rng);
+        }
+        assert!(
+            t.occupancy_fraction() < 1.0,
+            "subset refreshes should still cull empty space"
+        );
+        // Each refresh probes ~1/4 of the cells.
+        let cells = 12u64 * 12 * 12;
+        let refreshes = t.stats().occupancy_refreshes;
+        assert_eq!(refreshes, 16);
+        assert!(
+            t.stats().occupancy_probes <= refreshes * cells.div_ceil(4),
+            "probes {} exceed the subset budget",
+            t.stats().occupancy_probes
         );
     }
 }

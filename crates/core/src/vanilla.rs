@@ -9,6 +9,12 @@
 //! configurable; the paper-scale 10×256 network is represented in the cost
 //! model) so the repository can demonstrate the convergence gap that
 //! motivated Instant-NGP and, in turn, Instant-3D.
+//!
+//! Note vanilla NeRF integrates *every* stratified sample — there is no
+//! occupancy grid here by design (§2.1), which is exactly why its
+//! `points_per_iter` dwarfs the grid models'. The batched occupancy
+//! subsystem that keeps the grid trainers' point counts low lives in
+//! `instant3d_nerf::occupancy` and is wired through [`crate::Trainer`].
 
 use instant3d_nerf::activation::Activation;
 use instant3d_nerf::adam::{Adam, AdamConfig};

@@ -207,6 +207,83 @@ fn simd_backend_training_is_bit_identical_to_scalar_backend() {
 }
 
 #[test]
+fn subset_occupancy_refresh_training_is_backend_and_worker_invariant() {
+    // A run where amortized occupancy refreshes fire mid-run (every 3
+    // iterations, probing a rotating quarter of the cells): losses,
+    // rendered pixels, WorkloadStats — including the new occupancy
+    // refresh counters — and the packed occupancy state must be
+    // bit-identical across kernel backends and rayon worker counts.
+    let ds = dataset(51);
+    let run = |backend: KernelBackend, threads: usize| {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        pool.install(|| {
+            let mut cfg = config(GridTopology::Decoupled, backend);
+            cfg.occupancy_update_every = 3;
+            cfg.occupancy_subset = 4;
+            let mut seed = StdRng::seed_from_u64(13);
+            let mut trainer = Trainer::new(cfg, &ds, &mut seed);
+            let mut rng = StdRng::seed_from_u64(14);
+            let losses: Vec<u32> = (0..12)
+                .map(|_| trainer.step(&mut rng).loss.to_bits())
+                .collect();
+            let view = &ds.test_views[0].camera;
+            let (rgb, _) = render_model_view(trainer.model(), view, 16, ds.background);
+            let mut stats = *trainer.stats();
+            stats.backend = KernelBackend::Scalar; // normalise provenance
+            let occ_bits = trainer.occupancy_fraction().to_bits();
+            (losses, rgb.pixels().to_vec(), stats, occ_bits)
+        })
+    };
+    let reference = run(KernelBackend::Scalar, 1);
+    assert!(
+        reference.2.occupancy_refreshes == 4 && reference.2.occupancy_probes > 0,
+        "refreshes must actually have fired: {:?}",
+        reference.2
+    );
+    for backend in KernelBackend::ALL {
+        for threads in [1usize, 4] {
+            assert_eq!(run(backend, threads), reference, "{backend} / t{threads}");
+        }
+    }
+}
+
+#[test]
+fn subset_refresh_batched_matches_scalar_reference_path() {
+    // The scalar point-at-a-time step and the batched step share the
+    // occupancy subsystem; with amortized refreshes enabled mid-run they
+    // must still agree on losses, culled point counts and stats.
+    let ds = dataset(53);
+    for backend in KernelBackend::ALL {
+        let mut cfg = config(GridTopology::Decoupled, backend);
+        cfg.occupancy_update_every = 2;
+        cfg.occupancy_subset = 3;
+        let mut seed_a = StdRng::seed_from_u64(15);
+        let mut seed_b = StdRng::seed_from_u64(15);
+        let mut batched = Trainer::new(cfg.clone(), &ds, &mut seed_a);
+        let mut scalar = Trainer::new(cfg, &ds, &mut seed_b);
+        let mut rng_a = StdRng::seed_from_u64(16);
+        let mut rng_b = StdRng::seed_from_u64(16);
+        for i in 0..10 {
+            let sb = batched.step(&mut rng_a);
+            let ss = scalar.step_scalar(&mut rng_b);
+            assert_eq!(sb.points, ss.points, "{backend} step {i}: culling diverged");
+            assert!(
+                (sb.loss - ss.loss).abs() <= 1e-5 * (1.0 + ss.loss.abs()),
+                "{backend} step {i}: loss {} vs {}",
+                sb.loss,
+                ss.loss
+            );
+        }
+        assert_eq!(batched.occupancy_fraction(), scalar.occupancy_fraction());
+        assert_eq!(batched.stats(), scalar.stats());
+        assert!(batched.stats().occupancy_refreshes >= 4);
+    }
+}
+
+#[test]
 fn batched_is_deterministic_across_runs() {
     let ds = dataset(31);
     let run = || {

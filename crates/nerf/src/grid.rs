@@ -18,6 +18,7 @@
 //! write, which is how the `instant3d-trace` crate captures the address
 //! streams behind Figs. 8, 9 and 10.
 
+use crate::adam::Adam;
 use crate::fp16;
 use crate::hash::{spatial_hash, vertex_address, AddressMode, CORNER_OFFSETS};
 use crate::math::Vec3;
@@ -237,6 +238,13 @@ pub struct HashGrid {
     /// `params[offset_l .. offset_l + table_size_l * F]`.
     params: Vec<f32>,
     param_offsets: Vec<usize>,
+    /// Per-level parameter versions: `level_versions[l]` changes whenever
+    /// level `l`'s features may have changed. Consumers (the occupancy
+    /// subsystem's embedding cache) compare versions to skip re-encoding
+    /// levels whose parameters are unchanged.
+    level_versions: Vec<u64>,
+    /// Monotone clock backing [`HashGrid::level_versions`].
+    version_clock: u64,
 }
 
 impl HashGrid {
@@ -274,11 +282,14 @@ impl HashGrid {
             param_cursor += table_size as usize * cfg.features_per_entry;
         }
         param_offsets.push(param_cursor);
+        let num_levels = levels.len();
         HashGrid {
             cfg,
             levels,
             params: vec![0.0; param_cursor],
             param_offsets,
+            level_versions: vec![0; num_levels],
+            version_clock: 0,
         }
     }
 
@@ -299,6 +310,7 @@ impl HashGrid {
         if self.cfg.store_fp16 {
             fp16::quantize_slice(&mut self.params);
         }
+        self.bump_all_levels();
     }
 
     /// The grid configuration.
@@ -327,7 +339,13 @@ impl HashGrid {
     }
 
     /// Mutable view of all parameters (for the optimizer).
+    ///
+    /// Any level may be written through this view, so it conservatively
+    /// bumps every level version; the optimizer hot path uses
+    /// [`HashGrid::apply_sparse_step`], which bumps only the levels a step
+    /// actually touched.
     pub fn params_mut(&mut self) -> &mut [f32] {
+        self.bump_all_levels();
         &mut self.params
     }
 
@@ -336,6 +354,68 @@ impl HashGrid {
     pub fn quantize_storage(&mut self) {
         if self.cfg.store_fp16 {
             fp16::quantize_slice(&mut self.params);
+            self.bump_all_levels();
+        }
+    }
+
+    /// Per-level parameter version counters. A consumer caching derived
+    /// data (the occupancy subsystem's cell→embedding cache) records the
+    /// version it computed against and recomputes only levels whose
+    /// version has moved on since. Versions move monotonically; they never
+    /// repeat, so `u64::MAX` is a safe "never cached" sentinel.
+    pub fn level_versions(&self) -> &[u64] {
+        &self.level_versions
+    }
+
+    /// Applies one sparse Adam step to the listed parameter indices,
+    /// re-quantises fp16 storage, and bumps the version of exactly the
+    /// levels containing a touched index — the precise invalidation path
+    /// the trainer uses (in contrast to [`HashGrid::params_mut`]'s
+    /// conservative all-levels bump). A no-op when `touched` is empty.
+    ///
+    /// fp16 re-quantisation is idempotent on already-quantised values, so
+    /// untouched levels' features are bit-unchanged and their cached
+    /// embeddings stay valid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad_values` doesn't match the parameter count, if any
+    /// index is out of range, or (debug builds) if `touched` is not
+    /// strictly ascending.
+    pub fn apply_sparse_step(&mut self, opt: &mut Adam, grad_values: &[f32], touched: &[usize]) {
+        if touched.is_empty() {
+            return;
+        }
+        debug_assert!(
+            touched.windows(2).all(|w| w[0] < w[1]),
+            "touched indices must be strictly ascending"
+        );
+        opt.step_sparse(&mut self.params, grad_values, touched);
+        if self.cfg.store_fp16 {
+            fp16::quantize_slice(&mut self.params);
+        }
+        self.bump_levels_touching(touched);
+    }
+
+    /// Bumps every level's version (conservative invalidation).
+    fn bump_all_levels(&mut self) {
+        self.version_clock += 1;
+        let v = self.version_clock;
+        self.level_versions.fill(v);
+    }
+
+    /// Bumps the versions of the levels containing the (strictly
+    /// ascending) touched parameter indices.
+    fn bump_levels_touching(&mut self, touched: &[usize]) {
+        self.version_clock += 1;
+        let v = self.version_clock;
+        let mut l = 0usize;
+        for &i in touched {
+            debug_assert!(i < self.params.len(), "touched index out of range");
+            while i >= self.param_offsets[l + 1] {
+                l += 1;
+            }
+            self.level_versions[l] = v;
         }
     }
 
@@ -495,37 +575,46 @@ impl HashGrid {
             unit_positions.len() * w,
             "SoA output buffer size mismatch"
         );
+        for l in 0..self.levels.len() {
+            self.encode_level_scalar(l, unit_positions, out);
+        }
+    }
+
+    /// One level's encode, scalar kernel: streams level `l`'s table over
+    /// all points, writing that level's `F` columns of the
+    /// `n × output_dim` SoA buffer (all other columns are untouched).
+    fn encode_level_scalar(&self, l: usize, unit_positions: &[Vec3], out: &mut [f32]) {
+        let w = self.output_dim();
         let f = self.cfg.features_per_entry;
-        for (l, level) in self.levels.iter().enumerate() {
-            let base = self.param_offsets[l];
-            let col = l * f;
-            if f == 2 {
-                // Specialised F = 2 hot loop (the paper's configuration).
-                for (i, p) in unit_positions.iter().enumerate() {
-                    let (addrs, weights) = self.corners(level, *p);
-                    let mut acc0 = 0.0f32;
-                    let mut acc1 = 0.0f32;
-                    for c in 0..8 {
-                        let src = base + addrs[c] as usize * 2;
-                        let wgt = weights[c];
-                        acc0 += wgt * self.params[src];
-                        acc1 += wgt * self.params[src + 1];
-                    }
-                    let dst = i * w + col;
-                    out[dst] = acc0;
-                    out[dst + 1] = acc1;
+        let level = &self.levels[l];
+        let base = self.param_offsets[l];
+        let col = l * f;
+        if f == 2 {
+            // Specialised F = 2 hot loop (the paper's configuration).
+            for (i, p) in unit_positions.iter().enumerate() {
+                let (addrs, weights) = self.corners(level, *p);
+                let mut acc0 = 0.0f32;
+                let mut acc1 = 0.0f32;
+                for c in 0..8 {
+                    let src = base + addrs[c] as usize * 2;
+                    let wgt = weights[c];
+                    acc0 += wgt * self.params[src];
+                    acc1 += wgt * self.params[src + 1];
                 }
-            } else {
-                for (i, p) in unit_positions.iter().enumerate() {
-                    let (addrs, weights) = self.corners(level, *p);
-                    let dst = &mut out[i * w + col..i * w + col + f];
-                    dst.fill(0.0);
-                    for c in 0..8 {
-                        let wgt = weights[c];
-                        let src = base + addrs[c] as usize * f;
-                        for (d, p) in dst.iter_mut().zip(&self.params[src..src + f]) {
-                            *d += wgt * p;
-                        }
+                let dst = i * w + col;
+                out[dst] = acc0;
+                out[dst + 1] = acc1;
+            }
+        } else {
+            for (i, p) in unit_positions.iter().enumerate() {
+                let (addrs, weights) = self.corners(level, *p);
+                let dst = &mut out[i * w + col..i * w + col + f];
+                dst.fill(0.0);
+                for c in 0..8 {
+                    let wgt = weights[c];
+                    let src = base + addrs[c] as usize * f;
+                    for (d, p) in dst.iter_mut().zip(&self.params[src..src + f]) {
+                        *d += wgt * p;
                     }
                 }
             }
@@ -643,65 +732,74 @@ impl HashGrid {
     /// including the scalar remainder tail. Grids with
     /// `features_per_entry != 2` fall back to the scalar kernel.
     pub fn encode_batch_simd(&self, unit_positions: &[Vec3], out: &mut [f32]) {
-        const LANES: usize = F32x8::LANES;
         let w = self.output_dim();
         assert_eq!(
             out.len(),
             unit_positions.len() * w,
             "SoA output buffer size mismatch"
         );
-        let f = self.cfg.features_per_entry;
-        if f != 2 {
-            return self.encode_batch_level_major(unit_positions, out);
+        for l in 0..self.levels.len() {
+            self.encode_level_simd(l, unit_positions, out);
         }
+    }
+
+    /// One level's encode, SIMD kernel (lane-batched weights, per-lane
+    /// gathers, scalar remainder tail) — the level body of
+    /// [`HashGrid::encode_batch_simd`]. Falls back to the scalar level
+    /// kernel when `features_per_entry != 2`.
+    fn encode_level_simd(&self, l: usize, unit_positions: &[Vec3], out: &mut [f32]) {
+        const LANES: usize = F32x8::LANES;
+        if self.cfg.features_per_entry != 2 {
+            return self.encode_level_scalar(l, unit_positions, out);
+        }
+        let w = self.output_dim();
         let n = unit_positions.len();
         let full = n - n % LANES;
         let mut addrs = [[0u32; LANES]; 8];
         let mut weights = [F32x8::ZERO; 8];
-        for (l, level) in self.levels.iter().enumerate() {
-            let base = self.param_offsets[l];
-            let col = l * 2;
-            for i in (0..full).step_by(LANES) {
-                Self::corners_lanes(
-                    level,
-                    &unit_positions[i..i + LANES],
-                    &mut addrs,
-                    &mut weights,
-                );
-                let mut acc0 = F32x8::ZERO;
-                let mut acc1 = F32x8::ZERO;
-                for c in 0..8 {
-                    let mut f0 = [0.0f32; LANES];
-                    let mut f1 = [0.0f32; LANES];
-                    for k in 0..LANES {
-                        let src = base + addrs[c][k] as usize * 2;
-                        f0[k] = self.params[src];
-                        f1[k] = self.params[src + 1];
-                    }
-                    acc0 += weights[c] * F32x8(f0);
-                    acc1 += weights[c] * F32x8(f1);
-                }
+        let level = &self.levels[l];
+        let base = self.param_offsets[l];
+        let col = l * 2;
+        for i in (0..full).step_by(LANES) {
+            Self::corners_lanes(
+                level,
+                &unit_positions[i..i + LANES],
+                &mut addrs,
+                &mut weights,
+            );
+            let mut acc0 = F32x8::ZERO;
+            let mut acc1 = F32x8::ZERO;
+            for c in 0..8 {
+                let mut f0 = [0.0f32; LANES];
+                let mut f1 = [0.0f32; LANES];
                 for k in 0..LANES {
-                    let dst = (i + k) * w + col;
-                    out[dst] = acc0[k];
-                    out[dst + 1] = acc1[k];
+                    let src = base + addrs[c][k] as usize * 2;
+                    f0[k] = self.params[src];
+                    f1[k] = self.params[src + 1];
                 }
+                acc0 += weights[c] * F32x8(f0);
+                acc1 += weights[c] * F32x8(f1);
             }
-            // Remainder tail (< LANES points): the scalar F = 2 loop.
-            for (i, p) in unit_positions.iter().enumerate().skip(full) {
-                let (pa, pw) = self.corners(level, *p);
-                let mut acc0 = 0.0f32;
-                let mut acc1 = 0.0f32;
-                for c in 0..8 {
-                    let src = base + pa[c] as usize * 2;
-                    let wgt = pw[c];
-                    acc0 += wgt * self.params[src];
-                    acc1 += wgt * self.params[src + 1];
-                }
-                let dst = i * w + col;
-                out[dst] = acc0;
-                out[dst + 1] = acc1;
+            for k in 0..LANES {
+                let dst = (i + k) * w + col;
+                out[dst] = acc0[k];
+                out[dst + 1] = acc1[k];
             }
+        }
+        // Remainder tail (< LANES points): the scalar F = 2 loop.
+        for (i, p) in unit_positions.iter().enumerate().skip(full) {
+            let (pa, pw) = self.corners(level, *p);
+            let mut acc0 = 0.0f32;
+            let mut acc1 = 0.0f32;
+            for c in 0..8 {
+                let src = base + pa[c] as usize * 2;
+                let wgt = pw[c];
+                acc0 += wgt * self.params[src];
+                acc1 += wgt * self.params[src + 1];
+            }
+            let dst = i * w + col;
+            out[dst] = acc0;
+            out[dst + 1] = acc1;
         }
     }
 
@@ -748,6 +846,76 @@ impl HashGrid {
             .zip(unit_positions.par_chunks(CHUNK))
             .for_each(|(out_chunk, pos_chunk)| {
                 self.encode_chunk(backend, pos_chunk, out_chunk);
+            });
+    }
+
+    /// Single-chunk level-subset encode: runs only the listed levels'
+    /// kernels over the chunk, leaving every other level's columns
+    /// untouched.
+    #[inline]
+    fn encode_levels_chunk(
+        &self,
+        backend: KernelBackend,
+        levels: &[usize],
+        unit_positions: &[Vec3],
+        out: &mut [f32],
+    ) {
+        for &l in levels {
+            match backend {
+                KernelBackend::Scalar => self.encode_level_scalar(l, unit_positions, out),
+                KernelBackend::Simd => self.encode_level_simd(l, unit_positions, out),
+            }
+        }
+    }
+
+    /// Parallel batched encode of a *subset of levels*: like
+    /// [`HashGrid::par_encode_batch_with`], but only the listed levels'
+    /// columns of the `n × output_dim` SoA buffer are (re)computed; all
+    /// other columns are left exactly as they were. This is the seam the
+    /// occupancy subsystem's persistent cell→embedding cache uses to
+    /// re-encode only levels whose parameters changed since the cache was
+    /// filled (see [`HashGrid::level_versions`]).
+    ///
+    /// Each level's per-point arithmetic is the same kernel the full
+    /// encode runs, so the refreshed columns are bit-identical to a full
+    /// [`HashGrid::par_encode_batch_with`] — across backends, chunkings
+    /// and worker counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != unit_positions.len() * self.output_dim()`
+    /// or any level index is out of range.
+    pub fn par_encode_batch_levels_with(
+        &self,
+        backend: KernelBackend,
+        levels: &[usize],
+        unit_positions: &[Vec3],
+        out: &mut [f32],
+    ) {
+        use rayon::prelude::*;
+        let w = self.output_dim();
+        assert_eq!(
+            out.len(),
+            unit_positions.len() * w,
+            "SoA output buffer size mismatch"
+        );
+        assert!(
+            levels.iter().all(|&l| l < self.levels.len()),
+            "level index out of range"
+        );
+        if levels.is_empty() || unit_positions.is_empty() {
+            return;
+        }
+        let n = unit_positions.len();
+        const CHUNK: usize = 256;
+        if n <= CHUNK || rayon::current_num_threads() <= 1 {
+            self.encode_levels_chunk(backend, levels, unit_positions, out);
+            return;
+        }
+        out.par_chunks_mut(CHUNK * w)
+            .zip(unit_positions.par_chunks(CHUNK))
+            .for_each(|(out_chunk, pos_chunk)| {
+                self.encode_levels_chunk(backend, levels, pos_chunk, out_chunk);
             });
     }
 
@@ -1184,5 +1352,75 @@ mod tests {
         // Color grid 2^16 entries → 256 KB.
         let color = density.clone().with_size_factor(0.25);
         assert_eq!(color.table_bytes_fp16(), 256 * 1024);
+    }
+
+    #[test]
+    fn level_versions_track_sparse_steps_precisely() {
+        use crate::adam::{Adam, AdamConfig};
+        let mut g = small_grid();
+        let v0 = g.level_versions().to_vec();
+        // A sparse step touching only level 1's parameter range bumps
+        // exactly level 1.
+        let start = g.param_offsets[1];
+        let touched = vec![start, start + 3];
+        let grads = vec![0.5f32; g.num_params()];
+        let mut opt = Adam::new(AdamConfig::for_grid(), g.num_params());
+        g.apply_sparse_step(&mut opt, &grads, &touched);
+        let v1 = g.level_versions().to_vec();
+        assert_eq!(v1[0], v0[0]);
+        assert!(v1[1] > v0[1]);
+        assert_eq!(v1[2], v0[2]);
+        // An empty step changes nothing.
+        g.apply_sparse_step(&mut opt, &grads, &[]);
+        assert_eq!(g.level_versions(), &v1[..]);
+        // params_mut is conservative: every level bumps.
+        let _ = g.params_mut();
+        let v2 = g.level_versions().to_vec();
+        assert!(v2.iter().zip(&v1).all(|(a, b)| a > b));
+    }
+
+    #[test]
+    fn level_subset_encode_matches_full_encode_columns() {
+        let g = small_grid();
+        let mut rng = StdRng::seed_from_u64(21);
+        let points: Vec<Vec3> = (0..37)
+            .map(|_| {
+                Vec3::new(
+                    rng.gen_range(0.0..1.0),
+                    rng.gen_range(0.0..1.0),
+                    rng.gen_range(0.0..1.0),
+                )
+            })
+            .collect();
+        let w = g.output_dim();
+        let f = g.config().features_per_entry;
+        let mut full = vec![0.0f32; points.len() * w];
+        g.encode_batch_level_major(&points, &mut full);
+        for backend in KernelBackend::ALL {
+            // Sentinel-filled buffer: untouched columns must keep it.
+            let mut partial = vec![-7.0f32; points.len() * w];
+            g.par_encode_batch_levels_with(backend, &[1], &points, &mut partial);
+            for i in 0..points.len() {
+                for l in 0..g.levels().len() {
+                    for k in 0..f {
+                        let idx = i * w + l * f + k;
+                        if l == 1 {
+                            assert_eq!(partial[idx], full[idx], "{backend} point {i}");
+                        } else {
+                            assert_eq!(partial[idx], -7.0, "{backend} column {l} touched");
+                        }
+                    }
+                }
+            }
+            // Empty level set: nothing written.
+            let mut untouched = vec![-3.0f32; points.len() * w];
+            g.par_encode_batch_levels_with(backend, &[], &points, &mut untouched);
+            assert!(untouched.iter().all(|&v| v == -3.0));
+            // All levels: identical to the full encode.
+            let all: Vec<usize> = (0..g.levels().len()).collect();
+            let mut whole = vec![0.0f32; points.len() * w];
+            g.par_encode_batch_levels_with(backend, &all, &points, &mut whole);
+            assert_eq!(whole, full, "{backend}");
+        }
     }
 }

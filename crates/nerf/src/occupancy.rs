@@ -1,13 +1,62 @@
-//! The density occupancy grid Instant-NGP uses to skip empty space.
+//! The density occupancy grid Instant-NGP uses to skip empty space —
+//! rebuilt as a batched, cached subsystem.
 //!
 //! A coarse boolean voxelisation of the scene AABB, refreshed periodically
 //! from the model's current density field. Rays skip samples that land in
 //! unoccupied voxels, which is what brings the per-iteration point count
 //! from `rays × samples` down to the ~200 k the paper reports.
+//!
+//! Three layers make refreshes cheap enough to run on-device:
+//!
+//! * **Packed Morton bitfield** — occupancy is stored as one bit per cell
+//!   in [`u64`] words indexed by the cell's 3D Morton (Z-order) code, so
+//!   spatially adjacent cells share cache lines during ray marching
+//!   ([`OccupancyGrid::occupied_at`] is a couple of shifts + one load).
+//! * **Batched refresh** — [`OccupancyWorkspace::refresh`] probes cell
+//!   densities through the same SoA kernel seams the trainer uses
+//!   (`HashGrid::par_encode_batch_levels_with` + `Mlp::forward_batch_with`),
+//!   dispatched per [`KernelBackend`] and bit-identical to evaluating the
+//!   closure paths ([`OccupancyGrid::update_from_fn`] /
+//!   [`OccupancyGrid::update_ema`]) cell by cell.
+//! * **Amortisation** — the workspace keeps a persistent cell→embedding
+//!   cache invalidated per grid level via [`HashGrid::level_versions`]
+//!   (levels whose parameters didn't change are never re-encoded) and can
+//!   rotate through a strided cell subset across refreshes
+//!   (instant-ngp-style), so steady-state refreshes touch only dirty
+//!   levels and `1/k` of the cells.
+//!
+//! The closure paths remain the executable specification; the batched
+//! refresh is differential-tested against them bit-for-bit across
+//! backends and worker counts (`crates/nerf/tests/occupancy_differential.rs`).
 
+use crate::grid::HashGrid;
 use crate::math::{Aabb, Vec3};
+use crate::mlp::{Mlp, MlpBatchWorkspace};
+use crate::simd::KernelBackend;
 
-/// A coarse boolean occupancy voxelisation of an AABB.
+/// Spreads the low 21 bits of `v`, inserting two zero bits between
+/// consecutive bits (the "part 1 by 2" step of 3D Morton encoding).
+#[inline]
+fn part1by2(v: u64) -> u64 {
+    let mut x = v & 0x1f_ffff;
+    x = (x | (x << 32)) & 0x1f_0000_0000_ffff;
+    x = (x | (x << 16)) & 0x1f_0000_ff00_00ff;
+    x = (x | (x << 8)) & 0x100f_00f0_0f00_f00f;
+    x = (x | (x << 4)) & 0x10c3_0c30_c30c_30c3;
+    x = (x | (x << 2)) & 0x1249_2492_4924_9249;
+    x
+}
+
+/// The 3D Morton (Z-order) code of a cell coordinate: the bits of `x`,
+/// `y` and `z` interleaved (`x` in bit 0). Valid for coordinates up to
+/// 2²¹ − 1 per axis.
+#[inline]
+pub fn morton3(x: u32, y: u32, z: u32) -> u64 {
+    part1by2(x as u64) | (part1by2(y as u64) << 1) | (part1by2(z as u64) << 2)
+}
+
+/// A coarse boolean occupancy voxelisation of an AABB, stored as a packed
+/// Morton-indexed bitfield.
 ///
 /// # Example
 ///
@@ -24,7 +73,11 @@ use crate::math::{Aabb, Vec3};
 pub struct OccupancyGrid {
     aabb: Aabb,
     resolution: u32,
-    bits: Vec<bool>,
+    /// `resolution³` — the logical cell count (the Morton index space is
+    /// padded to the next power of two per axis; padding bits stay zero).
+    num_cells: usize,
+    /// One bit per cell at bit position `morton3(cx, cy, cz)`.
+    words: Vec<u64>,
 }
 
 impl OccupancyGrid {
@@ -36,11 +89,16 @@ impl OccupancyGrid {
     /// Panics if `resolution` is zero.
     pub fn new(aabb: Aabb, resolution: u32) -> Self {
         assert!(resolution > 0, "resolution must be non-zero");
-        OccupancyGrid {
+        let pow2 = resolution.next_power_of_two() as u64;
+        let bit_space = pow2 * pow2 * pow2;
+        let mut occ = OccupancyGrid {
             aabb,
             resolution,
-            bits: vec![true; (resolution as usize).pow(3)],
-        }
+            num_cells: (resolution as usize).pow(3),
+            words: vec![0u64; bit_space.div_ceil(64) as usize],
+        };
+        occ.fill();
+        occ
     }
 
     /// The grid's bounding volume.
@@ -53,49 +111,117 @@ impl OccupancyGrid {
         self.resolution
     }
 
-    /// Total number of cells.
+    /// Total number of (logical) cells.
     pub fn num_cells(&self) -> usize {
-        self.bits.len()
+        self.num_cells
+    }
+
+    /// The packed bitfield: one bit per cell at position
+    /// `morton3(cx, cy, cz)`. Bits at Morton codes of padded coordinates
+    /// (≥ `resolution` on any axis) are always zero, so popcounts over the
+    /// words count exactly the occupied cells.
+    pub fn words(&self) -> &[u64] {
+        &self.words
     }
 
     #[inline]
-    fn cell_index(&self, p: Vec3) -> Option<usize> {
+    fn bit(cx: u32, cy: u32, cz: u32) -> (usize, u64) {
+        let m = morton3(cx, cy, cz);
+        ((m >> 6) as usize, 1u64 << (m & 63))
+    }
+
+    /// Cell coordinates of a linear (x-fastest) cell index.
+    #[inline]
+    fn linear_to_coords(&self, i: usize) -> (u32, u32, u32) {
+        let r = self.resolution as usize;
+        ((i % r) as u32, ((i / r) % r) as u32, (i / (r * r)) as u32)
+    }
+
+    /// Occupancy of the cell at integer coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when a coordinate is out of range.
+    #[inline]
+    pub fn occupied_cell(&self, cx: u32, cy: u32, cz: u32) -> bool {
+        debug_assert!(cx < self.resolution && cy < self.resolution && cz < self.resolution);
+        let (w, m) = Self::bit(cx, cy, cz);
+        self.words[w] & m != 0
+    }
+
+    /// Sets the occupancy bit of the cell at integer coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when a coordinate is out of range.
+    #[inline]
+    pub fn set_cell(&mut self, cx: u32, cy: u32, cz: u32, occupied: bool) {
+        debug_assert!(cx < self.resolution && cy < self.resolution && cz < self.resolution);
+        let (w, m) = Self::bit(cx, cy, cz);
+        if occupied {
+            self.words[w] |= m;
+        } else {
+            self.words[w] &= !m;
+        }
+    }
+
+    /// Occupancy of the cell with linear (x-fastest) index `i` — the
+    /// ordering of [`OccupancyGrid::cell_centers`].
+    #[inline]
+    pub fn occupied_linear(&self, i: usize) -> bool {
+        let (cx, cy, cz) = self.linear_to_coords(i);
+        self.occupied_cell(cx, cy, cz)
+    }
+
+    /// Sets the occupancy bit of the cell with linear (x-fastest) index.
+    #[inline]
+    pub fn set_linear(&mut self, i: usize, occupied: bool) {
+        let (cx, cy, cz) = self.linear_to_coords(i);
+        self.set_cell(cx, cy, cz, occupied);
+    }
+
+    /// True when `p` lies in an occupied cell. Points outside the AABB are
+    /// unoccupied by definition — the cheap reject that keeps the sampler
+    /// honest even while every in-volume bit is set.
+    #[inline]
+    pub fn occupied_at(&self, p: Vec3) -> bool {
         let u = self.aabb.to_unit(p);
         if !(0.0..=1.0).contains(&u.x) || !(0.0..=1.0).contains(&u.y) || !(0.0..=1.0).contains(&u.z)
         {
-            return None;
+            return false;
         }
         let r = self.resolution;
         let cx = ((u.x * r as f32) as u32).min(r - 1);
         let cy = ((u.y * r as f32) as u32).min(r - 1);
         let cz = ((u.z * r as f32) as u32).min(r - 1);
-        Some((cx + cy * r + cz * r * r) as usize)
+        self.occupied_cell(cx, cy, cz)
     }
 
-    /// True when `p` lies in an occupied cell. Points outside the AABB are
-    /// unoccupied by definition.
+    /// The world-space center of the cell at integer coordinates — the
+    /// probe point every refresh path (closure or batched) evaluates.
     #[inline]
-    pub fn occupied_at(&self, p: Vec3) -> bool {
-        match self.cell_index(p) {
-            Some(i) => self.bits[i],
-            None => false,
-        }
+    pub fn cell_center(&self, cx: u32, cy: u32, cz: u32) -> Vec3 {
+        let r = self.resolution;
+        self.aabb.from_unit(Vec3::new(
+            (cx as f32 + 0.5) / r as f32,
+            (cy as f32 + 0.5) / r as f32,
+            (cz as f32 + 0.5) / r as f32,
+        ))
     }
 
     /// Refreshes occupancy by evaluating `density` at every cell center and
     /// marking cells whose density exceeds `threshold`.
+    ///
+    /// This closure path is the executable specification of
+    /// [`RefreshMode::Threshold`]; the batched refresh is pinned
+    /// bit-for-bit against it.
     pub fn update_from_fn<F: FnMut(Vec3) -> f32>(&mut self, mut density: F, threshold: f32) {
         let r = self.resolution;
         for cz in 0..r {
             for cy in 0..r {
                 for cx in 0..r {
-                    let center = self.aabb.from_unit(Vec3::new(
-                        (cx as f32 + 0.5) / r as f32,
-                        (cy as f32 + 0.5) / r as f32,
-                        (cz as f32 + 0.5) / r as f32,
-                    ));
-                    let i = (cx + cy * r + cz * r * r) as usize;
-                    self.bits[i] = density(center) > threshold;
+                    let occupied = density(self.cell_center(cx, cy, cz)) > threshold;
+                    self.set_cell(cx, cy, cz, occupied);
                 }
             }
         }
@@ -104,45 +230,38 @@ impl OccupancyGrid {
     /// Like [`OccupancyGrid::update_from_fn`] but keeps a cell occupied if
     /// *either* the old or new state says so, decayed every `decay` calls —
     /// the exponential-moving-max style update Instant-NGP uses to avoid
-    /// prematurely culling space early in training.
+    /// prematurely culling space early in training. The executable
+    /// specification of [`RefreshMode::Sticky`].
     pub fn update_ema<F: FnMut(Vec3) -> f32>(&mut self, mut density: F, threshold: f32) {
         let r = self.resolution;
         for cz in 0..r {
             for cy in 0..r {
                 for cx in 0..r {
-                    let center = self.aabb.from_unit(Vec3::new(
-                        (cx as f32 + 0.5) / r as f32,
-                        (cy as f32 + 0.5) / r as f32,
-                        (cz as f32 + 0.5) / r as f32,
-                    ));
-                    let i = (cx + cy * r + cz * r * r) as usize;
-                    self.bits[i] = self.bits[i] || density(center) > threshold;
+                    if density(self.cell_center(cx, cy, cz)) > threshold {
+                        self.set_cell(cx, cy, cz, true);
+                    }
                 }
             }
         }
     }
 
-    /// The world-space centers of all cells, in storage (x-fastest) order.
+    /// The world-space centers of all cells, in linear (x-fastest) order.
     pub fn cell_centers(&self) -> Vec<Vec3> {
         let r = self.resolution;
-        let mut out = Vec::with_capacity(self.bits.len());
+        let mut out = Vec::with_capacity(self.num_cells);
         for cz in 0..r {
             for cy in 0..r {
                 for cx in 0..r {
-                    out.push(self.aabb.from_unit(Vec3::new(
-                        (cx as f32 + 0.5) / r as f32,
-                        (cy as f32 + 0.5) / r as f32,
-                        (cz as f32 + 0.5) / r as f32,
-                    )));
+                    out.push(self.cell_center(cx, cy, cz));
                 }
             }
         }
         out
     }
 
-    /// Sets occupancy from a per-cell value buffer in [`cell_centers`] order
-    /// (the trainer maintains a density EMA per cell and thresholds it here,
-    /// following Instant-NGP's decayed occupancy update).
+    /// Sets occupancy from a per-cell value buffer in [`cell_centers`]
+    /// order (a density EMA per cell, thresholded — Instant-NGP's decayed
+    /// occupancy update).
     ///
     /// # Panics
     ///
@@ -150,20 +269,384 @@ impl OccupancyGrid {
     ///
     /// [`cell_centers`]: OccupancyGrid::cell_centers
     pub fn set_from_values(&mut self, values: &[f32], threshold: f32) {
-        assert_eq!(values.len(), self.bits.len(), "cell value count mismatch");
-        for (bit, &v) in self.bits.iter_mut().zip(values) {
-            *bit = v > threshold;
+        assert_eq!(values.len(), self.num_cells, "cell value count mismatch");
+        let r = self.resolution;
+        let mut i = 0usize;
+        for cz in 0..r {
+            for cy in 0..r {
+                for cx in 0..r {
+                    self.set_cell(cx, cy, cz, values[i] > threshold);
+                    i += 1;
+                }
+            }
         }
     }
 
     /// Fraction of cells currently occupied.
     pub fn occupancy_fraction(&self) -> f32 {
-        self.bits.iter().filter(|&&b| b).count() as f32 / self.bits.len() as f32
+        let set: u64 = self.words.iter().map(|w| w.count_ones() as u64).sum();
+        set as f32 / self.num_cells as f32
     }
 
     /// Marks every cell occupied (used when resetting between scenes).
     pub fn fill(&mut self) {
-        self.bits.fill(true);
+        let r = self.resolution;
+        if r.is_power_of_two() {
+            // Morton codes of valid cells are exactly 0..r³: set them
+            // wholesale and keep the (absent) padding clear.
+            let bits = self.num_cells;
+            for (w, word) in self.words.iter_mut().enumerate() {
+                let lo = w * 64;
+                *word = if lo + 64 <= bits {
+                    u64::MAX
+                } else if lo >= bits {
+                    0
+                } else {
+                    (1u64 << (bits - lo)) - 1
+                };
+            }
+        } else {
+            self.words.fill(0);
+            for cz in 0..r {
+                for cy in 0..r {
+                    for cx in 0..r {
+                        self.set_cell(cx, cy, cz, true);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// How [`OccupancyWorkspace::refresh`] turns probed densities into bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefreshMode {
+    /// `bit = density > threshold` — matches
+    /// [`OccupancyGrid::update_from_fn`].
+    Threshold,
+    /// `bit = bit || density > threshold` — matches
+    /// [`OccupancyGrid::update_ema`].
+    Sticky,
+    /// Decayed density EMA per cell:
+    /// `ema = max(seeded ? ema × decay : 0, density)`,
+    /// `bit = ema > threshold` — the trainer's refresh rule. The EMA store
+    /// persists in the workspace; unseeded cells start from 0 rather than
+    /// decaying the `∞` sentinel (pinned by a regression test).
+    DecayedEma,
+}
+
+/// What one [`OccupancyWorkspace::refresh`] actually did — the
+/// amortisation telemetry the trainer folds into its `WorkloadStats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OccupancyRefreshStats {
+    /// Cells whose density was (re)probed this refresh (`num_cells / k`
+    /// for subset stride `k`).
+    pub cells_probed: usize,
+    /// Grid levels that had to be re-encoded for those cells (levels whose
+    /// parameters were unchanged since the cache was filled are skipped).
+    pub levels_encoded: usize,
+    /// Hash-table reads the re-encode performed:
+    /// `8 × cells_probed × levels_encoded`.
+    pub grid_reads: u64,
+}
+
+/// Cache-identity key: when any of this changes, the workspace's buffers
+/// are rebuilt from scratch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct ShapeKey {
+    resolution: u32,
+    occ_aabb: Aabb,
+    model_aabb: Aabb,
+    levels: usize,
+    emb_dim: usize,
+    mlp_layers: usize,
+    subset: u32,
+}
+
+/// Persistent state for batched occupancy refreshes: precomputed probe
+/// positions, the per-level-versioned cell→embedding cache, the per-cell
+/// density EMA store, and reusable MLP batch buffers. Create once per
+/// trainer and reuse across the run — steady-state refreshes allocate
+/// nothing.
+///
+/// All refresh work runs through the batched kernel seams
+/// ([`HashGrid::par_encode_batch_levels_with`],
+/// [`Mlp::forward_batch_with`]), so results are bit-identical to the
+/// closure reference paths for every [`KernelBackend`] and rayon worker
+/// count.
+#[derive(Debug)]
+pub struct OccupancyWorkspace {
+    /// EMA decay per probed refresh of a cell ([`RefreshMode::DecayedEma`]).
+    pub decay: f32,
+    shape: Option<ShapeKey>,
+    /// Unit-cube probe position (in the *model grid's* frame) per cell,
+    /// linear order.
+    unit_centers: Vec<Vec3>,
+    /// Persistent cell→embedding cache, `num_cells × emb_dim` row-major.
+    emb: Vec<f32>,
+    /// `levels × subset` grid versions the cache rows were computed at:
+    /// entry `l * subset + phase` covers level `l` of the cells in subset
+    /// `phase`. `u64::MAX` = never cached.
+    cached_versions: Vec<u64>,
+    /// Persistent per-cell density EMA (`∞` = unseeded), linear order.
+    ema: Vec<f32>,
+    /// Rotating subset phase for the next refresh.
+    phase: u32,
+    mlp_ws: Option<MlpBatchWorkspace>,
+    subset_cells: Vec<u32>,
+    subset_pts: Vec<Vec3>,
+    subset_emb: Vec<f32>,
+}
+
+impl Default for OccupancyWorkspace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OccupancyWorkspace {
+    /// An empty workspace; buffers are shaped on the first refresh.
+    pub fn new() -> Self {
+        OccupancyWorkspace {
+            decay: 0.95,
+            shape: None,
+            unit_centers: Vec::new(),
+            emb: Vec::new(),
+            cached_versions: Vec::new(),
+            ema: Vec::new(),
+            phase: 0,
+            mlp_ws: None,
+            subset_cells: Vec::new(),
+            subset_pts: Vec::new(),
+            subset_emb: Vec::new(),
+        }
+    }
+
+    /// The per-cell density EMA store (linear cell order; `∞` marks cells
+    /// never probed under [`RefreshMode::DecayedEma`]).
+    pub fn ema(&self) -> &[f32] {
+        &self.ema
+    }
+
+    /// Drops every cached embedding (all levels of all subsets re-encode
+    /// on the next refresh). The EMA store and subset phase are kept —
+    /// this invalidates derived data, not refresh history.
+    pub fn invalidate(&mut self) {
+        self.cached_versions.fill(u64::MAX);
+    }
+
+    /// (Re)builds buffers when the grid/model/occupancy shape changed.
+    fn ensure_shape(
+        &mut self,
+        occ: &OccupancyGrid,
+        grid: &HashGrid,
+        sigma_mlp: &Mlp,
+        model_aabb: Aabb,
+        subset: u32,
+    ) {
+        let key = ShapeKey {
+            resolution: occ.resolution(),
+            occ_aabb: occ.aabb(),
+            model_aabb,
+            levels: grid.levels().len(),
+            emb_dim: grid.output_dim(),
+            mlp_layers: sigma_mlp.layers().len(),
+            subset,
+        };
+        if self.shape == Some(key) {
+            return;
+        }
+        let cells_changed = match self.shape {
+            Some(prev) => {
+                prev.resolution != key.resolution
+                    || prev.occ_aabb != key.occ_aabb
+                    || prev.model_aabb != key.model_aabb
+            }
+            None => true,
+        };
+        let n = occ.num_cells();
+        if cells_changed {
+            // Probe positions: the same `from_unit(center)` → `to_unit`
+            // composition the closure paths evaluate per call, computed
+            // once and reused every refresh.
+            self.unit_centers.clear();
+            self.unit_centers.reserve(n);
+            let r = occ.resolution();
+            for cz in 0..r {
+                for cy in 0..r {
+                    for cx in 0..r {
+                        self.unit_centers
+                            .push(model_aabb.to_unit(occ.cell_center(cx, cy, cz)));
+                    }
+                }
+            }
+            self.ema.clear();
+            self.ema.resize(n, f32::INFINITY);
+            self.phase = 0;
+        }
+        self.emb.resize(n * key.emb_dim, 0.0);
+        self.cached_versions.clear();
+        self.cached_versions
+            .resize(key.levels * subset as usize, u64::MAX);
+        if self.shape.map(|p| p.mlp_layers) != Some(key.mlp_layers) {
+            self.mlp_ws = Some(sigma_mlp.batch_workspace(0));
+        }
+        self.shape = Some(key);
+    }
+
+    /// One batched occupancy refresh: probes the density of this round's
+    /// cell subset through the SoA kernel seams and rewrites those cells'
+    /// bits according to `mode`.
+    ///
+    /// * `backend` — which kernels run; the resulting bits are identical
+    ///   for every backend and worker count.
+    /// * `model_aabb` — the volume the hash grid covers (world probe
+    ///   positions are mapped through it, exactly like the trainer's
+    ///   per-point `density_at`).
+    /// * `subset` — stride `k ≥ 1`: each refresh probes the cells whose
+    ///   linear index ≡ phase (mod `k`), and the phase rotates so `k`
+    ///   consecutive refreshes cover every cell once. `1` = full refresh.
+    ///
+    /// Embeddings are served from the persistent cache: only levels whose
+    /// [`HashGrid::level_versions`] moved since this subset's rows were
+    /// cached are re-encoded. The small density MLP always re-runs (its
+    /// weights change every iteration; it is a few percent of the encode
+    /// cost).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `subset == 0` or `sigma_mlp` doesn't map the grid's
+    /// embedding width to a single output.
+    #[allow(clippy::too_many_arguments)]
+    pub fn refresh(
+        &mut self,
+        occ: &mut OccupancyGrid,
+        grid: &HashGrid,
+        sigma_mlp: &Mlp,
+        backend: KernelBackend,
+        model_aabb: Aabb,
+        threshold: f32,
+        mode: RefreshMode,
+        subset: u32,
+    ) -> OccupancyRefreshStats {
+        assert!(subset >= 1, "subset stride must be at least 1");
+        assert_eq!(
+            sigma_mlp.in_dim(),
+            grid.output_dim(),
+            "density MLP input width must match the grid embedding"
+        );
+        assert_eq!(sigma_mlp.out_dim(), 1, "density MLP must be scalar-valued");
+        self.ensure_shape(occ, grid, sigma_mlp, model_aabb, subset);
+
+        let k = subset as usize;
+        let phase = (self.phase as usize) % k;
+        self.phase = ((phase + 1) % k) as u32;
+        let versions = grid.level_versions();
+        let dirty: Vec<usize> = (0..grid.levels().len())
+            .filter(|&l| self.cached_versions[l * k + phase] != versions[l])
+            .collect();
+
+        let this = &mut *self;
+        let n = occ.num_cells();
+        let w = grid.output_dim();
+        let decay = this.decay;
+        let mlp_ws = this.mlp_ws.as_mut().expect("workspace shaped");
+        let cells_probed;
+        if k == 1 {
+            // Full refresh: encode dirty levels straight into the cache,
+            // forward the whole cache, rewrite every bit.
+            grid.par_encode_batch_levels_with(backend, &dirty, &this.unit_centers, &mut this.emb);
+            for &l in &dirty {
+                this.cached_versions[l] = versions[l];
+            }
+            let densities = sigma_mlp.forward_batch_with(backend, &this.emb, mlp_ws);
+            let r = occ.resolution;
+            let mut i = 0usize;
+            for cz in 0..r {
+                for cy in 0..r {
+                    for cx in 0..r {
+                        if let Some(bit) =
+                            apply_mode(mode, &mut this.ema[i], decay, densities[i], threshold)
+                        {
+                            occ.set_cell(cx, cy, cz, bit);
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            cells_probed = n;
+        } else {
+            // Rotating subset: gather this phase's rows out of the cache,
+            // re-encode only the dirty levels for them, write the rows
+            // back, and probe just those cells.
+            this.subset_cells.clear();
+            this.subset_pts.clear();
+            for i in (phase..n).step_by(k) {
+                this.subset_cells.push(i as u32);
+                this.subset_pts.push(this.unit_centers[i]);
+            }
+            let m = this.subset_cells.len();
+            this.subset_emb.resize(m * w, 0.0);
+            for (j, &i) in this.subset_cells.iter().enumerate() {
+                let i = i as usize;
+                this.subset_emb[j * w..(j + 1) * w].copy_from_slice(&this.emb[i * w..(i + 1) * w]);
+            }
+            grid.par_encode_batch_levels_with(
+                backend,
+                &dirty,
+                &this.subset_pts,
+                &mut this.subset_emb,
+            );
+            if !dirty.is_empty() {
+                // Write the refreshed rows back so the cache stays
+                // current for this phase (skipped on a warm cache: the
+                // encode was a no-op, the rows are bit-identical).
+                for (j, &i) in this.subset_cells.iter().enumerate() {
+                    let i = i as usize;
+                    this.emb[i * w..(i + 1) * w]
+                        .copy_from_slice(&this.subset_emb[j * w..(j + 1) * w]);
+                }
+                for &l in &dirty {
+                    this.cached_versions[l * k + phase] = versions[l];
+                }
+            }
+            let densities = sigma_mlp.forward_batch_with(backend, &this.subset_emb, mlp_ws);
+            for (j, &i) in this.subset_cells.iter().enumerate() {
+                let i = i as usize;
+                if let Some(bit) =
+                    apply_mode(mode, &mut this.ema[i], decay, densities[j], threshold)
+                {
+                    occ.set_linear(i, bit);
+                }
+            }
+            cells_probed = m;
+        }
+        OccupancyRefreshStats {
+            cells_probed,
+            levels_encoded: dirty.len(),
+            grid_reads: 8 * cells_probed as u64 * dirty.len() as u64,
+        }
+    }
+}
+
+/// One cell's bit decision. `None` means "leave the bit as it is"
+/// ([`RefreshMode::Sticky`] below threshold).
+#[inline]
+fn apply_mode(
+    mode: RefreshMode,
+    ema: &mut f32,
+    decay: f32,
+    density: f32,
+    threshold: f32,
+) -> Option<bool> {
+    match mode {
+        RefreshMode::Threshold => Some(density > threshold),
+        RefreshMode::Sticky => (density > threshold).then_some(true),
+        RefreshMode::DecayedEma => {
+            let prev = if ema.is_finite() { *ema * decay } else { 0.0 };
+            *ema = prev.max(density);
+            Some(*ema > threshold)
+        }
     }
 }
 
@@ -230,5 +713,141 @@ mod tests {
     #[should_panic]
     fn zero_resolution_panics() {
         let _ = OccupancyGrid::new(Aabb::UNIT, 0);
+    }
+
+    #[test]
+    fn morton_codes_are_unique_and_local() {
+        // Unique over a small cube…
+        let mut seen = std::collections::HashSet::new();
+        for z in 0..8u32 {
+            for y in 0..8u32 {
+                for x in 0..8u32 {
+                    assert!(seen.insert(morton3(x, y, z)));
+                }
+            }
+        }
+        // …axis-aligned unit steps flip exactly one interleaved bit group.
+        assert_eq!(morton3(1, 0, 0), 1);
+        assert_eq!(morton3(0, 1, 0), 2);
+        assert_eq!(morton3(0, 0, 1), 4);
+        assert_eq!(morton3(3, 3, 3), 0b111111);
+        // High coordinates stay in range (21 bits per axis → 63 bits).
+        assert!(morton3(0x1f_ffff, 0x1f_ffff, 0x1f_ffff) < 1u64 << 63);
+    }
+
+    #[test]
+    fn packed_bits_match_linear_view_on_non_pow2_resolution() {
+        // Resolution 5 exercises the Morton padding: valid bits must be
+        // exactly the 125 cells, nothing from the padded 8³ index space.
+        let mut occ = OccupancyGrid::new(Aabb::UNIT, 5);
+        assert_eq!(occ.occupancy_fraction(), 1.0);
+        let set: u32 = occ.words().iter().map(|w| w.count_ones()).sum();
+        assert_eq!(set, 125);
+        let values: Vec<f32> = (0..125)
+            .map(|i| if i % 3 == 0 { 1.0 } else { 0.0 })
+            .collect();
+        occ.set_from_values(&values, 0.5);
+        for (i, v) in values.iter().enumerate() {
+            assert_eq!(occ.occupied_linear(i), *v > 0.5, "cell {i}");
+        }
+        let expect = values.iter().filter(|&&v| v > 0.5).count();
+        let set: u32 = occ.words().iter().map(|w| w.count_ones()).sum();
+        assert_eq!(set as usize, expect);
+    }
+
+    #[test]
+    fn decayed_ema_refresh_seeds_then_decays() {
+        // Regression pin for the EMA rule: the first probe of a cell seeds
+        // from 0 (not from a decayed ∞ sentinel); later probes take
+        // max(prev × decay, density).
+        use crate::activation::Activation;
+        use crate::grid::{HashGrid, HashGridConfig};
+        use crate::mlp::{Mlp, MlpConfig};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut grid = HashGrid::new_random(
+            HashGridConfig {
+                levels: 2,
+                log2_table_size: 8,
+                base_resolution: 4,
+                max_resolution: 8,
+                ..HashGridConfig::default()
+            },
+            &mut rng,
+        );
+        let mlp = Mlp::new(
+            MlpConfig::new(
+                grid.output_dim(),
+                &[8],
+                1,
+                Activation::Relu,
+                Activation::TruncExp,
+            ),
+            &mut rng,
+        );
+        let mut occ = OccupancyGrid::new(Aabb::UNIT, 3);
+        let mut ws = OccupancyWorkspace::new();
+        ws.refresh(
+            &mut occ,
+            &grid,
+            &mlp,
+            KernelBackend::Scalar,
+            Aabb::UNIT,
+            0.5,
+            RefreshMode::DecayedEma,
+            1,
+        );
+        // First refresh: ema == the probed densities (seeded via max(0, d)).
+        let mut probe_ws = mlp.workspace();
+        let mut emb = vec![0.0; grid.output_dim()];
+        let d1: Vec<f32> = occ
+            .cell_centers()
+            .iter()
+            .map(|&c| {
+                grid.encode_into(
+                    Aabb::UNIT.to_unit(c),
+                    &mut emb,
+                    &mut crate::grid::NullObserver,
+                );
+                mlp.forward(&emb, &mut probe_ws)[0]
+            })
+            .collect();
+        assert_eq!(ws.ema(), &d1[..], "first refresh seeds ema from max(0, d)");
+
+        // Kill the density field; the EMA must decay, not vanish.
+        grid.params_mut().fill(0.0);
+        ws.refresh(
+            &mut occ,
+            &grid,
+            &mlp,
+            KernelBackend::Scalar,
+            Aabb::UNIT,
+            0.5,
+            RefreshMode::DecayedEma,
+            1,
+        );
+        let d2: Vec<f32> = occ
+            .cell_centers()
+            .iter()
+            .map(|&c| {
+                grid.encode_into(
+                    Aabb::UNIT.to_unit(c),
+                    &mut emb,
+                    &mut crate::grid::NullObserver,
+                );
+                mlp.forward(&emb, &mut probe_ws)[0]
+            })
+            .collect();
+        for i in 0..occ.num_cells() {
+            let expect = (d1[i] * 0.95).max(d2[i]);
+            assert_eq!(ws.ema()[i], expect, "cell {i}: decayed max");
+            assert_eq!(occ.occupied_linear(i), expect > 0.5, "cell {i}: bit");
+        }
+
+        // And cells outside the AABB stay unoccupied regardless of state.
+        assert!(!occ.occupied_at(Vec3::splat(1.5)));
+        assert!(!occ.occupied_at(Vec3::new(-0.01, 0.5, 0.5)));
     }
 }

@@ -55,6 +55,8 @@ pub fn sample_segments_into<R: Rng + ?Sized>(
 
 /// Like [`sample_segments`], but drops segments whose sample point falls in
 /// unoccupied space according to `occ` — Instant-NGP's empty-space skipping.
+/// Each surviving sample costs one packed-bitfield probe
+/// ([`OccupancyGrid::occupied_at`]: a Morton interleave + one word load).
 pub fn sample_segments_occupancy<R: Rng + ?Sized>(
     ray: &Ray,
     aabb: &Aabb,
@@ -62,10 +64,26 @@ pub fn sample_segments_occupancy<R: Rng + ?Sized>(
     occ: &OccupancyGrid,
     jitter: Option<&mut R>,
 ) -> Vec<Segment> {
-    sample_segments(ray, aabb, n, jitter)
-        .into_iter()
-        .filter(|&(t, _)| occ.occupied_at(ray.at(t)))
-        .collect()
+    let mut out = Vec::new();
+    sample_segments_occupancy_into(ray, aabb, n, occ, jitter, &mut out);
+    out
+}
+
+/// Allocation-free [`sample_segments_occupancy`]: clears `out` and refills
+/// it with only the segments whose sample points land in occupied cells.
+/// RNG consumption matches [`sample_segments_into`] (jitter is drawn for
+/// every stratum, culled or not), so culling never perturbs the stream —
+/// the property the trainer's batched sampling loop relies on.
+pub fn sample_segments_occupancy_into<R: Rng + ?Sized>(
+    ray: &Ray,
+    aabb: &Aabb,
+    n: usize,
+    occ: &OccupancyGrid,
+    jitter: Option<&mut R>,
+    out: &mut Vec<Segment>,
+) {
+    sample_segments_into(ray, aabb, n, jitter, out);
+    out.retain(|&(t, _)| occ.occupied_at(ray.at(t)));
 }
 
 /// One supervised ray: the pixel's camera ray plus its ground-truth color.
@@ -193,6 +211,22 @@ mod tests {
             "{} survived",
             segs.len()
         );
+    }
+
+    #[test]
+    fn occupancy_into_matches_allocating_variant_and_rng_stream() {
+        let mut occ = OccupancyGrid::new(Aabb::UNIT, 8);
+        occ.update_from_fn(|p| if p.x < 0.5 { 1.0 } else { 0.0 }, 0.5);
+        let ray = Ray::new(Vec3::new(-1.0, 0.45, 0.55), Vec3::X);
+        let mut rng_a = StdRng::seed_from_u64(17);
+        let mut rng_b = StdRng::seed_from_u64(17);
+        let alloc = sample_segments_occupancy(&ray, &Aabb::UNIT, 32, &occ, Some(&mut rng_a));
+        let mut into = Vec::new();
+        sample_segments_occupancy_into(&ray, &Aabb::UNIT, 32, &occ, Some(&mut rng_b), &mut into);
+        assert_eq!(alloc, into);
+        // Culling consumed the same RNG stream as unculled sampling: the
+        // next draws agree.
+        assert_eq!(rng_a.gen_range(0.0f32..1.0), rng_b.gen_range(0.0f32..1.0));
     }
 
     #[test]

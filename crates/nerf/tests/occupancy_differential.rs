@@ -1,0 +1,418 @@
+//! Differential suite pinning the batched occupancy refresh against the
+//! closure reference paths, bit for bit.
+//!
+//! `OccupancyWorkspace::refresh` routes cell-density probes through the
+//! batched kernel seams (`HashGrid::par_encode_batch_levels_with`,
+//! `Mlp::forward_batch_with`) with a persistent per-level-versioned
+//! embedding cache. These tests prove the packed occupancy words it
+//! produces are identical to evaluating `update_from_fn` / `update_ema`
+//! cell by cell — across kernel backends and rayon worker counts, over
+//! degenerate resolutions, empty subsets, exact-threshold densities and
+//! cache invalidation after parameter updates.
+
+use instant3d_nerf::activation::Activation;
+use instant3d_nerf::adam::{Adam, AdamConfig};
+use instant3d_nerf::grid::{HashGrid, HashGridConfig, NullObserver};
+use instant3d_nerf::math::{Aabb, Vec3};
+use instant3d_nerf::mlp::{Mlp, MlpConfig};
+use instant3d_nerf::occupancy::{OccupancyGrid, OccupancyWorkspace, RefreshMode};
+use instant3d_nerf::simd::KernelBackend;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const WORKERS: [usize; 2] = [1, 4];
+const THRESHOLD: f32 = 0.6;
+
+fn grid(seed: u64) -> HashGrid {
+    let cfg = HashGridConfig {
+        levels: 4,
+        features_per_entry: 2,
+        log2_table_size: 10,
+        base_resolution: 4,
+        max_resolution: 32,
+        store_fp16: true,
+        init_scale: 0.3,
+    };
+    HashGrid::new_random(cfg, &mut StdRng::seed_from_u64(seed))
+}
+
+fn sigma_mlp(grid: &HashGrid, seed: u64) -> Mlp {
+    Mlp::new(
+        MlpConfig::new(
+            grid.output_dim(),
+            &[16],
+            1,
+            Activation::Relu,
+            Activation::TruncExp,
+        ),
+        &mut StdRng::seed_from_u64(seed),
+    )
+}
+
+/// The closure reference path: per-cell `encode_into` + per-point MLP
+/// forward — exactly the trainer's scalar `density_at`.
+fn closure_refresh(
+    occ: &mut OccupancyGrid,
+    grid: &HashGrid,
+    mlp: &Mlp,
+    model_aabb: Aabb,
+    threshold: f32,
+    sticky: bool,
+) {
+    let mut emb = vec![0.0; grid.output_dim()];
+    let mut ws = mlp.workspace();
+    let mut density = |p: Vec3| {
+        grid.encode_into(model_aabb.to_unit(p), &mut emb, &mut NullObserver);
+        mlp.forward(&emb, &mut ws)[0]
+    };
+    if sticky {
+        occ.update_ema(&mut density, threshold);
+    } else {
+        occ.update_from_fn(&mut density, threshold);
+    }
+}
+
+#[test]
+fn batched_threshold_refresh_bit_matches_closure_across_backends_and_workers() {
+    let g = grid(1);
+    let mlp = sigma_mlp(&g, 2);
+    let aabb = Aabb::new(Vec3::new(-1.0, -0.5, 0.0), Vec3::new(1.0, 1.5, 2.0));
+    for resolution in [1u32, 2, 17] {
+        let mut reference = OccupancyGrid::new(aabb, resolution);
+        closure_refresh(&mut reference, &g, &mlp, aabb, THRESHOLD, false);
+        for backend in KernelBackend::ALL {
+            for workers in WORKERS {
+                let pool = rayon::ThreadPoolBuilder::new()
+                    .num_threads(workers)
+                    .build()
+                    .unwrap();
+                let words = pool.install(|| {
+                    let mut occ = OccupancyGrid::new(aabb, resolution);
+                    let mut ws = OccupancyWorkspace::new();
+                    let stats = ws.refresh(
+                        &mut occ,
+                        &g,
+                        &mlp,
+                        backend,
+                        aabb,
+                        THRESHOLD,
+                        RefreshMode::Threshold,
+                        1,
+                    );
+                    assert_eq!(stats.cells_probed, occ.num_cells());
+                    assert_eq!(stats.levels_encoded, g.levels().len());
+                    occ.words().to_vec()
+                });
+                assert_eq!(
+                    words,
+                    reference.words(),
+                    "res {resolution} / {backend} / t{workers}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sticky_refresh_bit_matches_update_ema() {
+    let g = grid(3);
+    let mlp = sigma_mlp(&g, 4);
+    let aabb = Aabb::UNIT;
+    // Start from a partially-culled grid so "keep occupied" matters.
+    let mut reference = OccupancyGrid::new(aabb, 9);
+    reference.update_from_fn(|p| if p.x > 0.5 { 1.0 } else { 0.0 }, 0.5);
+    let batched = reference.clone();
+    closure_refresh(&mut reference, &g, &mlp, aabb, THRESHOLD, true);
+    let mut ws = OccupancyWorkspace::new();
+    for backend in KernelBackend::ALL {
+        let mut occ = batched.clone();
+        ws.invalidate();
+        ws.refresh(
+            &mut occ,
+            &g,
+            &mlp,
+            backend,
+            aabb,
+            THRESHOLD,
+            RefreshMode::Sticky,
+            1,
+        );
+        assert_eq!(occ.words(), reference.words(), "{backend}");
+    }
+}
+
+#[test]
+fn clean_cache_refresh_encodes_nothing_and_matches_closure() {
+    let g = grid(5);
+    let mlp = sigma_mlp(&g, 6);
+    let aabb = Aabb::UNIT;
+    let mut occ = OccupancyGrid::new(aabb, 8);
+    let mut ws = OccupancyWorkspace::new();
+    let first = ws.refresh(
+        &mut occ,
+        &g,
+        &mlp,
+        KernelBackend::Simd,
+        aabb,
+        THRESHOLD,
+        RefreshMode::Threshold,
+        1,
+    );
+    assert_eq!(first.levels_encoded, g.levels().len());
+    assert!(first.grid_reads > 0);
+    let words_a = occ.words().to_vec();
+    // No parameter change between refreshes → the embedding cache serves
+    // every level; zero table reads, identical bits.
+    let second = ws.refresh(
+        &mut occ,
+        &g,
+        &mlp,
+        KernelBackend::Simd,
+        aabb,
+        THRESHOLD,
+        RefreshMode::Threshold,
+        1,
+    );
+    assert_eq!(second.levels_encoded, 0, "clean cache must skip the encode");
+    assert_eq!(second.grid_reads, 0);
+    assert_eq!(occ.words(), &words_a[..]);
+    let mut reference = OccupancyGrid::new(aabb, 8);
+    closure_refresh(&mut reference, &g, &mlp, aabb, THRESHOLD, false);
+    assert_eq!(occ.words(), reference.words());
+}
+
+#[test]
+fn cache_invalidates_per_level_after_sparse_step() {
+    let g = &mut grid(7);
+    let mlp = sigma_mlp(g, 8);
+    let aabb = Aabb::UNIT;
+    let mut occ = OccupancyGrid::new(aabb, 8);
+    let mut ws = OccupancyWorkspace::new();
+    ws.refresh(
+        &mut occ,
+        g,
+        &mlp,
+        KernelBackend::Simd,
+        aabb,
+        THRESHOLD,
+        RefreshMode::Threshold,
+        1,
+    );
+    // A sparse Adam step touching only level 2's parameters…
+    let mut grads = vec![0.0f32; g.num_params()];
+    let lo = g.levels()[..2]
+        .iter()
+        .map(|l| l.table_size as usize * 2)
+        .sum::<usize>();
+    let touched: Vec<usize> = (lo..lo + 64).collect();
+    for &i in &touched {
+        grads[i] = 0.25;
+    }
+    let mut opt = Adam::new(AdamConfig::for_grid(), g.num_params());
+    g.apply_sparse_step(&mut opt, &grads, &touched);
+    // …must re-encode exactly one level, and the refreshed bits must
+    // match a from-scratch closure refresh of the updated field.
+    let stats = ws.refresh(
+        &mut occ,
+        g,
+        &mlp,
+        KernelBackend::Simd,
+        aabb,
+        THRESHOLD,
+        RefreshMode::Threshold,
+        1,
+    );
+    assert_eq!(stats.levels_encoded, 1, "only the stepped level is dirty");
+    let mut reference = OccupancyGrid::new(aabb, 8);
+    closure_refresh(&mut reference, g, &mlp, aabb, THRESHOLD, false);
+    assert_eq!(occ.words(), reference.words());
+
+    // A conservative params_mut write dirties everything.
+    g.params_mut()[0] += 0.5;
+    let stats = ws.refresh(
+        &mut occ,
+        g,
+        &mlp,
+        KernelBackend::Scalar,
+        aabb,
+        THRESHOLD,
+        RefreshMode::Threshold,
+        1,
+    );
+    assert_eq!(stats.levels_encoded, g.levels().len());
+    let mut reference = OccupancyGrid::new(aabb, 8);
+    closure_refresh(&mut reference, g, &mlp, aabb, THRESHOLD, false);
+    assert_eq!(occ.words(), reference.words());
+}
+
+#[test]
+fn subset_rotation_covers_all_cells_and_matches_full_refresh() {
+    let g = grid(9);
+    let mlp = sigma_mlp(&g, 10);
+    let aabb = Aabb::UNIT;
+    let mut full = OccupancyGrid::new(aabb, 7);
+    let mut full_ws = OccupancyWorkspace::new();
+    full_ws.refresh(
+        &mut full,
+        &g,
+        &mlp,
+        KernelBackend::Simd,
+        aabb,
+        THRESHOLD,
+        RefreshMode::Threshold,
+        1,
+    );
+    for backend in KernelBackend::ALL {
+        let k = 4u32;
+        let mut occ = OccupancyGrid::new(aabb, 7);
+        let mut ws = OccupancyWorkspace::new();
+        let mut probed = 0usize;
+        for round in 0..k {
+            let stats = ws.refresh(
+                &mut occ,
+                &g,
+                &mlp,
+                backend,
+                aabb,
+                THRESHOLD,
+                RefreshMode::Threshold,
+                k,
+            );
+            probed += stats.cells_probed;
+            assert!(
+                stats.cells_probed <= occ.num_cells().div_ceil(k as usize),
+                "round {round} probed {}",
+                stats.cells_probed
+            );
+        }
+        // k rotating refreshes visit every cell exactly once and land on
+        // the same packed words as one full refresh.
+        assert_eq!(probed, occ.num_cells(), "{backend}");
+        assert_eq!(occ.words(), full.words(), "{backend}");
+    }
+}
+
+#[test]
+fn empty_subset_phase_probes_zero_cells() {
+    // Resolution 1 with stride 4: three of the four phases own no cells
+    // at all — the N = 0 path through gather, encode and MLP forward.
+    let g = grid(11);
+    let mlp = sigma_mlp(&g, 12);
+    let aabb = Aabb::UNIT;
+    let mut occ = OccupancyGrid::new(aabb, 1);
+    let mut ws = OccupancyWorkspace::new();
+    let mut probes = Vec::new();
+    for _ in 0..4 {
+        let stats = ws.refresh(
+            &mut occ,
+            &g,
+            &mlp,
+            KernelBackend::Simd,
+            aabb,
+            THRESHOLD,
+            RefreshMode::Threshold,
+            4,
+        );
+        probes.push(stats.cells_probed);
+    }
+    assert_eq!(probes.iter().sum::<usize>(), 1);
+    assert_eq!(probes.iter().filter(|&&p| p == 0).count(), 3);
+    let mut reference = OccupancyGrid::new(aabb, 1);
+    closure_refresh(&mut reference, &g, &mlp, aabb, THRESHOLD, false);
+    assert_eq!(occ.words(), reference.words());
+}
+
+#[test]
+fn exact_threshold_and_signed_zero_densities_match_closure() {
+    // A bias-only density head (zero weights, no hidden layer, linear
+    // output) produces the bias *exactly* at every cell, so `d > t` sits
+    // on the knife edge both paths must cut identically.
+    let g = grid(13);
+    let mut mlp = Mlp::new(
+        MlpConfig::new(g.output_dim(), &[], 1, Activation::Relu, Activation::None),
+        &mut StdRng::seed_from_u64(14),
+    );
+    let zero = mlp.zero_grads();
+    for (case, (set_bias, threshold, expect_occupied)) in [
+        (0.5f32, 0.5f32, false), // d == t → strictly-greater culls
+        (0.0, 0.0, false),       // +0 > +0 is false
+        (0.0, -0.0, false),      // +0 > −0 is false (they compare equal)
+        (-0.0, 0.0, false),      // −0 > +0 is false
+        (0.5, 0.49999997, true), // one ulp below → occupied
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        mlp.for_each_param_mut(&zero, |params, _| {
+            let v = if params.len() == 1 { set_bias } else { 0.0 };
+            for p in params.iter_mut() {
+                *p = v;
+            }
+        });
+        let mut reference = OccupancyGrid::new(Aabb::UNIT, 6);
+        closure_refresh(&mut reference, &g, &mlp, Aabb::UNIT, threshold, false);
+        assert_eq!(
+            reference.occupancy_fraction() > 0.0,
+            expect_occupied,
+            "case {case}: closure path"
+        );
+        for backend in KernelBackend::ALL {
+            let mut occ = OccupancyGrid::new(Aabb::UNIT, 6);
+            let mut ws = OccupancyWorkspace::new();
+            ws.refresh(
+                &mut occ,
+                &g,
+                &mlp,
+                backend,
+                Aabb::UNIT,
+                threshold,
+                RefreshMode::Threshold,
+                1,
+            );
+            assert_eq!(occ.words(), reference.words(), "case {case} / {backend}");
+        }
+    }
+}
+
+#[test]
+fn decayed_ema_refresh_is_backend_and_worker_invariant() {
+    // The trainer's mode: run three refreshes with a parameter update in
+    // between; the EMA store and the packed words must be bit-identical
+    // for every backend × worker combination.
+    let aabb = Aabb::UNIT;
+    let run = |backend: KernelBackend, workers: usize| {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(workers)
+            .build()
+            .unwrap();
+        pool.install(|| {
+            let mut g = grid(15);
+            let mlp = sigma_mlp(&g, 16);
+            let mut occ = OccupancyGrid::new(aabb, 10);
+            let mut ws = OccupancyWorkspace::new();
+            for round in 0..3 {
+                ws.refresh(
+                    &mut occ,
+                    &g,
+                    &mlp,
+                    backend,
+                    aabb,
+                    THRESHOLD,
+                    RefreshMode::DecayedEma,
+                    2,
+                );
+                if round == 1 {
+                    g.params_mut().iter_mut().for_each(|p| *p *= 0.5);
+                }
+            }
+            let ema_bits: Vec<u32> = ws.ema().iter().map(|v| v.to_bits()).collect();
+            (occ.words().to_vec(), ema_bits)
+        })
+    };
+    let reference = run(KernelBackend::Scalar, 1);
+    for backend in KernelBackend::ALL {
+        for workers in WORKERS {
+            assert_eq!(run(backend, workers), reference, "{backend} / t{workers}");
+        }
+    }
+}

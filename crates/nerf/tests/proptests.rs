@@ -473,4 +473,97 @@ proptest! {
         prop_assert_eq!(d_sigma, aos_grads.d_sigma);
         prop_assert_eq!(d_rgb, aos_grads.d_rgb);
     }
+
+    // ---------- Morton-packed occupancy bitfield ----------
+
+    #[test]
+    fn morton3_roundtrips_through_bit_deinterleave(
+        x in 0u32..(1 << 21), y in 0u32..(1 << 21), z in 0u32..(1 << 21))
+    {
+        use instant3d_nerf::occupancy::morton3;
+        let code = morton3(x, y, z);
+        let mut dx = 0u32;
+        let mut dy = 0u32;
+        let mut dz = 0u32;
+        for b in 0..21 {
+            dx |= (((code >> (3 * b)) & 1) as u32) << b;
+            dy |= (((code >> (3 * b + 1)) & 1) as u32) << b;
+            dz |= (((code >> (3 * b + 2)) & 1) as u32) << b;
+        }
+        prop_assert_eq!((dx, dy, dz), (x, y, z));
+    }
+
+    #[test]
+    fn occupancy_bitfield_matches_vec_bool_model(
+        resolution in 1u32..=11,
+        seed in 0u64..1000,
+        threshold in -0.5f32..0.5)
+    {
+        use instant3d_nerf::occupancy::OccupancyGrid;
+        use rand::Rng;
+        let aabb = Aabb::new(Vec3::new(-1.5, 0.0, 0.5), Vec3::new(0.5, 2.0, 3.5));
+        let r = resolution as usize;
+        let n = r * r * r;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let values: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+
+        // The naive model: a plain Vec<bool> in linear (x-fastest) order.
+        let model: Vec<bool> = values.iter().map(|&v| v > threshold).collect();
+
+        let mut occ = OccupancyGrid::new(aabb, resolution);
+        occ.set_from_values(&values, threshold);
+
+        // set_from_values / occupied_linear round-trip.
+        for (i, &m) in model.iter().enumerate() {
+            prop_assert_eq!(occ.occupied_linear(i), m, "cell {}", i);
+        }
+        // occupancy_fraction agrees with the model's popcount.
+        let frac = model.iter().filter(|&&b| b).count() as f32 / n as f32;
+        prop_assert_eq!(occ.occupancy_fraction(), frac);
+        // occupied_at agrees with the model under the same cell-index math
+        // at random world points (inside and outside the box).
+        for _ in 0..32 {
+            let p = Vec3::new(
+                rng.gen_range(-2.0f32..1.0),
+                rng.gen_range(-0.5f32..2.5),
+                rng.gen_range(0.0f32..4.0),
+            );
+            let u = aabb.to_unit(p);
+            let expect = if !(0.0..=1.0).contains(&u.x)
+                || !(0.0..=1.0).contains(&u.y)
+                || !(0.0..=1.0).contains(&u.z)
+            {
+                false
+            } else {
+                let cx = ((u.x * resolution as f32) as usize).min(r - 1);
+                let cy = ((u.y * resolution as f32) as usize).min(r - 1);
+                let cz = ((u.z * resolution as f32) as usize).min(r - 1);
+                model[cx + cy * r + cz * r * r]
+            };
+            prop_assert_eq!(occ.occupied_at(p), expect, "point {:?}", p);
+        }
+        // Padding invariant: the packed popcount equals the model's even
+        // for non-power-of-two resolutions (no stray bits in the padded
+        // Morton index space).
+        let set: u64 = occ.words().iter().map(|w| w.count_ones() as u64).sum();
+        prop_assert_eq!(set as usize, model.iter().filter(|&&b| b).count());
+    }
+
+    #[test]
+    fn occupancy_update_from_fn_equals_set_from_values_on_centers(
+        resolution in 1u32..=8, seed in 0u64..1000)
+    {
+        use instant3d_nerf::occupancy::OccupancyGrid;
+        let aabb = Aabb::UNIT;
+        let mut a = OccupancyGrid::new(aabb, resolution);
+        let mut b = OccupancyGrid::new(aabb, resolution);
+        let f = move |p: Vec3| {
+            // A deterministic pseudo-density varying per cell.
+            (p.x * 37.0 + p.y * 17.0 + p.z * 11.0 + seed as f32).sin() * 2.0
+        };
+        a.update_from_fn(f, 0.3);
+        let values: Vec<f32> = b.cell_centers().iter().map(|&c| f(c)).collect();
+        b.set_from_values(&values, 0.3);
+        prop_assert_eq!(a.words(), b.words());
+    }
 }

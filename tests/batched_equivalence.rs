@@ -14,9 +14,12 @@ use instant3d::trace::TraceCollector;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn capture(
+fn capture_with(
     batched: bool,
     backend: KernelBackend,
+    iters: u32,
+    occupancy_update_every: u32,
+    occupancy_subset: u32,
 ) -> (
     instant3d::trace::record::Trace,
     instant3d::core::WorkloadStats,
@@ -26,10 +29,12 @@ fn capture(
     let mut seed = StdRng::seed_from_u64(3);
     let mut cfg = TrainConfig::fast_preview();
     cfg.kernel_backend = backend;
+    cfg.occupancy_update_every = occupancy_update_every;
+    cfg.occupancy_subset = occupancy_subset;
     let mut trainer = Trainer::new(cfg, &ds, &mut seed);
     let mut step_rng = StdRng::seed_from_u64(4);
     let mut tc = TraceCollector::new(4_000_000);
-    for i in 0..3 {
+    for i in 0..iters {
         tc.begin_iteration(i);
         if batched {
             trainer.step_observed(&mut step_rng, &mut tc);
@@ -38,6 +43,16 @@ fn capture(
         }
     }
     (tc.into_trace(), *trainer.stats())
+}
+
+fn capture(
+    batched: bool,
+    backend: KernelBackend,
+) -> (
+    instant3d::trace::record::Trace,
+    instant3d::core::WorkloadStats,
+) {
+    capture_with(batched, backend, 3, 16, 1)
 }
 
 fn phase_key(r: &AccessRecord) -> (u32, instant3d::nerf::grid::GridBranch, u32, u8, u32) {
@@ -78,6 +93,35 @@ fn batched_trace_preserves_within_phase_capture_order() {
                 b, s,
                 "{backend}/{phase:?} stream order must match the scalar path"
             );
+        }
+    }
+}
+
+#[test]
+fn traces_stay_identical_across_amortized_occupancy_refreshes() {
+    // Occupancy refreshes fire mid-capture (every 2 iterations, rotating
+    // cell subsets). The refresh itself runs unobserved batched kernels —
+    // it must leave no accesses in the trace — but the bits it flips
+    // change which samples survive culling on later iterations, so the
+    // streams only stay equal if batched and scalar paths see identical
+    // packed occupancy after every refresh.
+    for backend in KernelBackend::ALL {
+        let (batched, stats_b) = capture_with(true, backend, 4, 2, 2);
+        let (scalar, stats_s) = capture_with(false, backend, 4, 2, 2);
+        assert_eq!(stats_b, stats_s, "{backend}: stats through refreshes");
+        assert!(
+            stats_b.occupancy_refreshes >= 2,
+            "{backend}: refreshes must have fired during capture"
+        );
+        assert_eq!(
+            batched.order_normalized(),
+            scalar.order_normalized(),
+            "{backend}: access multisets must survive occupancy refreshes"
+        );
+        for phase in [AccessPhase::FeedForward, AccessPhase::BackProp] {
+            let b: Vec<_> = batched.phase(phase).map(phase_key).collect();
+            let s: Vec<_> = scalar.phase(phase).map(phase_key).collect();
+            assert_eq!(b, s, "{backend}/{phase:?} stream order through refreshes");
         }
     }
 }
