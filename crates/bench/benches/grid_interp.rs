@@ -107,15 +107,25 @@ fn bench_encode_batch(c: &mut Criterion) {
                 })
             },
         );
-        c.bench_function(
-            &format!("grid/encode_batch1024_parallel/{}", stamp(backend)),
-            |b| {
-                b.iter(|| {
-                    grid.par_encode_batch_with(backend, black_box(&points), &mut out);
-                    black_box(out[0])
-                })
-            },
-        );
+        // Explicit worker-count arms: `install` pins the apparent count
+        // and grows the shared work-stealing pool to match.
+        for threads in [1, 4] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            pool.install(|| {
+                c.bench_function(
+                    &format!("grid/encode_batch1024_parallel/{}", stamp(backend)),
+                    |b| {
+                        b.iter(|| {
+                            grid.par_encode_batch_with(backend, black_box(&points), &mut out);
+                            black_box(out[0])
+                        })
+                    },
+                );
+            });
+        }
     }
 }
 
@@ -134,15 +144,28 @@ fn bench_backward_batch(c: &mut Criterion) {
         })
     });
     for backend in KernelBackend::ALL {
-        c.bench_function(
-            &format!("grid/backward_batch1024_level/{}", stamp(backend)),
-            |b| {
-                b.iter(|| {
-                    grid.par_backward_batch_with(backend, black_box(&points), &d_out, &mut grads);
-                    black_box(grads.count)
-                })
-            },
-        );
+        for threads in [1, 4] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            pool.install(|| {
+                c.bench_function(
+                    &format!("grid/backward_batch1024_level/{}", stamp(backend)),
+                    |b| {
+                        b.iter(|| {
+                            grid.par_backward_batch_with(
+                                backend,
+                                black_box(&points),
+                                &d_out,
+                                &mut grads,
+                            );
+                            black_box(grads.count)
+                        })
+                    },
+                );
+            });
+        }
     }
 }
 

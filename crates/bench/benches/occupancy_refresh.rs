@@ -71,25 +71,36 @@ fn bench_refresh_batched(c: &mut Criterion) {
         // re-encodes — the apples-to-apples comparison against the
         // closure path.
         let mut ws = OccupancyWorkspace::new();
-        c.bench_function(
-            &format!("occupancy/refresh_full/r{RESOLUTION}/{}", stamp(backend)),
-            |b| {
-                b.iter(|| {
-                    ws.invalidate();
-                    let stats = ws.refresh(
-                        &mut occ,
-                        &grid,
-                        &mlp,
-                        backend,
-                        Aabb::UNIT,
-                        THRESHOLD,
-                        RefreshMode::Threshold,
-                        1,
-                    );
-                    black_box(stats.grid_reads)
-                })
-            },
-        );
+        // Explicit worker-count arms for the thread-scaling axis:
+        // `install` pins the apparent count and grows the shared
+        // work-stealing pool to match.
+        for threads in [1, 4] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            pool.install(|| {
+                c.bench_function(
+                    &format!("occupancy/refresh_full/r{RESOLUTION}/{}", stamp(backend)),
+                    |b| {
+                        b.iter(|| {
+                            ws.invalidate();
+                            let stats = ws.refresh(
+                                &mut occ,
+                                &grid,
+                                &mlp,
+                                backend,
+                                Aabb::UNIT,
+                                THRESHOLD,
+                                RefreshMode::Threshold,
+                                1,
+                            );
+                            black_box(stats.grid_reads)
+                        })
+                    },
+                );
+            });
+        }
         // Steady-state refresh with a clean cache (no grid updates since
         // the last refresh): the encode vanishes, only the MLP re-runs.
         c.bench_function(

@@ -1,0 +1,122 @@
+//! Dispatch-overhead microbenchmarks for the vendored rayon scheduler.
+//!
+//! These isolate what the scheduler itself costs — *not* the kernels: a
+//! many-small-chunks `for_each` (the engine's dominant dispatch shape),
+//! an order-preserving `map().collect()`, the zip-of-disjoint-buffers
+//! shape every SoA kernel uses, and a raw `join` splitting tree. Bodies
+//! are near-trivial on purpose, so regressions in per-region setup,
+//! per-split job handling, or (the old stand-in's failure mode) per-item
+//! boxed-job allocation show up directly.
+//!
+//! Bench IDs are stamped with the pinned worker count (`…/t4`), matching
+//! the other benches' convention. Worker counts are pinned explicitly via
+//! `install`, which grows the shared pool as needed — so thread arms are
+//! measurable even on a box whose ambient pool is one thread.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rayon::prelude::*;
+
+/// The worker counts each bench sweeps: strictly sequential, the CI
+/// matrix's parallel arm, and the oversubscription arm.
+const THREAD_ARMS: [usize; 3] = [1, 4, 8];
+
+fn pool(n: usize) -> rayon::ThreadPool {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(n)
+        .build()
+        .unwrap()
+}
+
+/// 1024 chunks of 64 u64s with a touch-everything body: dominated by
+/// dispatch, the acceptance workload for "per-item boxed jobs are gone".
+fn bench_for_each_small_chunks(c: &mut Criterion) {
+    let mut data = vec![0u64; 1024 * 64];
+    for threads in THREAD_ARMS {
+        pool(threads).install(|| {
+            c.bench_function(&format!("par/for_each_1024x64/t{threads}"), |b| {
+                b.iter(|| {
+                    data.par_chunks_mut(64).for_each(|chunk| {
+                        for v in chunk.iter_mut() {
+                            *v = v.wrapping_add(1);
+                        }
+                    });
+                    black_box(data[0])
+                })
+            });
+        });
+    }
+}
+
+/// Order-preserving map over 1024 small chunks; measures per-region
+/// allocation (one slot buffer) against the old per-item slot boxing.
+fn bench_map_collect(c: &mut Criterion) {
+    let data = vec![3u64; 1024 * 64];
+    for threads in THREAD_ARMS {
+        pool(threads).install(|| {
+            c.bench_function(&format!("par/map_collect_1024/t{threads}"), |b| {
+                b.iter(|| {
+                    let sums: Vec<u64> = data
+                        .par_chunks(64)
+                        .map(|chunk| chunk.iter().fold(0u64, |a, &v| a.wrapping_add(v)))
+                        .collect();
+                    black_box(sums.len())
+                })
+            });
+        });
+    }
+}
+
+/// The engine's hot dispatch shape: disjoint output chunks zipped with
+/// input chunks (grid encode / MLP GEMV both look like this).
+fn bench_zip_for_each(c: &mut Criterion) {
+    let src = vec![1.5f32; 4096];
+    let mut dst = vec![0.0f32; 4096 * 8];
+    for threads in THREAD_ARMS {
+        pool(threads).install(|| {
+            c.bench_function(&format!("par/zip_chunks_256/t{threads}"), |b| {
+                b.iter(|| {
+                    dst.par_chunks_mut(256 * 8)
+                        .zip(src.par_chunks(256))
+                        .for_each(|(d, s)| {
+                            for (dc, sv) in d.chunks_mut(8).zip(s) {
+                                for v in dc.iter_mut() {
+                                    *v = *sv;
+                                }
+                            }
+                        });
+                    black_box(dst[0])
+                })
+            });
+        });
+    }
+}
+
+/// Raw `join` split tree down to 1024 leaves of trivial work: the cost
+/// of pushing/popping (or stealing) one stack job per split.
+fn bench_join_tree(c: &mut Criterion) {
+    fn tree(lo: u64, hi: u64) -> u64 {
+        if hi - lo <= 1 {
+            lo.wrapping_mul(2654435761)
+        } else {
+            let mid = lo + (hi - lo) / 2;
+            let (a, b) = rayon::join(|| tree(lo, mid), || tree(mid, hi));
+            a.wrapping_add(b)
+        }
+    }
+    for threads in THREAD_ARMS {
+        pool(threads).install(|| {
+            c.bench_function(&format!("par/join_tree_1024/t{threads}"), |b| {
+                b.iter(|| black_box(tree(0, 1024)))
+            });
+        });
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_for_each_small_chunks,
+    bench_map_collect,
+    bench_zip_for_each,
+    bench_join_tree
+);
+criterion_main!(benches);

@@ -61,26 +61,22 @@ fn bench_batch_size(c: &mut Criterion, rays: usize) {
     );
     for backend in KernelBackend::ALL {
         cfg.kernel_backend = backend;
-        let single = rayon::ThreadPoolBuilder::new()
-            .num_threads(1)
-            .build()
-            .unwrap();
-        single.install(|| {
-            bench_step(
-                c,
-                &format!("train/batched_rays{rays}"),
-                cfg.clone(),
-                Path::Batched,
-            );
-        });
-        // Full-pool run (skipped when it would duplicate the t1 ID).
-        if rayon::current_num_threads() > 1 {
-            bench_step(
-                c,
-                &format!("train/batched_rays{rays}"),
-                cfg.clone(),
-                Path::Batched,
-            );
+        // Explicit worker-count arms: `install` pins the apparent count
+        // and grows the shared work-stealing pool to match, so thread
+        // scaling is measurable regardless of the ambient pool size.
+        for threads in [1, 4] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            pool.install(|| {
+                bench_step(
+                    c,
+                    &format!("train/batched_rays{rays}"),
+                    cfg.clone(),
+                    Path::Batched,
+                );
+            });
         }
     }
 }

@@ -81,12 +81,28 @@ impl KernelBackend {
         }
     }
 
-    /// The backend requested by `INSTANT3D_KERNEL_BACKEND`, if set and
-    /// valid.
+    /// The backend requested by `INSTANT3D_KERNEL_BACKEND`, if set.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the variable is set to an unrecognised name: a typo in
+    /// a CI matrix entry must fail loudly instead of silently re-testing
+    /// the default backend.
     pub fn from_env() -> Option<KernelBackend> {
-        std::env::var("INSTANT3D_KERNEL_BACKEND")
-            .ok()
-            .and_then(|v| KernelBackend::parse(&v))
+        Self::from_env_value(std::env::var("INSTANT3D_KERNEL_BACKEND").ok().as_deref())
+    }
+
+    /// [`KernelBackend::from_env`]'s env-independent core, split out so
+    /// the invalid-value panic is testable without mutating process-global
+    /// environment state.
+    fn from_env_value(value: Option<&str>) -> Option<KernelBackend> {
+        let v = value?;
+        match KernelBackend::parse(v) {
+            Some(backend) => Some(backend),
+            None => panic!(
+                "invalid INSTANT3D_KERNEL_BACKEND value {v:?}; accepted names: \"scalar\", \"simd\""
+            ),
+        }
     }
 
     /// The env-var backend if set, otherwise `default`.
@@ -313,6 +329,27 @@ mod tests {
         assert_eq!(KernelBackend::parse("avx512"), None);
         assert_eq!(KernelBackend::Simd.to_string(), "simd");
         assert_eq!(KernelBackend::ALL.len(), 2);
+    }
+
+    #[test]
+    fn backend_env_accepts_valid_and_unset_values() {
+        assert_eq!(KernelBackend::from_env_value(None), None);
+        assert_eq!(
+            KernelBackend::from_env_value(Some("scalar")),
+            Some(KernelBackend::Scalar)
+        );
+        assert_eq!(
+            KernelBackend::from_env_value(Some(" Simd ")),
+            Some(KernelBackend::Simd)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid INSTANT3D_KERNEL_BACKEND value \"smid\"")]
+    fn backend_env_rejects_typos_loudly() {
+        // A misspelled CI matrix entry must fail the run, not silently
+        // re-test the default backend.
+        let _ = KernelBackend::from_env_value(Some("smid"));
     }
 
     #[test]

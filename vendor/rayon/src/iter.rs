@@ -1,0 +1,707 @@
+//! Lazily-split parallel iterators.
+//!
+//! The model is rayon's producer/splitter plumbing, scaled down to the
+//! surface this workspace uses:
+//!
+//! * a [`ParallelSource`] knows its exact length and can hand a
+//!   [`Producer`] to a [`ProducerCallback`] (the callback indirection
+//!   lets producers borrow from a stack frame the source sets up, e.g.
+//!   the slot buffer a `Vec` source drains into);
+//! * a [`Producer`] is **recursively splittable in O(1)** (`split_at`)
+//!   and degrades into a plain sequential iterator at the leaves;
+//! * the driver ([`drive`]) turns a producer into a binary `join` tree:
+//!   each split pushes one half onto the worker's deque and recurses
+//!   into the other, so **no per-item (or even per-leaf) heap jobs are
+//!   ever allocated** — idle workers steal the pushed halves and split
+//!   them further. Splitting stops after ~4 leaves per worker or at the
+//!   [`ParIter::with_min_len`] floor, whichever is coarser.
+//!
+//! Scheduling never changes results: every item is processed exactly
+//! once, `zip`/`enumerate` pairings and `map().collect()` output order
+//! are positional, and the engine above only performs disjoint writes —
+//! so outputs are bit-identical for any worker count and any steal
+//! interleaving.
+
+use std::ops::Range;
+
+// ---------------------------------------------------------------------------
+// Core traits
+// ---------------------------------------------------------------------------
+
+/// A splittable, exactly-sized producer of parallel work items.
+pub trait Producer: Send + Sized {
+    /// The work items handed to the consumer.
+    type Item: Send;
+    /// Sequential iterator used for leaf execution.
+    type IntoIter: Iterator<Item = Self::Item>;
+
+    /// Exact number of remaining items.
+    fn len(&self) -> usize;
+
+    /// True when no items remain.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Splits into the `[0, index)` and `[index, len)` halves — O(1) and
+    /// allocation-free.
+    fn split_at(self, index: usize) -> (Self, Self);
+
+    /// Degrades into a sequential iterator (leaf execution).
+    fn into_iter(self) -> Self::IntoIter;
+}
+
+/// Generic callback through which a [`ParallelSource`] hands over its
+/// producer (whose concrete type may borrow from the source's frame).
+pub trait ProducerCallback<I> {
+    /// The value returned through the callback chain.
+    type Output;
+    /// Receives the materialised producer.
+    fn callback<P: Producer<Item = I>>(self, producer: P) -> Self::Output;
+}
+
+/// A lazily-evaluated source of parallel items with an exact length.
+pub trait ParallelSource: Sized {
+    /// The work items this source yields.
+    type Item: Send;
+
+    /// Exact number of items.
+    fn len(&self) -> usize;
+
+    /// True when the source yields no items.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Materialises the producer and passes it to `cb`.
+    fn with_producer<CB: ProducerCallback<Self::Item>>(self, cb: CB) -> CB::Output;
+}
+
+// ---------------------------------------------------------------------------
+// Driver: producer -> join tree
+// ---------------------------------------------------------------------------
+
+/// Split until there are about this many leaves per (apparent) worker —
+/// enough slack for stealing to rebalance uneven item costs without
+/// approaching per-item dispatch.
+const LEAVES_PER_THREAD: usize = 4;
+
+/// Runs `f` over every item of `producer` by recursive binary splitting
+/// on the work-stealing pool. Sequential when the apparent thread count
+/// is 1 or the region is too small to split.
+pub(crate) fn drive<P, F>(producer: P, min_len: usize, f: &F)
+where
+    P: Producer,
+    F: Fn(P::Item) + Sync,
+{
+    let len = producer.len();
+    let threads = crate::current_num_threads();
+    let min_len = min_len.max(1);
+    if threads <= 1 || len < 2 || len < 2 * min_len {
+        for item in producer.into_iter() {
+            f(item);
+        }
+        return;
+    }
+    let target = (threads * LEAVES_PER_THREAD).clamp(2, len);
+    // ceil(log2(target)) splits gives at least `target` leaves.
+    let splits = usize::BITS - (target - 1).leading_zeros();
+    crate::registry::in_worker(move |_| split_drive(producer, splits, min_len, f));
+}
+
+fn split_drive<P, F>(producer: P, splits: u32, min_len: usize, f: &F)
+where
+    P: Producer,
+    F: Fn(P::Item) + Sync,
+{
+    let len = producer.len();
+    if splits == 0 || len < 2 || len < 2 * min_len {
+        for item in producer.into_iter() {
+            f(item);
+        }
+        return;
+    }
+    let (left, right) = producer.split_at(len / 2);
+    crate::join(
+        || split_drive(left, splits - 1, min_len, f),
+        || split_drive(right, splits - 1, min_len, f),
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Public combinator surface
+// ---------------------------------------------------------------------------
+
+/// A parallel iterator: a lazily-split [`ParallelSource`] plus a minimum
+/// leaf length.
+pub struct ParIter<S> {
+    source: S,
+    min_len: usize,
+}
+
+impl<S: ParallelSource> ParIter<S> {
+    pub(crate) fn new(source: S) -> Self {
+        ParIter { source, min_len: 1 }
+    }
+
+    /// Pairs items positionally with another source's, truncating to the
+    /// shorter (pairings are independent of scheduling).
+    pub fn zip<T: ParallelSource>(self, other: ParIter<T>) -> ParIter<ZipSource<S, T>> {
+        ParIter {
+            source: ZipSource {
+                a: self.source,
+                b: other.source,
+            },
+            min_len: self.min_len.max(other.min_len),
+        }
+    }
+
+    /// Attaches each item's position (stable under any split tree).
+    pub fn enumerate(self) -> ParIter<EnumerateSource<S>> {
+        ParIter {
+            source: EnumerateSource { base: self.source },
+            min_len: self.min_len,
+        }
+    }
+
+    /// Lower-bounds the number of items a leaf task processes, limiting
+    /// how finely the driver splits this iterator.
+    pub fn with_min_len(mut self, min: usize) -> Self {
+        self.min_len = min.max(1);
+        self
+    }
+
+    /// Runs `f` once per item on the pool; returns when all are done.
+    /// The first panic's original payload is re-raised on the caller.
+    pub fn for_each<F: Fn(S::Item) + Sync>(self, f: F) {
+        let min_len = self.min_len;
+        self.source.with_producer(ForEachCb { f: &f, min_len });
+    }
+
+    /// Maps items in parallel; collect with [`ParMap::collect`].
+    pub fn map<R: Send, F: Fn(S::Item) -> R + Sync>(self, f: F) -> ParMap<S, F> {
+        ParMap {
+            source: self.source,
+            f,
+            min_len: self.min_len,
+        }
+    }
+
+    /// The exact number of items.
+    pub fn len(&self) -> usize {
+        self.source.len()
+    }
+
+    /// True when no items remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+struct ForEachCb<'f, F> {
+    f: &'f F,
+    min_len: usize,
+}
+
+impl<I, F> ProducerCallback<I> for ForEachCb<'_, F>
+where
+    I: Send,
+    F: Fn(I) + Sync,
+{
+    type Output = ();
+    fn callback<P: Producer<Item = I>>(self, producer: P) {
+        drive(producer, self.min_len, self.f);
+    }
+}
+
+/// Pending parallel map, produced by [`ParIter::map`].
+pub struct ParMap<S, F> {
+    source: S,
+    f: F,
+    min_len: usize,
+}
+
+impl<S: ParallelSource, F> ParMap<S, F> {
+    /// Runs the map on the pool and collects results **in item order**:
+    /// each item's result is written into its positional slot (disjoint
+    /// writes), so the output is independent of scheduling. The only
+    /// allocation beyond the collection itself is one slot buffer per
+    /// call — never per item.
+    pub fn collect<C, R>(self) -> C
+    where
+        F: Fn(S::Item) -> R + Sync,
+        R: Send,
+        C: FromIterator<R>,
+    {
+        let n = self.source.len();
+        let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+        self.source.with_producer(CollectCb {
+            slots: &mut slots,
+            f: &self.f,
+            min_len: self.min_len,
+        });
+        slots
+            .into_iter()
+            .map(|s| s.expect("map item produced no result"))
+            .collect()
+    }
+}
+
+struct CollectCb<'a, R, F> {
+    slots: &'a mut [Option<R>],
+    f: &'a F,
+    min_len: usize,
+}
+
+impl<I, R, F> ProducerCallback<I> for CollectCb<'_, R, F>
+where
+    I: Send,
+    R: Send,
+    F: Fn(I) -> R + Sync,
+{
+    type Output = ();
+    fn callback<P: Producer<Item = I>>(self, producer: P) {
+        debug_assert_eq!(producer.len(), self.slots.len());
+        let zipped = ZipProducer {
+            a: producer,
+            b: IterMutProducer { slice: self.slots },
+        };
+        let f = self.f;
+        let body = move |(item, slot): (I, &mut Option<R>)| {
+            *slot = Some(f(item));
+        };
+        drive(zipped, self.min_len, &body);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Slice sources
+// ---------------------------------------------------------------------------
+
+/// Source for [`par_chunks`](crate::slice::ParallelSlice::par_chunks).
+pub struct SliceChunks<'a, T> {
+    pub(crate) slice: &'a [T],
+    pub(crate) size: usize,
+}
+
+/// Producer counterpart of [`SliceChunks`].
+pub struct ChunksProducer<'a, T> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> ParallelSource for SliceChunks<'a, T> {
+    type Item = &'a [T];
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+    fn with_producer<CB: ProducerCallback<Self::Item>>(self, cb: CB) -> CB::Output {
+        cb.callback(ChunksProducer {
+            slice: self.slice,
+            size: self.size,
+        })
+    }
+}
+
+impl<'a, T: Sync> Producer for ChunksProducer<'a, T> {
+    type Item = &'a [T];
+    type IntoIter = std::slice::Chunks<'a, T>;
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        // `index` counts chunks; the left part's element count is a
+        // multiple of `size`, so chunk boundaries are preserved.
+        let at = (index * self.size).min(self.slice.len());
+        let (left, right) = self.slice.split_at(at);
+        (
+            ChunksProducer {
+                slice: left,
+                size: self.size,
+            },
+            ChunksProducer {
+                slice: right,
+                size: self.size,
+            },
+        )
+    }
+    fn into_iter(self) -> Self::IntoIter {
+        self.slice.chunks(self.size)
+    }
+}
+
+/// Source for [`par_chunks_mut`](crate::slice::ParallelSliceMut::par_chunks_mut).
+pub struct SliceChunksMut<'a, T> {
+    pub(crate) slice: &'a mut [T],
+    pub(crate) size: usize,
+}
+
+/// Producer counterpart of [`SliceChunksMut`].
+pub struct ChunksMutProducer<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> ParallelSource for SliceChunksMut<'a, T> {
+    type Item = &'a mut [T];
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+    fn with_producer<CB: ProducerCallback<Self::Item>>(self, cb: CB) -> CB::Output {
+        cb.callback(ChunksMutProducer {
+            slice: self.slice,
+            size: self.size,
+        })
+    }
+}
+
+impl<'a, T: Send> Producer for ChunksMutProducer<'a, T> {
+    type Item = &'a mut [T];
+    type IntoIter = std::slice::ChunksMut<'a, T>;
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let at = (index * self.size).min(self.slice.len());
+        let (left, right) = self.slice.split_at_mut(at);
+        (
+            ChunksMutProducer {
+                slice: left,
+                size: self.size,
+            },
+            ChunksMutProducer {
+                slice: right,
+                size: self.size,
+            },
+        )
+    }
+    fn into_iter(self) -> Self::IntoIter {
+        self.slice.chunks_mut(self.size)
+    }
+}
+
+/// Source for [`par_iter_mut`](crate::slice::ParallelSliceMut::par_iter_mut).
+pub struct SliceIterMut<'a, T> {
+    pub(crate) slice: &'a mut [T],
+}
+
+/// Producer counterpart of [`SliceIterMut`].
+pub struct IterMutProducer<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParallelSource for SliceIterMut<'a, T> {
+    type Item = &'a mut T;
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+    fn with_producer<CB: ProducerCallback<Self::Item>>(self, cb: CB) -> CB::Output {
+        cb.callback(IterMutProducer { slice: self.slice })
+    }
+}
+
+impl<'a, T: Send> Producer for IterMutProducer<'a, T> {
+    type Item = &'a mut T;
+    type IntoIter = std::slice::IterMut<'a, T>;
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (left, right) = self.slice.split_at_mut(index);
+        (
+            IterMutProducer { slice: left },
+            IterMutProducer { slice: right },
+        )
+    }
+    fn into_iter(self) -> Self::IntoIter {
+        self.slice.iter_mut()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Owned sources: Vec and Range
+// ---------------------------------------------------------------------------
+
+/// Source for `Vec::into_par_iter`.
+///
+/// Items are parked in a slot buffer (one allocation per drive, not per
+/// item) and moved out lazily by whichever worker claims each slot's
+/// range; slots left unconsumed by a panic drop with the buffer.
+pub struct VecSource<T> {
+    pub(crate) items: Vec<T>,
+}
+
+/// Producer over a [`VecSource`]'s slot buffer.
+pub struct TakeProducer<'a, T> {
+    slots: &'a mut [Option<T>],
+}
+
+/// Leaf iterator of [`TakeProducer`].
+pub struct TakeIter<'a, T> {
+    inner: std::slice::IterMut<'a, Option<T>>,
+}
+
+impl<T: Send> Iterator for TakeIter<'_, T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        self.inner
+            .next()
+            .map(|slot| slot.take().expect("parallel item already consumed"))
+    }
+}
+
+impl<T: Send> ParallelSource for VecSource<T> {
+    type Item = T;
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+    fn with_producer<CB: ProducerCallback<Self::Item>>(self, cb: CB) -> CB::Output {
+        let mut slots: Vec<Option<T>> = self.items.into_iter().map(Some).collect();
+        cb.callback(TakeProducer { slots: &mut slots })
+    }
+}
+
+impl<'a, T: Send> Producer for TakeProducer<'a, T> {
+    type Item = T;
+    type IntoIter = TakeIter<'a, T>;
+    fn len(&self) -> usize {
+        self.slots.len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (left, right) = self.slots.split_at_mut(index);
+        (TakeProducer { slots: left }, TakeProducer { slots: right })
+    }
+    fn into_iter(self) -> Self::IntoIter {
+        TakeIter {
+            inner: self.slots.iter_mut(),
+        }
+    }
+}
+
+/// Source for `Range::<usize>::into_par_iter`.
+pub struct RangeSource {
+    pub(crate) range: Range<usize>,
+}
+
+/// Producer counterpart of [`RangeSource`].
+pub struct RangeProducer {
+    range: Range<usize>,
+}
+
+impl ParallelSource for RangeSource {
+    type Item = usize;
+    fn len(&self) -> usize {
+        self.range.len()
+    }
+    fn with_producer<CB: ProducerCallback<Self::Item>>(self, cb: CB) -> CB::Output {
+        cb.callback(RangeProducer { range: self.range })
+    }
+}
+
+impl Producer for RangeProducer {
+    type Item = usize;
+    type IntoIter = Range<usize>;
+    fn len(&self) -> usize {
+        self.range.len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let mid = self.range.start + index;
+        (
+            RangeProducer {
+                range: self.range.start..mid,
+            },
+            RangeProducer {
+                range: mid..self.range.end,
+            },
+        )
+    }
+    fn into_iter(self) -> Self::IntoIter {
+        self.range
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Combinator sources: zip and enumerate
+// ---------------------------------------------------------------------------
+
+/// Source pairing two sources positionally (see [`ParIter::zip`]).
+pub struct ZipSource<A, B> {
+    a: A,
+    b: B,
+}
+
+/// Producer pairing two producers of equal length.
+pub struct ZipProducer<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: ParallelSource, B: ParallelSource> ParallelSource for ZipSource<A, B> {
+    type Item = (A::Item, B::Item);
+    fn len(&self) -> usize {
+        self.a.len().min(self.b.len())
+    }
+    fn with_producer<CB: ProducerCallback<Self::Item>>(self, cb: CB) -> CB::Output {
+        let len = self.len();
+        self.a.with_producer(ZipCbA { b: self.b, cb, len })
+    }
+}
+
+struct ZipCbA<B, CB> {
+    b: B,
+    cb: CB,
+    len: usize,
+}
+
+impl<I, B, CB> ProducerCallback<I> for ZipCbA<B, CB>
+where
+    I: Send,
+    B: ParallelSource,
+    CB: ProducerCallback<(I, B::Item)>,
+{
+    type Output = CB::Output;
+    fn callback<P: Producer<Item = I>>(self, a: P) -> CB::Output {
+        self.b.with_producer(ZipCbB {
+            a,
+            cb: self.cb,
+            len: self.len,
+        })
+    }
+}
+
+struct ZipCbB<A, CB> {
+    a: A,
+    cb: CB,
+    len: usize,
+}
+
+impl<J, A, CB> ProducerCallback<J> for ZipCbB<A, CB>
+where
+    J: Send,
+    A: Producer,
+    CB: ProducerCallback<(A::Item, J)>,
+{
+    type Output = CB::Output;
+    fn callback<Q: Producer<Item = J>>(self, b: Q) -> CB::Output {
+        // Truncate both sides to the common length so every later
+        // `split_at` hits both producers at identical positions.
+        let mut a = self.a;
+        let mut b = b;
+        if a.len() > self.len {
+            a = a.split_at(self.len).0;
+        }
+        if b.len() > self.len {
+            b = b.split_at(self.len).0;
+        }
+        self.cb.callback(ZipProducer { a, b })
+    }
+}
+
+impl<A: Producer, B: Producer> Producer for ZipProducer<A, B> {
+    type Item = (A::Item, B::Item);
+    type IntoIter = std::iter::Zip<A::IntoIter, B::IntoIter>;
+    fn len(&self) -> usize {
+        self.a.len().min(self.b.len())
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (al, ar) = self.a.split_at(index);
+        let (bl, br) = self.b.split_at(index);
+        (ZipProducer { a: al, b: bl }, ZipProducer { a: ar, b: br })
+    }
+    fn into_iter(self) -> Self::IntoIter {
+        self.a.into_iter().zip(self.b.into_iter())
+    }
+}
+
+/// Source attaching positional indices (see [`ParIter::enumerate`]).
+pub struct EnumerateSource<S> {
+    base: S,
+}
+
+/// Producer counterpart of [`EnumerateSource`].
+pub struct EnumerateProducer<P> {
+    base: P,
+    offset: usize,
+}
+
+impl<S: ParallelSource> ParallelSource for EnumerateSource<S> {
+    type Item = (usize, S::Item);
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn with_producer<CB: ProducerCallback<Self::Item>>(self, cb: CB) -> CB::Output {
+        self.base.with_producer(EnumerateCb { cb })
+    }
+}
+
+struct EnumerateCb<CB> {
+    cb: CB,
+}
+
+impl<I, CB> ProducerCallback<I> for EnumerateCb<CB>
+where
+    I: Send,
+    CB: ProducerCallback<(usize, I)>,
+{
+    type Output = CB::Output;
+    fn callback<P: Producer<Item = I>>(self, base: P) -> CB::Output {
+        self.cb.callback(EnumerateProducer { base, offset: 0 })
+    }
+}
+
+impl<P: Producer> Producer for EnumerateProducer<P> {
+    type Item = (usize, P::Item);
+    type IntoIter = std::iter::Zip<Range<usize>, P::IntoIter>;
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (left, right) = self.base.split_at(index);
+        (
+            EnumerateProducer {
+                base: left,
+                offset: self.offset,
+            },
+            EnumerateProducer {
+                base: right,
+                offset: self.offset + index,
+            },
+        )
+    }
+    fn into_iter(self) -> Self::IntoIter {
+        let indices = self.offset..self.offset + self.base.len();
+        indices.zip(self.base.into_iter())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// IntoParallelIterator
+// ---------------------------------------------------------------------------
+
+/// `into_par_iter` on owned collections.
+pub trait IntoParallelIterator {
+    /// The item type handed to each task.
+    type Item: Send;
+    /// The lazily-split source backing the iterator.
+    type Source: ParallelSource<Item = Self::Item>;
+
+    /// Builds the lazy parallel iterator (no work is dispatched yet).
+    fn into_par_iter(self) -> ParIter<Self::Source>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Source = VecSource<T>;
+    fn into_par_iter(self) -> ParIter<VecSource<T>> {
+        ParIter::new(VecSource { items: self })
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    type Source = RangeSource;
+    fn into_par_iter(self) -> ParIter<RangeSource> {
+        ParIter::new(RangeSource { range: self })
+    }
+}

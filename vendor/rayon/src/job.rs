@@ -1,0 +1,190 @@
+//! Type-erased jobs.
+//!
+//! A [`JobRef`] is a raw `(data pointer, execute fn)` pair — the unit the
+//! deques and the injector carry. It is deliberately lifetime-erased: the
+//! code that creates one guarantees the pointee outlives its execution
+//! (`join` and the external-thread bridge both block until the job's
+//! latch is set, which keeps every borrowed stack frame alive).
+//!
+//! Two concrete job kinds:
+//!
+//! * [`StackJob`] — `join`'s deferred half. Closure, result slot and
+//!   completion latch all live on the spawning worker's stack.
+//! * [`HeapJob`] — a boxed fire-and-forget job, used to bridge a parallel
+//!   region from an external thread into the pool.
+//!
+//! Every job captures the spawner's *apparent thread count* (see
+//! [`crate::current_num_threads`]) and re-establishes it around
+//! execution, so nested parallel regions inherit the count of the region
+//! that spawned them no matter which worker runs them.
+
+use crate::latch::SpinLatch;
+use std::any::Any;
+use std::cell::UnsafeCell;
+use std::panic::{self, AssertUnwindSafe};
+
+/// A type-erased pointer to a job plus its monomorphised execute shim.
+///
+/// # Safety contract
+///
+/// The creator guarantees the pointee stays alive until the job's
+/// completion has been observed, and that `execute` runs exactly once.
+pub(crate) struct JobRef {
+    ptr: *const (),
+    exec: unsafe fn(*const ()),
+}
+
+// SAFETY: job refs travel between threads through the deques; the
+// closures inside are constrained `Send` at the public API boundary.
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    /// # Safety
+    ///
+    /// `job` must outlive the execution and be executed exactly once.
+    pub(crate) unsafe fn new<J: Job>(job: *const J) -> JobRef {
+        JobRef {
+            ptr: job as *const (),
+            exec: execute_erased::<J>,
+        }
+    }
+
+    /// # Safety
+    ///
+    /// See [`JobRef::new`]; consumes the single execution permit.
+    pub(crate) unsafe fn execute(self) {
+        (self.exec)(self.ptr)
+    }
+}
+
+unsafe fn execute_erased<J: Job>(ptr: *const ()) {
+    J::execute(ptr as *const J);
+}
+
+/// A job that can be executed through a raw self-pointer.
+pub(crate) trait Job {
+    /// # Safety
+    ///
+    /// `this` must point to a live instance and be called exactly once.
+    unsafe fn execute(this: *const Self);
+}
+
+/// What a completed [`StackJob`] left behind.
+pub(crate) enum JobResult<R> {
+    /// The job has not run (only observable before its latch is set).
+    Pending,
+    /// The closure returned normally.
+    Ok(R),
+    /// The closure unwound; the original payload is preserved so the
+    /// joining side can `resume_unwind` it verbatim.
+    Panicked(Box<dyn Any + Send>),
+}
+
+/// `join`'s deferred half: lives entirely on the spawning worker's stack.
+///
+/// The spawner pushes a [`JobRef`] to this onto its deque, runs the other
+/// half, then waits on `latch` (executing other jobs meanwhile). Whoever
+/// ends up running the job — the spawner popping it back, or a thief —
+/// writes the result/panic payload into `result` and sets the latch as
+/// its very last access.
+pub(crate) struct StackJob<F, R> {
+    func: UnsafeCell<Option<F>>,
+    result: UnsafeCell<JobResult<R>>,
+    /// Apparent thread count inherited from the spawner.
+    threads: usize,
+    pub(crate) latch: SpinLatch,
+}
+
+// SAFETY: accessed from at most two threads with a strict hand-off
+// protocol — the executor owns `func`/`result` until it sets the latch;
+// the spawner touches them only after observing the latch.
+unsafe impl<F: Send, R: Send> Sync for StackJob<F, R> {}
+
+impl<F, R> StackJob<F, R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    pub(crate) fn new(func: F, threads: usize) -> Self {
+        StackJob {
+            func: UnsafeCell::new(Some(func)),
+            result: UnsafeCell::new(JobResult::Pending),
+            threads,
+            latch: SpinLatch::new(),
+        }
+    }
+
+    /// # Safety
+    ///
+    /// `self` must outlive the job's execution (the caller must wait on
+    /// `self.latch` before letting it drop).
+    pub(crate) unsafe fn as_job_ref(&self) -> JobRef {
+        JobRef::new(self)
+    }
+
+    /// The job's outcome; only meaningful once `latch` is set.
+    pub(crate) fn into_result(self) -> JobResult<R> {
+        debug_assert!(self.latch.probe(), "result taken before completion");
+        self.result.into_inner()
+    }
+}
+
+impl<F, R> Job for StackJob<F, R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    unsafe fn execute(this: *const Self) {
+        let this = &*this;
+        let func = (*this.func.get()).take().expect("stack job executed twice");
+        let result = crate::registry::with_apparent_threads(this.threads, || {
+            match panic::catch_unwind(AssertUnwindSafe(func)) {
+                Ok(value) => JobResult::Ok(value),
+                Err(payload) => JobResult::Panicked(payload),
+            }
+        });
+        *this.result.get() = result;
+        // Final access: the spawner may pop this stack frame the moment
+        // it observes the latch.
+        this.latch.set();
+    }
+}
+
+/// A boxed fire-and-forget job (the external-thread bridge).
+///
+/// `func` is responsible for its own panic handling and for signalling
+/// completion (the bridge catches unwinds and sets a [`LockLatch`]).
+///
+/// [`LockLatch`]: crate::latch::LockLatch
+pub(crate) struct HeapJob<F> {
+    func: F,
+    threads: usize,
+}
+
+impl<F> HeapJob<F>
+where
+    F: FnOnce() + Send,
+{
+    pub(crate) fn new(func: F, threads: usize) -> Box<Self> {
+        Box::new(HeapJob { func, threads })
+    }
+
+    /// # Safety
+    ///
+    /// Every borrow captured by `func` must outlive the job's execution;
+    /// the caller must block until the job signals completion.
+    pub(crate) unsafe fn into_job_ref(self: Box<Self>) -> JobRef {
+        JobRef::new(Box::into_raw(self))
+    }
+}
+
+impl<F> Job for HeapJob<F>
+where
+    F: FnOnce() + Send,
+{
+    unsafe fn execute(this: *const Self) {
+        let this = Box::from_raw(this as *mut Self);
+        let threads = this.threads;
+        crate::registry::with_apparent_threads(threads, this.func);
+    }
+}

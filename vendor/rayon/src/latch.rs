@@ -1,0 +1,75 @@
+//! Completion latches for the work-stealing scheduler.
+//!
+//! Two latch flavours, distinguished by *how the waiting side waits*:
+//!
+//! * [`SpinLatch`] — waited on by a **pool worker**, which never blocks:
+//!   it keeps popping/stealing jobs until the latch is set (see
+//!   `Registry::wait_until`). `set` is therefore a bare atomic store and
+//!   the latch can live on the waiting worker's stack frame.
+//! * [`LockLatch`] — waited on by an **external** (non-pool) thread,
+//!   which has no deque to drain and simply blocks on a condvar. Always
+//!   shared behind an `Arc` so neither side can outlive the other's
+//!   accesses.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// A set-once flag a pool worker waits on by *executing other jobs*.
+///
+/// Because `set` is the executing side's single, final access, the owner
+/// may pop the latch's stack frame the instant it observes the flag —
+/// the store itself is the synchronisation point.
+pub(crate) struct SpinLatch {
+    set: AtomicBool,
+}
+
+impl SpinLatch {
+    pub(crate) fn new() -> Self {
+        SpinLatch {
+            set: AtomicBool::new(false),
+        }
+    }
+
+    /// True once [`SpinLatch::set`] has run; `Acquire` so everything the
+    /// setter wrote before the store (the job's result) is visible.
+    #[inline]
+    pub(crate) fn probe(&self) -> bool {
+        self.set.load(Ordering::Acquire)
+    }
+
+    /// Signals completion. **Must be the executing side's last access to
+    /// the job**: the owner frees the job's frame as soon as it sees the
+    /// flag.
+    #[inline]
+    pub(crate) fn set(&self) {
+        self.set.store(true, Ordering::Release);
+    }
+}
+
+/// A latch an external thread blocks on (mutex + condvar).
+pub(crate) struct LockLatch {
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl LockLatch {
+    pub(crate) fn new() -> Self {
+        LockLatch {
+            done: Mutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    pub(crate) fn set(&self) {
+        *self.done.lock().unwrap() = true;
+        self.cv.notify_all();
+    }
+
+    /// Blocks the calling thread until [`LockLatch::set`] runs.
+    pub(crate) fn wait(&self) {
+        let mut done = self.done.lock().unwrap();
+        while !*done {
+            done = self.cv.wait(done).unwrap();
+        }
+    }
+}

@@ -1,48 +1,74 @@
-//! Offline stand-in for the `rayon` crate.
+//! Offline stand-in for the `rayon` crate — now a real work-stealing
+//! scheduler.
 //!
-//! The build environment has no crates.io access, so this workspace vendors
-//! the narrow rayon surface its batched execution engine uses:
+//! The build environment has no crates.io access, so this workspace
+//! vendors the narrow rayon surface its batched execution engine uses:
 //!
-//! * [`prelude`] — `par_chunks` / `par_chunks_mut` on slices, plus eager
-//!   `zip` / `enumerate` / `for_each` / `map().collect()` combinators;
-//! * [`ThreadPoolBuilder`] / [`ThreadPool::install`] — enough to pin the
-//!   worker count (the determinism tests compare 1-thread vs N-thread runs);
+//! * [`prelude`] — `par_chunks` / `par_chunks_mut` / `par_iter_mut` on
+//!   slices, `into_par_iter` on `Vec`/`Range`, plus lazy `zip` /
+//!   `enumerate` / `with_min_len` / `for_each` / `map().collect()`
+//!   combinators;
+//! * [`ThreadPoolBuilder`] / [`ThreadPool::install`] — pins the apparent
+//!   worker count (the determinism tests compare 1-thread vs N-thread
+//!   runs) and grows the shared pool to match;
 //! * [`current_num_threads`], [`join`], [`scope`].
 //!
-//! Execution model: a single lazily-started persistent pool of
-//! `available_parallelism` workers (overridable with `RAYON_NUM_THREADS`).
-//! Work submitted from inside a pool worker runs inline — the engine's
-//! nested parallel regions (e.g. an MLP batch forward inside a parallel
-//! eval row chunk) degrade gracefully instead of deadlocking. Iterators
-//! here are *eager* (items are materialised before dispatch), which is fine
-//! at the coarse chunk granularity the engine uses.
+//! # Execution model
+//!
+//! One lazily-started, process-wide pool of workers (initially
+//! `available_parallelism`, overridable with `RAYON_NUM_THREADS`,
+//! growable by `install`, hard-capped at 64). Each worker owns a deque:
+//! the owner pushes and pops at the back (LIFO), idle workers steal from
+//! the front (FIFO — the oldest entry is the largest still-unsplit
+//! subtree). A global injector queue receives regions started by
+//! non-pool threads, which block until their region completes.
+//!
+//! Parallel iterators are **lazy**: a region is a producer that the
+//! driver splits recursively (binary `join` tree, ~4 leaves per worker,
+//! respecting `with_min_len`) down to sequential leaf loops — no
+//! per-item boxed jobs, no materialised item vectors. [`join`] pushes
+//! its second closure onto the worker's deque, runs the first inline,
+//! then pops the second back (or, if it was stolen, works on other jobs
+//! until the thief finishes). Nested parallel regions therefore
+//! *participate* in the pool exactly like outermost ones instead of
+//! degrading to inline execution.
+//!
+//! # Determinism contract
+//!
+//! Scheduling is intentionally invisible to results: every item runs
+//! exactly once, `zip`/`enumerate`/`map().collect()` are positional, and
+//! the engine above performs only disjoint writes with fixed per-output
+//! accumulation order — so outputs are **bit-identical across worker
+//! counts and steal interleavings**. The golden equivalence suites pin
+//! this end to end.
+//!
+//! # Panics
+//!
+//! A panic inside a parallel region is re-raised on the thread that
+//! started the region **with its original payload** (the first payload
+//! encountered in task order wins; `join` prefers its first closure's
+//! payload when both halves panic). Sibling tasks of a panicking task
+//! still run to completion before the panic propagates — scoped borrows
+//! never outlive the region.
 
-use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+mod job;
+mod latch;
+mod registry;
 
-// ---------------------------------------------------------------------------
-// Persistent pool
-// ---------------------------------------------------------------------------
+pub mod iter;
+pub mod slice;
 
-type Job = Box<dyn FnOnce() + Send + 'static>;
+use job::{JobResult, StackJob};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::OnceLock;
 
-struct Pool {
-    queue: Mutex<VecDeque<Job>>,
-    ready: Condvar,
-}
+pub use iter::{IntoParallelIterator, ParIter, ParMap};
+pub use slice::{ParallelSlice, ParallelSliceMut};
 
-static POOL: OnceLock<Arc<Pool>> = OnceLock::new();
-
-thread_local! {
-    /// Set inside pool workers so nested parallel regions run inline.
-    static IN_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
-    /// `ThreadPool::install` override for the apparent thread count.
-    static THREADS_OVERRIDE: std::cell::Cell<Option<usize>> =
-        const { std::cell::Cell::new(None) };
-}
-
-fn default_threads() -> usize {
+/// The default worker count: `RAYON_NUM_THREADS` if set and positive,
+/// otherwise `available_parallelism`, capped at the pool's 64-slot
+/// capacity.
+pub(crate) fn default_threads() -> usize {
     static N: OnceLock<usize> = OnceLock::new();
     *N.get_or_init(|| {
         std::env::var("RAYON_NUM_THREADS")
@@ -54,113 +80,15 @@ fn default_threads() -> usize {
                     .map(|n| n.get())
                     .unwrap_or(4)
             })
-            .min(64)
+            .min(registry::MAX_THREADS)
     })
 }
 
-/// The number of threads parallel work may use right now.
+/// The number of threads parallel work may use right now: the innermost
+/// [`ThreadPool::install`] override — inherited by tasks from the region
+/// that spawned them, across worker threads — or the default count.
 pub fn current_num_threads() -> usize {
-    THREADS_OVERRIDE
-        .with(|o| o.get())
-        .unwrap_or_else(default_threads)
-}
-
-fn pool() -> &'static Arc<Pool> {
-    POOL.get_or_init(|| {
-        let workers = default_threads().saturating_sub(1).max(1);
-        let pool = Arc::new(Pool {
-            queue: Mutex::new(VecDeque::new()),
-            ready: Condvar::new(),
-        });
-        for _ in 0..workers {
-            let p = Arc::clone(&pool);
-            std::thread::Builder::new()
-                .name("i3d-pool".into())
-                .spawn(move || {
-                    IN_WORKER.with(|f| f.set(true));
-                    loop {
-                        let job = {
-                            let mut q = p.queue.lock().unwrap();
-                            loop {
-                                if let Some(j) = q.pop_front() {
-                                    break j;
-                                }
-                                q = p.ready.wait(q).unwrap();
-                            }
-                        };
-                        job();
-                    }
-                })
-                .expect("spawn pool worker");
-        }
-        pool
-    })
-}
-
-/// Runs `tasks` to completion, using pool workers when it is worthwhile.
-///
-/// Each task runs exactly once; the call returns after every task has
-/// finished. Side effects must go through the disjoint `&mut` state each
-/// task owns, which also makes results independent of the worker count.
-fn run_tasks(tasks: Vec<Job>) {
-    let inline = current_num_threads() <= 1 || tasks.len() <= 1 || IN_WORKER.with(|f| f.get());
-    if inline {
-        for t in tasks {
-            t();
-        }
-        return;
-    }
-    let p = pool();
-    let total = tasks.len();
-    let done = Arc::new((Mutex::new(0usize), Condvar::new()));
-    let panicked = Arc::new(AtomicBool::new(false));
-    // Keep one task for the calling thread; offload the rest.
-    let mut tasks = tasks.into_iter();
-    let first = tasks.next().unwrap();
-    {
-        let mut q = p.queue.lock().unwrap();
-        for t in tasks {
-            let done = Arc::clone(&done);
-            let panicked = Arc::clone(&panicked);
-            q.push_back(Box::new(move || {
-                if std::panic::catch_unwind(std::panic::AssertUnwindSafe(t)).is_err() {
-                    panicked.store(true, Ordering::SeqCst);
-                }
-                let (lock, cv) = &*done;
-                *lock.lock().unwrap() += 1;
-                cv.notify_all();
-            }));
-        }
-        p.ready.notify_all();
-    }
-    // Run the caller's task, but *always* wait for the offloaded tasks
-    // before unwinding — scoped borrows must outlive every task.
-    let first_result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(first));
-    {
-        let (lock, cv) = &*done;
-        let mut n = lock.lock().unwrap();
-        while *n < total - 1 {
-            n = cv.wait(n).unwrap();
-        }
-    }
-    if let Err(payload) = first_result {
-        std::panic::resume_unwind(payload);
-    }
-    if panicked.load(Ordering::SeqCst) {
-        panic!("a rayon task panicked");
-    }
-}
-
-/// Runs scoped tasks: the borrows inside `tasks` only need to outlive this
-/// call, which blocks until every task has completed.
-fn run_scoped<'env>(tasks: Vec<Box<dyn FnOnce() + Send + 'env>>) {
-    // SAFETY: `run_tasks` joins all tasks before returning, so the
-    // 'env borrows the jobs capture strictly outlive their execution.
-    let tasks: Vec<Job> = tasks
-        .into_iter()
-        .map(|t| unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Job>(t) })
-        .collect();
-    run_tasks(tasks);
+    registry::apparent_threads().unwrap_or_else(default_threads)
 }
 
 // ---------------------------------------------------------------------------
@@ -191,7 +119,9 @@ impl ThreadPoolBuilder {
         Self::default()
     }
 
-    /// Requests `n` apparent threads (0 = default).
+    /// Requests `n` threads (0 = default). Values beyond the shared
+    /// registry's 64-slot capacity are clamped at [`Self::build`] time,
+    /// so the built pool always reports its *actual* capacity.
     pub fn num_threads(mut self, n: usize) -> Self {
         self.num_threads = n;
         self
@@ -199,43 +129,74 @@ impl ThreadPoolBuilder {
 
     /// Builds the handle.
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
-        Ok(ThreadPool {
-            num_threads: if self.num_threads == 0 {
-                default_threads()
-            } else {
-                self.num_threads
-            },
-        })
+        let n = if self.num_threads == 0 {
+            default_threads()
+        } else {
+            self.num_threads.min(registry::MAX_THREADS)
+        };
+        Ok(ThreadPool { num_threads: n })
     }
 }
 
-/// A handle that pins the apparent thread count while a closure runs.
+/// A sizing handle onto the shared work-stealing pool.
+///
+/// # Contract
+///
+/// This stand-in has a single process-wide worker registry rather than
+/// per-`ThreadPool` thread sets. A `ThreadPool` is a *view* that pins
+/// the **apparent** thread count while a closure runs under
+/// [`ThreadPool::install`]:
+///
+/// * `install(f)` first **grows** the shared registry so at least
+///   `num_threads` workers actually exist (the registry never shrinks;
+///   requests beyond its 64-slot capacity are clamped when the handle is
+///   built, so the reported count never exceeds real capacity);
+/// * inside `f` — and inside every task the region spawns, on any worker
+///   — [`current_num_threads`] returns exactly this pool's size, and the
+///   iterator driver sizes its split tree from it. `install(1)` regions
+///   run fully sequentially on the calling thread;
+/// * `f` itself runs on the calling thread (no cross-pool migration),
+///   and the previous apparent count is restored even if `f` unwinds.
 #[derive(Debug)]
 pub struct ThreadPool {
     num_threads: usize,
 }
 
 impl ThreadPool {
-    /// Runs `f` with [`current_num_threads`] pinned to this pool's size.
-    /// The previous value is restored even if `f` unwinds.
+    /// Runs `f` with [`current_num_threads`] pinned to this pool's size,
+    /// growing the shared registry to that size first (see the type-level
+    /// contract). The previous value is restored even if `f` unwinds.
     pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
-        struct Restore(Option<usize>);
-        impl Drop for Restore {
-            fn drop(&mut self) {
-                THREADS_OVERRIDE.with(|o| o.set(self.0));
-            }
-        }
-        let _restore = Restore(THREADS_OVERRIDE.with(|o| o.replace(Some(self.num_threads))));
-        f()
+        registry::global().ensure_spawned(self.num_threads);
+        registry::with_apparent_threads(self.num_threads, f)
     }
 
-    /// The pinned thread count.
+    /// The pinned thread count — always the number of workers that
+    /// really exist while an [`ThreadPool::install`] region runs.
     pub fn current_num_threads(&self) -> usize {
         self.num_threads
     }
 }
 
-/// Runs both closures (possibly in parallel) and returns both results.
+// ---------------------------------------------------------------------------
+// join
+// ---------------------------------------------------------------------------
+
+/// Runs both closures, potentially in parallel, and returns both results.
+///
+/// On a pool worker this is the work-stealing primitive itself: `b` is
+/// pushed onto the worker's deque (where an idle worker may steal it),
+/// `a` runs inline, and the worker then pops `b` back — executing it
+/// itself in the common unstolen case — or, while `b` runs elsewhere,
+/// executes whatever other jobs it can find. Called from outside the
+/// pool, the pair is bridged into the pool first (or run strictly
+/// sequentially when the apparent thread count is 1).
+///
+/// # Panics
+///
+/// Both halves always run to completion before a panic propagates; if
+/// either panics, the original payload is re-raised (preferring `a`'s
+/// when both do).
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
@@ -243,20 +204,46 @@ where
     RA: Send,
     RB: Send,
 {
-    let mut ra: Option<RA> = None;
-    let mut rb: Option<RB> = None;
-    {
-        let ra = &mut ra;
-        let rb = &mut rb;
-        run_scoped(vec![
-            Box::new(move || *ra = Some(a())),
-            Box::new(move || *rb = Some(b())),
-        ]);
+    if current_num_threads() <= 1 {
+        // Sequential fast path — also taken on a pool worker inside an
+        // `install(1)` region, which the `ThreadPool` contract promises
+        // runs fully sequentially. Same both-halves-run and payload
+        // semantics as the parallel path.
+        let ra = panic::catch_unwind(AssertUnwindSafe(a));
+        let rb = panic::catch_unwind(AssertUnwindSafe(b));
+        return match (ra, rb) {
+            (Ok(ra), Ok(rb)) => (ra, rb),
+            (Err(payload), _) => panic::resume_unwind(payload),
+            (_, Err(payload)) => panic::resume_unwind(payload),
+        };
     }
-    (ra.unwrap(), rb.unwrap())
+    registry::in_worker(move |index| {
+        let reg = registry::global();
+        let b_job = StackJob::new(b, current_num_threads());
+        // SAFETY: `b_job` outlives its execution — `wait_until` below
+        // does not return before the job's latch is set, even when `a`
+        // panics.
+        let b_ref = unsafe { b_job.as_job_ref() };
+        reg.push_local(index, b_ref);
+        let ra = panic::catch_unwind(AssertUnwindSafe(a));
+        reg.wait_until(index, &b_job.latch);
+        let rb = b_job.into_result();
+        match ra {
+            Err(payload) => panic::resume_unwind(payload),
+            Ok(ra) => match rb {
+                JobResult::Ok(rb) => (ra, rb),
+                JobResult::Panicked(payload) => panic::resume_unwind(payload),
+                JobResult::Pending => unreachable!("latch set without a result"),
+            },
+        }
+    })
 }
 
-/// Minimal scope: spawned closures all complete before `scope` returns.
+// ---------------------------------------------------------------------------
+// scope
+// ---------------------------------------------------------------------------
+
+/// Minimal scope: spawned closures all complete before [`scope`] returns.
 pub struct Scope<'env> {
     tasks: std::cell::RefCell<Vec<Box<dyn FnOnce() + Send + 'env>>>,
 }
@@ -268,184 +255,31 @@ impl<'env> Scope<'env> {
     }
 }
 
-/// Collects spawns from `f`, then runs them all to completion.
+/// Collects spawns from `f`, then runs them all to completion on the
+/// pool. The boxed task closures are the only per-task allocations (the
+/// scope API requires them); their dispatch goes through the same lazy
+/// split tree as every other region, and a panicking task's original
+/// payload is re-raised here after the remaining tasks finish or are
+/// discarded.
 pub fn scope<'env, F: FnOnce(&Scope<'env>)>(f: F) {
     let s = Scope {
         tasks: std::cell::RefCell::new(Vec::new()),
     };
     f(&s);
-    run_scoped(s.tasks.into_inner());
-}
-
-// ---------------------------------------------------------------------------
-// Eager parallel iterators
-// ---------------------------------------------------------------------------
-
-/// An eager "parallel iterator": a materialised list of work items.
-pub struct ParIter<I> {
-    items: Vec<I>,
-}
-
-impl<I: Send> ParIter<I> {
-    /// Pairs items with another iterator's, truncating to the shorter.
-    pub fn zip<J: Send>(self, other: ParIter<J>) -> ParIter<(I, J)> {
-        ParIter {
-            items: self.items.into_iter().zip(other.items).collect(),
-        }
+    let tasks = s.tasks.into_inner();
+    if tasks.is_empty() {
+        return;
     }
-
-    /// Attaches each item's index.
-    pub fn enumerate(self) -> ParIter<(usize, I)> {
-        ParIter {
-            items: self.items.into_iter().enumerate().collect(),
-        }
-    }
-
-    /// Compatibility no-op (chunking is already explicit here).
-    pub fn with_min_len(self, _min: usize) -> Self {
-        self
-    }
-
-    /// Runs `f` once per item, in parallel, returning when all are done.
-    pub fn for_each<F: Fn(I) + Sync>(self, f: F) {
-        let f = &f;
-        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = self
-            .items
-            .into_iter()
-            .map(|item| Box::new(move || f(item)) as Box<dyn FnOnce() + Send + '_>)
-            .collect();
-        run_scoped(tasks);
-    }
-
-    /// Maps items in parallel; collect with [`ParMap::collect`].
-    pub fn map<R: Send, F: Fn(I) -> R + Sync>(self, f: F) -> ParMap<I, F> {
-        ParMap {
-            items: self.items,
-            f,
-        }
-    }
-
-    /// The number of items.
-    pub fn len(&self) -> usize {
-        self.items.len()
-    }
-
-    /// True when no items are queued.
-    pub fn is_empty(&self) -> bool {
-        self.items.is_empty()
-    }
-}
-
-/// Pending parallel map, produced by [`ParIter::map`].
-pub struct ParMap<I, F> {
-    items: Vec<I>,
-    f: F,
-}
-
-impl<I: Send, F> ParMap<I, F> {
-    /// Runs the map and collects results in item order.
-    pub fn collect<C, R>(self) -> C
-    where
-        F: Fn(I) -> R + Sync,
-        R: Send,
-        C: FromIterator<R>,
-    {
-        let n = self.items.len();
-        let f = &self.f;
-        let mut out: Vec<Option<R>> = Vec::with_capacity(n);
-        out.resize_with(n, || None);
-        {
-            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = self
-                .items
-                .into_iter()
-                .zip(out.iter_mut())
-                .map(|(item, slot)| {
-                    Box::new(move || *slot = Some(f(item))) as Box<dyn FnOnce() + Send + '_>
-                })
-                .collect();
-            run_scoped(tasks);
-        }
-        out.into_iter().map(|s| s.unwrap()).collect()
-    }
-}
-
-/// `into_par_iter` on owned collections.
-pub trait IntoParallelIterator {
-    /// The item type handed to each task.
-    type Item: Send;
-
-    /// Materialises the parallel iterator.
-    fn into_par_iter(self) -> ParIter<Self::Item>;
-}
-
-impl<T: Send> IntoParallelIterator for Vec<T> {
-    type Item = T;
-    fn into_par_iter(self) -> ParIter<T> {
-        ParIter { items: self }
-    }
-}
-
-impl IntoParallelIterator for std::ops::Range<usize> {
-    type Item = usize;
-    fn into_par_iter(self) -> ParIter<usize> {
-        ParIter {
-            items: self.collect(),
-        }
-    }
-}
-
-/// `par_chunks` on shared slices.
-pub trait ParallelSlice<T: Sync> {
-    /// Eager chunked view: `size` elements per chunk (last may be short).
-    fn par_chunks(&self, size: usize) -> ParIter<&[T]>;
-}
-
-/// `par_chunks_mut` / `par_iter_mut` on mutable slices.
-pub trait ParallelSliceMut<T: Send> {
-    /// Eager chunked mutable view (disjoint chunks).
-    fn par_chunks_mut(&mut self, size: usize) -> ParIter<&mut [T]>;
-
-    /// One item per element.
-    fn par_iter_mut(&mut self) -> ParIter<&mut T>;
-}
-
-impl<T: Sync> ParallelSlice<T> for [T] {
-    fn par_chunks(&self, size: usize) -> ParIter<&[T]> {
-        assert!(size > 0, "chunk size must be positive");
-        ParIter {
-            items: self.chunks(size).collect(),
-        }
-    }
-}
-
-impl<T: Send> ParallelSliceMut<T> for [T] {
-    fn par_chunks_mut(&mut self, size: usize) -> ParIter<&mut [T]> {
-        assert!(size > 0, "chunk size must be positive");
-        ParIter {
-            items: self.chunks_mut(size).collect(),
-        }
-    }
-
-    fn par_iter_mut(&mut self) -> ParIter<&mut T> {
-        ParIter {
-            items: self.iter_mut().collect(),
-        }
-    }
-}
-
-pub mod iter {
-    //! Iterator traits, re-exported for `use rayon::prelude::*` parity.
-    pub use crate::{ParIter, ParMap};
-}
-
-pub mod slice {
-    //! Slice traits, re-exported for `use rayon::prelude::*` parity.
-    pub use crate::{ParallelSlice, ParallelSliceMut};
+    // The region blocks until every task completes (even when one
+    // panics), so the 'env borrows inside the boxes strictly outlive all
+    // execution.
+    tasks.into_par_iter().for_each(|task| task());
 }
 
 pub mod prelude {
     //! The workspace's `use rayon::prelude::*` surface.
-    pub use crate::{IntoParallelIterator, ParIter, ParMap, ParallelSlice, ParallelSliceMut};
+    pub use crate::iter::{IntoParallelIterator, ParIter, ParMap};
+    pub use crate::slice::{ParallelSlice, ParallelSliceMut};
 }
 
 #[cfg(test)]
@@ -481,6 +315,20 @@ mod tests {
     }
 
     #[test]
+    fn zip_truncates_to_shorter_side() {
+        let long = vec![1u32; 96];
+        let mut dst = vec![0u32; 64];
+        dst.par_chunks_mut(8)
+            .zip(long.par_chunks(8))
+            .for_each(|(d, s)| {
+                for (a, b) in d.iter_mut().zip(s) {
+                    *a = *b;
+                }
+            });
+        assert!(dst.iter().all(|&v| v == 1));
+    }
+
+    #[test]
     fn map_collect_preserves_order() {
         let items = [3usize, 1, 4, 1, 5, 9, 2, 6];
         let out: Vec<usize> = items.par_chunks(1).map(|c| c[0] * 10).collect();
@@ -488,10 +336,57 @@ mod tests {
     }
 
     #[test]
+    fn vec_into_par_iter_moves_items() {
+        let items: Vec<String> = (0..37).map(|i| format!("s{i}")).collect();
+        let expected = items.clone();
+        let out: Vec<String> = items.into_par_iter().map(|s| s).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn range_into_par_iter_covers_all() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let sum = AtomicU64::new(0);
+        (0..1000usize).into_par_iter().for_each(|i| {
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn par_iter_mut_touches_every_element() {
+        let mut data = vec![0u8; 517];
+        data.par_iter_mut().for_each(|v| *v = 7);
+        assert!(data.iter().all(|&v| v == 7));
+    }
+
+    #[test]
+    fn with_min_len_is_respected_and_complete() {
+        let mut data = vec![0u32; 4096];
+        data.par_chunks_mut(1)
+            .with_min_len(64)
+            .enumerate()
+            .for_each(|(i, c)| c[0] = i as u32 + 1);
+        assert!(data.iter().enumerate().all(|(i, &v)| v == i as u32 + 1));
+    }
+
+    #[test]
     fn install_pins_apparent_threads() {
         let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
         assert_eq!(pool.install(current_num_threads), 1);
         assert!(current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn install_reports_only_real_capacity() {
+        // Requests beyond the registry's slot capacity are clamped at
+        // build time: apparent == actual, always.
+        let pool = ThreadPoolBuilder::new()
+            .num_threads(1_000_000)
+            .build()
+            .unwrap();
+        assert_eq!(pool.current_num_threads(), 64);
+        assert_eq!(pool.install(current_num_threads), 64);
     }
 
     #[test]
@@ -516,9 +411,40 @@ mod tests {
     }
 
     #[test]
+    fn scope_runs_every_spawn() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let hits = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..32 {
+                s.spawn(|| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
     #[should_panic]
     fn task_panics_propagate() {
         let data = [0u8; 4];
         data.par_chunks(1).for_each(|_| panic!("boom"));
+    }
+
+    #[test]
+    fn panic_payload_is_preserved() {
+        let data = [0u8; 64];
+        let result = std::panic::catch_unwind(|| {
+            data.par_chunks(1).enumerate().for_each(|(i, _)| {
+                if i == 13 {
+                    std::panic::panic_any(String::from("original payload 13"));
+                }
+            });
+        });
+        let payload = result.unwrap_err();
+        let message = payload
+            .downcast_ref::<String>()
+            .expect("payload type must survive the scheduler");
+        assert_eq!(message, "original payload 13");
     }
 }

@@ -1,0 +1,302 @@
+//! The global work-stealing registry.
+//!
+//! One process-wide pool of worker threads, each owning a deque of
+//! [`JobRef`]s:
+//!
+//! * the **owner** pushes and pops at the *back* (LIFO — depth-first,
+//!   cache-hot: the most recently split half is retried first);
+//! * **thieves** steal from the *front* (FIFO — breadth-first: the
+//!   oldest entry is the largest still-unsplit subtree, so one steal
+//!   moves the most work).
+//!
+//! A global **injector** queue receives jobs from threads outside the
+//! pool (the bridge in [`in_worker`]); workers drain it when their own
+//! deque and every victim's deque are empty.
+//!
+//! Waiting never blocks a worker that could be useful: a worker stuck on
+//! a `join` latch spins through [`Registry::wait_until`], executing any
+//! job it can find (often the very job it is waiting for, popped back
+//! LIFO before anyone stole it). Only a worker that finds the entire
+//! system empty goes to sleep, under a stamp-checked condvar protocol
+//! that cannot miss a wakeup.
+//!
+//! The pool starts at [`crate::default_threads`] workers on first use and
+//! can **grow** (up to [`MAX_THREADS`]) when a
+//! [`ThreadPool::install`](crate::ThreadPool::install) requests more —
+//! that is what keeps the *apparent* thread count honest (see the
+//! `ThreadPool` docs for the contract).
+
+use crate::job::JobRef;
+use crate::latch::{LockLatch, SpinLatch};
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+/// Hard cap on pool size; deque slots are preallocated so growth never
+/// reallocates under concurrent stealing.
+pub(crate) const MAX_THREADS: usize = 64;
+
+struct WorkerState {
+    /// Owner: `push_back`/`pop_back`. Thieves: `pop_front`.
+    deque: Mutex<VecDeque<JobRef>>,
+}
+
+pub(crate) struct Registry {
+    /// `MAX_THREADS` preallocated slots; only `[0, spawned)` have live
+    /// threads behind them.
+    workers: Vec<WorkerState>,
+    spawned: AtomicUsize,
+    grow_lock: Mutex<()>,
+    /// Jobs submitted from outside the pool.
+    injector: Mutex<VecDeque<JobRef>>,
+    /// Bumped on every push — the sleep protocol's version stamp.
+    stamp: AtomicUsize,
+    sleepers: AtomicUsize,
+    sleep_lock: Mutex<()>,
+    sleep_cv: Condvar,
+}
+
+thread_local! {
+    /// The pool-worker index of the current thread, if it is one.
+    static WORKER_INDEX: Cell<Option<usize>> = const { Cell::new(None) };
+    /// The inherited apparent thread count (see `current_num_threads`).
+    static APPARENT_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+static REGISTRY: OnceLock<&'static Registry> = OnceLock::new();
+
+/// The process-wide registry, spawning the default workers on first use.
+pub(crate) fn global() -> &'static Registry {
+    REGISTRY.get_or_init(|| {
+        let registry: &'static Registry = Box::leak(Box::new(Registry::new()));
+        registry.ensure_spawned(crate::default_threads());
+        registry
+    })
+}
+
+/// The worker index of the calling thread, if it belongs to the pool.
+pub(crate) fn current_worker() -> Option<usize> {
+    WORKER_INDEX.with(|w| w.get())
+}
+
+/// The apparent-thread-count override active on this thread, if any.
+pub(crate) fn apparent_threads() -> Option<usize> {
+    APPARENT_THREADS.with(|c| c.get())
+}
+
+/// Runs `f` with the apparent thread count pinned to `threads`,
+/// restoring the previous value even if `f` unwinds. Jobs wrap their
+/// execution in this so nested regions inherit their spawner's count.
+pub(crate) fn with_apparent_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            APPARENT_THREADS.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(APPARENT_THREADS.with(|c| c.replace(Some(threads))));
+    f()
+}
+
+impl Registry {
+    fn new() -> Self {
+        Registry {
+            workers: (0..MAX_THREADS)
+                .map(|_| WorkerState {
+                    deque: Mutex::new(VecDeque::new()),
+                })
+                .collect(),
+            spawned: AtomicUsize::new(0),
+            grow_lock: Mutex::new(()),
+            injector: Mutex::new(VecDeque::new()),
+            stamp: AtomicUsize::new(0),
+            sleepers: AtomicUsize::new(0),
+            sleep_lock: Mutex::new(()),
+            sleep_cv: Condvar::new(),
+        }
+    }
+
+    /// The number of live worker threads.
+    pub(crate) fn num_workers(&self) -> usize {
+        self.spawned.load(Ordering::Acquire)
+    }
+
+    /// Grows the pool to at least `n` workers (clamped to
+    /// [`MAX_THREADS`]); never shrinks.
+    pub(crate) fn ensure_spawned(&'static self, n: usize) {
+        let n = n.min(MAX_THREADS);
+        if self.num_workers() >= n {
+            return;
+        }
+        let _guard = self.grow_lock.lock().unwrap();
+        let current = self.spawned.load(Ordering::Acquire);
+        for index in current..n {
+            std::thread::Builder::new()
+                .name(format!("i3d-ws-{index}"))
+                .spawn(move || self.worker_loop(index))
+                .expect("spawn work-stealing worker");
+        }
+        if n > current {
+            self.spawned.store(n, Ordering::Release);
+        }
+    }
+
+    fn worker_loop(&'static self, index: usize) {
+        WORKER_INDEX.with(|w| w.set(Some(index)));
+        loop {
+            match self.find_work(index) {
+                // SAFETY: each JobRef is executed exactly once; its
+                // spawner keeps it alive until completion is observed.
+                Some(job) => unsafe { job.execute() },
+                None => self.idle_sleep(index),
+            }
+        }
+    }
+
+    /// Owner pop (LIFO), then steal. Returns `None` only after scanning
+    /// every live deque and the injector.
+    fn find_work(&self, index: usize) -> Option<JobRef> {
+        if let Some(job) = self.workers[index].deque.lock().unwrap().pop_back() {
+            return Some(job);
+        }
+        let n = self.num_workers();
+        // Round-robin over victims starting just past ourselves, FIFO
+        // end — the oldest job is the largest pending subtree.
+        for offset in 1..n {
+            let victim = (index + offset) % n;
+            if let Some(job) = self.workers[victim].deque.lock().unwrap().pop_front() {
+                return Some(job);
+            }
+        }
+        self.injector.lock().unwrap().pop_front()
+    }
+
+    /// True if any queue currently holds a job this worker could take.
+    fn has_visible_work(&self, index: usize) -> bool {
+        if !self.injector.lock().unwrap().is_empty() {
+            return true;
+        }
+        let n = self.num_workers();
+        (0..n).any(|v| v != index && !self.workers[v].deque.lock().unwrap().is_empty())
+    }
+
+    /// Stamp-checked sleep: a worker only parks after re-verifying, with
+    /// its sleeper registration visible, that no job was pushed since it
+    /// last scanned. Push → bump stamp → check sleepers and sleeper
+    /// registration → re-check stamp are both `SeqCst`, so one side
+    /// always sees the other. The long timeout is a defensive bound on
+    /// any unforeseen protocol hole, not load-bearing — and slow enough
+    /// that parked workers (the pool only grows) are not measurable
+    /// polling noise for foreground work.
+    fn idle_sleep(&self, index: usize) {
+        let seen = self.stamp.load(Ordering::SeqCst);
+        if self.has_visible_work(index) {
+            return;
+        }
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        let guard = self.sleep_lock.lock().unwrap();
+        if self.stamp.load(Ordering::SeqCst) == seen {
+            let _ = self
+                .sleep_cv
+                .wait_timeout(guard, Duration::from_millis(500))
+                .unwrap();
+        }
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Wakes sleeping workers after a push.
+    fn signal(&self) {
+        self.stamp.fetch_add(1, Ordering::SeqCst);
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            let _guard = self.sleep_lock.lock().unwrap();
+            self.sleep_cv.notify_all();
+        }
+    }
+
+    /// Pushes onto the calling worker's own deque (LIFO end).
+    pub(crate) fn push_local(&self, index: usize, job: JobRef) {
+        self.workers[index].deque.lock().unwrap().push_back(job);
+        self.signal();
+    }
+
+    /// Pushes onto the global injector (from outside the pool).
+    pub(crate) fn inject(&self, job: JobRef) {
+        self.injector.lock().unwrap().push_back(job);
+        self.signal();
+    }
+
+    /// Keeps the calling *worker* productive until `latch` is set: pops
+    /// its own deque (often retrieving the very job it waits for before
+    /// anyone stole it), steals otherwise, and backs off gently when the
+    /// whole system is empty (the latch's job is then running elsewhere).
+    pub(crate) fn wait_until(&self, index: usize, latch: &SpinLatch) {
+        let mut idle = 0u32;
+        while !latch.probe() {
+            if let Some(job) = self.find_work(index) {
+                // SAFETY: single execution, spawner keeps the job alive.
+                unsafe { job.execute() };
+                idle = 0;
+            } else {
+                idle += 1;
+                if idle < 16 {
+                    std::hint::spin_loop();
+                } else if idle < 64 {
+                    std::thread::yield_now();
+                } else {
+                    std::thread::sleep(Duration::from_micros(50));
+                }
+            }
+        }
+    }
+}
+
+/// Runs `op` on a pool worker: directly when the caller *is* one,
+/// otherwise by injecting a bridge job and blocking until it completes.
+///
+/// The bridge is the one heap allocation a parallel region started from
+/// an external thread costs (plus the latch `Arc`); everything inside the
+/// region is stack jobs. `op`'s borrows stay valid because the caller
+/// does not return before the latch is set. Panics inside `op` are
+/// re-raised on the calling thread with their original payload.
+pub(crate) fn in_worker<OP, R>(op: OP) -> R
+where
+    OP: FnOnce(usize) -> R + Send,
+    R: Send,
+{
+    if let Some(index) = current_worker() {
+        return op(index);
+    }
+    let registry = global();
+    let latch = Arc::new(LockLatch::new());
+    let slot: Mutex<Option<std::thread::Result<R>>> = Mutex::new(None);
+    {
+        let latch = Arc::clone(&latch);
+        let slot = &slot;
+        let threads = crate::current_num_threads();
+        let job = crate::job::HeapJob::new(
+            move || {
+                let index = current_worker().expect("bridge job ran off-pool");
+                let result = panic::catch_unwind(AssertUnwindSafe(|| op(index)));
+                *slot.lock().unwrap() = Some(result);
+                latch.set();
+            },
+            threads,
+        );
+        // SAFETY: we block on the latch below, so `op` and `slot` outlive
+        // the job's execution; the job runs exactly once.
+        let job_ref = unsafe { job.into_job_ref() };
+        registry.inject(job_ref);
+    }
+    latch.wait();
+    let result = slot
+        .into_inner()
+        .unwrap()
+        .expect("bridge job completed without a result");
+    match result {
+        Ok(value) => value,
+        Err(payload) => panic::resume_unwind(payload),
+    }
+}

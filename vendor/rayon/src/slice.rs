@@ -1,0 +1,38 @@
+//! Parallel slice extension traits.
+
+use crate::iter::{ParIter, SliceChunks, SliceChunksMut, SliceIterMut};
+
+/// `par_chunks` on shared slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Lazily-split chunked view: `size` elements per chunk (last may be
+    /// short). Nothing is materialised — chunks are carved out on demand
+    /// as the driver splits the slice.
+    fn par_chunks(&self, size: usize) -> ParIter<SliceChunks<'_, T>>;
+}
+
+/// `par_chunks_mut` / `par_iter_mut` on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Lazily-split chunked mutable view (disjoint chunks).
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<SliceChunksMut<'_, T>>;
+
+    /// One item per element.
+    fn par_iter_mut(&mut self) -> ParIter<SliceIterMut<'_, T>>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, size: usize) -> ParIter<SliceChunks<'_, T>> {
+        assert!(size > 0, "chunk size must be positive");
+        ParIter::new(SliceChunks { slice: self, size })
+    }
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<SliceChunksMut<'_, T>> {
+        assert!(size > 0, "chunk size must be positive");
+        ParIter::new(SliceChunksMut { slice: self, size })
+    }
+
+    fn par_iter_mut(&mut self) -> ParIter<SliceIterMut<'_, T>> {
+        ParIter::new(SliceIterMut { slice: self })
+    }
+}

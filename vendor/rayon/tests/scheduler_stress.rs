@@ -1,0 +1,311 @@
+//! Stress tests for the work-stealing scheduler.
+//!
+//! Covers the failure modes the eager stand-in either sidestepped (it ran
+//! nested regions inline) or got wrong (it flattened panic payloads):
+//! oversubscribed nested regions, uneven task durations, panics under
+//! active stealing, thread-count growth via `install`, and bit-identical
+//! results across worker counts. The CI matrix re-runs this suite with
+//! `RAYON_NUM_THREADS` ∈ {1, 4, 8}, so every test must hold from the
+//! strictly-sequential pool up through oversubscription; `install(n)`
+//! arms inside the tests pin specific counts on top of the ambient one.
+
+use rayon::prelude::*;
+use rayon::ThreadPoolBuilder;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn pool(n: usize) -> rayon::ThreadPool {
+    ThreadPoolBuilder::new().num_threads(n).build().unwrap()
+}
+
+/// A few microseconds of real work whose cost varies by item — enough
+/// imbalance that lazy splitting + stealing must rebalance leaves.
+fn spin_work(seed: u64) -> u64 {
+    let mut x = seed | 1;
+    let iters = 10 + (seed % 97) * 20;
+    for _ in 0..iters {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+    }
+    x
+}
+
+#[test]
+fn uneven_task_durations_all_complete() {
+    for threads in [1, 2, 8] {
+        pool(threads).install(|| {
+            let mut out = vec![0u64; 1024];
+            out.par_chunks_mut(1).enumerate().for_each(|(i, slot)| {
+                slot[0] = spin_work(i as u64);
+            });
+            for (i, &v) in out.iter().enumerate() {
+                assert_eq!(v, spin_work(i as u64), "item {i} lost or duplicated");
+            }
+        });
+    }
+}
+
+#[test]
+fn oversubscribed_nested_regions_participate() {
+    // 8 apparent workers on however many cores the box has, three levels
+    // of nesting: every level must run on the pool (not degrade inline)
+    // and every leaf must execute exactly once.
+    pool(8).install(|| {
+        assert_eq!(rayon::current_num_threads(), 8);
+        let hits = AtomicUsize::new(0);
+        let mut outer = [0usize; 16];
+        outer.par_chunks_mut(1).for_each(|o| {
+            // Tasks inherit the spawner's apparent thread count on
+            // whichever worker runs them.
+            assert_eq!(rayon::current_num_threads(), 8);
+            let mut mid = [0usize; 8];
+            mid.par_chunks_mut(1).for_each(|m| {
+                let inner_sum = AtomicUsize::new(0);
+                (0..32usize).into_par_iter().for_each(|i| {
+                    inner_sum.fetch_add(i, Ordering::Relaxed);
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+                m[0] = inner_sum.load(Ordering::Relaxed);
+            });
+            o[0] = mid.iter().sum();
+        });
+        assert!(outer.iter().all(|&v| v == 8 * (31 * 32 / 2)));
+        assert_eq!(hits.load(Ordering::Relaxed), 16 * 8 * 32);
+    });
+}
+
+#[test]
+fn nested_joins_complete_under_oversubscription() {
+    fn tree_sum(lo: u64, hi: u64) -> u64 {
+        if hi - lo <= 8 {
+            (lo..hi).map(spin_work).fold(0u64, u64::wrapping_add)
+        } else {
+            let mid = lo + (hi - lo) / 2;
+            let (a, b) = rayon::join(|| tree_sum(lo, mid), || tree_sum(mid, hi));
+            a.wrapping_add(b)
+        }
+    }
+    let expected = (0..512).map(spin_work).fold(0u64, u64::wrapping_add);
+    for threads in [1, 8] {
+        assert_eq!(pool(threads).install(|| tree_sum(0, 512)), expected);
+    }
+}
+
+#[test]
+fn panic_payload_survives_stealing() {
+    // Run a wide region with plenty of concurrent work so the panicking
+    // item is frequently executed by a thief, and assert the *original*
+    // payload type and value reach the caller.
+    #[derive(Debug, PartialEq)]
+    struct Detonation(usize);
+
+    for threads in [1, 2, 8] {
+        let caught = pool(threads).install(|| {
+            std::panic::catch_unwind(|| {
+                let data = vec![0u8; 512];
+                data.par_chunks(1).enumerate().for_each(|(i, _)| {
+                    std::hint::black_box(spin_work(i as u64));
+                    if i == 311 {
+                        std::panic::panic_any(Detonation(i));
+                    }
+                });
+            })
+            .expect_err("region must propagate the panic")
+        });
+        let payload = caught
+            .downcast_ref::<Detonation>()
+            .expect("original payload must not be flattened to a string");
+        assert_eq!(payload, &Detonation(311), "threads={threads}");
+    }
+}
+
+#[test]
+fn join_runs_second_half_even_when_first_panics_sequentially() {
+    // The install(1) fast path must keep the documented both-halves-run
+    // guarantee: `b`'s side effects happen even though `a` panicked.
+    let b_ran = AtomicUsize::new(0);
+    let caught = pool(1).install(|| {
+        std::panic::catch_unwind(|| {
+            rayon::join(
+                || std::panic::panic_any(7usize),
+                || {
+                    b_ran.fetch_add(1, Ordering::Relaxed);
+                },
+            )
+        })
+        .expect_err("join must propagate")
+    });
+    assert_eq!(caught.downcast_ref::<usize>(), Some(&7));
+    assert_eq!(b_ran.load(Ordering::Relaxed), 1, "b must still run");
+}
+
+#[test]
+fn install_one_joins_stay_on_calling_thread_inside_parallel_tasks() {
+    // An install(1) region nested inside a pool task must run its joins
+    // sequentially on whichever thread executes the task — no deque
+    // push, no stealing — per the ThreadPool contract.
+    pool(8).install(|| {
+        let data = [0u8; 64];
+        data.par_chunks(1).for_each(|_| {
+            pool(1).install(|| {
+                let outer = std::thread::current().id();
+                let (ta, tb) = rayon::join(
+                    || std::thread::current().id(),
+                    || std::thread::current().id(),
+                );
+                assert_eq!(ta, outer);
+                assert_eq!(tb, outer);
+            });
+        });
+    });
+}
+
+#[test]
+fn join_prefers_first_closures_payload() {
+    for threads in [1, 8] {
+        let caught = pool(threads).install(|| {
+            std::panic::catch_unwind(|| {
+                rayon::join(
+                    || std::panic::panic_any(41usize),
+                    || std::panic::panic_any(String::from("second")),
+                )
+            })
+            .expect_err("join must propagate")
+        });
+        assert_eq!(caught.downcast_ref::<usize>(), Some(&41));
+    }
+}
+
+#[test]
+fn scope_propagates_payload_after_completion() {
+    let hits = AtomicUsize::new(0);
+    let caught = pool(8)
+        .install(|| {
+            std::panic::catch_unwind(|| {
+                rayon::scope(|s| {
+                    for i in 0..64 {
+                        let hits = &hits;
+                        s.spawn(move || {
+                            std::hint::black_box(spin_work(i as u64));
+                            if i == 17 {
+                                std::panic::panic_any(vec![17u32]);
+                            }
+                            hits.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            })
+        })
+        .expect_err("scope must propagate");
+    assert_eq!(caught.downcast_ref::<Vec<u32>>(), Some(&vec![17u32]));
+    // The panicking task's siblings on other branches of the split tree
+    // still ran; borrows (hits) were not released early.
+    assert!(hits.load(Ordering::Relaxed) > 0);
+}
+
+#[test]
+fn install_grows_pool_and_reports_actual_capacity() {
+    // The shared registry starts at the RAYON_NUM_THREADS/default size;
+    // installing a larger pool must actually grow it, so apparent ==
+    // actual (the old stand-in reported n while capping real workers at
+    // the startup default).
+    let pool16 = pool(16);
+    assert_eq!(pool16.current_num_threads(), 16);
+    pool16.install(|| {
+        assert_eq!(rayon::current_num_threads(), 16);
+        // A region wide enough to occupy all 16 apparent workers
+        // completes even when the box has fewer cores.
+        let mut data = vec![0u32; 2048];
+        data.par_chunks_mut(1)
+            .enumerate()
+            .for_each(|(i, c)| c[0] = i as u32);
+        assert!(data.iter().enumerate().all(|(i, &v)| v == i as u32));
+    });
+    // Beyond the 64-slot capacity, the request is clamped — reported
+    // count never exceeds the workers that can exist.
+    assert_eq!(pool(1_000_000).current_num_threads(), 64);
+}
+
+#[test]
+fn results_are_bit_identical_across_worker_counts() {
+    // The scheduler's determinism contract at the iterator level: a
+    // region with disjoint writes and per-slot fixed arithmetic order
+    // produces bit-identical floats for 1, 2 and 8 (oversubscribed)
+    // workers — this is the property the engine's golden suites pin
+    // end-to-end with real training runs.
+    let run = |threads: usize| -> Vec<u32> {
+        pool(threads).install(|| {
+            let src: Vec<f32> = (0..4096).map(|i| (i as f32).sin()).collect();
+            let mut dst = vec![0.0f32; 4096];
+            dst.par_chunks_mut(3)
+                .zip(src.par_chunks(3))
+                .enumerate()
+                .for_each(|(ci, (d, s))| {
+                    for (k, (a, b)) in d.iter_mut().zip(s).enumerate() {
+                        *a = b * 1.000_1 + (ci * 3 + k) as f32 * 1.5e-4;
+                    }
+                });
+            dst.iter().map(|v| v.to_bits()).collect()
+        })
+    };
+    let t1 = run(1);
+    assert_eq!(t1, run(2), "t2 diverged from t1");
+    assert_eq!(t1, run(8), "t8 diverged from t1");
+}
+
+#[test]
+fn map_collect_is_ordered_under_oversubscription() {
+    pool(8).install(|| {
+        let out: Vec<u64> = (0..2000usize)
+            .into_par_iter()
+            .map(|i| spin_work(i as u64))
+            .collect();
+        assert_eq!(out.len(), 2000);
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, spin_work(i as u64));
+        }
+    });
+}
+
+#[test]
+fn repeated_regions_reach_steady_state() {
+    // Back-to-back small regions (the engine's steady state: several
+    // parallel dispatches per training step) must neither deadlock nor
+    // leak pending jobs across regions.
+    for threads in [1, 4] {
+        pool(threads).install(|| {
+            let mut data = vec![0u64; 256];
+            for round in 0..500u64 {
+                data.par_chunks_mut(16).for_each(|c| {
+                    for v in c.iter_mut() {
+                        *v = v.wrapping_add(round);
+                    }
+                });
+            }
+            let expected = (0..500u64).sum::<u64>();
+            assert!(data.iter().all(|&v| v == expected));
+        });
+    }
+}
+
+#[test]
+fn ambient_thread_count_respects_env() {
+    // The driver re-runs this suite with RAYON_NUM_THREADS ∈ {1, 4, 8};
+    // whatever the value, the default count must honour it (clamped to
+    // the registry capacity) and regions must complete under it.
+    let ambient = rayon::current_num_threads();
+    if let Some(n) = std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        assert_eq!(ambient, n.min(64));
+    } else {
+        assert!(ambient >= 1);
+    }
+    let total = AtomicUsize::new(0);
+    (0..333usize).into_par_iter().for_each(|i| {
+        total.fetch_add(i, Ordering::Relaxed);
+    });
+    assert_eq!(total.load(Ordering::Relaxed), 332 * 333 / 2);
+}
