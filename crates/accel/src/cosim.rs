@@ -1,0 +1,197 @@
+//! Live co-simulation: feed the instrumented backend's recorded address
+//! streams straight into the FRM/BUM cycle simulators.
+//!
+//! The trace-driven path (`instant3d-trace` capture → [`crate::frm`] /
+//! [`crate::bum`] replay) measures the paper's Fig. 12/13 factors from
+//! *captured* streams. This module is the stream-ingestion half of the
+//! **online** path: the engine runs real `Trainer::step` iterations on the
+//! `"instrumented"` kernel backend
+//! ([`instant3d_nerf::kernels::InstrumentedKernels`]), which records the
+//! batched engine's actual hash-grid read/update traffic in execution
+//! order; [`cosim_grid`] then replays those streams through the FRM (vs
+//! the baseline burst issue) and the BUM — no trace files, no synthetic
+//! streams, no observer plumbing through the trainer.
+//!
+//! ```no_run
+//! use instant3d_accel::cosim::{cosim_grid, CosimConfig};
+//! use instant3d_nerf::kernels::{BackendHandle, InstrumentedKernels};
+//!
+//! let backend = BackendHandle::new(InstrumentedKernels::new());
+//! // ... build a Trainer whose TrainConfig::kernel_backend is `backend`,
+//! //     warm it up, then:
+//! let rec = backend.downcast_ref::<InstrumentedKernels>().unwrap();
+//! rec.start_recording();
+//! // trainer.step(&mut rng);
+//! rec.stop_recording();
+//! # let grid = instant3d_nerf::HashGrid::new(Default::default());
+//! let report = cosim_grid(&rec.take_streams(), &grid, &CosimConfig::default());
+//! println!("FRM utilisation {:.2}", report.frm.utilization);
+//! ```
+
+use crate::bum::{simulate_bum, BumConfig, BumResult};
+use crate::frm::{simulate_baseline_reads, simulate_frm, FrmResult};
+use instant3d_nerf::kernels::RecordedStreams;
+use instant3d_nerf::HashGrid;
+
+/// Microarchitectural parameters of one co-sim run — the Fig. 12/13
+/// defaults of the paper's grid core.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CosimConfig {
+    /// SRAM banks per grid core (the paper's B8 view).
+    pub banks: u32,
+    /// FRM reorder-window depth (the paper uses 16).
+    pub frm_window: usize,
+    /// Baseline issue burst — one point's 8 corner reads per access group.
+    pub baseline_burst: usize,
+    /// BUM buffer configuration (16 entries, idle timeout).
+    pub bum: BumConfig,
+}
+
+impl Default for CosimConfig {
+    fn default() -> Self {
+        CosimConfig {
+            banks: 8,
+            frm_window: 16,
+            baseline_burst: 8,
+            bum: BumConfig::default(),
+        }
+    }
+}
+
+/// What one grid's live streams measured.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CosimReport {
+    /// Feed-forward reads replayed.
+    pub reads: u64,
+    /// Gradient updates replayed.
+    pub updates: u64,
+    /// FRM replay of the read stream.
+    pub frm: FrmResult,
+    /// Baseline (no-FRM) replay of the same read stream.
+    pub baseline: FrmResult,
+    /// BUM replay of the update stream.
+    pub bum: BumResult,
+}
+
+impl CosimReport {
+    /// Read-cycle speedup of the FRM over the baseline issue (1.0 when the
+    /// stream is empty).
+    pub fn frm_read_speedup(&self) -> f64 {
+        if self.frm.cycles == 0 {
+            1.0
+        } else {
+            self.baseline.cycles as f64 / self.frm.cycles as f64
+        }
+    }
+
+    /// Fraction of gradient updates the BUM absorbed without an SRAM
+    /// write.
+    pub fn bum_merge_ratio(&self) -> f64 {
+        self.bum.merge_ratio()
+    }
+}
+
+/// Replays the recorded streams of one [`HashGrid`] — selected by the
+/// grid's shape tag, see
+/// [`StreamSegment`](instant3d_nerf::kernels::StreamSegment) — through the
+/// FRM (and the no-FRM baseline) and the BUM.
+///
+/// The feed-forward stream arrives as flat whole-table entry addresses in
+/// the engine's level-major execution order; the update stream as
+/// `(level << 32) | addr` keys in the level-ordered scatter order — the
+/// hardware-visible shapes the paper's units see.
+pub fn cosim_grid(streams: &RecordedStreams, grid: &HashGrid, cfg: &CosimConfig) -> CosimReport {
+    let reads = streams.reads_flat_for(grid);
+    let updates = streams.updates_for(grid);
+    CosimReport {
+        reads: reads.len() as u64,
+        updates: updates.len() as u64,
+        frm: simulate_frm(&reads, cfg.banks, cfg.frm_window),
+        baseline: simulate_baseline_reads(&reads, cfg.banks, cfg.baseline_burst),
+        bum: simulate_bum(&updates, cfg.bum),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use instant3d_nerf::grid::AccessPhase;
+    use instant3d_nerf::kernels::StreamSegment;
+    use instant3d_nerf::HashGridConfig;
+
+    fn small_grid() -> HashGrid {
+        HashGrid::new(HashGridConfig {
+            levels: 2,
+            log2_table_size: 8,
+            base_resolution: 4,
+            max_resolution: 8,
+            ..HashGridConfig::default()
+        })
+    }
+
+    fn seg(grid: &HashGrid, phase: AccessPhase, addrs: Vec<u64>) -> StreamSegment {
+        StreamSegment {
+            phase,
+            grid_levels: grid.levels().len(),
+            grid_params: grid.num_params(),
+            addrs,
+        }
+    }
+
+    #[test]
+    fn empty_streams_produce_an_empty_report() {
+        let grid = small_grid();
+        let r = cosim_grid(&RecordedStreams::default(), &grid, &CosimConfig::default());
+        assert_eq!(r.reads, 0);
+        assert_eq!(r.updates, 0);
+        assert_eq!(r.frm.cycles, 0);
+        assert_eq!(r.frm_read_speedup(), 1.0);
+        assert_eq!(r.bum_merge_ratio(), 0.0);
+    }
+
+    #[test]
+    fn report_preserves_stream_lengths_and_conservation() {
+        let grid = small_grid();
+        let streams = RecordedStreams {
+            segments: vec![
+                seg(
+                    &grid,
+                    AccessPhase::FeedForward,
+                    (0..64).map(|i| (i * 3) % 200).collect(),
+                ),
+                seg(
+                    &grid,
+                    AccessPhase::BackProp,
+                    (0..48).map(|i| (1u64 << 32) | (i % 6)).collect(),
+                ),
+            ],
+        };
+        let r = cosim_grid(&streams, &grid, &CosimConfig::default());
+        assert_eq!(r.reads, 64);
+        assert_eq!(r.updates, 48);
+        assert_eq!(r.frm.reads, 64, "every read serviced");
+        // BUM conservation: every update merges or eventually writes.
+        assert_eq!(r.bum.merged + r.bum.sram_writes, r.updates);
+        assert!(r.bum_merge_ratio() > 0.5, "6 hot addresses should merge");
+        assert!(r.frm.utilization > 0.0 && r.frm.utilization <= 1.0);
+    }
+
+    #[test]
+    fn segments_of_other_grids_are_ignored() {
+        let grid = small_grid();
+        let other = HashGrid::new(HashGridConfig {
+            levels: 3,
+            log2_table_size: 8,
+            base_resolution: 4,
+            max_resolution: 16,
+            ..HashGridConfig::default()
+        });
+        let streams = RecordedStreams {
+            segments: vec![seg(&other, AccessPhase::FeedForward, vec![1, 2, 3])],
+        };
+        let r = cosim_grid(&streams, &grid, &CosimConfig::default());
+        assert_eq!(r.reads, 0, "shape tag must filter foreign grids");
+        let r2 = cosim_grid(&streams, &other, &CosimConfig::default());
+        assert_eq!(r2.reads, 3);
+    }
+}

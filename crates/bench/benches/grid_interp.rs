@@ -2,27 +2,29 @@
 //! interpolation over the multi-level table) and its gradient scatter —
 //! the operations the paper identifies as 80 % of NeRF training.
 //!
-//! Batched-kernel bench IDs are stamped with the [`KernelBackend`] and the
-//! rayon worker count (`…/scalar/t1`), so recorded numbers always say
-//! which kernels and how many workers produced them.
+//! Batched-kernel bench IDs are stamped with the backend's registry name
+//! and the rayon worker count (`…/scalar/t1`), so recorded numbers always
+//! say which kernels and how many workers produced them. The backend axis
+//! iterates every registered backend (instrumented included — its arm
+//! measures the co-sim backend's observation-off overhead).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use instant3d_nerf::grid::{HashGrid, HashGridConfig, NullObserver};
 use instant3d_nerf::hash::spatial_hash;
+use instant3d_nerf::kernels::{self, BackendHandle};
 use instant3d_nerf::math::Vec3;
-use instant3d_nerf::simd::KernelBackend;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// `backend/threads` suffix for bench IDs of kernels that run on the
 /// rayon pool.
-fn stamp(backend: KernelBackend) -> String {
+fn stamp(backend: &BackendHandle) -> String {
     format!("{backend}/t{}", rayon::current_num_threads())
 }
 
 /// `backend/t1` suffix for direct (single-threaded) kernel benches — the
 /// ambient pool size is irrelevant to them and must not be recorded.
-fn stamp_serial(backend: KernelBackend) -> String {
+fn stamp_serial(backend: &BackendHandle) -> String {
     format!("{backend}/t1")
 }
 
@@ -92,17 +94,13 @@ fn bench_encode_batch(c: &mut Criterion) {
     // The backend axis: the PR 1 level-major kernel (scalar backend) vs
     // the lane-batched SIMD kernel, plus the parallel dispatcher at the
     // ambient worker count.
-    for backend in KernelBackend::ALL {
+    for backend in kernels::registered() {
+        // Single-chunk serial kernel body, straight through the trait.
         c.bench_function(
-            &format!("grid/encode_batch1024/{}", stamp_serial(backend)),
+            &format!("grid/encode_batch1024/{}", stamp_serial(&backend)),
             |b| {
                 b.iter(|| {
-                    match backend {
-                        KernelBackend::Scalar => {
-                            grid.encode_batch_level_major(black_box(&points), &mut out)
-                        }
-                        KernelBackend::Simd => grid.encode_batch_simd(black_box(&points), &mut out),
-                    }
+                    backend.grid_encode_chunk(&grid, black_box(&points), &mut out);
                     black_box(out[0])
                 })
             },
@@ -116,10 +114,10 @@ fn bench_encode_batch(c: &mut Criterion) {
                 .unwrap();
             pool.install(|| {
                 c.bench_function(
-                    &format!("grid/encode_batch1024_parallel/{}", stamp(backend)),
+                    &format!("grid/encode_batch1024_parallel/{}", stamp(&backend)),
                     |b| {
                         b.iter(|| {
-                            grid.par_encode_batch_with(backend, black_box(&points), &mut out);
+                            grid.par_encode_batch_with(&backend, black_box(&points), &mut out);
                             black_box(out[0])
                         })
                     },
@@ -143,7 +141,7 @@ fn bench_backward_batch(c: &mut Criterion) {
             black_box(grads.count)
         })
     });
-    for backend in KernelBackend::ALL {
+    for backend in kernels::registered() {
         for threads in [1, 4] {
             let pool = rayon::ThreadPoolBuilder::new()
                 .num_threads(threads)
@@ -151,11 +149,11 @@ fn bench_backward_batch(c: &mut Criterion) {
                 .unwrap();
             pool.install(|| {
                 c.bench_function(
-                    &format!("grid/backward_batch1024_level/{}", stamp(backend)),
+                    &format!("grid/backward_batch1024_level/{}", stamp(&backend)),
                     |b| {
                         b.iter(|| {
                             grid.par_backward_batch_with(
-                                backend,
+                                &backend,
                                 black_box(&points),
                                 &d_out,
                                 &mut grads,

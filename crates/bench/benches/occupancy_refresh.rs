@@ -3,17 +3,20 @@
 //! against the batched subsystem (SoA encode through the kernel seams,
 //! persistent per-level embedding cache, rotating cell subsets).
 //!
-//! Bench IDs are stamped with the [`KernelBackend`] and the rayon worker
-//! count (`…/simd/t1`), matching the `grid_interp` convention, so recorded
-//! numbers always say which kernels and how many workers produced them.
+//! Bench IDs are stamped with the backend's registry name and the rayon
+//! worker count (`…/simd/t1`), matching the `grid_interp` convention, so
+//! recorded numbers always say which kernels and how many workers
+//! produced them. Every registered backend gets an arm (instrumented
+//! included — its arm measures the co-sim backend's observation-off
+//! overhead).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use instant3d_nerf::activation::Activation;
 use instant3d_nerf::grid::{HashGrid, HashGridConfig, NullObserver};
+use instant3d_nerf::kernels::{self, BackendHandle};
 use instant3d_nerf::math::{Aabb, Vec3};
 use instant3d_nerf::mlp::{Mlp, MlpConfig};
 use instant3d_nerf::occupancy::{OccupancyGrid, OccupancyWorkspace, RefreshMode};
-use instant3d_nerf::simd::KernelBackend;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -22,7 +25,7 @@ const THRESHOLD: f32 = 0.5;
 
 /// `backend/threads` suffix for bench IDs of kernels that run on the
 /// rayon pool.
-fn stamp(backend: KernelBackend) -> String {
+fn stamp(backend: &BackendHandle) -> String {
     format!("{backend}/t{}", rayon::current_num_threads())
 }
 
@@ -66,11 +69,11 @@ fn bench_refresh_closure(c: &mut Criterion) {
 
 fn bench_refresh_batched(c: &mut Criterion) {
     let (grid, mlp, mut occ) = fixture();
-    for backend in KernelBackend::ALL {
+    for backend in kernels::registered() {
         // Full refresh with a cold embedding cache: every level
         // re-encodes — the apples-to-apples comparison against the
         // closure path.
-        let mut ws = OccupancyWorkspace::new();
+        let mut ws = OccupancyWorkspace::new(backend.clone());
         // Explicit worker-count arms for the thread-scaling axis:
         // `install` pins the apparent count and grows the shared
         // work-stealing pool to match.
@@ -81,7 +84,7 @@ fn bench_refresh_batched(c: &mut Criterion) {
                 .unwrap();
             pool.install(|| {
                 c.bench_function(
-                    &format!("occupancy/refresh_full/r{RESOLUTION}/{}", stamp(backend)),
+                    &format!("occupancy/refresh_full/r{RESOLUTION}/{}", stamp(&backend)),
                     |b| {
                         b.iter(|| {
                             ws.invalidate();
@@ -89,7 +92,6 @@ fn bench_refresh_batched(c: &mut Criterion) {
                                 &mut occ,
                                 &grid,
                                 &mlp,
-                                backend,
                                 Aabb::UNIT,
                                 THRESHOLD,
                                 RefreshMode::Threshold,
@@ -104,13 +106,12 @@ fn bench_refresh_batched(c: &mut Criterion) {
         // Steady-state refresh with a clean cache (no grid updates since
         // the last refresh): the encode vanishes, only the MLP re-runs.
         c.bench_function(
-            &format!("occupancy/refresh_cached/r{RESOLUTION}/{}", stamp(backend)),
+            &format!("occupancy/refresh_cached/r{RESOLUTION}/{}", stamp(&backend)),
             |b| {
                 ws.refresh(
                     &mut occ,
                     &grid,
                     &mlp,
-                    backend,
                     Aabb::UNIT,
                     THRESHOLD,
                     RefreshMode::Threshold,
@@ -121,7 +122,6 @@ fn bench_refresh_batched(c: &mut Criterion) {
                         &mut occ,
                         &grid,
                         &mlp,
-                        backend,
                         Aabb::UNIT,
                         THRESHOLD,
                         RefreshMode::Threshold,
@@ -133,9 +133,12 @@ fn bench_refresh_batched(c: &mut Criterion) {
         );
         // Amortized refresh: dirty grid, but only 1/8 of the cells probed
         // per call (the instant-ngp-style rotating subset).
-        let mut sub_ws = OccupancyWorkspace::new();
+        let mut sub_ws = OccupancyWorkspace::new(backend.clone());
         c.bench_function(
-            &format!("occupancy/refresh_subset8/r{RESOLUTION}/{}", stamp(backend)),
+            &format!(
+                "occupancy/refresh_subset8/r{RESOLUTION}/{}",
+                stamp(&backend)
+            ),
             |b| {
                 b.iter(|| {
                     sub_ws.invalidate();
@@ -143,7 +146,6 @@ fn bench_refresh_batched(c: &mut Criterion) {
                         &mut occ,
                         &grid,
                         &mlp,
-                        backend,
                         Aabb::UNIT,
                         THRESHOLD,
                         RefreshMode::Threshold,

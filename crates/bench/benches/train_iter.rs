@@ -6,12 +6,16 @@
 //! on the full rayon pool (thread scaling), at batch sizes 256 / 1024 /
 //! 4096 rays.
 //!
-//! Every bench ID is stamped with the [`KernelBackend`] and the rayon
-//! worker count active while it ran (`…/simd/t4`), so recorded numbers
-//! always say which kernels and how many workers produced them.
+//! Every bench ID is stamped with the backend's **registry name** and the
+//! rayon worker count active while it ran (`…/simd/t4`), so recorded
+//! numbers always say which kernels and how many workers produced them.
+//! The backend axis iterates every registered backend — including the
+//! `instrumented` co-sim backend, whose arm quantifies the
+//! observation-off overhead vs the plain SIMD backend (target: ≤10%; it
+//! is one relaxed atomic load per kernel call).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use instant3d_core::{KernelBackend, TrainConfig, Trainer};
+use instant3d_core::{kernels, TrainConfig, Trainer};
 use instant3d_scenes::SceneLibrary;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -28,7 +32,7 @@ enum Path {
 /// stamp records that.
 fn stamp(cfg: &TrainConfig, path: Path) -> String {
     match path {
-        Path::Scalar => format!("{}/t1", KernelBackend::Scalar),
+        Path::Scalar => "scalar/t1".to_string(),
         Path::Batched => format!("{}/t{}", cfg.kernel_backend, rayon::current_num_threads()),
     }
 }
@@ -52,15 +56,15 @@ fn bench_step(c: &mut Criterion, name: &str, cfg: TrainConfig, path: Path) {
 fn bench_batch_size(c: &mut Criterion, rays: usize) {
     let mut cfg = TrainConfig::fast_preview();
     cfg.rays_per_batch = rays;
-    cfg.kernel_backend = KernelBackend::Scalar;
+    cfg.kernel_backend = kernels::scalar();
     bench_step(
         c,
         &format!("train/scalar_rays{rays}"),
         cfg.clone(),
         Path::Scalar,
     );
-    for backend in KernelBackend::ALL {
-        cfg.kernel_backend = backend;
+    for backend in kernels::registered() {
+        cfg.kernel_backend = backend.clone();
         // Explicit worker-count arms: `install` pins the apparent count
         // and grows the shared work-stealing pool to match, so thread
         // scaling is measurable regardless of the ambient pool size.

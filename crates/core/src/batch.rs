@@ -31,12 +31,10 @@
 use crate::config::GridTopology;
 use crate::model::{BranchObserver, ModelGradients, NerfModel, Tagged};
 use instant3d_nerf::grid::GridBranch;
+use instant3d_nerf::kernels::BackendHandle;
 use instant3d_nerf::math::Vec3;
 use instant3d_nerf::mlp::MlpBatchWorkspace;
-use instant3d_nerf::render::{
-    composite_backward_slices, composite_slices_with, RayBatch, RayBatchCache, RenderOutput,
-};
-use instant3d_nerf::simd::KernelBackend;
+use instant3d_nerf::render::{composite_backward_slices, RayBatch, RayBatchCache, RenderOutput};
 
 /// Preallocated SoA buffers for one training/eval iteration of the batched
 /// engine. Create once per trainer (or per eval worker) with
@@ -74,19 +72,19 @@ pub struct BatchWorkspace {
     emb_d_dim: usize,
     emb_c_dim: usize,
     color_in_dim: usize,
-    backend: KernelBackend,
+    backend: BackendHandle,
 }
 
 impl BatchWorkspace {
     /// Allocates a workspace shaped for `model`, running the model's
     /// kernel backend ([`NerfModel::kernel_backend`]).
     pub fn new(model: &NerfModel) -> Self {
-        Self::with_backend(model, model.kernel_backend())
+        Self::with_backend(model, model.kernel_backend().clone())
     }
 
     /// Allocates a workspace with an explicit kernel backend (tests and
     /// benches; trainers use [`BatchWorkspace::new`]).
-    pub fn with_backend(model: &NerfModel, backend: KernelBackend) -> Self {
+    pub fn with_backend(model: &NerfModel, backend: BackendHandle) -> Self {
         let emb_c_dim = model.color_mlp().in_dim() - model.sh_dim();
         BatchWorkspace {
             rays: RayBatch::new(),
@@ -116,8 +114,8 @@ impl BatchWorkspace {
     }
 
     /// The kernel backend this workspace dispatches to.
-    pub fn backend(&self) -> KernelBackend {
-        self.backend
+    pub fn backend(&self) -> &BackendHandle {
+        &self.backend
     }
 
     /// Samples currently in the batch.
@@ -195,13 +193,13 @@ impl BatchWorkspace {
             }
         } else {
             model.density_grid().par_encode_batch_with(
-                self.backend,
+                &self.backend,
                 &self.unit_positions,
                 &mut self.emb_d,
             );
             if decoupled {
                 model.color_grid().unwrap().par_encode_batch_with(
-                    self.backend,
+                    &self.backend,
                     &self.unit_positions,
                     &mut self.emb_c,
                 );
@@ -229,12 +227,12 @@ impl BatchWorkspace {
         let sigma_out =
             model
                 .sigma_mlp()
-                .forward_batch_with(self.backend, &self.emb_d, &mut self.ws_sigma);
+                .forward_batch_with(&self.backend, &self.emb_d, &mut self.ws_sigma);
         self.rays.sigma[..n].copy_from_slice(sigma_out);
         let rgb_out =
             model
                 .color_mlp()
-                .forward_batch_with(self.backend, &self.color_in, &mut self.ws_color);
+                .forward_batch_with(&self.backend, &self.color_in, &mut self.ws_color);
         for (i, chunk) in rgb_out.chunks_exact(3).enumerate() {
             self.rays.rgb[i] = Vec3::new(chunk[0], chunk[1], chunk[2]);
         }
@@ -246,8 +244,7 @@ impl BatchWorkspace {
         self.cache.reserve_for(&self.rays);
         for r in 0..self.rays.num_rays() {
             let range = self.rays.ray_range(r);
-            let (out, active) = composite_slices_with(
-                self.backend,
+            let (out, active) = self.backend.composite_ray(
                 &self.rays.t[range.clone()],
                 &self.rays.dt[range.clone()],
                 &self.rays.sigma[range.clone()],
@@ -311,7 +308,7 @@ impl BatchWorkspace {
         }
         self.d_color_in.resize(n * self.color_in_dim, 0.0);
         model.color_mlp().backward_batch_with(
-            self.backend,
+            &self.backend,
             &self.d_rgb_flat,
             &mut self.ws_color,
             &mut grads.color_mlp,
@@ -320,7 +317,7 @@ impl BatchWorkspace {
         // Density head backward → gradient w.r.t. emb_d.
         self.d_emb_d.resize(n * self.emb_d_dim, 0.0);
         model.sigma_mlp().backward_batch_with(
-            self.backend,
+            &self.backend,
             &self.d_sigma[..n],
             &mut self.ws_sigma,
             &mut grads.sigma_mlp,
@@ -391,7 +388,7 @@ impl BatchWorkspace {
             }
         } else {
             model.density_grid().par_backward_batch_with(
-                self.backend,
+                &self.backend,
                 &self.unit_positions,
                 &self.d_emb_d[..n * ed],
                 &mut grads.density_grid,
@@ -399,7 +396,7 @@ impl BatchWorkspace {
             if scatter_color {
                 if let (Some(cg), Some(cgrads)) = (model.color_grid(), grads.color_grid.as_mut()) {
                     cg.par_backward_batch_with(
-                        self.backend,
+                        &self.backend,
                         &self.unit_positions,
                         &self.d_emb_c[..n * ec],
                         cgrads,
@@ -425,13 +422,13 @@ impl BatchWorkspace {
             .extend(positions.iter().map(|p| aabb.to_unit(*p)));
         self.emb_d.resize(positions.len() * self.emb_d_dim, 0.0);
         model.density_grid().par_encode_batch_with(
-            self.backend,
+            &self.backend,
             &self.unit_positions,
             &mut self.emb_d,
         );
         model
             .sigma_mlp()
-            .forward_batch_with(self.backend, &self.emb_d, &mut self.ws_sigma)
+            .forward_batch_with(&self.backend, &self.emb_d, &mut self.ws_sigma)
     }
 }
 

@@ -2,7 +2,7 @@
 //! execution-engine knobs (kernel backend).
 
 use instant3d_nerf::grid::HashGridConfig;
-use instant3d_nerf::simd::KernelBackend;
+use instant3d_nerf::kernels::{self, BackendHandle};
 
 /// Whether the model uses Instant-NGP's single shared grid or Instant-3D's
 /// decomposed color/density grids.
@@ -79,12 +79,14 @@ pub struct TrainConfig {
     pub occupancy_threshold: f32,
     /// Samples per ray when rendering evaluation images.
     pub eval_samples_per_ray: usize,
-    /// Which kernel implementation the batched engine runs (scalar
-    /// reference or lane-batched SIMD — bit-identical by contract, see
-    /// `instant3d_nerf::simd`). Every preset honours the
-    /// `INSTANT3D_KERNEL_BACKEND` env var, which is how the CI matrix
-    /// forces each backend.
-    pub kernel_backend: KernelBackend,
+    /// Which kernel backend the batched engine runs — a handle resolved
+    /// through the open backend registry (`instant3d_nerf::kernels`):
+    /// the scalar reference, the lane-batched SIMD default, the
+    /// instrumented co-sim backend, or any backend registered at runtime
+    /// (all bit-identical by contract). Every preset honours the
+    /// `INSTANT3D_KERNEL_BACKEND` env var — a registry name lookup — which
+    /// is how the CI matrix forces each registered backend.
+    pub kernel_backend: BackendHandle,
 }
 
 impl Default for TrainConfig {
@@ -113,7 +115,7 @@ impl Default for TrainConfig {
             occupancy_subset: 1,
             occupancy_threshold: 0.5,
             eval_samples_per_ray: 64,
-            kernel_backend: KernelBackend::from_env_or(KernelBackend::Simd),
+            kernel_backend: kernels::from_env_or_default(),
         }
     }
 }

@@ -22,9 +22,12 @@
 //! point-at-a-time path survives as the executable specification
 //! ([`Trainer::step_scalar`](trainer::Trainer::step_scalar)), gated by
 //! golden equivalence tests. Within the batched engine the hot kernels
-//! dispatch on [`KernelBackend`] (scalar reference or lane-batched SIMD,
-//! selected by [`TrainConfig::kernel_backend`] / the
-//! `INSTANT3D_KERNEL_BACKEND` env var) — backends are bit-identical by
+//! dispatch through the open kernel-backend API ([`kernels`]): a
+//! [`BackendHandle`] resolved by name from the process-wide registry
+//! (scalar reference, lane-batched SIMD, the instrumented co-sim backend,
+//! or anything registered at runtime), selected by
+//! [`TrainConfig::kernel_backend`] / the `INSTANT3D_KERNEL_BACKEND` env
+//! var — backends are bit-identical by
 //! the additive-order/no-FMA contract of `instant3d_nerf::simd`, and the
 //! golden suites run once per backend to keep them that way.
 //!
@@ -58,7 +61,7 @@ pub mod vanilla;
 pub use batch::BatchWorkspace;
 pub use config::{GridTopology, TrainConfig};
 pub use eval::EvalResult;
-pub use instant3d_nerf::simd::KernelBackend;
+pub use instant3d_nerf::kernels::{self, BackendHandle, Kernels};
 pub use model::NerfModel;
 pub use profile::{PipelineStep, PipelineWorkload, WorkloadStats};
 pub use schedule::UpdateSchedule;

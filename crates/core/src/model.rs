@@ -21,10 +21,10 @@ use instant3d_nerf::field::RadianceField;
 use instant3d_nerf::grid::{
     AccessPhase, GridAccessObserver, GridGradients, HashGrid, NullObserver,
 };
+use instant3d_nerf::kernels::BackendHandle;
 use instant3d_nerf::math::{Aabb, Vec3};
 use instant3d_nerf::mlp::{Mlp, MlpConfig, MlpGradients, MlpWorkspace};
 use instant3d_nerf::sh::{sh_basis_size, sh_encode_into};
-use instant3d_nerf::simd::KernelBackend;
 use rand::Rng;
 
 pub use instant3d_nerf::grid::{BranchObserver, GridBranch, NullBranchObserver};
@@ -102,7 +102,7 @@ pub struct NerfModel {
     sigma_mlp: Mlp,
     color_mlp: Mlp,
     sh_degree: usize,
-    kernel_backend: KernelBackend,
+    kernel_backend: BackendHandle,
 }
 
 impl NerfModel {
@@ -154,15 +154,15 @@ impl NerfModel {
             sigma_mlp,
             color_mlp,
             sh_degree: cfg.sh_degree,
-            kernel_backend: cfg.kernel_backend,
+            kernel_backend: cfg.kernel_backend.clone(),
         }
     }
 
-    /// The kernel backend the batched engine runs for this model
-    /// (threaded from [`TrainConfig::kernel_backend`] into every
-    /// [`crate::batch::BatchWorkspace`]).
-    pub fn kernel_backend(&self) -> KernelBackend {
-        self.kernel_backend
+    /// The kernel backend the batched engine runs for this model — the
+    /// handle threaded from [`TrainConfig::kernel_backend`] into every
+    /// [`crate::batch::BatchWorkspace`].
+    pub fn kernel_backend(&self) -> &BackendHandle {
+        &self.kernel_backend
     }
 
     /// Coupled or decoupled.

@@ -67,11 +67,13 @@ impl PipelineStep {
 /// Cumulative operation counts over a training run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct WorkloadStats {
-    /// The kernel backend the run was configured with (reported for
-    /// provenance — golden tests compare stats across execution engines,
-    /// and bench records need to say which kernels produced a number).
+    /// The registry name of the kernel backend the run was configured
+    /// with (reported for provenance — golden tests compare stats across
+    /// execution engines, and bench records need to say which kernels
+    /// produced a number). Resolved from `TrainConfig::kernel_backend`'s
+    /// handle; empty for hand-built stats.
     /// [`WorkloadStats::merge`] keeps the receiver's backend.
-    pub backend: instant3d_nerf::simd::KernelBackend,
+    pub backend: &'static str,
     /// Training iterations executed.
     pub iterations: u64,
     /// Rays (pixels) processed.

@@ -178,7 +178,8 @@ impl Trainer {
         let ws = model.workspace();
         let grads = model.zero_grads();
         let bws = BatchWorkspace::new(&model);
-        let backend = cfg.kernel_backend;
+        let backend = cfg.kernel_backend.name();
+        let occ_ws = OccupancyWorkspace::new(cfg.kernel_backend.clone());
         Trainer {
             cfg,
             model,
@@ -189,7 +190,7 @@ impl Trainer {
             sigma_mlp_opts,
             color_mlp_opts,
             occupancy,
-            occ_ws: OccupancyWorkspace::new(),
+            occ_ws,
             iter: 0,
             stats: WorkloadStats {
                 backend,
@@ -616,7 +617,6 @@ impl Trainer {
                     occ,
                     self.model.density_grid(),
                     self.model.sigma_mlp(),
-                    self.cfg.kernel_backend,
                     self.model.aabb(),
                     self.cfg.occupancy_threshold,
                     RefreshMode::DecayedEma,

@@ -20,6 +20,7 @@ use instant3d_nerf::activation::Activation;
 use instant3d_nerf::adam::{Adam, AdamConfig};
 use instant3d_nerf::encoding::{freq_encode_into, freq_encoding_dim};
 use instant3d_nerf::field::RadianceField;
+use instant3d_nerf::kernels::{self, BackendHandle};
 use instant3d_nerf::math::{Aabb, Vec3};
 use instant3d_nerf::mlp::{Mlp, MlpBatchWorkspace, MlpConfig, MlpGradients, MlpWorkspace};
 use instant3d_nerf::render::{
@@ -30,7 +31,6 @@ use instant3d_nerf::sampler::{
     sample_pixel_batch, sample_pixel_batch_into, sample_segments, sample_segments_into, Segment,
     TrainRay,
 };
-use instant3d_nerf::simd::KernelBackend;
 use instant3d_scenes::Dataset;
 use rand::Rng;
 
@@ -51,11 +51,11 @@ pub struct VanillaConfig {
     pub samples_per_ray: usize,
     /// Adam learning rate.
     pub lr: f32,
-    /// Kernel backend for the batched step (same dispatch — and the same
-    /// bit-identity contract — as the grid engine's
+    /// Kernel backend for the batched step (same open registry dispatch —
+    /// and the same bit-identity contract — as the grid engine's
     /// `TrainConfig::kernel_backend`; env override
     /// `INSTANT3D_KERNEL_BACKEND`).
-    pub kernel_backend: KernelBackend,
+    pub kernel_backend: BackendHandle,
 }
 
 impl Default for VanillaConfig {
@@ -70,7 +70,7 @@ impl Default for VanillaConfig {
             rays_per_batch: 256,
             samples_per_ray: 48,
             lr: 5e-4,
-            kernel_backend: KernelBackend::from_env_or(KernelBackend::Simd),
+            kernel_backend: kernels::from_env_or_default(),
         }
     }
 }
@@ -344,7 +344,7 @@ impl VanillaTrainer {
         let out = self
             .model
             .mlp
-            .forward_batch_with(cfg.kernel_backend, &bws.inputs, &mut bws.ws);
+            .forward_batch_with(&cfg.kernel_backend, &bws.inputs, &mut bws.ws);
         for i in 0..n {
             let row = &out[i * 4..(i + 1) * 4];
             bws.rays.sigma[i] = Activation::TruncExp.apply(row[0]);
@@ -368,7 +368,7 @@ impl VanillaTrainer {
         for (r, tr) in self.ray_scratch.iter().enumerate() {
             let range = bws.rays.ray_range(r);
             let (out, active) = instant3d_nerf::render::composite_slices_with(
-                cfg.kernel_backend,
+                &cfg.kernel_backend,
                 &bws.rays.t[range.clone()],
                 &bws.rays.dt[range.clone()],
                 &bws.rays.sigma[range.clone()],
@@ -409,7 +409,7 @@ impl VanillaTrainer {
             row[3] = bws.d_rgb[i].z * c.z * (1.0 - c.z);
         }
         self.model.mlp.backward_batch_with(
-            cfg.kernel_backend,
+            &cfg.kernel_backend,
             &bws.d_out,
             &mut bws.ws,
             &mut self.grads,

@@ -21,8 +21,9 @@
 use crate::adam::Adam;
 use crate::fp16;
 use crate::hash::{spatial_hash, vertex_address, AddressMode, CORNER_OFFSETS};
+use crate::kernels::BackendHandle;
 use crate::math::Vec3;
-use crate::simd::{F32x8, KernelBackend};
+use crate::simd::F32x8;
 use rand::Rng;
 
 /// Memory-access phase, used by observers and the accelerator simulator.
@@ -583,7 +584,23 @@ impl HashGrid {
     /// One level's encode, scalar kernel: streams level `l`'s table over
     /// all points, writing that level's `F` columns of the
     /// `n × output_dim` SoA buffer (all other columns are untouched).
-    fn encode_level_scalar(&self, l: usize, unit_positions: &[Vec3], out: &mut [f32]) {
+    pub(crate) fn encode_level_scalar(&self, l: usize, unit_positions: &[Vec3], out: &mut [f32]) {
+        self.encode_level_observed(l, unit_positions, out, &mut NullObserver);
+    }
+
+    /// [`HashGrid::encode_level_scalar`] with table reads reported to
+    /// `obs` — the building block for observing kernel backends (the
+    /// instrumented co-sim backend records the batched engine's real
+    /// read stream through this). The arithmetic is the scalar level
+    /// kernel's, so outputs are bit-identical to every conforming backend;
+    /// a [`NullObserver`] compiles down to the unobserved kernel.
+    pub fn encode_level_observed<O: GridAccessObserver + ?Sized>(
+        &self,
+        l: usize,
+        unit_positions: &[Vec3],
+        out: &mut [f32],
+        obs: &mut O,
+    ) {
         let w = self.output_dim();
         let f = self.cfg.features_per_entry;
         let level = &self.levels[l];
@@ -596,6 +613,7 @@ impl HashGrid {
                 let mut acc0 = 0.0f32;
                 let mut acc1 = 0.0f32;
                 for c in 0..8 {
+                    obs.on_access(AccessPhase::FeedForward, l as u32, c as u8, addrs[c]);
                     let src = base + addrs[c] as usize * 2;
                     let wgt = weights[c];
                     acc0 += wgt * self.params[src];
@@ -611,6 +629,7 @@ impl HashGrid {
                 let dst = &mut out[i * w + col..i * w + col + f];
                 dst.fill(0.0);
                 for c in 0..8 {
+                    obs.on_access(AccessPhase::FeedForward, l as u32, c as u8, addrs[c]);
                     let wgt = weights[c];
                     let src = base + addrs[c] as usize * f;
                     for (d, p) in dst.iter_mut().zip(&self.params[src..src + f]) {
@@ -747,7 +766,7 @@ impl HashGrid {
     /// gathers, scalar remainder tail) — the level body of
     /// [`HashGrid::encode_batch_simd`]. Falls back to the scalar level
     /// kernel when `features_per_entry != 2`.
-    fn encode_level_simd(&self, l: usize, unit_positions: &[Vec3], out: &mut [f32]) {
+    pub(crate) fn encode_level_simd(&self, l: usize, unit_positions: &[Vec3], out: &mut [f32]) {
         const LANES: usize = F32x8::LANES;
         if self.cfg.features_per_entry != 2 {
             return self.encode_level_scalar(l, unit_positions, out);
@@ -803,29 +822,23 @@ impl HashGrid {
         }
     }
 
-    /// Single-chunk backend dispatch for the unobserved batched encode.
-    #[inline]
-    fn encode_chunk(&self, backend: KernelBackend, unit_positions: &[Vec3], out: &mut [f32]) {
-        match backend {
-            KernelBackend::Scalar => self.encode_batch_level_major(unit_positions, out),
-            KernelBackend::Simd => self.encode_batch_simd(unit_positions, out),
-        }
-    }
-
     /// Parallel unobserved batched encode: points are split into fixed-size
     /// chunks processed on the rayon pool, each chunk running the
     /// level-major SoA kernel. All writes are disjoint output rows, so the
     /// result is bit-identical for any worker count.
     pub fn par_encode_batch(&self, unit_positions: &[Vec3], out: &mut [f32]) {
-        self.par_encode_batch_with(KernelBackend::Scalar, unit_positions, out);
+        self.par_encode_batch_with(&crate::kernels::scalar(), unit_positions, out);
     }
 
-    /// [`HashGrid::par_encode_batch`] with an explicit kernel backend;
-    /// results are bit-identical across backends, chunkings and worker
-    /// counts.
+    /// [`HashGrid::par_encode_batch`] with an explicit kernel backend
+    /// (see [`crate::kernels`]); results are bit-identical across
+    /// backends, chunkings and worker counts. Backends that request
+    /// [`crate::kernels::Kernels::sequential_grid`] execution (recording
+    /// co-sim backends) get the whole batch as one chunk on the calling
+    /// thread.
     pub fn par_encode_batch_with(
         &self,
-        backend: KernelBackend,
+        backend: &BackendHandle,
         unit_positions: &[Vec3],
         out: &mut [f32],
     ) {
@@ -838,34 +851,15 @@ impl HashGrid {
         );
         let n = unit_positions.len();
         const CHUNK: usize = 256;
-        if n <= CHUNK || rayon::current_num_threads() <= 1 {
-            self.encode_chunk(backend, unit_positions, out);
+        if n <= CHUNK || rayon::current_num_threads() <= 1 || backend.sequential_grid() {
+            backend.grid_encode_chunk(self, unit_positions, out);
             return;
         }
         out.par_chunks_mut(CHUNK * w)
             .zip(unit_positions.par_chunks(CHUNK))
             .for_each(|(out_chunk, pos_chunk)| {
-                self.encode_chunk(backend, pos_chunk, out_chunk);
+                backend.grid_encode_chunk(self, pos_chunk, out_chunk);
             });
-    }
-
-    /// Single-chunk level-subset encode: runs only the listed levels'
-    /// kernels over the chunk, leaving every other level's columns
-    /// untouched.
-    #[inline]
-    fn encode_levels_chunk(
-        &self,
-        backend: KernelBackend,
-        levels: &[usize],
-        unit_positions: &[Vec3],
-        out: &mut [f32],
-    ) {
-        for &l in levels {
-            match backend {
-                KernelBackend::Scalar => self.encode_level_scalar(l, unit_positions, out),
-                KernelBackend::Simd => self.encode_level_simd(l, unit_positions, out),
-            }
-        }
     }
 
     /// Parallel batched encode of a *subset of levels*: like
@@ -887,7 +881,7 @@ impl HashGrid {
     /// or any level index is out of range.
     pub fn par_encode_batch_levels_with(
         &self,
-        backend: KernelBackend,
+        backend: &BackendHandle,
         levels: &[usize],
         unit_positions: &[Vec3],
         out: &mut [f32],
@@ -908,14 +902,14 @@ impl HashGrid {
         }
         let n = unit_positions.len();
         const CHUNK: usize = 256;
-        if n <= CHUNK || rayon::current_num_threads() <= 1 {
-            self.encode_levels_chunk(backend, levels, unit_positions, out);
+        if n <= CHUNK || rayon::current_num_threads() <= 1 || backend.sequential_grid() {
+            backend.grid_encode_levels_chunk(self, levels, unit_positions, out);
             return;
         }
         out.par_chunks_mut(CHUNK * w)
             .zip(unit_positions.par_chunks(CHUNK))
             .for_each(|(out_chunk, pos_chunk)| {
-                self.encode_levels_chunk(backend, levels, pos_chunk, out_chunk);
+                backend.grid_encode_levels_chunk(self, levels, pos_chunk, out_chunk);
             });
     }
 
@@ -957,17 +951,35 @@ impl HashGrid {
         d_out: &[f32],
         grads: &mut GridGradients,
     ) {
-        self.par_backward_batch_with(KernelBackend::Scalar, unit_positions, d_out, grads);
+        self.par_backward_batch_with(&crate::kernels::scalar(), unit_positions, d_out, grads);
     }
 
     /// One level's scatter, scalar reference kernel: walks all points in
     /// order, accumulating into that level's disjoint gradient slice.
-    fn scatter_level_scalar(
+    pub(crate) fn scatter_level_scalar(
         &self,
         l: usize,
         level_grads: &mut [f32],
         unit_positions: &[Vec3],
         d_out: &[f32],
+    ) {
+        self.scatter_level_observed(l, level_grads, unit_positions, d_out, &mut NullObserver);
+    }
+
+    /// [`HashGrid::scatter_level_scalar`] with every gradient write
+    /// reported to `obs` — the backward counterpart of
+    /// [`HashGrid::encode_level_observed`] (the instrumented co-sim
+    /// backend records the engine's real update stream through this).
+    /// `level_grads` is level `l`'s disjoint slice of the flat gradient
+    /// buffer; per-parameter accumulation runs in point order, so the
+    /// result is bit-identical to every conforming backend.
+    pub fn scatter_level_observed<O: GridAccessObserver + ?Sized>(
+        &self,
+        l: usize,
+        level_grads: &mut [f32],
+        unit_positions: &[Vec3],
+        d_out: &[f32],
+        obs: &mut O,
     ) {
         let f = self.cfg.features_per_entry;
         let w = self.output_dim();
@@ -979,6 +991,7 @@ impl HashGrid {
                 let g0 = d_out[i * w + col];
                 let g1 = d_out[i * w + col + 1];
                 for c in 0..8 {
+                    obs.on_access(AccessPhase::BackProp, l as u32, c as u8, addrs[c]);
                     let wgt = weights[c];
                     let dst = addrs[c] as usize * 2;
                     level_grads[dst] += wgt * g0;
@@ -990,6 +1003,7 @@ impl HashGrid {
                 let (addrs, weights) = self.corners(level, *p);
                 let src = &d_out[i * w + col..i * w + col + f];
                 for c in 0..8 {
+                    obs.on_access(AccessPhase::BackProp, l as u32, c as u8, addrs[c]);
                     let wgt = weights[c];
                     let dst = addrs[c] as usize * f;
                     for (g, s) in level_grads[dst..dst + f].iter_mut().zip(src) {
@@ -1007,7 +1021,7 @@ impl HashGrid {
     /// accumulation itself must stay sequential per parameter to preserve
     /// the scalar kernel's addition order. Bit-identical to
     /// [`HashGrid::scatter_level_scalar`].
-    fn scatter_level_simd(
+    pub(crate) fn scatter_level_simd(
         &self,
         l: usize,
         level_grads: &mut [f32],
@@ -1049,12 +1063,15 @@ impl HashGrid {
         }
     }
 
-    /// [`HashGrid::par_backward_batch`] with an explicit kernel backend;
-    /// per-parameter accumulation stays in point order on every backend,
-    /// so results are bit-identical across backends and worker counts.
+    /// [`HashGrid::par_backward_batch`] with an explicit kernel backend
+    /// (see [`crate::kernels`]); per-parameter accumulation stays in point
+    /// order on every backend, so results are bit-identical across
+    /// backends and worker counts. Backends that request
+    /// [`crate::kernels::Kernels::sequential_grid`] execution get the
+    /// levels one by one, in level order, on the calling thread.
     pub fn par_backward_batch_with(
         &self,
-        backend: KernelBackend,
+        backend: &BackendHandle,
         unit_positions: &[Vec3],
         d_out: &[f32],
         grads: &mut GridGradients,
@@ -1080,16 +1097,15 @@ impl HashGrid {
             level_slices.push((l, head));
             rest = tail;
         }
-        level_slices
-            .into_par_iter()
-            .for_each(|(l, level_grads)| match backend {
-                KernelBackend::Scalar => {
-                    self.scatter_level_scalar(l, level_grads, unit_positions, d_out)
-                }
-                KernelBackend::Simd => {
-                    self.scatter_level_simd(l, level_grads, unit_positions, d_out)
-                }
+        if backend.sequential_grid() {
+            for (l, level_grads) in level_slices {
+                backend.grid_scatter_level(self, l, level_grads, unit_positions, d_out);
+            }
+        } else {
+            level_slices.into_par_iter().for_each(|(l, level_grads)| {
+                backend.grid_scatter_level(self, l, level_grads, unit_positions, d_out);
             });
+        }
         grads.count += unit_positions.len();
     }
 
@@ -1396,10 +1412,10 @@ mod tests {
         let f = g.config().features_per_entry;
         let mut full = vec![0.0f32; points.len() * w];
         g.encode_batch_level_major(&points, &mut full);
-        for backend in KernelBackend::ALL {
+        for backend in crate::kernels::registered() {
             // Sentinel-filled buffer: untouched columns must keep it.
             let mut partial = vec![-7.0f32; points.len() * w];
-            g.par_encode_batch_levels_with(backend, &[1], &points, &mut partial);
+            g.par_encode_batch_levels_with(&backend, &[1], &points, &mut partial);
             for i in 0..points.len() {
                 for l in 0..g.levels().len() {
                     for k in 0..f {
@@ -1414,12 +1430,12 @@ mod tests {
             }
             // Empty level set: nothing written.
             let mut untouched = vec![-3.0f32; points.len() * w];
-            g.par_encode_batch_levels_with(backend, &[], &points, &mut untouched);
+            g.par_encode_batch_levels_with(&backend, &[], &points, &mut untouched);
             assert!(untouched.iter().all(|&v| v == -3.0));
             // All levels: identical to the full encode.
             let all: Vec<usize> = (0..g.levels().len()).collect();
             let mut whole = vec![0.0f32; points.len() * w];
-            g.par_encode_batch_levels_with(backend, &all, &points, &mut whole);
+            g.par_encode_batch_levels_with(&backend, &all, &points, &mut whole);
             assert_eq!(whole, full, "{backend}");
         }
     }

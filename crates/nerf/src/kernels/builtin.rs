@@ -1,0 +1,162 @@
+//! The two built-in numeric backends: the scalar reference kernels and
+//! the lane-batched SIMD kernels.
+
+use super::Kernels;
+use crate::grid::HashGrid;
+use crate::math::Vec3;
+use crate::mlp::{Mlp, MlpBatchWorkspace, MlpGradients};
+use crate::render::{composite_slices, composite_slices_simd, RenderOutput};
+use std::any::Any;
+
+/// The scalar reference backend (`"scalar"`): level-major scalar grid
+/// kernels, the row-major scalar GEMV, scalar compositing. This is the
+/// executable specification — every other backend's bits are pinned
+/// against it by the differential suites.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScalarKernels;
+
+impl Kernels for ScalarKernels {
+    fn name(&self) -> &'static str {
+        "scalar"
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn grid_encode_chunk(&self, grid: &HashGrid, unit_positions: &[Vec3], out: &mut [f32]) {
+        grid.encode_batch_level_major(unit_positions, out);
+    }
+
+    fn grid_encode_levels_chunk(
+        &self,
+        grid: &HashGrid,
+        levels: &[usize],
+        unit_positions: &[Vec3],
+        out: &mut [f32],
+    ) {
+        for &l in levels {
+            grid.encode_level_scalar(l, unit_positions, out);
+        }
+    }
+
+    fn grid_scatter_level(
+        &self,
+        grid: &HashGrid,
+        level: usize,
+        level_grads: &mut [f32],
+        unit_positions: &[Vec3],
+        d_out: &[f32],
+    ) {
+        grid.scatter_level_scalar(level, level_grads, unit_positions, d_out);
+    }
+
+    fn mlp_forward_batch<'w>(
+        &self,
+        mlp: &Mlp,
+        inputs: &[f32],
+        ws: &'w mut MlpBatchWorkspace,
+    ) -> &'w [f32] {
+        mlp.forward_batch_impl(false, inputs, ws)
+    }
+
+    fn mlp_backward_batch(
+        &self,
+        mlp: &Mlp,
+        d_output: &[f32],
+        ws: &mut MlpBatchWorkspace,
+        grads: &mut MlpGradients,
+        d_input: &mut [f32],
+    ) {
+        mlp.backward_batch_impl(false, d_output, ws, grads, d_input);
+    }
+
+    fn composite_ray(
+        &self,
+        t: &[f32],
+        dt: &[f32],
+        sigma: &[f32],
+        rgb: &[Vec3],
+        background: Vec3,
+        cache: Option<(&mut [f32], &mut [f32], &mut [f32])>,
+    ) -> (RenderOutput, usize) {
+        composite_slices(t, dt, sigma, rgb, background, cache)
+    }
+}
+
+/// The lane-batched SIMD backend (`"simd"`, the default): grid
+/// encode/scatter with lane-batched corner weights and addresses, the
+/// transposed-weight row GEMV, lane-batched `−σδ` compositing products.
+/// Bit-identical to [`ScalarKernels`] by the additive-order / no-FMA
+/// contract (see [`crate::simd`] and the [`super`] module docs).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimdKernels;
+
+impl Kernels for SimdKernels {
+    fn name(&self) -> &'static str {
+        "simd"
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn grid_encode_chunk(&self, grid: &HashGrid, unit_positions: &[Vec3], out: &mut [f32]) {
+        grid.encode_batch_simd(unit_positions, out);
+    }
+
+    fn grid_encode_levels_chunk(
+        &self,
+        grid: &HashGrid,
+        levels: &[usize],
+        unit_positions: &[Vec3],
+        out: &mut [f32],
+    ) {
+        for &l in levels {
+            grid.encode_level_simd(l, unit_positions, out);
+        }
+    }
+
+    fn grid_scatter_level(
+        &self,
+        grid: &HashGrid,
+        level: usize,
+        level_grads: &mut [f32],
+        unit_positions: &[Vec3],
+        d_out: &[f32],
+    ) {
+        grid.scatter_level_simd(level, level_grads, unit_positions, d_out);
+    }
+
+    fn mlp_forward_batch<'w>(
+        &self,
+        mlp: &Mlp,
+        inputs: &[f32],
+        ws: &'w mut MlpBatchWorkspace,
+    ) -> &'w [f32] {
+        mlp.forward_batch_impl(true, inputs, ws)
+    }
+
+    fn mlp_backward_batch(
+        &self,
+        mlp: &Mlp,
+        d_output: &[f32],
+        ws: &mut MlpBatchWorkspace,
+        grads: &mut MlpGradients,
+        d_input: &mut [f32],
+    ) {
+        mlp.backward_batch_impl(true, d_output, ws, grads, d_input);
+    }
+
+    fn composite_ray(
+        &self,
+        t: &[f32],
+        dt: &[f32],
+        sigma: &[f32],
+        rgb: &[Vec3],
+        background: Vec3,
+        cache: Option<(&mut [f32], &mut [f32], &mut [f32])>,
+    ) -> (RenderOutput, usize) {
+        composite_slices_simd(t, dt, sigma, rgb, background, cache)
+    }
+}

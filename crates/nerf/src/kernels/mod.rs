@@ -1,0 +1,531 @@
+//! The open kernel-backend API: the [`Kernels`] trait, the process-wide
+//! [`BackendRegistry`], and the built-in backends.
+//!
+//! The batched SoA engine dispatches every hot kernel — grid encode /
+//! level-subset encode, per-level gradient scatter, the MLP batched
+//! forward/backward, and per-ray compositing — through a [`Kernels`] trait
+//! object instead of a closed enum. Three backends ship in-tree:
+//!
+//! * [`ScalarKernels`] (`"scalar"`) — the scalar reference kernels, the
+//!   executable specification every other backend is tested against.
+//! * [`SimdKernels`] (`"simd"`, the default) — lane-batched SIMD kernels
+//!   built on the [`crate::simd`] lane types.
+//! * [`InstrumentedKernels`] (`"instrumented"`) — a co-simulation backend
+//!   that wraps the SIMD kernels and, when recording is switched on,
+//!   captures the hash-grid read/update address streams of real training
+//!   steps for the `instant3d-accel` FRM/BUM cycle simulators — online
+//!   Fig. 12/13-style utilisation measurement with no trace files.
+//!
+//! New backends register at runtime through [`register`]; everything that
+//! names a backend — `TrainConfig::kernel_backend`, the
+//! `INSTANT3D_KERNEL_BACKEND` environment variable, bench IDs,
+//! `WorkloadStats::backend` — resolves through this one registry.
+//!
+//! # The bit-identity contract
+//!
+//! **Registering a backend is a claim that it is bit-identical to
+//! [`ScalarKernels`]** on every kernel, for every batch size and worker
+//! count. Concretely a conforming backend must preserve:
+//!
+//! * **Additive order** — for each output scalar, the sequence of IEEE 754
+//!   additions (per-corner embedding accumulation, per-parameter gradient
+//!   accumulation in point order, the GEMV's `i`-ascending sum, the
+//!   sequential transmittance recurrence) is exactly the scalar kernel's.
+//!   Batching may only group *independent* scalars.
+//! * **No FMA** — every multiply-add is a distinct IEEE multiply followed
+//!   by a distinct IEEE add; a fused multiply-add rounds once instead of
+//!   twice and silently breaks bit-equality.
+//! * **Exact elementwise math** — no approximate reciprocals/rsqrt/vector
+//!   exp; transcendentals stay scalar per element.
+//!
+//! The contract is not on the honor system: the differential and golden
+//! suites (`crates/nerf/tests/simd_differential.rs`,
+//! `crates/nerf/tests/occupancy_differential.rs`,
+//! `crates/core/tests/batched_equivalence.rs`, `tests/batched_equivalence.rs`)
+//! iterate over [`registered`] backends, so a registered backend is pinned
+//! against the scalar reference by the same harness that pins the SIMD
+//! kernels. The CI matrix runs the full suite once per registered name.
+//!
+//! # Selecting a backend
+//!
+//! ```
+//! use instant3d_nerf::kernels;
+//!
+//! // By name, through the registry (panics on unknown names, listing the
+//! // registered ones):
+//! let simd = kernels::resolve("simd");
+//! assert_eq!(simd.name(), "simd");
+//! // The built-ins have direct accessors:
+//! assert_eq!(kernels::scalar().name(), "scalar");
+//! // And the environment override used by the CI matrix:
+//! let backend = kernels::from_env_or_default();
+//! assert!(kernels::names().contains(&backend.name()));
+//! ```
+
+mod builtin;
+mod instrumented;
+
+pub use builtin::{ScalarKernels, SimdKernels};
+pub use instrumented::{InstrumentedKernels, RecordedStreams, StreamSegment};
+
+use crate::grid::HashGrid;
+use crate::math::Vec3;
+use crate::mlp::{Mlp, MlpBatchWorkspace, MlpGradients};
+use crate::render::RenderOutput;
+use std::any::Any;
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// One interchangeable implementation of the batched engine's hot kernels.
+///
+/// Implementations must uphold the bit-identity contract documented at the
+/// [module level](self): every method's numeric results must be
+/// bit-identical to [`ScalarKernels`]'. The easiest way to satisfy it from
+/// outside this crate is to delegate the numerics to a built-in backend
+/// (see [`InstrumentedKernels`], which wraps [`SimdKernels`]); backends
+/// with their own kernels should build on the observed scalar bodies
+/// ([`HashGrid::encode_level_observed`], [`HashGrid::scatter_level_observed`])
+/// or re-derive the scalar operation order exactly.
+///
+/// All methods take `&self` and may run concurrently from multiple rayon
+/// workers (the grid methods are called once per disjoint chunk / level);
+/// backends that need mutable state must synchronise it internally.
+pub trait Kernels: Send + Sync + std::fmt::Debug {
+    /// The registry name — stamped into bench IDs, `WorkloadStats`, and
+    /// panic messages. Lowercase, stable, unique per registered backend.
+    fn name(&self) -> &'static str;
+
+    /// `self` as [`Any`], so callers holding a [`BackendHandle`] can
+    /// downcast to a concrete backend (e.g. to flip
+    /// [`InstrumentedKernels`] recording).
+    fn as_any(&self) -> &dyn Any;
+
+    /// Encodes one chunk of unit-cube points across **all** grid levels
+    /// into the `chunk × output_dim` row-major SoA slice `out`.
+    ///
+    /// Called by [`HashGrid::par_encode_batch_with`] once per disjoint
+    /// chunk (or once for the whole batch when the backend asks for
+    /// [`Kernels::sequential_grid`] execution).
+    fn grid_encode_chunk(&self, grid: &HashGrid, unit_positions: &[Vec3], out: &mut [f32]);
+
+    /// Encodes one chunk for a **subset of levels**, leaving every other
+    /// level's columns of `out` untouched (the occupancy cache's
+    /// dirty-level refresh seam, [`HashGrid::par_encode_batch_levels_with`]).
+    fn grid_encode_levels_chunk(
+        &self,
+        grid: &HashGrid,
+        levels: &[usize],
+        unit_positions: &[Vec3],
+        out: &mut [f32],
+    );
+
+    /// Scatters the embedding gradients of one grid level: `level_grads`
+    /// is that level's disjoint slice of the flat gradient buffer, and
+    /// per-parameter accumulation must run in point order
+    /// ([`HashGrid::par_backward_batch_with`] calls this once per level).
+    fn grid_scatter_level(
+        &self,
+        grid: &HashGrid,
+        level: usize,
+        level_grads: &mut [f32],
+        unit_positions: &[Vec3],
+        d_out: &[f32],
+    );
+
+    /// Batched MLP forward over row-major inputs; returns the output slice
+    /// living inside `ws` (the seam behind [`Mlp::forward_batch_with`]).
+    fn mlp_forward_batch<'w>(
+        &self,
+        mlp: &Mlp,
+        inputs: &[f32],
+        ws: &'w mut MlpBatchWorkspace,
+    ) -> &'w [f32];
+
+    /// Batched MLP backward for the most recent forward on `ws` (the seam
+    /// behind [`Mlp::backward_batch_with`]).
+    fn mlp_backward_batch(
+        &self,
+        mlp: &Mlp,
+        d_output: &[f32],
+        ws: &mut MlpBatchWorkspace,
+        grads: &mut MlpGradients,
+        d_input: &mut [f32],
+    );
+
+    /// Composites one ray's SoA sample slices front-to-back (the seam
+    /// behind [`crate::render::composite_slices_with`]). Returns the
+    /// render output and the integrated (pre-early-termination) sample
+    /// count; cache slices receive per-sample state when provided.
+    fn composite_ray(
+        &self,
+        t: &[f32],
+        dt: &[f32],
+        sigma: &[f32],
+        rgb: &[Vec3],
+        background: Vec3,
+        cache: Option<(&mut [f32], &mut [f32], &mut [f32])>,
+    ) -> (RenderOutput, usize);
+
+    /// When `true`, the grid drivers run this backend sequentially: encode
+    /// as one whole-batch chunk, scatter level by level in level order —
+    /// instead of fanning chunks/levels out on the rayon pool. Recording
+    /// backends return `true` while capturing so the observed address
+    /// stream has a deterministic order; numeric results are identical
+    /// either way (chunking never changes bits).
+    fn sequential_grid(&self) -> bool {
+        false
+    }
+}
+
+/// A shared, cheaply clonable handle to a registered (or ad-hoc) backend.
+///
+/// This is what flows through the engine: `TrainConfig::kernel_backend` →
+/// `NerfModel` → `BatchWorkspace` / `OccupancyWorkspace` all hold a
+/// `BackendHandle` and dispatch through it, instead of matching on an enum
+/// at every call site. Handles compare equal iff their backend names do.
+#[derive(Clone)]
+pub struct BackendHandle(Arc<dyn Kernels>);
+
+impl BackendHandle {
+    /// Wraps a backend implementation in a handle. The handle does **not**
+    /// register the backend — it is directly usable by the engine (a test
+    /// can hand a private mock straight to `TrainConfig`), while
+    /// [`register`] additionally makes it resolvable by name.
+    pub fn new<K: Kernels + 'static>(kernels: K) -> Self {
+        BackendHandle(Arc::new(kernels))
+    }
+
+    /// Wraps an existing shared backend.
+    pub fn from_arc(kernels: Arc<dyn Kernels>) -> Self {
+        BackendHandle(kernels)
+    }
+
+    /// Borrows the underlying trait object.
+    pub fn as_dyn(&self) -> &dyn Kernels {
+        &*self.0
+    }
+
+    /// Downcasts to a concrete backend type (e.g.
+    /// [`InstrumentedKernels`]), if this handle wraps one.
+    pub fn downcast_ref<K: Kernels + 'static>(&self) -> Option<&K> {
+        self.0.as_any().downcast_ref::<K>()
+    }
+}
+
+impl std::ops::Deref for BackendHandle {
+    type Target = dyn Kernels;
+    fn deref(&self) -> &Self::Target {
+        &*self.0
+    }
+}
+
+impl PartialEq for BackendHandle {
+    fn eq(&self, other: &Self) -> bool {
+        self.name() == other.name()
+    }
+}
+
+impl Eq for BackendHandle {}
+
+impl std::hash::Hash for BackendHandle {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.name().hash(state);
+    }
+}
+
+impl std::fmt::Debug for BackendHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BackendHandle({})", self.name())
+    }
+}
+
+impl std::fmt::Display for BackendHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The process-wide backend registry: an append-only, name-keyed list of
+/// [`BackendHandle`]s, pre-seeded with the built-in backends in the order
+/// `scalar`, `simd`, `instrumented`.
+///
+/// The free functions of this module ([`register`], [`get`], [`resolve`],
+/// [`registered`], [`names`], [`from_env`]) are the public face; the
+/// struct exists so the seeding happens exactly once.
+struct BackendRegistry {
+    backends: RwLock<Vec<BackendHandle>>,
+}
+
+impl BackendRegistry {
+    fn global() -> &'static BackendRegistry {
+        static REGISTRY: OnceLock<BackendRegistry> = OnceLock::new();
+        REGISTRY.get_or_init(|| BackendRegistry {
+            backends: RwLock::new(vec![
+                BackendHandle::new(ScalarKernels),
+                BackendHandle::new(SimdKernels),
+                BackendHandle::new(InstrumentedKernels::new()),
+            ]),
+        })
+    }
+}
+
+/// Registers a backend, making it resolvable by [`get`]/[`resolve`] (and
+/// therefore selectable via `INSTANT3D_KERNEL_BACKEND` and picked up by
+/// the test suites and benches that iterate [`registered`]).
+///
+/// Registration is an API-level promise that the backend upholds the
+/// [bit-identity contract](self#the-bit-identity-contract); the
+/// differential suites will hold it to that.
+///
+/// # Errors
+///
+/// Returns `Err` when a backend with the same name is already registered
+/// (names are matched case-insensitively).
+pub fn register<K: Kernels + 'static>(kernels: K) -> Result<BackendHandle, String> {
+    let handle = BackendHandle::new(kernels);
+    let mut backends = BackendRegistry::global().backends.write().unwrap();
+    if let Some(existing) = backends
+        .iter()
+        .find(|b| b.name().eq_ignore_ascii_case(handle.name()))
+    {
+        return Err(format!(
+            "kernel backend {:?} is already registered",
+            existing.name()
+        ));
+    }
+    backends.push(handle.clone());
+    Ok(handle)
+}
+
+/// Looks a backend up by name (case-insensitive, surrounding whitespace
+/// ignored).
+pub fn get(name: &str) -> Option<BackendHandle> {
+    let wanted = name.trim();
+    BackendRegistry::global()
+        .backends
+        .read()
+        .unwrap()
+        .iter()
+        .find(|b| b.name().eq_ignore_ascii_case(wanted))
+        .cloned()
+}
+
+/// Resolves a backend by name.
+///
+/// # Panics
+///
+/// Panics on unknown names, listing every registered backend — a typo in
+/// a config or CI matrix entry must fail loudly instead of silently
+/// running the default backend.
+pub fn resolve(name: &str) -> BackendHandle {
+    get(name).unwrap_or_else(|| {
+        panic!(
+            "unknown kernel backend {:?}; registered backends: {}",
+            name.trim(),
+            quoted_names()
+        )
+    })
+}
+
+/// All registered backends, in registration order (built-ins first).
+pub fn registered() -> Vec<BackendHandle> {
+    BackendRegistry::global().backends.read().unwrap().clone()
+}
+
+/// The registered backend names, in registration order.
+pub fn names() -> Vec<&'static str> {
+    BackendRegistry::global()
+        .backends
+        .read()
+        .unwrap()
+        .iter()
+        .map(|b| b.name())
+        .collect()
+}
+
+fn quoted_names() -> String {
+    names()
+        .iter()
+        .map(|n| format!("{n:?}"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// The scalar reference backend (always registered).
+pub fn scalar() -> BackendHandle {
+    get("scalar").expect("built-in scalar backend")
+}
+
+/// The lane-batched SIMD backend (always registered).
+pub fn simd() -> BackendHandle {
+    get("simd").expect("built-in simd backend")
+}
+
+/// The shared instrumented co-sim backend instance (always registered).
+///
+/// Note this is one process-wide instance: concurrent recorders would
+/// interleave streams. Co-sim sessions that need isolation should wrap a
+/// fresh [`InstrumentedKernels`] in a [`BackendHandle`] instead.
+pub fn instrumented() -> BackendHandle {
+    get("instrumented").expect("built-in instrumented backend")
+}
+
+/// The engine's default backend (`simd`).
+pub fn default_backend() -> BackendHandle {
+    simd()
+}
+
+/// The backend requested by `INSTANT3D_KERNEL_BACKEND`, if the variable is
+/// set — the hook the CI matrix uses to force every registered backend
+/// through the full suite.
+///
+/// # Panics
+///
+/// Panics when the variable names an unregistered backend (see
+/// [`resolve`]).
+pub fn from_env() -> Option<BackendHandle> {
+    from_env_value(std::env::var("INSTANT3D_KERNEL_BACKEND").ok().as_deref())
+}
+
+/// [`from_env`]'s env-independent core, split out so the unknown-name
+/// panic is testable without mutating process-global environment state.
+/// The lookup is a plain registry resolution — no hand-rolled name
+/// matching.
+pub fn from_env_value(value: Option<&str>) -> Option<BackendHandle> {
+    let v = value?;
+    match get(v) {
+        Some(handle) => Some(handle),
+        None => panic!(
+            "invalid INSTANT3D_KERNEL_BACKEND value {:?}; registered backends: {}",
+            v.trim(),
+            quoted_names()
+        ),
+    }
+}
+
+/// The env-var backend if set, otherwise [`default_backend`].
+pub fn from_env_or_default() -> BackendHandle {
+    from_env().unwrap_or_else(default_backend)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtins_are_registered_in_order() {
+        let names = names();
+        assert_eq!(&names[..3], &["scalar", "simd", "instrumented"]);
+        assert_eq!(registered()[..3].len(), 3);
+        assert_eq!(default_backend().name(), "simd");
+    }
+
+    #[test]
+    fn lookup_is_case_and_whitespace_insensitive() {
+        assert_eq!(get(" SIMD ").unwrap().name(), "simd");
+        assert_eq!(resolve("Scalar").name(), "scalar");
+        assert!(get("avx512").is_none());
+    }
+
+    #[test]
+    fn handles_compare_and_print_by_name() {
+        assert_eq!(scalar(), scalar());
+        assert_ne!(scalar(), simd());
+        assert_eq!(simd().to_string(), "simd");
+        assert_eq!(format!("{:?}", scalar()), "BackendHandle(scalar)");
+    }
+
+    #[test]
+    fn env_accepts_valid_and_unset_values() {
+        assert!(from_env_value(None).is_none());
+        assert_eq!(from_env_value(Some("scalar")).unwrap().name(), "scalar");
+        assert_eq!(from_env_value(Some(" Simd ")).unwrap().name(), "simd");
+        assert_eq!(
+            from_env_value(Some("instrumented")).unwrap().name(),
+            "instrumented"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid INSTANT3D_KERNEL_BACKEND value \"smid\"")]
+    fn env_rejects_typos_loudly() {
+        // A misspelled CI matrix entry must fail the run, not silently
+        // re-test the default backend.
+        let _ = from_env_value(Some("smid"));
+    }
+
+    #[test]
+    #[should_panic(expected = "registered backends: \"scalar\", \"simd\", \"instrumented\"")]
+    fn resolve_panic_lists_registered_names() {
+        let _ = resolve("no-such-backend");
+    }
+
+    #[test]
+    fn duplicate_registration_is_rejected() {
+        // The built-in name is taken, whatever the casing.
+        #[derive(Debug)]
+        struct Impostor;
+        impl Kernels for Impostor {
+            fn name(&self) -> &'static str {
+                "SCALAR"
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+            fn grid_encode_chunk(&self, _: &HashGrid, _: &[Vec3], _: &mut [f32]) {}
+            fn grid_encode_levels_chunk(
+                &self,
+                _: &HashGrid,
+                _: &[usize],
+                _: &[Vec3],
+                _: &mut [f32],
+            ) {
+            }
+            fn grid_scatter_level(
+                &self,
+                _: &HashGrid,
+                _: usize,
+                _: &mut [f32],
+                _: &[Vec3],
+                _: &[f32],
+            ) {
+            }
+            fn mlp_forward_batch<'w>(
+                &self,
+                _: &Mlp,
+                _: &[f32],
+                _: &'w mut MlpBatchWorkspace,
+            ) -> &'w [f32] {
+                &[]
+            }
+            fn mlp_backward_batch(
+                &self,
+                _: &Mlp,
+                _: &[f32],
+                _: &mut MlpBatchWorkspace,
+                _: &mut MlpGradients,
+                _: &mut [f32],
+            ) {
+            }
+            fn composite_ray(
+                &self,
+                _: &[f32],
+                _: &[f32],
+                _: &[f32],
+                _: &[Vec3],
+                _: Vec3,
+                _: Option<(&mut [f32], &mut [f32], &mut [f32])>,
+            ) -> (RenderOutput, usize) {
+                (RenderOutput::default(), 0)
+            }
+        }
+        assert!(register(Impostor).is_err());
+    }
+
+    #[test]
+    fn downcast_reaches_the_instrumented_backend() {
+        let handle = instrumented();
+        assert!(handle.downcast_ref::<InstrumentedKernels>().is_some());
+        assert!(handle.downcast_ref::<ScalarKernels>().is_none());
+        assert!(!handle.sequential_grid(), "recording starts off");
+    }
+}

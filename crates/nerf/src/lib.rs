@@ -16,10 +16,21 @@
 //!   `backward_batch_into`, `par_backward_batch`) process whole point
 //!   batches — level-major for cache locality, level-parallel for the
 //!   scatter — with bit-identical results to the scalar kernels.
-//! * [`simd`] — portable fixed-width SIMD lane types and the
-//!   [`KernelBackend`] switch; SIMD kernels are additive-order-preserving
-//!   and FMA-free, so every backend is bit-identical to the scalar
-//!   reference (pinned by `tests/simd_differential.rs`).
+//! * [`kernels`] — the **open kernel-backend API**: the [`Kernels`] trait
+//!   the batched engine dispatches through (grid encode / level-subset
+//!   encode, per-level scatter, MLP forward/backward, compositing), the
+//!   process-wide name registry powering `TrainConfig`, the
+//!   `INSTANT3D_KERNEL_BACKEND` env override, bench IDs and workload
+//!   stats, and three in-tree backends: the scalar reference
+//!   ([`kernels::ScalarKernels`]), the lane-batched SIMD default
+//!   ([`kernels::SimdKernels`]) and an instrumented co-simulation backend
+//!   ([`kernels::InstrumentedKernels`]) that records live training
+//!   address streams for the `instant3d-accel` FRM/BUM simulators.
+//!   Registering a backend claims the **bit-identity contract**
+//!   (additive-order-preserving, FMA-free — see the module docs); the
+//!   differential suites iterate over every registered backend to pin it.
+//! * [`simd`] — portable fixed-width SIMD lane types the SIMD backend's
+//!   kernels are built on.
 //! * [`sh`] — spherical-harmonics direction encoding for the color head.
 //! * [`mlp`] — small fully-connected networks with hand-derived backprop
 //!   (Step ③-②); `forward_batch` / `backward_batch` run whole batches
@@ -54,6 +65,7 @@ pub mod fp16;
 pub mod grid;
 pub mod hash;
 pub mod image;
+pub mod kernels;
 pub mod math;
 pub mod metrics;
 pub mod mlp;
@@ -68,5 +80,5 @@ pub use camera::Camera;
 pub use field::RadianceField;
 pub use grid::{HashGrid, HashGridConfig};
 pub use image::{DepthImage, RgbImage};
+pub use kernels::{BackendHandle, Kernels};
 pub use math::{Aabb, Ray, Vec3};
-pub use simd::KernelBackend;

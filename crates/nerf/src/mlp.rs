@@ -9,7 +9,8 @@
 //! (`instant3d-accel::mlp_unit`).
 
 use crate::activation::Activation;
-use crate::simd::{self, F32x8, KernelBackend};
+use crate::kernels::BackendHandle;
+use crate::simd::{self, F32x8};
 use rand::Rng;
 use rayon::prelude::*;
 
@@ -487,17 +488,28 @@ impl Mlp {
     ///
     /// Panics if `inputs.len()` is not a multiple of `self.in_dim()`.
     pub fn forward_batch<'w>(&self, inputs: &[f32], ws: &'w mut MlpBatchWorkspace) -> &'w [f32] {
-        self.forward_batch_with(KernelBackend::Scalar, inputs, ws)
+        self.forward_batch_impl(false, inputs, ws)
     }
 
-    /// [`Mlp::forward_batch`] with an explicit kernel backend. The SIMD
-    /// backend runs the lane-batched row GEMV over per-layer transposed
-    /// weights (rebuilt each call — weights change between optimizer
-    /// steps); outputs are bit-identical to the scalar backend for any
-    /// batch size and worker count.
+    /// [`Mlp::forward_batch`] with an explicit kernel backend
+    /// ([`crate::kernels`]); outputs are bit-identical to the scalar
+    /// backend for any batch size and worker count.
     pub fn forward_batch_with<'w>(
         &self,
-        backend: KernelBackend,
+        backend: &BackendHandle,
+        inputs: &[f32],
+        ws: &'w mut MlpBatchWorkspace,
+    ) -> &'w [f32] {
+        backend.mlp_forward_batch(self, inputs, ws)
+    }
+
+    /// The shared body of the built-in backends' batched forward. The SIMD
+    /// path (`use_simd`) runs the lane-batched row GEMV over per-layer
+    /// transposed weights (rebuilt each call — weights change between
+    /// optimizer steps).
+    pub(crate) fn forward_batch_impl<'w>(
+        &self,
+        use_simd: bool,
         inputs: &[f32],
         ws: &'w mut MlpBatchWorkspace,
     ) -> &'w [f32] {
@@ -509,7 +521,7 @@ impl Mlp {
         ws.acts[0][..n * iw].copy_from_slice(inputs);
         for (i, layer) in self.layers.iter().enumerate() {
             let spec = layer.spec;
-            if backend == KernelBackend::Simd {
+            if use_simd {
                 layer.fill_transposed(&mut ws.wt[i]);
             }
             let wt: &[f32] = &ws.wt[i];
@@ -523,9 +535,10 @@ impl Mlp {
                     let xr = &xc[r * spec.in_dim..(r + 1) * spec.in_dim];
                     let prer = &mut prec[r * spec.out_dim..(r + 1) * spec.out_dim];
                     let yr = &mut yc[r * spec.out_dim..(r + 1) * spec.out_dim];
-                    match backend {
-                        KernelBackend::Scalar => layer.forward_into(xr, prer, yr),
-                        KernelBackend::Simd => layer.forward_into_simd(wt, xr, prer, yr),
+                    if use_simd {
+                        layer.forward_into_simd(wt, xr, prer, yr);
+                    } else {
+                        layer.forward_into(xr, prer, yr);
                     }
                 }
             };
@@ -563,18 +576,31 @@ impl Mlp {
         grads: &mut MlpGradients,
         d_input: &mut [f32],
     ) {
-        self.backward_batch_with(KernelBackend::Scalar, d_output, ws, grads, d_input);
+        self.backward_batch_impl(false, d_output, ws, grads, d_input);
     }
 
-    /// [`Mlp::backward_batch`] with an explicit kernel backend. The SIMD
-    /// backend vectorizes the parameter-gradient and input-gradient inner
-    /// sweeps ([`simd::axpy`]) across independent parameters; accumulation
-    /// per parameter stays in item order, so gradients are bit-identical
-    /// to the scalar backend (and to `n` scalar [`Mlp::backward`] calls)
-    /// for any worker count.
+    /// [`Mlp::backward_batch`] with an explicit kernel backend
+    /// ([`crate::kernels`]); gradients are bit-identical to the scalar
+    /// backend (and to `n` scalar [`Mlp::backward`] calls) for any worker
+    /// count.
     pub fn backward_batch_with(
         &self,
-        backend: KernelBackend,
+        backend: &BackendHandle,
+        d_output: &[f32],
+        ws: &mut MlpBatchWorkspace,
+        grads: &mut MlpGradients,
+        d_input: &mut [f32],
+    ) {
+        backend.mlp_backward_batch(self, d_output, ws, grads, d_input);
+    }
+
+    /// The shared body of the built-in backends' batched backward. The
+    /// SIMD path (`use_simd`) vectorizes the parameter-gradient and
+    /// input-gradient inner sweeps ([`simd::axpy`]) across independent
+    /// parameters; accumulation per parameter stays in item order.
+    pub(crate) fn backward_batch_impl(
+        &self,
+        use_simd: bool,
         d_output: &[f32],
         ws: &mut MlpBatchWorkspace,
         grads: &mut MlpGradients,
@@ -642,7 +668,7 @@ impl Mlp {
                         let d = dzr[o0 + j];
                         gb_rows[j] += d;
                         let grow = &mut gw_rows[j * iw..(j + 1) * iw];
-                        simd::axpy(backend, grow, d, xr);
+                        simd::axpy(use_simd, grow, d, xr);
                     }
                 }
             };
@@ -679,7 +705,7 @@ impl Mlp {
                                 for o in 0..ow {
                                     let d = dzc[r * ow + o];
                                     let wr = &w_flat[o * iw..(o + 1) * iw];
-                                    simd::axpy(backend, dn, d, wr);
+                                    simd::axpy(use_simd, dn, d, wr);
                                 }
                             }
                         });
@@ -691,7 +717,7 @@ impl Mlp {
                         for o in 0..ow {
                             let d = dz[r * ow + o];
                             let wr = &w_flat[o * iw..(o + 1) * iw];
-                            simd::axpy(backend, dn, d, wr);
+                            simd::axpy(use_simd, dn, d, wr);
                         }
                     }
                 }

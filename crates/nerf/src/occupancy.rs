@@ -15,7 +15,8 @@
 //! * **Batched refresh** — [`OccupancyWorkspace::refresh`] probes cell
 //!   densities through the same SoA kernel seams the trainer uses
 //!   (`HashGrid::par_encode_batch_levels_with` + `Mlp::forward_batch_with`),
-//!   dispatched per [`KernelBackend`] and bit-identical to evaluating the
+//!   dispatched on the workspace's kernel backend ([`crate::kernels`])
+//!   and bit-identical to evaluating the
 //!   closure paths ([`OccupancyGrid::update_from_fn`] /
 //!   [`OccupancyGrid::update_ema`]) cell by cell.
 //! * **Amortisation** — the workspace keeps a persistent cell→embedding
@@ -30,9 +31,9 @@
 //! backends and worker counts (`crates/nerf/tests/occupancy_differential.rs`).
 
 use crate::grid::HashGrid;
+use crate::kernels::BackendHandle;
 use crate::math::{Aabb, Vec3};
 use crate::mlp::{Mlp, MlpBatchWorkspace};
-use crate::simd::KernelBackend;
 
 /// Spreads the low 21 bits of `v`, inserting two zero bits between
 /// consecutive bits (the "part 1 by 2" step of 3D Morton encoding).
@@ -371,13 +372,16 @@ struct ShapeKey {
 ///
 /// All refresh work runs through the batched kernel seams
 /// ([`HashGrid::par_encode_batch_levels_with`],
-/// [`Mlp::forward_batch_with`]), so results are bit-identical to the
-/// closure reference paths for every [`KernelBackend`] and rayon worker
+/// [`Mlp::forward_batch_with`]), dispatched on the [`BackendHandle`] the
+/// workspace was created with, so results are bit-identical to the
+/// closure reference paths for every registered backend and rayon worker
 /// count.
 #[derive(Debug)]
 pub struct OccupancyWorkspace {
     /// EMA decay per probed refresh of a cell ([`RefreshMode::DecayedEma`]).
     pub decay: f32,
+    /// The kernel backend every refresh dispatches to.
+    backend: BackendHandle,
     shape: Option<ShapeKey>,
     /// Unit-cube probe position (in the *model grid's* frame) per cell,
     /// linear order.
@@ -399,16 +403,19 @@ pub struct OccupancyWorkspace {
 }
 
 impl Default for OccupancyWorkspace {
+    /// An empty workspace on the engine's default backend.
     fn default() -> Self {
-        Self::new()
+        Self::new(crate::kernels::default_backend())
     }
 }
 
 impl OccupancyWorkspace {
-    /// An empty workspace; buffers are shaped on the first refresh.
-    pub fn new() -> Self {
+    /// An empty workspace dispatching to `backend`; buffers are shaped on
+    /// the first refresh.
+    pub fn new(backend: BackendHandle) -> Self {
         OccupancyWorkspace {
             decay: 0.95,
+            backend,
             shape: None,
             unit_centers: Vec::new(),
             emb: Vec::new(),
@@ -426,6 +433,11 @@ impl OccupancyWorkspace {
     /// never probed under [`RefreshMode::DecayedEma`]).
     pub fn ema(&self) -> &[f32] {
         &self.ema
+    }
+
+    /// The kernel backend refreshes dispatch to.
+    pub fn backend(&self) -> &BackendHandle {
+        &self.backend
     }
 
     /// Drops every cached embedding (all levels of all subsets re-encode
@@ -495,11 +507,10 @@ impl OccupancyWorkspace {
     }
 
     /// One batched occupancy refresh: probes the density of this round's
-    /// cell subset through the SoA kernel seams and rewrites those cells'
-    /// bits according to `mode`.
+    /// cell subset through the SoA kernel seams (on the workspace's
+    /// backend — bits are identical for every backend and worker count)
+    /// and rewrites those cells' bits according to `mode`.
     ///
-    /// * `backend` — which kernels run; the resulting bits are identical
-    ///   for every backend and worker count.
     /// * `model_aabb` — the volume the hash grid covers (world probe
     ///   positions are mapped through it, exactly like the trainer's
     ///   per-point `density_at`).
@@ -523,12 +534,12 @@ impl OccupancyWorkspace {
         occ: &mut OccupancyGrid,
         grid: &HashGrid,
         sigma_mlp: &Mlp,
-        backend: KernelBackend,
         model_aabb: Aabb,
         threshold: f32,
         mode: RefreshMode,
         subset: u32,
     ) -> OccupancyRefreshStats {
+        let backend = self.backend.clone();
         assert!(subset >= 1, "subset stride must be at least 1");
         assert_eq!(
             sigma_mlp.in_dim(),
@@ -555,11 +566,11 @@ impl OccupancyWorkspace {
         if k == 1 {
             // Full refresh: encode dirty levels straight into the cache,
             // forward the whole cache, rewrite every bit.
-            grid.par_encode_batch_levels_with(backend, &dirty, &this.unit_centers, &mut this.emb);
+            grid.par_encode_batch_levels_with(&backend, &dirty, &this.unit_centers, &mut this.emb);
             for &l in &dirty {
                 this.cached_versions[l] = versions[l];
             }
-            let densities = sigma_mlp.forward_batch_with(backend, &this.emb, mlp_ws);
+            let densities = sigma_mlp.forward_batch_with(&backend, &this.emb, mlp_ws);
             let r = occ.resolution;
             let mut i = 0usize;
             for cz in 0..r {
@@ -592,7 +603,7 @@ impl OccupancyWorkspace {
                 this.subset_emb[j * w..(j + 1) * w].copy_from_slice(&this.emb[i * w..(i + 1) * w]);
             }
             grid.par_encode_batch_levels_with(
-                backend,
+                &backend,
                 &dirty,
                 &this.subset_pts,
                 &mut this.subset_emb,
@@ -610,7 +621,7 @@ impl OccupancyWorkspace {
                     this.cached_versions[l * k + phase] = versions[l];
                 }
             }
-            let densities = sigma_mlp.forward_batch_with(backend, &this.subset_emb, mlp_ws);
+            let densities = sigma_mlp.forward_batch_with(&backend, &this.subset_emb, mlp_ws);
             for (j, &i) in this.subset_cells.iter().enumerate() {
                 let i = i as usize;
                 if let Some(bit) =
@@ -788,12 +799,11 @@ mod tests {
             &mut rng,
         );
         let mut occ = OccupancyGrid::new(Aabb::UNIT, 3);
-        let mut ws = OccupancyWorkspace::new();
+        let mut ws = OccupancyWorkspace::new(crate::kernels::scalar());
         ws.refresh(
             &mut occ,
             &grid,
             &mlp,
-            KernelBackend::Scalar,
             Aabb::UNIT,
             0.5,
             RefreshMode::DecayedEma,
@@ -822,7 +832,6 @@ mod tests {
             &mut occ,
             &grid,
             &mlp,
-            KernelBackend::Scalar,
             Aabb::UNIT,
             0.5,
             RefreshMode::DecayedEma,

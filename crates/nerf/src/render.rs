@@ -18,8 +18,9 @@
 //! S_k     = Σ_{j>k} w_j c_j + T_end · bg    (suffix color)
 //! ```
 
+use crate::kernels::BackendHandle;
 use crate::math::Vec3;
-use crate::simd::{F32x8, KernelBackend};
+use crate::simd::F32x8;
 
 /// One integration sample along a ray: position parameters and the queried
 /// features (density σ and color c) from Step ③.
@@ -346,15 +347,29 @@ pub fn composite_slices(
     acc.finish(background)
 }
 
-/// [`composite_slices`] with an explicit kernel backend.
-///
-/// The SIMD backend precomputes the per-sample `(−σ·δ)` products in lanes
-/// of 8 (the `exp` stays scalar per lane — vector exp approximations would
-/// break bit-equality) and keeps the transmittance recurrence, cache
-/// writes and early termination sequential, so outputs, cache contents and
-/// the integrated sample count are bit-identical to the scalar kernel.
+/// [`composite_slices`] with an explicit kernel backend
+/// ([`crate::kernels`]): dispatches to the backend's
+/// [`crate::kernels::Kernels::composite_ray`]. Outputs, cache contents and
+/// the integrated sample count are bit-identical across backends.
 pub fn composite_slices_with(
-    backend: KernelBackend,
+    backend: &BackendHandle,
+    t: &[f32],
+    dt: &[f32],
+    sigma: &[f32],
+    rgb: &[Vec3],
+    background: Vec3,
+    cache: Option<(&mut [f32], &mut [f32], &mut [f32])>,
+) -> (RenderOutput, usize) {
+    backend.composite_ray(t, dt, sigma, rgb, background, cache)
+}
+
+/// The SIMD compositing kernel: precomputes the per-sample `(−σ·δ)`
+/// products in lanes of 8 (the `exp` stays scalar per lane — vector exp
+/// approximations would break bit-equality) and keeps the transmittance
+/// recurrence, cache writes and early termination sequential, so outputs,
+/// cache contents and the integrated sample count are bit-identical to
+/// [`composite_slices`].
+pub fn composite_slices_simd(
     t: &[f32],
     dt: &[f32],
     sigma: &[f32],
@@ -363,9 +378,6 @@ pub fn composite_slices_with(
     mut cache: Option<(&mut [f32], &mut [f32], &mut [f32])>,
 ) -> (RenderOutput, usize) {
     const LANES: usize = F32x8::LANES;
-    if backend == KernelBackend::Scalar {
-        return composite_slices(t, dt, sigma, rgb, background, cache);
-    }
     let n = t.len();
     let mut acc = CompositeAccum::new();
     let mut oma = [0.0f32; LANES];

@@ -1,11 +1,11 @@
-//! Portable fixed-width SIMD lane types and the kernel-backend switch.
+//! Portable fixed-width SIMD lane types.
 //!
 //! The hot kernels of this crate — hash-grid encode/scatter
 //! ([`crate::grid`]), the 64-wide MLP GEMV ([`crate::mlp`]) and per-ray
-//! compositing ([`crate::render`]) — exist in two interchangeable
-//! implementations selected by [`KernelBackend`]: the scalar reference
-//! kernels, and lane-batched SIMD kernels built on the [`F32x4`]/[`F32x8`]
-//! types below.
+//! compositing ([`crate::render`]) — exist in interchangeable
+//! implementations dispatched through the open backend API
+//! ([`crate::kernels`]): the scalar reference kernels, and lane-batched
+//! SIMD kernels built on the [`F32x4`]/[`F32x8`] types below.
 //!
 //! # The additive-order / no-FMA contract
 //!
@@ -31,7 +31,9 @@
 //! These properties are pinned by the differential suite
 //! (`crates/nerf/tests/simd_differential.rs`) which asserts bit-equality
 //! of every kernel against its scalar reference over remainder tails,
-//! empty batches and adversarial fp16 table contents.
+//! empty batches and adversarial fp16 table contents — and which runs
+//! generically over every backend registered in [`crate::kernels`], so a
+//! registered third-party backend is held to the same contract.
 //!
 //! # Implementation notes
 //!
@@ -43,79 +45,6 @@
 //! per-lane IEEE operations, so the contract above is preserved);
 //! [`F32x8`] is two `F32x4` halves. Every other architecture uses the
 //! autovectorized array fallback, which is always compiled and tested.
-
-/// Which kernel implementation the batched engine runs.
-///
-/// Threaded from `TrainConfig` through the model into every batch
-/// workspace, and reported in `WorkloadStats`. Overridable at process
-/// level with the `INSTANT3D_KERNEL_BACKEND` environment variable
-/// (`scalar` or `simd`), which is how the CI matrix forces both backends.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
-pub enum KernelBackend {
-    /// The scalar reference kernels (the executable specification).
-    Scalar,
-    /// Lane-batched SIMD kernels — bit-identical to [`KernelBackend::Scalar`]
-    /// by the additive-order/no-FMA contract (see module docs).
-    #[default]
-    Simd,
-}
-
-impl KernelBackend {
-    /// All backends, for test/bench matrices.
-    pub const ALL: [KernelBackend; 2] = [KernelBackend::Scalar, KernelBackend::Simd];
-
-    /// Short lowercase name (used in bench IDs and env parsing).
-    pub fn name(self) -> &'static str {
-        match self {
-            KernelBackend::Scalar => "scalar",
-            KernelBackend::Simd => "simd",
-        }
-    }
-
-    /// Parses a backend name (case-insensitive).
-    pub fn parse(s: &str) -> Option<KernelBackend> {
-        match s.trim().to_ascii_lowercase().as_str() {
-            "scalar" => Some(KernelBackend::Scalar),
-            "simd" => Some(KernelBackend::Simd),
-            _ => None,
-        }
-    }
-
-    /// The backend requested by `INSTANT3D_KERNEL_BACKEND`, if set.
-    ///
-    /// # Panics
-    ///
-    /// Panics when the variable is set to an unrecognised name: a typo in
-    /// a CI matrix entry must fail loudly instead of silently re-testing
-    /// the default backend.
-    pub fn from_env() -> Option<KernelBackend> {
-        Self::from_env_value(std::env::var("INSTANT3D_KERNEL_BACKEND").ok().as_deref())
-    }
-
-    /// [`KernelBackend::from_env`]'s env-independent core, split out so
-    /// the invalid-value panic is testable without mutating process-global
-    /// environment state.
-    fn from_env_value(value: Option<&str>) -> Option<KernelBackend> {
-        let v = value?;
-        match KernelBackend::parse(v) {
-            Some(backend) => Some(backend),
-            None => panic!(
-                "invalid INSTANT3D_KERNEL_BACKEND value {v:?}; accepted names: \"scalar\", \"simd\""
-            ),
-        }
-    }
-
-    /// The env-var backend if set, otherwise `default`.
-    pub fn from_env_or(default: KernelBackend) -> KernelBackend {
-        KernelBackend::from_env().unwrap_or(default)
-    }
-}
-
-impl std::fmt::Display for KernelBackend {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(self.name())
-    }
-}
 
 /// Four `f32` lanes, 16-byte aligned.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -284,9 +213,10 @@ f32x8_binop!(Add, add, +);
 f32x8_binop!(Sub, sub, -);
 f32x8_binop!(Mul, mul, *);
 
-/// `y[i] += a * x[i]`, elementwise, on the selected backend.
+/// `y[i] += a * x[i]`, elementwise; `use_simd` selects the lane-batched
+/// sweep.
 ///
-/// Each `y[i]` receives exactly one add of one product on either backend,
+/// Each `y[i]` receives exactly one add of one product on either path,
 /// so results are bit-identical — this is the vectorizable inner loop of
 /// the MLP parameter-gradient and input-gradient sweeps.
 ///
@@ -294,26 +224,23 @@ f32x8_binop!(Mul, mul, *);
 ///
 /// Panics if `x` is shorter than `y`.
 #[inline]
-pub fn axpy(backend: KernelBackend, y: &mut [f32], a: f32, x: &[f32]) {
-    match backend {
-        KernelBackend::Scalar => {
-            for (yi, xi) in y.iter_mut().zip(x) {
-                *yi += a * xi;
-            }
+pub fn axpy(use_simd: bool, y: &mut [f32], a: f32, x: &[f32]) {
+    if use_simd {
+        let n = y.len();
+        let full = n - n % F32x8::LANES;
+        let av = F32x8::splat(a);
+        let mut i = 0;
+        while i < full {
+            let r = F32x8::from_slice(&y[i..]) + av * F32x8::from_slice(&x[i..]);
+            r.write_to(&mut y[i..]);
+            i += F32x8::LANES;
         }
-        KernelBackend::Simd => {
-            let n = y.len();
-            let full = n - n % F32x8::LANES;
-            let av = F32x8::splat(a);
-            let mut i = 0;
-            while i < full {
-                let r = F32x8::from_slice(&y[i..]) + av * F32x8::from_slice(&x[i..]);
-                r.write_to(&mut y[i..]);
-                i += F32x8::LANES;
-            }
-            for (yi, xi) in y[full..].iter_mut().zip(&x[full..]) {
-                *yi += a * xi;
-            }
+        for (yi, xi) in y[full..].iter_mut().zip(&x[full..]) {
+            *yi += a * xi;
+        }
+    } else {
+        for (yi, xi) in y.iter_mut().zip(x) {
+            *yi += a * xi;
         }
     }
 }
@@ -323,33 +250,15 @@ mod tests {
     use super::*;
 
     #[test]
-    fn backend_parse_and_display() {
-        assert_eq!(KernelBackend::parse("scalar"), Some(KernelBackend::Scalar));
-        assert_eq!(KernelBackend::parse(" SIMD "), Some(KernelBackend::Simd));
-        assert_eq!(KernelBackend::parse("avx512"), None);
-        assert_eq!(KernelBackend::Simd.to_string(), "simd");
-        assert_eq!(KernelBackend::ALL.len(), 2);
-    }
-
-    #[test]
-    fn backend_env_accepts_valid_and_unset_values() {
-        assert_eq!(KernelBackend::from_env_value(None), None);
-        assert_eq!(
-            KernelBackend::from_env_value(Some("scalar")),
-            Some(KernelBackend::Scalar)
-        );
-        assert_eq!(
-            KernelBackend::from_env_value(Some(" Simd ")),
-            Some(KernelBackend::Simd)
-        );
-    }
-
-    #[test]
-    #[should_panic(expected = "invalid INSTANT3D_KERNEL_BACKEND value \"smid\"")]
-    fn backend_env_rejects_typos_loudly() {
-        // A misspelled CI matrix entry must fail the run, not silently
-        // re-test the default backend.
-        let _ = KernelBackend::from_env_value(Some("smid"));
+    fn axpy_paths_are_bit_identical() {
+        let x: Vec<f32> = (0..19).map(|i| 0.1 + i as f32 * 0.37).collect();
+        let mut ya: Vec<f32> = (0..19).map(|i| -0.5 + i as f32 * 0.11).collect();
+        let mut yb = ya.clone();
+        axpy(false, &mut ya, -0.625, &x);
+        axpy(true, &mut yb, -0.625, &x);
+        for (a, b) in ya.iter().zip(&yb) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

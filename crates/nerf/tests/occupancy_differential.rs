@@ -13,10 +13,10 @@
 use instant3d_nerf::activation::Activation;
 use instant3d_nerf::adam::{Adam, AdamConfig};
 use instant3d_nerf::grid::{HashGrid, HashGridConfig, NullObserver};
+use instant3d_nerf::kernels::{self, BackendHandle};
 use instant3d_nerf::math::{Aabb, Vec3};
 use instant3d_nerf::mlp::{Mlp, MlpConfig};
 use instant3d_nerf::occupancy::{OccupancyGrid, OccupancyWorkspace, RefreshMode};
-use instant3d_nerf::simd::KernelBackend;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -80,7 +80,7 @@ fn batched_threshold_refresh_bit_matches_closure_across_backends_and_workers() {
     for resolution in [1u32, 2, 17] {
         let mut reference = OccupancyGrid::new(aabb, resolution);
         closure_refresh(&mut reference, &g, &mlp, aabb, THRESHOLD, false);
-        for backend in KernelBackend::ALL {
+        for backend in kernels::registered() {
             for workers in WORKERS {
                 let pool = rayon::ThreadPoolBuilder::new()
                     .num_threads(workers)
@@ -88,12 +88,11 @@ fn batched_threshold_refresh_bit_matches_closure_across_backends_and_workers() {
                     .unwrap();
                 let words = pool.install(|| {
                     let mut occ = OccupancyGrid::new(aabb, resolution);
-                    let mut ws = OccupancyWorkspace::new();
+                    let mut ws = OccupancyWorkspace::new(backend.clone());
                     let stats = ws.refresh(
                         &mut occ,
                         &g,
                         &mlp,
-                        backend,
                         aabb,
                         THRESHOLD,
                         RefreshMode::Threshold,
@@ -123,20 +122,10 @@ fn sticky_refresh_bit_matches_update_ema() {
     reference.update_from_fn(|p| if p.x > 0.5 { 1.0 } else { 0.0 }, 0.5);
     let batched = reference.clone();
     closure_refresh(&mut reference, &g, &mlp, aabb, THRESHOLD, true);
-    let mut ws = OccupancyWorkspace::new();
-    for backend in KernelBackend::ALL {
+    for backend in kernels::registered() {
         let mut occ = batched.clone();
-        ws.invalidate();
-        ws.refresh(
-            &mut occ,
-            &g,
-            &mlp,
-            backend,
-            aabb,
-            THRESHOLD,
-            RefreshMode::Sticky,
-            1,
-        );
+        let mut ws = OccupancyWorkspace::new(backend.clone());
+        ws.refresh(&mut occ, &g, &mlp, aabb, THRESHOLD, RefreshMode::Sticky, 1);
         assert_eq!(occ.words(), reference.words(), "{backend}");
     }
 }
@@ -147,12 +136,11 @@ fn clean_cache_refresh_encodes_nothing_and_matches_closure() {
     let mlp = sigma_mlp(&g, 6);
     let aabb = Aabb::UNIT;
     let mut occ = OccupancyGrid::new(aabb, 8);
-    let mut ws = OccupancyWorkspace::new();
+    let mut ws = OccupancyWorkspace::new(kernels::simd());
     let first = ws.refresh(
         &mut occ,
         &g,
         &mlp,
-        KernelBackend::Simd,
         aabb,
         THRESHOLD,
         RefreshMode::Threshold,
@@ -167,7 +155,6 @@ fn clean_cache_refresh_encodes_nothing_and_matches_closure() {
         &mut occ,
         &g,
         &mlp,
-        KernelBackend::Simd,
         aabb,
         THRESHOLD,
         RefreshMode::Threshold,
@@ -187,12 +174,11 @@ fn cache_invalidates_per_level_after_sparse_step() {
     let mlp = sigma_mlp(g, 8);
     let aabb = Aabb::UNIT;
     let mut occ = OccupancyGrid::new(aabb, 8);
-    let mut ws = OccupancyWorkspace::new();
+    let mut ws = OccupancyWorkspace::new(kernels::simd());
     ws.refresh(
         &mut occ,
         g,
         &mlp,
-        KernelBackend::Simd,
         aabb,
         THRESHOLD,
         RefreshMode::Threshold,
@@ -216,7 +202,6 @@ fn cache_invalidates_per_level_after_sparse_step() {
         &mut occ,
         g,
         &mlp,
-        KernelBackend::Simd,
         aabb,
         THRESHOLD,
         RefreshMode::Threshold,
@@ -227,13 +212,14 @@ fn cache_invalidates_per_level_after_sparse_step() {
     closure_refresh(&mut reference, g, &mlp, aabb, THRESHOLD, false);
     assert_eq!(occ.words(), reference.words());
 
-    // A conservative params_mut write dirties everything.
+    // A conservative params_mut write dirties everything: the *same*
+    // (warm-cached) workspace must re-encode every level on its next
+    // refresh.
     g.params_mut()[0] += 0.5;
     let stats = ws.refresh(
         &mut occ,
         g,
         &mlp,
-        KernelBackend::Scalar,
         aabb,
         THRESHOLD,
         RefreshMode::Threshold,
@@ -251,28 +237,26 @@ fn subset_rotation_covers_all_cells_and_matches_full_refresh() {
     let mlp = sigma_mlp(&g, 10);
     let aabb = Aabb::UNIT;
     let mut full = OccupancyGrid::new(aabb, 7);
-    let mut full_ws = OccupancyWorkspace::new();
+    let mut full_ws = OccupancyWorkspace::new(kernels::simd());
     full_ws.refresh(
         &mut full,
         &g,
         &mlp,
-        KernelBackend::Simd,
         aabb,
         THRESHOLD,
         RefreshMode::Threshold,
         1,
     );
-    for backend in KernelBackend::ALL {
+    for backend in kernels::registered() {
         let k = 4u32;
         let mut occ = OccupancyGrid::new(aabb, 7);
-        let mut ws = OccupancyWorkspace::new();
+        let mut ws = OccupancyWorkspace::new(backend.clone());
         let mut probed = 0usize;
         for round in 0..k {
             let stats = ws.refresh(
                 &mut occ,
                 &g,
                 &mlp,
-                backend,
                 aabb,
                 THRESHOLD,
                 RefreshMode::Threshold,
@@ -300,14 +284,13 @@ fn empty_subset_phase_probes_zero_cells() {
     let mlp = sigma_mlp(&g, 12);
     let aabb = Aabb::UNIT;
     let mut occ = OccupancyGrid::new(aabb, 1);
-    let mut ws = OccupancyWorkspace::new();
+    let mut ws = OccupancyWorkspace::new(kernels::simd());
     let mut probes = Vec::new();
     for _ in 0..4 {
         let stats = ws.refresh(
             &mut occ,
             &g,
             &mlp,
-            KernelBackend::Simd,
             aabb,
             THRESHOLD,
             RefreshMode::Threshold,
@@ -356,14 +339,13 @@ fn exact_threshold_and_signed_zero_densities_match_closure() {
             expect_occupied,
             "case {case}: closure path"
         );
-        for backend in KernelBackend::ALL {
+        for backend in kernels::registered() {
             let mut occ = OccupancyGrid::new(Aabb::UNIT, 6);
-            let mut ws = OccupancyWorkspace::new();
+            let mut ws = OccupancyWorkspace::new(backend.clone());
             ws.refresh(
                 &mut occ,
                 &g,
                 &mlp,
-                backend,
                 Aabb::UNIT,
                 threshold,
                 RefreshMode::Threshold,
@@ -380,7 +362,7 @@ fn decayed_ema_refresh_is_backend_and_worker_invariant() {
     // between; the EMA store and the packed words must be bit-identical
     // for every backend × worker combination.
     let aabb = Aabb::UNIT;
-    let run = |backend: KernelBackend, workers: usize| {
+    let run = |backend: &BackendHandle, workers: usize| {
         let pool = rayon::ThreadPoolBuilder::new()
             .num_threads(workers)
             .build()
@@ -389,13 +371,12 @@ fn decayed_ema_refresh_is_backend_and_worker_invariant() {
             let mut g = grid(15);
             let mlp = sigma_mlp(&g, 16);
             let mut occ = OccupancyGrid::new(aabb, 10);
-            let mut ws = OccupancyWorkspace::new();
+            let mut ws = OccupancyWorkspace::new(backend.clone());
             for round in 0..3 {
                 ws.refresh(
                     &mut occ,
                     &g,
                     &mlp,
-                    backend,
                     aabb,
                     THRESHOLD,
                     RefreshMode::DecayedEma,
@@ -409,10 +390,10 @@ fn decayed_ema_refresh_is_backend_and_worker_invariant() {
             (occ.words().to_vec(), ema_bits)
         })
     };
-    let reference = run(KernelBackend::Scalar, 1);
-    for backend in KernelBackend::ALL {
+    let reference = run(&kernels::scalar(), 1);
+    for backend in kernels::registered() {
         for workers in WORKERS {
-            assert_eq!(run(backend, workers), reference, "{backend} / t{workers}");
+            assert_eq!(run(&backend, workers), reference, "{backend} / t{workers}");
         }
     }
 }

@@ -4,10 +4,10 @@ use instant3d_nerf::activation::Activation;
 use instant3d_nerf::fp16::{quantize, F16};
 use instant3d_nerf::grid::{HashGrid, HashGridConfig, NullObserver};
 use instant3d_nerf::hash::{corner_group, dense_index, spatial_hash};
+use instant3d_nerf::kernels;
 use instant3d_nerf::math::{Aabb, Ray, Vec3};
 use instant3d_nerf::metrics::psnr;
 use instant3d_nerf::render::{composite, composite_backward, RaySample, RenderCache};
-use instant3d_nerf::simd::KernelBackend;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -282,7 +282,7 @@ proptest! {
         let mut lanes = vec![0.0f32; positions.len() * w];
         grid.encode_batch_simd(&positions, &mut lanes);
         let mut par_lanes = vec![0.0f32; positions.len() * w];
-        grid.par_encode_batch_with(KernelBackend::Simd, &positions, &mut par_lanes);
+        grid.par_encode_batch_with(&kernels::simd(), &positions, &mut par_lanes);
 
         for (i, p) in positions.iter().enumerate() {
             let scalar = grid.encode(*p);
@@ -325,7 +325,7 @@ proptest! {
         let mut parallel = grid.zero_grads();
         grid.par_backward_batch(&positions, &d_out, &mut parallel);
         let mut lanes = grid.zero_grads();
-        grid.par_backward_batch_with(KernelBackend::Simd, &positions, &d_out, &mut lanes);
+        grid.par_backward_batch_with(&kernels::simd(), &positions, &d_out, &mut lanes);
 
         prop_assert_eq!(&batched.values, &scalar.values);
         prop_assert_eq!(batched.count, scalar.count);
@@ -351,7 +351,7 @@ proptest! {
         let out = mlp.forward_batch(&inputs, &mut bws).to_vec();
         let mut bws_simd = mlp.batch_workspace(rows.len());
         let out_simd = mlp
-            .forward_batch_with(KernelBackend::Simd, &inputs, &mut bws_simd)
+            .forward_batch_with(&kernels::simd(), &inputs, &mut bws_simd)
             .to_vec();
         let mut ws = mlp.workspace();
         for (i, row) in inputs.chunks(4).enumerate() {
@@ -390,13 +390,13 @@ proptest! {
             );
         }
         // Batched: one forward, one backward, retained activations — on
-        // both kernel backends.
-        for backend in KernelBackend::ALL {
+        // every registered kernel backend.
+        for backend in kernels::registered() {
             let mut bws = mlp.batch_workspace(n);
-            mlp.forward_batch_with(backend, &inputs, &mut bws);
+            mlp.forward_batch_with(&backend, &inputs, &mut bws);
             let mut grads = mlp.zero_grads();
             let mut d_in = vec![0.0f32; n * 3];
-            mlp.backward_batch_with(backend, &d_out, &mut bws, &mut grads, &mut d_in);
+            mlp.backward_batch_with(&backend, &d_out, &mut bws, &mut grads, &mut d_in);
 
             prop_assert_eq!(grads.count, scalar_grads.count);
             for (li, ((gw, gb), (sw, sb))) in
@@ -452,7 +452,7 @@ proptest! {
         let mut t2 = vec![0.0f32; n];
         let mut o2 = vec![0.0f32; n];
         let (soa_simd, active_simd) = instant3d_nerf::render::composite_slices_with(
-            KernelBackend::Simd, &t, &dts, &sg, &rgb, background,
+            &kernels::simd(), &t, &dts, &sg, &rgb, background,
             Some((&mut w2, &mut t2, &mut o2)),
         );
         prop_assert_eq!(soa_simd, aos);

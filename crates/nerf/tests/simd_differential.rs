@@ -1,9 +1,12 @@
-//! The differential harness pinning the SIMD backend to the scalar
-//! reference kernels, bit for bit.
+//! The differential harness pinning every registered kernel backend to
+//! the scalar reference kernels, bit for bit.
 //!
 //! Every hot kernel (grid encode, grid backward-scatter, MLP forward /
-//! backward, per-ray compositing, the axpy sweep) is run on both
-//! [`KernelBackend`]s over batch sizes that exercise the remainder tails
+//! backward, per-ray compositing, the axpy sweep) is run on **every
+//! backend in the registry** (`instant3d_nerf::kernels::registered()` —
+//! scalar, simd, instrumented, plus anything registered at runtime; a
+//! backend cannot register without entering this harness) over batch
+//! sizes that exercise the remainder tails
 //! (`N % 8 != 0`), the empty batch, single points, lane-exact batches and
 //! multi-chunk batches — plus adversarial table contents: fp16-quantized
 //! features including subnormals and signed zeros, and tiny hash tables
@@ -14,10 +17,11 @@
 use instant3d_nerf::activation::Activation;
 use instant3d_nerf::fp16;
 use instant3d_nerf::grid::{HashGrid, HashGridConfig};
+use instant3d_nerf::kernels::{self, BackendHandle};
 use instant3d_nerf::math::Vec3;
 use instant3d_nerf::mlp::{Mlp, MlpConfig};
 use instant3d_nerf::render::{composite_slices, composite_slices_with};
-use instant3d_nerf::simd::{self, KernelBackend};
+use instant3d_nerf::simd;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -97,7 +101,7 @@ fn poison_with_fp16_edges(g: &mut HashGrid) {
 }
 
 #[test]
-fn grid_encode_simd_bit_equals_scalar_across_batch_shapes() {
+fn grid_encode_backends_bit_equal_scalar_across_batch_shapes() {
     let g = training_grid(7);
     let w = g.output_dim();
     for &n in &BATCH_SIZES {
@@ -107,26 +111,39 @@ fn grid_encode_simd_bit_equals_scalar_across_batch_shapes() {
         g.encode_batch_level_major(&pts, &mut scalar);
         g.encode_batch_simd(&pts, &mut lanes);
         assert_eq!(bits(&scalar), bits(&lanes), "encode n={n}");
-        // And through the backend dispatcher (chunked parallel path).
-        let mut dispatched = vec![0.0f32; n * w];
-        g.par_encode_batch_with(KernelBackend::Simd, &pts, &mut dispatched);
-        assert_eq!(bits(&scalar), bits(&dispatched), "par encode n={n}");
+        // And through the backend dispatcher (chunked parallel path), for
+        // every registered backend.
+        for backend in kernels::registered() {
+            let mut dispatched = vec![0.0f32; n * w];
+            g.par_encode_batch_with(&backend, &pts, &mut dispatched);
+            assert_eq!(
+                bits(&scalar),
+                bits(&dispatched),
+                "par encode {backend} n={n}"
+            );
+        }
     }
 }
 
 #[test]
-fn grid_backward_simd_bit_equals_scalar_across_batch_shapes() {
+fn grid_backward_backends_bit_equal_scalar_across_batch_shapes() {
     let g = training_grid(11);
     let w = g.output_dim();
     for &n in &BATCH_SIZES {
         let pts = points(n, 2000 + n as u64);
         let d_out: Vec<f32> = (0..n * w).map(|i| 0.37 * ((i % 11) as f32 - 5.0)).collect();
         let mut scalar = g.zero_grads();
-        g.par_backward_batch_with(KernelBackend::Scalar, &pts, &d_out, &mut scalar);
-        let mut lanes = g.zero_grads();
-        g.par_backward_batch_with(KernelBackend::Simd, &pts, &d_out, &mut lanes);
-        assert_eq!(bits(&scalar.values), bits(&lanes.values), "scatter n={n}");
-        assert_eq!(scalar.count, lanes.count);
+        g.par_backward_batch_with(&kernels::scalar(), &pts, &d_out, &mut scalar);
+        for backend in kernels::registered() {
+            let mut lanes = g.zero_grads();
+            g.par_backward_batch_with(&backend, &pts, &d_out, &mut lanes);
+            assert_eq!(
+                bits(&scalar.values),
+                bits(&lanes.values),
+                "scatter {backend} n={n}"
+            );
+            assert_eq!(scalar.count, lanes.count);
+        }
     }
 }
 
@@ -148,8 +165,8 @@ fn grid_kernels_agree_under_hash_collision_aliasing() {
         let d_out: Vec<f32> = (0..n * w).map(|i| ((i % 5) as f32 - 2.0) * 0.51).collect();
         let mut ga = g.zero_grads();
         let mut gb = g.zero_grads();
-        g.par_backward_batch_with(KernelBackend::Scalar, &pts, &d_out, &mut ga);
-        g.par_backward_batch_with(KernelBackend::Simd, &pts, &d_out, &mut gb);
+        g.par_backward_batch_with(&kernels::scalar(), &pts, &d_out, &mut ga);
+        g.par_backward_batch_with(&kernels::simd(), &pts, &d_out, &mut gb);
         assert_eq!(
             bits(&ga.values),
             bits(&gb.values),
@@ -217,7 +234,7 @@ fn grid_quantize_storage_with_subnormal_features_is_stable() {
 }
 
 #[test]
-fn mlp_forward_simd_bit_equals_scalar_across_widths_and_batches() {
+fn mlp_forward_backends_bit_equal_scalar_across_widths_and_batches() {
     // Output widths exercising every lane-tail shape (ow % 8 ∈ {0,1,3,5}).
     for (hidden, out_dim) in [
         (vec![64usize], 64usize),
@@ -233,20 +250,22 @@ fn mlp_forward_simd_bit_equals_scalar_across_widths_and_batches() {
         for &n in &BATCH_SIZES {
             let inputs: Vec<f32> = (0..n * 6).map(|i| ((i % 17) as f32 - 8.0) * 0.13).collect();
             let mut ws_a = mlp.batch_workspace(n);
-            let mut ws_b = mlp.batch_workspace(n);
             let a = mlp
-                .forward_batch_with(KernelBackend::Scalar, &inputs, &mut ws_a)
+                .forward_batch_with(&kernels::scalar(), &inputs, &mut ws_a)
                 .to_vec();
-            let b = mlp
-                .forward_batch_with(KernelBackend::Simd, &inputs, &mut ws_b)
-                .to_vec();
-            assert_eq!(bits(&a), bits(&b), "mlp fwd out={out_dim} n={n}");
+            for backend in kernels::registered() {
+                let mut ws_b = mlp.batch_workspace(n);
+                let b = mlp
+                    .forward_batch_with(&backend, &inputs, &mut ws_b)
+                    .to_vec();
+                assert_eq!(bits(&a), bits(&b), "mlp fwd {backend} out={out_dim} n={n}");
+            }
         }
     }
 }
 
 #[test]
-fn mlp_backward_simd_bit_equals_scalar() {
+fn mlp_backward_backends_bit_equal_scalar() {
     let mut rng = StdRng::seed_from_u64(23);
     let mlp = Mlp::new(
         MlpConfig::new(10, &[64], 3, Activation::Relu, Activation::None),
@@ -257,7 +276,7 @@ fn mlp_backward_simd_bit_equals_scalar() {
             .map(|i| ((i % 13) as f32 - 6.0) * 0.21)
             .collect();
         let d_out: Vec<f32> = (0..n * 3).map(|i| ((i % 7) as f32 - 3.0) * 0.33).collect();
-        let run = |backend| {
+        let run = |backend: &BackendHandle| {
             let mut ws = mlp.batch_workspace(n);
             mlp.forward_batch_with(backend, &inputs, &mut ws);
             let mut grads = mlp.zero_grads();
@@ -265,19 +284,25 @@ fn mlp_backward_simd_bit_equals_scalar() {
             mlp.backward_batch_with(backend, &d_out, &mut ws, &mut grads, &mut d_in);
             (grads, d_in)
         };
-        let (ga, da) = run(KernelBackend::Scalar);
-        let (gb, db) = run(KernelBackend::Simd);
-        assert_eq!(ga.count, gb.count);
-        for (li, ((wa, ba), (wb, bb))) in ga.layers.iter().zip(&gb.layers).enumerate() {
-            assert_eq!(bits(wa), bits(wb), "layer {li} weight grads n={n}");
-            assert_eq!(bits(ba), bits(bb), "layer {li} bias grads n={n}");
+        let (ga, da) = run(&kernels::scalar());
+        for backend in kernels::registered() {
+            let (gb, db) = run(&backend);
+            assert_eq!(ga.count, gb.count);
+            for (li, ((wa, ba), (wb, bb))) in ga.layers.iter().zip(&gb.layers).enumerate() {
+                assert_eq!(
+                    bits(wa),
+                    bits(wb),
+                    "{backend} layer {li} weight grads n={n}"
+                );
+                assert_eq!(bits(ba), bits(bb), "{backend} layer {li} bias grads n={n}");
+            }
+            assert_eq!(bits(&da), bits(&db), "{backend} input grads n={n}");
         }
-        assert_eq!(bits(&da), bits(&db), "input grads n={n}");
     }
 }
 
 #[test]
-fn composite_simd_bit_equals_scalar_including_early_termination() {
+fn composite_backends_bit_equal_scalar_including_early_termination() {
     let mut rng = StdRng::seed_from_u64(5);
     for &n in &BATCH_SIZES {
         for &dense in &[0.5f32, 50.0, 5000.0] {
@@ -300,23 +325,25 @@ fn composite_simd_bit_equals_scalar_including_early_termination() {
                 bg,
                 Some((&mut cw_a, &mut ct_a, &mut co_a)),
             );
-            let mut cw_b = vec![0.0f32; n];
-            let mut ct_b = vec![0.0f32; n];
-            let mut co_b = vec![0.0f32; n];
-            let (out_b, act_b) = composite_slices_with(
-                KernelBackend::Simd,
-                &t,
-                &dt,
-                &sigma,
-                &rgb,
-                bg,
-                Some((&mut cw_b, &mut ct_b, &mut co_b)),
-            );
-            assert_eq!(out_a, out_b, "render output n={n} dense={dense}");
-            assert_eq!(act_a, act_b, "active count n={n} dense={dense}");
-            assert_eq!(bits(&cw_a), bits(&cw_b), "weights cache n={n}");
-            assert_eq!(bits(&ct_a), bits(&ct_b), "trans cache n={n}");
-            assert_eq!(bits(&co_a), bits(&co_b), "alpha cache n={n}");
+            for backend in kernels::registered() {
+                let mut cw_b = vec![0.0f32; n];
+                let mut ct_b = vec![0.0f32; n];
+                let mut co_b = vec![0.0f32; n];
+                let (out_b, act_b) = composite_slices_with(
+                    &backend,
+                    &t,
+                    &dt,
+                    &sigma,
+                    &rgb,
+                    bg,
+                    Some((&mut cw_b, &mut ct_b, &mut co_b)),
+                );
+                assert_eq!(out_a, out_b, "{backend} render output n={n} dense={dense}");
+                assert_eq!(act_a, act_b, "{backend} active count n={n} dense={dense}");
+                assert_eq!(bits(&cw_a), bits(&cw_b), "{backend} weights cache n={n}");
+                assert_eq!(bits(&ct_a), bits(&ct_b), "{backend} trans cache n={n}");
+                assert_eq!(bits(&co_a), bits(&co_b), "{backend} alpha cache n={n}");
+            }
         }
     }
 }
@@ -327,8 +354,8 @@ fn axpy_simd_bit_equals_scalar_on_tails() {
         let x: Vec<f32> = (0..n).map(|i| ((i % 9) as f32 - 4.0) * 0.77).collect();
         let mut ya: Vec<f32> = (0..n).map(|i| (i as f32) * 0.11 - 1.0).collect();
         let mut yb = ya.clone();
-        simd::axpy(KernelBackend::Scalar, &mut ya, -0.625, &x);
-        simd::axpy(KernelBackend::Simd, &mut yb, -0.625, &x);
+        simd::axpy(false, &mut ya, -0.625, &x);
+        simd::axpy(true, &mut yb, -0.625, &x);
         assert_eq!(bits(&ya), bits(&yb), "axpy n={n}");
     }
 }
@@ -355,8 +382,8 @@ proptest! {
         let d_out: Vec<f32> = (0..n * w).map(|i| ((i % 23) as f32 - 11.0) * 0.17).collect();
         let mut ga = g.zero_grads();
         let mut gb = g.zero_grads();
-        g.par_backward_batch_with(KernelBackend::Scalar, &pts, &d_out, &mut ga);
-        g.par_backward_batch_with(KernelBackend::Simd, &pts, &d_out, &mut gb);
+        g.par_backward_batch_with(&kernels::scalar(), &pts, &d_out, &mut ga);
+        g.par_backward_batch_with(&kernels::simd(), &pts, &d_out, &mut gb);
         prop_assert_eq!(bits(&ga.values), bits(&gb.values));
     }
 
@@ -376,7 +403,7 @@ proptest! {
         );
         let inputs: Vec<f32> = (0..n * 5).map(|i| ((i % 19) as f32 - 9.0) * 0.09).collect();
         let d_out: Vec<f32> = (0..n * out_dim).map(|i| ((i % 7) as f32 - 3.0) * 0.41).collect();
-        let run = |backend| {
+        let run = |backend: &BackendHandle| {
             let mut ws = mlp.batch_workspace(n);
             let out = mlp.forward_batch_with(backend, &inputs, &mut ws).to_vec();
             let mut grads = mlp.zero_grads();
@@ -384,8 +411,8 @@ proptest! {
             mlp.backward_batch_with(backend, &d_out, &mut ws, &mut grads, &mut d_in);
             (out, grads, d_in)
         };
-        let (oa, ga, da) = run(KernelBackend::Scalar);
-        let (ob, gb, db) = run(KernelBackend::Simd);
+        let (oa, ga, da) = run(&kernels::scalar());
+        let (ob, gb, db) = run(&kernels::simd());
         prop_assert_eq!(bits(&oa), bits(&ob));
         prop_assert_eq!(bits(&da), bits(&db));
         for ((wa, ba), (wb, bb)) in ga.layers.iter().zip(&gb.layers) {
@@ -419,7 +446,7 @@ proptest! {
         let mut ct_b = vec![0.0f32; n];
         let mut co_b = vec![0.0f32; n];
         let (ob, ab) = composite_slices_with(
-            KernelBackend::Simd, &t, &dt, &sigmas, &rgb, background,
+            &kernels::simd(), &t, &dt, &sigmas, &rgb, background,
             Some((&mut cw_b, &mut ct_b, &mut co_b)),
         );
         prop_assert_eq!(oa, ob);

@@ -24,13 +24,19 @@ fn main() {
     );
 
     // 2. Train with the paper's operating point: decoupled grids with
-    //    S_D : S_C = 1 : 0.25 and F_D : F_C = 1 : 0.5.
+    //    S_D : S_C = 1 : 0.25 and F_D : F_C = 1 : 0.5. Kernel backends
+    //    resolve by name through the open registry — the default is the
+    //    SIMD backend; set `cfg.kernel_backend = kernels::resolve("scalar")`
+    //    (or export INSTANT3D_KERNEL_BACKEND) to pick another.
     let cfg = TrainConfig::instant3d();
     println!(
         "\ntraining Instant-3D (decoupled grids, color table {}x smaller, \
-         color updated every {} iterations)...",
+         color updated every {} iterations, '{}' kernels; registered \
+         backends: {:?})...",
         (1.0 / cfg.color_size_factor) as u32,
-        cfg.color_update_every
+        cfg.color_update_every,
+        cfg.kernel_backend,
+        instant3d::nerf::kernels::names()
     );
     let mut trainer = Trainer::new(cfg, &dataset, &mut rng);
     for round in 1..=6 {

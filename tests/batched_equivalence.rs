@@ -3,10 +3,12 @@
 //! identical to the scalar reference path's, and within each phase the
 //! capture order is identical too (the batched engine only regroups the
 //! phases: all feed-forward reads, then all scatter writes). The whole
-//! suite runs once per [`KernelBackend`], so trace capture is pinned on
-//! the scalar and the SIMD kernels alike.
+//! suite runs once per **registered kernel backend**
+//! (`kernels::registered()`), so trace capture is pinned on every backend
+//! the registry knows — scalar, SIMD and the instrumented co-sim backend
+//! alike.
 
-use instant3d::core::{KernelBackend, TrainConfig, Trainer};
+use instant3d::core::{kernels, BackendHandle, TrainConfig, Trainer};
 use instant3d::nerf::grid::AccessPhase;
 use instant3d::scenes::SceneLibrary;
 use instant3d::trace::record::AccessRecord;
@@ -16,7 +18,7 @@ use rand::SeedableRng;
 
 fn capture_with(
     batched: bool,
-    backend: KernelBackend,
+    backend: &BackendHandle,
     iters: u32,
     occupancy_update_every: u32,
     occupancy_subset: u32,
@@ -28,7 +30,7 @@ fn capture_with(
     let ds = SceneLibrary::synthetic_scene(0, 16, 4, &mut rng);
     let mut seed = StdRng::seed_from_u64(3);
     let mut cfg = TrainConfig::fast_preview();
-    cfg.kernel_backend = backend;
+    cfg.kernel_backend = backend.clone();
     cfg.occupancy_update_every = occupancy_update_every;
     cfg.occupancy_subset = occupancy_subset;
     let mut trainer = Trainer::new(cfg, &ds, &mut seed);
@@ -47,7 +49,7 @@ fn capture_with(
 
 fn capture(
     batched: bool,
-    backend: KernelBackend,
+    backend: &BackendHandle,
 ) -> (
     instant3d::trace::record::Trace,
     instant3d::core::WorkloadStats,
@@ -61,9 +63,9 @@ fn phase_key(r: &AccessRecord) -> (u32, instant3d::nerf::grid::GridBranch, u32, 
 
 #[test]
 fn batched_trace_is_order_normalized_identical_to_scalar() {
-    for backend in KernelBackend::ALL {
-        let (batched, stats_b) = capture(true, backend);
-        let (scalar, stats_s) = capture(false, backend);
+    for backend in kernels::registered() {
+        let (batched, stats_b) = capture(true, &backend);
+        let (scalar, stats_s) = capture(false, &backend);
         assert_eq!(
             stats_b, stats_s,
             "{backend}: workload accounting must agree"
@@ -83,9 +85,9 @@ fn batched_trace_is_order_normalized_identical_to_scalar() {
 
 #[test]
 fn batched_trace_preserves_within_phase_capture_order() {
-    for backend in KernelBackend::ALL {
-        let (batched, _) = capture(true, backend);
-        let (scalar, _) = capture(false, backend);
+    for backend in kernels::registered() {
+        let (batched, _) = capture(true, &backend);
+        let (scalar, _) = capture(false, &backend);
         for phase in [AccessPhase::FeedForward, AccessPhase::BackProp] {
             let b: Vec<_> = batched.phase(phase).map(phase_key).collect();
             let s: Vec<_> = scalar.phase(phase).map(phase_key).collect();
@@ -105,9 +107,9 @@ fn traces_stay_identical_across_amortized_occupancy_refreshes() {
     // change which samples survive culling on later iterations, so the
     // streams only stay equal if batched and scalar paths see identical
     // packed occupancy after every refresh.
-    for backend in KernelBackend::ALL {
-        let (batched, stats_b) = capture_with(true, backend, 4, 2, 2);
-        let (scalar, stats_s) = capture_with(false, backend, 4, 2, 2);
+    for backend in kernels::registered() {
+        let (batched, stats_b) = capture_with(true, &backend, 4, 2, 2);
+        let (scalar, stats_s) = capture_with(false, &backend, 4, 2, 2);
         assert_eq!(stats_b, stats_s, "{backend}: stats through refreshes");
         assert!(
             stats_b.occupancy_refreshes >= 2,
@@ -130,14 +132,14 @@ fn traces_stay_identical_across_amortized_occupancy_refreshes() {
 fn batched_trace_drives_figure_analyses_identically() {
     // The Fig. 8/9/10 inputs derived from the trace must be unchanged —
     // and must not depend on the kernel backend either.
-    let (batched_scalar, _) = capture(true, KernelBackend::Scalar);
-    let (batched_simd, _) = capture(true, KernelBackend::Simd);
-    let (scalar, _) = capture(false, KernelBackend::Scalar);
-    for batched in [&batched_scalar, &batched_simd] {
-        assert_eq!(batched.ff_stream(), scalar.ff_stream());
+    let (scalar, _) = capture(false, &kernels::scalar());
+    for backend in kernels::registered() {
+        let (batched, _) = capture(true, &backend);
+        assert_eq!(batched.ff_stream(), scalar.ff_stream(), "{backend}");
         assert_eq!(
             batched.bp_stream_level_major(),
-            scalar.bp_stream_level_major()
+            scalar.bp_stream_level_major(),
+            "{backend}"
         );
     }
 }
