@@ -492,8 +492,13 @@ mod tests {
     #[test]
     fn observed_and_unobserved_encode_agree_bitwise() {
         let m = model(GridTopology::Decoupled);
-        let mut a = BatchWorkspace::new(&m);
-        let mut b = BatchWorkspace::new(&m);
+        // The observer-forced point-major path runs the strict sequential
+        // kernels, so the bit-identity claim only holds for strict-tier
+        // backends: fall back to the default when the environment selects
+        // a lossy one (lossy parity is covered by the tolerance suites).
+        let backend = crate::kernels::strict_from_env_or_default();
+        let mut a = BatchWorkspace::with_backend(&m, backend.clone());
+        let mut b = BatchWorkspace::with_backend(&m, backend);
         fill_batch(&mut a, &m);
         fill_batch(&mut b, &m);
         // A counting observer forces the sequential point-major kernels.

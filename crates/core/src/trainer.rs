@@ -179,6 +179,7 @@ impl Trainer {
         let grads = model.zero_grads();
         let bws = BatchWorkspace::new(&model);
         let backend = cfg.kernel_backend.name();
+        let tier = cfg.kernel_backend.tier().label();
         let occ_ws = OccupancyWorkspace::new(cfg.kernel_backend.clone());
         Trainer {
             cfg,
@@ -194,6 +195,7 @@ impl Trainer {
             iter: 0,
             stats: WorkloadStats {
                 backend,
+                tier,
                 ..WorkloadStats::default()
             },
             cameras: dataset.train_cameras(),
@@ -657,6 +659,7 @@ impl Trainer {
         let mlp_ff = self.model.mlp_flops_per_point() as u64 * pts;
         self.stats.merge(&WorkloadStats {
             backend: self.stats.backend,
+            tier: self.stats.tier,
             iterations: 1,
             rays: rays as u64,
             points: pts,

@@ -648,7 +648,10 @@ impl HashGrid {
     /// [`HashGrid::corners`], so every weight bit-matches the scalar
     /// kernel's; hashed levels replace the `% table_size` with an equal
     /// power-of-two mask (the table size is always `1 << log2_table_size`).
-    #[inline]
+    /// Always inlined so `#[target_feature]` callers (the fast kernels)
+    /// compile the lane arithmetic with their wider instruction set
+    /// instead of calling a separately-compiled baseline copy.
+    #[inline(always)]
     fn corners_lanes(
         level: &GridLevel,
         pts: &[Vec3],
@@ -819,6 +822,101 @@ impl HashGrid {
             let dst = i * w + col;
             out[dst] = acc0;
             out[dst + 1] = acc1;
+        }
+    }
+
+    /// Fused (lossy-tier) level-major encode: the level body of
+    /// [`HashGrid::encode_batch_fast`], see there for the contract.
+    pub(crate) fn encode_level_fast(&self, l: usize, unit_positions: &[Vec3], out: &mut [f32]) {
+        #[cfg(target_arch = "x86_64")]
+        if crate::simd::avx2_fma_available() {
+            // Safety: AVX2+FMA presence was just verified at runtime.
+            return unsafe { self.encode_level_fast_avx2(l, unit_positions, out) };
+        }
+        self.encode_level_fast_body(l, unit_positions, out);
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn encode_level_fast_avx2(&self, l: usize, unit_positions: &[Vec3], out: &mut [f32]) {
+        self.encode_level_fast_body(l, unit_positions, out);
+    }
+
+    #[inline(always)]
+    fn encode_level_fast_body(&self, l: usize, unit_positions: &[Vec3], out: &mut [f32]) {
+        const LANES: usize = F32x8::LANES;
+        if self.cfg.features_per_entry != 2 {
+            return self.encode_level_scalar(l, unit_positions, out);
+        }
+        let w = self.output_dim();
+        let n = unit_positions.len();
+        let full = n - n % LANES;
+        let mut addrs = [[0u32; LANES]; 8];
+        let mut weights = [F32x8::ZERO; 8];
+        let level = &self.levels[l];
+        let base = self.param_offsets[l];
+        let col = l * 2;
+        for i in (0..full).step_by(LANES) {
+            Self::corners_lanes(
+                level,
+                &unit_positions[i..i + LANES],
+                &mut addrs,
+                &mut weights,
+            );
+            let mut acc0 = F32x8::ZERO;
+            let mut acc1 = F32x8::ZERO;
+            for c in 0..8 {
+                let mut f0 = [0.0f32; LANES];
+                let mut f1 = [0.0f32; LANES];
+                for k in 0..LANES {
+                    let src = base + addrs[c][k] as usize * 2;
+                    f0[k] = self.params[src];
+                    f1[k] = self.params[src + 1];
+                }
+                acc0 = weights[c].mul_add(F32x8(f0), acc0);
+                acc1 = weights[c].mul_add(F32x8(f1), acc1);
+            }
+            for k in 0..LANES {
+                let dst = (i + k) * w + col;
+                out[dst] = acc0[k];
+                out[dst + 1] = acc1[k];
+            }
+        }
+        // Remainder tail: the same per-point fused sequence, scalar.
+        for (i, p) in unit_positions.iter().enumerate().skip(full) {
+            let (pa, pw) = self.corners(level, *p);
+            let mut acc0 = 0.0f32;
+            let mut acc1 = 0.0f32;
+            for c in 0..8 {
+                let src = base + pa[c] as usize * 2;
+                let wgt = pw[c];
+                acc0 = wgt.mul_add(self.params[src], acc0);
+                acc1 = wgt.mul_add(self.params[src + 1], acc1);
+            }
+            let dst = i * w + col;
+            out[dst] = acc0;
+            out[dst + 1] = acc1;
+        }
+    }
+
+    /// Fused (lossy-tier) level-major encode: the lane walk, table gathers
+    /// and trilinear weights are exactly [`HashGrid::encode_batch_simd`]'s,
+    /// but the 8-corner accumulation uses `mul_add` — one rounding per
+    /// corner instead of two. The lane path and the scalar remainder tail
+    /// execute the *identical* per-point fused sequence (`f32::mul_add` is
+    /// correctly rounded everywhere, AVX2 or not), so results are still
+    /// deterministic across batch sizes, chunkings and worker counts —
+    /// they just differ from the strict kernels by bounded rounding.
+    /// Grids with `features_per_entry != 2` fall back to the scalar kernel.
+    pub fn encode_batch_fast(&self, unit_positions: &[Vec3], out: &mut [f32]) {
+        let w = self.output_dim();
+        assert_eq!(
+            out.len(),
+            unit_positions.len() * w,
+            "SoA output buffer size mismatch"
+        );
+        for l in 0..self.levels.len() {
+            self.encode_level_fast(l, unit_positions, out);
         }
     }
 
@@ -1060,6 +1158,92 @@ impl HashGrid {
         }
         if full < n {
             self.scatter_level_scalar(l, level_grads, &unit_positions[full..], &d_out[full * w..]);
+        }
+    }
+
+    /// Fused (lossy-tier) scatter: lane-batched corner/weight precompute
+    /// like [`HashGrid::scatter_level_simd`], per-parameter accumulation in
+    /// point order like every backend, but each `grad += w·g` folds into a
+    /// single `mul_add` rounding. Point order is preserved, so the result
+    /// is deterministic for any worker count; it differs from the strict
+    /// kernels only by bounded rounding. `features_per_entry != 2` falls
+    /// back to the scalar kernel.
+    pub(crate) fn scatter_level_fast(
+        &self,
+        l: usize,
+        level_grads: &mut [f32],
+        unit_positions: &[Vec3],
+        d_out: &[f32],
+    ) {
+        #[cfg(target_arch = "x86_64")]
+        if crate::simd::avx2_fma_available() {
+            // Safety: AVX2+FMA presence was just verified at runtime.
+            return unsafe { self.scatter_level_fast_avx2(l, level_grads, unit_positions, d_out) };
+        }
+        self.scatter_level_fast_body(l, level_grads, unit_positions, d_out);
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn scatter_level_fast_avx2(
+        &self,
+        l: usize,
+        level_grads: &mut [f32],
+        unit_positions: &[Vec3],
+        d_out: &[f32],
+    ) {
+        self.scatter_level_fast_body(l, level_grads, unit_positions, d_out);
+    }
+
+    #[inline(always)]
+    fn scatter_level_fast_body(
+        &self,
+        l: usize,
+        level_grads: &mut [f32],
+        unit_positions: &[Vec3],
+        d_out: &[f32],
+    ) {
+        const LANES: usize = F32x8::LANES;
+        let f = self.cfg.features_per_entry;
+        if f != 2 {
+            return self.scatter_level_scalar(l, level_grads, unit_positions, d_out);
+        }
+        let w = self.output_dim();
+        let level = &self.levels[l];
+        let col = l * 2;
+        let n = unit_positions.len();
+        let full = n - n % LANES;
+        let mut addrs = [[0u32; LANES]; 8];
+        let mut weights = [F32x8::ZERO; 8];
+        for i in (0..full).step_by(LANES) {
+            Self::corners_lanes(
+                level,
+                &unit_positions[i..i + LANES],
+                &mut addrs,
+                &mut weights,
+            );
+            for k in 0..LANES {
+                let g0 = d_out[(i + k) * w + col];
+                let g1 = d_out[(i + k) * w + col + 1];
+                for c in 0..8 {
+                    let wgt = weights[c][k];
+                    let dst = addrs[c][k] as usize * 2;
+                    level_grads[dst] = wgt.mul_add(g0, level_grads[dst]);
+                    level_grads[dst + 1] = wgt.mul_add(g1, level_grads[dst + 1]);
+                }
+            }
+        }
+        // Remainder tail: the same per-point fused sequence, scalar.
+        for (i, p) in unit_positions.iter().enumerate().skip(full) {
+            let (pa, pw) = self.corners(level, *p);
+            let g0 = d_out[i * w + col];
+            let g1 = d_out[i * w + col + 1];
+            for c in 0..8 {
+                let wgt = pw[c];
+                let dst = pa[c] as usize * 2;
+                level_grads[dst] = wgt.mul_add(g0, level_grads[dst]);
+                level_grads[dst + 1] = wgt.mul_add(g1, level_grads[dst + 1]);
+            }
         }
     }
 
@@ -1410,9 +1594,12 @@ mod tests {
             .collect();
         let w = g.output_dim();
         let f = g.config().features_per_entry;
-        let mut full = vec![0.0f32; points.len() * w];
-        g.encode_batch_level_major(&points, &mut full);
         for backend in crate::kernels::registered() {
+            // Per-backend golden: a lossy backend's subset encode must
+            // match that backend's own full encode (self-consistency);
+            // for strict backends this is also the scalar golden.
+            let mut full = vec![0.0f32; points.len() * w];
+            backend.grid_encode_chunk(&g, &points, &mut full);
             // Sentinel-filled buffer: untouched columns must keep it.
             let mut partial = vec![-7.0f32; points.len() * w];
             g.par_encode_batch_levels_with(&backend, &[1], &points, &mut partial);

@@ -4,7 +4,7 @@
 use super::Kernels;
 use crate::grid::HashGrid;
 use crate::math::Vec3;
-use crate::mlp::{Mlp, MlpBatchWorkspace, MlpGradients};
+use crate::mlp::{GemvMode, Mlp, MlpBatchWorkspace, MlpGradients};
 use crate::render::{composite_slices, composite_slices_simd, RenderOutput};
 use std::any::Any;
 
@@ -57,7 +57,7 @@ impl Kernels for ScalarKernels {
         inputs: &[f32],
         ws: &'w mut MlpBatchWorkspace,
     ) -> &'w [f32] {
-        mlp.forward_batch_impl(false, inputs, ws)
+        mlp.forward_batch_impl(GemvMode::Scalar, inputs, ws)
     }
 
     fn mlp_backward_batch(
@@ -68,7 +68,7 @@ impl Kernels for ScalarKernels {
         grads: &mut MlpGradients,
         d_input: &mut [f32],
     ) {
-        mlp.backward_batch_impl(false, d_output, ws, grads, d_input);
+        mlp.backward_batch_impl(GemvMode::Scalar, d_output, ws, grads, d_input);
     }
 
     fn composite_ray(
@@ -134,7 +134,7 @@ impl Kernels for SimdKernels {
         inputs: &[f32],
         ws: &'w mut MlpBatchWorkspace,
     ) -> &'w [f32] {
-        mlp.forward_batch_impl(true, inputs, ws)
+        mlp.forward_batch_impl(GemvMode::Simd, inputs, ws)
     }
 
     fn mlp_backward_batch(
@@ -145,7 +145,7 @@ impl Kernels for SimdKernels {
         grads: &mut MlpGradients,
         d_input: &mut [f32],
     ) {
-        mlp.backward_batch_impl(true, d_output, ws, grads, d_input);
+        mlp.backward_batch_impl(GemvMode::Simd, d_output, ws, grads, d_input);
     }
 
     fn composite_ray(

@@ -4,7 +4,7 @@
 //! The batched SoA engine dispatches every hot kernel — grid encode /
 //! level-subset encode, per-level gradient scatter, the MLP batched
 //! forward/backward, and per-ray compositing — through a [`Kernels`] trait
-//! object instead of a closed enum. Three backends ship in-tree:
+//! object instead of a closed enum. Four backends ship in-tree:
 //!
 //! * [`ScalarKernels`] (`"scalar"`) — the scalar reference kernels, the
 //!   executable specification every other backend is tested against.
@@ -15,17 +15,25 @@
 //!   captures the hash-grid read/update address streams of real training
 //!   steps for the `instant3d-accel` FRM/BUM cycle simulators — online
 //!   Fig. 12/13-style utilisation measurement with no trace files.
+//! * [`FastKernels`] (`"fast"`) — the first **lossy-tier** backend: fused
+//!   multiply-add kernels with runtime-detected AVX2/FMA specialisations,
+//!   trading bit-identity for speed under a declared [`Tolerance`].
 //!
 //! New backends register at runtime through [`register`]; everything that
 //! names a backend — `TrainConfig::kernel_backend`, the
 //! `INSTANT3D_KERNEL_BACKEND` environment variable, bench IDs,
 //! `WorkloadStats::backend` — resolves through this one registry.
 //!
-//! # The bit-identity contract
+//! # The two-tier registration contract
 //!
-//! **Registering a backend is a claim that it is bit-identical to
-//! [`ScalarKernels`]** on every kernel, for every batch size and worker
-//! count. Concretely a conforming backend must preserve:
+//! Registering a backend is a claim about its numerics, and the claim now
+//! comes in two tiers, declared via [`Kernels::tier`]:
+//!
+//! ## `Tier::Strict` — the bit-identity contract
+//!
+//! **A strict backend claims it is bit-identical to [`ScalarKernels`]** on
+//! every kernel, for every batch size and worker count. Concretely a
+//! conforming strict backend must preserve:
 //!
 //! * **Additive order** — for each output scalar, the sequence of IEEE 754
 //!   additions (per-corner embedding accumulation, per-parameter gradient
@@ -38,13 +46,48 @@
 //! * **Exact elementwise math** — no approximate reciprocals/rsqrt/vector
 //!   exp; transcendentals stay scalar per element.
 //!
-//! The contract is not on the honor system: the differential and golden
-//! suites (`crates/nerf/tests/simd_differential.rs`,
+//! `scalar`, `simd` and `instrumented` are strict and stay strict — the
+//! whole trace/co-sim story depends on it.
+//!
+//! ## `Tier::Lossy(Tolerance)` — the tolerance contract
+//!
+//! A lossy backend is released from bit-identity (it may fuse
+//! multiply-adds, re-round, use wider intermediates) but must **prove** it
+//! stays inside the [`Tolerance`] it declares:
+//!
+//! * **Per-kernel bounds** — every kernel output, compared element-wise
+//!   against the scalar reference, stays within the declared
+//!   relative-error / normwise-error / ULP bounds
+//!   ([`Tolerance::check_slices`]).
+//! * **End-to-end quality floors** — a training run on the lossy backend
+//!   must land within `max_psnr_drop_db` PSNR and `max_ssim_drop` SSIM of
+//!   the scalar golden run, scored by `nerf::metrics` / `nerf::ssim`.
+//!
+//! What a lossy backend may **not** relax: determinism (same inputs →
+//! same bits, run to run and across worker counts) and workload
+//! accounting (`WorkloadStats` must agree with the strict path).
+//!
+//! Neither tier is on the honor system. The differential and golden
+//! bit-identity suites (`crates/nerf/tests/simd_differential.rs`,
 //! `crates/nerf/tests/occupancy_differential.rs`,
 //! `crates/core/tests/batched_equivalence.rs`, `tests/batched_equivalence.rs`)
-//! iterate over [`registered`] backends, so a registered backend is pinned
-//! against the scalar reference by the same harness that pins the SIMD
-//! kernels. The CI matrix runs the full suite once per registered name.
+//! iterate [`registered_strict`] backends; the tolerance suites
+//! (`crates/nerf/tests/tolerance_differential.rs`,
+//! `crates/core/tests/tolerance_gate.rs`) iterate [`registered_lossy`]
+//! backends — so a registered lossy backend cannot skip its quality gate,
+//! and a lossy backend can never sneak into the bit-identity matrix
+//! (`tests/backend_api.rs` pins the CI axes to the registry split).
+//!
+//! # Availability
+//!
+//! A backend whose fast paths need CPU features the host lacks still
+//! *registers* (the registry is the single source of truth for names) but
+//! reports [`Kernels::available`]` == false`; [`available_names`] filters
+//! the list accordingly, and [`resolve`]'s unknown-name panic prints each
+//! backend's tier and availability so a CI log tells the whole story.
+//! [`FastKernels`] is always available — its AVX2/FMA paths are a runtime
+//! specialisation over a portable `f32::mul_add` fallback with identical
+//! results.
 //!
 //! # Selecting a backend
 //!
@@ -52,9 +95,12 @@
 //! use instant3d_nerf::kernels;
 //!
 //! // By name, through the registry (panics on unknown names, listing the
-//! // registered ones):
+//! // registered ones with tier and availability):
 //! let simd = kernels::resolve("simd");
 //! assert_eq!(simd.name(), "simd");
+//! assert!(simd.tier().is_strict());
+//! // The lossy tier declares its tolerance:
+//! assert!(kernels::fast().tier().tolerance().is_some());
 //! // The built-ins have direct accessors:
 //! assert_eq!(kernels::scalar().name(), "scalar");
 //! // And the environment override used by the CI matrix:
@@ -63,9 +109,11 @@
 //! ```
 
 mod builtin;
+mod fast;
 mod instrumented;
 
 pub use builtin::{ScalarKernels, SimdKernels};
+pub use fast::FastKernels;
 pub use instrumented::{InstrumentedKernels, RecordedStreams, StreamSegment};
 
 use crate::grid::HashGrid;
@@ -75,16 +123,154 @@ use crate::render::RenderOutput;
 use std::any::Any;
 use std::sync::{Arc, OnceLock, RwLock};
 
+/// The numeric error bounds a lossy backend declares and is held to.
+///
+/// The per-kernel element check ([`Tolerance::check_slices`]) accepts an
+/// element when any of these holds against the scalar reference value `s`:
+///
+/// * the bits are equal,
+/// * `|l − s| ≤ max_rel_error·|s| + max_norm_error·‖s‖∞` (a mixed
+///   componentwise/normwise bound — the normwise term keeps catastrophic
+///   cancellation near zero from demanding componentwise accuracy the
+///   inputs never carried),
+/// * `l` and `s` are within `max_ulps` representable values of each other.
+///
+/// The end-to-end floors (`max_psnr_drop_db`, `max_ssim_drop`) bound how
+/// far a training run on the lossy backend may land below the scalar
+/// golden run's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tolerance {
+    /// Componentwise relative error bound (vs the reference element).
+    pub max_rel_error: f32,
+    /// Normwise error bound, scaled by the reference slice's ∞-norm.
+    pub max_norm_error: f32,
+    /// Units-in-the-last-place escape hatch for well-scaled elements.
+    pub max_ulps: u32,
+    /// Max PSNR regression (dB) of a lossy training run vs the scalar
+    /// golden run.
+    pub max_psnr_drop_db: f32,
+    /// Max SSIM regression of a lossy training run vs the scalar golden
+    /// run.
+    pub max_ssim_drop: f32,
+}
+
+/// Distance in representable `f32` steps between two finite floats of the
+/// same sign class (the usual monotonic total-order bit trick).
+fn ulp_distance(a: f32, b: f32) -> u64 {
+    fn key(x: f32) -> i64 {
+        let bits = x.to_bits() as i32;
+        (if bits < 0 {
+            i32::MIN.wrapping_sub(bits)
+        } else {
+            bits
+        }) as i64
+    }
+    (key(a) - key(b)).unsigned_abs()
+}
+
+impl Tolerance {
+    /// Checks a lossy kernel output slice element-wise against the scalar
+    /// reference slice, returning a worst-offender diagnostic on failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the slices have different lengths — that is a shape
+    /// bug, not a numeric violation.
+    pub fn check_slices(
+        &self,
+        label: &str,
+        lossy: &[f32],
+        reference: &[f32],
+    ) -> Result<(), String> {
+        assert_eq!(
+            lossy.len(),
+            reference.len(),
+            "{label}: lossy and reference outputs must have the same shape"
+        );
+        let norm = reference.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        for (i, (&l, &s)) in lossy.iter().zip(reference).enumerate() {
+            if l.to_bits() == s.to_bits() {
+                continue;
+            }
+            if !l.is_finite() || !s.is_finite() {
+                return Err(format!(
+                    "{label}[{i}]: non-finite mismatch (lossy {l}, reference {s})"
+                ));
+            }
+            let err = (l - s).abs();
+            if err <= self.max_rel_error * s.abs() + self.max_norm_error * norm {
+                continue;
+            }
+            if ulp_distance(l, s) <= self.max_ulps as u64 {
+                continue;
+            }
+            return Err(format!(
+                "{label}[{i}]: lossy {l:e} vs reference {s:e} (abs err {err:e}, \
+                 rel bound {:e}·|s| + {:e}·{norm:e}, ulp distance {})",
+                self.max_rel_error,
+                self.max_norm_error,
+                ulp_distance(l, s)
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Which registration contract a backend signs up to: bit-identity
+/// ([`Tier::Strict`]) or declared error bounds ([`Tier::Lossy`]). See the
+/// [module docs](self#the-two-tier-registration-contract).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Tier {
+    /// Bit-identical to [`ScalarKernels`] on every kernel.
+    Strict,
+    /// Free to re-round (FMA, wider intermediates) within the declared
+    /// [`Tolerance`]; still deterministic.
+    Lossy(Tolerance),
+}
+
+impl Tier {
+    /// `"strict"` or `"lossy"` — the stable label stamped into
+    /// `WorkloadStats`, bench metadata and panic messages.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Tier::Strict => "strict",
+            Tier::Lossy(_) => "lossy",
+        }
+    }
+
+    /// Whether this is the bit-identity tier.
+    pub fn is_strict(&self) -> bool {
+        matches!(self, Tier::Strict)
+    }
+
+    /// The declared tolerance, for lossy backends.
+    pub fn tolerance(&self) -> Option<Tolerance> {
+        match self {
+            Tier::Strict => None,
+            Tier::Lossy(t) => Some(*t),
+        }
+    }
+}
+
+impl std::fmt::Display for Tier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// One interchangeable implementation of the batched engine's hot kernels.
 ///
-/// Implementations must uphold the bit-identity contract documented at the
-/// [module level](self): every method's numeric results must be
-/// bit-identical to [`ScalarKernels`]'. The easiest way to satisfy it from
-/// outside this crate is to delegate the numerics to a built-in backend
-/// (see [`InstrumentedKernels`], which wraps [`SimdKernels`]); backends
-/// with their own kernels should build on the observed scalar bodies
-/// ([`HashGrid::encode_level_observed`], [`HashGrid::scatter_level_observed`])
-/// or re-derive the scalar operation order exactly.
+/// Implementations must uphold the contract of the tier they declare via
+/// [`Kernels::tier`] (see the
+/// [module docs](self#the-two-tier-registration-contract)): strict
+/// backends must be bit-identical to [`ScalarKernels`], lossy backends
+/// must stay inside their declared [`Tolerance`]. The easiest way to
+/// satisfy the strict tier from outside this crate is to delegate the
+/// numerics to a built-in backend (see [`InstrumentedKernels`], which
+/// wraps [`SimdKernels`]); backends with their own kernels should build on
+/// the observed scalar bodies ([`HashGrid::encode_level_observed`],
+/// [`HashGrid::scatter_level_observed`]) or re-derive the scalar operation
+/// order exactly.
 ///
 /// All methods take `&self` and may run concurrently from multiple rayon
 /// workers (the grid methods are called once per disjoint chunk / level);
@@ -98,6 +284,23 @@ pub trait Kernels: Send + Sync + std::fmt::Debug {
     /// downcast to a concrete backend (e.g. to flip
     /// [`InstrumentedKernels`] recording).
     fn as_any(&self) -> &dyn Any;
+
+    /// Which contract this backend registers under. Defaults to
+    /// [`Tier::Strict`] — the conservative claim; declaring
+    /// [`Tier::Lossy`] is an explicit opt-out of bit-identity and an
+    /// opt-in to the tolerance suites.
+    fn tier(&self) -> Tier {
+        Tier::Strict
+    }
+
+    /// Whether the backend can actually run on this host. Backends whose
+    /// kernels *require* absent CPU features register anyway (names stay
+    /// host-independent) but return `false` here; [`available_names`] and
+    /// the CI matrix arms honour it. Backends with portable fallbacks
+    /// (like [`FastKernels`]) are always available.
+    fn available(&self) -> bool {
+        true
+    }
 
     /// Encodes one chunk of unit-cube points across **all** grid levels
     /// into the `chunk × output_dim` row-major SoA slice `out`.
@@ -246,7 +449,7 @@ impl std::fmt::Display for BackendHandle {
 
 /// The process-wide backend registry: an append-only, name-keyed list of
 /// [`BackendHandle`]s, pre-seeded with the built-in backends in the order
-/// `scalar`, `simd`, `instrumented`.
+/// `scalar`, `simd`, `instrumented`, `fast`.
 ///
 /// The free functions of this module ([`register`], [`get`], [`resolve`],
 /// [`registered`], [`names`], [`from_env`]) are the public face; the
@@ -263,6 +466,7 @@ impl BackendRegistry {
                 BackendHandle::new(ScalarKernels),
                 BackendHandle::new(SimdKernels),
                 BackendHandle::new(InstrumentedKernels::new()),
+                BackendHandle::new(FastKernels::new()),
             ]),
         })
     }
@@ -273,8 +477,9 @@ impl BackendRegistry {
 /// the test suites and benches that iterate [`registered`]).
 ///
 /// Registration is an API-level promise that the backend upholds the
-/// [bit-identity contract](self#the-bit-identity-contract); the
-/// differential suites will hold it to that.
+/// contract of its declared [tier](self#the-two-tier-registration-contract):
+/// strict backends land in the bit-identity suites, lossy backends in the
+/// tolerance suites.
 ///
 /// # Errors
 ///
@@ -313,15 +518,15 @@ pub fn get(name: &str) -> Option<BackendHandle> {
 ///
 /// # Panics
 ///
-/// Panics on unknown names, listing every registered backend — a typo in
-/// a config or CI matrix entry must fail loudly instead of silently
-/// running the default backend.
+/// Panics on unknown names, listing every registered backend with its
+/// tier and availability — a typo in a config or CI matrix entry must
+/// fail loudly instead of silently running the default backend.
 pub fn resolve(name: &str) -> BackendHandle {
     get(name).unwrap_or_else(|| {
         panic!(
             "unknown kernel backend {:?}; registered backends: {}",
             name.trim(),
-            quoted_names()
+            described_names()
         )
     })
 }
@@ -329,6 +534,25 @@ pub fn resolve(name: &str) -> BackendHandle {
 /// All registered backends, in registration order (built-ins first).
 pub fn registered() -> Vec<BackendHandle> {
     BackendRegistry::global().backends.read().unwrap().clone()
+}
+
+/// The registered **strict-tier** backends, in registration order — the
+/// iteration set of every bit-identity differential/golden suite.
+pub fn registered_strict() -> Vec<BackendHandle> {
+    registered()
+        .into_iter()
+        .filter(|b| b.tier().is_strict())
+        .collect()
+}
+
+/// The registered **lossy-tier** backends, in registration order — the
+/// iteration set of the tolerance suites, so no lossy backend can dodge
+/// its declared quality gate.
+pub fn registered_lossy() -> Vec<BackendHandle> {
+    registered()
+        .into_iter()
+        .filter(|b| !b.tier().is_strict())
+        .collect()
 }
 
 /// The registered backend names, in registration order.
@@ -342,10 +566,37 @@ pub fn names() -> Vec<&'static str> {
         .collect()
 }
 
-fn quoted_names() -> String {
-    names()
+/// The names of registered backends that are [`Kernels::available`] on
+/// this host. A backend missing from this list (but present in [`names`])
+/// registered fine — its kernels just can't run here.
+pub fn available_names() -> Vec<&'static str> {
+    BackendRegistry::global()
+        .backends
+        .read()
+        .unwrap()
         .iter()
-        .map(|n| format!("{n:?}"))
+        .filter(|b| b.available())
+        .map(|b| b.name())
+        .collect()
+}
+
+/// `"name" (tier, availability)` for every registered backend — the panic
+/// payload of [`resolve`] / [`from_env_value`].
+fn described_names() -> String {
+    registered()
+        .iter()
+        .map(|b| {
+            format!(
+                "{:?} ({}, {})",
+                b.name(),
+                b.tier().label(),
+                if b.available() {
+                    "available"
+                } else {
+                    "unavailable"
+                }
+            )
+        })
         .collect::<Vec<_>>()
         .join(", ")
 }
@@ -367,6 +618,12 @@ pub fn simd() -> BackendHandle {
 /// fresh [`InstrumentedKernels`] in a [`BackendHandle`] instead.
 pub fn instrumented() -> BackendHandle {
     get("instrumented").expect("built-in instrumented backend")
+}
+
+/// The lossy-tier FMA/AVX2 backend (always registered; always available —
+/// it falls back to portable `f32::mul_add` where AVX2/FMA are absent).
+pub fn fast() -> BackendHandle {
+    get("fast").expect("built-in fast backend")
 }
 
 /// The engine's default backend (`simd`).
@@ -397,7 +654,7 @@ pub fn from_env_value(value: Option<&str>) -> Option<BackendHandle> {
         None => panic!(
             "invalid INSTANT3D_KERNEL_BACKEND value {:?}; registered backends: {}",
             v.trim(),
-            quoted_names()
+            described_names()
         ),
     }
 }
@@ -407,6 +664,18 @@ pub fn from_env_or_default() -> BackendHandle {
     from_env().unwrap_or_else(default_backend)
 }
 
+/// The env-var backend **if it is strict-tier**, otherwise
+/// [`default_backend`]. Reference paths and bit-identity fixtures use
+/// this so that running the suite under a lossy env override (the CI
+/// `fast` arm) keeps strict-contract comparisons meaningful instead of
+/// asserting bit-equality against FMA numerics.
+pub fn strict_from_env_or_default() -> BackendHandle {
+    match from_env() {
+        Some(backend) if backend.tier().is_strict() => backend,
+        _ => default_backend(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -414,9 +683,111 @@ mod tests {
     #[test]
     fn builtins_are_registered_in_order() {
         let names = names();
-        assert_eq!(&names[..3], &["scalar", "simd", "instrumented"]);
-        assert_eq!(registered()[..3].len(), 3);
+        assert_eq!(&names[..4], &["scalar", "simd", "instrumented", "fast"]);
+        assert_eq!(registered()[..4].len(), 4);
         assert_eq!(default_backend().name(), "simd");
+    }
+
+    #[test]
+    fn builtin_tiers_split_strict_from_lossy() {
+        let strict: Vec<_> = registered_strict().iter().map(|b| b.name()).collect();
+        assert!(strict.contains(&"scalar"));
+        assert!(strict.contains(&"simd"));
+        assert!(strict.contains(&"instrumented"));
+        assert!(!strict.contains(&"fast"));
+        let lossy: Vec<_> = registered_lossy().iter().map(|b| b.name()).collect();
+        assert!(lossy.contains(&"fast"));
+        assert!(!lossy.contains(&"scalar"));
+        // The split is a partition of the registry.
+        assert_eq!(
+            registered_strict().len() + registered_lossy().len(),
+            registered().len()
+        );
+        // And the lossy tier carries its declared tolerance.
+        let tol = fast().tier().tolerance().expect("fast declares bounds");
+        assert!(tol.max_rel_error > 0.0 && tol.max_psnr_drop_db > 0.0);
+        assert_eq!(fast().tier().label(), "lossy");
+        assert_eq!(scalar().tier().label(), "strict");
+    }
+
+    #[test]
+    fn available_names_filters_unavailable_backends() {
+        // A backend requiring an absent CPU feature registers but reports
+        // unavailable; the built-ins are always available.
+        #[derive(Debug)]
+        struct Avx999(ScalarKernels);
+        impl Kernels for Avx999 {
+            fn name(&self) -> &'static str {
+                "mock-avx999"
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+            fn available(&self) -> bool {
+                false // the hypothetical feature is absent everywhere
+            }
+            fn grid_encode_chunk(&self, g: &HashGrid, p: &[Vec3], o: &mut [f32]) {
+                self.0.grid_encode_chunk(g, p, o)
+            }
+            fn grid_encode_levels_chunk(
+                &self,
+                g: &HashGrid,
+                l: &[usize],
+                p: &[Vec3],
+                o: &mut [f32],
+            ) {
+                self.0.grid_encode_levels_chunk(g, l, p, o)
+            }
+            fn grid_scatter_level(
+                &self,
+                g: &HashGrid,
+                l: usize,
+                lg: &mut [f32],
+                p: &[Vec3],
+                d: &[f32],
+            ) {
+                self.0.grid_scatter_level(g, l, lg, p, d)
+            }
+            fn mlp_forward_batch<'w>(
+                &self,
+                m: &Mlp,
+                i: &[f32],
+                w: &'w mut MlpBatchWorkspace,
+            ) -> &'w [f32] {
+                self.0.mlp_forward_batch(m, i, w)
+            }
+            fn mlp_backward_batch(
+                &self,
+                m: &Mlp,
+                d: &[f32],
+                w: &mut MlpBatchWorkspace,
+                g: &mut MlpGradients,
+                di: &mut [f32],
+            ) {
+                self.0.mlp_backward_batch(m, d, w, g, di)
+            }
+            fn composite_ray(
+                &self,
+                t: &[f32],
+                dt: &[f32],
+                s: &[f32],
+                r: &[Vec3],
+                b: Vec3,
+                c: Option<(&mut [f32], &mut [f32], &mut [f32])>,
+            ) -> (RenderOutput, usize) {
+                self.0.composite_ray(t, dt, s, r, b, c)
+            }
+        }
+        let handle = register(Avx999(ScalarKernels)).expect("fresh mock name");
+        assert!(names().contains(&"mock-avx999"), "registration succeeded");
+        assert!(
+            !available_names().contains(&"mock-avx999"),
+            "but availability filtering excludes it"
+        );
+        for builtin in ["scalar", "simd", "instrumented", "fast"] {
+            assert!(available_names().contains(&builtin), "{builtin}");
+        }
+        assert!(!handle.available());
     }
 
     #[test]
@@ -443,6 +814,7 @@ mod tests {
             from_env_value(Some("instrumented")).unwrap().name(),
             "instrumented"
         );
+        assert_eq!(from_env_value(Some("fast")).unwrap().name(), "fast");
     }
 
     #[test]
@@ -454,8 +826,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "registered backends: \"scalar\", \"simd\", \"instrumented\"")]
-    fn resolve_panic_lists_registered_names() {
+    #[should_panic(expected = "registered backends: \"scalar\" (strict, available), \
+                    \"simd\" (strict, available), \
+                    \"instrumented\" (strict, available), \
+                    \"fast\" (lossy, available)")]
+    fn resolve_panic_lists_names_with_tier_and_availability() {
         let _ = resolve("no-such-backend");
     }
 
@@ -527,5 +902,58 @@ mod tests {
         assert!(handle.downcast_ref::<InstrumentedKernels>().is_some());
         assert!(handle.downcast_ref::<ScalarKernels>().is_none());
         assert!(!handle.sequential_grid(), "recording starts off");
+    }
+
+    #[test]
+    fn strict_from_env_falls_back_on_lossy_overrides() {
+        // The helper keeps bit-identity fixtures on a strict backend even
+        // when the process-wide override names a lossy one. (Exercised
+        // through the value-level seam; the env-var plumbing is shared
+        // with `from_env`.)
+        let strict = |v: Option<&str>| match from_env_value(v) {
+            Some(b) if b.tier().is_strict() => b,
+            _ => default_backend(),
+        };
+        assert_eq!(strict(Some("scalar")).name(), "scalar");
+        assert_eq!(strict(Some("fast")).name(), "simd");
+        assert_eq!(strict(None).name(), "simd");
+        assert!(strict_from_env_or_default().tier().is_strict());
+    }
+
+    #[test]
+    fn tolerance_check_accepts_bounded_and_rejects_gross_errors() {
+        let tol = Tolerance {
+            max_rel_error: 1e-4,
+            max_norm_error: 1e-5,
+            max_ulps: 8,
+            max_psnr_drop_db: 0.05,
+            max_ssim_drop: 1e-3,
+        };
+        // Bit-equal (including NaN-to-NaN with equal payloads) passes.
+        assert!(tol
+            .check_slices("eq", &[1.0, f32::NAN], &[1.0, f32::NAN])
+            .is_ok());
+        // Small relative error passes; ±0 is bit-different but 0 ulps apart.
+        assert!(tol
+            .check_slices("rel", &[1.0 + 5e-5, -0.0], &[1.0, 0.0])
+            .is_ok());
+        // The normwise term absorbs cancellation noise near zero…
+        assert!(tol
+            .check_slices("norm", &[1e-6, 100.0], &[0.0, 100.0])
+            .is_ok());
+        // …but a gross error on a well-scaled element fails with context.
+        let err = tol
+            .check_slices("gross", &[1.01], &[1.0])
+            .expect_err("1% off must fail a 1e-4 bound");
+        assert!(err.contains("gross[0]"), "offender is named: {err}");
+        // A non-finite divergence always fails.
+        assert!(tol.check_slices("nan", &[f32::NAN], &[1.0]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "same shape")]
+    fn tolerance_check_panics_on_shape_mismatch() {
+        let tol = fast().tier().tolerance().unwrap();
+        let _ = tol.check_slices("shape", &[1.0, 2.0], &[1.0]);
     }
 }

@@ -141,4 +141,46 @@ mod tests {
     fn negative_mse_panics() {
         let _ = psnr(-1.0, 1.0);
     }
+
+    // Knife-edge pins for the lossy-tier tolerance gate: PSNR drops are
+    // compared to 0.05 dB, so the metric must behave exactly on the
+    // degenerate images the gate can produce.
+
+    #[test]
+    fn signed_zero_pixels_are_identical_for_psnr() {
+        // +0.0 and −0.0 differ in bits but not in value: the squared
+        // error is exactly zero, so the PSNR is infinite, not NaN.
+        let pos = RgbImage::from_fn(4, 4, |_, _| Vec3::splat(0.0));
+        let neg = RgbImage::from_fn(4, 4, |_, _| Vec3::splat(-0.0));
+        assert_eq!(psnr_rgb(&pos, &neg), f32::INFINITY);
+    }
+
+    #[test]
+    fn one_pixel_image_psnr_matches_closed_form() {
+        // A 1×1 pair pins the mse normalisation: one channel triple off
+        // by 0.5 → MSE 0.25 → 10·log10(1/0.25) ≈ 6.0206 dB.
+        let a = RgbImage::from_fn(1, 1, |_, _| Vec3::splat(0.25));
+        let b = RgbImage::from_fn(1, 1, |_, _| Vec3::splat(0.75));
+        let p = psnr_rgb(&a, &b);
+        assert!((p - 6.0206).abs() < 1e-3, "1×1 psnr {p}");
+    }
+
+    #[test]
+    fn constant_images_psnr_matches_closed_form() {
+        // Constant-vs-constant is pure mean offset: MSE = d².
+        let a = RgbImage::from_fn(8, 8, |_, _| Vec3::splat(0.2));
+        let b = RgbImage::from_fn(8, 8, |_, _| Vec3::splat(0.3));
+        let p = psnr_rgb(&a, &b);
+        let expect = psnr(0.1f32 * 0.1, 1.0);
+        assert!((p - expect).abs() < 1e-3, "{p} vs {expect}");
+    }
+
+    #[test]
+    fn zero_depth_images_use_the_scale_floor() {
+        // Two all-zero depth maps: max depth is 0, the 1e-6 floor keeps
+        // the normalisation finite and the PSNR infinite.
+        let a = DepthImage::new(3, 3);
+        let b = DepthImage::new(3, 3);
+        assert_eq!(psnr_depth(&a, &b), f32::INFINITY);
+    }
 }

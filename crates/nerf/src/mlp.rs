@@ -124,6 +124,279 @@ impl Linear {
             out[o] = self.spec.activation.apply(pre[o]);
         }
     }
+
+    /// Fused (lossy-tier) row GEMV body: every `w·x` term is folded into
+    /// the accumulator with one `f32::mul_add` rounding instead of two,
+    /// and inputs are blocked four at a time so each `pre` element is
+    /// loaded/stored once per four terms (the chained per-element fma
+    /// sequence `fma(w3,x3, fma(w2,x2, fma(w1,x1, fma(w0,x0, p))))` keeps
+    /// `i`-ascending term order; the block boundary depends only on the
+    /// layer shape, so results are deterministic). Divergence from
+    /// [`Linear::forward_into`] is per-term rounding only — bounded by
+    /// the backend's declared tolerance. Written as plain
+    /// output-contiguous sweeps over the transposed weights so the AVX2
+    /// wrapper autovectorizes them to 256-bit `vfmadd`.
+    #[inline(always)]
+    fn forward_into_fused_body(&self, wt: &[f32], x: &[f32], pre: &mut [f32], out: &mut [f32]) {
+        let (iw, ow) = (self.spec.in_dim, self.spec.out_dim);
+        debug_assert_eq!(x.len(), iw);
+        debug_assert_eq!(wt.len(), iw * ow);
+        pre[..ow].copy_from_slice(&self.b);
+        let full = iw - iw % 4;
+        let mut i = 0;
+        while i < full {
+            let (x0, x1, x2, x3) = (x[i], x[i + 1], x[i + 2], x[i + 3]);
+            let r0 = &wt[i * ow..(i + 1) * ow];
+            let r1 = &wt[(i + 1) * ow..(i + 2) * ow];
+            let r2 = &wt[(i + 2) * ow..(i + 3) * ow];
+            let r3 = &wt[(i + 3) * ow..(i + 4) * ow];
+            for ((((p, &w0), &w1), &w2), &w3) in
+                pre[..ow].iter_mut().zip(r0).zip(r1).zip(r2).zip(r3)
+            {
+                let mut acc = w0.mul_add(x0, *p);
+                acc = w1.mul_add(x1, acc);
+                acc = w2.mul_add(x2, acc);
+                acc = w3.mul_add(x3, acc);
+                *p = acc;
+            }
+            i += 4;
+        }
+        while i < iw {
+            let xi = x[i];
+            let wrow = &wt[i * ow..(i + 1) * ow];
+            for (p, w) in pre[..ow].iter_mut().zip(wrow) {
+                *p = w.mul_add(xi, *p);
+            }
+            i += 1;
+        }
+        for (y, p) in out[..ow].iter_mut().zip(&pre[..ow]) {
+            *y = self.spec.activation.apply(*p);
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn forward_into_fused_avx2(
+        &self,
+        wt: &[f32],
+        x: &[f32],
+        pre: &mut [f32],
+        out: &mut [f32],
+    ) {
+        self.forward_into_fused_body(wt, x, pre, out);
+    }
+
+    /// Fused row GEMV with per-call AVX2/FMA dispatch; bit-identical
+    /// results on both arms (`f32::mul_add` is correctly rounded
+    /// everywhere), so the specialization is purely speed.
+    #[inline]
+    fn forward_into_fused(&self, wt: &[f32], x: &[f32], pre: &mut [f32], out: &mut [f32]) {
+        #[cfg(target_arch = "x86_64")]
+        if simd::avx2_fma_available() {
+            // SAFETY: guarded by runtime AVX2+FMA detection.
+            unsafe {
+                return self.forward_into_fused_avx2(wt, x, pre, out);
+            }
+        }
+        self.forward_into_fused_body(wt, x, pre, out);
+    }
+}
+
+/// Which arithmetic the shared batched MLP bodies run: the strict scalar
+/// reference, the strict lane-batched SIMD path, or the lossy fused (FMA)
+/// path with runtime AVX2 dispatch ([`crate::kernels::FastKernels`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum GemvMode {
+    /// Scalar reference GEMV — the executable specification.
+    Scalar,
+    /// Lane-batched GEMV, bit-identical to scalar (separate mul/add).
+    Simd,
+    /// Fused multiply-add GEMV — lossy tier, one rounding per term.
+    Fused,
+}
+
+impl GemvMode {
+    /// The mode's axpy for the backward sweeps.
+    #[inline(always)]
+    fn axpy(self, y: &mut [f32], a: f32, x: &[f32]) {
+        match self {
+            GemvMode::Scalar => simd::axpy(false, y, a, x),
+            GemvMode::Simd => simd::axpy(true, y, a, x),
+            GemvMode::Fused => simd::axpy_fused(y, a, x),
+        }
+    }
+}
+
+/// Fused parameter-gradient sweep for a block of output rows
+/// (`gb_rows.len()` rows starting at `o0`): items are blocked four at a
+/// time so each gradient element is loaded/stored once per four fused
+/// terms instead of once per term. The chained per-element sequence
+/// `fma(x3,d3, fma(x2,d2, fma(x1,d1, fma(x0,d0, g))))` keeps the
+/// item-ascending accumulation order (and the bias adds stay plain
+/// left-associated sums, bit-identical to the strict path); the block
+/// boundary depends only on `n`, never on the row chunking, so results
+/// are worker-count invariant.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn grad_rows_fused_body(
+    x: &[f32],
+    dz: &[f32],
+    iw: usize,
+    ow: usize,
+    n: usize,
+    o0: usize,
+    gw_rows: &mut [f32],
+    gb_rows: &mut [f32],
+) {
+    let rows = gb_rows.len();
+    let full = n - n % 4;
+    let mut item = 0;
+    while item < full {
+        let x0 = &x[item * iw..(item + 1) * iw];
+        let x1 = &x[(item + 1) * iw..(item + 2) * iw];
+        let x2 = &x[(item + 2) * iw..(item + 3) * iw];
+        let x3 = &x[(item + 3) * iw..(item + 4) * iw];
+        let dz0 = &dz[item * ow..(item + 1) * ow];
+        let dz1 = &dz[(item + 1) * ow..(item + 2) * ow];
+        let dz2 = &dz[(item + 2) * ow..(item + 3) * ow];
+        let dz3 = &dz[(item + 3) * ow..(item + 4) * ow];
+        for j in 0..rows {
+            let o = o0 + j;
+            let (d0, d1, d2, d3) = (dz0[o], dz1[o], dz2[o], dz3[o]);
+            gb_rows[j] = gb_rows[j] + d0 + d1 + d2 + d3;
+            let grow = &mut gw_rows[j * iw..(j + 1) * iw];
+            for ((((g, &a0), &a1), &a2), &a3) in grow.iter_mut().zip(x0).zip(x1).zip(x2).zip(x3) {
+                let mut a = a0.mul_add(d0, *g);
+                a = a1.mul_add(d1, a);
+                a = a2.mul_add(d2, a);
+                a = a3.mul_add(d3, a);
+                *g = a;
+            }
+        }
+        item += 4;
+    }
+    while item < n {
+        let xr = &x[item * iw..(item + 1) * iw];
+        let dzr = &dz[item * ow..(item + 1) * ow];
+        for j in 0..rows {
+            let d = dzr[o0 + j];
+            gb_rows[j] += d;
+            let grow = &mut gw_rows[j * iw..(j + 1) * iw];
+            for (g, &xk) in grow.iter_mut().zip(xr) {
+                *g = xk.mul_add(d, *g);
+            }
+        }
+        item += 1;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn grad_rows_fused_avx2(
+    x: &[f32],
+    dz: &[f32],
+    iw: usize,
+    ow: usize,
+    n: usize,
+    o0: usize,
+    gw_rows: &mut [f32],
+    gb_rows: &mut [f32],
+) {
+    grad_rows_fused_body(x, dz, iw, ow, n, o0, gw_rows, gb_rows);
+}
+
+/// Whole-sweep AVX2/FMA dispatch for the fused parameter gradients: one
+/// feature check per row chunk instead of one per `(item, row)` axpy.
+/// Bit-identical on both arms (`f32::mul_add` is correctly rounded
+/// everywhere), so the specialization is purely speed.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn grad_rows_fused(
+    x: &[f32],
+    dz: &[f32],
+    iw: usize,
+    ow: usize,
+    n: usize,
+    o0: usize,
+    gw_rows: &mut [f32],
+    gb_rows: &mut [f32],
+) {
+    #[cfg(target_arch = "x86_64")]
+    if simd::avx2_fma_available() {
+        // SAFETY: guarded by runtime AVX2+FMA detection.
+        unsafe {
+            return grad_rows_fused_avx2(x, dz, iw, ow, n, o0, gw_rows, gb_rows);
+        }
+    }
+    grad_rows_fused_body(x, dz, iw, ow, n, o0, gw_rows, gb_rows);
+}
+
+/// Fused input-gradient sweep `dn = Wᵀ dz` for a chunk of items: output
+/// rows are blocked four at a time so each `dn` element is
+/// loaded/stored once per four fused terms. The chained fma keeps the
+/// `o`-ascending term order and the block boundary depends only on
+/// `ow`, so results are chunking- and worker-count invariant.
+#[inline(always)]
+fn input_grad_fused_body(dnc: &mut [f32], dzc: &[f32], w_flat: &[f32], iw: usize, ow: usize) {
+    let rows = dnc.len() / iw;
+    let full = ow - ow % 4;
+    for r in 0..rows {
+        let dn = &mut dnc[r * iw..(r + 1) * iw];
+        let dzr = &dzc[r * ow..(r + 1) * ow];
+        dn.fill(0.0);
+        let mut o = 0;
+        while o < full {
+            let (d0, d1, d2, d3) = (dzr[o], dzr[o + 1], dzr[o + 2], dzr[o + 3]);
+            let w0 = &w_flat[o * iw..(o + 1) * iw];
+            let w1 = &w_flat[(o + 1) * iw..(o + 2) * iw];
+            let w2 = &w_flat[(o + 2) * iw..(o + 3) * iw];
+            let w3 = &w_flat[(o + 3) * iw..(o + 4) * iw];
+            for ((((y, &a0), &a1), &a2), &a3) in dn.iter_mut().zip(w0).zip(w1).zip(w2).zip(w3) {
+                let mut a = a0.mul_add(d0, *y);
+                a = a1.mul_add(d1, a);
+                a = a2.mul_add(d2, a);
+                a = a3.mul_add(d3, a);
+                *y = a;
+            }
+            o += 4;
+        }
+        while o < ow {
+            let d = dzr[o];
+            let wr = &w_flat[o * iw..(o + 1) * iw];
+            for (y, &w) in dn.iter_mut().zip(wr) {
+                *y = w.mul_add(d, *y);
+            }
+            o += 1;
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn input_grad_fused_avx2(
+    dnc: &mut [f32],
+    dzc: &[f32],
+    w_flat: &[f32],
+    iw: usize,
+    ow: usize,
+) {
+    input_grad_fused_body(dnc, dzc, w_flat, iw, ow);
+}
+
+/// Whole-chunk AVX2/FMA dispatch for the fused input gradients: one
+/// feature check per item chunk instead of one per `(item, row)` axpy.
+/// Bit-identical on both arms, so the specialization is purely speed.
+#[inline]
+fn input_grad_fused(dnc: &mut [f32], dzc: &[f32], w_flat: &[f32], iw: usize, ow: usize) {
+    #[cfg(target_arch = "x86_64")]
+    if simd::avx2_fma_available() {
+        // SAFETY: guarded by runtime AVX2+FMA detection.
+        unsafe {
+            return input_grad_fused_avx2(dnc, dzc, w_flat, iw, ow);
+        }
+    }
+    input_grad_fused_body(dnc, dzc, w_flat, iw, ow);
 }
 
 /// A multilayer perceptron assembled from [`Linear`] layers.
@@ -488,7 +761,7 @@ impl Mlp {
     ///
     /// Panics if `inputs.len()` is not a multiple of `self.in_dim()`.
     pub fn forward_batch<'w>(&self, inputs: &[f32], ws: &'w mut MlpBatchWorkspace) -> &'w [f32] {
-        self.forward_batch_impl(false, inputs, ws)
+        self.forward_batch_impl(GemvMode::Scalar, inputs, ws)
     }
 
     /// [`Mlp::forward_batch`] with an explicit kernel backend
@@ -504,12 +777,12 @@ impl Mlp {
     }
 
     /// The shared body of the built-in backends' batched forward. The SIMD
-    /// path (`use_simd`) runs the lane-batched row GEMV over per-layer
-    /// transposed weights (rebuilt each call — weights change between
-    /// optimizer steps).
+    /// and fused modes run their row GEMVs over per-layer transposed
+    /// weights (rebuilt each call — weights change between optimizer
+    /// steps).
     pub(crate) fn forward_batch_impl<'w>(
         &self,
-        use_simd: bool,
+        mode: GemvMode,
         inputs: &[f32],
         ws: &'w mut MlpBatchWorkspace,
     ) -> &'w [f32] {
@@ -521,7 +794,7 @@ impl Mlp {
         ws.acts[0][..n * iw].copy_from_slice(inputs);
         for (i, layer) in self.layers.iter().enumerate() {
             let spec = layer.spec;
-            if use_simd {
+            if mode != GemvMode::Scalar {
                 layer.fill_transposed(&mut ws.wt[i]);
             }
             let wt: &[f32] = &ws.wt[i];
@@ -535,10 +808,10 @@ impl Mlp {
                     let xr = &xc[r * spec.in_dim..(r + 1) * spec.in_dim];
                     let prer = &mut prec[r * spec.out_dim..(r + 1) * spec.out_dim];
                     let yr = &mut yc[r * spec.out_dim..(r + 1) * spec.out_dim];
-                    if use_simd {
-                        layer.forward_into_simd(wt, xr, prer, yr);
-                    } else {
-                        layer.forward_into(xr, prer, yr);
+                    match mode {
+                        GemvMode::Scalar => layer.forward_into(xr, prer, yr),
+                        GemvMode::Simd => layer.forward_into_simd(wt, xr, prer, yr),
+                        GemvMode::Fused => layer.forward_into_fused(wt, xr, prer, yr),
                     }
                 }
             };
@@ -576,13 +849,15 @@ impl Mlp {
         grads: &mut MlpGradients,
         d_input: &mut [f32],
     ) {
-        self.backward_batch_impl(false, d_output, ws, grads, d_input);
+        self.backward_batch_impl(GemvMode::Scalar, d_output, ws, grads, d_input);
     }
 
     /// [`Mlp::backward_batch`] with an explicit kernel backend
-    /// ([`crate::kernels`]); gradients are bit-identical to the scalar
-    /// backend (and to `n` scalar [`Mlp::backward`] calls) for any worker
-    /// count.
+    /// ([`crate::kernels`]). Strict-tier backends produce gradients
+    /// bit-identical to the scalar backend (and to `n` scalar
+    /// [`Mlp::backward`] calls); lossy-tier backends stay within their
+    /// declared tolerance. Either way the result is the same for any
+    /// worker count.
     pub fn backward_batch_with(
         &self,
         backend: &BackendHandle,
@@ -595,12 +870,15 @@ impl Mlp {
     }
 
     /// The shared body of the built-in backends' batched backward. The
-    /// SIMD path (`use_simd`) vectorizes the parameter-gradient and
-    /// input-gradient inner sweeps ([`simd::axpy`]) across independent
-    /// parameters; accumulation per parameter stays in item order.
+    /// SIMD mode vectorizes the parameter-gradient and input-gradient
+    /// inner sweeps ([`simd::axpy`]) across independent parameters; the
+    /// fused mode runs register-blocked fma sweeps ([`grad_rows_fused`],
+    /// [`input_grad_fused`] — one rounding per term, four terms per
+    /// load/store). Accumulation per parameter stays in item order on
+    /// every mode.
     pub(crate) fn backward_batch_impl(
         &self,
-        use_simd: bool,
+        mode: GemvMode,
         d_output: &[f32],
         ws: &mut MlpBatchWorkspace,
         grads: &mut MlpGradients,
@@ -660,6 +938,11 @@ impl Mlp {
             // so results match the scalar path bit-for-bit.
             let (gw, gb) = &mut grads.layers[i];
             let accumulate_rows = |o0: usize, gw_rows: &mut [f32], gb_rows: &mut [f32]| {
+                if mode == GemvMode::Fused {
+                    // Item-blocked fused sweep with one AVX2 dispatch per
+                    // row chunk (lossy tier; item order preserved).
+                    return grad_rows_fused(x, dz, iw, ow, n, o0, gw_rows, gb_rows);
+                }
                 let rows = gb_rows.len();
                 for item in 0..n {
                     let xr = &x[item * iw..(item + 1) * iw];
@@ -668,7 +951,7 @@ impl Mlp {
                         let d = dzr[o0 + j];
                         gb_rows[j] += d;
                         let grow = &mut gw_rows[j * iw..(j + 1) * iw];
-                        simd::axpy(use_simd, grow, d, xr);
+                        mode.axpy(grow, d, xr);
                     }
                 }
             };
@@ -698,6 +981,11 @@ impl Mlp {
                         .par_chunks_mut(chunk * iw)
                         .zip(dz.par_chunks(chunk * ow))
                         .for_each(|(dnc, dzc)| {
+                            if mode == GemvMode::Fused {
+                                // Row-blocked fused sweep, one AVX2
+                                // dispatch per item chunk (lossy tier).
+                                return input_grad_fused(dnc, dzc, w_flat, iw, ow);
+                            }
                             let rows = dnc.len() / iw;
                             for r in 0..rows {
                                 let dn = &mut dnc[r * iw..(r + 1) * iw];
@@ -705,10 +993,13 @@ impl Mlp {
                                 for o in 0..ow {
                                     let d = dzc[r * ow + o];
                                     let wr = &w_flat[o * iw..(o + 1) * iw];
-                                    simd::axpy(use_simd, dn, d, wr);
+                                    mode.axpy(dn, d, wr);
                                 }
                             }
                         });
+                }
+                None if mode == GemvMode::Fused => {
+                    input_grad_fused(&mut d_next[..n * iw], dz, w_flat, iw, ow);
                 }
                 None => {
                     for r in 0..n {
@@ -717,7 +1008,7 @@ impl Mlp {
                         for o in 0..ow {
                             let d = dz[r * ow + o];
                             let wr = &w_flat[o * iw..(o + 1) * iw];
-                            simd::axpy(use_simd, dn, d, wr);
+                            mode.axpy(dn, d, wr);
                         }
                     }
                 }

@@ -311,6 +311,37 @@ impl CompositeAccum {
         self.trans < EARLY_STOP_TRANSMITTANCE
     }
 
+    /// Fused-tier variant of [`CompositeAccum::step`]: the color/depth
+    /// accumulations fold their multiply into the add with a single
+    /// rounding (`f32::mul_add`). Weight, cache and early-termination
+    /// logic are shared verbatim; only the accumulation rounding differs,
+    /// bounded by the lossy backend's declared tolerance.
+    #[inline(always)]
+    fn step_fused(
+        &mut self,
+        k: usize,
+        one_minus_alpha: f32,
+        t: &[f32],
+        rgb: &[Vec3],
+        cache: &mut Option<(&mut [f32], &mut [f32], &mut [f32])>,
+    ) -> bool {
+        let alpha = 1.0 - one_minus_alpha;
+        let w = self.trans * alpha;
+        if let Some((cw, ct, co)) = cache.as_mut() {
+            cw[k] = w;
+            ct[k] = self.trans;
+            co[k] = one_minus_alpha;
+        }
+        self.color.x = rgb[k].x.mul_add(w, self.color.x);
+        self.color.y = rgb[k].y.mul_add(w, self.color.y);
+        self.color.z = rgb[k].z.mul_add(w, self.color.z);
+        self.depth = t[k].mul_add(w, self.depth);
+        self.opacity += w;
+        self.trans *= one_minus_alpha;
+        self.active = k + 1;
+        self.trans < EARLY_STOP_TRANSMITTANCE
+    }
+
     fn finish(mut self, background: Vec3) -> (RenderOutput, usize) {
         self.color += background * self.trans;
         (
@@ -406,6 +437,82 @@ pub fn composite_slices_simd(
         }
     }
     acc.finish(background)
+}
+
+#[inline(always)]
+fn composite_slices_fast_body(
+    t: &[f32],
+    dt: &[f32],
+    sigma: &[f32],
+    rgb: &[Vec3],
+    background: Vec3,
+    mut cache: Option<(&mut [f32], &mut [f32], &mut [f32])>,
+) -> (RenderOutput, usize) {
+    const LANES: usize = F32x8::LANES;
+    let n = t.len();
+    let mut acc = CompositeAccum::new();
+    let mut oma = [0.0f32; LANES];
+    'rays: for c0 in (0..n).step_by(LANES) {
+        let m = (n - c0).min(LANES);
+        if m == LANES {
+            let mut negs = [0.0f32; LANES];
+            for (k, s) in sigma[c0..c0 + LANES].iter().enumerate() {
+                negs[k] = -s;
+            }
+            let prod = F32x8(negs) * F32x8::from_slice(&dt[c0..]);
+            for (k, o) in oma.iter_mut().enumerate() {
+                *o = prod[k].exp();
+            }
+        } else {
+            for k in 0..m {
+                oma[k] = (-sigma[c0 + k] * dt[c0 + k]).exp();
+            }
+        }
+        for (k, &one_minus_alpha) in oma.iter().enumerate().take(m) {
+            let kk = c0 + k;
+            debug_assert!(sigma[kk] >= 0.0, "density must be non-negative");
+            if acc.step_fused(kk, one_minus_alpha, t, rgb, &mut cache) {
+                break 'rays;
+            }
+        }
+    }
+    acc.finish(background)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn composite_slices_fast_avx2(
+    t: &[f32],
+    dt: &[f32],
+    sigma: &[f32],
+    rgb: &[Vec3],
+    background: Vec3,
+    cache: Option<(&mut [f32], &mut [f32], &mut [f32])>,
+) -> (RenderOutput, usize) {
+    composite_slices_fast_body(t, dt, sigma, rgb, background, cache)
+}
+
+/// The fused (lossy-tier) compositing kernel: the `(−σ·δ)` lane precompute
+/// and scalar `exp` mirror [`composite_slices_simd`], but the color/depth
+/// accumulations use `f32::mul_add`, so outputs differ from the strict
+/// kernels by bounded rounding (one rounding per accumulate instead of
+/// two). `f32::mul_add` is correctly rounded on every path, so results are
+/// identical whether the AVX2/FMA specialization or the portable fallback
+/// runs — feature detection only picks the faster encoding.
+pub fn composite_slices_fast(
+    t: &[f32],
+    dt: &[f32],
+    sigma: &[f32],
+    rgb: &[Vec3],
+    background: Vec3,
+    cache: Option<(&mut [f32], &mut [f32], &mut [f32])>,
+) -> (RenderOutput, usize) {
+    #[cfg(target_arch = "x86_64")]
+    if crate::simd::avx2_fma_available() {
+        // Safety: AVX2+FMA presence was just verified at runtime.
+        return unsafe { composite_slices_fast_avx2(t, dt, sigma, rgb, background, cache) };
+    }
+    composite_slices_fast_body(t, dt, sigma, rgb, background, cache)
 }
 
 /// Backward pass of [`composite_slices`]: writes dL/dσ and dL/dc for every

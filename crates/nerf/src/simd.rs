@@ -7,12 +7,12 @@
 //! ([`crate::kernels`]): the scalar reference kernels, and lane-batched
 //! SIMD kernels built on the [`F32x4`]/[`F32x8`] types below.
 //!
-//! # The additive-order / no-FMA contract
+//! # The additive-order / no-FMA contract (strict tier)
 //!
-//! **Every backend produces bit-identical results.** The SIMD kernels are
-//! written so that, for each output scalar, the exact sequence of IEEE 754
-//! operations — including the order of every addition — is the same as in
-//! the scalar reference kernel. Concretely:
+//! **Every strict-tier backend produces bit-identical results.** The SIMD
+//! kernels are written so that, for each output scalar, the exact sequence
+//! of IEEE 754 operations — including the order of every addition — is the
+//! same as in the scalar reference kernel. Concretely:
 //!
 //! * Lanes are only ever used to batch *independent* scalars (different
 //!   points, different output neurons, different parameters). No kernel
@@ -20,9 +20,11 @@
 //! * Every multiply-add is performed as a distinct IEEE multiply followed
 //!   by a distinct IEEE add — **never** a fused multiply-add. An FMA keeps
 //!   the infinitely-precise product and rounds once, so `fma(a, b, c) !=
-//!   a*b + c` in general; using it would silently break the contract. For
-//!   this reason the lane types expose no `mul_add` and the intrinsic
-//!   specializations deliberately avoid FMA instructions.
+//!   a*b + c` in general; using it would silently break the contract. The
+//!   strict kernels therefore never call [`F32x4::mul_add`] /
+//!   [`F32x8::mul_add`] or [`axpy_fused`] — those exist for the **lossy
+//!   tier** ([`crate::kernels::Tier::Lossy`]), whose backends trade
+//!   bit-identity for FMA throughput under a declared tolerance.
 //! * Lane arithmetic (`+`, `-`, `*`, `min`, `max`, `floor`) is exact
 //!   per-lane IEEE 754 — identical to the corresponding `f32` operator on
 //!   that lane's value. Approximate vector math (rsqrt, rcp, vector exp)
@@ -32,8 +34,21 @@
 //! (`crates/nerf/tests/simd_differential.rs`) which asserts bit-equality
 //! of every kernel against its scalar reference over remainder tails,
 //! empty batches and adversarial fp16 table contents — and which runs
-//! generically over every backend registered in [`crate::kernels`], so a
-//! registered third-party backend is held to the same contract.
+//! generically over every strict backend registered in [`crate::kernels`],
+//! so a registered third-party strict backend is held to the same
+//! contract.
+//!
+//! # The fused (lossy-tier) helpers
+//!
+//! The fused helpers are built on `f32::mul_add`, which is **correctly
+//! rounded** (IEEE 754 fusedMultiplyAdd): a hardware `vfmadd` and the
+//! portable libm fallback produce the same bits, so lossy kernels built on
+//! them are still deterministic across hosts — AVX2/FMA, detected once at
+//! runtime via [`avx2_fma_available`], is purely a speed specialization.
+//! [`axpy_fused`] and the lossy kernels' inner loops are written as plain
+//! `mul_add` array sweeps and compiled twice: once under
+//! `#[target_feature(enable = "avx2,fma")]` (LLVM emits 256-bit `vfmadd`)
+//! and once portably (scalar `fma`), dispatched per call.
 //!
 //! # Implementation notes
 //!
@@ -109,6 +124,20 @@ macro_rules! lane_common {
                 let mut v = self.0;
                 for x in &mut v {
                     *x = x.clamp(lo, hi);
+                }
+                $ty(v)
+            }
+
+            /// Per-lane fused multiply-add `self * b + c`, rounded **once**
+            /// (`f32::mul_add`). Lossy-tier only: a strict kernel calling
+            /// this breaks the bit-identity contract (see the
+            /// [module docs](self)). Correctly rounded on every path, so
+            /// hardware FMA and the portable fallback agree bitwise.
+            #[inline(always)]
+            pub fn mul_add(self, b: $ty, c: $ty) -> $ty {
+                let mut v = self.0;
+                for ((x, y), z) in v.iter_mut().zip(&b.0).zip(&c.0) {
+                    *x = x.mul_add(*y, *z);
                 }
                 $ty(v)
             }
@@ -245,6 +274,62 @@ pub fn axpy(use_simd: bool, y: &mut [f32], a: f32, x: &[f32]) {
     }
 }
 
+/// Whether this host can run the AVX2+FMA specializations of the fused
+/// (lossy-tier) kernels. Detected once per process and cached; always
+/// `false` off x86_64. Purely a speed question — the portable `mul_add`
+/// fallback produces the same bits.
+#[inline]
+pub fn avx2_fma_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        use std::sync::OnceLock;
+        static AVAILABLE: OnceLock<bool> = OnceLock::new();
+        *AVAILABLE.get_or_init(|| {
+            std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+        })
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+#[inline(always)]
+fn axpy_fused_body(y: &mut [f32], a: f32, x: &[f32]) {
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi = xi.mul_add(a, *yi);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn axpy_fused_avx2(y: &mut [f32], a: f32, x: &[f32]) {
+    // Same body; under this target feature LLVM vectorizes the `mul_add`
+    // sweep to 256-bit `vfmadd` — bit-identical to the portable path,
+    // because `f32::mul_add` is correctly rounded either way.
+    axpy_fused_body(y, a, x);
+}
+
+/// `y[i] = fma(a, x[i], y[i])`, elementwise — the **fused** axpy of the
+/// lossy-tier kernels. One rounding per element instead of [`axpy`]'s
+/// two, dispatched to an AVX2/FMA specialization when the host has it.
+///
+/// # Panics
+///
+/// Panics if `x` is shorter than `y`.
+#[inline]
+pub fn axpy_fused(y: &mut [f32], a: f32, x: &[f32]) {
+    #[cfg(target_arch = "x86_64")]
+    if avx2_fma_available() {
+        // SAFETY: guarded by runtime AVX2+FMA detection.
+        unsafe {
+            return axpy_fused_avx2(y, a, x);
+        }
+    }
+    axpy_fused_body(y, a, x);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -301,6 +386,70 @@ mod tests {
         acc += F32x8::splat(1.0);
         acc *= F32x8::splat(3.0);
         assert_eq!(acc.0, [3.0; 8]);
+    }
+
+    #[test]
+    fn lane_mul_add_is_correctly_rounded_fma() {
+        // Inputs where fused and unfused rounding differ: the lane op must
+        // match `f32::mul_add` (single rounding), not mul-then-add.
+        let a = [
+            1.0 + f32::EPSILON,
+            0.3,
+            -2.5,
+            65504.0,
+            1e-20,
+            7.0,
+            -0.1,
+            0.5,
+        ];
+        let b = [
+            1.0 - f32::EPSILON,
+            123.456,
+            0.5,
+            2.0e-4,
+            1e-20,
+            3.0,
+            -0.1,
+            4.0,
+        ];
+        let c = [-1.0f32, -9.87, 0.3, 0.1, 1e-30, -21.0, 0.01, -2.0];
+        let v = F32x8::from_slice(&a).mul_add(F32x8::from_slice(&b), F32x8::from_slice(&c));
+        for k in 0..8 {
+            assert_eq!(v[k].to_bits(), a[k].mul_add(b[k], c[k]).to_bits());
+        }
+        let q = F32x4::from_slice(&a).mul_add(F32x4::from_slice(&b), F32x4::from_slice(&c));
+        for k in 0..4 {
+            assert_eq!(q[k].to_bits(), a[k].mul_add(b[k], c[k]).to_bits());
+        }
+    }
+
+    #[test]
+    fn axpy_fused_matches_per_element_mul_add_bitwise() {
+        // Both dispatch arms (AVX2 and portable) must equal the scalar
+        // `f32::mul_add` reference — the determinism claim of the lossy
+        // tier. Odd length exercises the vectorizer's remainder tail.
+        let x: Vec<f32> = (0..37).map(|i| 0.1 + i as f32 * 0.37).collect();
+        let y0: Vec<f32> = (0..37).map(|i| -0.5 + i as f32 * 0.11).collect();
+        let a = -0.625f32;
+        let expect: Vec<u32> = y0
+            .iter()
+            .zip(&x)
+            .map(|(yi, xi)| xi.mul_add(a, *yi).to_bits())
+            .collect();
+        let mut y = y0.clone();
+        axpy_fused(&mut y, a, &x);
+        let got: Vec<u32> = y.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(got, expect);
+        // The portable body agrees regardless of what the dispatcher picked.
+        let mut y = y0.clone();
+        axpy_fused_body(&mut y, a, &x);
+        let portable: Vec<u32> = y.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(portable, expect);
+    }
+
+    #[test]
+    fn feature_detection_is_stable_across_calls() {
+        assert_eq!(avx2_fma_available(), avx2_fma_available());
     }
 
     #[test]

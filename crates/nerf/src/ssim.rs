@@ -153,4 +153,59 @@ mod tests {
         let b = gradient_image(9, 8);
         let _ = ssim(&a, &b);
     }
+
+    // Knife-edge pins for the lossy-tier tolerance gate: the gate
+    // compares SSIM values to 1e-3, so the metric itself must be exact
+    // and finite on the degenerate inputs small eval renders can hit.
+
+    #[test]
+    fn one_by_one_image_is_a_single_partial_window() {
+        // A 1×1 image exercises the (n−1)→1 variance guard: identical
+        // pixels must score exactly 1, different ones strictly less,
+        // and nothing may divide by zero.
+        let a = RgbImage::from_fn(1, 1, |_, _| Vec3::splat(0.3));
+        let s = ssim(&a, &a);
+        assert!((s - 1.0).abs() < 1e-6, "1×1 self ssim {s}");
+        let b = RgbImage::from_fn(1, 1, |_, _| Vec3::splat(0.8));
+        let s = ssim(&a, &b);
+        assert!(s.is_finite() && s < 1.0, "1×1 cross ssim {s}");
+    }
+
+    #[test]
+    fn signed_zero_pixels_score_like_positive_zero() {
+        // IEEE −0.0 luminances flow through means and covariances; the
+        // C1/C2 stabilisers must absorb them (no NaN, exact 1 for
+        // structurally identical all-zero images).
+        let pos = RgbImage::from_fn(8, 8, |_, _| Vec3::splat(0.0));
+        let neg = RgbImage::from_fn(8, 8, |_, _| Vec3::splat(-0.0));
+        let s = ssim(&pos, &neg);
+        assert!((s - 1.0).abs() < 1e-6, "±0 ssim {s}");
+        assert!(ssim(&neg, &neg).is_finite());
+    }
+
+    #[test]
+    fn constant_black_vs_white_hits_the_c1_floor() {
+        // Zero variance on both sides: SSIM reduces to the luminance
+        // term (2·ma·mb + C1)/(ma² + mb² + C1) = C1/(1 + C1) for
+        // black vs white — pin the closed form.
+        let black = RgbImage::from_fn(16, 16, |_, _| Vec3::ZERO);
+        let white = RgbImage::from_fn(16, 16, |_, _| Vec3::splat(1.0));
+        let s = ssim(&black, &white);
+        let expect = (C1 / (1.0 + C1)) as f32;
+        assert!(
+            (s - expect).abs() < 1e-6,
+            "black/white ssim {s} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn single_row_and_column_partial_windows() {
+        // 9×1 and 1×9: one full-width partial window plus a 1-px
+        // remainder — both dimensions' border handling at once.
+        for (w, h) in [(9u32, 1u32), (1, 9), (7, 7)] {
+            let a = gradient_image(w, h);
+            let s = ssim(&a, &a);
+            assert!((s - 1.0).abs() < 1e-6, "{w}×{h} self ssim {s}");
+        }
+    }
 }

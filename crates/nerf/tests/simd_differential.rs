@@ -1,11 +1,13 @@
-//! The differential harness pinning every registered kernel backend to
-//! the scalar reference kernels, bit for bit.
+//! The differential harness pinning every registered strict-tier kernel
+//! backend to the scalar reference kernels, bit for bit.
 //!
 //! Every hot kernel (grid encode, grid backward-scatter, MLP forward /
 //! backward, per-ray compositing, the axpy sweep) is run on **every
-//! backend in the registry** (`instant3d_nerf::kernels::registered()` —
-//! scalar, simd, instrumented, plus anything registered at runtime; a
-//! backend cannot register without entering this harness) over batch
+//! strict backend in the registry**
+//! (`instant3d_nerf::kernels::registered_strict()` — scalar, simd,
+//! instrumented, plus anything registered at runtime; a strict backend
+//! cannot register without entering this harness; lossy-tier backends
+//! are gated by `tolerance_differential.rs` instead) over batch
 //! sizes that exercise the remainder tails
 //! (`N % 8 != 0`), the empty batch, single points, lane-exact batches and
 //! multi-chunk batches — plus adversarial table contents: fp16-quantized
@@ -113,7 +115,7 @@ fn grid_encode_backends_bit_equal_scalar_across_batch_shapes() {
         assert_eq!(bits(&scalar), bits(&lanes), "encode n={n}");
         // And through the backend dispatcher (chunked parallel path), for
         // every registered backend.
-        for backend in kernels::registered() {
+        for backend in kernels::registered_strict() {
             let mut dispatched = vec![0.0f32; n * w];
             g.par_encode_batch_with(&backend, &pts, &mut dispatched);
             assert_eq!(
@@ -134,7 +136,7 @@ fn grid_backward_backends_bit_equal_scalar_across_batch_shapes() {
         let d_out: Vec<f32> = (0..n * w).map(|i| 0.37 * ((i % 11) as f32 - 5.0)).collect();
         let mut scalar = g.zero_grads();
         g.par_backward_batch_with(&kernels::scalar(), &pts, &d_out, &mut scalar);
-        for backend in kernels::registered() {
+        for backend in kernels::registered_strict() {
             let mut lanes = g.zero_grads();
             g.par_backward_batch_with(&backend, &pts, &d_out, &mut lanes);
             assert_eq!(
@@ -253,7 +255,7 @@ fn mlp_forward_backends_bit_equal_scalar_across_widths_and_batches() {
             let a = mlp
                 .forward_batch_with(&kernels::scalar(), &inputs, &mut ws_a)
                 .to_vec();
-            for backend in kernels::registered() {
+            for backend in kernels::registered_strict() {
                 let mut ws_b = mlp.batch_workspace(n);
                 let b = mlp
                     .forward_batch_with(&backend, &inputs, &mut ws_b)
@@ -285,7 +287,7 @@ fn mlp_backward_backends_bit_equal_scalar() {
             (grads, d_in)
         };
         let (ga, da) = run(&kernels::scalar());
-        for backend in kernels::registered() {
+        for backend in kernels::registered_strict() {
             let (gb, db) = run(&backend);
             assert_eq!(ga.count, gb.count);
             for (li, ((wa, ba), (wb, bb))) in ga.layers.iter().zip(&gb.layers).enumerate() {
@@ -325,7 +327,7 @@ fn composite_backends_bit_equal_scalar_including_early_termination() {
                 bg,
                 Some((&mut cw_a, &mut ct_a, &mut co_a)),
             );
-            for backend in kernels::registered() {
+            for backend in kernels::registered_strict() {
                 let mut cw_b = vec![0.0f32; n];
                 let mut ct_b = vec![0.0f32; n];
                 let mut co_b = vec![0.0f32; n];

@@ -1,0 +1,372 @@
+//! The tolerance harness gating every registered **lossy-tier** kernel
+//! backend (`instant3d_nerf::kernels::registered_lossy()`) against the
+//! scalar reference kernels.
+//!
+//! Lossy backends are exempt from the strict tier's bit-identity
+//! contract, but not from correctness: every hot kernel (grid encode,
+//! grid backward-scatter, MLP forward / backward, per-ray compositing)
+//! must stay within the backend's *declared* [`Tolerance`] of the scalar
+//! reference — the same fixtures the strict differential suite uses
+//! (remainder-tail batch shapes, fp16 edge features, collision-heavy
+//! hash tables), checked with `Tolerance::check_slices` instead of
+//! `assert_eq!` on bits. A backend cannot register as lossy without
+//! entering this harness, so "lossy" can never silently mean "wrong".
+//!
+//! Lossy ≠ nondeterministic: the suite also pins each lossy backend to
+//! *itself*, bitwise — repeated runs and re-chunked batches must agree
+//! exactly, because `f32::mul_add` is correctly rounded everywhere and
+//! the fast kernels run the identical per-point fused sequence on the
+//! lane path and the scalar tail.
+
+use instant3d_nerf::activation::Activation;
+use instant3d_nerf::grid::{HashGrid, HashGridConfig};
+use instant3d_nerf::kernels::{self, BackendHandle, Tolerance};
+use instant3d_nerf::math::Vec3;
+use instant3d_nerf::mlp::{Mlp, MlpConfig};
+use instant3d_nerf::render::{composite_slices, composite_slices_with};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Batch sizes that cover N=0, N=1, sub-lane, lane-exact, lane+tail and
+/// multi-chunk (the parallel dispatch chunks at 256) shapes.
+const BATCH_SIZES: [usize; 10] = [0, 1, 3, 7, 8, 9, 15, 64, 257, 300];
+
+fn grid(cfg: HashGridConfig, seed: u64) -> HashGrid {
+    let mut rng = StdRng::seed_from_u64(seed);
+    HashGrid::new_random(cfg, &mut rng)
+}
+
+fn points(n: usize, seed: u64) -> Vec<Vec3> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Vec3::new(rng.gen(), rng.gen(), rng.gen()))
+        .collect()
+}
+
+fn bits(xs: &[f32]) -> Vec<u32> {
+    xs.iter().map(|v| v.to_bits()).collect()
+}
+
+/// Default-shaped grid (dense + hashed levels, fp16 storage like training).
+fn training_grid(seed: u64) -> HashGrid {
+    grid(
+        HashGridConfig {
+            levels: 4,
+            log2_table_size: 10,
+            base_resolution: 4,
+            max_resolution: 64,
+            store_fp16: true,
+            ..HashGridConfig::default()
+        },
+        seed,
+    )
+}
+
+/// A grid whose hashed levels are tiny, so every 8-point lane aliases
+/// table entries both across corners and across lanes.
+fn colliding_grid(seed: u64) -> HashGrid {
+    grid(
+        HashGridConfig {
+            levels: 3,
+            log2_table_size: 4,
+            base_resolution: 4,
+            max_resolution: 32,
+            store_fp16: false,
+            init_scale: 0.3,
+            ..HashGridConfig::default()
+        },
+        seed,
+    )
+}
+
+/// The backend's declared tolerance — registering as lossy without one
+/// is impossible by construction, so `expect` documents the invariant.
+fn declared(backend: &BackendHandle) -> Tolerance {
+    backend
+        .tier()
+        .tolerance()
+        .expect("lossy backends carry a declared tolerance")
+}
+
+/// `Tolerance::check_slices` with panic-on-violation and a test-site
+/// context string.
+fn check(tol: &Tolerance, label: &str, lossy: &[f32], reference: &[f32]) {
+    if let Err(msg) = tol.check_slices(label, lossy, reference) {
+        panic!("{msg}");
+    }
+}
+
+#[test]
+fn lossy_tier_is_populated() {
+    // The harness is only meaningful if the in-tree lossy backend is
+    // actually registered and declares a tolerance.
+    let lossy = kernels::registered_lossy();
+    assert!(
+        lossy.iter().any(|b| b.name() == "fast"),
+        "the fast backend must register in the lossy tier"
+    );
+    for backend in &lossy {
+        let tol = declared(backend);
+        assert!(tol.max_rel_error > 0.0 && tol.max_psnr_drop_db > 0.0);
+    }
+}
+
+#[test]
+fn grid_encode_within_declared_tolerance_across_batch_shapes() {
+    for (gname, g) in [
+        ("training", training_grid(7)),
+        ("colliding", colliding_grid(13)),
+    ] {
+        let w = g.output_dim();
+        for &n in &BATCH_SIZES {
+            let pts = points(n, 1000 + n as u64);
+            let mut scalar = vec![0.0f32; n * w];
+            g.encode_batch_level_major(&pts, &mut scalar);
+            for backend in kernels::registered_lossy() {
+                let tol = declared(&backend);
+                let mut lossy = vec![0.0f32; n * w];
+                g.par_encode_batch_with(&backend, &pts, &mut lossy);
+                check(
+                    &tol,
+                    &format!("encode {backend} {gname} n={n}"),
+                    &lossy,
+                    &scalar,
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn grid_scatter_within_declared_tolerance_across_batch_shapes() {
+    for (gname, g) in [
+        ("training", training_grid(11)),
+        ("colliding", colliding_grid(17)),
+    ] {
+        let w = g.output_dim();
+        for &n in &BATCH_SIZES {
+            let pts = points(n, 2000 + n as u64);
+            let d_out: Vec<f32> = (0..n * w).map(|i| 0.37 * ((i % 11) as f32 - 5.0)).collect();
+            let mut scalar = g.zero_grads();
+            g.par_backward_batch_with(&kernels::scalar(), &pts, &d_out, &mut scalar);
+            for backend in kernels::registered_lossy() {
+                let tol = declared(&backend);
+                let mut lossy = g.zero_grads();
+                g.par_backward_batch_with(&backend, &pts, &d_out, &mut lossy);
+                assert_eq!(scalar.count, lossy.count, "{backend} {gname} n={n}");
+                check(
+                    &tol,
+                    &format!("scatter {backend} {gname} n={n}"),
+                    &lossy.values,
+                    &scalar.values,
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn mlp_forward_within_declared_tolerance_across_widths_and_batches() {
+    for (hidden, out_dim) in [
+        (vec![64usize], 64usize),
+        (vec![16], 1),
+        (vec![8, 8], 3),
+        (vec![13], 5),
+    ] {
+        let mut rng = StdRng::seed_from_u64(7 + out_dim as u64);
+        let mlp = Mlp::new(
+            MlpConfig::new(6, &hidden, out_dim, Activation::Relu, Activation::Sigmoid),
+            &mut rng,
+        );
+        for &n in &BATCH_SIZES {
+            let inputs: Vec<f32> = (0..n * 6).map(|i| ((i % 17) as f32 - 8.0) * 0.13).collect();
+            let mut ws_a = mlp.batch_workspace(n);
+            let a = mlp
+                .forward_batch_with(&kernels::scalar(), &inputs, &mut ws_a)
+                .to_vec();
+            for backend in kernels::registered_lossy() {
+                let tol = declared(&backend);
+                let mut ws_b = mlp.batch_workspace(n);
+                let b = mlp
+                    .forward_batch_with(&backend, &inputs, &mut ws_b)
+                    .to_vec();
+                check(
+                    &tol,
+                    &format!("mlp fwd {backend} out={out_dim} n={n}"),
+                    &b,
+                    &a,
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn mlp_backward_within_declared_tolerance() {
+    let mut rng = StdRng::seed_from_u64(23);
+    let mlp = Mlp::new(
+        MlpConfig::new(10, &[64], 3, Activation::Relu, Activation::None),
+        &mut rng,
+    );
+    for &n in &BATCH_SIZES {
+        let inputs: Vec<f32> = (0..n * 10)
+            .map(|i| ((i % 13) as f32 - 6.0) * 0.21)
+            .collect();
+        let d_out: Vec<f32> = (0..n * 3).map(|i| ((i % 7) as f32 - 3.0) * 0.33).collect();
+        let run = |backend: &BackendHandle| {
+            let mut ws = mlp.batch_workspace(n);
+            mlp.forward_batch_with(backend, &inputs, &mut ws);
+            let mut grads = mlp.zero_grads();
+            let mut d_in = vec![0.0f32; n * 10];
+            mlp.backward_batch_with(backend, &d_out, &mut ws, &mut grads, &mut d_in);
+            (grads, d_in)
+        };
+        let (ga, da) = run(&kernels::scalar());
+        for backend in kernels::registered_lossy() {
+            let tol = declared(&backend);
+            let (gb, db) = run(&backend);
+            assert_eq!(ga.count, gb.count);
+            for (li, ((wa, ba), (wb, bb))) in ga.layers.iter().zip(&gb.layers).enumerate() {
+                check(&tol, &format!("{backend} layer {li} dW n={n}"), wb, wa);
+                check(&tol, &format!("{backend} layer {li} db n={n}"), bb, ba);
+            }
+            check(&tol, &format!("{backend} d_input n={n}"), &db, &da);
+        }
+    }
+}
+
+#[test]
+fn composite_within_declared_tolerance_including_early_termination() {
+    let mut rng = StdRng::seed_from_u64(5);
+    for &n in &BATCH_SIZES {
+        for &dense in &[0.5f32, 50.0, 5000.0] {
+            let t: Vec<f32> = (0..n).map(|k| (k as f32 + 0.5) / n.max(1) as f32).collect();
+            let dt = vec![1.0 / n.max(1) as f32; n];
+            let sigma: Vec<f32> = (0..n).map(|_| rng.gen::<f32>() * dense).collect();
+            let rgb: Vec<Vec3> = (0..n)
+                .map(|_| Vec3::new(rng.gen(), rng.gen(), rng.gen()))
+                .collect();
+            let bg = Vec3::new(0.2, 0.4, 0.8);
+            let mut cw_a = vec![0.0f32; n];
+            let mut ct_a = vec![0.0f32; n];
+            let mut co_a = vec![0.0f32; n];
+            let (out_a, act_a) = composite_slices(
+                &t,
+                &dt,
+                &sigma,
+                &rgb,
+                bg,
+                Some((&mut cw_a, &mut ct_a, &mut co_a)),
+            );
+            for backend in kernels::registered_lossy() {
+                let tol = declared(&backend);
+                let mut cw_b = vec![0.0f32; n];
+                let mut ct_b = vec![0.0f32; n];
+                let mut co_b = vec![0.0f32; n];
+                let (out_b, act_b) = composite_slices_with(
+                    &backend,
+                    &t,
+                    &dt,
+                    &sigma,
+                    &rgb,
+                    bg,
+                    Some((&mut cw_b, &mut ct_b, &mut co_b)),
+                );
+                // Early termination compares the rounded transmittance
+                // against a fixed threshold; these fixtures sit far from
+                // the knife edge, so the active counts must agree.
+                assert_eq!(act_a, act_b, "{backend} active n={n} dense={dense}");
+                let ctx = format!("{backend} n={n} dense={dense}");
+                let flat_a = [
+                    out_a.color.x,
+                    out_a.color.y,
+                    out_a.color.z,
+                    out_a.depth,
+                    out_a.opacity,
+                    out_a.transmittance,
+                ];
+                let flat_b = [
+                    out_b.color.x,
+                    out_b.color.y,
+                    out_b.color.z,
+                    out_b.depth,
+                    out_b.opacity,
+                    out_b.transmittance,
+                ];
+                check(&tol, &format!("composite out {ctx}"), &flat_b, &flat_a);
+                check(&tol, &format!("weights cache {ctx}"), &cw_b, &cw_a);
+                check(&tol, &format!("trans cache {ctx}"), &ct_b, &ct_a);
+                check(&tol, &format!("alpha cache {ctx}"), &co_b, &co_a);
+            }
+        }
+    }
+}
+
+#[test]
+fn lossy_backends_are_deterministic_and_chunking_invariant_tolerance_tier() {
+    // Lossy relative to scalar, but bit-exact relative to themselves:
+    // repeated runs and arbitrary re-chunkings of the same batch must
+    // produce identical bits, because every fast kernel runs the same
+    // per-point fused sequence regardless of lane/tail placement.
+    let g = training_grid(41);
+    let w = g.output_dim();
+    let n = 300;
+    let pts = points(n, 9000);
+    for backend in kernels::registered_lossy() {
+        let mut whole = vec![0.0f32; n * w];
+        backend.grid_encode_chunk(&g, &pts, &mut whole);
+        // Rerun: identical bits.
+        let mut again = vec![0.0f32; n * w];
+        backend.grid_encode_chunk(&g, &pts, &mut again);
+        assert_eq!(bits(&whole), bits(&again), "{backend} rerun");
+        // Re-chunked (including splits off the lane boundary): identical
+        // bits to the single-chunk encode.
+        for split in [1usize, 7, 8, 137, 256, 299] {
+            let mut chunked = vec![0.0f32; n * w];
+            let (head_p, tail_p) = pts.split_at(split);
+            let (head_o, tail_o) = chunked.split_at_mut(split * w);
+            backend.grid_encode_chunk(&g, head_p, head_o);
+            backend.grid_encode_chunk(&g, tail_p, tail_o);
+            assert_eq!(
+                bits(&whole),
+                bits(&chunked),
+                "{backend} chunk split at {split}"
+            );
+        }
+        // Scatter determinism across runs.
+        let d_out: Vec<f32> = (0..n * w)
+            .map(|i| ((i % 23) as f32 - 11.0) * 0.17)
+            .collect();
+        let mut ga = g.zero_grads();
+        let mut gb = g.zero_grads();
+        g.par_backward_batch_with(&backend, &pts, &d_out, &mut ga);
+        g.par_backward_batch_with(&backend, &pts, &d_out, &mut gb);
+        assert_eq!(
+            bits(&ga.values),
+            bits(&gb.values),
+            "{backend} scatter rerun"
+        );
+    }
+}
+
+#[test]
+fn fast_backend_diverges_from_scalar_somewhere_tolerance_tier() {
+    // Meta-check on the harness itself: the fast backend must actually
+    // produce *different* bits from the scalar reference on a generic
+    // workload — if it didn't, it would belong in the strict tier and
+    // this suite would be vacuous (comparing identical numbers proves
+    // nothing about the tolerance machinery).
+    let g = colliding_grid(29);
+    let w = g.output_dim();
+    let n = 128;
+    let pts = points(n, 7000);
+    let mut scalar = vec![0.0f32; n * w];
+    let mut fast = vec![0.0f32; n * w];
+    g.encode_batch_level_major(&pts, &mut scalar);
+    kernels::fast().grid_encode_chunk(&g, &pts, &mut fast);
+    assert_ne!(
+        bits(&scalar),
+        bits(&fast),
+        "fused encode should differ from the scalar reference in at least one bit"
+    );
+}

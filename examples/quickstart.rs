@@ -31,12 +31,14 @@ fn main() {
     let cfg = TrainConfig::instant3d();
     println!(
         "\ntraining Instant-3D (decoupled grids, color table {}x smaller, \
-         color updated every {} iterations, '{}' kernels; registered \
-         backends: {:?})...",
+         color updated every {} iterations, '{}' kernels ({} tier); \
+         registered backends: {:?}, available here: {:?})...",
         (1.0 / cfg.color_size_factor) as u32,
         cfg.color_update_every,
         cfg.kernel_backend,
-        instant3d::nerf::kernels::names()
+        cfg.kernel_backend.tier(),
+        instant3d::nerf::kernels::names(),
+        instant3d::nerf::kernels::available_names()
     );
     let mut trainer = Trainer::new(cfg, &dataset, &mut rng);
     for round in 1..=6 {

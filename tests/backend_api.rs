@@ -89,32 +89,78 @@ fn instrumented_backend_not_recording_matches_simd_bitwise() {
 
 #[test]
 fn ci_matrix_backend_axis_is_derived_from_the_registry() {
-    // The CI satellite's enforcement: the backend axis of the test matrix
-    // in .github/workflows/ci.yml must list exactly the registered
-    // backends, so registering a new backend without adding a matrix arm
-    // (or vice versa) fails here instead of silently skipping the golden
-    // suites. (This binary registers no runtime mocks, so the registry
-    // holds exactly the in-tree backends CI must cover.)
+    // The CI satellite's enforcement, two-tier edition: ci.yml carries
+    // exactly two `backend: [...]` matrix axes — the bit-identity matrix
+    // (all strict-tier backends) and the tolerance matrix (all lossy-tier
+    // backends). Each axis must be tier-pure and must list its tier's
+    // registered backends exactly, so registering a backend without a
+    // matrix arm — or letting a lossy backend sneak into the bit-identity
+    // matrix (or vice versa) — fails here instead of silently skipping
+    // the golden or tolerance suites. (This binary registers no runtime
+    // mocks, so the registry holds exactly the in-tree backends CI must
+    // cover.)
     let ci = std::fs::read_to_string(concat!(
         env!("CARGO_MANIFEST_DIR"),
         "/.github/workflows/ci.yml"
     ))
     .expect("CI workflow file");
-    let axis_line = ci
+    let axes: Vec<Vec<&str>> = ci
         .lines()
-        .find(|l| l.trim_start().starts_with("backend: ["))
-        .expect("a `backend: [...]` matrix axis in ci.yml");
-    let inside = axis_line
-        .split_once('[')
-        .and_then(|(_, rest)| rest.split_once(']'))
-        .map(|(inner, _)| inner)
-        .expect("well-formed backend axis");
-    let mut matrix: Vec<&str> = inside.split(',').map(str::trim).collect();
-    matrix.sort_unstable();
-    let mut registered = kernels::names();
-    registered.sort_unstable();
+        .filter(|l| l.trim_start().starts_with("backend: ["))
+        .map(|line| {
+            let inside = line
+                .split_once('[')
+                .and_then(|(_, rest)| rest.split_once(']'))
+                .map(|(inner, _)| inner)
+                .expect("well-formed backend axis");
+            let mut names: Vec<&str> = inside.split(',').map(str::trim).collect();
+            names.sort_unstable();
+            names
+        })
+        .collect();
     assert_eq!(
-        matrix, registered,
-        "CI backend matrix must match the backend registry exactly"
+        axes.len(),
+        2,
+        "ci.yml must carry exactly two backend axes (strict + lossy)"
     );
+
+    let sorted_names = |handles: Vec<instant3d::nerf::kernels::BackendHandle>| {
+        let mut names: Vec<&str> = handles.iter().map(|b| b.name()).collect();
+        names.sort_unstable();
+        names
+    };
+    let strict = sorted_names(kernels::registered_strict());
+    let lossy = sorted_names(kernels::registered_lossy());
+
+    let mut seen_strict = false;
+    let mut seen_lossy = false;
+    for axis in &axes {
+        // Tier purity first: a mixed axis is the exact drift this guard
+        // exists to catch, so diagnose it before the exact-set check.
+        let strict_members: Vec<&&str> = axis
+            .iter()
+            .filter(|n| kernels::resolve(n).tier().is_strict())
+            .collect();
+        assert!(
+            strict_members.is_empty() || strict_members.len() == axis.len(),
+            "mixed-tier CI backend axis {axis:?}: a lossy backend sneaked \
+             into the bit-identity matrix, or a strict one into the \
+             tolerance matrix"
+        );
+        if strict_members.len() == axis.len() {
+            assert_eq!(
+                *axis, strict,
+                "CI bit-identity matrix must list exactly the strict-tier backends"
+            );
+            seen_strict = true;
+        } else {
+            assert_eq!(
+                *axis, lossy,
+                "CI tolerance matrix must list exactly the lossy-tier backends"
+            );
+            seen_lossy = true;
+        }
+    }
+    assert!(seen_strict, "no strict-tier backend axis in ci.yml");
+    assert!(seen_lossy, "no lossy-tier backend axis in ci.yml");
 }

@@ -4,7 +4,7 @@
 //! capture order is identical too (the batched engine only regroups the
 //! phases: all feed-forward reads, then all scatter writes). The whole
 //! suite runs once per **registered kernel backend**
-//! (`kernels::registered()`), so trace capture is pinned on every backend
+//! (`kernels::registered_strict()`), so trace capture is pinned on every backend
 //! the registry knows — scalar, SIMD and the instrumented co-sim backend
 //! alike.
 
@@ -63,7 +63,7 @@ fn phase_key(r: &AccessRecord) -> (u32, instant3d::nerf::grid::GridBranch, u32, 
 
 #[test]
 fn batched_trace_is_order_normalized_identical_to_scalar() {
-    for backend in kernels::registered() {
+    for backend in kernels::registered_strict() {
         let (batched, stats_b) = capture(true, &backend);
         let (scalar, stats_s) = capture(false, &backend);
         assert_eq!(
@@ -85,7 +85,7 @@ fn batched_trace_is_order_normalized_identical_to_scalar() {
 
 #[test]
 fn batched_trace_preserves_within_phase_capture_order() {
-    for backend in kernels::registered() {
+    for backend in kernels::registered_strict() {
         let (batched, _) = capture(true, &backend);
         let (scalar, _) = capture(false, &backend);
         for phase in [AccessPhase::FeedForward, AccessPhase::BackProp] {
@@ -107,7 +107,7 @@ fn traces_stay_identical_across_amortized_occupancy_refreshes() {
     // change which samples survive culling on later iterations, so the
     // streams only stay equal if batched and scalar paths see identical
     // packed occupancy after every refresh.
-    for backend in kernels::registered() {
+    for backend in kernels::registered_strict() {
         let (batched, stats_b) = capture_with(true, &backend, 4, 2, 2);
         let (scalar, stats_s) = capture_with(false, &backend, 4, 2, 2);
         assert_eq!(stats_b, stats_s, "{backend}: stats through refreshes");
@@ -133,7 +133,7 @@ fn batched_trace_drives_figure_analyses_identically() {
     // The Fig. 8/9/10 inputs derived from the trace must be unchanged —
     // and must not depend on the kernel backend either.
     let (scalar, _) = capture(false, &kernels::scalar());
-    for backend in kernels::registered() {
+    for backend in kernels::registered_strict() {
         let (batched, _) = capture(true, &backend);
         assert_eq!(batched.ff_stream(), scalar.ff_stream(), "{backend}");
         assert_eq!(

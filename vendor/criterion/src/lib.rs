@@ -10,6 +10,12 @@
 //! of that size and reports the minimum, median and mean time per
 //! iteration. `CRITERION_QUICK=1` (or a `--quick` CLI flag) shrinks the
 //! run for CI smoke tests. No plots, no statistics beyond the above.
+//!
+//! Machine-readable output: set `CRITERION_JSON=<path>` and every
+//! completed benchmark merges its minimum time (seconds, f64) into the
+//! flat JSON map at that path, keyed by the full benchmark ID (e.g.
+//! `train/batched_rays1024/simd/t1`). The file is read-merge-rewritten
+//! per benchmark, so several bench binaries can append to one file.
 
 use std::time::{Duration, Instant};
 
@@ -139,8 +145,95 @@ impl Criterion {
             format_time(median),
             format_time(mean)
         );
+        if let Ok(path) = std::env::var("CRITERION_JSON") {
+            if !path.is_empty() {
+                if let Err(e) = merge_json_min(&path, name, min) {
+                    eprintln!("CRITERION_JSON: failed to write {path}: {e}");
+                }
+            }
+        }
         self
     }
+}
+
+/// Merges `id → min_seconds` into the flat JSON object at `path`,
+/// preserving every other key (read-merge-rewrite; last write wins on a
+/// repeated ID). The format is deliberately a flat string→number map so
+/// it round-trips through the tiny hand-rolled parser below — the build
+/// environment has no serde.
+fn merge_json_min(path: &str, id: &str, min_secs: f64) -> std::io::Result<()> {
+    let mut entries: Vec<(String, String)> = match std::fs::read_to_string(path) {
+        Ok(text) => parse_flat_json(&text),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(e),
+    };
+    let value = format!("{min_secs:e}");
+    match entries.iter_mut().find(|(k, _)| k == id) {
+        Some(slot) => slot.1 = value,
+        None => entries.push((id.to_string(), value)),
+    }
+    let mut out = String::from("{\n");
+    for (i, (k, v)) in entries.iter().enumerate() {
+        out.push_str(&format!(
+            "  \"{}\": {}{}\n",
+            escape_json(k),
+            v,
+            if i + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    out.push('}');
+    out.push('\n');
+    std::fs::write(path, out)
+}
+
+fn escape_json(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Parses the flat `{"key": number, ...}` maps written above. Tolerant
+/// of whitespace; anything structurally unexpected is skipped rather
+/// than erroring, so a corrupt file degrades to a fresh map.
+fn parse_flat_json(text: &str) -> Vec<(String, String)> {
+    let mut entries = Vec::new();
+    let body = match text.split_once('{').and_then(|(_, r)| r.rsplit_once('}')) {
+        Some((inner, _)) => inner,
+        None => return entries,
+    };
+    let mut rest = body;
+    while let Some(open) = rest.find('"') {
+        let after_open = &rest[open + 1..];
+        let Some(close) = find_unescaped_quote(after_open) else {
+            break;
+        };
+        let key = after_open[..close]
+            .replace("\\\"", "\"")
+            .replace("\\\\", "\\");
+        let after_key = &after_open[close + 1..];
+        let Some((_, after_colon)) = after_key.split_once(':') else {
+            break;
+        };
+        let value_end = after_colon.find(',').unwrap_or(after_colon.len());
+        let value = after_colon[..value_end].trim();
+        if !key.is_empty() && value.parse::<f64>().is_ok() {
+            entries.push((key, value.to_string()));
+        }
+        rest = &after_colon[value_end..];
+        rest = rest.strip_prefix(',').unwrap_or(rest);
+    }
+    entries
+}
+
+fn find_unescaped_quote(s: &str) -> Option<usize> {
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return Some(i),
+            _ => i += 1,
+        }
+    }
+    None
 }
 
 /// Declares a group function running each target benchmark in order.
@@ -197,5 +290,39 @@ mod tests {
         assert!(format_time(5e-6).contains("µs"));
         assert!(format_time(5e-3).contains("ms"));
         assert!(format_time(5.0).contains("s"));
+    }
+
+    #[test]
+    fn json_merge_accumulates_and_overwrites() {
+        let path =
+            std::env::temp_dir().join(format!("criterion_json_merge_{}.json", std::process::id()));
+        let path = path.to_str().unwrap();
+        let _ = std::fs::remove_file(path);
+        merge_json_min(path, "train/batched_rays1024/simd/t1", 1.5e-3).unwrap();
+        merge_json_min(path, "grid/encode_batch1024/fast/t1", 2.0e-4).unwrap();
+        // Re-running a bench overwrites its entry, keeps the other.
+        merge_json_min(path, "train/batched_rays1024/simd/t1", 1.25e-3).unwrap();
+        let entries = parse_flat_json(&std::fs::read_to_string(path).unwrap());
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].0, "train/batched_rays1024/simd/t1");
+        assert_eq!(entries[0].1.parse::<f64>().unwrap(), 1.25e-3);
+        assert_eq!(entries[1].0, "grid/encode_batch1024/fast/t1");
+        assert_eq!(entries[1].1.parse::<f64>().unwrap(), 2.0e-4);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn flat_json_parser_survives_garbage() {
+        assert!(parse_flat_json("").is_empty());
+        assert!(parse_flat_json("not json at all").is_empty());
+        assert!(parse_flat_json("{\"key\": \"string-not-number\"}").is_empty());
+        let round = parse_flat_json("{ \"a/b\": 1e-3, \"c\": 2.5 }");
+        assert_eq!(
+            round,
+            vec![
+                ("a/b".to_string(), "1e-3".to_string()),
+                ("c".to_string(), "2.5".to_string())
+            ]
+        );
     }
 }
