@@ -72,7 +72,49 @@ pub struct BatchWorkspace {
     emb_d_dim: usize,
     emb_c_dim: usize,
     color_in_dim: usize,
+    sigma_layers: usize,
+    color_layers: usize,
     backend: BackendHandle,
+}
+
+/// Structural compatibility key for sharing a [`BatchWorkspace`] across
+/// models — the serve layer's workspace reuse pool hands a parked
+/// workspace to any job whose model has the same shape. Every internal
+/// buffer is (re)sized per call from these dimensions (and the per-layer
+/// scratch vector counts), so equal shapes ⇒ safe reuse; the buffers
+/// themselves carry no cross-iteration state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WorkspaceShape {
+    /// Kernel-backend registry name (the dispatch handle is baked into
+    /// the workspace, so shape compatibility includes the backend).
+    pub backend: &'static str,
+    /// SH direction-encoding width.
+    pub sh_dim: usize,
+    /// Density-grid embedding width.
+    pub emb_d_dim: usize,
+    /// Color-branch embedding width.
+    pub emb_c_dim: usize,
+    /// Color-head input width.
+    pub color_in_dim: usize,
+    /// Sigma-head layer count (the MLP scratch holds per-layer buffers).
+    pub sigma_layers: usize,
+    /// Color-head layer count.
+    pub color_layers: usize,
+}
+
+impl WorkspaceShape {
+    /// The shape a workspace for `model` (on the model's backend) has.
+    pub fn of(model: &NerfModel) -> Self {
+        WorkspaceShape {
+            backend: model.kernel_backend().name(),
+            sh_dim: model.sh_dim(),
+            emb_d_dim: model.density_grid().output_dim(),
+            emb_c_dim: model.color_mlp().in_dim() - model.sh_dim(),
+            color_in_dim: model.color_mlp().in_dim(),
+            sigma_layers: model.sigma_mlp().layers().len(),
+            color_layers: model.color_mlp().layers().len(),
+        }
+    }
 }
 
 impl BatchWorkspace {
@@ -109,6 +151,8 @@ impl BatchWorkspace {
             emb_d_dim: model.density_grid().output_dim(),
             emb_c_dim,
             color_in_dim: model.color_mlp().in_dim(),
+            sigma_layers: model.sigma_mlp().layers().len(),
+            color_layers: model.color_mlp().layers().len(),
             backend,
         }
     }
@@ -116,6 +160,25 @@ impl BatchWorkspace {
     /// The kernel backend this workspace dispatches to.
     pub fn backend(&self) -> &BackendHandle {
         &self.backend
+    }
+
+    /// This workspace's structural shape (see [`WorkspaceShape`]).
+    pub fn shape(&self) -> WorkspaceShape {
+        WorkspaceShape {
+            backend: self.backend.name(),
+            sh_dim: self.sh_dim,
+            emb_d_dim: self.emb_d_dim,
+            emb_c_dim: self.emb_c_dim,
+            color_in_dim: self.color_in_dim,
+            sigma_layers: self.sigma_layers,
+            color_layers: self.color_layers,
+        }
+    }
+
+    /// Whether this workspace can serve `model` (equal shapes, same
+    /// backend) — the reuse-pool compatibility predicate.
+    pub fn fits(&self, model: &NerfModel) -> bool {
+        self.shape() == WorkspaceShape::of(model)
     }
 
     /// Samples currently in the batch.

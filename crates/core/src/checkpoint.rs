@@ -18,14 +18,27 @@ pub const MAGIC: &[u8; 4] = b"I3DC";
 pub const VERSION: u16 = 1;
 
 /// Errors from checkpoint encode/decode.
+///
+/// A failed [`load`] — whatever the error — leaves the receiving model
+/// bitwise untouched (see the transactional guarantee on [`load`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CheckpointError {
     /// The blob does not start with [`MAGIC`].
     BadMagic,
     /// Unsupported format version.
     BadVersion(u16),
-    /// The blob ended before all tensors were read.
+    /// The blob ended before all tensors were read (including a stored
+    /// length field that promises more payload bytes than the blob
+    /// holds — lengths are validated against the remaining input
+    /// *before* any buffer is sized from them).
     Truncated,
+    /// A tensor's fp16/f32 coding flag held a value other than 0 or 1.
+    BadFlag {
+        /// Which tensor carried the flag (in serialization order).
+        tensor: usize,
+        /// The byte found.
+        value: u8,
+    },
     /// A tensor's length does not match the receiving model.
     ShapeMismatch {
         /// Which tensor disagreed (in serialization order).
@@ -43,6 +56,9 @@ impl std::fmt::Display for CheckpointError {
             CheckpointError::BadMagic => write!(f, "not an Instant-3D checkpoint"),
             CheckpointError::BadVersion(v) => write!(f, "unsupported checkpoint version {v}"),
             CheckpointError::Truncated => write!(f, "checkpoint data ended unexpectedly"),
+            CheckpointError::BadFlag { tensor, value } => {
+                write!(f, "tensor {tensor} has unknown coding flag {value:#04x}")
+            }
             CheckpointError::ShapeMismatch {
                 tensor,
                 stored,
@@ -91,8 +107,16 @@ struct Reader<'a> {
 }
 
 impl<'a> Reader<'a> {
+    fn remaining(&self) -> usize {
+        // `pos <= data.len()` is an invariant of `take`, so this cannot
+        // underflow.
+        self.data.len() - self.pos
+    }
     fn take(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
-        if self.pos + n > self.data.len() {
+        // Subtraction-form bounds test: `pos + n` would wrap for
+        // adversarial `n` near `usize::MAX` in release builds and let a
+        // corrupt length field read out of bounds.
+        if n > self.remaining() {
             return Err(CheckpointError::Truncated);
         }
         let s = &self.data[self.pos..self.pos + n];
@@ -105,26 +129,43 @@ impl<'a> Reader<'a> {
     fn u32(&mut self) -> Result<u32, CheckpointError> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
-    fn f32_slice(&mut self, tensor: usize, out: &mut [f32]) -> Result<(), CheckpointError> {
+
+    /// Decodes one tensor (length, coding flag, payload) into `out`,
+    /// which ends up holding exactly the stored number of values.
+    ///
+    /// The stored length is validated against the bytes actually left in
+    /// the blob *before* any memory is reserved from it: a corrupt or
+    /// adversarial length field costs at most `remaining` scratch bytes
+    /// and a [`CheckpointError::Truncated`], never an unbounded
+    /// allocation (and the OOM abort that follows).
+    fn f32_tensor_into(
+        &mut self,
+        tensor: usize,
+        out: &mut Vec<f32>,
+    ) -> Result<(), CheckpointError> {
         let n = self.u32()? as usize;
-        if n != out.len() {
-            return Err(CheckpointError::ShapeMismatch {
-                tensor,
-                stored: n,
-                expected: out.len(),
-            });
+        let flag = self.take(1)?[0];
+        let elem = match flag {
+            0 => 4,
+            1 => 2,
+            value => return Err(CheckpointError::BadFlag { tensor, value }),
+        };
+        if n > self.remaining() / elem {
+            return Err(CheckpointError::Truncated);
         }
-        let coded_fp16 = self.take(1)?[0] == 1;
-        if coded_fp16 {
-            let bytes = self.take(n * 2)?;
-            for (i, v) in out.iter_mut().enumerate() {
+        let bytes = self.take(n * elem)?;
+        out.clear();
+        out.reserve(n);
+        if elem == 2 {
+            for i in 0..n {
                 let bits = u16::from_le_bytes([bytes[2 * i], bytes[2 * i + 1]]);
-                *v = F16(bits).to_f32();
+                out.push(F16(bits).to_f32());
             }
         } else {
-            let bytes = self.take(n * 4)?;
-            for (i, v) in out.iter_mut().enumerate() {
-                *v = f32::from_le_bytes(bytes[4 * i..4 * i + 4].try_into().unwrap());
+            for i in 0..n {
+                out.push(f32::from_le_bytes(
+                    bytes[4 * i..4 * i + 4].try_into().unwrap(),
+                ));
             }
         }
         Ok(())
@@ -160,13 +201,36 @@ fn collect_mlp(mlp: &instant3d_nerf::mlp::Mlp, out: &mut Vec<Vec<f32>>) {
     scratch.for_each_param_mut(&grads, |params, _| out.push(params.to_vec()));
 }
 
+/// The expected MLP tensor lengths in serialization (visitor) order:
+/// weights then bias per layer, matching `collect_mlp` /
+/// [`instant3d_nerf::mlp::Mlp::for_each_param_mut`].
+fn mlp_tensor_shapes(mlp: &instant3d_nerf::mlp::Mlp, out: &mut Vec<usize>) {
+    for l in mlp.layers() {
+        let s = l.spec();
+        out.push(s.in_dim * s.out_dim);
+        out.push(s.out_dim);
+    }
+}
+
 /// Restores parameters into a shape-compatible model (same config).
+///
+/// The load is **transactional**: the blob is fully decoded into scratch
+/// buffers and every tensor shape is validated against `model` *before*
+/// the first parameter is written. On any error — bad header, truncated
+/// or corrupt data, shape mismatch — the model is left bitwise
+/// untouched; a half-restored model (grids from the new blob, MLPs from
+/// the old weights) cannot be observed. The serve layer's checkpoint
+/// streaming relies on this: a corrupt blob arriving over the wire must
+/// not poison a resident job.
 ///
 /// # Errors
 ///
 /// Returns [`CheckpointError`] when the blob is malformed or its tensor
 /// shapes do not match `model`.
 pub fn load(model: &mut NerfModel, data: &[u8]) -> Result<(), CheckpointError> {
+    // Phase 1 — parse the whole blob into scratch, with every stored
+    // length bounds-checked against the remaining input before it sizes
+    // an allocation.
     let mut r = Reader { data, pos: 0 };
     if r.take(4)? != MAGIC {
         return Err(CheckpointError::BadMagic);
@@ -175,62 +239,85 @@ pub fn load(model: &mut NerfModel, data: &[u8]) -> Result<(), CheckpointError> {
     if version != VERSION {
         return Err(CheckpointError::BadVersion(version));
     }
-    r.f32_slice(0, model.density_grid_mut().params_mut())?;
-    {
-        // Color grid: read into the grid or expect an empty tensor.
-        match model.color_grid_mut() {
-            Some(g) => r.f32_slice(1, g.params_mut())?,
-            None => r.f32_slice(1, &mut [])?,
-        }
-    }
+    let mut density = Vec::new();
+    r.f32_tensor_into(0, &mut density)?;
+    let mut color = Vec::new();
+    r.f32_tensor_into(1, &mut color)?;
     let n_mlp = r.u32()? as usize;
+    // Every stored tensor occupies at least 5 bytes (u32 length + coding
+    // flag), which bounds a corrupt tensor count before `with_capacity`.
+    if n_mlp > r.remaining() / 5 {
+        return Err(CheckpointError::Truncated);
+    }
     let mut tensors: Vec<Vec<f32>> = Vec::with_capacity(n_mlp);
     for t in 0..n_mlp {
-        // Read length first by peeking: decode into a temporary of the
-        // stored size, then shape-check against the model below.
-        let len_pos = r.pos;
-        let n = r.u32()? as usize;
-        r.pos = len_pos;
-        let mut buf = vec![0.0f32; n];
-        r.f32_slice(2 + t, &mut buf)?;
+        let mut buf = Vec::new();
+        r.f32_tensor_into(2 + t, &mut buf)?;
         tensors.push(buf);
     }
-    // Distribute into the two heads in visitor order.
-    let mut idx = 0usize;
-    let mut apply = |mlp: &mut instant3d_nerf::mlp::Mlp| -> Result<(), CheckpointError> {
-        let grads = mlp.zero_grads();
-        let mut err = None;
-        mlp.for_each_param_mut(&grads, |params, _| {
-            if err.is_some() {
-                return;
-            }
-            match tensors.get(idx) {
-                Some(t) if t.len() == params.len() => params.copy_from_slice(t),
-                Some(t) => {
-                    err = Some(CheckpointError::ShapeMismatch {
-                        tensor: 2 + idx,
-                        stored: t.len(),
-                        expected: params.len(),
-                    })
-                }
-                None => err = Some(CheckpointError::Truncated),
-            }
-            idx += 1;
-        });
-        match err {
-            Some(e) => Err(e),
-            None => Ok(()),
-        }
-    };
-    apply(model.sigma_mlp_mut())?;
-    apply(model.color_mlp_mut())?;
-    if idx != tensors.len() {
+
+    // Phase 2 — validate every tensor shape against the model.
+    let expected_density = model.density_grid().params().len();
+    if density.len() != expected_density {
         return Err(CheckpointError::ShapeMismatch {
-            tensor: 2 + idx,
-            stored: tensors.len(),
-            expected: idx,
+            tensor: 0,
+            stored: density.len(),
+            expected: expected_density,
         });
     }
+    let expected_color = model.color_grid().map_or(0, |g| g.params().len());
+    if color.len() != expected_color {
+        return Err(CheckpointError::ShapeMismatch {
+            tensor: 1,
+            stored: color.len(),
+            expected: expected_color,
+        });
+    }
+    let mut shapes: Vec<usize> = Vec::new();
+    mlp_tensor_shapes(model.sigma_mlp(), &mut shapes);
+    mlp_tensor_shapes(model.color_mlp(), &mut shapes);
+    for (i, &expected) in shapes.iter().enumerate() {
+        match tensors.get(i) {
+            Some(t) if t.len() == expected => {}
+            Some(t) => {
+                return Err(CheckpointError::ShapeMismatch {
+                    tensor: 2 + i,
+                    stored: t.len(),
+                    expected,
+                })
+            }
+            None => return Err(CheckpointError::Truncated),
+        }
+    }
+    if tensors.len() != shapes.len() {
+        return Err(CheckpointError::ShapeMismatch {
+            tensor: 2 + shapes.len(),
+            stored: tensors.len(),
+            expected: shapes.len(),
+        });
+    }
+
+    // Phase 3 — commit. Every shape was proven above, so nothing below
+    // can fail: the model transitions atomically from its old parameter
+    // set to the checkpoint's.
+    model
+        .density_grid_mut()
+        .params_mut()
+        .copy_from_slice(&density);
+    if let Some(g) = model.color_grid_mut() {
+        g.params_mut().copy_from_slice(&color);
+    }
+    let mut idx = 0usize;
+    let mut apply = |mlp: &mut instant3d_nerf::mlp::Mlp| {
+        let grads = mlp.zero_grads();
+        mlp.for_each_param_mut(&grads, |params, _| {
+            params.copy_from_slice(&tensors[idx]);
+            idx += 1;
+        });
+    };
+    apply(model.sigma_mlp_mut());
+    apply(model.color_mlp_mut());
+    debug_assert_eq!(idx, tensors.len(), "visitor order drifted from shapes");
     Ok(())
 }
 

@@ -58,7 +58,7 @@ pub mod timing;
 pub mod trainer;
 pub mod vanilla;
 
-pub use batch::BatchWorkspace;
+pub use batch::{BatchWorkspace, WorkspaceShape};
 pub use config::{GridTopology, TrainConfig};
 pub use eval::EvalResult;
 pub use instant3d_nerf::kernels::{self, BackendHandle, Kernels};

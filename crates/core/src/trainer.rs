@@ -113,8 +113,14 @@ pub struct Trainer {
     ws: ModelWorkspace,
     grads: ModelGradients,
     touched_scratch: Vec<usize>,
-    /// Batched-engine state, reused across iterations.
-    bws: BatchWorkspace,
+    /// Batched-engine scratch, reused across iterations. `None` until
+    /// the first batched step (or between a detach and the next attach):
+    /// the serve layer parks workspaces in a shared pool between job
+    /// slices instead of keeping one resident per job.
+    bws: Option<BatchWorkspace>,
+    /// Fresh `BatchWorkspace` allocations this trainer performed (0 when
+    /// every step ran on an attached, pooled workspace after the first).
+    bws_allocated: u64,
     ray_scratch: Vec<TrainRay>,
     seg_scratch: Vec<Segment>,
 }
@@ -177,7 +183,6 @@ impl Trainer {
             .then(|| OccupancyGrid::new(dataset.aabb, cfg.occupancy_resolution));
         let ws = model.workspace();
         let grads = model.zero_grads();
-        let bws = BatchWorkspace::new(&model);
         let backend = cfg.kernel_backend.name();
         let tier = cfg.kernel_backend.tier().label();
         let occ_ws = OccupancyWorkspace::new(cfg.kernel_backend.clone());
@@ -204,7 +209,8 @@ impl Trainer {
             ws,
             grads,
             touched_scratch: Vec::new(),
-            bws,
+            bws: None,
+            bws_allocated: 0,
             ray_scratch: Vec::new(),
             seg_scratch: Vec::new(),
         }
@@ -235,6 +241,70 @@ impl Trainer {
         self.occupancy
             .as_ref()
             .map_or(1.0, OccupancyGrid::occupancy_fraction)
+    }
+
+    /// Hands this trainer a (pooled) batched-engine workspace to run its
+    /// next steps on, instead of allocating one lazily. The workspace
+    /// carries no cross-iteration state — every buffer is cleared/resized
+    /// per step — so attaching one recycled from another job cannot
+    /// change this trainer's results.
+    ///
+    /// Returns the workspace back as `Err` when its
+    /// [`shape`](BatchWorkspace::shape) does not fit this trainer's model
+    /// (wrong dimensions or kernel backend); any workspace already
+    /// attached is dropped in favor of the new one only on success.
+    // The large `Err` is the point: the caller gets the rejected
+    // workspace back to re-pool instead of losing it.
+    #[allow(clippy::result_large_err)]
+    pub fn attach_batch_workspace(&mut self, ws: BatchWorkspace) -> Result<(), BatchWorkspace> {
+        if ws.fits(&self.model) {
+            self.bws = Some(ws);
+            Ok(())
+        } else {
+            Err(ws)
+        }
+    }
+
+    /// Takes the batched-engine workspace out of the trainer (for parking
+    /// in a reuse pool between job slices). `None` if the trainer has not
+    /// run a batched step since construction or the last detach. The next
+    /// batched step re-allocates unless a workspace is attached first.
+    pub fn detach_batch_workspace(&mut self) -> Option<BatchWorkspace> {
+        self.bws.take()
+    }
+
+    /// Fresh [`BatchWorkspace`] allocations this trainer performed. Stays
+    /// at 1 for a solo run (the lazy first-step allocation) and at 0 for
+    /// a serve job fed exclusively from the pool — the counter the fleet
+    /// telemetry sums to prove zero steady-state workspace allocation.
+    pub fn batch_workspace_allocations(&self) -> u64 {
+        self.bws_allocated
+    }
+
+    /// Replaces this trainer's occupancy-refresh workspace with `ws`,
+    /// returning the previous one. Unlike [`BatchWorkspace`], the
+    /// occupancy workspace carries *persistent training state* (density
+    /// EMA, subset rotation phase, the per-level-versioned embedding
+    /// cache), so a workspace recycled from another job must be
+    /// [`reset`](OccupancyWorkspace::reset) first or the new job's
+    /// refresh results — and thus its checkpoints — would depend on the
+    /// donor job. The handed-in workspace is re-pointed at this trainer's
+    /// kernel backend.
+    pub fn attach_occupancy_workspace(&mut self, mut ws: OccupancyWorkspace) -> OccupancyWorkspace {
+        ws.set_backend(self.cfg.kernel_backend.clone());
+        std::mem::replace(&mut self.occ_ws, ws)
+    }
+
+    /// Takes the occupancy-refresh workspace out of the trainer (for
+    /// recycling when a serve job retires), leaving an empty replacement
+    /// behind. The replacement rebuilds its state lazily on the next
+    /// refresh, so detaching mid-training changes no results — only the
+    /// cost of the next refresh.
+    pub fn detach_occupancy_workspace(&mut self) -> OccupancyWorkspace {
+        std::mem::replace(
+            &mut self.occ_ws,
+            OccupancyWorkspace::new(self.cfg.kernel_backend.clone()),
+        )
     }
 
     /// Runs one training iteration on the batched SoA engine — the default
@@ -338,9 +408,20 @@ impl Trainer {
 
         // Step ② + ③ sampling: stratified segments and occupancy culling,
         // filling the SoA buffers ray by ray (RNG order matches scalar).
+        // The workspace is taken out of its slot for the step so the
+        // pipeline stages can borrow model and scratch independently; a
+        // missing workspace (first step, or detached into the serve pool)
+        // is allocated fresh and counted.
+        let mut bws = match self.bws.take() {
+            Some(ws) => ws,
+            None => {
+                self.bws_allocated += 1;
+                BatchWorkspace::new(&self.model)
+            }
+        };
         let aabb = self.model.aabb();
-        self.bws.clear();
-        self.bws.reserve_rays(self.ray_scratch.len());
+        bws.clear();
+        bws.reserve_rays(self.ray_scratch.len());
         for (r, tr) in self.ray_scratch.iter().enumerate() {
             sample_segments_into(
                 &tr.ray,
@@ -349,7 +430,7 @@ impl Trainer {
                 Some(rng),
                 &mut self.seg_scratch,
             );
-            self.model.encode_dir(tr.ray.dir, self.bws.sh_row_mut(r));
+            self.model.encode_dir(tr.ray.dir, bws.sh_row_mut(r));
             for &(t, dt) in &self.seg_scratch {
                 let p = tr.ray.at(t);
                 if let Some(occ) = &self.occupancy {
@@ -357,41 +438,41 @@ impl Trainer {
                         continue;
                     }
                 }
-                self.bws.rays.push_sample(t, dt);
-                self.bws.positions.push(p);
-                self.bws.point_ray.push(r as u32);
+                bws.rays.push_sample(t, dt);
+                bws.positions.push(p);
+                bws.point_ray.push(r as u32);
             }
-            self.bws.rays.end_ray();
+            bws.rays.end_ray();
         }
-        let total_points = self.bws.num_points();
+        let total_points = bws.num_points();
         lap!(Ps::MapRays);
 
         // Step ③ forward, batched.
-        self.bws.encode(&self.model, obs);
+        bws.encode(&self.model, obs);
         lap!(Ps::GridForward);
-        self.bws.heads_forward(&self.model);
+        bws.heads_forward(&self.model);
         lap!(Ps::MlpForward);
 
         // Step ④: composite; Step ⑤: loss.
-        self.bws.composite_all(self.background);
+        bws.composite_all(self.background);
         lap!(Ps::VolumeRender);
         let inv_batch = 1.0 / self.ray_scratch.len().max(1) as f32;
         let mut total_loss = 0.0f32;
         for (r, tr) in self.ray_scratch.iter().enumerate() {
-            let (loss, d_raw) = pixel_loss(self.bws.output(r).color, tr.target);
+            let (loss, d_raw) = pixel_loss(bws.output(r).color, tr.target);
             total_loss += loss;
-            self.bws.d_color[r] = d_raw * inv_batch;
+            bws.d_color[r] = d_raw * inv_batch;
         }
         lap!(Ps::ComputeLoss);
 
         // Step ⑥: backward through rendering, heads and grids.
-        self.bws.render_backward(self.background);
+        bws.render_backward(self.background);
         lap!(Ps::VolumeRender);
-        self.bws.heads_backward(&self.model, &mut self.grads);
+        bws.heads_backward(&self.model, &mut self.grads);
         lap!(Ps::MlpBackward);
-        self.bws
-            .scatter(&self.model, &mut self.grads, obs, update_color);
+        bws.scatter(&self.model, &mut self.grads, obs, update_color);
         lap!(Ps::GridBackward);
+        self.bws = Some(bws);
 
         let rays = self.ray_scratch.len();
         self.post_step(
@@ -677,6 +758,10 @@ impl Trainer {
             occupancy_refreshes: occ_refresh.is_some() as u64,
             occupancy_probes: occ_refresh.map_or(0, |r| r.cells_probed as u64),
             occupancy_reads_ff: occ_refresh.map_or(0, |r| r.grid_reads),
+            // Workspace-pool counters belong to the serve layer; the
+            // trainer keeps them 0 so engine-vs-engine golden stats match.
+            workspaces_allocated: 0,
+            workspaces_recycled: 0,
         });
 
         self.iter += 1;

@@ -1,0 +1,277 @@
+//! Corrupt-checkpoint suite: the codec must survive arbitrary blob
+//! corruption without aborting (no unbounded allocation from stored
+//! length fields, no wrapping bounds arithmetic) and without ever
+//! leaving the receiving model partially mutated — a failed
+//! [`checkpoint::load`] is transactional.
+//!
+//! Every test pins both halves of the contract: the *error* (right
+//! variant, no panic) and the *rollback* (the model's serialized bytes
+//! are identical before and after the failed load).
+
+use instant3d_core::checkpoint::{self, CheckpointError, MAGIC, VERSION};
+use instant3d_core::{GridTopology, NerfModel, TrainConfig};
+use instant3d_nerf::grid::HashGridConfig;
+use instant3d_nerf::math::Aabb;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A deliberately tiny model so the exhaustive truncation sweep (one
+/// load attempt per byte boundary) stays fast.
+fn tiny_config(topo: GridTopology) -> TrainConfig {
+    let mut cfg = TrainConfig::fast_preview();
+    cfg.topology = topo;
+    cfg.grid = HashGridConfig {
+        levels: 2,
+        log2_table_size: 6,
+        base_resolution: 4,
+        max_resolution: 8,
+        ..HashGridConfig::default()
+    };
+    cfg.mlp_hidden_dim = 8;
+    cfg
+}
+
+fn tiny_model(seed: u64, topo: GridTopology) -> NerfModel {
+    let mut rng = StdRng::seed_from_u64(seed);
+    NerfModel::new(&tiny_config(topo), Aabb::UNIT, &mut rng)
+}
+
+/// Asserts that `load` on `blob` fails and leaves `model` bitwise
+/// untouched, returning the error for variant checks.
+fn assert_failed_load_rolls_back(model: &mut NerfModel, blob: &[u8]) -> CheckpointError {
+    let before = checkpoint::save(model);
+    let err = checkpoint::load(model, blob).expect_err("corrupt blob must be rejected");
+    let after = checkpoint::save(model);
+    assert_eq!(before, after, "failed load mutated the model");
+    err
+}
+
+/// Byte offset of the `n_mlp` count field in a blob saved from `model`.
+fn n_mlp_offset(model: &NerfModel) -> usize {
+    let nd = model.density_grid().params().len();
+    let nc = model.color_grid().map_or(0, |g| g.params().len());
+    // magic(4) + version(2) + two fp16 grid tensors (len 4 + flag 1 +
+    // 2 bytes/value each).
+    4 + 2 + (5 + 2 * nd) + (5 + 2 * nc)
+}
+
+#[test]
+fn truncation_at_every_byte_boundary_is_rejected_and_rolled_back() {
+    for topo in [GridTopology::Coupled, GridTopology::Decoupled] {
+        let donor = tiny_model(1, topo);
+        let blob = checkpoint::save(&donor);
+        let mut target = tiny_model(2, topo);
+        let baseline = checkpoint::save(&target);
+        for len in 0..blob.len() {
+            let err = checkpoint::load(&mut target, &blob[..len])
+                .expect_err("every strict prefix must be rejected");
+            // Prefixes long enough to hold a wrong magic/version fail on
+            // those; everything else must report truncation.
+            assert!(
+                matches!(
+                    err,
+                    CheckpointError::Truncated
+                        | CheckpointError::BadMagic
+                        | CheckpointError::BadVersion(_)
+                ),
+                "unexpected error {err:?} at prefix {len}"
+            );
+        }
+        assert_eq!(
+            baseline,
+            checkpoint::save(&target),
+            "{topo:?}: truncation sweep mutated the model"
+        );
+        // The untruncated blob still loads (the sweep excluded full length).
+        checkpoint::load(&mut target, &blob).expect("full blob loads");
+        assert_eq!(checkpoint::save(&target), blob);
+    }
+}
+
+#[test]
+fn oversized_length_fields_truncate_instead_of_allocating() {
+    let donor = tiny_model(3, GridTopology::Decoupled);
+    let mut target = tiny_model(4, GridTopology::Decoupled);
+    // Density tensor length (offset 6) forced to adversarial values that
+    // would have sized a multi-gigabyte Vec before the bounds check —
+    // including ones whose byte count wraps a 32-bit usize product.
+    for huge in [u32::MAX, u32::MAX / 2 + 1, 1 << 30, 0x8000_0001] {
+        let mut blob = checkpoint::save(&donor);
+        blob[6..10].copy_from_slice(&huge.to_le_bytes());
+        let err = assert_failed_load_rolls_back(&mut target, &blob);
+        assert_eq!(err, CheckpointError::Truncated, "length {huge:#x}");
+    }
+    // Same for the MLP tensor-count field: each tensor needs at least 5
+    // bytes, so a huge count must be rejected before `with_capacity`.
+    let off = n_mlp_offset(&donor);
+    for huge in [u32::MAX, 1 << 24] {
+        let mut blob = checkpoint::save(&donor);
+        blob[off..off + 4].copy_from_slice(&huge.to_le_bytes());
+        let err = assert_failed_load_rolls_back(&mut target, &blob);
+        assert_eq!(err, CheckpointError::Truncated, "count {huge:#x}");
+    }
+    // And for a late MLP tensor's length field (past the count): the
+    // grids decode fine, the corrupt tensor must still roll everything
+    // back.
+    let mut blob = checkpoint::save(&donor);
+    let late = off + 4; // first MLP tensor's length field
+    blob[late..late + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+    let err = assert_failed_load_rolls_back(&mut target, &blob);
+    assert_eq!(err, CheckpointError::Truncated);
+}
+
+#[test]
+fn bad_magic_and_version_roll_back() {
+    let donor = tiny_model(5, GridTopology::Decoupled);
+    let mut target = tiny_model(6, GridTopology::Decoupled);
+    let mut blob = checkpoint::save(&donor);
+    blob[..4].copy_from_slice(b"NOPE");
+    let err = assert_failed_load_rolls_back(&mut target, &blob);
+    assert_eq!(err, CheckpointError::BadMagic);
+
+    let mut blob = checkpoint::save(&donor);
+    blob[4] = VERSION as u8 + 7;
+    let err = assert_failed_load_rolls_back(&mut target, &blob);
+    assert_eq!(err, CheckpointError::BadVersion(VERSION + 7));
+    assert_eq!(&checkpoint::save(&donor)[..4], MAGIC);
+}
+
+#[test]
+fn flag_flips_are_rejected_and_rolled_back() {
+    let donor = tiny_model(7, GridTopology::Decoupled);
+    let mut target = tiny_model(8, GridTopology::Decoupled);
+    // The density tensor's coding flag sits right after its length.
+    let flag_off = 4 + 2 + 4;
+    let blob = checkpoint::save(&donor);
+    assert_eq!(blob[flag_off], 1, "grid tensors are saved fp16");
+
+    // fp16 → f32 flip: the payload is now read at twice the width, so
+    // the stream misaligns and the load must fail without mutating.
+    let mut flipped = blob.clone();
+    flipped[flag_off] = 0;
+    assert_failed_load_rolls_back(&mut target, &flipped);
+
+    // An unknown flag value is rejected outright.
+    let mut bad = blob.clone();
+    bad[flag_off] = 7;
+    let err = assert_failed_load_rolls_back(&mut target, &bad);
+    assert_eq!(
+        err,
+        CheckpointError::BadFlag {
+            tensor: 0,
+            value: 7
+        }
+    );
+
+    // f32 → fp16 flip on the first MLP tensor: halves its payload read,
+    // misaligning everything after it.
+    let mlp_flag = n_mlp_offset(&donor) + 4 + 4;
+    assert_eq!(blob[mlp_flag], 0, "MLP tensors are saved f32");
+    let mut flipped = blob.clone();
+    flipped[mlp_flag] = 1;
+    assert_failed_load_rolls_back(&mut target, &flipped);
+}
+
+#[test]
+fn shape_mismatch_late_in_the_blob_rolls_back_the_grids_too() {
+    // Donor and target agree on every grid tensor but differ in MLP
+    // hidden width: the old codec committed the grids (and the early MLP
+    // tensors) before noticing, leaving the target half-restored.
+    let mut wide_cfg = tiny_config(GridTopology::Decoupled);
+    wide_cfg.mlp_hidden_dim = 16;
+    let mut rng = StdRng::seed_from_u64(9);
+    let donor = NerfModel::new(&wide_cfg, Aabb::UNIT, &mut rng);
+    let mut target = tiny_model(10, GridTopology::Decoupled);
+    assert_eq!(
+        donor.density_grid().params().len(),
+        target.density_grid().params().len(),
+        "grids must agree for this regression to bite"
+    );
+    let blob = checkpoint::save(&donor);
+    let err = assert_failed_load_rolls_back(&mut target, &blob);
+    assert!(
+        matches!(err, CheckpointError::ShapeMismatch { tensor, .. } if tensor >= 2),
+        "expected a late MLP shape mismatch, got {err:?}"
+    );
+}
+
+#[test]
+fn extra_and_missing_mlp_tensors_roll_back() {
+    let donor = tiny_model(11, GridTopology::Decoupled);
+    let mut target = tiny_model(12, GridTopology::Decoupled);
+    let off = n_mlp_offset(&donor);
+    let blob = checkpoint::save(&donor);
+    let n_mlp = u32::from_le_bytes(blob[off..off + 4].try_into().unwrap());
+
+    // One tensor short: understate the count (the trailing bytes are
+    // ignored by the parser, so the model comes up a tensor short).
+    let mut short = blob.clone();
+    short[off..off + 4].copy_from_slice(&(n_mlp - 1).to_le_bytes());
+    let err = assert_failed_load_rolls_back(&mut target, &short);
+    assert_eq!(err, CheckpointError::Truncated);
+
+    // One tensor extra: append a well-formed empty tensor and overstate
+    // the count.
+    let mut long = blob.clone();
+    long[off..off + 4].copy_from_slice(&(n_mlp + 1).to_le_bytes());
+    long.extend_from_slice(&0u32.to_le_bytes());
+    long.push(0);
+    let err = assert_failed_load_rolls_back(&mut target, &long);
+    assert!(matches!(err, CheckpointError::ShapeMismatch { .. }));
+}
+
+proptest! {
+    /// `load(save(model))` round-trips bitwise: re-serializing the
+    /// restored model reproduces the original blob exactly (grid
+    /// features are already fp16-quantized in storage, MLP weights are
+    /// exact f32).
+    #[test]
+    fn roundtrip_is_bitwise(seed in 0u64..256, coupled in any::<bool>()) {
+        let topo = if coupled { GridTopology::Coupled } else { GridTopology::Decoupled };
+        let original = tiny_model(seed, topo);
+        let blob = checkpoint::save(&original);
+        let mut restored = tiny_model(seed.wrapping_add(1000), topo);
+        checkpoint::load(&mut restored, &blob).expect("roundtrip load");
+        prop_assert_eq!(checkpoint::save(&restored), blob);
+    }
+
+    /// Arbitrary single-byte mutations anywhere in the blob never panic,
+    /// and whenever the load fails the model is bitwise untouched. (A
+    /// payload-byte mutation may legitimately load: it decodes to a
+    /// shape-valid parameter set.)
+    #[test]
+    fn mutated_blobs_never_panic_and_failures_roll_back(
+        seed in 0u64..64,
+        idx_frac in 0.0f64..1.0,
+        value in any::<u8>(),
+    ) {
+        let donor = tiny_model(seed, GridTopology::Decoupled);
+        let mut blob = checkpoint::save(&donor);
+        let idx = ((blob.len() - 1) as f64 * idx_frac) as usize;
+        blob[idx] = value;
+        let mut target = tiny_model(seed.wrapping_add(500), GridTopology::Decoupled);
+        let before = checkpoint::save(&target);
+        if checkpoint::load(&mut target, &blob).is_err() {
+            prop_assert_eq!(before, checkpoint::save(&target));
+        }
+    }
+
+    /// Random garbage (not derived from a valid blob) is rejected
+    /// without panic or mutation.
+    #[test]
+    fn random_garbage_is_rejected(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let mut target = tiny_model(99, GridTopology::Decoupled);
+        let before = checkpoint::save(&target);
+        let mut blob = bytes;
+        if blob.len() >= 6 {
+            // Give half the cases a valid header so the tensor parser
+            // actually runs.
+            blob[..4].copy_from_slice(MAGIC);
+            blob[4..6].copy_from_slice(&VERSION.to_le_bytes());
+        }
+        if checkpoint::load(&mut target, &blob).is_err() {
+            prop_assert_eq!(before, checkpoint::save(&target));
+        }
+    }
+}

@@ -447,6 +447,30 @@ impl OccupancyWorkspace {
         self.cached_versions.fill(u64::MAX);
     }
 
+    /// Returns the workspace to its just-constructed state while keeping
+    /// buffer capacity: the next refresh rebuilds probe centers, the
+    /// embedding cache, the density-EMA store (back to "never probed")
+    /// and the subset rotation phase from scratch.
+    ///
+    /// Unlike [`invalidate`](OccupancyWorkspace::invalidate) this also
+    /// forgets refresh *history* — required when a pooled workspace moves
+    /// to a different training job, whose results must not depend on the
+    /// donor job's EMA or phase (the serve layer's per-job determinism
+    /// contract).
+    pub fn reset(&mut self) {
+        self.shape = None;
+        self.phase = 0;
+    }
+
+    /// Re-points refresh dispatch at `backend` (pooled workspaces may be
+    /// recycled between jobs configured with different kernel backends).
+    /// Pair with [`reset`](OccupancyWorkspace::reset) when the workspace
+    /// changes hands: embeddings cached by a lossy-tier backend are not
+    /// bit-compatible with a strict-tier job's.
+    pub fn set_backend(&mut self, backend: BackendHandle) {
+        self.backend = backend;
+    }
+
     /// (Re)builds buffers when the grid/model/occupancy shape changed.
     fn ensure_shape(
         &mut self,

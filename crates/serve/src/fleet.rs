@@ -1,0 +1,291 @@
+//! The fleet scheduler: round-robin slices of many jobs over shared
+//! runners, workspaces and checkpoint cache.
+//!
+//! Concurrency model: `concurrency` runner tasks are spawned into one
+//! `rayon::scope` on the shared work-stealing pool. Each runner loops —
+//! pop a job from the queue, train it for `slice_iters` iterations (each
+//! iteration is itself a lazily-split parallel region on the same pool),
+//! park its scratch, requeue it — until the queue drains. Slicing plus
+//! the scheduler's periodic injector poll is what keeps a big scene from
+//! starving small ones: every job gets back into the queue after a
+//! bounded amount of work, and every runner's regions interleave on the
+//! same workers.
+
+use crate::job::{JobSpec, SceneJob};
+use crate::pool::WorkspacePool;
+use crate::store::CheckpointStore;
+use instant3d_core::WorkloadStats;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Scheduler knobs. The defaults suit a demo fleet of ~8 small scenes.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Concurrent runner tasks (jobs training at the same time). The
+    /// queue serializes beyond this; extra concurrency beyond the worker
+    /// count just interleaves on the same workers.
+    pub concurrency: usize,
+    /// Iterations a job trains per scheduling slice before requeueing.
+    pub slice_iters: u64,
+    /// LRU capacity of the checkpoint cache (see [`CheckpointStore`]).
+    pub max_resident_checkpoints: usize,
+    /// Pin the worker-pool size for the whole run (`None` = ambient).
+    /// Job determinism does not depend on this — it is a throughput knob.
+    pub threads: Option<usize>,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            concurrency: 4,
+            slice_iters: 16,
+            max_resident_checkpoints: 8,
+            threads: None,
+        }
+    }
+}
+
+/// Per-job outcome.
+#[derive(Debug, Clone)]
+pub struct JobReport {
+    /// The spec's name.
+    pub name: String,
+    /// Iterations executed (== the spec's budget).
+    pub iterations: u64,
+    /// Loss of the final training step.
+    pub final_loss: f32,
+    /// The job's workload counters, with the workspace-pool counters
+    /// populated by the serve layer (allocated = pool misses charged to
+    /// this job, recycled = pool hits).
+    pub stats: WorkloadStats,
+    /// Checkpoints written (cadence + final).
+    pub checkpoints_written: u64,
+    /// `BatchWorkspace`s this job's trainer minted (pool misses).
+    pub batch_allocated: u64,
+    /// Slices this job ran on a pooled `BatchWorkspace`.
+    pub batch_recycled: u64,
+    /// Whether the job booted on a recycled `OccupancyWorkspace`.
+    pub occ_recycled: bool,
+    /// The final checkpoint — always returned here even if the LRU cache
+    /// evicted it.
+    pub final_checkpoint: Vec<u8>,
+}
+
+/// Fleet-level telemetry: per-job [`WorkloadStats`] aggregated in total
+/// and grouped by kernel backend/tier provenance.
+#[derive(Debug, Clone)]
+pub struct FleetStats {
+    /// Jobs retired.
+    pub jobs: usize,
+    /// All jobs' counters merged (backend/tier labelled `"fleet"` /
+    /// `"mixed"` — a fleet may mix backends). Includes the workspace
+    /// pool counters: after warmup, `workspaces_allocated` stays flat
+    /// while `workspaces_recycled` grows with every slice.
+    pub total: WorkloadStats,
+    /// Counters merged per (backend, tier) group, labelled with that
+    /// group's provenance — lossy-tier work stays separable from strict.
+    pub per_backend: Vec<WorkloadStats>,
+    /// Checkpoints written across all jobs.
+    pub checkpoints_written: u64,
+    /// Checkpoints the LRU cache evicted.
+    pub checkpoints_evicted: u64,
+    /// `BatchWorkspace`s minted because the pool had none parked (bounded
+    /// by the number of concurrently training jobs — the warmup).
+    pub batch_allocated: u64,
+    /// Slices served a pooled `BatchWorkspace` (steady state).
+    pub batch_recycled: u64,
+    /// `OccupancyWorkspace`s minted at job boot (bounded by the number of
+    /// jobs simultaneously live; never grows with slices or iterations).
+    pub occ_allocated: u64,
+    /// Boots served a recycled, reset `OccupancyWorkspace`.
+    pub occ_recycled: u64,
+}
+
+/// Everything a fleet run produced.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Per-job outcomes, in the order the specs were submitted.
+    pub jobs: Vec<JobReport>,
+    /// Aggregated telemetry.
+    pub stats: FleetStats,
+    /// Job names still resident in the checkpoint cache at the end,
+    /// least- to most-recently written.
+    pub resident_checkpoints: Vec<String>,
+}
+
+/// A queue slot: jobs boot lazily so dataset/model construction also
+/// overlaps across runners.
+enum Slot {
+    Fresh(Box<JobSpec>),
+    Running(Box<SceneJob>),
+}
+
+/// The multi-scene training service. See the crate docs for the job
+/// lifecycle and determinism contract.
+#[derive(Debug, Default)]
+pub struct Fleet {
+    cfg: FleetConfig,
+}
+
+impl Fleet {
+    /// A fleet with the given scheduler config.
+    pub fn new(cfg: FleetConfig) -> Self {
+        Fleet { cfg }
+    }
+
+    /// Trains every spec to completion, multiplexed over the shared pool,
+    /// and returns per-job checkpoints plus fleet telemetry.
+    pub fn run(&self, specs: &[JobSpec]) -> FleetReport {
+        match self.cfg.threads {
+            Some(n) => rayon::ThreadPoolBuilder::new()
+                .num_threads(n)
+                .build()
+                .unwrap()
+                .install(|| self.run_inner(specs)),
+            None => self.run_inner(specs),
+        }
+    }
+
+    fn run_inner(&self, specs: &[JobSpec]) -> FleetReport {
+        let store = CheckpointStore::new(self.cfg.max_resident_checkpoints);
+        let pool = WorkspacePool::new();
+        let queue: Mutex<VecDeque<Slot>> = Mutex::new(
+            specs
+                .iter()
+                .map(|s| Slot::Fresh(Box::new(s.clone())))
+                .collect(),
+        );
+        let reports: Mutex<Vec<JobReport>> = Mutex::new(Vec::with_capacity(specs.len()));
+        let runners = self.cfg.concurrency.clamp(1, specs.len().max(1));
+        let slice_iters = self.cfg.slice_iters.max(1);
+
+        rayon::scope(|s| {
+            for _ in 0..runners {
+                s.spawn(|| loop {
+                    let slot = queue.lock().unwrap().pop_front();
+                    let mut job = match slot {
+                        None => break,
+                        Some(Slot::Running(job)) => job,
+                        Some(Slot::Fresh(spec)) => {
+                            let mut job = Box::new(spec.boot());
+                            if let Some(occ) = pool.checkout_occ() {
+                                // `attach` re-points the workspace at the
+                                // job's backend; the displaced (empty)
+                                // one is dropped.
+                                job.trainer.attach_occupancy_workspace(occ);
+                                job.occ_recycled = true;
+                            }
+                            job
+                        }
+                    };
+
+                    // One slice on a pooled workspace (pool miss ⇒ the
+                    // trainer mints lazily; counted via
+                    // `batch_workspace_allocations`).
+                    if let Some(ws) = pool.checkout_batch(job.trainer.model()) {
+                        match job.trainer.attach_batch_workspace(ws) {
+                            Ok(()) => job.batch_recycled += 1,
+                            // Unreachable (checkout is shape-keyed), but
+                            // never hand a mismatched workspace onward.
+                            Err(ws) => drop(ws),
+                        }
+                    }
+                    for _ in 0..slice_iters.min(job.remaining()) {
+                        job.step();
+                        if job.due_checkpoint() {
+                            let blob = job.checkpoint();
+                            store.put(&job.spec.name, blob);
+                        }
+                    }
+                    if let Some(ws) = job.trainer.detach_batch_workspace() {
+                        pool.park_batch(ws);
+                    }
+
+                    if job.remaining() > 0 {
+                        queue.lock().unwrap().push_back(Slot::Running(job));
+                        continue;
+                    }
+
+                    // Retire: final checkpoint, recycle the occupancy
+                    // workspace (reset inside `park_occ`), fold stats.
+                    let blob = job.checkpoint();
+                    store.put(&job.spec.name, blob.clone());
+                    pool.park_occ(job.trainer.detach_occupancy_workspace());
+                    let batch_allocated = job.trainer.batch_workspace_allocations();
+                    let mut stats = *job.trainer.stats();
+                    stats.workspaces_allocated = batch_allocated + u64::from(!job.occ_recycled);
+                    stats.workspaces_recycled = job.batch_recycled + u64::from(job.occ_recycled);
+                    reports.lock().unwrap().push(JobReport {
+                        name: job.spec.name.clone(),
+                        iterations: job.done,
+                        final_loss: job.last_loss,
+                        stats,
+                        checkpoints_written: job.checkpoints_written,
+                        batch_allocated,
+                        batch_recycled: job.batch_recycled,
+                        occ_recycled: job.occ_recycled,
+                        final_checkpoint: blob,
+                    });
+                });
+            }
+        });
+
+        let mut jobs = reports.into_inner().unwrap();
+        // Retirement order depends on scheduling; report in submission
+        // order so the output is stable.
+        jobs.sort_by_key(|r| {
+            specs
+                .iter()
+                .position(|s| s.name == r.name)
+                .unwrap_or(usize::MAX)
+        });
+        let stats = Self::aggregate(&jobs, &store);
+        FleetReport {
+            resident_checkpoints: store.resident(),
+            jobs,
+            stats,
+        }
+    }
+
+    /// Folds per-job stats into fleet totals and per-(backend, tier)
+    /// provenance groups.
+    fn aggregate(jobs: &[JobReport], store: &CheckpointStore) -> FleetStats {
+        let mut total = WorkloadStats {
+            backend: "fleet",
+            tier: "mixed",
+            ..WorkloadStats::default()
+        };
+        let mut per_backend: Vec<WorkloadStats> = Vec::new();
+        let mut batch_allocated = 0;
+        let mut batch_recycled = 0;
+        let mut occ_allocated = 0;
+        let mut occ_recycled = 0;
+        let mut checkpoints_written = 0;
+        for job in jobs {
+            total.merge(&job.stats);
+            match per_backend
+                .iter_mut()
+                .find(|g| g.backend == job.stats.backend && g.tier == job.stats.tier)
+            {
+                Some(group) => group.merge(&job.stats),
+                None => per_backend.push(job.stats),
+            }
+            checkpoints_written += job.checkpoints_written;
+            batch_allocated += job.batch_allocated;
+            batch_recycled += job.batch_recycled;
+            occ_allocated += u64::from(!job.occ_recycled);
+            occ_recycled += u64::from(job.occ_recycled);
+        }
+        FleetStats {
+            jobs: jobs.len(),
+            total,
+            per_backend,
+            checkpoints_written,
+            checkpoints_evicted: store.evictions(),
+            batch_allocated,
+            batch_recycled,
+            occ_allocated,
+            occ_recycled,
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Job specs and the per-job training state machine.
+
+use instant3d_core::{checkpoint, TrainConfig, Trainer};
+use instant3d_scenes::{Dataset, SceneLibrary};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Which scene substrate a job reconstructs — the demo fleet mixes all
+/// three of the paper's dataset families plus size variation within them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SceneSpec {
+    /// One of the eight NeRF-Synthetic-like primitive scenes.
+    Synthetic {
+        /// Scene index in `0..8`.
+        index: usize,
+        /// Square image resolution.
+        resolution: u32,
+        /// Training cameras on the orbit rig.
+        train_views: usize,
+    },
+    /// The SILVR-like large-volume hall.
+    Silvr {
+        /// Square image resolution.
+        resolution: u32,
+        /// Training cameras.
+        train_views: usize,
+    },
+    /// The ScanNet-like room with a walking trajectory and sensor noise.
+    Scannet {
+        /// Square image resolution.
+        resolution: u32,
+        /// Training cameras.
+        train_views: usize,
+    },
+}
+
+impl SceneSpec {
+    /// Builds the dataset, drawing any scene randomness from `rng` (part
+    /// of the job's seeded stream, so the dataset is a pure function of
+    /// the spec + seed).
+    pub fn build(&self, rng: &mut StdRng) -> Dataset {
+        match *self {
+            SceneSpec::Synthetic {
+                index,
+                resolution,
+                train_views,
+            } => SceneLibrary::synthetic_scene(index, resolution, train_views, rng),
+            SceneSpec::Silvr {
+                resolution,
+                train_views,
+            } => SceneLibrary::silvr_scene(resolution, train_views, rng),
+            SceneSpec::Scannet {
+                resolution,
+                train_views,
+            } => SceneLibrary::scannet_scene(resolution, train_views, rng),
+        }
+    }
+}
+
+/// Everything that determines a job's results: scene, training config,
+/// seed and budgets. Two runs of the same spec — solo or co-scheduled in
+/// any fleet — produce bit-identical checkpoints (see the crate docs).
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Checkpoint-store key and report label; unique within a fleet.
+    pub name: String,
+    /// The scene to reconstruct.
+    pub scene: SceneSpec,
+    /// Training configuration (including the kernel backend).
+    pub config: TrainConfig,
+    /// Seed for the job's private RNG (dataset build + training stream).
+    pub seed: u64,
+    /// Total training iterations.
+    pub iterations: u64,
+    /// Checkpoint cadence in iterations (0 = only the final checkpoint).
+    pub checkpoint_every: u64,
+}
+
+/// A booted job: trainer + private RNG + progress counters. Owned by one
+/// fleet runner at a time, parked in the queue between slices.
+pub(crate) struct SceneJob {
+    pub(crate) spec: JobSpec,
+    pub(crate) trainer: Trainer,
+    pub(crate) rng: StdRng,
+    /// Iterations executed so far.
+    pub(crate) done: u64,
+    /// Checkpoints written so far (cadence + final).
+    pub(crate) checkpoints_written: u64,
+    /// Loss of the last executed step.
+    pub(crate) last_loss: f32,
+    /// Batch workspaces this job received from the reuse pool.
+    pub(crate) batch_recycled: u64,
+    /// Whether the job's occupancy workspace came from the reuse pool.
+    pub(crate) occ_recycled: bool,
+}
+
+impl JobSpec {
+    /// Boots the job: dataset and trainer built from the job's own
+    /// seeded RNG, which then continues as the training stream. This is
+    /// the *entire* source of job randomness — the scheduler never
+    /// touches it.
+    pub(crate) fn boot(&self) -> SceneJob {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let dataset = self.scene.build(&mut rng);
+        let trainer = Trainer::new(self.config.clone(), &dataset, &mut rng);
+        SceneJob {
+            spec: self.clone(),
+            trainer,
+            rng,
+            done: 0,
+            checkpoints_written: 0,
+            last_loss: f32::NAN,
+            batch_recycled: 0,
+            occ_recycled: false,
+        }
+    }
+}
+
+impl SceneJob {
+    /// Iterations still to run.
+    pub(crate) fn remaining(&self) -> u64 {
+        self.spec.iterations.saturating_sub(self.done)
+    }
+
+    /// Runs one training step on the job's private stream.
+    pub(crate) fn step(&mut self) {
+        let s = self.trainer.step(&mut self.rng);
+        self.last_loss = s.loss;
+        self.done += 1;
+    }
+
+    /// Whether the cadence says to checkpoint after the step just run.
+    pub(crate) fn due_checkpoint(&self) -> bool {
+        self.spec.checkpoint_every > 0
+            && self.done < self.spec.iterations
+            && self.done.is_multiple_of(self.spec.checkpoint_every)
+    }
+
+    /// Serializes the current model.
+    pub(crate) fn checkpoint(&mut self) -> Vec<u8> {
+        self.checkpoints_written += 1;
+        checkpoint::save(self.trainer.model())
+    }
+}
+
+/// Trains `spec` start-to-finish in isolation — no fleet, no workspace
+/// pool — and returns the final checkpoint. The reference side of the
+/// determinism contract: a fleet-trained job's final checkpoint must be
+/// bit-identical to this, at the same kernel backend and worker count.
+pub fn train_solo(spec: &JobSpec) -> Vec<u8> {
+    let mut job = spec.boot();
+    while job.remaining() > 0 {
+        job.step();
+    }
+    checkpoint::save(job.trainer.model())
+}

@@ -62,4 +62,5 @@ pub use instant3d_core as core;
 pub use instant3d_devices as devices;
 pub use instant3d_nerf as nerf;
 pub use instant3d_scenes as scenes;
+pub use instant3d_serve as serve;
 pub use instant3d_trace as trace;

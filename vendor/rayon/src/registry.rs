@@ -11,7 +11,11 @@
 //!
 //! A global **injector** queue receives jobs from threads outside the
 //! pool (the bridge in [`in_worker`]); workers drain it when their own
-//! deque and every victim's deque are empty.
+//! deque and every victim's deque are empty — and, for fairness, poll it
+//! *first* every [`INJECTOR_POLL_PERIOD`]-th search, so an externally
+//! submitted region starts interleaving promptly even while a huge
+//! region tree keeps every deque non-empty (a multi-scene serving layer
+//! must not let one large scene starve the small ones).
 //!
 //! Waiting never blocks a worker that could be useful: a worker stuck on
 //! a `join` latch spins through [`Registry::wait_until`], executing any
@@ -39,6 +43,14 @@ use std::time::Duration;
 /// reallocates under concurrent stealing.
 pub(crate) const MAX_THREADS: usize = 64;
 
+/// Every this-many [`Registry::find_work`] calls, a worker polls the
+/// global injector *before* its own deque and the victims. Prime, so the
+/// poll phase never locks onto a region's split pattern; large enough
+/// that the hot path (own-deque LIFO pop) keeps its cache behaviour,
+/// small enough that under full oversubscription an injected job waits
+/// a few dozen task executions, not an entire region tree.
+const INJECTOR_POLL_PERIOD: u32 = 61;
+
 struct WorkerState {
     /// Owner: `push_back`/`pop_back`. Thieves: `pop_front`.
     deque: Mutex<VecDeque<JobRef>>,
@@ -64,6 +76,10 @@ thread_local! {
     static WORKER_INDEX: Cell<Option<usize>> = const { Cell::new(None) };
     /// The inherited apparent thread count (see `current_num_threads`).
     static APPARENT_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+    /// Work-search counter driving the periodic injector-first poll
+    /// (per-thread: only a worker searches on its own behalf, and a
+    /// shared counter would just be contended noise).
+    static FIND_TICK: Cell<u32> = const { Cell::new(0) };
 }
 
 static REGISTRY: OnceLock<&'static Registry> = OnceLock::new();
@@ -158,7 +174,25 @@ impl Registry {
 
     /// Owner pop (LIFO), then steal. Returns `None` only after scanning
     /// every live deque and the injector.
+    ///
+    /// Fairness: every [`INJECTOR_POLL_PERIOD`]-th call checks the
+    /// injector *first*. Without that, a worker whose deque a big region
+    /// keeps saturated would never reach the injector (it is last in the
+    /// scan order), and an off-pool submission would wait for the whole
+    /// region tree to drain. Which jobs run where never affects results —
+    /// regions only combine disjoint writes — so the poll trades a little
+    /// depth-first cache warmth for bounded cross-region latency.
     fn find_work(&self, index: usize) -> Option<JobRef> {
+        let tick = FIND_TICK.with(|t| {
+            let v = t.get().wrapping_add(1);
+            t.set(v);
+            v
+        });
+        if tick.is_multiple_of(INJECTOR_POLL_PERIOD) {
+            if let Some(job) = self.injector.lock().unwrap().pop_front() {
+                return Some(job);
+            }
+        }
         if let Some(job) = self.workers[index].deque.lock().unwrap().pop_back() {
             return Some(job);
         }

@@ -254,6 +254,51 @@ fn results_are_bit_identical_across_worker_counts() {
 }
 
 #[test]
+fn injected_region_interleaves_with_saturating_region() {
+    use std::sync::Arc;
+    // A big region keeps every worker deque saturated; a region injected
+    // from a *different* external thread mid-flight must run (and
+    // finish) before the big one drains. This is the periodic
+    // injector-first poll in `find_work`: before it, the injector was
+    // only checked after every deque ran dry, so a job submitted to a
+    // busy pool waited for the entire in-flight region tree — one large
+    // scene starved every co-scheduled small one in the serving layer.
+    const ITEMS: usize = 8192;
+    let done = Arc::new(AtomicUsize::new(0));
+    let big = {
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            pool(4).install(|| {
+                (0..ITEMS).into_par_iter().for_each(|i| {
+                    // ~tens of µs of real work per item so the region
+                    // stays in flight for a long, timing-safe window.
+                    let mut x = i as u64 | 1;
+                    for _ in 0..20_000 {
+                        x = x
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                    }
+                    std::hint::black_box(x);
+                    done.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        })
+    };
+    // Wait until the big region is demonstrably in flight, then inject a
+    // tiny region and record how far the big one had gotten when the
+    // small one ran.
+    while done.load(Ordering::Relaxed) < 64 {
+        std::thread::yield_now();
+    }
+    let seen = pool(4).install(|| done.load(Ordering::Relaxed));
+    assert!(
+        seen < ITEMS,
+        "injected region waited for the saturating region to drain ({seen}/{ITEMS})"
+    );
+    big.join().unwrap();
+}
+
+#[test]
 fn map_collect_is_ordered_under_oversubscription() {
     pool(8).install(|| {
         let out: Vec<u64> = (0..2000usize)
