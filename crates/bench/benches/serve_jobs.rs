@@ -61,6 +61,7 @@ fn bench_fleet_concurrency(c: &mut Criterion) {
             slice_iters: 4,
             max_resident_checkpoints: 4,
             threads: Some(4),
+            ..FleetConfig::default()
         });
         c.bench_function(&format!("serve/fleet_4x8_c{concurrency}/t4"), |b| {
             b.iter(|| black_box(fleet.run(&specs)).stats.total.iterations)

@@ -67,6 +67,10 @@ pub struct BatchWorkspace {
     pub(crate) d_emb_d: Vec<f32>,
     pub(crate) d_emb_c: Vec<f32>,
     pub(crate) d_color_in: Vec<f32>,
+    /// Per-ray `(t, δt)` segment scratch for occupancy-guided sampling
+    /// (the tile renderer's `sample_segments_occupancy_into` buffer).
+    /// Rides with the workspace so pooled reuse keeps its capacity.
+    pub(crate) seg_scratch: Vec<(f32, f32)>,
 
     sh_dim: usize,
     emb_d_dim: usize,
@@ -147,6 +151,7 @@ impl BatchWorkspace {
             d_emb_d: Vec::new(),
             d_emb_c: Vec::new(),
             d_color_in: Vec::new(),
+            seg_scratch: Vec::new(),
             sh_dim: model.sh_dim(),
             emb_d_dim: model.density_grid().output_dim(),
             emb_c_dim,
@@ -197,6 +202,7 @@ impl BatchWorkspace {
         self.positions.clear();
         self.point_ray.clear();
         self.sh.clear();
+        self.seg_scratch.clear();
     }
 
     /// Reserves the per-ray SH rows for `rays` rays and returns the flat

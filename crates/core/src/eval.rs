@@ -4,13 +4,22 @@
 //! The depth maps are "not generated during training and merely used to
 //! test the learned density quality" (§3.1) — they quantify how fast the
 //! density branch is learning relative to color (Fig. 5).
+//!
+//! Rendering goes through the tile renderer ([`crate::render`]) at full
+//! budget: tiles are scheduled on the work-stealing pool and workspaces
+//! come from the process-wide reuse pool, so repeated evaluation performs
+//! zero steady-state allocations. The original monolithic row-chunk
+//! renderer survives as [`render_model_view_monolithic`], the executable
+//! specification the tile path is golden-pinned against.
 
 use crate::batch::BatchWorkspace;
 use crate::model::{NerfModel, NullBranchObserver};
+use crate::render;
 use instant3d_nerf::camera::Camera;
 use instant3d_nerf::image::{DepthImage, RgbImage};
 use instant3d_nerf::math::Vec3;
-use instant3d_nerf::metrics::{mean, psnr_depth, psnr_rgb};
+use instant3d_nerf::metrics::{psnr_depth, psnr_rgb};
+use instant3d_nerf::occupancy::OccupancyGrid;
 use instant3d_scenes::Dataset;
 use rayon::prelude::*;
 
@@ -25,12 +34,28 @@ pub struct EvalResult {
     pub rgb_ssim: f32,
 }
 
-/// Renders one view of the model (RGB + expected-depth) on the batched SoA
-/// engine: rows are processed as ray batches — one grid encode, one MLP
-/// sweep and one composite per row — with row chunks running in parallel
-/// on per-chunk workspaces. Pixel values are identical to per-point scalar
-/// queries.
+/// Renders one view of the model (RGB + expected-depth) through the tile
+/// renderer at full budget — pixel values are identical to per-point
+/// scalar queries and to [`render_model_view_monolithic`].
 pub fn render_model_view(
+    model: &NerfModel,
+    camera: &Camera,
+    samples_per_ray: usize,
+    background: Vec3,
+) -> (RgbImage, DepthImage) {
+    render::render_view(model, camera, samples_per_ray, background, None)
+}
+
+/// The original monolithic renderer: rows are processed as ray batches —
+/// one grid encode, one MLP sweep and one composite per row — with row
+/// chunks running in parallel on per-chunk workspaces.
+///
+/// Kept as the executable specification for the tile renderer's golden
+/// suite (`crates/core/tests/tile_render.rs`): a full-budget tiled frame
+/// must match this bit-for-bit on every strict backend × worker count.
+/// Unlike the tile path it mints a fresh [`BatchWorkspace`] per row
+/// chunk, so it is reference/bench material, not a hot path.
+pub fn render_model_view_monolithic(
     model: &NerfModel,
     camera: &Camera,
     samples_per_ray: usize,
@@ -101,27 +126,68 @@ pub fn render_model_view(
     (rgb, depth)
 }
 
-/// Scores a model against a dataset's test views.
+/// Scores a model against a dataset's test views with uniform ray
+/// sampling — the default, metrics-stable path
+/// (`evaluate_with(.., None)`).
 ///
 /// # Panics
 ///
-/// Panics if the dataset has no test views.
+/// Panics if the dataset has no test views or the test-view and
+/// test-depth counts disagree.
 pub fn evaluate(model: &NerfModel, dataset: &Dataset, samples_per_ray: usize) -> EvalResult {
+    evaluate_with(model, dataset, samples_per_ray, None)
+}
+
+/// Scores a model against a dataset's test views, optionally with
+/// occupancy-guided sampling.
+///
+/// `occupancy` is the empty-space-skipping flag: `None` samples every ray
+/// uniformly across its AABB span (bit-for-bit the historical metrics);
+/// `Some(grid)` culls samples in unoccupied cells, which is much cheaper
+/// on a trained model but produces (slightly) different pixels, so it is
+/// opt-in — see `TrainConfig::eval_occupancy`.
+///
+/// # Panics
+///
+/// Panics if the dataset has no test views or the test-view and
+/// test-depth counts disagree (a silently truncated zip would score
+/// depth maps against the wrong views).
+pub fn evaluate_with(
+    model: &NerfModel,
+    dataset: &Dataset,
+    samples_per_ray: usize,
+    occupancy: Option<&OccupancyGrid>,
+) -> EvalResult {
     assert!(!dataset.test_views.is_empty(), "dataset has no test views");
-    let mut rgb_psnrs = Vec::with_capacity(dataset.test_views.len());
-    let mut depth_psnrs = Vec::with_capacity(dataset.test_views.len());
-    let mut ssims = Vec::with_capacity(dataset.test_views.len());
+    assert_eq!(
+        dataset.test_views.len(),
+        dataset.test_depths.len(),
+        "test view/depth count mismatch: {} views vs {} depth maps",
+        dataset.test_views.len(),
+        dataset.test_depths.len(),
+    );
+    // Accumulate sums and divide by the (asserted non-zero) view count:
+    // an empty mean is impossible by construction, and the summation
+    // order matches `metrics::mean` so the scores are bit-stable against
+    // the historical implementation.
+    let n = dataset.test_views.len() as f32;
+    let (mut rgb_sum, mut depth_sum, mut ssim_sum) = (0.0f32, 0.0f32, 0.0f32);
     for (view, gt_depth) in dataset.test_views.iter().zip(&dataset.test_depths) {
-        let (rgb, depth) =
-            render_model_view(model, &view.camera, samples_per_ray, dataset.background);
-        rgb_psnrs.push(psnr_rgb(&view.image, &rgb));
-        depth_psnrs.push(psnr_depth(gt_depth, &depth));
-        ssims.push(instant3d_nerf::ssim::ssim(&view.image, &rgb));
+        let (rgb, depth) = render::render_view(
+            model,
+            &view.camera,
+            samples_per_ray,
+            dataset.background,
+            occupancy,
+        );
+        rgb_sum += psnr_rgb(&view.image, &rgb);
+        depth_sum += psnr_depth(gt_depth, &depth);
+        ssim_sum += instant3d_nerf::ssim::ssim(&view.image, &rgb);
     }
     EvalResult {
-        rgb_psnr: mean(&rgb_psnrs).unwrap_or(0.0),
-        depth_psnr: mean(&depth_psnrs).unwrap_or(0.0),
-        rgb_ssim: mean(&ssims).unwrap_or(0.0),
+        rgb_psnr: rgb_sum / n,
+        depth_psnr: depth_sum / n,
+        rgb_ssim: ssim_sum / n,
     }
 }
 
@@ -161,5 +227,15 @@ mod tests {
         // An untrained model should be far from ground truth.
         assert!(r.rgb_psnr < 30.0);
         assert!(r.rgb_ssim < 0.999);
+    }
+
+    #[test]
+    #[should_panic(expected = "test view/depth count mismatch")]
+    fn evaluate_rejects_mismatched_depth_count() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut ds = SceneLibrary::synthetic_scene(0, 8, 3, &mut rng);
+        let model = NerfModel::new(&TrainConfig::fast_preview(), ds.aabb, &mut rng);
+        ds.test_depths.pop();
+        let _ = evaluate(&model, &ds, 4);
     }
 }

@@ -42,8 +42,13 @@
 //!   [`BatchWorkspace`] (zero steady-state allocation).
 //! * [`trainer`] — the six-step training pipeline (Fig. 2) with workload
 //!   accounting and optional memory-access tracing, batched by default.
-//! * [`eval`] — test-view rendering (row batches on the SoA engine) and
-//!   RGB/depth PSNR evaluation.
+//! * [`pool`] — the shape-keyed [`WorkspacePool`] shared by fleet slices
+//!   and tile-render jobs (zero steady-state allocation).
+//! * [`render`] — the tile-streaming frame renderer: budgeted progressive
+//!   frames with converged-tile caching and version-keyed invalidation
+//!   (see its module docs for the frame lifecycle).
+//! * [`eval`] — test-view rendering (a thin full-budget client of
+//!   [`render`]) and RGB/depth PSNR evaluation.
 //! * [`profile`] — per-pipeline-step operation counts, both measured and
 //!   paper-scale, consumed by the device and accelerator models.
 
@@ -52,7 +57,9 @@ pub mod checkpoint;
 pub mod config;
 pub mod eval;
 pub mod model;
+pub mod pool;
 pub mod profile;
+pub mod render;
 pub mod schedule;
 pub mod timing;
 pub mod trainer;
@@ -63,6 +70,8 @@ pub use config::{GridTopology, TrainConfig};
 pub use eval::EvalResult;
 pub use instant3d_nerf::kernels::{self, BackendHandle, Kernels};
 pub use model::NerfModel;
+pub use pool::WorkspacePool;
 pub use profile::{PipelineStep, PipelineWorkload, WorkloadStats};
+pub use render::{FrameBudget, FrameProgress, FrameScheduler, RenderOptions, RenderTelemetry};
 pub use schedule::UpdateSchedule;
 pub use trainer::{StepStats, TrainReport, Trainer};

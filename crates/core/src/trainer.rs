@@ -14,7 +14,7 @@
 
 use crate::batch::BatchWorkspace;
 use crate::config::{GridTopology, TrainConfig};
-use crate::eval::{evaluate, EvalResult};
+use crate::eval::EvalResult;
 use crate::model::{BranchObserver, ModelGradients, ModelWorkspace, NerfModel, NullBranchObserver};
 use crate::profile::WorkloadStats;
 use crate::schedule::UpdateSchedule;
@@ -241,6 +241,13 @@ impl Trainer {
         self.occupancy
             .as_ref()
             .map_or(1.0, OccupancyGrid::occupancy_fraction)
+    }
+
+    /// The trained occupancy grid, when occupancy is enabled — the
+    /// culling structure occupancy-guided eval and per-job preview
+    /// rendering consult.
+    pub fn occupancy_grid(&self) -> Option<&OccupancyGrid> {
+        self.occupancy.as_ref()
     }
 
     /// Hands this trainer a (pooled) batched-engine workspace to run its
@@ -842,9 +849,28 @@ impl Trainer {
         }
     }
 
-    /// Evaluates the current model on a dataset's test views.
+    /// Evaluates the current model on a dataset's test views. With
+    /// `TrainConfig::eval_occupancy` set (off by default — the default
+    /// preserves historical metrics bit-for-bit), sampling is guided by
+    /// the trainer's occupancy grid.
     pub fn evaluate(&self, dataset: &Dataset) -> EvalResult {
-        evaluate(&self.model, dataset, self.cfg.eval_samples_per_ray)
+        let occ = if self.cfg.eval_occupancy {
+            self.occupancy.as_ref()
+        } else {
+            None
+        };
+        crate::eval::evaluate_with(&self.model, dataset, self.cfg.eval_samples_per_ray, occ)
+    }
+
+    /// Evaluates with occupancy-guided sampling regardless of the config
+    /// flag (no-op difference when occupancy is disabled).
+    pub fn evaluate_with_occupancy(&self, dataset: &Dataset) -> EvalResult {
+        crate::eval::evaluate_with(
+            &self.model,
+            dataset,
+            self.cfg.eval_samples_per_ray,
+            self.occupancy.as_ref(),
+        )
     }
 }
 

@@ -1,0 +1,344 @@
+//! Golden suite for the tile-streaming renderer (`core::render`).
+//!
+//! The contract under test: a full-budget tiled frame is **bit-identical**
+//! to the monolithic row-chunk renderer
+//! (`eval::render_model_view_monolithic`, the executable specification)
+//! on every registered strict backend × worker count × tile shape, a
+//! budgeted progressive render converges to the same bits within
+//! `tile_count` frames, converged tiles are cached across frames and
+//! invalidated precisely by hash-grid `level_versions` drift, and
+//! steady-state tile rendering mints no workspaces beyond the warmup
+//! bound.
+
+use instant3d_core::eval::{
+    evaluate, evaluate_with, render_model_view, render_model_view_monolithic,
+};
+use instant3d_core::pool::WorkspacePool;
+use instant3d_core::render::{FrameBudget, FrameScheduler, RenderOptions, DEFAULT_TILE_SIZE};
+use instant3d_core::{kernels, BackendHandle, TrainConfig, Trainer};
+use instant3d_nerf::camera::Camera;
+use instant3d_nerf::image::{DepthImage, RgbImage};
+use instant3d_nerf::math::Vec3;
+use instant3d_nerf::occupancy::OccupancyGrid;
+use instant3d_scenes::{Dataset, SceneLibrary};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn dataset(seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    SceneLibrary::synthetic_scene(0, 20, 4, &mut rng)
+}
+
+fn config(backend: &BackendHandle) -> TrainConfig {
+    let mut cfg = TrainConfig::fast_preview();
+    cfg.kernel_backend = backend.clone();
+    cfg
+}
+
+/// A briefly-trained trainer so frames have real content and the
+/// occupancy grid has culled some empty space.
+fn trained(backend: &BackendHandle, ds: &Dataset, steps: usize) -> Trainer {
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut trainer = Trainer::new(config(backend), ds, &mut rng);
+    let mut train_rng = StdRng::seed_from_u64(11);
+    for _ in 0..steps {
+        trainer.step(&mut train_rng);
+    }
+    trainer
+}
+
+fn assert_frames_eq(
+    (rgb_a, depth_a): &(RgbImage, DepthImage),
+    (rgb_b, depth_b): &(RgbImage, DepthImage),
+    label: &str,
+) {
+    assert_eq!(rgb_a.pixels(), rgb_b.pixels(), "{label}: RGB bits differ");
+    assert_eq!(
+        depth_a.depths(),
+        depth_b.depths(),
+        "{label}: depth bits differ"
+    );
+}
+
+/// Full-budget tiled rendering reproduces the monolithic reference
+/// bit-for-bit on every registered strict backend × worker count.
+#[test]
+fn full_budget_tiled_matches_monolithic_across_backends_and_workers() {
+    let ds = dataset(42);
+    for backend in kernels::registered_strict() {
+        let trainer = trained(&backend, &ds, 8);
+        let cam = &ds.test_views[0].camera;
+        for workers in [1usize, 4, 8] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(workers)
+                .build()
+                .unwrap();
+            pool.install(|| {
+                let tiled = render_model_view(trainer.model(), cam, 24, ds.background);
+                let mono = render_model_view_monolithic(trainer.model(), cam, 24, ds.background);
+                assert_frames_eq(&tiled, &mono, &format!("{}/t{}", backend.name(), workers));
+            });
+        }
+    }
+}
+
+/// Tile-boundary seams: every tile shape — including 1×1 tiles, tiles
+/// larger than the frame, and frames that are not a multiple of the tile
+/// size — partitions the frame into the same bits as the monolithic
+/// renderer. Also covers 1×1 frames.
+#[test]
+fn tile_seams_and_odd_frame_sizes_are_exact() {
+    let ds = dataset(7);
+    let backend = kernels::strict_from_env_or_default();
+    let trainer = trained(&backend, &ds, 4);
+    let model = trainer.model();
+    let center = model.aabb().center();
+    let eye = center + Vec3::new(0.9, 0.7, 1.6);
+    for (w, h) in [(1u32, 1u32), (13, 9), (3, 5), (33, 17)] {
+        let cam = Camera::look_at(eye, center, Vec3::new(0.0, 1.0, 0.0), 0.9, w, h);
+        let mono = render_model_view_monolithic(model, &cam, 16, ds.background);
+        for tile in [1u32, 3, 4, DEFAULT_TILE_SIZE, 64] {
+            let pool = WorkspacePool::new();
+            let mut sched = FrameScheduler::new(
+                cam,
+                RenderOptions {
+                    samples_per_ray: 16,
+                    background: ds.background,
+                    tile_size: tile,
+                },
+            );
+            let progress = sched.render_frame(model, None, FrameBudget::full(), &pool);
+            assert!(progress.complete, "{w}x{h}/tile{tile}: incomplete");
+            assert_eq!(progress.tiles_rendered, sched.layout().tile_count());
+            assert_frames_eq(&sched.frame(), &mono, &format!("{w}x{h}/tile{tile}"));
+        }
+    }
+}
+
+/// A tile-budgeted progressive render sweeps the frame round-robin and
+/// converges to the full-budget bits within `tile_count` frames.
+#[test]
+fn budgeted_progressive_render_converges_to_full_budget_bits() {
+    let ds = dataset(13);
+    let backend = kernels::strict_from_env_or_default();
+    let trainer = trained(&backend, &ds, 6);
+    let cam = &ds.test_views[0].camera;
+    let mono = render_model_view_monolithic(trainer.model(), cam, 20, ds.background);
+
+    let pool = WorkspacePool::new();
+    let mut sched = FrameScheduler::new(
+        *cam,
+        RenderOptions {
+            samples_per_ray: 20,
+            background: ds.background,
+            tile_size: 8,
+        },
+    );
+    let tiles = sched.layout().tile_count();
+    assert!(tiles > 2, "frame should have several tiles");
+    let mut frames = 0;
+    loop {
+        let progress = sched.render_frame(trainer.model(), None, FrameBudget::tiles(1), &pool);
+        frames += 1;
+        assert!(progress.tiles_rendered <= 1);
+        if progress.complete {
+            break;
+        }
+        assert!(frames <= tiles, "must converge within tile_count frames");
+    }
+    assert_eq!(frames, tiles, "one tile per frame at budget 1");
+    assert_frames_eq(&sched.frame(), &mono, "budgeted convergence");
+
+    // Converged: another frame does no work.
+    let progress = sched.render_frame(trainer.model(), None, FrameBudget::full(), &pool);
+    assert_eq!(progress.tiles_rendered, 0);
+    assert_eq!(progress.tiles_cached, tiles);
+    assert!(progress.complete);
+}
+
+/// Converged tiles stay cached while the grids are untouched, and a
+/// training step (whose sparse Adam updates bump `level_versions`)
+/// invalidates exactly the tiles that sampled the grid — the frame then
+/// re-renders to the post-step monolithic bits.
+#[test]
+fn cache_invalidates_on_level_version_bumps() {
+    let ds = dataset(21);
+    let backend = kernels::strict_from_env_or_default();
+    let mut trainer = trained(&backend, &ds, 4);
+    let cam = ds.test_views[0].camera;
+    let pool = WorkspacePool::new();
+    let mut sched = FrameScheduler::new(cam, RenderOptions::new(16, ds.background));
+
+    let p0 = sched.render_frame(trainer.model(), None, FrameBudget::full(), &pool);
+    assert!(p0.complete && p0.tiles_rendered > 0);
+    // Same model state ⇒ pure cache hits.
+    let p1 = sched.render_frame(trainer.model(), None, FrameBudget::full(), &pool);
+    assert_eq!(p1.tiles_rendered, 0);
+    assert!(sched.is_converged(trainer.model(), None));
+
+    // A training step bumps grid versions ⇒ content tiles re-render and
+    // the frame matches a fresh reference render of the stepped model.
+    let mut rng = StdRng::seed_from_u64(33);
+    trainer.step(&mut rng);
+    assert!(!sched.is_converged(trainer.model(), None));
+    let p2 = sched.render_frame(trainer.model(), None, FrameBudget::full(), &pool);
+    assert!(p2.tiles_rendered > 0 && p2.complete);
+    let mono = render_model_view_monolithic(trainer.model(), &cam, 16, ds.background);
+    assert_frames_eq(&sched.frame(), &mono, "post-step re-render");
+    assert!(sched.telemetry().tiles_invalidated >= p2.tiles_rendered as u64);
+}
+
+/// Tiles whose rays never touch the scene volume (pure background) are
+/// immune to grid-version bumps: training steps do not invalidate them.
+#[test]
+fn background_tiles_survive_training_steps() {
+    let ds = dataset(29);
+    let backend = kernels::strict_from_env_or_default();
+    let mut trainer = trained(&backend, &ds, 2);
+    let center = trainer.model().aabb().center();
+    // Looking directly away from the volume: every ray misses.
+    let eye = center + Vec3::new(0.0, 0.0, 40.0);
+    let target = center + Vec3::new(0.0, 0.0, 80.0);
+    let cam = Camera::look_at(eye, target, Vec3::new(0.0, 1.0, 0.0), 0.8, 12, 12);
+    let pool = WorkspacePool::new();
+    let mut sched = FrameScheduler::new(cam, RenderOptions::new(16, ds.background));
+
+    let p0 = sched.render_frame(trainer.model(), None, FrameBudget::full(), &pool);
+    assert!(p0.complete);
+    assert_eq!(sched.telemetry().points, 0, "all rays must miss");
+    for p in sched.frame().0.pixels() {
+        assert_eq!(*p, ds.background);
+    }
+
+    let mut rng = StdRng::seed_from_u64(5);
+    trainer.step(&mut rng);
+    let p1 = sched.render_frame(trainer.model(), None, FrameBudget::full(), &pool);
+    assert_eq!(
+        p1.tiles_rendered, 0,
+        "background tiles must ignore grid-version bumps"
+    );
+}
+
+/// Zero steady-state allocation: across many frames, workspace mints are
+/// bounded by the worker count while recycles grow with every frame.
+/// (Checkout is per runner task per frame — each runner holds one
+/// workspace for the whole frame — so the checkout count is bounded by
+/// `frames × workers`, not by the tile count.)
+#[test]
+fn steady_state_rendering_mints_no_workspaces() {
+    let ds = dataset(3);
+    let backend = kernels::strict_from_env_or_default();
+    let trainer = trained(&backend, &ds, 2);
+    let workers = 4usize;
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(workers)
+        .build()
+        .unwrap();
+    pool.install(|| {
+        let ws_pool = WorkspacePool::new();
+        let mut sched = FrameScheduler::new(
+            ds.test_views[0].camera,
+            RenderOptions {
+                samples_per_ray: 12,
+                background: ds.background,
+                tile_size: 4,
+            },
+        );
+        for _ in 0..8 {
+            sched.invalidate_all();
+            let progress = sched.render_frame(trainer.model(), None, FrameBudget::full(), &ws_pool);
+            assert!(progress.complete);
+        }
+        let t = *sched.telemetry();
+        assert!(
+            t.workspaces_minted <= workers as u64,
+            "mints {} must be bounded by the worker count {workers}",
+            t.workspaces_minted
+        );
+        // One checkout per runner per frame, never one per tile.
+        assert!(
+            t.workspaces_minted + t.workspaces_recycled <= (8 * workers) as u64,
+            "checkouts must be per-runner-per-frame, not per-tile ({t:?})"
+        );
+        assert!(
+            t.workspaces_recycled > t.workspaces_minted,
+            "steady state must be dominated by recycles ({t:?})"
+        );
+        assert_eq!(ws_pool.parked_batch(), t.workspaces_minted as usize);
+    });
+}
+
+/// The occupancy flag's default preserves the uniform-sampling metrics
+/// bit-for-bit, a fully-empty grid composites to pure background, and
+/// guided sampling on a trained model does strictly less work.
+#[test]
+fn occupancy_guided_eval_flag_and_culling() {
+    let ds = dataset(17);
+    let backend = kernels::strict_from_env_or_default();
+    let trainer = trained(&backend, &ds, 24);
+    let model = trainer.model();
+
+    // Default off ⇒ identical EvalResult bits.
+    let uniform = evaluate(model, &ds, 12);
+    let flagged = evaluate_with(model, &ds, 12, None);
+    assert_eq!(uniform, flagged, "default must stay bit-identical");
+    // Trainer with the config flag off agrees too (at its own eval
+    // sample count).
+    let n_eval = trainer.config().eval_samples_per_ray;
+    assert_eq!(evaluate(model, &ds, n_eval), trainer.evaluate(&ds));
+
+    // A fully-empty grid culls everything: pure background frames.
+    let mut empty = OccupancyGrid::new(model.aabb(), 8);
+    for i in 0..empty.num_cells() {
+        empty.set_linear(i, false);
+    }
+    let pool = WorkspacePool::new();
+    let cam = ds.test_views[0].camera;
+    let mut sched = FrameScheduler::new(cam, RenderOptions::new(12, ds.background));
+    sched.render_frame(model, Some(&empty), FrameBudget::full(), &pool);
+    for p in sched.frame().0.pixels() {
+        assert_eq!(*p, ds.background);
+    }
+    assert_eq!(sched.telemetry().points, 0);
+
+    // The trainer's own (partially culled) grid samples at most as many
+    // points as uniform marching, and the guided score stays finite.
+    let occ = trainer
+        .occupancy_grid()
+        .expect("fast_preview enables occupancy");
+    let mut uni_sched = FrameScheduler::new(cam, RenderOptions::new(12, ds.background));
+    uni_sched.render_frame(model, None, FrameBudget::full(), &pool);
+    let mut occ_sched = FrameScheduler::new(cam, RenderOptions::new(12, ds.background));
+    occ_sched.render_frame(model, Some(occ), FrameBudget::full(), &pool);
+    assert!(occ_sched.telemetry().points <= uni_sched.telemetry().points);
+    let guided = trainer.evaluate_with_occupancy(&ds);
+    assert!(guided.rgb_psnr.is_finite() && guided.depth_psnr.is_finite());
+
+    // Occupancy drift (a refreshed grid) invalidates cached tiles even
+    // when the hash grids are untouched.
+    let mut drifted = occ.clone();
+    let flip = drifted.num_cells() / 2;
+    drifted.set_linear(flip, !drifted.occupied_linear(flip));
+    assert!(occ_sched.is_converged(model, Some(occ)));
+    assert!(!occ_sched.is_converged(model, Some(&drifted)));
+}
+
+/// `render_model_view` (the thin full-budget client) routes through the
+/// process-wide shared workspace pool instead of minting per call.
+/// (The strict zero-steady-state bound is pinned with a private pool in
+/// `steady_state_rendering_mints_no_workspaces`; the shared pool is
+/// process-global, so concurrently running tests make exact counts racy
+/// — this test checks only the monotonic routing property.)
+#[test]
+fn eval_render_routes_through_the_shared_pool() {
+    use instant3d_core::render::shared_pool;
+    let ds = dataset(31);
+    let backend = kernels::strict_from_env_or_default();
+    let trainer = trained(&backend, &ds, 2);
+    let cam = &ds.test_views[0].camera;
+    let _ = render_model_view(trainer.model(), cam, 8, ds.background);
+    assert!(
+        shared_pool().parked_batch() >= 1,
+        "eval rendering must park its workspaces in the shared pool"
+    );
+}

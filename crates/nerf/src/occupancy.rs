@@ -198,6 +198,53 @@ impl OccupancyGrid {
         self.occupied_cell(cx, cy, cz)
     }
 
+    /// Ray-segment occupancy query: probes the `n` stratum centers of the
+    /// ray's `[t0, t1]` span (`t = t0 + (k + 0.5)·δt`, the jitter-free
+    /// sampling lattice of `sampler::sample_segments_into`) and reports
+    /// whether any lands in an occupied cell, returning at the first hit.
+    ///
+    /// The tile renderer uses this as the cheap "does this ray touch
+    /// anything?" pre-filter: rays through fully-empty space composite to
+    /// pure background, so their sample segments never need to be built.
+    /// Degenerate spans (`t1 <= t0`) and `n == 0` report unoccupied.
+    pub fn ray_segment_occupied(&self, ray: &crate::math::Ray, t0: f32, t1: f32, n: usize) -> bool {
+        if t1 <= t0 || n == 0 {
+            return false;
+        }
+        let dt = (t1 - t0) / n as f32;
+        (0..n).any(|k| self.occupied_at(ray.at(t0 + (k as f32 + 0.5) * dt)))
+    }
+
+    /// A 64-bit FNV-1a digest of the grid's contents (resolution, AABB
+    /// and the packed occupancy bits). Two grids with equal signatures
+    /// cull the same sample points, so cached render results that only
+    /// depended on culling stay valid exactly while the signature holds —
+    /// the occupancy half of the tile renderer's invalidation key.
+    pub fn content_signature(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut mix = |x: u64| {
+            h ^= x;
+            h = h.wrapping_mul(PRIME);
+        };
+        mix(self.resolution as u64);
+        for v in [
+            self.aabb.min.x,
+            self.aabb.min.y,
+            self.aabb.min.z,
+            self.aabb.max.x,
+            self.aabb.max.y,
+            self.aabb.max.z,
+        ] {
+            mix(v.to_bits() as u64);
+        }
+        for &w in &self.words {
+            mix(w);
+        }
+        h
+    }
+
     /// The world-space center of the cell at integer coordinates — the
     /// probe point every refresh path (closure or batched) evaluates.
     #[inline]

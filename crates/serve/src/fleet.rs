@@ -32,6 +32,12 @@ pub struct FleetConfig {
     /// Pin the worker-pool size for the whole run (`None` = ambient).
     /// Job determinism does not depend on this — it is a throughput knob.
     pub threads: Option<usize>,
+    /// Tiles of progressive preview each job renders after every slice
+    /// (`0` = no previews). Previews go through the tile renderer with
+    /// occupancy-guided sampling, on workspaces from the same shared
+    /// pool as the training slices; they consume no job randomness and
+    /// never perturb training results.
+    pub preview_tiles_per_slice: usize,
 }
 
 impl Default for FleetConfig {
@@ -41,6 +47,7 @@ impl Default for FleetConfig {
             slice_iters: 16,
             max_resident_checkpoints: 8,
             threads: None,
+            preview_tiles_per_slice: 0,
         }
     }
 }
@@ -66,6 +73,11 @@ pub struct JobReport {
     pub batch_recycled: u64,
     /// Whether the job booted on a recycled `OccupancyWorkspace`.
     pub occ_recycled: bool,
+    /// Budgeted preview frames the job rendered (one per slice when the
+    /// fleet's `preview_tiles_per_slice` is non-zero).
+    pub preview_frames: u64,
+    /// Preview tiles rendered across all of the job's slices.
+    pub preview_tiles: u64,
     /// The final checkpoint — always returned here even if the LRU cache
     /// evicted it.
     pub final_checkpoint: Vec<u8>,
@@ -99,6 +111,10 @@ pub struct FleetStats {
     pub occ_allocated: u64,
     /// Boots served a recycled, reset `OccupancyWorkspace`.
     pub occ_recycled: u64,
+    /// Preview frames rendered across all jobs.
+    pub preview_frames: u64,
+    /// Preview tiles rendered across all jobs.
+    pub preview_tiles: u64,
 }
 
 /// Everything a fleet run produced.
@@ -167,7 +183,9 @@ impl Fleet {
                         None => break,
                         Some(Slot::Running(job)) => job,
                         Some(Slot::Fresh(spec)) => {
-                            let mut job = Box::new(spec.boot());
+                            let mut job = Box::new(
+                                spec.boot_with_preview(self.cfg.preview_tiles_per_slice > 0),
+                            );
                             if let Some(occ) = pool.checkout_occ() {
                                 // `attach` re-points the workspace at the
                                 // job's backend; the displaced (empty)
@@ -200,6 +218,11 @@ impl Fleet {
                     if let Some(ws) = job.trainer.detach_batch_workspace() {
                         pool.park_batch(ws);
                     }
+                    // Post-slice preview: a budgeted tile frame on the
+                    // same shared pool (no-op unless configured).
+                    if self.cfg.preview_tiles_per_slice > 0 {
+                        job.render_preview(&pool, self.cfg.preview_tiles_per_slice);
+                    }
 
                     if job.remaining() > 0 {
                         queue.lock().unwrap().push_back(Slot::Running(job));
@@ -224,6 +247,8 @@ impl Fleet {
                         batch_allocated,
                         batch_recycled: job.batch_recycled,
                         occ_recycled: job.occ_recycled,
+                        preview_frames: job.preview_frames,
+                        preview_tiles: job.preview_tiles,
                         final_checkpoint: blob,
                     });
                 });
@@ -261,6 +286,8 @@ impl Fleet {
         let mut occ_allocated = 0;
         let mut occ_recycled = 0;
         let mut checkpoints_written = 0;
+        let mut preview_frames = 0;
+        let mut preview_tiles = 0;
         for job in jobs {
             total.merge(&job.stats);
             match per_backend
@@ -275,6 +302,8 @@ impl Fleet {
             batch_recycled += job.batch_recycled;
             occ_allocated += u64::from(!job.occ_recycled);
             occ_recycled += u64::from(job.occ_recycled);
+            preview_frames += job.preview_frames;
+            preview_tiles += job.preview_tiles;
         }
         FleetStats {
             jobs: jobs.len(),
@@ -286,6 +315,8 @@ impl Fleet {
             batch_recycled,
             occ_allocated,
             occ_recycled,
+            preview_frames,
+            preview_tiles,
         }
     }
 }

@@ -1,5 +1,7 @@
 //! Job specs and the per-job training state machine.
 
+use crate::pool::WorkspacePool;
+use instant3d_core::render::{FrameBudget, FrameScheduler, RenderOptions};
 use instant3d_core::{checkpoint, TrainConfig, Trainer};
 use instant3d_scenes::{Dataset, SceneLibrary};
 use rand::rngs::StdRng;
@@ -92,6 +94,15 @@ pub(crate) struct SceneJob {
     pub(crate) batch_recycled: u64,
     /// Whether the job's occupancy workspace came from the reuse pool.
     pub(crate) occ_recycled: bool,
+    /// The job's progressive preview of its first test view (present
+    /// when the fleet's `preview_tiles_per_slice` is non-zero and the
+    /// dataset has a test view). Converged tiles persist across slices;
+    /// each training step's grid-version bumps invalidate them.
+    pub(crate) preview: Option<Box<FrameScheduler>>,
+    /// Budgeted preview frames rendered (≤ one per slice).
+    pub(crate) preview_frames: u64,
+    /// Preview tiles rendered across all slices.
+    pub(crate) preview_tiles: u64,
 }
 
 impl JobSpec {
@@ -100,9 +111,23 @@ impl JobSpec {
     /// the *entire* source of job randomness — the scheduler never
     /// touches it.
     pub(crate) fn boot(&self) -> SceneJob {
+        self.boot_with_preview(false)
+    }
+
+    /// [`boot`](JobSpec::boot), optionally wiring up a tile-renderer
+    /// preview of the dataset's first test view. The preview consumes no
+    /// job randomness and never touches the trainer, so it cannot
+    /// perturb the determinism contract.
+    pub(crate) fn boot_with_preview(&self, preview: bool) -> SceneJob {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let dataset = self.scene.build(&mut rng);
         let trainer = Trainer::new(self.config.clone(), &dataset, &mut rng);
+        let preview = (preview && !dataset.test_views.is_empty()).then(|| {
+            Box::new(FrameScheduler::new(
+                dataset.test_views[0].camera,
+                RenderOptions::new(self.config.eval_samples_per_ray, dataset.background),
+            ))
+        });
         SceneJob {
             spec: self.clone(),
             trainer,
@@ -112,6 +137,9 @@ impl JobSpec {
             last_loss: f32::NAN,
             batch_recycled: 0,
             occ_recycled: false,
+            preview,
+            preview_frames: 0,
+            preview_tiles: 0,
         }
     }
 }
@@ -140,6 +168,23 @@ impl SceneJob {
     pub(crate) fn checkpoint(&mut self) -> Vec<u8> {
         self.checkpoints_written += 1;
         checkpoint::save(self.trainer.model())
+    }
+
+    /// Renders one budgeted, occupancy-guided preview frame of the job's
+    /// test view through the shared workspace pool. Training steps bump
+    /// the grids' level versions, so the scheduler re-renders stale tiles
+    /// round-robin — the fleet's fixed-latency progress feed.
+    pub(crate) fn render_preview(&mut self, pool: &WorkspacePool, tile_budget: usize) {
+        if let Some(sched) = self.preview.as_deref_mut() {
+            let progress = sched.render_frame(
+                self.trainer.model(),
+                self.trainer.occupancy_grid(),
+                FrameBudget::tiles(tile_budget),
+                pool,
+            );
+            self.preview_frames += 1;
+            self.preview_tiles += progress.tiles_rendered as u64;
+        }
     }
 }
 

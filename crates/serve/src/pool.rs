@@ -1,80 +1,9 @@
-//! The workspace reuse pool: training scratch is checked out per slice
-//! instead of allocated per job.
+//! Re-export of the workspace reuse pool.
 //!
-//! Two kinds of workspace, with different recycling rules:
-//!
-//! * [`BatchWorkspace`] is pure scratch (every buffer cleared/resized per
-//!   step), so it moves freely between same-shaped jobs — parked here at
-//!   the end of every slice, checked out at the start of the next, keyed
-//!   by [`WorkspaceShape`] so a mismatched model never sees it.
-//! * [`OccupancyWorkspace`] carries per-job training state (density EMA,
-//!   subset phase, embedding cache). It stays attached for a job's whole
-//!   life and is parked here only at retirement, after a
-//!   [`reset`](OccupancyWorkspace::reset) — handing live state to a new
-//!   job would break the determinism contract.
+//! The pool started here as fleet infrastructure; it moved to
+//! [`instant3d_core::pool`] when the tile renderer
+//! (`instant3d_core::render`) adopted the same checkout/park contract
+//! for its tile jobs. The serve API is unchanged — fleets still share
+//! one pool across training slices *and* per-job preview rendering.
 
-use instant3d_core::{BatchWorkspace, NerfModel, WorkspaceShape};
-use instant3d_nerf::occupancy::OccupancyWorkspace;
-use std::collections::HashMap;
-use std::sync::Mutex;
-
-/// Shared, shape-keyed reuse pool. All methods take `&self`; the pool is
-/// what fleet runners contend on (briefly — checkout/park are O(1) map
-/// and vec operations).
-#[derive(Debug, Default)]
-pub struct WorkspacePool {
-    batch: Mutex<HashMap<WorkspaceShape, Vec<BatchWorkspace>>>,
-    occ: Mutex<Vec<OccupancyWorkspace>>,
-}
-
-impl WorkspacePool {
-    /// An empty pool.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Checks out a parked batch workspace fitting `model`, if any.
-    /// `None` is a pool miss: the caller's trainer will mint one lazily
-    /// (a warmup allocation, counted in the fleet telemetry).
-    pub fn checkout_batch(&self, model: &NerfModel) -> Option<BatchWorkspace> {
-        self.batch
-            .lock()
-            .unwrap()
-            .get_mut(&WorkspaceShape::of(model))
-            .and_then(Vec::pop)
-    }
-
-    /// Parks a batch workspace for the next same-shaped job.
-    pub fn park_batch(&self, ws: BatchWorkspace) {
-        self.batch
-            .lock()
-            .unwrap()
-            .entry(ws.shape())
-            .or_default()
-            .push(ws);
-    }
-
-    /// Checks out a (reset) occupancy workspace for a booting job.
-    /// Occupancy workspaces are shape-agnostic: their buffers rebuild on
-    /// the first refresh against the new job's grid.
-    pub fn checkout_occ(&self) -> Option<OccupancyWorkspace> {
-        self.occ.lock().unwrap().pop()
-    }
-
-    /// Parks a retired job's occupancy workspace, resetting it first so
-    /// no training state (EMA, phase, cache) leaks into the next job.
-    pub fn park_occ(&self, mut ws: OccupancyWorkspace) {
-        ws.reset();
-        self.occ.lock().unwrap().push(ws);
-    }
-
-    /// Parked batch workspaces across all shapes (diagnostics/tests).
-    pub fn parked_batch(&self) -> usize {
-        self.batch.lock().unwrap().values().map(Vec::len).sum()
-    }
-
-    /// Parked occupancy workspaces (diagnostics/tests).
-    pub fn parked_occ(&self) -> usize {
-        self.occ.lock().unwrap().len()
-    }
-}
+pub use instant3d_core::pool::WorkspacePool;

@@ -75,6 +75,7 @@ fn fleet_checkpoints_are_bit_identical_to_solo_training() {
         slice_iters: 4,
         max_resident_checkpoints: 2,
         threads: Some(4),
+        ..FleetConfig::default()
     });
     let report = fleet.run(&specs);
 
@@ -105,6 +106,7 @@ fn a_different_schedule_trains_the_same_bits() {
         slice_iters: 7,
         max_resident_checkpoints: 8,
         threads: Some(2),
+        ..FleetConfig::default()
     })
     .run(&specs);
     for (job, spec) in report.jobs.iter().zip(&specs) {
@@ -122,6 +124,7 @@ fn workspaces_are_pooled_with_zero_steady_state_allocation() {
         slice_iters: slice,
         max_resident_checkpoints: 2,
         threads: Some(4),
+        ..FleetConfig::default()
     })
     .run(&specs);
     let stats = &report.stats;

@@ -1,0 +1,105 @@
+//! Fleet preview streaming: with `preview_tiles_per_slice` set, every
+//! job renders a budgeted tile frame of its test view after each slice —
+//! and because the preview consumes no job randomness and never touches
+//! the trainer, the determinism contract (fleet checkpoint ==
+//! [`train_solo`]) must hold with previews on.
+
+use instant3d_core::TrainConfig;
+use instant3d_serve::{train_solo, Fleet, FleetConfig, JobSpec, SceneSpec};
+
+fn specs() -> Vec<JobSpec> {
+    let cfg = TrainConfig::fast_preview();
+    vec![
+        JobSpec {
+            name: "syn0".into(),
+            scene: SceneSpec::Synthetic {
+                index: 0,
+                resolution: 12,
+                train_views: 3,
+            },
+            config: cfg.clone(),
+            seed: 51,
+            iterations: 12,
+            checkpoint_every: 0,
+        },
+        JobSpec {
+            name: "syn2".into(),
+            scene: SceneSpec::Synthetic {
+                index: 2,
+                resolution: 16,
+                train_views: 3,
+            },
+            config: cfg,
+            seed: 52,
+            iterations: 9,
+            checkpoint_every: 4,
+        },
+    ]
+}
+
+#[test]
+fn previews_stream_tiles_without_perturbing_training() {
+    let specs = specs();
+    let slice = 4u64;
+    let report = Fleet::new(FleetConfig {
+        concurrency: 2,
+        slice_iters: slice,
+        preview_tiles_per_slice: 2,
+        threads: Some(4),
+        ..FleetConfig::default()
+    })
+    .run(&specs);
+
+    for (job, spec) in report.jobs.iter().zip(&specs) {
+        // One preview frame per slice, each rendering some (budgeted,
+        // progressively cached) number of tiles. Training steps bump the
+        // grid versions between slices, so tiles keep going stale and
+        // every frame has work to do.
+        let slices = spec.iterations.div_ceil(slice);
+        assert_eq!(
+            job.preview_frames, slices,
+            "{}: one frame per slice",
+            spec.name
+        );
+        assert!(
+            job.preview_tiles >= job.preview_frames,
+            "{}: budgeted frames must render tiles ({} tiles / {} frames)",
+            spec.name,
+            job.preview_tiles,
+            job.preview_frames
+        );
+        assert!(
+            job.preview_tiles <= 2 * job.preview_frames,
+            "budget is 2 tiles"
+        );
+
+        // The load-bearing half: previews must not perturb training.
+        assert_eq!(
+            job.final_checkpoint,
+            train_solo(spec),
+            "{}: preview rendering changed the training bits",
+            spec.name
+        );
+    }
+
+    // Fleet totals aggregate the per-job counters.
+    let frames: u64 = report.jobs.iter().map(|j| j.preview_frames).sum();
+    let tiles: u64 = report.jobs.iter().map(|j| j.preview_tiles).sum();
+    assert_eq!(report.stats.preview_frames, frames);
+    assert_eq!(report.stats.preview_tiles, tiles);
+    assert!(frames > 0 && tiles > 0);
+}
+
+#[test]
+fn previews_default_off() {
+    let specs = specs();
+    let report = Fleet::new(FleetConfig {
+        concurrency: 2,
+        slice_iters: 4,
+        threads: Some(2),
+        ..FleetConfig::default()
+    })
+    .run(&specs);
+    assert_eq!(report.stats.preview_frames, 0);
+    assert_eq!(report.stats.preview_tiles, 0);
+}

@@ -85,6 +85,9 @@ fn main() {
         slice_iters: 10,
         max_resident_checkpoints: 4,
         threads: Some(8),
+        // Each job streams a budgeted tile preview of its test view after
+        // every slice — progress frames without perturbing training.
+        preview_tiles_per_slice: 2,
     });
     println!("training {} jobs over one shared pool…\n", specs.len());
     let t0 = std::time::Instant::now();
@@ -129,6 +132,10 @@ fn main() {
     println!(
         "checkpoints: {} written, {} evicted, resident: {:?}",
         s.checkpoints_written, s.checkpoints_evicted, report.resident_checkpoints
+    );
+    println!(
+        "previews: {} frames, {} tiles streamed alongside training",
+        s.preview_frames, s.preview_tiles
     );
 
     // The determinism contract, demonstrated live: re-train one job solo.
