@@ -1,0 +1,445 @@
+//! A small hand-rolled Rust lexer — just enough tokenization for the
+//! conformance lint passes, with no external dependencies.
+//!
+//! The passes only need to (a) find identifiers *in code* (never inside
+//! comments or string literals), (b) read comment text (the marker
+//! grammar lives in line comments), and (c) match delimiters to compute
+//! item spans. So the lexer distinguishes comments (line and nested
+//! block), string-like literals (plain/raw/byte strings, char literals),
+//! lifetimes, numbers, identifiers and single-character punctuation —
+//! and tracks the 1-based source line of every token.
+
+/// Token classes the lint passes care about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw identifiers like `r#fn`).
+    Ident,
+    /// `// …` (including `///` and `//!` doc comments), text inclusive.
+    LineComment,
+    /// `/* … */` with arbitrary nesting, text inclusive.
+    BlockComment,
+    /// `"…"`, `b"…"` — escape-aware, may span lines.
+    Str,
+    /// `r"…"`, `r#"…"#`, `br#"…"#` — hash-delimited, may span lines.
+    RawStr,
+    /// `'x'`, `'\n'`, `b'x'`.
+    Char,
+    /// `'ident` (no closing quote).
+    Lifetime,
+    /// Numeric literal (integer or float, suffixes included).
+    Num,
+    /// Any other single character.
+    Punct,
+}
+
+/// One token: kind, exact source text, and the 1-based line it starts on.
+#[derive(Debug, Clone)]
+pub struct Tok<'a> {
+    pub kind: TokKind,
+    pub text: &'a str,
+    pub line: u32,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenizes `src`. Unterminated constructs (string/comment running to
+/// EOF) produce a final token covering the rest of the input — the lints
+/// degrade gracefully instead of panicking on them.
+pub fn lex(src: &str) -> Vec<Tok<'_>> {
+    let chars: Vec<(usize, char)> = src.char_indices().collect();
+    let n = chars.len();
+    let end_of = |j: usize| chars.get(j).map_or(src.len(), |&(p, _)| p);
+    let mut toks = Vec::new();
+    let mut i = 0;
+    let mut line: u32 = 1;
+
+    // Lines spanned by src[from..to] — newlines inside multi-line tokens
+    // must advance the line counter too.
+    let newlines = |from: usize, to: usize| src[from..to].matches('\n').count() as u32;
+
+    while i < n {
+        let (pos, c) = chars[i];
+        let tok_line = line;
+
+        // Whitespace.
+        if c.is_whitespace() {
+            if c == '\n' {
+                line += 1;
+            }
+            i += 1;
+            continue;
+        }
+
+        // Comments.
+        if c == '/' && i + 1 < n {
+            let c1 = chars[i + 1].1;
+            if c1 == '/' {
+                let mut j = i + 2;
+                while j < n && chars[j].1 != '\n' {
+                    j += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::LineComment,
+                    text: &src[pos..end_of(j)],
+                    line: tok_line,
+                });
+                i = j;
+                continue;
+            }
+            if c1 == '*' {
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                while j < n && depth > 0 {
+                    let cj = chars[j].1;
+                    if cj == '/' && j + 1 < n && chars[j + 1].1 == '*' {
+                        depth += 1;
+                        j += 2;
+                    } else if cj == '*' && j + 1 < n && chars[j + 1].1 == '/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                let end = end_of(j);
+                toks.push(Tok {
+                    kind: TokKind::BlockComment,
+                    text: &src[pos..end],
+                    line: tok_line,
+                });
+                line += newlines(pos, end);
+                i = j;
+                continue;
+            }
+        }
+
+        // String-prefix forms: r"…", r#"…"#, r#ident, b"…", b'…', br#"…"#.
+        if (c == 'r' || c == 'b') && i + 1 < n {
+            let c1 = chars[i + 1].1;
+            // br…: step past the b and treat like r.
+            let (raw_at, is_raw) = if c == 'b' && c1 == 'r' && i + 2 < n {
+                let c2 = chars[i + 2].1;
+                (i + 2, c2 == '"' || c2 == '#')
+            } else if c == 'r' {
+                (i + 1, c1 == '"' || c1 == '#')
+            } else {
+                (i, false)
+            };
+            if is_raw {
+                // Count hashes, then find the closing quote + hashes.
+                let mut j = raw_at;
+                let mut hashes = 0usize;
+                while j < n && chars[j].1 == '#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < n && chars[j].1 == '"' {
+                    j += 1;
+                    'scan: while j < n {
+                        if chars[j].1 == '"' {
+                            let mut k = 0;
+                            while k < hashes {
+                                match chars.get(j + 1 + k) {
+                                    Some(&(_, '#')) => k += 1,
+                                    _ => {
+                                        j += 1;
+                                        continue 'scan;
+                                    }
+                                }
+                            }
+                            j += 1 + hashes;
+                            break;
+                        }
+                        j += 1;
+                    }
+                    let end = end_of(j);
+                    toks.push(Tok {
+                        kind: TokKind::RawStr,
+                        text: &src[pos..end],
+                        line: tok_line,
+                    });
+                    line += newlines(pos, end);
+                    i = j;
+                    continue;
+                }
+                // `r#ident` (raw identifier): fall through to ident
+                // handling below — `is_raw` was a misread (r# + ident).
+            }
+            if c == 'b' && c1 == '"' {
+                i += 1; // consume the prefix; the '"' case below finishes.
+            } else if c == 'b' && c1 == '\'' {
+                i += 1; // byte char: the '\'' case below treats it as Char.
+            }
+        }
+
+        let (pos2, c2) = chars[i];
+        // Re-read: the b-prefix may have advanced i.
+        if c2 == '"' {
+            let mut j = i + 1;
+            while j < n {
+                match chars[j].1 {
+                    '\\' => j += 2,
+                    '"' => {
+                        j += 1;
+                        break;
+                    }
+                    _ => j += 1,
+                }
+            }
+            let end = end_of(j);
+            toks.push(Tok {
+                kind: TokKind::Str,
+                text: &src[pos..end],
+                line: tok_line,
+            });
+            line += newlines(pos, end);
+            i = j;
+            continue;
+        }
+
+        if c2 == '\'' {
+            // Char literal or lifetime. An escape or a closing quote two
+            // chars out means char; otherwise a lifetime (`'a`, `'static`).
+            let next = chars.get(i + 1).map(|&(_, ch)| ch);
+            let is_char = match next {
+                Some('\\') => true,
+                Some(ch) if is_ident_start(ch) => {
+                    // 'x' is a char; 'x  (no closing quote) is a lifetime.
+                    let mut j = i + 2;
+                    while j < n && is_ident_continue(chars[j].1) {
+                        j += 1;
+                    }
+                    j < n && chars[j].1 == '\''
+                }
+                Some(_) => true, // '(' etc: treat as char-ish, scan to quote
+                None => false,
+            };
+            if is_char {
+                let mut j = i + 1;
+                while j < n {
+                    match chars[j].1 {
+                        '\\' => j += 2,
+                        '\'' => {
+                            j += 1;
+                            break;
+                        }
+                        _ => j += 1,
+                    }
+                }
+                toks.push(Tok {
+                    kind: TokKind::Char,
+                    text: &src[pos..end_of(j)],
+                    line: tok_line,
+                });
+                i = j;
+            } else {
+                let mut j = i + 1;
+                while j < n && is_ident_continue(chars[j].1) {
+                    j += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text: &src[pos..end_of(j)],
+                    line: tok_line,
+                });
+                i = j;
+            }
+            continue;
+        }
+
+        if is_ident_start(c2) {
+            let mut j = i + 1;
+            // r#ident: include the hash and the identifier.
+            if c2 == 'r'
+                && j < n
+                && chars[j].1 == '#'
+                && chars.get(j + 1).is_some_and(|&(_, ch)| is_ident_start(ch))
+            {
+                j += 1;
+            }
+            while j < n && is_ident_continue(chars[j].1) {
+                j += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Ident,
+                text: &src[pos2..end_of(j)],
+                line: tok_line,
+            });
+            i = j;
+            continue;
+        }
+
+        if c2.is_ascii_digit() {
+            let mut j = i + 1;
+            loop {
+                match chars.get(j).map(|&(_, ch)| ch) {
+                    Some(ch) if ch.is_ascii_alphanumeric() || ch == '_' => {
+                        // Exponent sign: 1e-3, 2E+5.
+                        j += 1;
+                        if (ch == 'e' || ch == 'E')
+                            && matches!(chars.get(j).map(|&(_, c)| c), Some('+') | Some('-'))
+                            && chars.get(j + 1).is_some_and(|&(_, c)| c.is_ascii_digit())
+                        {
+                            j += 1;
+                        }
+                    }
+                    // `1.5` continues the number; `1..n` does not.
+                    Some('.') if chars.get(j + 1).is_some_and(|&(_, ch)| ch.is_ascii_digit()) => {
+                        j += 2;
+                    }
+                    _ => break,
+                }
+            }
+            toks.push(Tok {
+                kind: TokKind::Num,
+                text: &src[pos2..end_of(j)],
+                line: tok_line,
+            });
+            i = j;
+            continue;
+        }
+
+        // Everything else: one punct char.
+        toks.push(Tok {
+            kind: TokKind::Punct,
+            text: &src[pos2..end_of(i + 1)],
+            line: tok_line,
+        });
+        i += 1;
+    }
+    toks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, &str)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    fn idents(src: &str) -> Vec<&str> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn nested_block_comments_are_one_token() {
+        let src = "a /* outer /* inner */ still outer */ b";
+        assert_eq!(
+            kinds(src),
+            vec![
+                (TokKind::Ident, "a"),
+                (TokKind::BlockComment, "/* outer /* inner */ still outer */"),
+                (TokKind::Ident, "b"),
+            ]
+        );
+    }
+
+    #[test]
+    fn line_comment_markers_inside_strings_are_not_comments() {
+        let src = r##"let x = "// SAFETY: not a real comment"; // real"##;
+        let toks = lex(src);
+        let comments: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::LineComment)
+            .collect();
+        assert_eq!(comments.len(), 1);
+        assert_eq!(comments[0].text, "// real");
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Str && t.text.contains("SAFETY")));
+    }
+
+    #[test]
+    fn raw_strings_swallow_quotes_and_slashes() {
+        let src = r####"let s = r#"embedded "quote" and // not comment"#; next"####;
+        let toks = lex(src);
+        let raw = toks.iter().find(|t| t.kind == TokKind::RawStr).unwrap();
+        assert!(raw.text.contains("not comment"));
+        assert!(idents(src).contains(&"next"));
+        assert!(!toks.iter().any(|t| t.kind == TokKind::LineComment));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings_lex_as_one_literal() {
+        let src = r####"let a = b"bytes // x"; let b2 = br#"raw "bytes""#;"####;
+        let toks = lex(src);
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Str && t.text.starts_with("b\"")));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::RawStr && t.text.starts_with("br#")));
+        assert!(!toks.iter().any(|t| t.kind == TokKind::LineComment));
+    }
+
+    #[test]
+    fn chars_vs_lifetimes() {
+        let src = "let c = 'x'; let e = '\\n'; fn f<'a>(x: &'a str, s: &'static u8) {}";
+        let toks = lex(src);
+        let chars: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .map(|t| t.text)
+            .collect();
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(chars, vec!["'x'", "'\\n'"]);
+        assert_eq!(lifetimes, vec!["'a", "'a", "'static"]);
+    }
+
+    #[test]
+    fn byte_char_is_a_char_token() {
+        let toks = lex("let b = b'\\xff';");
+        assert!(toks.iter().any(|t| t.kind == TokKind::Char));
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents_not_strings() {
+        let src = "let r#fn = 1; r#type";
+        assert!(idents(src).contains(&"r#fn"));
+        assert!(idents(src).contains(&"r#type"));
+        assert!(!lex(src).iter().any(|t| t.kind == TokKind::RawStr));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_range_operators() {
+        let src = "for i in 0..8 { x[i] = 1.5e-3; }";
+        let toks = lex(src);
+        let nums: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(nums, vec!["0", "8", "1.5e-3"]);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_in_multiline_tokens() {
+        let src = "a\n/* two\nlines */\n\"str\nacross\"\nb";
+        let toks = lex(src);
+        let a = toks.iter().find(|t| t.text == "a").unwrap();
+        let b = toks.iter().find(|t| t.text == "b").unwrap();
+        assert_eq!(a.line, 1);
+        assert_eq!(b.line, 6);
+    }
+
+    #[test]
+    fn mul_add_in_doc_comment_is_not_an_ident() {
+        let src = "/// uses `f32::mul_add` internally\nfn f() { let x = a * b + c; }";
+        assert!(!idents(src).contains(&"mul_add"));
+    }
+}

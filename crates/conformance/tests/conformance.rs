@@ -1,0 +1,173 @@
+//! Conformance-suite integration tests: the live tree must lint clean,
+//! and seeded-violation fixtures must each fail with a `file:line`
+//! diagnostic from the right pass.
+
+use std::path::Path;
+
+use instant3d_conformance::{lint_source, run_all, Config, Violation};
+
+fn repo_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+}
+
+fn lints<'a>(vs: &'a [Violation], lint: &str) -> Vec<&'a Violation> {
+    vs.iter().filter(|v| v.lint == lint).collect()
+}
+
+/// The whole workspace lints clean against the checked-in allowlists —
+/// the same gate `cargo run -p instant3d-conformance` enforces in CI.
+#[test]
+fn tree_is_clean() {
+    let report = run_all(repo_root());
+    assert!(report.files_scanned > 20, "suspiciously few files scanned");
+    assert!(
+        report.is_clean(),
+        "conformance violations in the tree:\n{}",
+        report
+            .violations
+            .iter()
+            .map(|v| format!("  {v}\n"))
+            .collect::<String>()
+    );
+}
+
+#[test]
+fn unmarked_mul_add_in_strict_module_fails_with_file_line() {
+    let src = include_str!("fixtures/fma_unmarked.rs");
+    let vs = lint_source("crates/nerf/src/grid.rs", src, &Config::default());
+    let fma = lints(&vs, "fma-strict");
+    assert_eq!(fma.len(), 1, "expected exactly one fma violation: {vs:?}");
+    assert_eq!(fma[0].file, "crates/nerf/src/grid.rs");
+    // The unmarked call site; the marked `lossy_helper` below it is clean.
+    let line = src
+        .lines()
+        .position(|l| l.contains("a.mul_add(b, c)"))
+        .unwrap() as u32
+        + 1;
+    assert_eq!(fma[0].line, line);
+    assert!(fma[0].message.contains("strict_kernel"));
+}
+
+#[test]
+fn marked_fixture_is_clean_outside_strict_modules() {
+    // The same source linted under a non-strict path: no FMA pass at all.
+    let src = include_str!("fixtures/fma_unmarked.rs");
+    let vs = lint_source("crates/scenes/src/lib.rs", src, &Config::default());
+    assert!(lints(&vs, "fma-strict").is_empty());
+}
+
+#[test]
+fn undocumented_unsafe_and_missing_caller_fail() {
+    let src = include_str!("fixtures/unsafe_undocumented.rs");
+    let vs = lint_source("crates/nerf/src/grid.rs", src, &Config::default());
+
+    let safety = lints(&vs, "unsafe-safety");
+    // The bare block and the `missing_caller` unsafe fn; `documented`
+    // and `guarded` are covered.
+    assert_eq!(safety.len(), 2, "unsafe census: {vs:?}");
+    let block_line = src
+        .lines()
+        .position(|l| l.contains("core::ptr::null"))
+        .unwrap() as u32
+        + 1;
+    assert!(safety.iter().any(|v| v.line == block_line));
+
+    let caller = lints(&vs, "target-feature-caller");
+    assert_eq!(caller.len(), 1, "caller notes: {vs:?}");
+    assert!(caller[0].message.contains("missing_caller"));
+}
+
+#[test]
+fn unjustified_relaxed_and_unlisted_seqcst_fail() {
+    let src = include_str!("fixtures/relaxed_unjustified.rs");
+    let vs = lint_source("vendor/rayon/src/fake.rs", src, &Config::default());
+
+    let relaxed = lints(&vs, "atomics-ordering");
+    assert_eq!(relaxed.len(), 1, "relaxed audit: {vs:?}");
+    assert_eq!(relaxed[0].file, "vendor/rayon/src/fake.rs");
+    let line = src
+        .lines()
+        .position(|l| l.contains("Ordering::Relaxed") && !l.contains("ORDERING:"))
+        .unwrap() as u32
+        + 1;
+    // First unjustified site (the `justified` one two fns down is clean).
+    assert_eq!(relaxed[0].line, line);
+
+    let protocol = lints(&vs, "atomics-protocol");
+    assert_eq!(protocol.len(), 1, "protocol cross-check: {vs:?}");
+    assert!(protocol[0].message.contains("SeqCst"));
+    assert!(protocol[0].message.contains("unlisted_protocol"));
+}
+
+#[test]
+fn protocol_manifest_count_drift_is_flagged() {
+    let src = include_str!("fixtures/relaxed_unjustified.rs");
+    let mut cfg = Config::default();
+    cfg.protocol.push(instant3d_conformance::ProtocolEntry {
+        path: "vendor/rayon/src/fake.rs".into(),
+        func: "unlisted_protocol".into(),
+        ordering: "SeqCst".into(),
+        count: 3, // file has 1
+    });
+    let vs = lint_source("vendor/rayon/src/fake.rs", src, &cfg);
+    let protocol = lints(&vs, "atomics-protocol");
+    assert_eq!(protocol.len(), 1);
+    assert!(protocol[0].message.contains("count drift"));
+}
+
+#[test]
+fn hashmap_in_kernel_path_fails_but_cfg_test_is_exempt() {
+    let src = include_str!("fixtures/determinism_hashmap.rs");
+    let vs = lint_source("crates/nerf/src/foo.rs", src, &Config::default());
+    let det = lints(&vs, "determinism");
+    assert!(!det.is_empty(), "determinism: {vs:?}");
+    assert!(det.iter().all(|v| v.message.contains("HashMap")));
+    // Nothing flagged inside the #[cfg(test)] module (HashSet there).
+    let test_mod_start = src
+        .lines()
+        .position(|l| l.contains("#[cfg(test)]"))
+        .unwrap() as u32
+        + 1;
+    assert!(det.iter().all(|v| v.line < test_mod_start));
+    // Outside nerf/core code paths the pass does not run at all.
+    let vs2 = lint_source("crates/serve/src/foo.rs", src, &Config::default());
+    assert!(lints(&vs2, "determinism").is_empty());
+}
+
+#[test]
+fn determinism_allowlist_suppresses_named_pairs_only() {
+    let src = include_str!("fixtures/determinism_hashmap.rs");
+    let mut cfg = Config::default();
+    cfg.determinism
+        .push(instant3d_conformance::DeterminismEntry {
+            path: "crates/nerf/src/foo.rs".into(),
+            name: "HashMap".into(),
+        });
+    let vs = lint_source("crates/nerf/src/foo.rs", src, &cfg);
+    assert!(lints(&vs, "determinism").is_empty(), "{vs:?}");
+}
+
+/// The checked-in manifest matches the real vendor/rayon tree exactly —
+/// deleting a protocol site (or adding one) without updating the
+/// manifest is caught.
+#[test]
+fn protocol_manifest_matches_the_live_tree_bidirectionally() {
+    let root = repo_root();
+    let cfg = Config::load(root);
+    assert!(
+        cfg.protocol.len() >= 7,
+        "protocol manifest unexpectedly small: {}",
+        cfg.protocol.len()
+    );
+    let registry = std::fs::read_to_string(root.join("vendor/rayon/src/registry.rs")).unwrap();
+    // Seed a drift: lint a copy of registry.rs with one SeqCst removed.
+    let seeded = registry.replacen("Ordering::SeqCst", "Ordering::Acquire", 1);
+    let vs = lint_source("vendor/rayon/src/registry.rs", &seeded, &cfg);
+    assert!(
+        vs.iter().any(|v| v.lint == "atomics-protocol"),
+        "weakening a protocol site went unnoticed: {vs:?}"
+    );
+}

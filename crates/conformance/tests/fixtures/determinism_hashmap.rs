@@ -1,0 +1,21 @@
+// Fixture: linted as if it were crates/nerf/src/foo.rs. Not compiled.
+
+use std::collections::HashMap;
+
+fn kernel_path() {
+    // VIOLATION: HashMap iteration order leaks into kernel code.
+    let m: HashMap<u32, f32> = HashMap::new();
+    for (_k, _v) in &m {}
+}
+
+#[cfg(test)]
+mod tests {
+    // Exempt: #[cfg(test)] items may use HashSet/HashMap freely.
+    use std::collections::HashSet;
+
+    #[test]
+    fn uses_hashset() {
+        let mut s = HashSet::new();
+        s.insert(1);
+    }
+}

@@ -1,0 +1,17 @@
+// Fixture: linted as if it were a strict kernel module
+// (crates/nerf/src/grid.rs). Not compiled — driven via include_str!.
+
+fn strict_kernel(a: f32, b: f32, c: f32) -> f32 {
+    // VIOLATION: fused multiply-add in a strict module, no marker.
+    a.mul_add(b, c)
+}
+
+// CONTRACT: lossy-tier — fused helper backing the fast backend only.
+#[inline]
+fn lossy_helper(a: f32, b: f32, c: f32) -> f32 {
+    a.mul_add(b, c)
+}
+
+fn plain(a: f32, b: f32, c: f32) -> f32 {
+    a * b + c
+}

@@ -1,0 +1,20 @@
+// Fixture: linted as if it were vendor/rayon/src/fake.rs. Not compiled.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static COUNTER: AtomicUsize = AtomicUsize::new(0);
+
+fn unjustified() {
+    // VIOLATION: Relaxed with no ORDERING justification.
+    COUNTER.fetch_add(1, Ordering::Relaxed);
+}
+
+fn justified() {
+    // ORDERING: Relaxed — debug counter, never synchronizes anything.
+    COUNTER.fetch_add(1, Ordering::Relaxed);
+}
+
+fn unlisted_protocol() {
+    // VIOLATION (atomics-protocol): SeqCst site absent from the manifest.
+    COUNTER.fetch_add(1, Ordering::SeqCst);
+}

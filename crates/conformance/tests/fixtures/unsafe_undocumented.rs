@@ -1,0 +1,23 @@
+// Fixture: undocumented unsafe + missing CALLER note. Not compiled.
+
+fn undocumented() {
+    // VIOLATION: unsafe block with no SAFETY comment above it.
+    let x = unsafe { core::ptr::read(core::ptr::null::<u8>()) };
+    let _ = x;
+}
+
+fn documented() {
+    let v = 1u8;
+    // SAFETY: reads a valid, initialized local through its own pointer.
+    let x = unsafe { core::ptr::read(&v) };
+    let _ = x;
+}
+
+// VIOLATION: #[target_feature] with no CALLER note.
+#[target_feature(enable = "avx2")]
+unsafe fn missing_caller() {}
+
+// CALLER: dispatcher checks is_x86_feature_detected!("avx2") first.
+// SAFETY: no pointer arithmetic; AVX2 availability is the only contract.
+#[target_feature(enable = "avx2")]
+unsafe fn guarded() {}

@@ -454,20 +454,25 @@ impl FrameScheduler {
                     s.spawn(|| {
                         let mut ws: Option<BatchWorkspace> = None;
                         loop {
+                            // ORDERING: Relaxed — work-stealing ticket; tile
+                            // contents are synchronized by each tile's mutex.
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             if i >= work.len() {
                                 break;
                             }
                             if deadline.is_some_and(|d| Instant::now() > d) {
+                                // ORDERING: Relaxed — telemetry counter.
                                 skipped.fetch_add(1, Ordering::Relaxed);
                                 continue;
                             }
                             let bws = ws.get_or_insert_with(|| match pool.checkout_batch(model) {
                                 Some(ws) => {
+                                    // ORDERING: Relaxed — telemetry counter.
                                     recycled.fetch_add(1, Ordering::Relaxed);
                                     ws
                                 }
                                 None => {
+                                    // ORDERING: Relaxed — telemetry counter.
                                     minted.fetch_add(1, Ordering::Relaxed);
                                     BatchWorkspace::new(model)
                                 }
@@ -488,12 +493,14 @@ impl FrameScheduler {
                             t.sampled_grid = sampled_grid;
                             t.versions.clone_from(versions_ref);
                             t.occ_sig = occ_sig;
+                            // ORDERING: Relaxed — telemetry counters; read
+                            // after the scope joins all runners.
                             rendered.fetch_add(1, Ordering::Relaxed);
                             rays.fetch_add(
                                 u64::from(t.rect.w) * u64::from(t.rect.h),
-                                Ordering::Relaxed,
+                                Ordering::Relaxed, // ORDERING: telemetry counter.
                             );
-                            points.fetch_add(tile_points, Ordering::Relaxed);
+                            points.fetch_add(tile_points, Ordering::Relaxed); // ORDERING: telemetry.
                         }
                         if let Some(ws) = ws {
                             pool.park_batch(ws);

@@ -830,18 +830,23 @@ impl HashGrid {
     pub(crate) fn encode_level_fast(&self, l: usize, unit_positions: &[Vec3], out: &mut [f32]) {
         #[cfg(target_arch = "x86_64")]
         if crate::simd::avx2_fma_available() {
-            // Safety: AVX2+FMA presence was just verified at runtime.
+            // SAFETY: AVX2+FMA presence was just verified at runtime.
             return unsafe { self.encode_level_fast_avx2(l, unit_positions, out) };
         }
         self.encode_level_fast_body(l, unit_positions, out);
     }
 
+    // CALLER: `encode_level_fast` gates this behind
+    // `simd::avx2_fma_available()` runtime detection.
+    // SAFETY: only safe slice code inside; the sole obligation is the
+    // AVX2+FMA target features, established by the caller's guard.
     #[cfg(target_arch = "x86_64")]
     #[target_feature(enable = "avx2,fma")]
     unsafe fn encode_level_fast_avx2(&self, l: usize, unit_positions: &[Vec3], out: &mut [f32]) {
         self.encode_level_fast_body(l, unit_positions, out);
     }
 
+    // CONTRACT: lossy-tier — fused interpolation backing `FastKernels`.
     #[inline(always)]
     fn encode_level_fast_body(&self, l: usize, unit_positions: &[Vec3], out: &mut [f32]) {
         const LANES: usize = F32x8::LANES;
@@ -1177,12 +1182,16 @@ impl HashGrid {
     ) {
         #[cfg(target_arch = "x86_64")]
         if crate::simd::avx2_fma_available() {
-            // Safety: AVX2+FMA presence was just verified at runtime.
+            // SAFETY: AVX2+FMA presence was just verified at runtime.
             return unsafe { self.scatter_level_fast_avx2(l, level_grads, unit_positions, d_out) };
         }
         self.scatter_level_fast_body(l, level_grads, unit_positions, d_out);
     }
 
+    // CALLER: `scatter_level_fast` gates this behind
+    // `simd::avx2_fma_available()` runtime detection.
+    // SAFETY: only safe slice code inside; the sole obligation is the
+    // AVX2+FMA target features, established by the caller's guard.
     #[cfg(target_arch = "x86_64")]
     #[target_feature(enable = "avx2,fma")]
     unsafe fn scatter_level_fast_avx2(
@@ -1195,6 +1204,7 @@ impl HashGrid {
         self.scatter_level_fast_body(l, level_grads, unit_positions, d_out);
     }
 
+    // CONTRACT: lossy-tier — fused scatter backing `FastKernels`.
     #[inline(always)]
     fn scatter_level_fast_body(
         &self,

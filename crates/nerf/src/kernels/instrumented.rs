@@ -161,17 +161,20 @@ impl InstrumentedKernels {
     /// synchronized by the stream mutex, and the between-steps discipline
     /// means there is no cross-thread hand-off to order against.
     pub fn start_recording(&self) {
+        // ORDERING: Relaxed — flag only; stream data is mutex-guarded.
         self.recording.store(true, Ordering::Relaxed);
     }
 
     /// Stops capturing. Already-recorded segments stay buffered until
     /// [`InstrumentedKernels::take_streams`].
     pub fn stop_recording(&self) {
+        // ORDERING: Relaxed — flag only; stream data is mutex-guarded.
         self.recording.store(false, Ordering::Relaxed);
     }
 
     /// Whether grid calls are currently being recorded.
     pub fn is_recording(&self) -> bool {
+        // ORDERING: Relaxed — flag only; stream data is mutex-guarded.
         self.recording.load(Ordering::Relaxed)
     }
 

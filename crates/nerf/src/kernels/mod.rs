@@ -4,7 +4,7 @@
 //! The batched SoA engine dispatches every hot kernel — grid encode /
 //! level-subset encode, per-level gradient scatter, the MLP batched
 //! forward/backward, and per-ray compositing — through a [`Kernels`] trait
-//! object instead of a closed enum. Four backends ship in-tree:
+//! object instead of a closed enum. Five backends ship in-tree:
 //!
 //! * [`ScalarKernels`] (`"scalar"`) — the scalar reference kernels, the
 //!   executable specification every other backend is tested against.
@@ -18,6 +18,11 @@
 //! * [`FastKernels`] (`"fast"`) — the first **lossy-tier** backend: fused
 //!   multiply-add kernels with runtime-detected AVX2/FMA specialisations,
 //!   trading bit-identity for speed under a declared [`Tolerance`].
+//! * [`CheckedKernels`] (`"checked"`) — the strict-tier dynamic race
+//!   detector: wraps the SIMD kernels, shadow-records every disjoint-write
+//!   task's byte range in a [`WriteLedger`] (panicking with both task
+//!   identities on overlap) and re-derives every output through the scalar
+//!   reference to pin the fixed accumulation order.
 //!
 //! New backends register at runtime through [`register`]; everything that
 //! names a backend — `TrainConfig::kernel_backend`, the
@@ -107,12 +112,58 @@
 //! let backend = kernels::from_env_or_default();
 //! assert!(kernels::names().contains(&backend.name()));
 //! ```
+//!
+//! # Contract enforcement
+//!
+//! The tier contracts above are machine-checked on two levels; a new
+//! backend opts in simply by registering, since both checkers key off the
+//! registry's tier split.
+//!
+//! **Static level — the conformance linter** (`cargo run -p
+//! instant3d-conformance`, also a `#[test]` in that crate) lexes the
+//! workspace sources (comment/string aware) and enforces a small marker
+//! grammar; all markers are line comments immediately above the item they
+//! cover (attributes and further comment lines may sit between), except
+//! where noted:
+//!
+//! * `// CONTRACT: lossy-tier` — required on any function in a strict
+//!   kernel module (`grid.rs`, `mlp.rs`, `render.rs`, `simd.rs`,
+//!   `kernels/builtin.rs`) that uses `mul_add`/`fadd_fast`/`fmul_fast`.
+//!   Only the fused helpers backing a `Tier::Lossy` backend may carry it;
+//!   an unmarked fused op in a strict module fails the lint, so FMA cannot
+//!   silently leak into the bit-identity tier.
+//! * `// SAFETY:` — required immediately before every `unsafe` block,
+//!   `unsafe fn` and `unsafe impl` in `crates/` and `vendor/rayon/src/`
+//!   (a `# Safety` doc section on the item also satisfies it).
+//! * `// CALLER:` — required on every `#[target_feature]` function,
+//!   naming the runtime-detection guard its callers must check.
+//! * `// ORDERING:` — required on (or trailing) every line using
+//!   `Ordering::Relaxed`; stronger orderings in `vendor/rayon/src/` are
+//!   cross-checked against the sleep/latch protocol manifest in
+//!   `crates/conformance/allowlists/atomics_protocol.txt`.
+//! * Determinism: `HashMap`/`HashSet`/`thread_rng`/`Instant::now` are
+//!   forbidden in the kernel/trainer crates outside the telemetry
+//!   allowlist (`crates/conformance/allowlists/determinism.txt`) — iteration
+//!   order and wall-clock reads must never feed kernel numerics.
+//!
+//! **Dynamic level — the `"checked"` backend** ([`CheckedKernels`])
+//! executes the disjoint-write contract: every scatter / MLP-gradient-row
+//! / compositing task's write range is recorded in the [`WriteLedger`]
+//! and checked for pairwise overlap (panicking with both task
+//! identities), and every kernel output is compared bit-for-bit against
+//! the scalar reference, pinning the fixed per-output accumulation order.
+//! It rides the CI strict backend × worker matrix
+//! (`.github/workflows/ci.yml`), whose axis is derived from the registry
+//! by `tests/backend_api.rs`, so neither a new strict backend nor the
+//! checker itself can silently drop out.
 
 mod builtin;
+mod checked;
 mod fast;
 mod instrumented;
 
 pub use builtin::{ScalarKernels, SimdKernels};
+pub use checked::{CheckedKernels, WriteLedger};
 pub use fast::FastKernels;
 pub use instrumented::{InstrumentedKernels, RecordedStreams, StreamSegment};
 
@@ -449,7 +500,7 @@ impl std::fmt::Display for BackendHandle {
 
 /// The process-wide backend registry: an append-only, name-keyed list of
 /// [`BackendHandle`]s, pre-seeded with the built-in backends in the order
-/// `scalar`, `simd`, `instrumented`, `fast`.
+/// `scalar`, `simd`, `instrumented`, `fast`, `checked`.
 ///
 /// The free functions of this module ([`register`], [`get`], [`resolve`],
 /// [`registered`], [`names`], [`from_env`]) are the public face; the
@@ -467,6 +518,7 @@ impl BackendRegistry {
                 BackendHandle::new(SimdKernels),
                 BackendHandle::new(InstrumentedKernels::new()),
                 BackendHandle::new(FastKernels::new()),
+                BackendHandle::new(CheckedKernels::new()),
             ]),
         })
     }
@@ -626,6 +678,13 @@ pub fn fast() -> BackendHandle {
     get("fast").expect("built-in fast backend")
 }
 
+/// The strict-tier dynamic race-detector backend (always registered): SIMD
+/// numerics plus disjoint-write ledger recording and scalar shadow
+/// comparison — see [`CheckedKernels`].
+pub fn checked() -> BackendHandle {
+    get("checked").expect("built-in checked backend")
+}
+
 /// The engine's default backend (`simd`).
 pub fn default_backend() -> BackendHandle {
     simd()
@@ -683,8 +742,11 @@ mod tests {
     #[test]
     fn builtins_are_registered_in_order() {
         let names = names();
-        assert_eq!(&names[..4], &["scalar", "simd", "instrumented", "fast"]);
-        assert_eq!(registered()[..4].len(), 4);
+        assert_eq!(
+            &names[..5],
+            &["scalar", "simd", "instrumented", "fast", "checked"]
+        );
+        assert_eq!(registered()[..5].len(), 5);
         assert_eq!(default_backend().name(), "simd");
     }
 
@@ -694,6 +756,7 @@ mod tests {
         assert!(strict.contains(&"scalar"));
         assert!(strict.contains(&"simd"));
         assert!(strict.contains(&"instrumented"));
+        assert!(strict.contains(&"checked"));
         assert!(!strict.contains(&"fast"));
         let lossy: Vec<_> = registered_lossy().iter().map(|b| b.name()).collect();
         assert!(lossy.contains(&"fast"));
@@ -784,7 +847,7 @@ mod tests {
             !available_names().contains(&"mock-avx999"),
             "but availability filtering excludes it"
         );
-        for builtin in ["scalar", "simd", "instrumented", "fast"] {
+        for builtin in ["scalar", "simd", "instrumented", "fast", "checked"] {
             assert!(available_names().contains(&builtin), "{builtin}");
         }
         assert!(!handle.available());
@@ -815,6 +878,7 @@ mod tests {
             "instrumented"
         );
         assert_eq!(from_env_value(Some("fast")).unwrap().name(), "fast");
+        assert_eq!(from_env_value(Some("checked")).unwrap().name(), "checked");
     }
 
     #[test]
@@ -829,7 +893,8 @@ mod tests {
     #[should_panic(expected = "registered backends: \"scalar\" (strict, available), \
                     \"simd\" (strict, available), \
                     \"instrumented\" (strict, available), \
-                    \"fast\" (lossy, available)")]
+                    \"fast\" (lossy, available), \
+                    \"checked\" (strict, available)")]
     fn resolve_panic_lists_names_with_tier_and_availability() {
         let _ = resolve("no-such-backend");
     }

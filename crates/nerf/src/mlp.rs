@@ -136,6 +136,7 @@ impl Linear {
     /// the backend's declared tolerance. Written as plain
     /// output-contiguous sweeps over the transposed weights so the AVX2
     /// wrapper autovectorizes them to 256-bit `vfmadd`.
+    // CONTRACT: lossy-tier — fused GEMV backing `FastKernels` only.
     #[inline(always)]
     fn forward_into_fused_body(&self, wt: &[f32], x: &[f32], pre: &mut [f32], out: &mut [f32]) {
         let (iw, ow) = (self.spec.in_dim, self.spec.out_dim);
@@ -174,6 +175,10 @@ impl Linear {
         }
     }
 
+    // CALLER: `forward_into_fused` gates this behind
+    // `simd::avx2_fma_available()` runtime detection.
+    // SAFETY: only safe slice code inside; the sole obligation is the
+    // AVX2+FMA target features, established by the caller's guard.
     #[cfg(target_arch = "x86_64")]
     #[target_feature(enable = "avx2,fma")]
     unsafe fn forward_into_fused_avx2(
@@ -213,6 +218,12 @@ pub(crate) enum GemvMode {
     Simd,
     /// Fused multiply-add GEMV — lossy tier, one rounding per term.
     Fused,
+    /// The SIMD arithmetic with disjoint-write ledger recording: every
+    /// parallel gradient row/item chunk registers its write range with
+    /// the `"checked"` backend's [`crate::kernels::WriteLedger`], which
+    /// panics (naming both tasks) on overlap. Numerics are exactly
+    /// [`GemvMode::Simd`]'s.
+    Checked,
 }
 
 impl GemvMode {
@@ -221,7 +232,7 @@ impl GemvMode {
     fn axpy(self, y: &mut [f32], a: f32, x: &[f32]) {
         match self {
             GemvMode::Scalar => simd::axpy(false, y, a, x),
-            GemvMode::Simd => simd::axpy(true, y, a, x),
+            GemvMode::Simd | GemvMode::Checked => simd::axpy(true, y, a, x),
             GemvMode::Fused => simd::axpy_fused(y, a, x),
         }
     }
@@ -236,6 +247,7 @@ impl GemvMode {
 /// left-associated sums, bit-identical to the strict path); the block
 /// boundary depends only on `n`, never on the row chunking, so results
 /// are worker-count invariant.
+// CONTRACT: lossy-tier — fused gradient sweep backing `FastKernels` only.
 #[inline(always)]
 #[allow(clippy::too_many_arguments)]
 fn grad_rows_fused_body(
@@ -290,6 +302,10 @@ fn grad_rows_fused_body(
     }
 }
 
+// CALLER: `grad_rows_fused` gates this behind
+// `simd::avx2_fma_available()` runtime detection.
+// SAFETY: only safe slice code inside; the sole obligation is the
+// AVX2+FMA target features, established by the caller's guard.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2,fma")]
 #[allow(clippy::too_many_arguments)]
@@ -337,6 +353,7 @@ fn grad_rows_fused(
 /// loaded/stored once per four fused terms. The chained fma keeps the
 /// `o`-ascending term order and the block boundary depends only on
 /// `ow`, so results are chunking- and worker-count invariant.
+// CONTRACT: lossy-tier — fused input-gradient sweep backing `FastKernels`.
 #[inline(always)]
 fn input_grad_fused_body(dnc: &mut [f32], dzc: &[f32], w_flat: &[f32], iw: usize, ow: usize) {
     let rows = dnc.len() / iw;
@@ -372,6 +389,10 @@ fn input_grad_fused_body(dnc: &mut [f32], dzc: &[f32], w_flat: &[f32], iw: usize
     }
 }
 
+// CALLER: `input_grad_fused` gates this behind
+// `simd::avx2_fma_available()` runtime detection.
+// SAFETY: only safe slice code inside; the sole obligation is the
+// AVX2+FMA target features, established by the caller's guard.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2,fma")]
 unsafe fn input_grad_fused_avx2(
@@ -810,7 +831,9 @@ impl Mlp {
                     let yr = &mut yc[r * spec.out_dim..(r + 1) * spec.out_dim];
                     match mode {
                         GemvMode::Scalar => layer.forward_into(xr, prer, yr),
-                        GemvMode::Simd => layer.forward_into_simd(wt, xr, prer, yr),
+                        GemvMode::Simd | GemvMode::Checked => {
+                            layer.forward_into_simd(wt, xr, prer, yr)
+                        }
                         GemvMode::Fused => layer.forward_into_fused(wt, xr, prer, yr),
                     }
                 }
@@ -937,7 +960,25 @@ impl Mlp {
             // output row; per-parameter accumulation stays in item order,
             // so results match the scalar path bit-for-bit.
             let (gw, gb) = &mut grads.layers[i];
+            // Checked mode shadow-records every row-chunk task's write
+            // range; overlap between two chunks of this sweep panics with
+            // both task identities.
+            let grad_scope = (mode == GemvMode::Checked).then(|| {
+                crate::kernels::WriteLedger::global()
+                    .open_scope(format!("mlp layer {i} param-grad sweep"))
+            });
             let accumulate_rows = |o0: usize, gw_rows: &mut [f32], gb_rows: &mut [f32]| {
+                if let Some(scope) = &grad_scope {
+                    let record = |what: &str, s: &[f32]| {
+                        let start = s.as_ptr() as usize;
+                        scope.record(
+                            format!("layer {i} {what} rows {o0}..{}", o0 + gb_rows.len()),
+                            (start, start + std::mem::size_of_val(s)),
+                        );
+                    };
+                    record("weight-grad", gw_rows);
+                    record("bias-grad", gb_rows);
+                }
                 if mode == GemvMode::Fused {
                     // Item-blocked fused sweep with one AVX2 dispatch per
                     // row chunk (lossy tier; item order preserved).
@@ -975,12 +1016,28 @@ impl Mlp {
                 break;
             }
             let w_flat = &layer.w;
+            // Checked mode records the input-gradient item chunks too —
+            // the other parallel write path of the backward.
+            let input_scope = (mode == GemvMode::Checked).then(|| {
+                crate::kernels::WriteLedger::global()
+                    .open_scope(format!("mlp layer {i} input-grad sweep"))
+            });
             match Self::par_item_chunk(n, iw * ow) {
                 Some(chunk) => {
                     d_next[..n * iw]
                         .par_chunks_mut(chunk * iw)
                         .zip(dz.par_chunks(chunk * ow))
                         .for_each(|(dnc, dzc)| {
+                            if let Some(scope) = &input_scope {
+                                let start = dnc.as_ptr() as usize;
+                                scope.record(
+                                    format!(
+                                        "layer {i} input-grad chunk ({} items @0x{start:x})",
+                                        dnc.len() / iw
+                                    ),
+                                    (start, start + std::mem::size_of_val(&dnc[..])),
+                                );
+                            }
                             if mode == GemvMode::Fused {
                                 // Row-blocked fused sweep, one AVX2
                                 // dispatch per item chunk (lossy tier).

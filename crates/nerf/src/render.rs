@@ -316,6 +316,7 @@ impl CompositeAccum {
     /// rounding (`f32::mul_add`). Weight, cache and early-termination
     /// logic are shared verbatim; only the accumulation rounding differs,
     /// bounded by the lossy backend's declared tolerance.
+    // CONTRACT: lossy-tier — fused compositing step backing `FastKernels`.
     #[inline(always)]
     fn step_fused(
         &mut self,
@@ -479,6 +480,10 @@ fn composite_slices_fast_body(
     acc.finish(background)
 }
 
+// CALLER: `composite_slices_fast` gates this behind
+// `simd::avx2_fma_available()` runtime detection.
+// SAFETY: only safe slice code inside; the sole obligation is the
+// AVX2+FMA target features, established by the caller's guard.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2,fma")]
 unsafe fn composite_slices_fast_avx2(
@@ -509,7 +514,7 @@ pub fn composite_slices_fast(
 ) -> (RenderOutput, usize) {
     #[cfg(target_arch = "x86_64")]
     if crate::simd::avx2_fma_available() {
-        // Safety: AVX2+FMA presence was just verified at runtime.
+        // SAFETY: AVX2+FMA presence was just verified at runtime.
         return unsafe { composite_slices_fast_avx2(t, dt, sigma, rgb, background, cache) };
     }
     composite_slices_fast_body(t, dt, sigma, rgb, background, cache)

@@ -133,6 +133,8 @@ macro_rules! lane_common {
             /// this breaks the bit-identity contract (see the
             /// [module docs](self)). Correctly rounded on every path, so
             /// hardware FMA and the portable fallback agree bitwise.
+            // CONTRACT: lossy-tier — single-rounding FMA primitive; only
+            // fused (lossy) kernels may call this.
             #[inline(always)]
             pub fn mul_add(self, b: $ty, c: $ty) -> $ty {
                 let mut v = self.0;
@@ -295,6 +297,7 @@ pub fn avx2_fma_available() -> bool {
     }
 }
 
+// CONTRACT: lossy-tier — fused axpy body backing `FastKernels` only.
 #[inline(always)]
 fn axpy_fused_body(y: &mut [f32], a: f32, x: &[f32]) {
     for (yi, xi) in y.iter_mut().zip(x) {
@@ -302,6 +305,10 @@ fn axpy_fused_body(y: &mut [f32], a: f32, x: &[f32]) {
     }
 }
 
+// CALLER: `axpy_fused` gates this behind `avx2_fma_available()`
+// (cached `is_x86_feature_detected!("avx2")` + `("fma")`).
+// SAFETY: no raw-pointer math; the only obligation is that AVX2+FMA
+// exist at runtime, which every caller must establish first.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2,fma")]
 unsafe fn axpy_fused_avx2(y: &mut [f32], a: f32, x: &[f32]) {

@@ -53,12 +53,19 @@ impl JobRef {
     ///
     /// See [`JobRef::new`]; consumes the single execution permit.
     pub(crate) unsafe fn execute(self) {
-        (self.exec)(self.ptr)
+        // SAFETY: `ptr` was erased from a live `J` by `new`, and the
+        // caller holds the single execution permit.
+        unsafe { (self.exec)(self.ptr) }
     }
 }
 
+/// # Safety
+///
+/// `ptr` must be the erased `*const J` a [`JobRef::new`] captured, still
+/// live, with its single execution permit (this is `JobRef`'s shim).
 unsafe fn execute_erased<J: Job>(ptr: *const ()) {
-    J::execute(ptr as *const J);
+    // SAFETY: forwarded obligations — see the function's safety docs.
+    unsafe { J::execute(ptr as *const J) };
 }
 
 /// A job that can be executed through a raw self-pointer.
@@ -119,7 +126,9 @@ where
     /// `self` must outlive the job's execution (the caller must wait on
     /// `self.latch` before letting it drop).
     pub(crate) unsafe fn as_job_ref(&self) -> JobRef {
-        JobRef::new(self)
+        // SAFETY: liveness and single-execution are exactly what this
+        // function's own contract demands from its caller.
+        unsafe { JobRef::new(self) }
     }
 
     /// The job's outcome; only meaningful once `latch` is set.
@@ -134,16 +143,23 @@ where
     F: FnOnce() -> R + Send,
     R: Send,
 {
+    // SAFETY: per the `Job` trait contract `this` is live and executed
+    // once; until `latch.set()` below, the executor is the only thread
+    // touching `func`/`result` (see the `Sync` impl above).
     unsafe fn execute(this: *const Self) {
-        let this = &*this;
-        let func = (*this.func.get()).take().expect("stack job executed twice");
+        // SAFETY: live pointer per the trait contract.
+        let this = unsafe { &*this };
+        // SAFETY: exclusive access until the latch is set (hand-off
+        // protocol); the `expect` enforces the single execution permit.
+        let func = unsafe { (*this.func.get()).take() }.expect("stack job executed twice");
         let result = crate::registry::with_apparent_threads(this.threads, || {
             match panic::catch_unwind(AssertUnwindSafe(func)) {
                 Ok(value) => JobResult::Ok(value),
                 Err(payload) => JobResult::Panicked(payload),
             }
         });
-        *this.result.get() = result;
+        // SAFETY: still pre-latch, so the result slot is exclusively ours.
+        unsafe { *this.result.get() = result };
         // Final access: the spawner may pop this stack frame the moment
         // it observes the latch.
         this.latch.set();
@@ -174,7 +190,9 @@ where
     /// Every borrow captured by `func` must outlive the job's execution;
     /// the caller must block until the job signals completion.
     pub(crate) unsafe fn into_job_ref(self: Box<Self>) -> JobRef {
-        JobRef::new(Box::into_raw(self))
+        // SAFETY: the leaked box stays live until `execute` reclaims it;
+        // single execution is this function's own contract.
+        unsafe { JobRef::new(Box::into_raw(self)) }
     }
 }
 
@@ -182,8 +200,12 @@ impl<F> Job for HeapJob<F>
 where
     F: FnOnce() + Send,
 {
+    // SAFETY: per the `Job` trait contract `this` is the pointer leaked
+    // by `into_job_ref`, executed exactly once — so reclaiming the box
+    // here is the unique owner transfer.
     unsafe fn execute(this: *const Self) {
-        let this = Box::from_raw(this as *mut Self);
+        // SAFETY: unique ownership transfer per the contract above.
+        let this = unsafe { Box::from_raw(this as *mut Self) };
         let threads = this.threads;
         crate::registry::with_apparent_threads(threads, this.func);
     }

@@ -348,8 +348,11 @@ mod tests {
         use std::sync::atomic::{AtomicU64, Ordering};
         let sum = AtomicU64::new(0);
         (0..1000usize).into_par_iter().for_each(|i| {
+            // ORDERING: Relaxed — commutative test counter; the pool join
+            // publishes the final value before the assert reads it.
             sum.fetch_add(i as u64, Ordering::Relaxed);
         });
+        // ORDERING: Relaxed — single-threaded read after the join above.
         assert_eq!(sum.load(Ordering::Relaxed), 999 * 1000 / 2);
     }
 
@@ -417,10 +420,13 @@ mod tests {
         scope(|s| {
             for _ in 0..32 {
                 s.spawn(|| {
+                    // ORDERING: Relaxed — commutative test counter; the
+                    // scope join publishes it before the assert reads it.
                     hits.fetch_add(1, Ordering::Relaxed);
                 });
             }
         });
+        // ORDERING: Relaxed — single-threaded read after the scope join.
         assert_eq!(hits.load(Ordering::Relaxed), 32);
     }
 

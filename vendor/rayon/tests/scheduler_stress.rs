@@ -334,6 +334,37 @@ fn repeated_regions_reach_steady_state() {
 }
 
 #[test]
+fn sleep_wake_cycles_never_lose_a_wakeup() {
+    // Regression pin for the SeqCst sleep protocol in
+    // `registry.rs::{idle_sleep, signal}` (see
+    // crates/conformance/allowlists/atomics_protocol.txt). Each round
+    // first lets every worker drain its deque and pass through
+    // `idle_sleep` (stamp load → sleeper registration → stamp re-check),
+    // then injects a fresh region: if `signal`'s stamp bump could be
+    // reordered before a sleeper registers — which weakening either side
+    // below SeqCst permits — a worker sleeps through the wakeup and the
+    // region (on a 1-core-saturated box) never finishes. Completion of
+    // all rounds is the assertion.
+    let grown = pool(8);
+    grown.install(|| {
+        let completed = AtomicUsize::new(0);
+        for round in 0..200usize {
+            // Park window: workers that found no work register as
+            // sleepers on the condvar.
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            let hits = AtomicUsize::new(0);
+            (0..64usize).into_par_iter().for_each(|i| {
+                std::hint::black_box(spin_work((round * 64 + i) as u64));
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(hits.load(Ordering::Relaxed), 64, "round {round}");
+            completed.fetch_add(1, Ordering::Relaxed);
+        }
+        assert_eq!(completed.load(Ordering::Relaxed), 200);
+    });
+}
+
+#[test]
 fn ambient_thread_count_respects_env() {
     // The driver re-runs this suite with RAYON_NUM_THREADS ∈ {1, 4, 8};
     // whatever the value, the default count must honour it (clamped to
