@@ -1,0 +1,56 @@
+//! Write-plan conformance overhead: a full training iteration on the
+//! `checked` backend — whose [`plan_conformance`] hook makes every
+//! parallel dispatch instantiate its declared `WritePlan` and assert
+//! each dynamically ledgered write range inside the declared interval —
+//! against the plain `simd` backend the checked backend wraps.
+//!
+//! The delta quantifies what the *dynamic* half of the write-plan
+//! contract costs (the static prover runs offline in the conformance
+//! suite and costs the engine nothing). The checked backend also pays
+//! for its write ledger and scalar shadow execution, so the arm bounds
+//! plan conformance from above: plan checks are a strict subset of the
+//! measured gap.
+//!
+//! IDs are stamped `{backend}/t{N}` like every other bench, so the
+//! merged `CRITERION_JSON` trajectory keys stay uniform.
+//!
+//! [`plan_conformance`]: instant3d_nerf::kernels::Kernels::plan_conformance
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use instant3d_core::{kernels, TrainConfig, Trainer};
+use instant3d_scenes::SceneLibrary;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_step(c: &mut Criterion, name: &str, cfg: TrainConfig) {
+    let id = format!(
+        "{name}/{}/t{}",
+        cfg.kernel_backend,
+        rayon::current_num_threads()
+    );
+    let mut rng = StdRng::seed_from_u64(5);
+    let ds = SceneLibrary::synthetic_scene(0, 24, 6, &mut rng);
+    let mut trainer = Trainer::new(cfg, &ds, &mut rng);
+    let mut step_rng = StdRng::seed_from_u64(7);
+    c.bench_function(&id, |b| b.iter(|| black_box(trainer.step(&mut step_rng))));
+}
+
+fn bench_plan_overhead(c: &mut Criterion) {
+    let mut cfg = TrainConfig::fast_preview();
+    cfg.rays_per_batch = 1024;
+    // simd = baseline (plan conformance off), checked = every dispatch
+    // verifies its ledgered writes against the declared plan.
+    for backend in [kernels::simd(), kernels::checked()] {
+        cfg.kernel_backend = backend;
+        for threads in [1, 4] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            pool.install(|| bench_step(c, "plan_overhead/step_rays1024", cfg.clone()));
+        }
+    }
+}
+
+criterion_group!(benches, bench_plan_overhead);
+criterion_main!(benches);

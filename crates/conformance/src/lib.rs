@@ -17,17 +17,30 @@
 //!   `// ORDERING:` justification; stronger orderings in `vendor/rayon/src`
 //!   are cross-checked against `allowlists/atomics_protocol.txt`.
 //! * **determinism** — `HashMap` / `HashSet` / `thread_rng` /
-//!   `Instant::now` are forbidden in kernel and trainer code paths
-//!   (`crates/nerf/src`, `crates/core/src`) outside
-//!   `allowlists/determinism.txt` and `#[cfg(test)]` items.
+//!   `Instant::now` are forbidden in kernel, trainer, and serving code
+//!   paths (`crates/nerf/src`, `crates/core/src`, `crates/serve/src`)
+//!   outside `allowlists/determinism.txt` and `#[cfg(test)]` items.
+//! * **panic-census** — `unwrap` / `expect` / `panic!` in hot-path
+//!   kernel and trainer modules ([`PANIC_CENSUS_FILES`]) must carry a
+//!   `// PANICS:` justification; the shipped tree is zero-violation.
 //!
 //! Marker grammar: a marker is a comment either trailing on the flagged
 //! line itself or on a line above it, reachable by walking up through
 //! contiguous comment-only and attribute lines; a blank line or an
 //! unrelated code line breaks the walk.
 //!
+//! Beyond the lexical passes, [`run_all`] also runs the **static
+//! write-plan prover** ([`prover`], fed by [`plan`]): every parallel
+//! dispatch seam in the engine crates declares its per-task write
+//! intervals symbolically, and the prover discharges disjointness and
+//! exact coverage for *all* shape-parameter values — not just the shapes
+//! an execution happened to visit. An unprovable plan is a `write-plan`
+//! violation anchored at the dispatch site.
+//!
 //! Layer 2 (the dynamic disjoint-write race detector) lives in
-//! `crates/nerf/src/kernels/checked.rs` as the `checked` backend.
+//! `crates/nerf/src/kernels/checked.rs` as the `checked` backend; its
+//! plan-conformance mode cross-checks the recorded writes against the
+//! same declared plans the prover verifies.
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
@@ -35,6 +48,8 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 pub mod lexer;
+pub mod plan;
+pub mod prover;
 use lexer::{lex, Tok, TokKind};
 
 /// Strict-tier kernel modules where FMA contraction is forbidden outside
@@ -47,12 +62,34 @@ pub const FMA_STRICT_FILES: &[&str] = &[
     "crates/nerf/src/kernels/builtin.rs",
 ];
 
+/// Hot-path kernel / trainer / renderer modules where every `unwrap` /
+/// `expect` / `panic!` must carry a `// PANICS:` justification: a panic
+/// here unwinds through rayon fork-join scopes mid-training-step, so
+/// each site must argue why it cannot fire (or why dying loudly beats
+/// corrupting a checkpoint).
+pub const PANIC_CENSUS_FILES: &[&str] = &[
+    "crates/nerf/src/grid.rs",
+    "crates/nerf/src/mlp.rs",
+    "crates/nerf/src/render.rs",
+    "crates/nerf/src/simd.rs",
+    "crates/nerf/src/kernels/builtin.rs",
+    "crates/nerf/src/kernels/checked.rs",
+    "crates/nerf/src/kernels/fast.rs",
+    "crates/nerf/src/kernels/instrumented.rs",
+    "crates/nerf/src/kernels/plan.rs",
+    "crates/core/src/batch.rs",
+    "crates/core/src/trainer.rs",
+    "crates/core/src/render.rs",
+];
+
 const FMA_IDENTS: &[&str] = &["mul_add", "fadd_fast", "fmul_fast"];
 const SAFETY_NEEDLES: &[&str] = &["SAFETY:", "# Safety"];
 const CALLER_NEEDLES: &[&str] = &["CALLER:"];
 const ORDERING_NEEDLES: &[&str] = &["ORDERING:"];
 const CONTRACT_NEEDLES: &[&str] = &["CONTRACT: lossy-tier"];
 const DETERMINISM_IDENTS: &[&str] = &["HashMap", "HashSet", "thread_rng"];
+const PANICS_NEEDLES: &[&str] = &["PANICS:"];
+const PANIC_IDENTS: &[&str] = &["unwrap", "expect"];
 const STRONG_ORDERINGS: &[&str] = &["SeqCst", "Acquire", "Release", "AcqRel"];
 
 /// One lint diagnostic, printable as `file:line: [lint] message`.
@@ -156,6 +193,9 @@ pub struct Report {
     pub violations: Vec<Violation>,
     pub baselined: Vec<Violation>,
     pub files_scanned: usize,
+    /// Write plans run through the symbolic prover (failures are
+    /// `write-plan` violations).
+    pub plans_checked: usize,
 }
 
 impl Report {
@@ -659,6 +699,36 @@ fn determinism_pass(s: &Source<'_>, cfg: &Config, out: &mut Vec<Violation>) {
     }
 }
 
+/// Every `unwrap` / `expect` call and `panic!` invocation in a
+/// [`PANIC_CENSUS_FILES`] module must carry a `// PANICS:` justification
+/// (same marker grammar as `SAFETY:` / `CALLER:` / `ORDERING:`).
+fn panic_pass(s: &Source<'_>, out: &mut Vec<Violation>) {
+    for ci in 0..s.code.len() {
+        let Some(t) = s.ct(ci) else { continue };
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let what = if PANIC_IDENTS.contains(&t.text) {
+            format!("`.{}()`", t.text)
+        } else if t.text == "panic" && s.is_punct(ci + 1, "!") {
+            "`panic!`".to_string()
+        } else {
+            continue;
+        };
+        if s.in_test_span(t.line) {
+            continue;
+        }
+        if !s.covered(t.line, PANICS_NEEDLES) {
+            out.push(Violation {
+                file: s.rel.clone(),
+                line: t.line,
+                lint: "panic-census",
+                message: format!("{what} in hot-path module without `// PANICS:` justification"),
+            });
+        }
+    }
+}
+
 /// Runs every pass applicable to `rel` over `src`. This is the seam the
 /// fixture tests drive directly with fake paths.
 pub fn lint_source(rel: &str, src: &str, cfg: &Config) -> Vec<Violation> {
@@ -673,8 +743,14 @@ pub fn lint_source(rel: &str, src: &str, cfg: &Config) -> Vec<Violation> {
     if rel.starts_with("vendor/rayon/src") {
         atomics_protocol_pass(&s, cfg, &mut out);
     }
-    if rel.starts_with("crates/nerf/src") || rel.starts_with("crates/core/src") {
+    if rel.starts_with("crates/nerf/src")
+        || rel.starts_with("crates/core/src")
+        || rel.starts_with("crates/serve/src")
+    {
         determinism_pass(&s, cfg, &mut out);
+    }
+    if PANIC_CENSUS_FILES.iter().any(|f| path_matches(rel, f)) {
+        panic_pass(&s, &mut out);
     }
     out.sort_by(|a, b| (a.line, a.lint).cmp(&(b.line, b.lint)));
     out
@@ -767,6 +843,11 @@ pub fn run_all(root: &Path) -> Report {
             });
         }
     }
+    // The static write-plan prover: every declared parallel dispatch
+    // plan must be disjoint and covering for all shapes.
+    let (plans_checked, plan_violations) = plan::prove_all();
+    report.plans_checked = plans_checked;
+    report.violations.extend(plan_violations);
     report
 }
 

@@ -18,8 +18,9 @@ fn main() -> ExitCode {
         println!("{v}");
     }
     println!(
-        "conformance: {} files scanned, {} violations, {} baselined",
+        "conformance: {} files scanned, {} write plans checked by the prover, {} violations, {} baselined",
         report.files_scanned,
+        report.plans_checked,
         report.violations.len(),
         report.baselined.len()
     );

@@ -1,0 +1,89 @@
+//! The workspace's write-plan registry and the prover driver that turns
+//! unproven plans into [`Violation`]s.
+//!
+//! Every parallel dispatch seam in the engine crates declares a
+//! [`WritePlan`] next to the dispatch code (the declaration functions
+//! live in the same modules as the `par_*` loops they describe, and the
+//! `checked` backend asserts at runtime that recorded writes stay inside
+//! the declared plan — see "Plan conformance" in
+//! `crates/nerf/src/kernels/mod.rs`). This module gathers them all and
+//! runs the symbolic prover ([`crate::prover`]) over each: a plan that
+//! cannot be proved disjoint-and-covering **for all shapes** becomes a
+//! `write-plan` violation anchored at the dispatch site's `file:line`.
+
+use crate::Violation;
+use instant3d_nerf::kernels::plan::WritePlan;
+
+/// Every declared write plan in the workspace, one per
+/// (dispatch site, output buffer) pair.
+pub fn all_plans() -> Vec<WritePlan> {
+    let mut plans = instant3d_nerf::kernels::plan::nerf_write_plans();
+    plans.extend(instant3d_core::render::TileLayout::write_plans());
+    plans
+}
+
+/// Proves every registered plan; returns `(plans checked, violations)`.
+pub fn prove_all() -> (usize, Vec<Violation>) {
+    let plans = all_plans();
+    let checked = plans.len();
+    let mut out = Vec::new();
+    for plan in &plans {
+        if let Err(message) = crate::prover::prove_plan(plan) {
+            let (file, line) = split_site(plan.site);
+            out.push(Violation {
+                file,
+                line,
+                lint: "write-plan",
+                message,
+            });
+        }
+    }
+    (checked, out)
+}
+
+/// Splits a `"path/to/file.rs:123 Type::fn"` site label into its
+/// diagnostic anchor. Unparseable labels anchor at line 0 of the label.
+fn split_site(site: &str) -> (String, u32) {
+    let head = site.split_whitespace().next().unwrap_or(site);
+    match head.rsplit_once(':') {
+        Some((file, line)) => (file.to_string(), line.parse().unwrap_or(0)),
+        None => (head.to_string(), 0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn site_labels_split_into_file_and_line() {
+        assert_eq!(
+            split_site("crates/nerf/src/grid.rs:310 HashGrid::par_encode_batch_with"),
+            ("crates/nerf/src/grid.rs".to_string(), 310)
+        );
+        assert_eq!(split_site("weird"), ("weird".to_string(), 0));
+    }
+
+    #[test]
+    fn the_registry_covers_every_dispatch_seam() {
+        let plans = all_plans();
+        // grid encode + encode-levels + scatter, MLP forward y/pre +
+        // backward dz/gw/gb/d_next, composite cache, tile x/y partitions.
+        assert!(
+            plans.len() >= 12,
+            "expected every dispatch seam registered, got {}",
+            plans.len()
+        );
+        // Site labels are unique per (site, buffer) and parse to real
+        // file anchors.
+        let mut keys: Vec<(&str, &str)> = plans.iter().map(|p| (p.site, p.buffer)).collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), plans.len(), "duplicate (site, buffer) pair");
+        for p in &plans {
+            let (file, line) = split_site(p.site);
+            assert!(file.ends_with(".rs"), "odd site label: {}", p.site);
+            assert!(line > 0, "site label missing line: {}", p.site);
+        }
+    }
+}

@@ -1,0 +1,996 @@
+//! The symbolic disjointness/coverage prover for declared
+//! [`WritePlan`]s.
+//!
+//! A [`WritePlan`] (declared next to each parallel dispatch seam in
+//! `instant3d-nerf` / `instant3d-core`) states the per-task write
+//! intervals as integer expressions of bounded shape parameters. This
+//! module discharges, for **all** in-bounds parameter values, the
+//! obligations that make the dispatch race-free and complete:
+//!
+//! 1. `scale-nonneg` — the per-interval element multiplier is ≥ 0, so
+//!    proving the unscaled intervals ordered/covering is enough.
+//! 2. `tasks-ordered` — `end(t) ≤ start(t+1)`: consecutive tasks are
+//!    ordered, hence **pairwise disjoint** (tasks are declared in buffer
+//!    order).
+//! 3. `coverage-gapless` — `start(t+1) ≤ end(t)`: with (2), consecutive
+//!    tasks butt exactly.
+//! 4. `coverage-left-edge` — `start(0) = 0` whenever a task exists.
+//! 5. `coverage-right-edge` — `end(count−1) = total` whenever a task
+//!    exists.
+//! 6. `coverage-empty` — `count = 0 ⇒ total = 0` (an empty dispatch may
+//!    not leave an uncovered buffer). For cut-partition plans this holds
+//!    definitionally (`total` *is* the top cut, and
+//!    [`WritePlan::instantiate`] re-validates the cut axioms on every
+//!    concrete table), so the symbolic obligation is discharged by those
+//!    axioms.
+//! 7. `task-start-nonneg`, 8. `task-start-le-end`, 9. `task-end-le-total`
+//!    — every task's interval sits inside `[0, total]`.
+//!
+//! # How the proof works
+//!
+//! Expressions are normalized to **integer polynomials** over the
+//! parameters (plus one fresh variable per distinct cut-atom
+//! `cut_f(arg)`). `min`/`max` are eliminated by **case splits**: each
+//! occurrence branches into its two operands with the corresponding
+//! side condition (`b − a ≥ 0` / `a − b ≥ 0`) added to that branch's
+//! assumptions — every branch must prove. The hypotheses are linear/
+//! bilinear facts: parameter bounds, the exact integer characterization
+//! of ceil-division (`d·b ≥ a` and `d·b ≤ a + b − 1` for
+//! `d = ceil(a/b)`), cut-atom bounds and monotonicity, and the
+//! obligation's task-index range.
+//!
+//! A goal `G ≥ 0` is then proved by **nonnegative combination search**:
+//! `G` is nonnegative if all its coefficients are (every variable is
+//! ≥ 0), or if `G·|c| − C·|g| ≥ 0` is provable for some hypothesis
+//! `C ≥ 0` sharing a same-signed monomial (coefficients `g` in `G`, `c`
+//! in `C`) — subtracting a nonnegative multiple of a nonnegative
+//! hypothesis. The pool is augmented with products `C·v` of each
+//! hypothesis with each single variable (capturing the bilinear facts
+//! the remainder-tail cases need). The search is depth- and node-capped
+//! and every arithmetic step is checked `i128` — any overflow or cap
+//! abandons that proof path, so the prover is **sound**: `Proved` means
+//! proved; a failure to prove is reported with a concrete
+//! counterexample shape when the exhaustive small-shape sweep finds one
+//! (a real overlap/gap), and as "unproven" otherwise.
+
+use instant3d_nerf::kernels::plan::{ConcretePlan, Derive, Expr, WritePlan, UNBOUNDED};
+use std::collections::BTreeMap;
+
+// ---------------------------------------------------------------------
+// Polynomials
+// ---------------------------------------------------------------------
+
+/// A multivariate integer polynomial: monomial (sorted variable ids,
+/// with multiplicity) → coefficient. Variables `0..n_params` are the
+/// plan's parameters; higher ids are cut atoms.
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord)]
+struct Poly(BTreeMap<Vec<u32>, i128>);
+
+impl Poly {
+    fn constant(c: i128) -> Poly {
+        let mut p = Poly::default();
+        if c != 0 {
+            p.0.insert(Vec::new(), c);
+        }
+        p
+    }
+
+    fn var(v: u32) -> Poly {
+        let mut p = Poly::default();
+        p.0.insert(vec![v], 1);
+        p
+    }
+
+    fn insert(&mut self, mono: Vec<u32>, c: i128) -> Option<()> {
+        let entry = self.0.entry(mono.clone()).or_insert(0);
+        *entry = entry.checked_add(c)?;
+        if *entry == 0 {
+            self.0.remove(&mono);
+        }
+        Some(())
+    }
+
+    fn add(&self, o: &Poly) -> Option<Poly> {
+        let mut p = self.clone();
+        for (m, &c) in &o.0 {
+            p.insert(m.clone(), c)?;
+        }
+        Some(p)
+    }
+
+    fn sub(&self, o: &Poly) -> Option<Poly> {
+        let mut p = self.clone();
+        for (m, &c) in &o.0 {
+            p.insert(m.clone(), c.checked_neg()?)?;
+        }
+        Some(p)
+    }
+
+    fn mul(&self, o: &Poly) -> Option<Poly> {
+        let mut p = Poly::default();
+        for (ma, &ca) in &self.0 {
+            for (mb, &cb) in &o.0 {
+                let mut m = ma.clone();
+                m.extend_from_slice(mb);
+                m.sort_unstable();
+                p.insert(m, ca.checked_mul(cb)?)?;
+            }
+        }
+        Some(p)
+    }
+
+    fn scale(&self, k: i128) -> Option<Poly> {
+        self.mul(&Poly::constant(k))
+    }
+
+    fn is_zero(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// All coefficients ≥ 0 — with every variable nonnegative, the
+    /// polynomial is nonnegative everywhere in the region.
+    fn all_coeffs_nonneg(&self) -> bool {
+        self.0.values().all(|&c| c >= 0)
+    }
+
+    /// Divides out the gcd of the coefficients — the canonical
+    /// representative used by the search's seen-set.
+    fn normalized(&self) -> Poly {
+        let g = self
+            .0
+            .values()
+            .fold(0i128, |g, &c| gcd(g, c.unsigned_abs() as i128));
+        if g <= 1 {
+            return self.clone();
+        }
+        Poly(self.0.iter().map(|(m, &c)| (m.clone(), c / g)).collect())
+    }
+}
+
+fn gcd(a: i128, b: i128) -> i128 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Expression normalization (min/max case splits, cut atoms)
+// ---------------------------------------------------------------------
+
+/// One case-split branch of a normalized expression: its polynomial
+/// value under the branch's side conditions (each `p` meaning `p ≥ 0`).
+#[derive(Debug, Clone)]
+struct Branch {
+    value: Poly,
+    constraints: Vec<Poly>,
+}
+
+const MAX_BRANCHES: usize = 64;
+
+/// Normalization state shared across the expressions of one obligation,
+/// so the same `cut_f(arg)` maps to the same atom variable everywhere.
+struct NormCtx<'p> {
+    plan: &'p WritePlan,
+    /// `(family, normalized arg)` per atom; atom `i` is variable
+    /// `n_params + i`.
+    atoms: Vec<(usize, Poly)>,
+}
+
+impl<'p> NormCtx<'p> {
+    fn new(plan: &'p WritePlan) -> Self {
+        NormCtx {
+            plan,
+            atoms: Vec::new(),
+        }
+    }
+
+    /// Normalizes `e` under `subst` (parameter index → replacement
+    /// polynomial; `None` keeps the parameter symbolic) into case-split
+    /// branches.
+    fn norm(&mut self, e: &Expr, subst: &[Option<Poly>]) -> Result<Vec<Branch>, String> {
+        let combine = |a: Vec<Branch>,
+                       b: Vec<Branch>,
+                       f: &dyn Fn(&Poly, &Poly) -> Option<Poly>|
+         -> Result<Vec<Branch>, String> {
+            let mut out = Vec::new();
+            for ba in &a {
+                for bb in &b {
+                    let value = f(&ba.value, &bb.value).ok_or("overflow")?;
+                    let mut constraints = ba.constraints.clone();
+                    constraints.extend(bb.constraints.iter().cloned());
+                    out.push(Branch { value, constraints });
+                }
+            }
+            if out.len() > MAX_BRANCHES {
+                return Err("too many min/max case splits".to_string());
+            }
+            Ok(out)
+        };
+        Ok(match e {
+            Expr::Const(c) => vec![Branch {
+                value: Poly::constant(*c),
+                constraints: Vec::new(),
+            }],
+            Expr::Param(i) => vec![Branch {
+                value: match subst.get(*i).and_then(|s| s.as_ref()) {
+                    Some(p) => p.clone(),
+                    None => Poly::var(*i as u32),
+                },
+                constraints: Vec::new(),
+            }],
+            Expr::Cut(f, arg) => {
+                let fam = self
+                    .plan
+                    .cuts
+                    .get(*f)
+                    .ok_or_else(|| format!("cut family #{f} undeclared"))?;
+                // Endpoint rewrites use the family's count/total, which
+                // must be case-split-free (they are parameter products in
+                // every real plan).
+                let single = |me: &mut Self, e: &Expr| -> Result<Poly, String> {
+                    let b = me.norm(e, subst)?;
+                    match &b[..] {
+                        [one] if one.constraints.is_empty() => Ok(one.value.clone()),
+                        _ => Err("cut family shape must be min/max-free".to_string()),
+                    }
+                };
+                let count = single(self, &fam.count.clone())?;
+                let total = single(self, &fam.total.clone())?;
+                let args = self.norm(arg, subst)?;
+                let mut out = Vec::new();
+                for ab in args {
+                    // Cut axioms, applied syntactically: cut(0) = 0 and
+                    // cut(count) = total.
+                    let value = if ab.value.is_zero() {
+                        Poly::constant(0)
+                    } else if ab.value == count {
+                        total.clone()
+                    } else {
+                        let id = match self
+                            .atoms
+                            .iter()
+                            .position(|(af, ap)| af == f && *ap == ab.value)
+                        {
+                            Some(i) => i,
+                            None => {
+                                self.atoms.push((*f, ab.value.clone()));
+                                self.atoms.len() - 1
+                            }
+                        };
+                        Poly::var((self.plan.params.len() + id) as u32)
+                    };
+                    out.push(Branch {
+                        value,
+                        constraints: ab.constraints,
+                    });
+                }
+                out
+            }
+            Expr::Add(a, b) => {
+                combine(self.norm(a, subst)?, self.norm(b, subst)?, &|x, y| x.add(y))?
+            }
+            Expr::Sub(a, b) => {
+                combine(self.norm(a, subst)?, self.norm(b, subst)?, &|x, y| x.sub(y))?
+            }
+            Expr::Mul(a, b) => {
+                combine(self.norm(a, subst)?, self.norm(b, subst)?, &|x, y| x.mul(y))?
+            }
+            Expr::Min(a, b) | Expr::Max(a, b) => {
+                let is_min = matches!(e, Expr::Min(..));
+                let av = self.norm(a, subst)?;
+                let bv = self.norm(b, subst)?;
+                let mut out = Vec::new();
+                for ba in &av {
+                    for bb in &bv {
+                        let a_minus_b = ba.value.sub(&bb.value).ok_or("overflow")?;
+                        let b_minus_a = bb.value.sub(&ba.value).ok_or("overflow")?;
+                        // min picks a when b − a ≥ 0; max when a − b ≥ 0.
+                        let (a_side, b_side) = if is_min {
+                            (b_minus_a, a_minus_b)
+                        } else {
+                            (a_minus_b, b_minus_a)
+                        };
+                        let mut shared = ba.constraints.clone();
+                        shared.extend(bb.constraints.iter().cloned());
+                        let mut ca = shared.clone();
+                        ca.push(a_side);
+                        out.push(Branch {
+                            value: ba.value.clone(),
+                            constraints: ca,
+                        });
+                        let mut cb = shared;
+                        cb.push(b_side);
+                        out.push(Branch {
+                            value: bb.value.clone(),
+                            constraints: cb,
+                        });
+                    }
+                }
+                if out.len() > MAX_BRANCHES {
+                    return Err("too many min/max case splits".to_string());
+                }
+                out
+            }
+        })
+    }
+
+    /// Normalizes a case-split-free expression to a single polynomial.
+    fn norm_single(&mut self, e: &Expr, subst: &[Option<Poly>]) -> Result<Poly, String> {
+        let b = self.norm(e, subst)?;
+        match &b[..] {
+            [one] if one.constraints.is_empty() => Ok(one.value.clone()),
+            _ => Err("expected a min/max-free expression".to_string()),
+        }
+    }
+
+    /// The atom hypotheses: each `cut_f(arg)` is in `[0, total_f]`, and
+    /// atoms of the same family are ordered whenever their arguments
+    /// provably are (argument difference with all-nonnegative
+    /// coefficients).
+    fn atom_facts(&mut self, subst: &[Option<Poly>]) -> Result<Vec<Poly>, String> {
+        let mut facts = Vec::new();
+        for i in 0..self.atoms.len() {
+            let (f, _) = self.atoms[i];
+            let v = Poly::var((self.plan.params.len() + i) as u32);
+            let total = {
+                let e = self.plan.cuts[f].total.clone();
+                self.norm_single(&e, subst)?
+            };
+            facts.push(v.clone());
+            facts.push(total.sub(&v).ok_or("overflow")?);
+        }
+        for i in 0..self.atoms.len() {
+            for j in 0..self.atoms.len() {
+                if i == j || self.atoms[i].0 != self.atoms[j].0 {
+                    continue;
+                }
+                let diff = self.atoms[i].1.sub(&self.atoms[j].1).ok_or("overflow")?;
+                if diff.all_coeffs_nonneg() {
+                    let vi = Poly::var((self.plan.params.len() + i) as u32);
+                    let vj = Poly::var((self.plan.params.len() + j) as u32);
+                    facts.push(vi.sub(&vj).ok_or("overflow")?);
+                }
+            }
+        }
+        Ok(facts)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Hypotheses and the nonnegative-combination search
+// ---------------------------------------------------------------------
+
+/// The per-plan hypotheses that hold for every obligation: parameter
+/// nonnegativity and declared bounds, and the exact integer facts of
+/// derived ceil-divisions. The task parameter's range is
+/// obligation-specific and supplied separately.
+fn param_facts(plan: &WritePlan, ctx: &mut NormCtx) -> Result<Vec<Poly>, String> {
+    let empty_subst = vec![None; plan.params.len()];
+    let mut facts = Vec::new();
+    for (i, p) in plan.params.iter().enumerate() {
+        let v = Poly::var(i as u32);
+        facts.push(v.clone()); // v ≥ 0 always (declared lo ≥ 0)
+        if i == plan.task {
+            continue; // range supplied per obligation
+        }
+        if p.lo > 0 {
+            facts.push(v.sub(&Poly::constant(p.lo)).ok_or("overflow")?);
+        }
+        if p.hi != Expr::Const(UNBOUNDED) {
+            let hi = ctx.norm_single(&p.hi, &empty_subst)?;
+            facts.push(hi.sub(&v).ok_or("overflow")?);
+        }
+        if let Derive::DivCeil(a, b) = &p.derive {
+            let a = ctx.norm_single(a, &empty_subst)?;
+            let b = ctx.norm_single(b, &empty_subst)?;
+            let db = v.mul(&b).ok_or("overflow")?;
+            // d = ceil(a/b) ⇔ d·b ≥ a and d·b ≤ a + b − 1.
+            facts.push(db.sub(&a).ok_or("overflow")?);
+            facts.push(
+                a.add(&b)
+                    .and_then(|s| s.sub(&Poly::constant(1)))
+                    .and_then(|s| s.sub(&db))
+                    .ok_or("overflow")?,
+            );
+        }
+    }
+    Ok(facts)
+}
+
+const MAX_DEPTH: usize = 5;
+const MAX_NODES: usize = 1_500;
+
+/// Proves `goal ≥ 0` from `facts` (each `≥ 0`) by nonnegative-combination
+/// search over a pool augmented with hypothesis × variable products.
+/// Iterative deepening: real proofs are 1–3 subtractions deep, so the
+/// shallow iterations find them almost immediately, and only genuinely
+/// unprovable goals pay the full budget.
+fn prove(goal: &Poly, facts: &[Poly], n_vars: usize) -> bool {
+    let mut pool: Vec<Poly> = facts.iter().filter(|f| !f.is_zero()).cloned().collect();
+    let singles = pool.clone();
+    for f in &singles {
+        for v in 0..n_vars {
+            if let Some(p) = f.mul(&Poly::var(v as u32)) {
+                pool.push(p);
+            }
+        }
+    }
+    for fuel in 1..=MAX_DEPTH {
+        let mut seen = BTreeMap::new();
+        let mut nodes = 0usize;
+        if search(goal, &pool, fuel, &mut seen, &mut nodes) {
+            return true;
+        }
+    }
+    false
+}
+
+fn search(
+    goal: &Poly,
+    pool: &[Poly],
+    fuel: usize,
+    seen: &mut BTreeMap<Poly, usize>,
+    nodes: &mut usize,
+) -> bool {
+    if goal.all_coeffs_nonneg() {
+        return true;
+    }
+    if fuel == 0 || *nodes >= MAX_NODES {
+        return false;
+    }
+    *nodes += 1;
+    // Prune only if this goal was already explored with at least as much
+    // fuel (a fuel-keyed seen-map keeps iterative deepening exact).
+    let key = goal.normalized();
+    match seen.get(&key) {
+        Some(&f) if f >= fuel => return false,
+        _ => {
+            seen.insert(key, fuel);
+        }
+    }
+    for c in pool {
+        for (m, &gm) in &goal.0 {
+            let Some(&cm) = c.0.get(m) else { continue };
+            if (gm > 0) != (cm > 0) {
+                continue; // only same-signed monomials cancel soundly
+            }
+            // goal' = goal·|cm| − c·|gm| has no monomial m, and
+            // goal'≥0 ∧ c≥0 ⇒ goal = (goal' + c·|gm|)/|cm| ≥ 0.
+            let Some(next) = goal
+                .scale(cm.abs())
+                .and_then(|g| c.scale(gm.abs()).and_then(|cc| g.sub(&cc)))
+            else {
+                continue;
+            };
+            if search(&next, pool, fuel - 1, seen, nodes) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+// ---------------------------------------------------------------------
+// Obligations
+// ---------------------------------------------------------------------
+
+struct Goal {
+    name: &'static str,
+    branches: Vec<Branch>,
+    /// Obligation-specific hypotheses (task range, emptiness).
+    extra: Vec<Poly>,
+    atom_facts: Vec<Poly>,
+}
+
+/// Builds the proof obligations of `plan` (see the [module docs](self)).
+fn goals(plan: &WritePlan) -> Result<Vec<Goal>, String> {
+    let np = plan.params.len();
+    let t = plan.task;
+    let sym = vec![None; np];
+    let at = |p: Poly| {
+        let mut s = vec![None; np];
+        s[t] = Some(p);
+        s
+    };
+    let t_poly = Poly::var(t as u32);
+    let t_next = t_poly.add(&Poly::constant(1)).ok_or("overflow")?;
+
+    let mut out = Vec::new();
+    let mut push = |name: &'static str,
+                    build: &dyn Fn(&mut NormCtx) -> Result<Vec<Branch>, String>,
+                    extra: Vec<Poly>|
+     -> Result<(), String> {
+        let mut ctx = NormCtx::new(plan);
+        let branches = build(&mut ctx)?;
+        let atom_facts = ctx.atom_facts(&vec![None; np])?;
+        out.push(Goal {
+            name,
+            branches,
+            extra,
+            atom_facts,
+        });
+        Ok(())
+    };
+    // Cross-combines two branch sets under `f` on the values.
+    fn cross(
+        a: Vec<Branch>,
+        b: Vec<Branch>,
+        f: impl Fn(&Poly, &Poly) -> Option<Poly>,
+    ) -> Result<Vec<Branch>, String> {
+        let mut out = Vec::new();
+        for ba in &a {
+            for bb in &b {
+                let value = f(&ba.value, &bb.value).ok_or("overflow")?;
+                let mut constraints = ba.constraints.clone();
+                constraints.extend(bb.constraints.iter().cloned());
+                out.push(Branch { value, constraints });
+            }
+        }
+        if out.len() > MAX_BRANCHES {
+            return Err("too many min/max case splits".to_string());
+        }
+        Ok(out)
+    }
+
+    let count = NormCtx::new(plan).norm_single(&plan.count, &sym)?;
+    let count_m1 = count.sub(&Poly::constant(1)).ok_or("overflow")?;
+    let count_m2 = count.sub(&Poly::constant(2)).ok_or("overflow")?;
+    // Task range inside a dispatch with at least t+1 tasks.
+    let t_in_range = vec![
+        t_poly.clone(),
+        count_m1.sub(&t_poly).ok_or("overflow")?, // t ≤ count−1
+    ];
+    let t_has_next = vec![
+        t_poly.clone(),
+        count_m2.sub(&t_poly).ok_or("overflow")?, // t ≤ count−2
+    ];
+
+    // 1. scale-nonneg.
+    push(
+        "scale-nonneg",
+        &|ctx| ctx.norm(&plan.scale, &sym),
+        Vec::new(),
+    )?;
+    // 2/3. ordered + gapless: start(t+1) = end(t).
+    push(
+        "tasks-ordered",
+        &|ctx| {
+            let s = ctx.norm(&plan.start, &at(t_next.clone()))?;
+            let e = ctx.norm(&plan.end, &sym)?;
+            cross(s, e, |s, e| s.sub(e))
+        },
+        t_has_next.clone(),
+    )?;
+    push(
+        "coverage-gapless",
+        &|ctx| {
+            let e = ctx.norm(&plan.end, &sym)?;
+            let s = ctx.norm(&plan.start, &at(t_next.clone()))?;
+            cross(e, s, |e, s| e.sub(s))
+        },
+        t_has_next,
+    )?;
+    // 4. left edge: start(0) = 0 when a task exists.
+    for (name, flip) in [
+        ("coverage-left-edge (start(0) ≥ 0)", false),
+        ("coverage-left-edge (start(0) ≤ 0)", true),
+    ] {
+        push(
+            name,
+            &|ctx| {
+                let s = ctx.norm(&plan.start, &at(Poly::constant(0)))?;
+                s.into_iter()
+                    .map(|mut b| {
+                        if flip {
+                            b.value = Poly::constant(0).sub(&b.value).ok_or("overflow")?;
+                        }
+                        Ok(b)
+                    })
+                    .collect()
+            },
+            vec![count_m1.clone()],
+        )?;
+    }
+    // 5. right edge: end(count−1) = total when a task exists.
+    for (name, flip) in [
+        ("coverage-right-edge (end ≥ total)", false),
+        ("coverage-right-edge (end ≤ total)", true),
+    ] {
+        push(
+            name,
+            &|ctx| {
+                let e = ctx.norm(&plan.end, &at(count_m1.clone()))?;
+                let tot = ctx.norm(&plan.total, &sym)?;
+                if flip {
+                    cross(tot, e, |t, e| t.sub(e))
+                } else {
+                    cross(e, tot, |e, t| e.sub(t))
+                }
+            },
+            vec![count_m1.clone()],
+        )?;
+    }
+    // 6. empty: count = 0 ⇒ total = 0 (total ≥ 0 is a parameter bound;
+    // the cut-partition form holds by the instantiation-validated cut
+    // axioms: total IS cut(count)).
+    if !plan.total_is_top_cut {
+        push(
+            "coverage-empty",
+            &|ctx| {
+                let tot = ctx.norm(&plan.total, &sym)?;
+                tot.into_iter()
+                    .map(|mut b| {
+                        b.value = Poly::constant(0).sub(&b.value).ok_or("overflow")?;
+                        Ok(b)
+                    })
+                    .collect()
+            },
+            vec![Poly::constant(0).sub(&count).ok_or("overflow")?],
+        )?;
+    }
+    // 7–9. every task's interval sits inside [0, total].
+    push(
+        "task-start-nonneg",
+        &|ctx| ctx.norm(&plan.start, &sym),
+        t_in_range.clone(),
+    )?;
+    push(
+        "task-start-le-end",
+        &|ctx| {
+            let e = ctx.norm(&plan.end, &sym)?;
+            let s = ctx.norm(&plan.start, &sym)?;
+            cross(e, s, |e, s| e.sub(s))
+        },
+        t_in_range.clone(),
+    )?;
+    push(
+        "task-end-le-total",
+        &|ctx| {
+            let tot = ctx.norm(&plan.total, &sym)?;
+            let e = ctx.norm(&plan.end, &sym)?;
+            cross(tot, e, |t, e| t.sub(e))
+        },
+        t_in_range,
+    )?;
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// Public driver
+// ---------------------------------------------------------------------
+
+/// Proves every obligation of `plan` for all in-bounds shapes.
+///
+/// `Err` carries a human-readable diagnostic: the failed obligations,
+/// plus — when the exhaustive small-shape sweep finds one — a concrete
+/// counterexample naming both clashing tasks and their ranges.
+pub fn prove_plan(plan: &WritePlan) -> Result<(), String> {
+    let mut failed: Vec<String> = Vec::new();
+    let base = {
+        let mut ctx = NormCtx::new(plan);
+        param_facts(plan, &mut ctx)?
+    };
+    match goals(plan) {
+        Ok(gs) => {
+            for g in gs {
+                let n_vars = plan.params.len()
+                    + plan.cuts.len().max(1) * 4 // generous atom headroom
+                    + g.atom_facts.len();
+                let unproven = g.branches.iter().any(|b| {
+                    let mut facts = base.clone();
+                    facts.extend(g.extra.iter().cloned());
+                    facts.extend(g.atom_facts.iter().cloned());
+                    facts.extend(b.constraints.iter().cloned());
+                    !prove(&b.value, &facts, n_vars)
+                });
+                if unproven {
+                    // One failed obligation already refutes the plan, and
+                    // each failure pays the full search budget — stop at
+                    // the first and let the concrete counterexample carry
+                    // the diagnostic weight.
+                    failed.push(g.name.to_string());
+                    break;
+                }
+            }
+        }
+        Err(e) => failed.push(format!("obligation construction failed: {e}")),
+    }
+    if failed.is_empty() {
+        return Ok(());
+    }
+    let mut msg = format!(
+        "write plan `{}` ({}): unproven obligation(s): {}",
+        plan.site,
+        plan.buffer,
+        failed.join(", ")
+    );
+    match counterexample(plan) {
+        Some(cx) => msg.push_str(&format!("; counterexample {cx}")),
+        None => msg.push_str("; no concrete counterexample found at small shapes (the plan may be sound but outside the prover's fragment)"),
+    }
+    Err(msg)
+}
+
+/// The brute-force concrete model the symbolic proof is checked against:
+/// a [`ConcretePlan`] is valid iff its task intervals are pairwise
+/// disjoint and their union is exactly `[0, len)`.
+pub fn concrete_check(plan: &ConcretePlan) -> Result<(), String> {
+    let mut idx: Vec<usize> = (0..plan.tasks.len())
+        .filter(|&i| plan.tasks[i].0 < plan.tasks[i].1)
+        .collect();
+    idx.sort_by_key(|&i| plan.tasks[i]);
+    for w in idx.windows(2) {
+        let (i, j) = (w[0], w[1]);
+        let (s1, e1) = plan.tasks[i];
+        let (s2, e2) = plan.tasks[j];
+        if s2 < e1 {
+            return Err(format!(
+                "task {i} writes [{s1}..{e1}) overlapping task {j} writes [{s2}..{e2})"
+            ));
+        }
+    }
+    let mut pos = 0usize;
+    for &i in &idx {
+        let (s, e) = plan.tasks[i];
+        if s > pos {
+            return Err(format!(
+                "coverage gap: no task writes [{pos}..{s}) (task {i} starts at {s})"
+            ));
+        }
+        pos = pos.max(e);
+    }
+    if pos != plan.len {
+        return Err(format!(
+            "coverage gap: tasks end at {pos} but the plan covers [0..{})",
+            plan.len
+        ));
+    }
+    Ok(())
+}
+
+/// Candidate values for the small-shape counterexample sweep.
+const SMALL: [i128; 6] = [0, 1, 2, 3, 5, 7];
+const MAX_SWEEP: usize = 20_000;
+
+/// Exhaustively instantiates `plan` at small shapes (free parameters
+/// from [`SMALL`], all monotone cut tables up to small totals) and
+/// returns the first concrete violation, formatted with the shape and
+/// the clashing tasks/ranges.
+pub fn counterexample(plan: &WritePlan) -> Option<String> {
+    let free: Vec<&str> = plan
+        .params
+        .iter()
+        .enumerate()
+        .filter(|&(i, p)| i != plan.task && p.derive == Derive::Free)
+        .map(|(_, p)| p.name)
+        .collect();
+    let mut values: Vec<(&str, i128)> = free.iter().map(|&n| (n, 0)).collect();
+    let mut budget = MAX_SWEEP;
+    sweep(plan, &mut values, 0, &mut budget)
+}
+
+fn sweep(
+    plan: &WritePlan,
+    values: &mut Vec<(&str, i128)>,
+    i: usize,
+    budget: &mut usize,
+) -> Option<String> {
+    if *budget == 0 {
+        return None;
+    }
+    if i < values.len() {
+        for v in SMALL {
+            values[i].1 = v;
+            if let Some(cx) = sweep(plan, values, i + 1, budget) {
+                return Some(cx);
+            }
+        }
+        return None;
+    }
+    let shape = || {
+        let vs: Vec<String> = values.iter().map(|(n, v)| format!("{n}={v}")).collect();
+        format!("{{{}}}", vs.join(", "))
+    };
+    if plan.cuts.is_empty() {
+        *budget = budget.saturating_sub(1);
+        if let Ok(c) = plan.try_instantiate(values, &[]) {
+            if let Err(e) = concrete_check(&c) {
+                return Some(format!("shape {}: {e}", shape()));
+            }
+        }
+        return None;
+    }
+    // One cut family is all the real plans use; enumerate its monotone
+    // tables. (Plans with several families fall back to no sweep.)
+    if plan.cuts.len() != 1 {
+        return None;
+    }
+    let resolved = resolve_params(plan, values)?;
+    let count = plan.cuts[0].count.eval(&resolved, &[]).ok()?;
+    let total = plan.cuts[0].total.eval(&resolved, &[]).ok()?;
+    if !(0..=4).contains(&count) || !(0..=5).contains(&total) {
+        return None;
+    }
+    let mut table = vec![0i128; count as usize + 1];
+    enumerate_tables(plan, values, &mut table, 1, total, budget, &shape)
+}
+
+/// Resolves all non-task parameters (including derived ones) the way
+/// `instantiate` does, for evaluating cut-family shapes during the sweep.
+fn resolve_params(plan: &WritePlan, values: &[(&str, i128)]) -> Option<Vec<i128>> {
+    let mut resolved = Vec::with_capacity(plan.params.len());
+    for (i, p) in plan.params.iter().enumerate() {
+        let v = if i == plan.task {
+            0
+        } else {
+            match &p.derive {
+                Derive::Free => values.iter().find(|(n, _)| *n == p.name)?.1,
+                Derive::DivCeil(a, b) => {
+                    let a = a.eval(&resolved, &[]).ok()?;
+                    let b = b.eval(&resolved, &[]).ok()?;
+                    if b <= 0 {
+                        return None;
+                    }
+                    a.div_euclid(b) + i128::from(a.rem_euclid(b) != 0)
+                }
+            }
+        };
+        resolved.push(v);
+    }
+    Some(resolved)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn enumerate_tables(
+    plan: &WritePlan,
+    values: &[(&str, i128)],
+    table: &mut Vec<i128>,
+    i: usize,
+    total: i128,
+    budget: &mut usize,
+    shape: &dyn Fn() -> String,
+) -> Option<String> {
+    if *budget == 0 {
+        return None;
+    }
+    if i == table.len() {
+        if *table.last()? != total {
+            return None;
+        }
+        *budget = budget.saturating_sub(1);
+        if let Ok(c) = plan.try_instantiate(values, &[table.as_slice()]) {
+            if let Err(e) = concrete_check(&c) {
+                return Some(format!("shape {} cuts {table:?}: {e}", shape()));
+            }
+        }
+        return None;
+    }
+    let lo = table[i - 1];
+    for v in lo..=total {
+        table[i] = v;
+        if let Some(cx) = enumerate_tables(plan, values, table, i + 1, total, budget, shape) {
+            return Some(cx);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use instant3d_nerf::kernels::plan::{con, par, ParamDecl};
+
+    #[test]
+    fn chunked_plans_prove() {
+        let with_scale = WritePlan::chunked("demo.rs:1 demo", "out", "n", "chunk", Some("w"));
+        prove_plan(&with_scale).expect("chunked plan with scale proves");
+        let no_scale = WritePlan::chunked("demo.rs:2 demo", "out", "n", "chunk", None);
+        prove_plan(&no_scale).expect("chunked plan without scale proves");
+    }
+
+    #[test]
+    fn cut_partition_plans_prove() {
+        let plan = WritePlan::cut_partition("demo.rs:3 demo", "grads", "offs", "levels", "params");
+        prove_plan(&plan).expect("cut partition proves");
+    }
+
+    #[test]
+    fn floor_task_count_is_rejected() {
+        // ceil(n/chunk) tasks are required for coverage; a free task
+        // count (which admits floor or anything else) must fail the
+        // right-edge/empty obligations, with a concrete counterexample.
+        let mut plan = WritePlan::chunked("demo.rs:4 demo", "out", "n", "chunk", None);
+        let count_idx = plan.params.iter().position(|p| p.name == "tasks").unwrap();
+        plan.params[count_idx].derive = Derive::Free;
+        let err = prove_plan(&plan).expect_err("unconstrained task count must fail");
+        assert!(err.contains("coverage"), "{err}");
+        assert!(err.contains("counterexample"), "{err}");
+    }
+
+    #[test]
+    fn overlapping_plan_is_rejected_with_both_tasks_named() {
+        // Each task claims one extra trailing element: adjacent tasks
+        // overlap whenever a successor exists.
+        let mut plan = WritePlan::chunked("demo.rs:5 demo", "out", "n", "chunk", None);
+        plan.end = par(plan.task)
+            .add(con(1))
+            .mul(par(1))
+            .add(con(1))
+            .min(par(0));
+        let err = prove_plan(&plan).expect_err("overlapping plan must fail");
+        assert!(err.contains("tasks-ordered"), "{err}");
+        assert!(
+            err.contains("overlapping task"),
+            "counterexample names both tasks: {err}"
+        );
+        assert!(err.contains("writes ["), "ranges are shown: {err}");
+    }
+
+    #[test]
+    fn gapped_plan_is_rejected() {
+        // Tasks of `chunk − 1` elements on a `chunk` stride: a gap.
+        let mut plan = WritePlan::chunked("demo.rs:6 demo", "out", "n", "chunk", None);
+        plan.end = par(plan.task)
+            .add(con(1))
+            .mul(par(1))
+            .sub(con(1))
+            .max(con(0))
+            .min(par(0));
+        let err = prove_plan(&plan).expect_err("gapped plan must fail");
+        assert!(err.contains("coverage"), "{err}");
+        assert!(err.contains("gap"), "counterexample shows the gap: {err}");
+    }
+
+    #[test]
+    fn prover_is_sound_on_the_concrete_model() {
+        // Every proved plan instantiates cleanly at a grid of shapes —
+        // the soundness direction the proptests widen.
+        let plan = WritePlan::chunked("demo.rs:7 demo", "out", "n", "chunk", Some("w"));
+        prove_plan(&plan).unwrap();
+        for n in [0i128, 1, 7, 16, 17, 255, 256, 257, 1000] {
+            for chunk in [1i128, 2, 16, 256] {
+                for w in [0i128, 1, 3, 32] {
+                    let c = plan
+                        .try_instantiate(&[("n", n), ("chunk", chunk), ("w", w)], &[])
+                        .unwrap();
+                    concrete_check(&c).unwrap();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unbounded_sentinel_param_is_not_upper_bounded() {
+        // A param with the UNBOUNDED sentinel gets no hi fact, so this
+        // plan (task t writes [t, t+1), count = n) still proves.
+        let plan = WritePlan {
+            site: "demo.rs:8 demo",
+            buffer: "out",
+            params: vec![
+                ParamDecl {
+                    name: "n",
+                    lo: 0,
+                    hi: con(UNBOUNDED),
+                    derive: Derive::Free,
+                },
+                ParamDecl {
+                    name: "t",
+                    lo: 0,
+                    hi: par(0).sub(con(1)),
+                    derive: Derive::Free,
+                },
+            ],
+            cuts: Vec::new(),
+            task: 1,
+            count: par(0),
+            start: par(1),
+            end: par(1).add(con(1)),
+            scale: con(1),
+            total: par(0),
+            total_is_top_cut: false,
+        };
+        prove_plan(&plan).expect("unit-stride identity plan proves");
+    }
+}

@@ -132,9 +132,14 @@ fn hashmap_in_kernel_path_fails_but_cfg_test_is_exempt() {
         .unwrap() as u32
         + 1;
     assert!(det.iter().all(|v| v.line < test_mod_start));
-    // Outside nerf/core code paths the pass does not run at all.
+    // The serve crate is a determinism root too (fleet scheduling must
+    // not perturb results), so the same source flags there…
     let vs2 = lint_source("crates/serve/src/foo.rs", src, &Config::default());
-    assert!(lints(&vs2, "determinism").is_empty());
+    assert!(!lints(&vs2, "determinism").is_empty(), "{vs2:?}");
+    // …while outside the kernel/trainer/serve roots the pass does not
+    // run at all.
+    let vs3 = lint_source("crates/trace/src/foo.rs", src, &Config::default());
+    assert!(lints(&vs3, "determinism").is_empty(), "{vs3:?}");
 }
 
 #[test]
@@ -148,6 +153,76 @@ fn determinism_allowlist_suppresses_named_pairs_only() {
         });
     let vs = lint_source("crates/nerf/src/foo.rs", src, &cfg);
     assert!(lints(&vs, "determinism").is_empty(), "{vs:?}");
+}
+
+#[test]
+fn unjustified_panics_in_hot_path_modules_fail() {
+    let src = include_str!("fixtures/panic_unjustified.rs");
+    let vs = lint_source("crates/nerf/src/mlp.rs", src, &Config::default());
+    let census = lints(&vs, "panic-census");
+    // The three bare sites in `hot_path`; `justified`, `trailing_marker`
+    // and the #[cfg(test)] module are clean.
+    assert_eq!(census.len(), 3, "panic census: {vs:?}");
+    for (needle, what) in [
+        ("v.first().unwrap()", "`.unwrap()`"),
+        ("v.last().expect", "`.expect()`"),
+        ("panic!(\"batch too large\")", "`panic!`"),
+    ] {
+        let line = src.lines().position(|l| l.contains(needle)).unwrap() as u32 + 1;
+        assert!(
+            census
+                .iter()
+                .any(|v| v.line == line && v.message.contains(what)),
+            "missing {what} at line {line}: {census:?}"
+        );
+    }
+    // Outside the census file list the pass does not run.
+    let vs2 = lint_source("crates/nerf/src/lib.rs", src, &Config::default());
+    assert!(lints(&vs2, "panic-census").is_empty(), "{vs2:?}");
+}
+
+/// Every write plan declared at the engine's parallel dispatch seams is
+/// proved disjoint-and-covering for all shapes — the `tree_is_clean`
+/// analogue for the prover, pinned separately so a plan regression is
+/// named even if a lexical lint also fires.
+#[test]
+fn declared_write_plans_prove_for_all_shapes() {
+    let (checked, violations) = instant3d_conformance::plan::prove_all();
+    assert!(checked >= 12, "dispatch seams missing plans: {checked}");
+    assert!(
+        violations.is_empty(),
+        "unproven write plans:\n{}",
+        violations
+            .iter()
+            .map(|v| format!("  {v}\n"))
+            .collect::<String>()
+    );
+}
+
+/// A deliberately overlapping plan (each task claims one extra trailing
+/// element) is rejected with a diagnostic naming both clashing tasks and
+/// their concrete ranges — the end-to-end negative fixture for the
+/// prover surface.
+#[test]
+fn overlapping_plan_fixture_is_caught_with_both_tasks_named() {
+    use instant3d_nerf::kernels::plan::{con, par, WritePlan};
+    let mut plan = WritePlan::chunked(
+        "crates/nerf/src/grid.rs:1 fixture::overlapping",
+        "fixture buffer",
+        "n",
+        "chunk",
+        None,
+    );
+    plan.end = par(plan.task)
+        .add(con(1))
+        .mul(par(1))
+        .add(con(1))
+        .min(par(0));
+    let err = instant3d_conformance::prover::prove_plan(&plan)
+        .expect_err("overlapping plan must not prove");
+    assert!(err.contains("tasks-ordered"), "{err}");
+    assert!(err.contains("overlapping task"), "{err}");
+    assert!(err.contains("writes ["), "{err}");
 }
 
 /// The checked-in manifest matches the real vendor/rayon tree exactly —

@@ -1,0 +1,36 @@
+// Fixture: linted as if it were crates/nerf/src/mlp.rs. Not compiled.
+
+fn hot_path(v: &[f32]) -> f32 {
+    // VIOLATION: bare unwrap in a hot-path module.
+    let first = v.first().unwrap();
+    // VIOLATION: bare expect.
+    let last = v.last().expect("non-empty");
+    if v.len() > 1_000_000 {
+        // VIOLATION: bare panic!.
+        panic!("batch too large");
+    }
+    first + last
+}
+
+fn justified(v: &[f32]) -> f32 {
+    // PANICS: callers validate `v` is non-empty at the API boundary.
+    let first = v.first().unwrap();
+    *first
+}
+
+fn trailing_marker(v: &[f32]) -> f32 {
+    *v.first().unwrap() // PANICS: guarded by the caller's assert.
+}
+
+#[cfg(test)]
+mod tests {
+    // Exempt: tests may unwrap/panic freely.
+    #[test]
+    fn uses_unwrap() {
+        let v = [1.0f32];
+        assert_eq!(*v.first().unwrap(), 1.0);
+        if v.is_empty() {
+            panic!("unreachable");
+        }
+    }
+}

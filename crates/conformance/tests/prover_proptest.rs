@@ -1,0 +1,263 @@
+//! Property tests of the write-plan prover: the symbolic verdict is
+//! checked against brute-force concrete enumeration.
+//!
+//! The load-bearing property is **soundness**: whenever the prover says
+//! `Proved`, every concrete instantiation of the plan must have pairwise
+//! disjoint task intervals whose union is exactly `[0, len)`. Random
+//! perturbed chunk plans (many of them genuinely racy or gappy) drive
+//! the contrapositive for free: a concretely invalid plan must never
+//! prove. Knife-edge shapes — empty dispatches, single-element
+//! intervals, remainder tails — are pinned deterministically.
+
+use instant3d_conformance::prover::{concrete_check, prove_plan};
+use instant3d_nerf::kernels::plan::{con, par, WritePlan};
+use proptest::prelude::*;
+
+/// A chunk-partition plan with its `end` expression perturbed by `d`
+/// elements and `a` phantom tasks appended:
+/// `end(t) = min((t+1)·chunk + d, n)`, `count = ceil((n+a)/chunk)`.
+/// `d == 0` is the real pattern (valid for every `a ≥ 0` — the phantom
+/// tasks are empty); `d > 0` overlaps the successor; `d < 0` leaves a
+/// gap (or an inverted interval the instantiator rejects).
+fn perturbed_chunk_plan(a: i128, d: i128) -> WritePlan {
+    let mut plan = WritePlan::chunked(
+        "proptest.rs:1 fixture::perturbed",
+        "fixture buffer",
+        "n",
+        "chunk",
+        None,
+    );
+    if a != 0 {
+        let tasks = plan
+            .params
+            .iter()
+            .position(|p| p.name == "tasks")
+            .expect("chunked plans derive a `tasks` param");
+        plan.params[tasks].derive =
+            instant3d_nerf::kernels::plan::Derive::DivCeil(par(0).add(con(a)), par(1));
+    }
+    if d != 0 {
+        plan.end = par(plan.task)
+            .add(con(1))
+            .mul(par(1))
+            .add(con(d))
+            .min(par(0));
+    }
+    plan
+}
+
+/// Brute-force model: instantiates at a deterministic grid of shapes
+/// (remainder tails, exact multiples, empty and unit cases included) and
+/// returns the first violation. An instantiation error on an in-bounds
+/// shape also counts as invalid — a plan must instantiate everywhere the
+/// dispatch can run.
+fn concrete_sweep(plan: &WritePlan, extra: &[(i128, i128)]) -> Result<(), String> {
+    let grid: Vec<(i128, i128)> = [0i128, 1, 2, 3, 4, 5, 7, 8, 15, 16, 17, 31]
+        .iter()
+        .flat_map(|&n| [1i128, 2, 3, 4, 8].map(|chunk| (n, chunk)))
+        .chain(extra.iter().copied())
+        .collect();
+    for (n, chunk) in grid {
+        if n < 0 || chunk < 1 {
+            continue;
+        }
+        let c = plan
+            .try_instantiate(&[("n", n), ("chunk", chunk)], &[])
+            .map_err(|e| format!("shape {{n={n}, chunk={chunk}}}: {e}"))?;
+        concrete_check(&c).map_err(|e| format!("shape {{n={n}, chunk={chunk}}}: {e}"))?;
+    }
+    Ok(())
+}
+
+proptest! {
+    /// Soundness on randomly perturbed plans: `Proved` implies every
+    /// concrete shape (deterministic grid + a random large shape) is
+    /// disjoint and covering; equivalently, a concretely broken plan
+    /// never proves.
+    #[test]
+    fn proved_plans_are_concretely_valid(
+        a in 0i64..3,
+        d in -2i64..=2,
+        n in 0i64..2_000,
+        chunk in 1i64..64,
+    ) {
+        let plan = perturbed_chunk_plan(a as i128, d as i128);
+        let proved = prove_plan(&plan).is_ok();
+        let concrete = concrete_sweep(&plan, &[(n as i128, chunk as i128)]);
+        prop_assert!(
+            !proved || concrete.is_ok(),
+            "prover accepted a concretely invalid plan (a={}, d={}): {:?}",
+            a, d, concrete
+        );
+        // The unperturbed pattern is exactly the engine's dispatch shape:
+        // it must both prove and sweep clean, phantom tasks or not.
+        if d == 0 {
+            prop_assert!(proved, "real chunk pattern failed to prove (a={a})");
+            prop_assert!(concrete.is_ok(), "real chunk pattern concretely invalid: {concrete:?}");
+        }
+    }
+
+    /// Cut-partition plans against random monotone tables: instantiation
+    /// accepts exactly the axiom-satisfying tables, and every accepted
+    /// table yields disjoint, covering intervals.
+    #[test]
+    fn cut_partitions_accept_exactly_monotone_tables(
+        widths in prop::collection::vec(0u32..5, 0..6),
+        tamper in 0usize..4,
+    ) {
+        let plan = WritePlan::cut_partition(
+            "proptest.rs:2 fixture::cuts",
+            "fixture buffer",
+            "offsets",
+            "count",
+            "total",
+        );
+        let mut table: Vec<i128> = vec![0];
+        for w in &widths {
+            table.push(table.last().copied().unwrap() + i128::from(*w));
+        }
+        let total = *table.last().unwrap();
+        let count = widths.len() as i128;
+        let c = plan
+            .try_instantiate(&[("count", count), ("total", total)], &[&table])
+            .expect("axiom-satisfying table accepted");
+        concrete_check(&c).expect("cut partition is disjoint and covering");
+
+        // Tampering with an axiom must be rejected at instantiation.
+        let mut bad = table.clone();
+        let rejected = match tamper {
+            0 => {
+                bad.push(total); // wrong length
+                true
+            }
+            1 if count > 0 => {
+                bad[0] = -1; // first cut not 0
+                true
+            }
+            2 => {
+                *bad.last_mut().unwrap() = total + 1; // top cut != total
+                true
+            }
+            3 if count >= 2 && bad[1] > 0 => {
+                let j = 2.min(bad.len() - 1);
+                bad.swap(1, j); // break monotonicity…
+                bad[1] > bad[j] // …if the swap reordered
+            }
+            _ => false,
+        };
+        if rejected {
+            prop_assert!(
+                plan.try_instantiate(&[("count", count), ("total", total)], &[&bad]).is_err(),
+                "tampered cut table {:?} (tamper {}) was accepted", bad, tamper
+            );
+        }
+    }
+}
+
+#[test]
+fn knife_edge_shapes_are_exact() {
+    let plan = perturbed_chunk_plan(0, 0);
+    prove_plan(&plan).expect("real chunk pattern proves");
+
+    // Empty dispatch: no tasks, zero-length coverage.
+    let c = plan
+        .try_instantiate(&[("n", 0), ("chunk", 4)], &[])
+        .unwrap();
+    assert!(c.tasks.is_empty());
+    assert_eq!(c.len, 0);
+    concrete_check(&c).unwrap();
+
+    // Single-element intervals: chunk = 1 over n = 3.
+    let c = plan
+        .try_instantiate(&[("n", 3), ("chunk", 1)], &[])
+        .unwrap();
+    assert_eq!(c.tasks, vec![(0, 1), (1, 2), (2, 3)]);
+    concrete_check(&c).unwrap();
+
+    // Remainder tail: 17 = 2×8 + 1.
+    let c = plan
+        .try_instantiate(&[("n", 17), ("chunk", 8)], &[])
+        .unwrap();
+    assert_eq!(c.tasks, vec![(0, 8), (8, 16), (16, 17)]);
+    concrete_check(&c).unwrap();
+
+    // Exact multiple: no tail task.
+    let c = plan
+        .try_instantiate(&[("n", 16), ("chunk", 8)], &[])
+        .unwrap();
+    assert_eq!(c.tasks, vec![(0, 8), (8, 16)]);
+    concrete_check(&c).unwrap();
+
+    // Chunk larger than the batch: one clipped task.
+    let c = plan
+        .try_instantiate(&[("n", 5), ("chunk", 64)], &[])
+        .unwrap();
+    assert_eq!(c.tasks, vec![(0, 5)]);
+    concrete_check(&c).unwrap();
+
+    // Cut partition with empty interior intervals.
+    let cut = WritePlan::cut_partition(
+        "proptest.rs:3 fixture::cuts",
+        "fixture buffer",
+        "offsets",
+        "count",
+        "total",
+    );
+    prove_plan(&cut).expect("cut partition proves");
+    let c = cut
+        .try_instantiate(&[("count", 3), ("total", 4)], &[&[0, 0, 4, 4]])
+        .unwrap();
+    assert_eq!(c.tasks, vec![(0, 0), (0, 4), (4, 4)]);
+    concrete_check(&c).unwrap();
+    // All-empty partition of a zero-length buffer.
+    let c = cut
+        .try_instantiate(&[("count", 2), ("total", 0)], &[&[0, 0, 0]])
+        .unwrap();
+    concrete_check(&c).unwrap();
+}
+
+/// Every real declared plan instantiates cleanly at knife-edge shapes of
+/// its own parameters (each parameter at its lower bound and at small
+/// remainder-producing values), and the result is always disjoint and
+/// covering — the concrete face of the prover's universal claim.
+#[test]
+fn real_plans_instantiate_at_edge_shapes() {
+    use instant3d_nerf::kernels::plan::Derive;
+    for plan in instant3d_conformance::plan::all_plans() {
+        prove_plan(&plan).unwrap_or_else(|e| panic!("{}: {e}", plan.site));
+        if !plan.cuts.is_empty() {
+            continue; // cut tables are data-dependent; covered above
+        }
+        let free: Vec<_> = plan
+            .params
+            .iter()
+            .enumerate()
+            .filter(|&(i, p)| i != plan.task && p.derive == Derive::Free)
+            .collect();
+        // Every combination of {lo, lo+1, 7, 17} per free parameter.
+        let choices = [0i128, 1, 7, 17];
+        let mut idx = vec![0usize; free.len()];
+        loop {
+            let values: Vec<(&str, i128)> = free
+                .iter()
+                .zip(&idx)
+                .map(|(&(_, p), &k)| (p.name, p.lo.max(choices[k])))
+                .collect();
+            if let Ok(c) = plan.try_instantiate(&values, &[]) {
+                concrete_check(&c).unwrap_or_else(|e| panic!("{} at {values:?}: {e}", plan.site));
+            }
+            let mut carry = 0;
+            while carry < idx.len() {
+                idx[carry] += 1;
+                if idx[carry] < choices.len() {
+                    break;
+                }
+                idx[carry] = 0;
+                carry += 1;
+            }
+            if carry == idx.len() {
+                break;
+            }
+        }
+    }
+}

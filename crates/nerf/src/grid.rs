@@ -933,6 +933,58 @@ impl HashGrid {
         self.par_encode_batch_with(&crate::kernels::scalar(), unit_positions, out);
     }
 
+    /// The declared [`WritePlan`](crate::kernels::WritePlan) of
+    /// [`HashGrid::par_encode_batch_with`]: `ceil(points/chunk)` tasks,
+    /// task `t` writing rows `[t·chunk, min((t+1)·chunk, points))` of
+    /// `output_dim` elements each — verified disjoint and gap-free for
+    /// all shapes by the conformance prover, and enforced at runtime
+    /// under [`Kernels::plan_conformance`](crate::kernels::Kernels).
+    pub fn encode_write_plan() -> crate::kernels::WritePlan {
+        crate::kernels::WritePlan::chunked(
+            concat!(file!(), ":", line!(), " HashGrid::par_encode_batch_with"),
+            "encode SoA output",
+            "points",
+            "chunk",
+            Some("output_dim"),
+        )
+    }
+
+    /// The declared write plan of
+    /// [`HashGrid::par_encode_batch_levels_with`] — the same chunked row
+    /// decomposition as [`HashGrid::encode_write_plan`]; only the listed
+    /// levels' columns inside each row chunk are touched, which is a
+    /// refinement of the declared per-task interval.
+    pub fn encode_levels_write_plan() -> crate::kernels::WritePlan {
+        crate::kernels::WritePlan::chunked(
+            concat!(
+                file!(),
+                ":",
+                line!(),
+                " HashGrid::par_encode_batch_levels_with"
+            ),
+            "level-subset encode SoA output",
+            "points",
+            "chunk",
+            Some("output_dim"),
+        )
+    }
+
+    /// The declared write plan of [`HashGrid::par_backward_batch_with`]:
+    /// one task per grid level, task `l` owning
+    /// `[param_offsets[l], param_offsets[l+1])` of the flat gradient
+    /// buffer — a cut partition whose monotone offset table the dispatch
+    /// supplies (and [`WritePlan::instantiate`](crate::kernels::WritePlan)
+    /// re-validates) at each concrete shape.
+    pub fn scatter_write_plan() -> crate::kernels::WritePlan {
+        crate::kernels::WritePlan::cut_partition(
+            concat!(file!(), ":", line!(), " HashGrid::par_backward_batch_with"),
+            "grid gradient buffer",
+            "param_offsets",
+            "levels",
+            "params",
+        )
+    }
+
     /// [`HashGrid::par_encode_batch`] with an explicit kernel backend
     /// (see [`crate::kernels`]); results are bit-identical across
     /// backends, chunkings and worker counts. Backends that request
@@ -954,7 +1006,25 @@ impl HashGrid {
         );
         let n = unit_positions.len();
         const CHUNK: usize = 256;
-        if n <= CHUNK || rayon::current_num_threads() <= 1 || backend.sequential_grid() {
+        let sequential =
+            n <= CHUNK || rayon::current_num_threads() <= 1 || backend.sequential_grid();
+        let _plan = backend.plan_conformance().then(|| {
+            // The instantiated chunk must match the branch actually taken:
+            // the sequential fallback writes the whole batch as one task.
+            let chunk = if sequential { n.max(1) } else { CHUNK };
+            crate::kernels::WriteLedger::global().expect_plan(
+                &Self::encode_write_plan().instantiate(
+                    &[
+                        ("points", n as i128),
+                        ("chunk", chunk as i128),
+                        ("output_dim", w as i128),
+                    ],
+                    &[],
+                ),
+                out.as_ptr(),
+            )
+        });
+        if sequential {
             backend.grid_encode_chunk(self, unit_positions, out);
             return;
         }
@@ -1005,7 +1075,23 @@ impl HashGrid {
         }
         let n = unit_positions.len();
         const CHUNK: usize = 256;
-        if n <= CHUNK || rayon::current_num_threads() <= 1 || backend.sequential_grid() {
+        let sequential =
+            n <= CHUNK || rayon::current_num_threads() <= 1 || backend.sequential_grid();
+        let _plan = backend.plan_conformance().then(|| {
+            let chunk = if sequential { n.max(1) } else { CHUNK };
+            crate::kernels::WriteLedger::global().expect_plan(
+                &Self::encode_levels_write_plan().instantiate(
+                    &[
+                        ("points", n as i128),
+                        ("chunk", chunk as i128),
+                        ("output_dim", w as i128),
+                    ],
+                    &[],
+                ),
+                out.as_ptr(),
+            )
+        });
+        if sequential {
             backend.grid_encode_levels_chunk(self, levels, unit_positions, out);
             return;
         }
@@ -1282,6 +1368,19 @@ impl HashGrid {
             self.params.len(),
             "gradient buffer mismatch"
         );
+        let _plan = backend.plan_conformance().then(|| {
+            let offsets: Vec<i128> = self.param_offsets.iter().map(|&o| o as i128).collect();
+            crate::kernels::WriteLedger::global().expect_plan(
+                &Self::scatter_write_plan().instantiate(
+                    &[
+                        ("levels", self.levels.len() as i128),
+                        ("params", self.params.len() as i128),
+                    ],
+                    &[&offsets],
+                ),
+                grads.values.as_ptr(),
+            )
+        });
         // Slice the flat gradient buffer into per-level disjoint regions.
         let mut level_slices: Vec<(usize, &mut [f32])> = Vec::with_capacity(self.levels.len());
         let mut rest: &mut [f32] = &mut grads.values;

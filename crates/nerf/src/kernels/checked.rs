@@ -38,6 +38,7 @@
 //! `"checked"` and rides the CI strict backend × worker matrix, so the
 //! disjoint-write contract is re-proven on every push instead of trusted.
 
+use super::plan::ConcretePlan;
 use super::{Kernels, ScalarKernels, SimdKernels};
 use crate::grid::HashGrid;
 use crate::math::Vec3;
@@ -86,6 +87,20 @@ struct ActiveSpan {
     task: String,
 }
 
+/// One registered [`ConcretePlan`]: the byte span it covers and the
+/// declared per-task byte ranges every recorded write inside the span
+/// must stay within (see [`WriteLedger::expect_plan`]).
+#[derive(Debug)]
+struct PlanExpectation {
+    id: u64,
+    site: &'static str,
+    buffer: &'static str,
+    /// Byte span of the whole planned output buffer.
+    span: (usize, usize),
+    /// Declared per-task byte ranges, in task order.
+    tasks: Vec<(usize, usize)>,
+}
+
 /// The process-wide write ledger behind [`CheckedKernels`]: records the
 /// write range and identity of every checked kernel task and panics —
 /// naming both tasks — when two ranges of one dispatch overlap.
@@ -93,6 +108,7 @@ struct ActiveSpan {
 pub struct WriteLedger {
     epochs: Mutex<Vec<Epoch>>,
     active: Mutex<Vec<ActiveSpan>>,
+    expectations: Mutex<Vec<PlanExpectation>>,
     next_id: AtomicU64,
 }
 
@@ -116,11 +132,84 @@ impl WriteLedger {
         m.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    /// Forgets all recorded epochs and in-flight spans. Test hook: after a
-    /// caught violation panic the aborted dispatch's entries are stale.
+    /// Forgets all recorded epochs, in-flight spans and plan
+    /// expectations. Test hook: after a caught violation panic the
+    /// aborted dispatch's entries are stale.
     pub fn reset(&self) {
         Self::lock(&self.epochs).clear();
         Self::lock(&self.active).clear();
+        Self::lock(&self.expectations).clear();
+    }
+
+    /// Registers a dispatch's instantiated [`WritePlan`](super::WritePlan)
+    /// as the ground truth for the buffer at `base`: until the returned
+    /// guard drops, every write range recorded in the ledger that touches
+    /// the plan's byte span must fall entirely inside **one** declared
+    /// task range, or the ledger panics naming the dispatch site, the
+    /// writing task, and the nearest declared range — the plan-conformance
+    /// mode that keeps the statically proven plan from drifting away from
+    /// the code (see the
+    /// [contract-enforcement docs](super#contract-enforcement)).
+    pub fn expect_plan(&self, plan: &ConcretePlan, base: *const f32) -> PlanGuard<'_> {
+        let elem = std::mem::size_of::<f32>();
+        let base = base as usize;
+        // ORDERING: Relaxed — id uniqueness only (see `open_scope`).
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        Self::lock(&self.expectations).push(PlanExpectation {
+            id,
+            site: plan.site,
+            buffer: plan.buffer,
+            span: (base, base + plan.len * elem),
+            tasks: plan
+                .tasks
+                .iter()
+                .map(|&(s, e)| (base + s * elem, base + e * elem))
+                .collect(),
+        });
+        PlanGuard { ledger: self, id }
+    }
+
+    /// Asserts a recorded write range conforms to every registered plan
+    /// expectation whose span it touches (zero-length writes are vacuous).
+    fn check_plan(&self, task: &str, range: (usize, usize)) {
+        if range.0 >= range.1 {
+            return;
+        }
+        let expectations = Self::lock(&self.expectations);
+        for exp in expectations.iter() {
+            if !overlaps(exp.span, range) {
+                continue;
+            }
+            if exp.tasks.iter().any(|&(s, e)| s <= range.0 && range.1 <= e) {
+                continue;
+            }
+            // The nearest declared range makes the drift diagnostic
+            // actionable: it is the task the write was presumably meant
+            // to stay inside.
+            let nearest = exp
+                .tasks
+                .iter()
+                .min_by_key(|&&(s, e)| {
+                    (range.0 as i128 - s as i128).unsigned_abs()
+                        + (range.1 as i128 - e as i128).unsigned_abs()
+                })
+                .copied();
+            let nearest = match nearest {
+                Some((s, e)) => format!("nearest declared task range 0x{s:x}..0x{e:x}"),
+                None => "the plan declares no task ranges".to_string(),
+            };
+            let msg = format!(
+                "checked backend: write-plan drift at `{}`: task `{task}` writes \
+                 0x{:x}..0x{:x} outside the statically declared plan for buffer \
+                 `{}`; {nearest}",
+                exp.site, range.0, range.1, exp.buffer
+            );
+            drop(expectations);
+            // PANICS: a real write escaping the statically proven plan
+            // voids the disjointness proof — plan conformance requires
+            // aborting with both ranges, exactly like an observed overlap.
+            panic!("{msg}");
+        }
     }
 
     /// Records one task of a keyed dispatch epoch, panicking (with both
@@ -135,6 +224,9 @@ impl WriteLedger {
         task: String,
         range: (usize, usize),
     ) {
+        // Plan conformance first, before the epoch lock (the two checks
+        // take their locks one at a time, in a fixed order).
+        self.check_plan(&task, range);
         let mut epochs = Self::lock(&self.epochs);
         let idx = match epochs.iter().position(|e| e.key == key) {
             Some(i) => i,
@@ -160,6 +252,9 @@ impl WriteLedger {
         if let Some(prev) = epoch.entries.iter().find(|e| overlaps(e.range, range)) {
             let msg = violation(&epoch.label, &task, range, &prev.task, prev.range);
             drop(epochs);
+            // PANICS: two tasks of one dispatch claiming overlapping
+            // ranges is a data race under the disjoint-write contract —
+            // aborting with both identities is the detector's purpose.
             panic!("{msg}");
         }
         epoch.entries.push(Entry {
@@ -200,6 +295,9 @@ impl WriteLedger {
     /// Marks a write range as in flight for the duration of the returned
     /// guard, panicking when it overlaps any other in-flight range.
     fn enter(&self, task: &str, ranges: &[(usize, usize)]) -> ActiveGuard<'_> {
+        for &range in ranges {
+            self.check_plan(task, range);
+        }
         let mut active = Self::lock(&self.active);
         let mut ids = Vec::with_capacity(ranges.len());
         for &range in ranges {
@@ -212,6 +310,8 @@ impl WriteLedger {
                     prev.range,
                 );
                 drop(active);
+                // PANICS: two in-flight kernels over overlapping ranges
+                // is a live data race — abort with both identities.
                 panic!("{msg}");
             }
             // ORDERING: Relaxed — id uniqueness only (see `open_scope`).
@@ -267,6 +367,22 @@ impl Drop for ActiveGuard<'_> {
     }
 }
 
+/// Holds one registered plan expectation alive (see
+/// [`WriteLedger::expect_plan`]); dropping it retires the expectation —
+/// the dispatch is over and the buffer may be reused under a new plan.
+#[derive(Debug)]
+pub struct PlanGuard<'l> {
+    ledger: &'l WriteLedger,
+    id: u64,
+}
+
+impl Drop for PlanGuard<'_> {
+    fn drop(&mut self) {
+        let mut expectations = WriteLedger::lock(&self.ledger.expectations);
+        expectations.retain(|e| e.id != self.id);
+    }
+}
+
 fn violation(
     context: &str,
     new_task: &str,
@@ -293,6 +409,9 @@ fn compare_bits(kernel: &str, checked: &[f32], reference: &[f32]) {
     );
     for (i, (c, r)) in checked.iter().zip(reference).enumerate() {
         if c.to_bits() != r.to_bits() {
+            // PANICS: a bit divergence from the scalar reference means
+            // the backend broke the fixed accumulation order — the
+            // checker exists to abort on exactly this.
             panic!(
                 "checked backend: accumulation-order violation in {kernel}: \
                  element {i} is {c:e} (0x{:08x}) but the scalar reference \
@@ -353,6 +472,13 @@ impl Kernels for CheckedKernels {
 
     fn as_any(&self) -> &dyn Any {
         self
+    }
+
+    fn plan_conformance(&self) -> bool {
+        // The dispatch drivers register each seam's instantiated
+        // `WritePlan` with the ledger, which then holds every recorded
+        // write to the statically proven ranges.
+        true
     }
 
     fn grid_encode_chunk(&self, grid: &HashGrid, unit_positions: &[Vec3], out: &mut [f32]) {
@@ -680,6 +806,66 @@ mod tests {
         // Scope dropped: the same ranges are recordable again.
         let scope = ledger.open_scope("sweep 2".to_string());
         scope.record("rows 0..8".to_string(), (0, 128));
+    }
+
+    #[test]
+    fn plan_drift_is_caught_naming_site_and_both_ranges() {
+        use crate::kernels::plan::WritePlan;
+        let ledger = WriteLedger::default();
+        let plan = WritePlan::chunked("plan.rs:1 demo_dispatch", "demo_out", "n", "chunk", None)
+            .instantiate(&[("n", 10), ("chunk", 4)], &[]);
+        let buf = [0.0f32; 10];
+        let _guard = ledger.expect_plan(&plan, buf.as_ptr());
+        let base = buf.as_ptr() as usize;
+        // Writes inside a single declared task range conform…
+        drop(ledger.enter("chunk 0", &[(base, base + 16)]));
+        drop(ledger.enter("tail half", &[(base + 32, base + 36)]));
+        // …a zero-length write is vacuous…
+        drop(ledger.enter("empty", &[(base + 2, base + 2)]));
+        // …but a write straddling two declared tasks is drift: the code
+        // no longer matches the plan the prover verified.
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            let _g = ledger.enter("straddler", &[(base + 8, base + 24)]);
+        }))
+        .expect_err("a write escaping its declared task range must panic");
+        let msg = err.downcast_ref::<String>().cloned().unwrap();
+        assert!(msg.contains("write-plan drift"), "{msg}");
+        assert!(msg.contains("demo_dispatch"), "names the site: {msg}");
+        assert!(msg.contains("straddler"), "names the writing task: {msg}");
+        assert!(
+            msg.contains("nearest declared task range"),
+            "names the declared range: {msg}"
+        );
+        // The scope/record path is held to the plan too.
+        let scope = ledger.open_scope("sweep".to_string());
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            scope.record("rogue rows".to_string(), (base + 14, base + 18));
+        }))
+        .expect_err("recorded writes are checked against the plan");
+        let msg = err.downcast_ref::<String>().cloned().unwrap();
+        assert!(
+            msg.contains("write-plan drift") && msg.contains("rogue rows"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn plan_expectations_retire_with_their_guard() {
+        use crate::kernels::plan::WritePlan;
+        let ledger = WriteLedger::default();
+        let plan = WritePlan::chunked("plan.rs:2 demo", "demo_out", "n", "chunk", None)
+            .instantiate(&[("n", 8), ("chunk", 4)], &[]);
+        let buf = [0.0f32; 8];
+        let base = buf.as_ptr() as usize;
+        {
+            let _guard = ledger.expect_plan(&plan, buf.as_ptr());
+            let err = catch_unwind(AssertUnwindSafe(|| {
+                let _g = ledger.enter("straddler", &[(base + 8, base + 24)]);
+            }));
+            assert!(err.is_err());
+        }
+        // Guard dropped: the same range is unconstrained again.
+        drop(ledger.enter("straddler", &[(base + 8, base + 24)]));
     }
 
     #[test]

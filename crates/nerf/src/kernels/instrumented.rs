@@ -181,6 +181,8 @@ impl InstrumentedKernels {
     /// Drains and returns everything recorded so far.
     pub fn take_streams(&self) -> RecordedStreams {
         RecordedStreams {
+            // PANICS: lock poisoning means a recording worker already
+            // panicked — propagate rather than return a torn trace.
             segments: std::mem::take(&mut *self.segments.lock().unwrap()),
         }
     }
@@ -189,6 +191,8 @@ impl InstrumentedKernels {
         if addrs.is_empty() {
             return;
         }
+        // PANICS: lock poisoning means a recording worker already
+        // panicked — propagate rather than record onto a torn trace.
         self.segments.lock().unwrap().push(StreamSegment {
             phase,
             grid_levels: grid.levels().len(),

@@ -142,9 +142,36 @@
 //!   cross-checked against the sleep/latch protocol manifest in
 //!   `crates/conformance/allowlists/atomics_protocol.txt`.
 //! * Determinism: `HashMap`/`HashSet`/`thread_rng`/`Instant::now` are
-//!   forbidden in the kernel/trainer crates outside the telemetry
+//!   forbidden in the kernel/trainer/serving crates outside the telemetry
 //!   allowlist (`crates/conformance/allowlists/determinism.txt`) — iteration
 //!   order and wall-clock reads must never feed kernel numerics.
+//! * `// PANICS:` — required on every `unwrap`/`expect`/`panic!` in the
+//!   kernel and trainer hot-path modules (the strict kernel files plus
+//!   `kernels/{checked,fast,instrumented,plan}.rs` and
+//!   `core/{batch,trainer,render}.rs`), justifying why aborting is the
+//!   contractually correct response. A hot-path panic without a stated
+//!   contract behind it is a latent reliability bug.
+//!
+//! **Static level — the write-plan prover.** Every parallel dispatch seam
+//! (grid encode chunks, per-level gradient scatter, the MLP forward /
+//! backward sweeps, the per-ray compositing cache, the tile renderer)
+//! declares a [`WritePlan`](plan::WritePlan): its per-task write
+//! intervals as symbolic expressions of shape parameters (see the
+//! [plan grammar](plan)). The conformance crate's prover
+//! (`instant3d-conformance`, `src/prover.rs`) discharges, for **all**
+//! in-bounds parameter values:
+//!
+//! * **pairwise disjointness** — task `t` ends at or before task `t+1`
+//!   starts (tasks are declared in buffer order, so ordering ⇒
+//!   disjointness), and
+//! * **exact coverage** — the first task starts at 0, consecutive tasks
+//!   leave no gap, the last task ends at `total`, and zero tasks implies
+//!   an empty buffer,
+//!
+//! so the disjoint-write half of the strict contract holds for every
+//! shape, not just the shapes the tests happened to run. Diagnostics are
+//! `file:line`-style, carrying a concrete counterexample shape and the
+//! two clashing task ranges.
 //!
 //! **Dynamic level — the `"checked"` backend** ([`CheckedKernels`])
 //! executes the disjoint-write contract: every scatter / MLP-gradient-row
@@ -156,16 +183,30 @@
 //! (`.github/workflows/ci.yml`), whose axis is derived from the registry
 //! by `tests/backend_api.rs`, so neither a new strict backend nor the
 //! checker itself can silently drop out.
+//!
+//! **Plan conformance** closes the loop between the two levels. When a
+//! backend opts in via [`Kernels::plan_conformance`] (the `checked`
+//! backend does), each dispatch site instantiates its `WritePlan` at the
+//! concrete shape ([`plan::WritePlan::instantiate`] — which re-validates
+//! the declared parameter bounds and cut-table axioms) and registers the
+//! resulting task ranges with the ledger
+//! ([`WriteLedger::expect_plan`]); the ledger then asserts every
+//! dynamically recorded write range falls **inside one declared task
+//! range** of the plan, panicking with the site, the writing task, and
+//! the nearest declared range on drift. The statically proven plan and
+//! the code it describes cannot silently diverge.
 
 mod builtin;
 mod checked;
 mod fast;
 mod instrumented;
+pub mod plan;
 
 pub use builtin::{ScalarKernels, SimdKernels};
-pub use checked::{CheckedKernels, WriteLedger};
+pub use checked::{CheckedKernels, PlanGuard, WriteLedger};
 pub use fast::FastKernels;
 pub use instrumented::{InstrumentedKernels, RecordedStreams, StreamSegment};
+pub use plan::{ConcretePlan, WritePlan};
 
 use crate::grid::HashGrid;
 use crate::math::Vec3;
@@ -426,6 +467,19 @@ pub trait Kernels: Send + Sync + std::fmt::Debug {
     /// stream has a deterministic order; numeric results are identical
     /// either way (chunking never changes bits).
     fn sequential_grid(&self) -> bool {
+        false
+    }
+
+    /// When `true`, the dispatch drivers instantiate each seam's declared
+    /// [`WritePlan`](plan::WritePlan) at the concrete shape and register
+    /// it with the [`WriteLedger`] ([`WriteLedger::expect_plan`]) before
+    /// dispatching, so every write range the backend records is asserted
+    /// to fall inside the statically proven plan (see the
+    /// [module docs](self#contract-enforcement)). Defaults to `false`;
+    /// only backends that actually record writes into the ledger (the
+    /// `checked` backend) should opt in — for everything else the
+    /// expectations would be dead weight on the hot path.
+    fn plan_conformance(&self) -> bool {
         false
     }
 }

@@ -1,0 +1,539 @@
+//! Declarative write plans for the parallel dispatch seams.
+//!
+//! Every parallel dispatch in the engine (grid encode chunks, grid
+//! gradient scatter, the MLP forward/backward sweeps, per-ray compositing
+//! cache slices, the tile renderer's frame decomposition) promises the
+//! same thing: its tasks write **pairwise disjoint** intervals whose
+//! union covers the output **exactly** — the disjoint-write half of the
+//! kernel contract (see the [contract-enforcement
+//! docs](super#contract-enforcement)). PR 9's [`WriteLedger`] checks that
+//! promise dynamically, but only for the shapes a run happens to produce.
+//! A [`WritePlan`] states the promise *symbolically*: per-task write
+//! intervals as affine/min expressions of shape parameters (point count,
+//! chunk size, level offsets, layer rows, tile edges) with declared
+//! bounds, so the conformance crate's prover
+//! (`instant3d-conformance/src/prover.rs`) can verify disjointness and
+//! coverage for **all** in-bounds parameter values.
+//!
+//! The same plan closes the loop at runtime: dispatchers instantiate it
+//! at their concrete shape ([`WritePlan::instantiate`]) and register the
+//! result with the [`WriteLedger`] when the backend opts into
+//! [`Kernels::plan_conformance`](super::Kernels::plan_conformance), so
+//! every write range the `checked` backend records is asserted to fall
+//! inside the statically proven plan — the code cannot drift from the
+//! proof without panicking.
+//!
+//! # Plan grammar
+//!
+//! * A plan has **parameters** ([`ParamDecl`]): nonnegative integers with
+//!   declared inclusive bounds. A parameter is either *free* (supplied by
+//!   the dispatch site: point count, row width, chunk size) or *derived*
+//!   ([`Derive::DivCeil`] — the task count of a uniform chunking).
+//! * One parameter is the **task index** `t`, bounded `[0, count−1]`.
+//! * Task `t` writes the element interval
+//!   `[scale·start(t), scale·end(t))` where `start`/`end` are [`Expr`]s
+//!   over the parameters (affine arithmetic plus `min`/`max` for clipped
+//!   remainder tails) and `scale` is a product of parameters (a row
+//!   width). The plan covers `[0, scale·total)` exactly.
+//! * **Cut families** ([`CutFamily`]) model data-dependent partitions
+//!   (per-level slices of the flat gradient buffer, per-ray cache rows):
+//!   a monotone sequence `cut(0) = 0 ≤ cut(1) ≤ … ≤ cut(count) = total`
+//!   whose concrete table the dispatcher supplies at instantiation;
+//!   the prover reasons from exactly those three axioms.
+//!
+//! [`WriteLedger`]: super::WriteLedger
+
+use std::fmt;
+
+/// Bound sentinel for "any machine-sized value": large enough to cover
+/// every real buffer, small enough that degree-3 monomials of it stay
+/// inside `i128` during the prover's vertex substitutions.
+pub const UNBOUNDED: i128 = 1 << 40;
+
+/// A symbolic integer expression over a plan's parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Const(i128),
+    /// Parameter by index into [`WritePlan::params`].
+    Param(usize),
+    /// `cut_family(arg)`: the cut sequence of [`WritePlan::cuts`]`[family]`
+    /// evaluated at `arg`.
+    Cut(usize, Box<Expr>),
+    Add(Box<Expr>, Box<Expr>),
+    Sub(Box<Expr>, Box<Expr>),
+    Mul(Box<Expr>, Box<Expr>),
+    Min(Box<Expr>, Box<Expr>),
+    Max(Box<Expr>, Box<Expr>),
+}
+
+/// Shorthand for [`Expr::Const`].
+pub fn con(v: i128) -> Expr {
+    Expr::Const(v)
+}
+
+/// Shorthand for [`Expr::Param`].
+pub fn par(i: usize) -> Expr {
+    Expr::Param(i)
+}
+
+// Not the std ops traits on purpose: plan expressions are built by
+// value in fluent chains (`par(t).mul(par(1)).min(par(0))`), and
+// operator syntax on owned Box-building AST nodes would suggest
+// arithmetic on numbers rather than tree construction.
+#[allow(clippy::should_implement_trait)]
+impl Expr {
+    pub fn add(self, o: Expr) -> Expr {
+        Expr::Add(Box::new(self), Box::new(o))
+    }
+    pub fn sub(self, o: Expr) -> Expr {
+        Expr::Sub(Box::new(self), Box::new(o))
+    }
+    pub fn mul(self, o: Expr) -> Expr {
+        Expr::Mul(Box::new(self), Box::new(o))
+    }
+    pub fn min(self, o: Expr) -> Expr {
+        Expr::Min(Box::new(self), Box::new(o))
+    }
+    pub fn max(self, o: Expr) -> Expr {
+        Expr::Max(Box::new(self), Box::new(o))
+    }
+
+    /// Evaluates at concrete parameter values and cut tables.
+    ///
+    /// Returns `Err` (rather than panicking) on out-of-table cut
+    /// arguments or overflow, so the conformance prover can use the same
+    /// evaluator on deliberately broken fixture plans.
+    pub fn eval(&self, params: &[i128], cuts: &[Vec<i128>]) -> Result<i128, String> {
+        Ok(match self {
+            Expr::Const(v) => *v,
+            Expr::Param(i) => *params
+                .get(*i)
+                .ok_or_else(|| format!("parameter #{i} out of range"))?,
+            Expr::Cut(f, arg) => {
+                let a = arg.eval(params, cuts)?;
+                let table = cuts
+                    .get(*f)
+                    .ok_or_else(|| format!("cut family #{f} has no table"))?;
+                let idx = usize::try_from(a)
+                    .ok()
+                    .filter(|&i| i < table.len())
+                    .ok_or_else(|| {
+                        format!("cut argument {a} outside table of {} points", table.len())
+                    })?;
+                table[idx]
+            }
+            Expr::Add(a, b) => a
+                .eval(params, cuts)?
+                .checked_add(b.eval(params, cuts)?)
+                .ok_or("overflow")?,
+            Expr::Sub(a, b) => a
+                .eval(params, cuts)?
+                .checked_sub(b.eval(params, cuts)?)
+                .ok_or("overflow")?,
+            Expr::Mul(a, b) => a
+                .eval(params, cuts)?
+                .checked_mul(b.eval(params, cuts)?)
+                .ok_or("overflow")?,
+            Expr::Min(a, b) => a.eval(params, cuts)?.min(b.eval(params, cuts)?),
+            Expr::Max(a, b) => a.eval(params, cuts)?.max(b.eval(params, cuts)?),
+        })
+    }
+}
+
+/// How a parameter's concrete value arises at instantiation time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Derive {
+    /// Supplied by the dispatch site (by name).
+    Free,
+    /// `ceil(a / b)`. Contributes the two exact integer facts
+    /// `self·b ≥ a` and `self·b ≤ a + b − 1` to the prover.
+    DivCeil(Expr, Expr),
+}
+
+/// One symbolic shape parameter: a nonnegative integer in
+/// `[lo, hi]` (inclusive). `hi` may reference earlier-declared
+/// parameters only (a triangular system — the prover eliminates
+/// parameters in reverse declaration order).
+#[derive(Debug, Clone)]
+pub struct ParamDecl {
+    pub name: &'static str,
+    /// Inclusive constant lower bound (must be ≥ 0).
+    pub lo: i128,
+    /// Inclusive upper bound.
+    pub hi: Expr,
+    pub derive: Derive,
+}
+
+/// A monotone cut sequence `0 = cut(0) ≤ … ≤ cut(count) = total`
+/// partitioning `[0, total)` into `count` data-dependent intervals.
+#[derive(Debug, Clone)]
+pub struct CutFamily {
+    pub name: &'static str,
+    /// Number of intervals (the table has `count + 1` points).
+    pub count: Expr,
+    /// The top cut: `cut(count) = total`.
+    pub total: Expr,
+}
+
+/// The declared write plan of one parallel dispatch site over one output
+/// buffer (see the [module docs](self)).
+#[derive(Debug, Clone)]
+pub struct WritePlan {
+    /// Dispatch-site label, `file:line function` (diagnostics are emitted
+    /// `file:line:`-style from it).
+    pub site: &'static str,
+    /// The output buffer the plan covers.
+    pub buffer: &'static str,
+    pub params: Vec<ParamDecl>,
+    pub cuts: Vec<CutFamily>,
+    /// Index into `params` of the task-index parameter `t`.
+    pub task: usize,
+    /// Task count (same value as `params[task].hi + 1`).
+    pub count: Expr,
+    /// Task `t` writes elements `[scale·start, scale·end)`.
+    pub start: Expr,
+    pub end: Expr,
+    /// Per-interval element multiplier (a row width); product of
+    /// parameters and constants, never negative.
+    pub scale: Expr,
+    /// The plan covers `[0, scale·total)` exactly.
+    pub total: Expr,
+    /// `total` is definitionally the top cut of a [`CutFamily`]
+    /// (`cut(count) = total`), so "no tasks ⇒ empty coverage" holds by
+    /// the cut axioms, which [`WritePlan::instantiate`] re-validates on
+    /// every concrete table.
+    pub total_is_top_cut: bool,
+}
+
+/// A [`WritePlan`] evaluated at one concrete shape: the per-task element
+/// ranges a single dispatch will write.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConcretePlan {
+    pub site: &'static str,
+    pub buffer: &'static str,
+    /// Per-task scaled element ranges, in task order.
+    pub tasks: Vec<(usize, usize)>,
+    /// Scaled total extent covered: `[0, len)`.
+    pub len: usize,
+}
+
+impl WritePlan {
+    /// A uniform chunking: `ceil(total/chunk)` tasks, task `t` writing
+    /// `[t·chunk, min((t+1)·chunk, total))` rows of `scale` elements each
+    /// — the shape of `par_chunks_mut(chunk · scale)`, remainder tail
+    /// included.
+    pub fn chunked(
+        site: &'static str,
+        buffer: &'static str,
+        total: &'static str,
+        chunk: &'static str,
+        scale: Option<&'static str>,
+    ) -> WritePlan {
+        let mut params = vec![
+            ParamDecl {
+                name: total,
+                lo: 0,
+                hi: con(UNBOUNDED),
+                derive: Derive::Free,
+            },
+            ParamDecl {
+                name: chunk,
+                lo: 1,
+                hi: con(UNBOUNDED),
+                derive: Derive::Free,
+            },
+        ];
+        let scale_expr = match scale {
+            Some(name) => {
+                params.push(ParamDecl {
+                    name,
+                    lo: 0,
+                    hi: con(UNBOUNDED),
+                    derive: Derive::Free,
+                });
+                par(params.len() - 1)
+            }
+            None => con(1),
+        };
+        let count_idx = params.len();
+        params.push(ParamDecl {
+            name: "tasks",
+            lo: 0,
+            hi: con(UNBOUNDED),
+            derive: Derive::DivCeil(par(0), par(1)),
+        });
+        let task = params.len();
+        params.push(ParamDecl {
+            name: "t",
+            lo: 0,
+            hi: par(count_idx).sub(con(1)),
+            derive: Derive::Free,
+        });
+        WritePlan {
+            site,
+            buffer,
+            params,
+            cuts: Vec::new(),
+            task,
+            count: par(count_idx),
+            start: par(task).mul(par(1)).min(par(0)),
+            end: par(task).add(con(1)).mul(par(1)).min(par(0)),
+            scale: scale_expr,
+            total: par(0),
+            total_is_top_cut: false,
+        }
+    }
+
+    /// A data-dependent partition: `count` tasks, task `t` writing
+    /// `[cut(t), cut(t+1))` — the shape of slicing one flat buffer by a
+    /// precomputed monotone offset table (level offsets, ray offsets).
+    pub fn cut_partition(
+        site: &'static str,
+        buffer: &'static str,
+        family: &'static str,
+        count: &'static str,
+        total: &'static str,
+    ) -> WritePlan {
+        let params = vec![
+            ParamDecl {
+                name: count,
+                lo: 0,
+                hi: con(UNBOUNDED),
+                derive: Derive::Free,
+            },
+            ParamDecl {
+                name: total,
+                lo: 0,
+                hi: con(UNBOUNDED),
+                derive: Derive::Free,
+            },
+            ParamDecl {
+                name: "t",
+                lo: 0,
+                hi: par(0).sub(con(1)),
+                derive: Derive::Free,
+            },
+        ];
+        WritePlan {
+            site,
+            buffer,
+            params,
+            cuts: vec![CutFamily {
+                name: family,
+                count: par(0),
+                total: par(1),
+            }],
+            task: 2,
+            count: par(0),
+            start: Expr::Cut(0, Box::new(par(2))),
+            end: Expr::Cut(0, Box::new(par(2).add(con(1)))),
+            scale: con(1),
+            total: par(1),
+            total_is_top_cut: true,
+        }
+    }
+
+    /// Evaluates the plan at a concrete shape: free parameters by name in
+    /// `values`, one monotone table per [`CutFamily`] in `cut_tables`.
+    ///
+    /// Validates everything the static proof assumes — parameter bounds,
+    /// cut-table axioms, and per-task interval sanity — so a dispatch
+    /// whose real shape escapes the declared bounds fails loudly here
+    /// instead of silently outrunning the proof.
+    pub fn try_instantiate(
+        &self,
+        values: &[(&str, i128)],
+        cut_tables: &[&[i128]],
+    ) -> Result<ConcretePlan, String> {
+        let fail = |msg: String| {
+            Err(format!(
+                "write plan `{}` ({}): {msg}",
+                self.site, self.buffer
+            ))
+        };
+        // Resolve parameters in declaration order so derived values and
+        // bound expressions may reference earlier ones.
+        let mut resolved: Vec<i128> = Vec::with_capacity(self.params.len());
+        for (i, p) in self.params.iter().enumerate() {
+            let v = if i == self.task {
+                0 // placeholder; set per task below
+            } else {
+                match &p.derive {
+                    Derive::Free => match values.iter().find(|(n, _)| *n == p.name) {
+                        Some(&(_, v)) => v,
+                        None => {
+                            return fail(format!("no value supplied for parameter `{}`", p.name))
+                        }
+                    },
+                    Derive::DivCeil(a, b) => {
+                        let a = a.eval(&resolved, &[])?;
+                        let b = b.eval(&resolved, &[])?;
+                        if b <= 0 {
+                            return fail(format!("ceil-division of `{}` by {b}", p.name));
+                        }
+                        a.div_euclid(b) + i128::from(a.rem_euclid(b) != 0)
+                    }
+                }
+            };
+            if i != self.task {
+                let hi = p.hi.eval(&resolved, &[])?;
+                if v < p.lo || v > hi {
+                    return fail(format!(
+                        "parameter `{}` = {v} outside declared bounds [{}, {hi}]",
+                        p.name, p.lo
+                    ));
+                }
+            }
+            resolved.push(v);
+        }
+        let mut tables: Vec<Vec<i128>> = Vec::with_capacity(self.cuts.len());
+        for (f, fam) in self.cuts.iter().enumerate() {
+            let table: Vec<i128> = match cut_tables.get(f) {
+                Some(t) => t.to_vec(),
+                None => return fail(format!("no cut table supplied for family `{}`", fam.name)),
+            };
+            let count = fam.count.eval(&resolved, &[])?;
+            let total = fam.total.eval(&resolved, &[])?;
+            if table.len() as i128 != count + 1 {
+                return fail(format!(
+                    "cut family `{}` table has {} points, expected count+1 = {}",
+                    fam.name,
+                    table.len(),
+                    count + 1
+                ));
+            }
+            if table.first() != Some(&0) || table.last() != Some(&total) {
+                return fail(format!(
+                    "cut family `{}` endpoints {:?}/{:?} violate cut(0)=0, cut(count)={total}",
+                    fam.name,
+                    table.first(),
+                    table.last()
+                ));
+            }
+            if table.windows(2).any(|w| w[0] > w[1]) {
+                return fail(format!("cut family `{}` table is not monotone", fam.name));
+            }
+            tables.push(table);
+        }
+        let count = self.count.eval(&resolved, &tables)?;
+        let total = self.total.eval(&resolved, &tables)?;
+        let scale = self.scale.eval(&resolved, &tables)?;
+        if count < 0 || total < 0 || scale < 0 {
+            return fail(format!(
+                "negative extent (count {count}, total {total}, scale {scale})"
+            ));
+        }
+        let mut tasks = Vec::with_capacity(count.max(0) as usize);
+        for t in 0..count {
+            resolved[self.task] = t;
+            let s = self.start.eval(&resolved, &tables)?;
+            let e = self.end.eval(&resolved, &tables)?;
+            if s < 0 || e < s || e > total {
+                return fail(format!("task {t} interval [{s}, {e}) escapes [0, {total})"));
+            }
+            let to_elems = |v: i128| {
+                usize::try_from(v.checked_mul(scale).unwrap_or(-1))
+                    .map_err(|_| "interval overflows usize".to_string())
+            };
+            tasks.push((to_elems(s)?, to_elems(e)?));
+        }
+        Ok(ConcretePlan {
+            site: self.site,
+            buffer: self.buffer,
+            tasks,
+            len: usize::try_from(total.checked_mul(scale).unwrap_or(-1))
+                .map_err(|_| "total extent overflows usize".to_string())?,
+        })
+    }
+
+    /// [`WritePlan::try_instantiate`], panicking on any violation — the
+    /// dispatch-site form: a shape escaping the declared plan is a
+    /// contract bug, not a recoverable condition.
+    pub fn instantiate(&self, values: &[(&str, i128)], cut_tables: &[&[i128]]) -> ConcretePlan {
+        match self.try_instantiate(values, cut_tables) {
+            Ok(plan) => plan,
+            // PANICS: a dispatch shape outside its statically proven plan
+            // voids the disjoint-write proof; failing loudly here is the
+            // plan-conformance contract.
+            Err(msg) => panic!("{msg}"),
+        }
+    }
+}
+
+impl fmt::Display for WritePlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.site, self.buffer)
+    }
+}
+
+/// Every declared write plan of this crate's dispatch seams — the list
+/// the conformance prover walks (`crates/core` appends the tile
+/// renderer's plans).
+pub fn nerf_write_plans() -> Vec<WritePlan> {
+    let mut plans = vec![
+        crate::grid::HashGrid::encode_write_plan(),
+        crate::grid::HashGrid::encode_levels_write_plan(),
+        crate::grid::HashGrid::scatter_write_plan(),
+    ];
+    plans.extend(crate::mlp::Mlp::forward_write_plans());
+    plans.extend(crate::mlp::Mlp::backward_write_plans());
+    plans.push(crate::render::composite_cache_write_plan());
+    plans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunked_instantiation_matches_par_chunks_semantics() {
+        let plan = WritePlan::chunked("x.rs:1 demo", "out", "n", "chunk", Some("w"));
+        let c = plan.instantiate(&[("n", 10), ("chunk", 4), ("w", 3)], &[]);
+        // ceil(10/4) = 3 chunks of 4, 4, 2 rows × 3 elements.
+        assert_eq!(c.tasks, vec![(0, 12), (12, 24), (24, 30)]);
+        assert_eq!(c.len, 30);
+        // Exact multiple: no remainder tail.
+        let c = plan.instantiate(&[("n", 8), ("chunk", 4), ("w", 1)], &[]);
+        assert_eq!(c.tasks, vec![(0, 4), (4, 8)]);
+        // Empty batch: no tasks at all.
+        let c = plan.instantiate(&[("n", 0), ("chunk", 4), ("w", 2)], &[]);
+        assert!(c.tasks.is_empty());
+        assert_eq!(c.len, 0);
+    }
+
+    #[test]
+    fn cut_partition_instantiation_validates_the_table_axioms() {
+        let plan = WritePlan::cut_partition("x.rs:2 demo", "grads", "offsets", "levels", "params");
+        let c = plan.instantiate(&[("levels", 3), ("params", 10)], &[&[0, 4, 4, 10]]);
+        assert_eq!(c.tasks, vec![(0, 4), (4, 4), (4, 10)]);
+        assert_eq!(c.len, 10);
+        // Axiom violations are rejected, naming the family.
+        for bad in [
+            &[0i128, 4, 3, 10][..],
+            &[1, 4, 5, 10],
+            &[0, 4, 5, 9],
+            &[0, 10],
+        ] {
+            let err = plan
+                .try_instantiate(&[("levels", 3), ("params", 10)], &[bad])
+                .unwrap_err();
+            assert!(err.contains("offsets"), "{err}");
+        }
+    }
+
+    #[test]
+    fn out_of_bounds_shapes_are_rejected() {
+        let plan = WritePlan::chunked("x.rs:3 demo", "out", "n", "chunk", None);
+        let err = plan
+            .try_instantiate(&[("n", 5), ("chunk", 0)], &[])
+            .unwrap_err();
+        assert!(err.contains("chunk"), "{err}");
+        let err = plan
+            .try_instantiate(&[("n", -1), ("chunk", 4)], &[])
+            .unwrap_err();
+        assert!(err.contains("n"), "{err}");
+        let err = plan.try_instantiate(&[("chunk", 4)], &[]).unwrap_err();
+        assert!(err.contains("no value"), "{err}");
+    }
+}

@@ -599,6 +599,7 @@ impl Mlp {
 
     /// Output width.
     pub fn out_dim(&self) -> usize {
+        // PANICS: `Mlp::new` asserts the spec list is non-empty.
         self.layers.last().unwrap().spec.out_dim
     }
 
@@ -660,6 +661,8 @@ impl Mlp {
             let (head, tail) = ws.acts.split_at_mut(i + 1);
             layer.forward_into(&head[i], &mut ws.pre[i], &mut tail[0]);
         }
+        // PANICS: `acts` holds `layers + 1` buffers and `Mlp::new`
+        // asserts at least one layer.
         ws.acts.last().unwrap()
     }
 
@@ -746,6 +749,7 @@ impl Mlp {
             .iter()
             .map(|l| l.spec.in_dim.max(l.spec.out_dim))
             .max()
+            // PANICS: `Mlp::new` asserts the spec list is non-empty.
             .unwrap()
     }
 
@@ -768,6 +772,68 @@ impl Mlp {
             return None;
         }
         Some(n.div_ceil(threads * 4).max(16))
+    }
+
+    /// The declared [`WritePlan`](crate::kernels::WritePlan)s of
+    /// [`Mlp::forward_batch_impl`]'s per-layer parallel sweep: the
+    /// post-activation (`y`) and pre-activation (`pre`) buffers are both
+    /// written in item chunks of `out_dim` elements — verified disjoint
+    /// and gap-free for all shapes by the conformance prover.
+    pub fn forward_write_plans() -> [crate::kernels::WritePlan; 2] {
+        [
+            crate::kernels::WritePlan::chunked(
+                concat!(file!(), ":", line!(), " Mlp::forward_batch_impl"),
+                "layer activations (y)",
+                "items",
+                "chunk",
+                Some("out_dim"),
+            ),
+            crate::kernels::WritePlan::chunked(
+                concat!(file!(), ":", line!(), " Mlp::forward_batch_impl"),
+                "layer pre-activations (pre)",
+                "items",
+                "chunk",
+                Some("out_dim"),
+            ),
+        ]
+    }
+
+    /// The declared write plans of [`Mlp::backward_batch_impl`]'s three
+    /// per-layer parallel sweeps: the in-place `dz` activation-derivative
+    /// sweep (item chunks × `out_dim`), the parameter-gradient sweep
+    /// (output-row chunks: `in_dim` weight elements and one bias element
+    /// per row), and the input-gradient sweep (item chunks × `in_dim`).
+    pub fn backward_write_plans() -> [crate::kernels::WritePlan; 4] {
+        [
+            crate::kernels::WritePlan::chunked(
+                concat!(file!(), ":", line!(), " Mlp::backward_batch_impl"),
+                "dz activation-derivative sweep (d_cur)",
+                "items",
+                "chunk",
+                Some("out_dim"),
+            ),
+            crate::kernels::WritePlan::chunked(
+                concat!(file!(), ":", line!(), " Mlp::backward_batch_impl"),
+                "weight gradients (gw)",
+                "rows",
+                "row_chunk",
+                Some("in_dim"),
+            ),
+            crate::kernels::WritePlan::chunked(
+                concat!(file!(), ":", line!(), " Mlp::backward_batch_impl"),
+                "bias gradients (gb)",
+                "rows",
+                "row_chunk",
+                None,
+            ),
+            crate::kernels::WritePlan::chunked(
+                concat!(file!(), ":", line!(), " Mlp::backward_batch_impl"),
+                "input gradients (d_next)",
+                "items",
+                "chunk",
+                Some("in_dim"),
+            ),
+        ]
     }
 
     /// Batched forward pass over `n = inputs.len() / in_dim` row-major
@@ -823,7 +889,43 @@ impl Mlp {
             let x = &head[i][..n * spec.in_dim];
             let y = &mut tail[0][..n * spec.out_dim];
             let pre = &mut ws.pre[i][..n * spec.out_dim];
+            let chunk_opt = Self::par_item_chunk(n, layer.flops());
+            // Checked mode shadow-records every chunk's y/pre write range
+            // and registers the declared write plan (instantiated with
+            // the chunk the branch below actually uses), so the sweep is
+            // held to the statically proven decomposition.
+            let fwd_scope = (mode == GemvMode::Checked).then(|| {
+                crate::kernels::WriteLedger::global()
+                    .open_scope(format!("mlp layer {i} forward sweep"))
+            });
+            let _fwd_plans = (mode == GemvMode::Checked).then(|| {
+                let shape = [
+                    ("items", n as i128),
+                    ("chunk", chunk_opt.unwrap_or(n.max(1)) as i128),
+                    ("out_dim", spec.out_dim as i128),
+                ];
+                let [y_plan, pre_plan] = Self::forward_write_plans();
+                let ledger = crate::kernels::WriteLedger::global();
+                (
+                    ledger.expect_plan(&y_plan.instantiate(&shape, &[]), y.as_ptr()),
+                    ledger.expect_plan(&pre_plan.instantiate(&shape, &[]), pre.as_ptr()),
+                )
+            });
             let run_rows = |xc: &[f32], prec: &mut [f32], yc: &mut [f32]| {
+                if let Some(scope) = &fwd_scope {
+                    let record = |what: &str, s: &[f32]| {
+                        let start = s.as_ptr() as usize;
+                        scope.record(
+                            format!(
+                                "layer {i} forward {what} chunk ({} items @0x{start:x})",
+                                s.len() / spec.out_dim
+                            ),
+                            (start, start + std::mem::size_of_val(s)),
+                        );
+                    };
+                    record("y", yc);
+                    record("pre", prec);
+                }
                 let rows = yc.len() / spec.out_dim;
                 for r in 0..rows {
                     let xr = &xc[r * spec.in_dim..(r + 1) * spec.in_dim];
@@ -838,7 +940,7 @@ impl Mlp {
                     }
                 }
             };
-            match Self::par_item_chunk(n, layer.flops()) {
+            match chunk_opt {
                 Some(chunk) => {
                     y.par_chunks_mut(chunk * spec.out_dim)
                         .zip(pre.par_chunks_mut(chunk * spec.out_dim))
@@ -848,6 +950,8 @@ impl Mlp {
                 None => run_rows(x, pre, y),
             }
         }
+        // PANICS: `acts` holds `layers + 1` buffers and `Mlp::new`
+        // asserts at least one layer.
         &ws.acts.last().unwrap()[..n * self.out_dim()]
     }
 
@@ -935,22 +1039,65 @@ impl Mlp {
             let x = &acts[i][..n * iw];
             let y = &acts[i + 1][..n * ow];
             let pre_l = &pre[i][..n * ow];
-            // dz = dy ⊙ act'(pre), in place over the n×ow prefix.
-            match Self::par_item_chunk(n, ow) {
-                Some(chunk) => {
-                    d_cur[..n * ow]
-                        .par_chunks_mut(chunk * ow)
-                        .zip(pre_l.par_chunks(chunk * ow))
-                        .zip(y.par_chunks(chunk * ow))
-                        .for_each(|((dc, prec), yc)| {
-                            for ((d, p), a) in dc.iter_mut().zip(prec).zip(yc) {
-                                *d *= spec.activation.derivative(*p, *a);
-                            }
-                        });
-                }
-                None => {
-                    for ((d, p), a) in d_cur[..n * ow].iter_mut().zip(pre_l).zip(y) {
-                        *d *= spec.activation.derivative(*p, *a);
+            // dz = dy ⊙ act'(pre), in place over the n×ow prefix. The
+            // checked-mode scope/plan guards live in this block: the same
+            // allocation is rewritten under a different decomposition
+            // next layer (after the d_cur/d_next swap), so the evidence
+            // and the plan expectation must retire with the sweep.
+            {
+                let chunk_opt = Self::par_item_chunk(n, ow);
+                let dz_scope = (mode == GemvMode::Checked).then(|| {
+                    crate::kernels::WriteLedger::global()
+                        .open_scope(format!("mlp layer {i} dz sweep"))
+                });
+                let _dz_plan = (mode == GemvMode::Checked).then(|| {
+                    let [dz_plan, _, _, _] = Self::backward_write_plans();
+                    crate::kernels::WriteLedger::global().expect_plan(
+                        &dz_plan.instantiate(
+                            &[
+                                ("items", n as i128),
+                                ("chunk", chunk_opt.unwrap_or(n.max(1)) as i128),
+                                ("out_dim", ow as i128),
+                            ],
+                            &[],
+                        ),
+                        d_cur.as_ptr(),
+                    )
+                });
+                match chunk_opt {
+                    Some(chunk) => {
+                        d_cur[..n * ow]
+                            .par_chunks_mut(chunk * ow)
+                            .zip(pre_l.par_chunks(chunk * ow))
+                            .zip(y.par_chunks(chunk * ow))
+                            .for_each(|((dc, prec), yc)| {
+                                if let Some(scope) = &dz_scope {
+                                    let start = dc.as_ptr() as usize;
+                                    scope.record(
+                                        format!(
+                                            "layer {i} dz chunk ({} items @0x{start:x})",
+                                            dc.len() / ow
+                                        ),
+                                        (start, start + std::mem::size_of_val(&dc[..])),
+                                    );
+                                }
+                                for ((d, p), a) in dc.iter_mut().zip(prec).zip(yc) {
+                                    *d *= spec.activation.derivative(*p, *a);
+                                }
+                            });
+                    }
+                    None => {
+                        if let Some(scope) = &dz_scope {
+                            let s = &d_cur[..n * ow];
+                            let start = s.as_ptr() as usize;
+                            scope.record(
+                                format!("layer {i} dz whole batch ({n} items)"),
+                                (start, start + std::mem::size_of_val(s)),
+                            );
+                        }
+                        for ((d, p), a) in d_cur[..n * ow].iter_mut().zip(pre_l).zip(y) {
+                            *d *= spec.activation.derivative(*p, *a);
+                        }
                     }
                 }
             }
@@ -960,12 +1107,31 @@ impl Mlp {
             // output row; per-parameter accumulation stays in item order,
             // so results match the scalar path bit-for-bit.
             let (gw, gb) = &mut grads.layers[i];
+            let row_chunk = if Self::par_item_chunk(n, iw * ow).is_some() {
+                ow.div_ceil(rayon::current_num_threads().max(1) * 2).max(1)
+            } else {
+                ow
+            };
             // Checked mode shadow-records every row-chunk task's write
             // range; overlap between two chunks of this sweep panics with
-            // both task identities.
+            // both task identities. The declared row-chunk plans hold the
+            // recorded ranges to the statically proven decomposition.
             let grad_scope = (mode == GemvMode::Checked).then(|| {
                 crate::kernels::WriteLedger::global()
                     .open_scope(format!("mlp layer {i} param-grad sweep"))
+            });
+            let _grad_plans = (mode == GemvMode::Checked).then(|| {
+                let [_, gw_plan, gb_plan, _] = Self::backward_write_plans();
+                let shape = [
+                    ("rows", ow as i128),
+                    ("row_chunk", row_chunk.max(1) as i128),
+                    ("in_dim", iw as i128),
+                ];
+                let ledger = crate::kernels::WriteLedger::global();
+                (
+                    ledger.expect_plan(&gw_plan.instantiate(&shape, &[]), gw.as_ptr()),
+                    ledger.expect_plan(&gb_plan.instantiate(&shape[..2], &[]), gb.as_ptr()),
+                )
             });
             let accumulate_rows = |o0: usize, gw_rows: &mut [f32], gb_rows: &mut [f32]| {
                 if let Some(scope) = &grad_scope {
@@ -996,11 +1162,6 @@ impl Mlp {
                     }
                 }
             };
-            let row_chunk = if Self::par_item_chunk(n, iw * ow).is_some() {
-                ow.div_ceil(rayon::current_num_threads().max(1) * 2).max(1)
-            } else {
-                ow
-            };
             if row_chunk >= ow {
                 accumulate_rows(0, gw, gb);
             } else {
@@ -1021,6 +1182,23 @@ impl Mlp {
             let input_scope = (mode == GemvMode::Checked).then(|| {
                 crate::kernels::WriteLedger::global()
                     .open_scope(format!("mlp layer {i} input-grad sweep"))
+            });
+            let _input_plan = (mode == GemvMode::Checked).then(|| {
+                let [_, _, _, d_next_plan] = Self::backward_write_plans();
+                crate::kernels::WriteLedger::global().expect_plan(
+                    &d_next_plan.instantiate(
+                        &[
+                            ("items", n as i128),
+                            (
+                                "chunk",
+                                Self::par_item_chunk(n, iw * ow).unwrap_or(n.max(1)) as i128,
+                            ),
+                            ("in_dim", iw as i128),
+                        ],
+                        &[],
+                    ),
+                    d_next.as_ptr(),
+                )
             });
             match Self::par_item_chunk(n, iw * ow) {
                 Some(chunk) => {

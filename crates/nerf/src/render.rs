@@ -550,6 +550,25 @@ pub fn composite_backward_slices(
     }
 }
 
+/// The declared [`WritePlan`](crate::kernels::WritePlan) of the per-ray
+/// compositing cache writes (`RayBatchCache::{weights, trans,
+/// one_minus_alpha}`): one task per ray, ray `r` owning
+/// `[offsets[r], offsets[r+1])` of each flat per-sample buffer — a cut
+/// partition over the batch's monotone sample-offset table
+/// ([`RayBatch::ray_range`]), verified disjoint and gap-free for all
+/// shapes by the conformance prover. The batched compositing dispatches
+/// ([`composite_batch`] and the engine's `BatchWorkspace::composite_all`)
+/// instantiate it per buffer under plan conformance.
+pub fn composite_cache_write_plan() -> crate::kernels::WritePlan {
+    crate::kernels::WritePlan::cut_partition(
+        concat!(file!(), ":", line!(), " composite_batch"),
+        "ray compositing cache",
+        "ray_offsets",
+        "rays",
+        "samples",
+    )
+}
+
 /// Composites every ray of `batch` front-to-back, filling `cache`.
 pub fn composite_batch(batch: &RayBatch, background: Vec3, cache: &mut RayBatchCache) {
     cache.reserve_for(batch);

@@ -17,6 +17,7 @@ use crate::store::CheckpointStore;
 use instant3d_core::WorkloadStats;
 use std::collections::VecDeque;
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// Scheduler knobs. The defaults suit a demo fleet of ~8 small scenes.
 #[derive(Debug, Clone)]
@@ -78,6 +79,11 @@ pub struct JobReport {
     pub preview_frames: u64,
     /// Preview tiles rendered across all of the job's slices.
     pub preview_tiles: u64,
+    /// Wall-clock nanoseconds the job spent owned by a runner (slices +
+    /// previews; queue wait excluded). Telemetry for fleet-balance
+    /// dashboards — never fed back into scheduling, so results stay
+    /// independent of it.
+    pub busy_nanos: u64,
     /// The final checkpoint — always returned here even if the LRU cache
     /// evicted it.
     pub final_checkpoint: Vec<u8>,
@@ -115,6 +121,9 @@ pub struct FleetStats {
     pub preview_frames: u64,
     /// Preview tiles rendered across all jobs.
     pub preview_tiles: u64,
+    /// Total runner-owned wall-clock nanoseconds across all jobs (see
+    /// [`JobReport::busy_nanos`]).
+    pub busy_nanos: u64,
 }
 
 /// Everything a fleet run produced.
@@ -197,6 +206,11 @@ impl Fleet {
                         }
                     };
 
+                    // Slice telemetry: wall time from here until the job
+                    // is parked or retired (training + previews). Logged
+                    // only — never consulted by the scheduler.
+                    let slice_start = Instant::now();
+
                     // One slice on a pooled workspace (pool miss ⇒ the
                     // trainer mints lazily; counted via
                     // `batch_workspace_allocations`).
@@ -224,6 +238,10 @@ impl Fleet {
                         job.render_preview(&pool, self.cfg.preview_tiles_per_slice);
                     }
 
+                    job.busy_nanos = job
+                        .busy_nanos
+                        .saturating_add(slice_start.elapsed().as_nanos() as u64);
+
                     if job.remaining() > 0 {
                         queue.lock().unwrap().push_back(Slot::Running(job));
                         continue;
@@ -249,6 +267,7 @@ impl Fleet {
                         occ_recycled: job.occ_recycled,
                         preview_frames: job.preview_frames,
                         preview_tiles: job.preview_tiles,
+                        busy_nanos: job.busy_nanos,
                         final_checkpoint: blob,
                     });
                 });
@@ -288,6 +307,7 @@ impl Fleet {
         let mut checkpoints_written = 0;
         let mut preview_frames = 0;
         let mut preview_tiles = 0;
+        let mut busy_nanos = 0u64;
         for job in jobs {
             total.merge(&job.stats);
             match per_backend
@@ -304,6 +324,7 @@ impl Fleet {
             occ_recycled += u64::from(job.occ_recycled);
             preview_frames += job.preview_frames;
             preview_tiles += job.preview_tiles;
+            busy_nanos = busy_nanos.saturating_add(job.busy_nanos);
         }
         FleetStats {
             jobs: jobs.len(),
@@ -317,6 +338,7 @@ impl Fleet {
             occ_recycled,
             preview_frames,
             preview_tiles,
+            busy_nanos,
         }
     }
 }

@@ -103,6 +103,11 @@ pub(crate) struct SceneJob {
     pub(crate) preview_frames: u64,
     /// Preview tiles rendered across all slices.
     pub(crate) preview_tiles: u64,
+    /// Wall-clock nanoseconds the job spent owned by a fleet runner
+    /// (training slices + previews). Telemetry only: the value is
+    /// reported, never fed back into scheduling or training, so it does
+    /// not perturb the determinism contract.
+    pub(crate) busy_nanos: u64,
 }
 
 impl JobSpec {
@@ -140,6 +145,7 @@ impl JobSpec {
             preview,
             preview_frames: 0,
             preview_tiles: 0,
+            busy_nanos: 0,
         }
     }
 }
